@@ -1,0 +1,61 @@
+//===- bench/BenchUtil.h - Shared benchmark-harness helpers -----*- C++ -*-===//
+
+#ifndef CCJS_BENCH_BENCHUTIL_H
+#define CCJS_BENCH_BENCHUTIL_H
+
+#include "core/Runner.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ccjs::bench {
+
+inline std::vector<const Workload *> workloadsOfSuite(const char *Suite,
+                                                      bool SelectedOnly) {
+  std::vector<const Workload *> Out;
+  size_t N = 0;
+  const Workload *All = allWorkloads(&N);
+  for (size_t I = 0; I < N; ++I) {
+    if (Suite && std::string_view(All[I].Suite) != Suite)
+      continue;
+    if (SelectedOnly && !All[I].Selected)
+      continue;
+    Out.push_back(&All[I]);
+  }
+  return Out;
+}
+
+/// Running average helper for per-suite rows.
+class Avg {
+public:
+  void add(double V) {
+    Sum += V;
+    ++N;
+  }
+  double value() const { return N ? Sum / N : 0; }
+  bool empty() const { return N == 0; }
+
+private:
+  double Sum = 0;
+  size_t N = 0;
+};
+
+inline void printHeader(const char *Title, const char *PaperRef) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s\n", Title);
+  std::printf("(reproduces %s of \"Removing Checks in Dynamically Typed "
+              "Languages\nthrough Efficient Profiling\", CGO 2017)\n",
+              PaperRef);
+  std::printf("==============================================================="
+              "=========\n");
+}
+
+inline const char *const SuiteOrder[] = {"octane", "sunspider", "kraken"};
+
+} // namespace ccjs::bench
+
+#endif // CCJS_BENCH_BENCHUTIL_H

@@ -1,0 +1,62 @@
+//===- bench/ablation_class_cache_size.cpp --------------------------------===//
+///
+/// Ablation for the paper's configuration choice (section 5.3.2/5.3.3):
+/// Class Cache hit rate and speedup across sizes and associativities. The
+/// paper picks 128 entries / 2-way because it already exceeds 99.9% hit
+/// rate at very low cost.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+using namespace ccjs;
+using namespace ccjs::bench;
+
+int main() {
+  printHeader("Ablation: Class Cache geometry sweep", "sections 5.3.2-5.3.3");
+
+  struct Geometry {
+    unsigned Entries, Ways;
+  };
+  const Geometry Sweeps[] = {{8, 1},  {16, 2}, {32, 2},
+                             {64, 2}, {128, 2}, {128, 4}, {256, 2}};
+
+  std::vector<const Workload *> Set = {
+      findWorkload("ai-astar"), findWorkload("richards"),
+      findWorkload("access-nbody"), findWorkload("box2d"),
+      findWorkload("deltablue")};
+
+  Table T({"geometry", "avg hit rate", "avg speedup (optimized code)",
+           "storage bytes"});
+  for (const Geometry &G : Sweeps) {
+    EngineConfig Cfg;
+    Cfg.ClassCacheEnabled = true;
+    Cfg.Hw.ClassCacheEntries = G.Entries;
+    Cfg.Hw.ClassCacheWays = G.Ways;
+    Avg Hit, Speed;
+    double Bytes = 0;
+    for (const Workload *W : Set) {
+      EngineConfig Base = Cfg;
+      Comparison C = compareConfigs(W->Source, Base);
+      if (!C.Baseline.Ok || !C.ClassCache.Ok) {
+        std::fprintf(stderr, "%s failed\n", W->Name);
+        return 1;
+      }
+      Hit.add(C.ClassCache.Steady.CcHitRate);
+      Speed.add(C.SpeedupOptimized);
+      // Storage from a scratch engine with this geometry.
+      SimMemory Mem;
+      ClassList List(Mem);
+      ClassCache CC(List, G.Entries, G.Ways);
+      Bytes = CC.storageBits() / 8.0;
+    }
+    T.addRow({std::to_string(G.Entries) + " entries, " +
+                  std::to_string(G.Ways) + "-way",
+              Table::pct(Hit.value(), 3),
+              Table::fmt(Speed.value(), 1) + "%", Table::fmt(Bytes, 0)});
+  }
+  std::printf("%s", T.render().c_str());
+  std::printf("\nThe paper's 128-entry 2-way point reaches the hit-rate "
+              "plateau at minimal storage.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+//===- bench/micro_primitives.cpp - google-benchmark micro suite ----------===//
+///
+/// Host-side microbenchmarks of the simulator's hot primitives: shape
+/// lookup, the Class Cache access protocol, the cache hierarchy model,
+/// value tagging and whole-engine steady-state iterations. These guard the
+/// simulator's own performance (a slow simulator limits how much workload
+/// the figures can afford).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+#include "hw/ClassCache.h"
+#include "hw/MemorySystem.h"
+#include "runtime/Heap.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ccjs;
+
+static void BM_ValueTagging(benchmark::State &State) {
+  int32_t I = 0;
+  for (auto _ : State) {
+    Value V = Value::makeSmi(I++);
+    benchmark::DoNotOptimize(V.asSmi());
+  }
+}
+BENCHMARK(BM_ValueTagging);
+
+static void BM_ShapeTransitionLookup(benchmark::State &State) {
+  ShapeTable Shapes;
+  StringInterner Names;
+  InternedString P[8];
+  ShapeId S = Shapes.plainRoot();
+  for (int I = 0; I < 8; ++I) {
+    P[I] = Names.intern("p" + std::to_string(I));
+    S = Shapes.transition(S, P[I]);
+  }
+  unsigned K = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Shapes.lookup(S, P[K & 7]));
+    ++K;
+  }
+}
+BENCHMARK(BM_ShapeTransitionLookup);
+
+static void BM_HeapPropertyAccess(benchmark::State &State) {
+  SimMemory Mem;
+  ShapeTable Shapes;
+  StringInterner Names;
+  Heap H(Mem, Shapes, Names);
+  Value O = H.allocObject(Shapes.plainRoot(), 8);
+  uint64_t Addr = O.asPointer();
+  for (int I = 0; I < 8; ++I)
+    H.addProperty(Addr, Names.intern("f" + std::to_string(I)),
+                  Value::makeSmi(I));
+  unsigned K = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(H.getSlot(Addr, K & 7));
+    ++K;
+  }
+}
+BENCHMARK(BM_HeapPropertyAccess);
+
+static void BM_ClassCacheHit(benchmark::State &State) {
+  SimMemory Mem;
+  ClassList List(Mem);
+  List.write(3, 0, ClassListEntry());
+  ClassCache CC(List, 128, 2);
+  CC.accessStore(3, 0, 4, 7);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(CC.accessStore(3, 0, 4, 7));
+}
+BENCHMARK(BM_ClassCacheHit);
+
+static void BM_ClassCacheMissRefill(benchmark::State &State) {
+  SimMemory Mem;
+  ClassList List(Mem);
+  for (uint8_t C = 0; C < 64; ++C)
+    List.write(C, 0, ClassListEntry());
+  ClassCache CC(List, 8, 2); // Tiny: most accesses miss.
+  uint8_t C = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(CC.accessStore(C, 0, 4, 7));
+    C = (C + 17) & 63;
+  }
+}
+BENCHMARK(BM_ClassCacheMissRefill);
+
+static void BM_MemoryHierarchyAccess(benchmark::State &State) {
+  HwConfig Cfg;
+  MemorySystem M(Cfg);
+  uint64_t A = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(M.access(A));
+    A = (A + 64) & 0xFFFFF;
+  }
+}
+BENCHMARK(BM_MemoryHierarchyAccess);
+
+static void BM_SteadyIteration(benchmark::State &State) {
+  const Workload *W = findWorkload("richards");
+  EngineConfig Cfg;
+  Cfg.ClassCacheEnabled = true;
+  Engine E(Cfg);
+  if (!E.load(W->Source) || !E.runTopLevel())
+    State.SkipWithError("load failed");
+  for (int I = 0; I < 10; ++I)
+    E.callGlobal("run");
+  for (auto _ : State)
+    E.callGlobal("run");
+  State.SetLabel("one steady-state richards iteration (full simulation)");
+}
+BENCHMARK(BM_SteadyIteration)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

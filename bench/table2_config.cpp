@@ -1,0 +1,46 @@
+//===- bench/table2_config.cpp - Table 2 ----------------------------------===//
+///
+/// Prints the simulated micro-architecture configuration (the paper's
+/// Table 2: a Nehalem-like core) plus the timing/energy model constants
+/// this reproduction adds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hw/EnergyModel.h"
+#include "hw/HwConfig.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ccjs;
+
+int main() {
+  HwConfig Cfg;
+  std::printf("Table 2: Simulated micro-architecture configuration\n");
+  std::printf("---------------------------------------------------\n");
+  Table T({"parameter", "value"});
+  auto N = [](unsigned V) { return std::to_string(V); };
+  T.addRow({"Issue width", N(Cfg.IssueWidth)});
+  T.addRow({"Instruction issue queue", N(Cfg.InstrQueue) + " entries"});
+  T.addRow({"Window size", N(Cfg.WindowSize)});
+  T.addRow({"Outstanding load/stores", N(Cfg.OutstandingLoadStores)});
+  T.addRow({"L1 load latency", N(Cfg.L1LoadLatency) + " cycles"});
+  T.addRow({"Itlb", N(Cfg.ItlbEntries) + " entries"});
+  T.addRow({"Dtlb", N(Cfg.DtlbEntries) + " entries"});
+  T.addRow({"Il1 cache", N(Cfg.Il1SizeKB) + " KB, " + N(Cfg.Il1Ways) +
+                             "-way"});
+  T.addRow({"Dl1 cache", N(Cfg.Dl1SizeKB) + " KB, " + N(Cfg.Dl1Ways) +
+                             "-way"});
+  T.addRow({"L2 cache", N(Cfg.L2SizeKB) + " KB, " + N(Cfg.L2Ways) + "-way"});
+  T.addRow({"Class Cache", N(Cfg.ClassCacheEntries) + " entries, " +
+                               N(Cfg.ClassCacheWays) + "-way"});
+  T.addSeparator();
+  T.addRow({"L2 latency (model)", N(Cfg.L2Latency) + " cycles"});
+  T.addRow({"Memory latency (model)", N(Cfg.MemLatency) + " cycles"});
+  T.addRow({"TLB miss penalty (model)", N(Cfg.TlbMissPenalty) + " cycles"});
+  T.addRow({"Branch mispredict penalty", N(Cfg.BranchMispredictPenalty) +
+                                             " cycles"});
+  T.addRow({"OoO stall overlap factor", Table::fmt(Cfg.StallOverlap, 2)});
+  std::printf("%s", T.render().c_str());
+  return 0;
+}

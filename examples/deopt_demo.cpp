@@ -1,0 +1,76 @@
+//===- examples/deopt_demo.cpp - Misspeculation and recovery --------------===//
+///
+/// Demonstrates the full life cycle of a Class Cache speculation
+/// (section 4.2.2): profile -> optimize with checks removed -> a store
+/// breaks the monomorphism -> hardware exception -> the runtime
+/// deoptimizes the dependent function -> execution continues correctly and
+/// the function is recompiled without the broken assumption.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+
+#include <cstdio>
+
+using namespace ccjs;
+
+static const char Source[] = R"js(
+function Particle(v) { this.v = v; }
+var parts = [];
+var i;
+for (i = 0; i < 64; i++) parts[i] = new Particle(i);
+
+function total() {
+  var s = 0;
+  var k;
+  for (k = 0; k < 64; k++) s += parts[k].v;  // v profiled as SMI.
+  return s;
+}
+function run() { print(total()); }
+function breakIt() {
+  parts[13].v = 0.5;  // The SMI slot receives a double: HW exception.
+}
+)js";
+
+int main() {
+  EngineConfig Cfg;
+  Cfg.ClassCacheEnabled = true;
+  Cfg.HotInvocationThreshold = 3;
+  Engine E(Cfg);
+  if (!E.load(Source) || !E.runTopLevel()) {
+    std::fprintf(stderr, "error: %s\n", E.lastError().c_str());
+    return 1;
+  }
+
+  std::printf("Phase 1: warm up; `total` is optimized with its Check SMI "
+              "on parts[k].v elided.\n");
+  for (int I = 0; I < 8; ++I)
+    E.callGlobal("run");
+  const FunctionInfo &Total = E.vm().Funcs[2];
+  std::printf("  total: optimized=%s, exceptions so far=%llu\n",
+              Total.OptValid ? "yes" : "no",
+              static_cast<unsigned long long>(E.vm().CCache.exceptions()));
+
+  std::printf("\nPhase 2: a store writes a HeapNumber into the profiled "
+              "SMI slot.\n");
+  E.callGlobal("breakIt");
+  std::printf("  Class Cache exceptions=%llu, total still optimized=%s\n",
+              static_cast<unsigned long long>(E.vm().CCache.exceptions()),
+              Total.OptValid ? "yes" : "no");
+
+  std::printf("\nPhase 3: execution continues correctly and `total` "
+              "recompiles without\nthe broken assumption.\n");
+  for (int I = 0; I < 6; ++I)
+    E.callGlobal("run");
+  if (E.halted()) {
+    std::fprintf(stderr, "error: %s\n", E.lastError().c_str());
+    return 1;
+  }
+  std::printf("  total: optimized again=%s\n",
+              Total.OptValid ? "yes" : "no");
+
+  std::printf("\nprint() trace (the sum gains 0.5-13=-12.5 after the "
+              "mutation):\n%s",
+              E.output().c_str());
+  return 0;
+}

@@ -1,0 +1,116 @@
+//===- examples/graph_nodes.cpp - The paper's Table 1 example -------------===//
+///
+/// Builds the GraphNode / NodeList scenario of the paper's Table 1 and
+/// prints the resulting Class List entries: which properties are
+/// initialized, which are still monomorphic, which carry speculative
+/// optimizations, and which functions depend on them.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Engine.h"
+
+#include <cstdio>
+
+using namespace ccjs;
+
+static const char Source[] = R"js(
+function Position(x, y) { this.x = x; this.y = y; }
+function GraphNode(id) {
+  this.id = id;
+  this.weight = id * 2;
+  this.flags = 0;
+  this.cost = id + 1;
+  this.visited = 0;
+  this.position = new Position(id, id * 3);
+  this.extra1 = id;
+  this.extra2 = id;
+  this.extra3 = id;   // 9 properties: the object spans two cache lines.
+}
+function NodeList() {
+  this.count = 0;
+  this.generation = 0;
+}
+var list = new NodeList();
+function fill(n) {
+  var i;
+  for (i = 0; i < n; i++) list[i] = new GraphNode(i);
+  list.count = n;
+}
+function findGraphNode(x) {
+  var i;
+  for (i = 0; i < list.count; i++) {
+    var node = list[i];
+    if (node.position.x == x) return node.id;
+  }
+  return -1;
+}
+fill(48);
+function run() {
+  var acc = 0;
+  var q;
+  for (q = 0; q < 96; q++) acc += findGraphNode(q % 48);
+  print(acc);
+}
+)js";
+
+int main() {
+  EngineConfig Cfg;
+  Cfg.ClassCacheEnabled = true;
+  Engine E(Cfg);
+  if (!E.load(Source) || !E.runTopLevel()) {
+    std::fprintf(stderr, "error: %s\n", E.lastError().c_str());
+    return 1;
+  }
+  for (int I = 0; I < 10; ++I)
+    E.callGlobal("run");
+  if (E.halted()) {
+    std::fprintf(stderr, "error: %s\n", E.lastError().c_str());
+    return 1;
+  }
+  VMState &VM = E.vm();
+  VM.CCache.flushDirty();
+
+  Value List = VM.readGlobal(VM.Module.GlobalIndexOf.at("list"));
+  ShapeId ListShape = VM.Heap_.shapeOf(List.asPointer());
+  Value First = VM.Heap_.getElement(List.asPointer(), 0);
+  ShapeId NodeShape = VM.Heap_.shapeOfValue(First);
+
+  auto ClassName = [&VM, NodeShape, ListShape](uint8_t C) -> std::string {
+    if (C == SmiClassId)
+      return "SMI";
+    if (C == VM.Shapes.get(NodeShape).ClassId)
+      return "GraphNode";
+    if (C == VM.Shapes.get(ListShape).ClassId)
+      return "NodeList";
+    const std::vector<ShapeId> &Sh = VM.CList.shapesForClass(C);
+    if (!Sh.empty() && Sh.front() == VM.Shapes.heapNumberShape())
+      return "HeapNumber";
+    if (!Sh.empty()) {
+      const Shape &S = VM.Shapes.get(Sh.front());
+      if (S.AddedName != 0)
+        return "{..." + std::string(VM.Names.text(S.AddedName)) + "}";
+    }
+    return "class" + std::to_string(C);
+  };
+  auto FuncName = [&VM](uint32_t F) {
+    return F < VM.Funcs.size() ? VM.Funcs[F].Fn->Name
+                               : "fn" + std::to_string(F);
+  };
+
+  std::printf("Class List after steady state (paper Table 1):\n\n");
+  std::printf("GraphNode — %u properties over 2 cache lines:\n%s\n",
+              VM.Shapes.get(NodeShape).NumSlots,
+              VM.CList
+                  .dumpClass(VM.Shapes.get(NodeShape).ClassId, 2, ClassName,
+                             FuncName)
+                  .c_str());
+  std::printf("NodeList — elements array profiled at line 0, position 2:\n"
+              "%s\n",
+              VM.CList
+                  .dumpClass(VM.Shapes.get(ListShape).ClassId, 1, ClassName,
+                             FuncName)
+                  .c_str());
+  std::printf("findGraphNode appears in the FunctionLists of the slots it "
+              "speculates on,\nexactly as the paper's Table 1 shows.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- examples/quickstart.cpp - Minimal end-to-end tour ------------------===//
+///
+/// Loads a small MiniJS program, runs it to steady state under both the
+/// baseline and the Class Cache configuration, and prints the headline
+/// numbers: dynamic instruction breakdown, cycles, speedup and energy.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runner.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace ccjs;
+
+static const char Source[] = R"js(
+function Point(x, y) {
+  this.x = x;
+  this.y = y;
+}
+
+function dist2(a, b) {
+  var dx = a.x - b.x;
+  var dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+var points = new Array(0);
+
+function setup() {
+  var i;
+  for (i = 0; i < 512; i = i + 1)
+    points[i] = new Point(i % 64, (i * 7) % 64);
+}
+
+function run() {
+  var sum = 0;
+  var i, j;
+  for (i = 0; i < 512; i = i + 1)
+    for (j = 0; j < 64; j = j + 1)
+      sum = sum + dist2(points[i], points[(i + j) % 512]);
+  print(sum);
+}
+
+setup();
+)js";
+
+int main() {
+  EngineConfig Base;
+  Comparison C = compareConfigs(Source, Base);
+  if (!C.Baseline.Ok || !C.ClassCache.Ok) {
+    std::fprintf(stderr, "error: %s%s\n", C.Baseline.Error.c_str(),
+                 C.ClassCache.Error.c_str());
+    return 1;
+  }
+
+  std::printf("outputs match: %s\n", C.OutputsMatch ? "yes" : "NO");
+  std::printf("checksum (one iteration): %s\n",
+              C.Baseline.Output.substr(0, C.Baseline.Output.find('\n'))
+                  .c_str());
+
+  Table T({"metric", "baseline", "class cache"});
+  const RunStats &B = C.Baseline.Steady;
+  const RunStats &CC = C.ClassCache.Steady;
+  T.addRow({"dynamic instructions", std::to_string(B.Instrs.total()),
+            std::to_string(CC.Instrs.total())});
+  T.addRow({"  checks", std::to_string(B.Instrs.PerCategory[0]),
+            std::to_string(CC.Instrs.PerCategory[0])});
+  T.addRow({"  tags/untags", std::to_string(B.Instrs.PerCategory[1]),
+            std::to_string(CC.Instrs.PerCategory[1])});
+  T.addRow({"cycles (whole app)", Table::fmt(B.CyclesTotal, 0),
+            Table::fmt(CC.CyclesTotal, 0)});
+  T.addRow({"cycles (optimized)", Table::fmt(B.CyclesOptimized, 0),
+            Table::fmt(CC.CyclesOptimized, 0)});
+  T.addRow({"energy (uJ, whole app)",
+            Table::fmt(B.EnergyTotal.total() / 1e6, 2),
+            Table::fmt(CC.EnergyTotal.total() / 1e6, 2)});
+  T.addRow({"class cache hit rate", "-",
+            Table::pct(CC.CcHitRate, 2)});
+  std::printf("%s", T.render().c_str());
+
+  std::printf("speedup: %.1f%% whole app, %.1f%% optimized code\n",
+              C.SpeedupWhole, C.SpeedupOptimized);
+  std::printf("energy reduction: %.1f%% whole app, %.1f%% optimized code\n",
+              C.EnergyReductionWhole, C.EnergyReductionOptimized);
+  return 0;
+}

@@ -1,0 +1,136 @@
+//===- bytecode/Bytecode.h - Stack bytecode ISA -----------------*- C++ -*-===//
+///
+/// \file
+/// The stack-machine bytecode both tiers execute from. The baseline tier
+/// interprets it directly (with inline caches at the Site-carrying
+/// instructions); the optimizing tier translates it, using the collected
+/// feedback, into check-explicit OptIR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_BYTECODE_BYTECODE_H
+#define CCJS_BYTECODE_BYTECODE_H
+
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ccjs {
+
+enum class Opcode : uint8_t {
+  // Constants and simple loads. A = constant pool index / SMI immediate.
+  LdaConst,
+  LdaSmi,
+  LdaUndefined,
+  LdaNull,
+  LdaTrue,
+  LdaFalse,
+  LdaThis,
+
+  // Locals and globals. A = slot index.
+  LdLocal,
+  StLocal, // Pops.
+  LdGlobal,
+  StGlobal, // Pops.
+
+  // Stack management.
+  Pop,
+  Dup,
+
+  // Operators. A = BinaryOp/UnaryOp enum value; BinOp carries a feedback
+  // site.
+  BinOp,
+  UnaOp,
+
+  // Control flow. A = absolute target index. JumpLoop is a back edge and
+  // feeds on-stack-replacement hotness.
+  Jump,
+  JumpLoop,
+  JumpIfFalse, // Pops the condition.
+  JumpIfTrue,  // Pops the condition.
+
+  // Property access. B = interned property name. Stack effects:
+  //   GetProp:  [obj] -> [value]
+  //   SetProp:  [obj, value] -> [value]
+  //   GetElem:  [obj, index] -> [value]
+  //   SetElem:  [obj, index, value] -> [value]
+  //   GetLength:[obj] -> [length]
+  GetProp,
+  SetProp,
+  GetElem,
+  SetElem,
+  GetLength,
+
+  // Literals. CreateObject: A = in-object capacity hint. CreateArray:
+  // A = initial length. AddPropLit (B = name) pops the value, keeping the
+  // object; StElemInit (A = index) pops the value, keeping the array.
+  CreateObject,
+  CreateArray,
+  AddPropLit,
+  StElemInit,
+
+  // Calls. CallGlobal: A = global index of callee, B = argc.
+  // CallMethod: A = argc, B = method name; stack [obj, args...].
+  // CallValue: A = argc; stack [callee, args...].
+  // New: A = global index of constructor, B = argc.
+  CallGlobal,
+  CallMethod,
+  CallValue,
+  New,
+
+  Return, // Pops the result.
+};
+
+/// One bytecode instruction. Field meaning depends on the opcode (see the
+/// Opcode comments); Site indexes the function's feedback vector.
+struct Instr {
+  Opcode Op;
+  int32_t A = 0;
+  uint32_t B = 0;
+  uint16_t Site = 0;
+};
+
+/// A compile-time constant (materialized into heap Values at load time).
+struct ConstEntry {
+  enum KindTy : uint8_t { Number, String } Kind;
+  double Num = 0;
+  std::string Str;
+};
+
+struct BytecodeFunction {
+  std::string Name;
+  uint32_t Index = 0;
+  uint32_t NumParams = 0;
+  uint32_t NumLocals = 0; ///< Includes parameters.
+  std::vector<Instr> Code;
+  std::vector<ConstEntry> Consts;
+  uint16_t NumSites = 0;
+};
+
+/// A compiled program: the function table (entry 0 is the top-level
+/// script) plus the global name table.
+struct BytecodeModule {
+  std::vector<BytecodeFunction> Functions;
+  std::vector<std::string> GlobalNames;
+  std::unordered_map<std::string, uint32_t> GlobalIndexOf;
+
+  uint32_t globalIndex(const std::string &Name) {
+    auto It = GlobalIndexOf.find(Name);
+    if (It != GlobalIndexOf.end())
+      return It->second;
+    uint32_t Idx = static_cast<uint32_t>(GlobalNames.size());
+    GlobalNames.push_back(Name);
+    GlobalIndexOf.emplace(Name, Idx);
+    return Idx;
+  }
+};
+
+/// Renders one function's bytecode for debugging and tests.
+std::string disassemble(const BytecodeFunction &F, const StringInterner &Names);
+
+} // namespace ccjs
+
+#endif // CCJS_BYTECODE_BYTECODE_H

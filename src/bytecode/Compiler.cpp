@@ -1,0 +1,660 @@
+//===- bytecode/Compiler.cpp ----------------------------------------------===//
+
+#include "bytecode/Compiler.h"
+
+#include "support/Assert.h"
+
+#include <cmath>
+#include <unordered_map>
+
+using namespace ccjs;
+
+/// SMI range check for number literals (kept out of Value.h to avoid the
+/// include).
+static bool fitsSmiLiteral(double D) {
+  return D >= -2147483648.0 && D <= 2147483647.0;
+}
+
+namespace {
+
+/// Compiles one function body (or the top-level script) to bytecode.
+class FunctionCompiler {
+public:
+  FunctionCompiler(BytecodeModule &Mod, StringInterner &Names,
+                   bool IsTopLevel)
+      : Mod(Mod), Names(Names), IsTopLevel(IsTopLevel) {}
+
+  bool failed() const { return Failed; }
+  const std::string &error() const { return ErrorMsg; }
+
+  BytecodeFunction compile(std::string Name,
+                           const std::vector<std::string> &Params,
+                           const std::vector<const Stmt *> &Body);
+
+private:
+  struct LoopContext {
+    std::vector<size_t> BreakJumps;
+    std::vector<size_t> ContinueJumps;
+  };
+
+  void fail(const std::string &Msg) {
+    if (!Failed) {
+      Failed = true;
+      ErrorMsg = Msg;
+    }
+  }
+
+  size_t emit(Opcode Op, int32_t A = 0, uint32_t B = 0) {
+    F.Code.push_back(Instr{Op, A, B, 0});
+    return F.Code.size() - 1;
+  }
+  size_t emitSited(Opcode Op, int32_t A = 0, uint32_t B = 0) {
+    F.Code.push_back(Instr{Op, A, B, newSite()});
+    return F.Code.size() - 1;
+  }
+  uint16_t newSite() { return F.NumSites++; }
+  void patchTo(size_t JumpIdx, size_t Target) {
+    F.Code[JumpIdx].A = static_cast<int32_t>(Target);
+  }
+  size_t here() const { return F.Code.size(); }
+
+  uint32_t newTemp() { return F.NumLocals++; }
+
+  int lookupLocal(const std::string &Name) const {
+    auto It = LocalOf.find(Name);
+    return It == LocalOf.end() ? -1 : static_cast<int>(It->second);
+  }
+
+  uint32_t constNumber(double D);
+  uint32_t constString(const std::string &S);
+
+  void hoistVars(const Stmt &S);
+  void compileStmt(const Stmt &S);
+  void compileExpr(const Expr &E);
+  void compileAssign(const AssignExpr &A);
+  void compileUpdate(const UpdateExpr &U);
+  void compileCall(const CallExpr &C);
+  void storeVar(const std::string &Name);
+  void loadVar(const std::string &Name);
+
+  BytecodeModule &Mod;
+  StringInterner &Names;
+  bool IsTopLevel;
+  BytecodeFunction F;
+  std::unordered_map<std::string, uint32_t> LocalOf;
+  std::unordered_map<double, uint32_t> NumConsts;
+  std::unordered_map<std::string, uint32_t> StrConsts;
+  std::vector<LoopContext> Loops;
+  bool Failed = false;
+  std::string ErrorMsg;
+};
+
+} // namespace
+
+uint32_t FunctionCompiler::constNumber(double D) {
+  auto It = NumConsts.find(D);
+  if (It != NumConsts.end())
+    return It->second;
+  uint32_t Idx = static_cast<uint32_t>(F.Consts.size());
+  F.Consts.push_back(ConstEntry{ConstEntry::Number, D, {}});
+  NumConsts.emplace(D, Idx);
+  return Idx;
+}
+
+uint32_t FunctionCompiler::constString(const std::string &S) {
+  auto It = StrConsts.find(S);
+  if (It != StrConsts.end())
+    return It->second;
+  uint32_t Idx = static_cast<uint32_t>(F.Consts.size());
+  F.Consts.push_back(ConstEntry{ConstEntry::String, 0, S});
+  StrConsts.emplace(S, Idx);
+  return Idx;
+}
+
+void FunctionCompiler::hoistVars(const Stmt &S) {
+  switch (S.Kind) {
+  case StmtKind::VarDecl:
+    for (const auto &[Name, Init] : static_cast<const VarDeclStmt &>(S).Decls)
+      if (!IsTopLevel && !LocalOf.count(Name))
+        LocalOf.emplace(Name, F.NumLocals++);
+    return;
+  case StmtKind::Block:
+    for (const StmtPtr &Child : static_cast<const BlockStmt &>(S).Body)
+      hoistVars(*Child);
+    return;
+  case StmtKind::If: {
+    const auto &If = static_cast<const IfStmt &>(S);
+    hoistVars(*If.Then);
+    if (If.Else)
+      hoistVars(*If.Else);
+    return;
+  }
+  case StmtKind::While:
+    hoistVars(*static_cast<const WhileStmt &>(S).Body);
+    return;
+  case StmtKind::DoWhile:
+    hoistVars(*static_cast<const DoWhileStmt &>(S).Body);
+    return;
+  case StmtKind::For: {
+    const auto &For = static_cast<const ForStmt &>(S);
+    if (For.Init)
+      hoistVars(*For.Init);
+    hoistVars(*For.Body);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+BytecodeFunction
+FunctionCompiler::compile(std::string Name,
+                          const std::vector<std::string> &Params,
+                          const std::vector<const Stmt *> &Body) {
+  F.Name = std::move(Name);
+  F.NumParams = static_cast<uint32_t>(Params.size());
+  for (const std::string &P : Params)
+    LocalOf.emplace(P, F.NumLocals++);
+  for (const Stmt *S : Body)
+    hoistVars(*S);
+  for (const Stmt *S : Body) {
+    if (Failed)
+      break;
+    compileStmt(*S);
+  }
+  emit(Opcode::LdaUndefined);
+  emit(Opcode::Return);
+  return std::move(F);
+}
+
+void FunctionCompiler::loadVar(const std::string &Name) {
+  int Local = lookupLocal(Name);
+  if (Local >= 0)
+    emit(Opcode::LdLocal, Local);
+  else
+    emit(Opcode::LdGlobal, static_cast<int32_t>(Mod.globalIndex(Name)));
+}
+
+void FunctionCompiler::storeVar(const std::string &Name) {
+  int Local = lookupLocal(Name);
+  if (Local >= 0)
+    emit(Opcode::StLocal, Local);
+  else
+    emit(Opcode::StGlobal, static_cast<int32_t>(Mod.globalIndex(Name)));
+}
+
+void FunctionCompiler::compileStmt(const Stmt &S) {
+  if (Failed)
+    return;
+  switch (S.Kind) {
+  case StmtKind::Block:
+    for (const StmtPtr &Child : static_cast<const BlockStmt &>(S).Body)
+      compileStmt(*Child);
+    return;
+  case StmtKind::VarDecl: {
+    for (const auto &[Name, Init] :
+         static_cast<const VarDeclStmt &>(S).Decls) {
+      if (!Init)
+        continue;
+      compileExpr(*Init);
+      storeVar(Name);
+    }
+    return;
+  }
+  case StmtKind::ExprStmt:
+    compileExpr(*static_cast<const ExprStmt &>(S).E);
+    emit(Opcode::Pop);
+    return;
+  case StmtKind::If: {
+    const auto &If = static_cast<const IfStmt &>(S);
+    compileExpr(*If.Cond);
+    size_t ToElse = emit(Opcode::JumpIfFalse);
+    compileStmt(*If.Then);
+    if (If.Else) {
+      size_t ToEnd = emit(Opcode::Jump);
+      patchTo(ToElse, here());
+      compileStmt(*If.Else);
+      patchTo(ToEnd, here());
+    } else {
+      patchTo(ToElse, here());
+    }
+    return;
+  }
+  case StmtKind::While: {
+    const auto &W = static_cast<const WhileStmt &>(S);
+    size_t Head = here();
+    compileExpr(*W.Cond);
+    size_t Exit = emit(Opcode::JumpIfFalse);
+    Loops.push_back({});
+    compileStmt(*W.Body);
+    LoopContext Ctx = std::move(Loops.back());
+    Loops.pop_back();
+    for (size_t J : Ctx.ContinueJumps)
+      patchTo(J, here());
+    emit(Opcode::JumpLoop, static_cast<int32_t>(Head));
+    patchTo(Exit, here());
+    for (size_t J : Ctx.BreakJumps)
+      patchTo(J, here());
+    return;
+  }
+  case StmtKind::DoWhile: {
+    const auto &D = static_cast<const DoWhileStmt &>(S);
+    size_t Head = here();
+    Loops.push_back({});
+    compileStmt(*D.Body);
+    LoopContext Ctx = std::move(Loops.back());
+    Loops.pop_back();
+    for (size_t J : Ctx.ContinueJumps)
+      patchTo(J, here());
+    compileExpr(*D.Cond);
+    size_t Exit = emit(Opcode::JumpIfFalse);
+    emit(Opcode::JumpLoop, static_cast<int32_t>(Head));
+    patchTo(Exit, here());
+    for (size_t J : Ctx.BreakJumps)
+      patchTo(J, here());
+    return;
+  }
+  case StmtKind::For: {
+    const auto &For = static_cast<const ForStmt &>(S);
+    if (For.Init)
+      compileStmt(*For.Init);
+    size_t Head = here();
+    size_t Exit = 0;
+    bool HasCond = For.Cond != nullptr;
+    if (HasCond) {
+      compileExpr(*For.Cond);
+      Exit = emit(Opcode::JumpIfFalse);
+    }
+    Loops.push_back({});
+    compileStmt(*For.Body);
+    LoopContext Ctx = std::move(Loops.back());
+    Loops.pop_back();
+    for (size_t J : Ctx.ContinueJumps)
+      patchTo(J, here());
+    if (For.Step) {
+      compileExpr(*For.Step);
+      emit(Opcode::Pop);
+    }
+    emit(Opcode::JumpLoop, static_cast<int32_t>(Head));
+    if (HasCond)
+      patchTo(Exit, here());
+    for (size_t J : Ctx.BreakJumps)
+      patchTo(J, here());
+    return;
+  }
+  case StmtKind::Return: {
+    const auto &R = static_cast<const ReturnStmt &>(S);
+    if (R.Value)
+      compileExpr(*R.Value);
+    else
+      emit(Opcode::LdaUndefined);
+    emit(Opcode::Return);
+    return;
+  }
+  case StmtKind::Break: {
+    if (Loops.empty()) {
+      fail("'break' outside of a loop");
+      return;
+    }
+    Loops.back().BreakJumps.push_back(emit(Opcode::Jump));
+    return;
+  }
+  case StmtKind::Continue: {
+    if (Loops.empty()) {
+      fail("'continue' outside of a loop");
+      return;
+    }
+    Loops.back().ContinueJumps.push_back(emit(Opcode::Jump));
+    return;
+  }
+  case StmtKind::FunctionDecl:
+    // Handled at the program level; nothing to emit here.
+    return;
+  }
+  CCJS_UNREACHABLE("unknown statement kind");
+}
+
+void FunctionCompiler::compileAssign(const AssignExpr &A) {
+  const Expr &Target = *A.Target;
+  if (Target.Kind == ExprKind::Ident) {
+    const std::string &Name = static_cast<const IdentExpr &>(Target).Name;
+    if (A.IsCompound) {
+      loadVar(Name);
+      compileExpr(*A.Value);
+      emitSited(Opcode::BinOp, static_cast<int32_t>(A.Op));
+    } else {
+      compileExpr(*A.Value);
+    }
+    emit(Opcode::Dup);
+    storeVar(Name);
+    return;
+  }
+
+  if (Target.Kind == ExprKind::Member) {
+    const auto &M = static_cast<const MemberExpr &>(Target);
+    uint32_t Name = Names.intern(M.Property);
+    compileExpr(*M.Object);
+    if (!A.IsCompound) {
+      compileExpr(*A.Value);
+      emitSited(Opcode::SetProp, 0, Name);
+      return;
+    }
+    uint32_t TObj = newTemp();
+    emit(Opcode::StLocal, TObj);
+    emit(Opcode::LdLocal, TObj);
+    emit(Opcode::LdLocal, TObj);
+    emitSited(Opcode::GetProp, 0, Name);
+    compileExpr(*A.Value);
+    emitSited(Opcode::BinOp, static_cast<int32_t>(A.Op));
+    emitSited(Opcode::SetProp, 0, Name);
+    return;
+  }
+
+  if (Target.Kind == ExprKind::Index) {
+    const auto &I = static_cast<const IndexExpr &>(Target);
+    compileExpr(*I.Object);
+    compileExpr(*I.Index);
+    if (!A.IsCompound) {
+      compileExpr(*A.Value);
+      emitSited(Opcode::SetElem);
+      return;
+    }
+    uint32_t TObj = newTemp(), TIdx = newTemp();
+    emit(Opcode::StLocal, TIdx);
+    emit(Opcode::StLocal, TObj);
+    emit(Opcode::LdLocal, TObj);
+    emit(Opcode::LdLocal, TIdx);
+    emit(Opcode::LdLocal, TObj);
+    emit(Opcode::LdLocal, TIdx);
+    emitSited(Opcode::GetElem);
+    compileExpr(*A.Value);
+    emitSited(Opcode::BinOp, static_cast<int32_t>(A.Op));
+    emitSited(Opcode::SetElem);
+    return;
+  }
+  fail("invalid assignment target");
+}
+
+void FunctionCompiler::compileUpdate(const UpdateExpr &U) {
+  BinaryOp Op = U.IsIncrement ? BinaryOp::Add : BinaryOp::Sub;
+  const Expr &Target = *U.Target;
+
+  if (Target.Kind == ExprKind::Ident) {
+    const std::string &Name = static_cast<const IdentExpr &>(Target).Name;
+    loadVar(Name);
+    if (U.IsPrefix) {
+      emit(Opcode::LdaSmi, 1);
+      emitSited(Opcode::BinOp, static_cast<int32_t>(Op));
+      emit(Opcode::Dup);
+      storeVar(Name);
+    } else {
+      emit(Opcode::Dup);
+      emit(Opcode::LdaSmi, 1);
+      emitSited(Opcode::BinOp, static_cast<int32_t>(Op));
+      storeVar(Name);
+    }
+    return;
+  }
+
+  if (Target.Kind == ExprKind::Member) {
+    const auto &M = static_cast<const MemberExpr &>(Target);
+    uint32_t Name = Names.intern(M.Property);
+    uint32_t TObj = newTemp(), TOld = newTemp();
+    compileExpr(*M.Object);
+    emit(Opcode::StLocal, TObj);
+    emit(Opcode::LdLocal, TObj);
+    emitSited(Opcode::GetProp, 0, Name);
+    emit(Opcode::StLocal, TOld);
+    emit(Opcode::LdLocal, TObj);
+    emit(Opcode::LdLocal, TOld);
+    emit(Opcode::LdaSmi, 1);
+    emitSited(Opcode::BinOp, static_cast<int32_t>(Op));
+    emitSited(Opcode::SetProp, 0, Name);
+    if (U.IsPrefix)
+      return; // SetProp left the new value on the stack.
+    emit(Opcode::Pop);
+    emit(Opcode::LdLocal, TOld);
+    return;
+  }
+
+  if (Target.Kind == ExprKind::Index) {
+    const auto &I = static_cast<const IndexExpr &>(Target);
+    uint32_t TObj = newTemp(), TIdx = newTemp(), TOld = newTemp();
+    compileExpr(*I.Object);
+    emit(Opcode::StLocal, TObj);
+    compileExpr(*I.Index);
+    emit(Opcode::StLocal, TIdx);
+    emit(Opcode::LdLocal, TObj);
+    emit(Opcode::LdLocal, TIdx);
+    emitSited(Opcode::GetElem);
+    emit(Opcode::StLocal, TOld);
+    emit(Opcode::LdLocal, TObj);
+    emit(Opcode::LdLocal, TIdx);
+    emit(Opcode::LdLocal, TOld);
+    emit(Opcode::LdaSmi, 1);
+    emitSited(Opcode::BinOp, static_cast<int32_t>(Op));
+    emitSited(Opcode::SetElem);
+    if (U.IsPrefix)
+      return;
+    emit(Opcode::Pop);
+    emit(Opcode::LdLocal, TOld);
+    return;
+  }
+  fail("invalid increment/decrement target");
+}
+
+void FunctionCompiler::compileCall(const CallExpr &C) {
+  const Expr &Callee = *C.Callee;
+
+  if (Callee.Kind == ExprKind::Member) {
+    const auto &M = static_cast<const MemberExpr &>(Callee);
+    compileExpr(*M.Object);
+    for (const ExprPtr &Arg : C.Args)
+      compileExpr(*Arg);
+    emitSited(Opcode::CallMethod, static_cast<int32_t>(C.Args.size()),
+              Names.intern(M.Property));
+    return;
+  }
+
+  if (Callee.Kind == ExprKind::Ident) {
+    const std::string &Name = static_cast<const IdentExpr &>(Callee).Name;
+    if (lookupLocal(Name) < 0) {
+      for (const ExprPtr &Arg : C.Args)
+        compileExpr(*Arg);
+      emitSited(Opcode::CallGlobal,
+                static_cast<int32_t>(Mod.globalIndex(Name)),
+                static_cast<uint32_t>(C.Args.size()));
+      return;
+    }
+  }
+
+  // Function value call (local variable, property result, etc.).
+  compileExpr(Callee);
+  for (const ExprPtr &Arg : C.Args)
+    compileExpr(*Arg);
+  emitSited(Opcode::CallValue, static_cast<int32_t>(C.Args.size()));
+}
+
+void FunctionCompiler::compileExpr(const Expr &E) {
+  if (Failed)
+    return;
+  switch (E.Kind) {
+  case ExprKind::NumberLit: {
+    double D = static_cast<const NumberLitExpr &>(E).Value;
+    if (D == std::floor(D) && fitsSmiLiteral(D))
+      emit(Opcode::LdaSmi, static_cast<int32_t>(D));
+    else
+      emit(Opcode::LdaConst, static_cast<int32_t>(constNumber(D)));
+    return;
+  }
+  case ExprKind::StringLit:
+    emit(Opcode::LdaConst,
+         static_cast<int32_t>(
+             constString(static_cast<const StringLitExpr &>(E).Value)));
+    return;
+  case ExprKind::BoolLit:
+    emit(static_cast<const BoolLitExpr &>(E).Value ? Opcode::LdaTrue
+                                                   : Opcode::LdaFalse);
+    return;
+  case ExprKind::NullLit:
+    emit(Opcode::LdaNull);
+    return;
+  case ExprKind::UndefinedLit:
+    emit(Opcode::LdaUndefined);
+    return;
+  case ExprKind::ThisExpr:
+    emit(Opcode::LdaThis);
+    return;
+  case ExprKind::Ident:
+    loadVar(static_cast<const IdentExpr &>(E).Name);
+    return;
+  case ExprKind::Assign:
+    compileAssign(static_cast<const AssignExpr &>(E));
+    return;
+  case ExprKind::Conditional: {
+    const auto &C = static_cast<const ConditionalExpr &>(E);
+    compileExpr(*C.Cond);
+    size_t ToElse = emit(Opcode::JumpIfFalse);
+    compileExpr(*C.Then);
+    size_t ToEnd = emit(Opcode::Jump);
+    patchTo(ToElse, here());
+    compileExpr(*C.Else);
+    patchTo(ToEnd, here());
+    return;
+  }
+  case ExprKind::Binary: {
+    const auto &B = static_cast<const BinaryExpr &>(E);
+    compileExpr(*B.Lhs);
+    compileExpr(*B.Rhs);
+    emitSited(Opcode::BinOp, static_cast<int32_t>(B.Op));
+    return;
+  }
+  case ExprKind::Logical: {
+    const auto &L = static_cast<const LogicalExpr &>(E);
+    compileExpr(*L.Lhs);
+    emit(Opcode::Dup);
+    size_t Short = emit(L.Op == LogicalOp::Or ? Opcode::JumpIfTrue
+                                              : Opcode::JumpIfFalse);
+    emit(Opcode::Pop);
+    compileExpr(*L.Rhs);
+    patchTo(Short, here());
+    return;
+  }
+  case ExprKind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(E);
+    compileExpr(*U.Operand);
+    // Sited so the optimizing tier can record SMI-negation deopt reasons.
+    emitSited(Opcode::UnaOp, static_cast<int32_t>(U.Op));
+    return;
+  }
+  case ExprKind::Update:
+    compileUpdate(static_cast<const UpdateExpr &>(E));
+    return;
+  case ExprKind::Call:
+    compileCall(static_cast<const CallExpr &>(E));
+    return;
+  case ExprKind::New: {
+    const auto &N = static_cast<const NewExpr &>(E);
+    assert(N.Callee->Kind == ExprKind::Ident &&
+           "parser only allows `new Ident(...)`");
+    const std::string &Name =
+        static_cast<const IdentExpr &>(*N.Callee).Name;
+    for (const ExprPtr &Arg : N.Args)
+      compileExpr(*Arg);
+    emitSited(Opcode::New, static_cast<int32_t>(Mod.globalIndex(Name)),
+              static_cast<uint32_t>(N.Args.size()));
+    return;
+  }
+  case ExprKind::Member: {
+    const auto &M = static_cast<const MemberExpr &>(E);
+    compileExpr(*M.Object);
+    if (M.Property == "length")
+      emitSited(Opcode::GetLength);
+    else
+      emitSited(Opcode::GetProp, 0, Names.intern(M.Property));
+    return;
+  }
+  case ExprKind::Index: {
+    const auto &I = static_cast<const IndexExpr &>(E);
+    compileExpr(*I.Object);
+    compileExpr(*I.Index);
+    emitSited(Opcode::GetElem);
+    return;
+  }
+  case ExprKind::ObjectLit: {
+    const auto &O = static_cast<const ObjectLitExpr &>(E);
+    emit(Opcode::CreateObject,
+         static_cast<int32_t>(O.Properties.size()));
+    for (const auto &[Key, ValueExpr] : O.Properties) {
+      compileExpr(*ValueExpr);
+      emitSited(Opcode::AddPropLit, 0, Names.intern(Key));
+    }
+    return;
+  }
+  case ExprKind::ArrayLit: {
+    const auto &A = static_cast<const ArrayLitExpr &>(E);
+    emit(Opcode::CreateArray, static_cast<int32_t>(A.Elements.size()));
+    for (size_t I = 0; I < A.Elements.size(); ++I) {
+      compileExpr(*A.Elements[I]);
+      emit(Opcode::StElemInit, static_cast<int32_t>(I));
+    }
+    return;
+  }
+  }
+  CCJS_UNREACHABLE("unknown expression kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Program compilation
+//===----------------------------------------------------------------------===//
+
+CompileResult ccjs::compileProgram(const Program &Prog,
+                                   StringInterner &Names) {
+  CompileResult Result;
+  BytecodeModule &Mod = Result.Module;
+
+  // Pass 1: assign function indices (entry function is index 0) and global
+  // slots for function names.
+  std::vector<const FunctionDeclStmt *> Decls;
+  std::vector<const Stmt *> TopLevel;
+  Mod.Functions.emplace_back(); // Reserve slot 0 for the entry function.
+  for (const StmtPtr &S : Prog.Body) {
+    if (S->Kind == StmtKind::FunctionDecl) {
+      const auto *Fn = static_cast<const FunctionDeclStmt *>(S.get());
+      Decls.push_back(Fn);
+      Mod.globalIndex(Fn->Name);
+      Mod.Functions.emplace_back();
+    } else {
+      TopLevel.push_back(S.get());
+    }
+  }
+
+  // Pass 2: compile every function.
+  for (size_t I = 0; I < Decls.size(); ++I) {
+    const FunctionDeclStmt *Fn = Decls[I];
+    FunctionCompiler FC(Mod, Names, /*IsTopLevel=*/false);
+    std::vector<const Stmt *> Body;
+    for (const StmtPtr &S : Fn->Body->Body)
+      Body.push_back(S.get());
+    BytecodeFunction Compiled = FC.compile(Fn->Name, Fn->Params, Body);
+    if (FC.failed()) {
+      Result.Ok = false;
+      Result.Error = "in function '" + Fn->Name + "': " + FC.error();
+      return Result;
+    }
+    Compiled.Index = static_cast<uint32_t>(I + 1);
+    Mod.Functions[I + 1] = std::move(Compiled);
+  }
+
+  // Entry function: top-level statements; its vars are globals.
+  FunctionCompiler FC(Mod, Names, /*IsTopLevel=*/true);
+  BytecodeFunction Entry = FC.compile("<main>", {}, TopLevel);
+  if (FC.failed()) {
+    Result.Ok = false;
+    Result.Error = "at top level: " + FC.error();
+    return Result;
+  }
+  Entry.Index = 0;
+  Mod.Functions[0] = std::move(Entry);
+  return Result;
+}

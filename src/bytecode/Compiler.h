@@ -1,0 +1,33 @@
+//===- bytecode/Compiler.h - AST to bytecode --------------------*- C++ -*-===//
+///
+/// \file
+/// Compiles a parsed MiniJS program into a BytecodeModule. Function
+/// declarations become function-table entries; remaining top-level
+/// statements form the entry function. `var` declarations are hoisted to
+/// function scope; unknown identifiers resolve to globals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_BYTECODE_COMPILER_H
+#define CCJS_BYTECODE_COMPILER_H
+
+#include "bytecode/Bytecode.h"
+#include "frontend/Ast.h"
+#include "support/StringInterner.h"
+
+#include <string>
+
+namespace ccjs {
+
+struct CompileResult {
+  BytecodeModule Module;
+  bool Ok = true;
+  std::string Error;
+};
+
+/// Compiles \p Prog, interning property names through \p Names.
+CompileResult compileProgram(const Program &Prog, StringInterner &Names);
+
+} // namespace ccjs
+
+#endif // CCJS_BYTECODE_COMPILER_H

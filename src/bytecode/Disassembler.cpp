@@ -1,0 +1,114 @@
+//===- bytecode/Disassembler.cpp ------------------------------------------===//
+
+#include "bytecode/Bytecode.h"
+
+#include "support/Assert.h"
+
+#include <cstdio>
+
+using namespace ccjs;
+
+static const char *opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::LdaConst:
+    return "LdaConst";
+  case Opcode::LdaSmi:
+    return "LdaSmi";
+  case Opcode::LdaUndefined:
+    return "LdaUndefined";
+  case Opcode::LdaNull:
+    return "LdaNull";
+  case Opcode::LdaTrue:
+    return "LdaTrue";
+  case Opcode::LdaFalse:
+    return "LdaFalse";
+  case Opcode::LdaThis:
+    return "LdaThis";
+  case Opcode::LdLocal:
+    return "LdLocal";
+  case Opcode::StLocal:
+    return "StLocal";
+  case Opcode::LdGlobal:
+    return "LdGlobal";
+  case Opcode::StGlobal:
+    return "StGlobal";
+  case Opcode::Pop:
+    return "Pop";
+  case Opcode::Dup:
+    return "Dup";
+  case Opcode::BinOp:
+    return "BinOp";
+  case Opcode::UnaOp:
+    return "UnaOp";
+  case Opcode::Jump:
+    return "Jump";
+  case Opcode::JumpLoop:
+    return "JumpLoop";
+  case Opcode::JumpIfFalse:
+    return "JumpIfFalse";
+  case Opcode::JumpIfTrue:
+    return "JumpIfTrue";
+  case Opcode::GetProp:
+    return "GetProp";
+  case Opcode::SetProp:
+    return "SetProp";
+  case Opcode::GetElem:
+    return "GetElem";
+  case Opcode::SetElem:
+    return "SetElem";
+  case Opcode::GetLength:
+    return "GetLength";
+  case Opcode::CreateObject:
+    return "CreateObject";
+  case Opcode::CreateArray:
+    return "CreateArray";
+  case Opcode::AddPropLit:
+    return "AddPropLit";
+  case Opcode::StElemInit:
+    return "StElemInit";
+  case Opcode::CallGlobal:
+    return "CallGlobal";
+  case Opcode::CallMethod:
+    return "CallMethod";
+  case Opcode::CallValue:
+    return "CallValue";
+  case Opcode::New:
+    return "New";
+  case Opcode::Return:
+    return "Return";
+  }
+  CCJS_UNREACHABLE("unknown opcode");
+}
+
+static bool opcodeUsesName(Opcode Op) {
+  return Op == Opcode::GetProp || Op == Opcode::SetProp ||
+         Op == Opcode::AddPropLit || Op == Opcode::CallMethod;
+}
+
+std::string ccjs::disassemble(const BytecodeFunction &F,
+                              const StringInterner &Names) {
+  std::string Out = "function " + F.Name + " (params=" +
+                    std::to_string(F.NumParams) +
+                    ", locals=" + std::to_string(F.NumLocals) + ")\n";
+  char Buf[128];
+  for (size_t I = 0; I < F.Code.size(); ++I) {
+    const Instr &In = F.Code[I];
+    std::snprintf(Buf, sizeof(Buf), "  %4zu  %-13s A=%-6d", I,
+                  opcodeName(In.Op), In.A);
+    Out += Buf;
+    if (opcodeUsesName(In.Op)) {
+      Out += " name=";
+      Out += std::string(Names.text(In.B));
+    } else if (In.B != 0) {
+      Out += " B=" + std::to_string(In.B);
+    }
+    if (In.Op == Opcode::LdaConst) {
+      const ConstEntry &C = F.Consts[In.A];
+      Out += C.Kind == ConstEntry::Number
+                 ? " (" + std::to_string(C.Num) + ")"
+                 : " (\"" + C.Str + "\")";
+    }
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,244 @@
+//===- core/Engine.cpp ----------------------------------------------------===//
+
+#include "core/Engine.h"
+
+#include "bytecode/Compiler.h"
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "jit/Jit.h"
+#include "runtime/Operations.h"
+#include "support/Assert.h"
+#include "vm/Builtins.h"
+
+using namespace ccjs;
+
+Engine::Engine(const EngineConfig &Config)
+    : VM(std::make_unique<VMState>(Config)) {
+  VM->Invoke = &Engine::dispatchInvoke;
+  VM->InterpretFrom = &ccjs::interpretFrom;
+  VM->CallBuiltinFn = &ccjs::callBuiltin;
+  VM->OnClassCacheInvalidation = &Engine::handleInvalidation;
+  VM->GenericCallMethod = &Engine::genericCallMethod;
+
+  if (VM->Config.ClassCacheEnabled) {
+    VM->CList.bootstrapExisting(VM->Shapes);
+    ClassList *CL = &VM->CList;
+    ClassCache *CC = &VM->CCache;
+    ShapeTable *ST = &VM->Shapes;
+    VM->Shapes.setCreationHook([CL, CC, ST](ShapeId Id) {
+      // Synchronize the parent's (possibly dirty) Class Cache entries to
+      // memory before the new class inherits its profile.
+      ShapeId Parent = ST->get(Id).Parent;
+      if (Parent != InvalidShape &&
+          ST->get(Parent).ClassId < UntrackedClassId)
+        CC->writebackClass(ST->get(Parent).ClassId);
+      CL->onShapeCreated(*ST, Id);
+    });
+  }
+}
+
+Engine::~Engine() {
+  for (FunctionInfo &FI : VM->Funcs)
+    delete FI.Opt;
+}
+
+bool Engine::load(std::string_view Source) {
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.Ok) {
+    VM->halt("syntax error at line " + std::to_string(Parsed.ErrorLine) +
+             ": " + Parsed.Error);
+    return false;
+  }
+  CompileResult Compiled = compileProgram(Parsed.Prog, VM->Names);
+  if (!Compiled.Ok) {
+    VM->halt("compile error: " + Compiled.Error);
+    return false;
+  }
+  VM->Module = std::move(Compiled.Module);
+
+  VM->Funcs.resize(VM->Module.Functions.size());
+  for (size_t I = 0; I < VM->Module.Functions.size(); ++I)
+    VM->Funcs[I].Fn = &VM->Module.Functions[I];
+
+  // Globals live in simulated memory; initialize to undefined.
+  VM->NumGlobals = static_cast<uint32_t>(VM->Module.GlobalNames.size());
+  VM->GlobalsAddr =
+      VM->Mem.allocate(std::max<uint64_t>(VM->NumGlobals, 1) * 8, 64);
+  for (uint32_t I = 0; I < VM->NumGlobals; ++I)
+    VM->writeGlobal(I, VM->Heap_.undefined());
+
+  // Bind declared functions and the runtime globals.
+  for (size_t I = 1; I < VM->Module.Functions.size(); ++I) {
+    const BytecodeFunction &F = VM->Module.Functions[I];
+    auto It = VM->Module.GlobalIndexOf.find(F.Name);
+    assert(It != VM->Module.GlobalIndexOf.end() &&
+           "function name missing from globals");
+    VM->writeGlobal(It->second,
+                    VM->Heap_.allocFunction(static_cast<uint32_t>(I)));
+  }
+  installRuntimeGlobals(*VM);
+
+  for (FunctionInfo &FI : VM->Funcs)
+    FI.Feedback.assign(FI.Fn->NumSites, SiteFeedback());
+  return true;
+}
+
+bool Engine::runTopLevel() {
+  interpretCall(*VM, 0, VM->Heap_.undefined(), nullptr, 0);
+  return !VM->Halted;
+}
+
+Value Engine::callGlobal(const std::string &Name,
+                         const std::vector<Value> &Args) {
+  auto It = VM->Module.GlobalIndexOf.find(Name);
+  if (It == VM->Module.GlobalIndexOf.end()) {
+    VM->halt("no global named '" + Name + "'");
+    return VM->Heap_.undefined();
+  }
+  Value Callee = VM->readGlobal(It->second);
+  if (!Callee.isPointer() || !VM->Heap_.isFunction(Callee)) {
+    VM->halt("global '" + Name + "' is not a function");
+    return VM->Heap_.undefined();
+  }
+  uint32_t Target = VM->Heap_.functionIndex(Callee.asPointer());
+  if (isBuiltinIndex(Target))
+    return callBuiltin(*VM, Target, VM->Heap_.undefined(), Args.data(),
+                       static_cast<uint32_t>(Args.size()));
+  return dispatchInvoke(*VM, Target, VM->Heap_.undefined(), Args.data(),
+                        static_cast<uint32_t>(Args.size()));
+}
+
+//===----------------------------------------------------------------------===//
+// Tier dispatch
+//===----------------------------------------------------------------------===//
+
+Value Engine::dispatchInvoke(VMState &VM, uint32_t FuncIndex, Value ThisV,
+                             const Value *Args, uint32_t Argc) {
+  FunctionInfo &FI = VM.Funcs[FuncIndex];
+  if (FI.Opt && FI.OptValid)
+    return runOptimized(VM, FuncIndex, ThisV, Args, Argc);
+
+  ++FI.InvocationCount;
+  bool Hot = FI.InvocationCount > VM.Config.HotInvocationThreshold ||
+             FI.BackEdgeTrips > VM.Config.HotLoopThreshold;
+  if (Hot && !FI.OptDisabled) {
+    delete FI.Opt;
+    FI.Opt = compileOptimized(VM, FuncIndex);
+    FI.OptValid = FI.Opt != nullptr;
+    ++VM.OptCompiles;
+    if (FI.OptValid)
+      return runOptimized(VM, FuncIndex, ThisV, Args, Argc);
+  }
+  return interpretCall(VM, FuncIndex, ThisV, Args, Argc);
+}
+
+void Engine::handleInvalidation(VMState &VM, uint8_t ClassId, uint8_t Line,
+                                uint8_t Pos) {
+  std::vector<std::pair<uint8_t, uint8_t>> Touched;
+  std::vector<uint32_t> Deopt = VM.CList.invalidateWithDescendants(
+      VM.Shapes, ClassId, Line, Pos, Touched);
+  for (const auto &[C, L] : Touched)
+    VM.CCache.syncInvalidatedEntry(C, L);
+  // The exception routine runs in the runtime; a bare invalidation with no
+  // dependent functions is a short interrupt.
+  VM.Ctx.alu(InstrCategory::RestOfCode,
+             Deopt.empty() ? 30 : VM.Config.Hw.ClassCacheExceptionCost);
+  for (uint32_t F : Deopt) {
+    FunctionInfo &FI = VM.Funcs[F];
+    FI.OptValid = false;
+    // Unlike a stale-feedback deopt, the code itself was correct; it will
+    // be recompiled immediately without the broken assumption.
+  }
+}
+
+Value Engine::genericCallMethod(VMState &VM, Value Receiver, uint32_t Name,
+                                const Value *Args, uint32_t Argc) {
+  Heap &H = VM.Heap_;
+  std::string_view NameText = VM.Names.text(Name);
+
+  if (Receiver.isPointer() && H.isString(Receiver)) {
+    static const std::pair<std::string_view, BuiltinId> StringMethods[] = {
+        {"charCodeAt", BuiltinId::StrCharCodeAt},
+        {"charAt", BuiltinId::StrCharAt},
+        {"substring", BuiltinId::StrSubstring},
+        {"indexOf", BuiltinId::StrIndexOf},
+        {"split", BuiltinId::StrSplit},
+        {"toUpperCase", BuiltinId::StrToUpperCase},
+        {"toLowerCase", BuiltinId::StrToLowerCase},
+    };
+    for (const auto &[MName, Id] : StringMethods)
+      if (NameText == MName)
+        return callBuiltin(VM, indexOfBuiltin(Id), Receiver, Args, Argc);
+    VM.halt("unknown string method '" + std::string(NameText) + "'");
+    return H.undefined();
+  }
+
+  if (!Receiver.isPointer() || !H.isPlainObject(Receiver)) {
+    VM.halt("method call on a non-object value");
+    return H.undefined();
+  }
+  uint64_t Addr = Receiver.asPointer();
+  std::optional<uint32_t> Found =
+      VM.Shapes.lookup(H.shapeOf(Addr), Name);
+  if (Found) {
+    Value Method = H.getSlot(Addr, *Found);
+    if (Method.isPointer() && H.isFunction(Method)) {
+      VM.Ctx.load(InstrCategory::RestOfCode,
+                  H.slotAddress(Addr, *Found, nullptr));
+      uint32_t Target = H.functionIndex(Method.asPointer());
+      if (isBuiltinIndex(Target))
+        return callBuiltin(VM, Target, Receiver, Args, Argc);
+      return VM.Invoke(VM, Target, Receiver, Args, Argc);
+    }
+  }
+  static const std::pair<std::string_view, BuiltinId> ArrayMethods[] = {
+      {"push", BuiltinId::ArrPush},
+      {"pop", BuiltinId::ArrPop},
+      {"join", BuiltinId::ArrJoin},
+      {"indexOf", BuiltinId::ArrIndexOf},
+  };
+  for (const auto &[MName, Id] : ArrayMethods)
+    if (NameText == MName)
+      return callBuiltin(VM, indexOfBuiltin(Id), Receiver, Args, Argc);
+  VM.halt("call of missing method '" + std::string(NameText) + "'");
+  return H.undefined();
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+void Engine::resetStats() {
+  VM->Ctx.resetStats();
+  VM->Profiler.resetLoadCounts();
+}
+
+RunStats Engine::stats() const {
+  RunStats S;
+  const ExecContext &Ctx = VM->Ctx;
+  S.Instrs = Ctx.instrs();
+  S.CyclesOptimized = Ctx.optimizedCycles();
+  S.CyclesRest = Ctx.restCycles();
+  S.CyclesTotal = Ctx.totalCycles();
+  S.EnergyTotal = EnergyModel::total(Ctx);
+  S.EnergyOptimized = EnergyModel::optimizedOnly(Ctx);
+  S.Loads = VM->Profiler.summarize();
+
+  S.Dl1HitRate = Ctx.memory().dl1().hitRate();
+  S.L2HitRate = Ctx.memory().l2().hitRate();
+  S.DtlbHitRate = Ctx.memory().dtlb().hitRate();
+  S.Dl1Accesses = Ctx.memory().dl1().accesses();
+  S.L2Accesses = Ctx.memory().l2().accesses();
+
+  S.CcAccesses = VM->CCache.accesses();
+  S.CcMisses = VM->CCache.misses();
+  S.CcExceptions = VM->CCache.exceptions();
+  S.CcHitRate = VM->CCache.hitRate();
+
+  S.NumHiddenClasses = VM->Shapes.numPlainShapes();
+  S.Heap = VM->Heap_.stats();
+  S.OptCompiles = VM->OptCompiles;
+  for (const FunctionInfo &FI : VM->Funcs)
+    S.Deopts += FI.DeoptCount;
+  return S;
+}

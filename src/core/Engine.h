@@ -1,0 +1,83 @@
+//===- core/Engine.h - Engine facade ----------------------------*- C++ -*-===//
+///
+/// \file
+/// The public entry point of the library: an Engine owns the whole stack
+/// (frontend, heap, both execution tiers, hardware models) for one
+/// configuration. Typical use:
+///
+/// \code
+///   ccjs::EngineConfig Config;
+///   Config.ClassCacheEnabled = true;
+///   ccjs::Engine Engine(Config);
+///   if (!Engine.load(Source))
+///     report(Engine.lastError());
+///   Engine.runTopLevel();
+///   Engine.resetStats();               // Warm up first, then measure.
+///   Engine.callGlobal("run");
+///   ccjs::RunStats S = Engine.stats(); // Cycles, energy, breakdowns...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_CORE_ENGINE_H
+#define CCJS_CORE_ENGINE_H
+
+#include "core/Stats.h"
+#include "vm/VMState.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccjs {
+
+class Engine {
+public:
+  explicit Engine(const EngineConfig &Config);
+  ~Engine();
+
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// Parses and compiles \p Source; installs runtime globals. Returns
+  /// false (see lastError()) on a syntax or compile error.
+  bool load(std::string_view Source);
+
+  /// Executes the top-level statements. Returns false on a runtime error.
+  bool runTopLevel();
+
+  /// Invokes a global function by name. Halts the VM (see lastError()) if
+  /// it does not exist.
+  Value callGlobal(const std::string &Name,
+                   const std::vector<Value> &Args = {});
+
+  const std::string &lastError() const { return VM->Error; }
+  bool halted() const { return VM->Halted; }
+
+  /// Accumulated print() output.
+  const std::string &output() const { return VM->Output; }
+
+  /// Zeroes all measurement counters; engine/hardware state stays warm.
+  void resetStats();
+
+  /// Collects the current measurement counters into a report.
+  RunStats stats() const;
+
+  VMState &vm() { return *VM; }
+  const VMState &vm() const { return *VM; }
+
+private:
+  static Value dispatchInvoke(VMState &VM, uint32_t FuncIndex, Value ThisV,
+                              const Value *Args, uint32_t Argc);
+  static void handleInvalidation(VMState &VM, uint8_t ClassId, uint8_t Line,
+                                 uint8_t Pos);
+  static Value genericCallMethod(VMState &VM, Value Receiver, uint32_t Name,
+                                 const Value *Args, uint32_t Argc);
+
+  std::unique_ptr<VMState> VM;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_CORE_ENGINE_H

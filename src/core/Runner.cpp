@@ -1,0 +1,62 @@
+//===- core/Runner.cpp ----------------------------------------------------===//
+
+#include "core/Runner.h"
+
+using namespace ccjs;
+
+BenchRun ccjs::runSteadyState(const EngineConfig &Config,
+                              std::string_view Source, int Iterations) {
+  BenchRun R;
+  Engine E(Config);
+  if (!E.load(Source) || !E.runTopLevel()) {
+    R.Error = E.lastError();
+    return R;
+  }
+  for (int I = 0; I < Iterations; ++I) {
+    if (I == Iterations - 1)
+      E.resetStats();
+    E.callGlobal("run");
+    if (E.halted()) {
+      R.Error = E.lastError();
+      return R;
+    }
+  }
+  R.Ok = true;
+  R.Steady = E.stats();
+  R.Output = E.output();
+  return R;
+}
+
+Comparison ccjs::compareConfigs(std::string_view Source,
+                                const EngineConfig &Base, int Iterations) {
+  Comparison C;
+
+  EngineConfig BaselineCfg = Base;
+  BaselineCfg.ClassCacheEnabled = false;
+  C.Baseline = runSteadyState(BaselineCfg, Source, Iterations);
+
+  EngineConfig CcCfg = Base;
+  CcCfg.ClassCacheEnabled = true;
+  C.ClassCache = runSteadyState(CcCfg, Source, Iterations);
+
+  if (!C.Baseline.Ok || !C.ClassCache.Ok)
+    return C;
+  C.OutputsMatch = C.Baseline.Output == C.ClassCache.Output;
+
+  auto Pct = [](double Base, double New) {
+    return New > 0 ? (Base / New - 1.0) * 100.0 : 0.0;
+  };
+  C.SpeedupWhole =
+      Pct(C.Baseline.Steady.CyclesTotal, C.ClassCache.Steady.CyclesTotal);
+  C.SpeedupOptimized = Pct(C.Baseline.Steady.CyclesOptimized,
+                           C.ClassCache.Steady.CyclesOptimized);
+  auto Red = [](double Base, double New) {
+    return Base > 0 ? (1.0 - New / Base) * 100.0 : 0.0;
+  };
+  C.EnergyReductionWhole = Red(C.Baseline.Steady.EnergyTotal.total(),
+                               C.ClassCache.Steady.EnergyTotal.total());
+  C.EnergyReductionOptimized =
+      Red(C.Baseline.Steady.EnergyOptimized.total(),
+          C.ClassCache.Steady.EnergyOptimized.total());
+  return C;
+}

@@ -1,0 +1,59 @@
+//===- core/Runner.h - Steady-state benchmark protocol ----------*- C++ -*-===//
+///
+/// \file
+/// The measurement protocol of the paper (section 5): load a workload, run
+/// its top level (setup), execute its `run()` function ten times and take
+/// statistics from the tenth iteration only — by then hot functions run as
+/// optimized code and the caches are warm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_CORE_RUNNER_H
+#define CCJS_CORE_RUNNER_H
+
+#include "core/Engine.h"
+
+#include <string>
+#include <string_view>
+
+namespace ccjs {
+
+/// Result of one steady-state run under one configuration.
+struct BenchRun {
+  bool Ok = false;
+  std::string Error;
+  /// Statistics of the measured (last) iteration.
+  RunStats Steady;
+  /// print() output of all iterations (checksum verification).
+  std::string Output;
+};
+
+inline constexpr int DefaultIterations = 10;
+
+/// Runs \p Source under \p Config: top level once, then `run()`
+/// \p Iterations times, measuring the last.
+BenchRun runSteadyState(const EngineConfig &Config, std::string_view Source,
+                        int Iterations = DefaultIterations);
+
+/// Baseline-vs-mechanism comparison for one workload (figures 8 and 9).
+struct Comparison {
+  BenchRun Baseline;
+  BenchRun ClassCache;
+  /// Speedup percentages ((base/cc - 1) * 100).
+  double SpeedupWhole = 0;
+  double SpeedupOptimized = 0;
+  /// Energy reduction percentages ((1 - cc/base) * 100).
+  double EnergyReductionWhole = 0;
+  double EnergyReductionOptimized = 0;
+  /// True when both runs completed and printed identical output.
+  bool OutputsMatch = false;
+};
+
+/// Runs \p Source under the baseline and the Class Cache configuration
+/// (both derived from \p Base) and reports speedups and energy savings.
+Comparison compareConfigs(std::string_view Source, const EngineConfig &Base,
+                          int Iterations = DefaultIterations);
+
+} // namespace ccjs
+
+#endif // CCJS_CORE_RUNNER_H

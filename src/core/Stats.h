@@ -1,0 +1,65 @@
+//===- core/Stats.h - Run statistics ----------------------------*- C++ -*-===//
+///
+/// \file
+/// The measurement report one engine run produces: dynamic instruction
+/// breakdown, cycles, energy, monomorphism statistics and hardware
+/// counters — everything the paper's tables and figures are built from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_CORE_STATS_H
+#define CCJS_CORE_STATS_H
+
+#include "hw/EnergyModel.h"
+#include "profile/Categories.h"
+#include "runtime/Heap.h"
+
+#include <cstdint>
+
+namespace ccjs {
+
+struct RunStats {
+  InstrCounters Instrs;
+
+  double CyclesTotal = 0;
+  double CyclesOptimized = 0;
+  double CyclesRest = 0;
+
+  EnergyBreakdown EnergyTotal;
+  EnergyBreakdown EnergyOptimized;
+
+  // Figure 3 / section 5.3.4.
+  ObjectLoadCounters Loads;
+
+  // Memory hierarchy.
+  double Dl1HitRate = 1;
+  double L2HitRate = 1;
+  double DtlbHitRate = 1;
+  uint64_t Dl1Accesses = 0;
+  uint64_t L2Accesses = 0;
+
+  // Class Cache (sections 5.3.2/5.3.3).
+  uint64_t CcAccesses = 0;
+  uint64_t CcMisses = 0;
+  uint64_t CcExceptions = 0;
+  double CcHitRate = 1;
+
+  // Warm-up (section 5.3.1) and object sizes (section 5.3.4).
+  size_t NumHiddenClasses = 0;
+  HeapStats Heap;
+
+  // Engine-level.
+  uint64_t OptCompiles = 0;
+  uint64_t Deopts = 0;
+
+  /// Fraction of dynamic instructions in \p Cat relative to the whole run.
+  double categoryShare(InstrCategory Cat) const {
+    uint64_t T = Instrs.total();
+    return T == 0 ? 0
+                  : double(Instrs.PerCategory[unsigned(Cat)]) / double(T);
+  }
+};
+
+} // namespace ccjs
+
+#endif // CCJS_CORE_STATS_H

@@ -1,0 +1,309 @@
+//===- frontend/Ast.h - MiniJS abstract syntax tree ------------*- C++ -*-===//
+///
+/// \file
+/// AST node definitions for MiniJS. Nodes form a small class hierarchy with
+/// an explicit kind tag; ownership is expressed with std::unique_ptr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_FRONTEND_AST_H
+#define CCJS_FRONTEND_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccjs {
+
+enum class ExprKind : uint8_t {
+  NumberLit,
+  StringLit,
+  BoolLit,
+  NullLit,
+  UndefinedLit,
+  ThisExpr,
+  Ident,
+  Assign,
+  Conditional,
+  Binary,
+  Logical,
+  Unary,
+  Update,
+  Call,
+  New,
+  Member,
+  Index,
+  ObjectLit,
+  ArrayLit,
+};
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Shl,
+  Sar,
+  Shr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  StrictEq,
+  StrictNe,
+};
+
+enum class LogicalOp : uint8_t { And, Or };
+
+enum class UnaryOp : uint8_t { Neg, Plus, Not, BitNot, Typeof };
+
+struct Expr {
+  ExprKind Kind;
+  uint32_t Line = 0;
+
+  explicit Expr(ExprKind Kind) : Kind(Kind) {}
+  virtual ~Expr() = default;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct NumberLitExpr : Expr {
+  double Value;
+  explicit NumberLitExpr(double Value)
+      : Expr(ExprKind::NumberLit), Value(Value) {}
+};
+
+struct StringLitExpr : Expr {
+  std::string Value;
+  explicit StringLitExpr(std::string Value)
+      : Expr(ExprKind::StringLit), Value(std::move(Value)) {}
+};
+
+struct BoolLitExpr : Expr {
+  bool Value;
+  explicit BoolLitExpr(bool Value) : Expr(ExprKind::BoolLit), Value(Value) {}
+};
+
+struct NullLitExpr : Expr {
+  NullLitExpr() : Expr(ExprKind::NullLit) {}
+};
+
+struct UndefinedLitExpr : Expr {
+  UndefinedLitExpr() : Expr(ExprKind::UndefinedLit) {}
+};
+
+struct ThisExpr : Expr {
+  ThisExpr() : Expr(ExprKind::ThisExpr) {}
+};
+
+struct IdentExpr : Expr {
+  std::string Name;
+  explicit IdentExpr(std::string Name)
+      : Expr(ExprKind::Ident), Name(std::move(Name)) {}
+};
+
+/// Assignment, including compound forms. For compound assignment, Op holds
+/// the arithmetic operator; for plain '=', Op is unset.
+struct AssignExpr : Expr {
+  ExprPtr Target; // Ident, Member or Index expression.
+  ExprPtr Value;
+  bool IsCompound = false;
+  BinaryOp Op = BinaryOp::Add;
+  AssignExpr(ExprPtr Target, ExprPtr Value)
+      : Expr(ExprKind::Assign), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+};
+
+struct ConditionalExpr : Expr {
+  ExprPtr Cond, Then, Else;
+  ConditionalExpr(ExprPtr Cond, ExprPtr Then, ExprPtr Else)
+      : Expr(ExprKind::Conditional), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+};
+
+struct BinaryExpr : Expr {
+  BinaryOp Op;
+  ExprPtr Lhs, Rhs;
+  BinaryExpr(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs)
+      : Expr(ExprKind::Binary), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+};
+
+struct LogicalExpr : Expr {
+  LogicalOp Op;
+  ExprPtr Lhs, Rhs;
+  LogicalExpr(LogicalOp Op, ExprPtr Lhs, ExprPtr Rhs)
+      : Expr(ExprKind::Logical), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+};
+
+struct UnaryExpr : Expr {
+  UnaryOp Op;
+  ExprPtr Operand;
+  UnaryExpr(UnaryOp Op, ExprPtr Operand)
+      : Expr(ExprKind::Unary), Op(Op), Operand(std::move(Operand)) {}
+};
+
+/// Prefix or postfix ++/--.
+struct UpdateExpr : Expr {
+  ExprPtr Target; // Ident, Member or Index expression.
+  bool IsIncrement;
+  bool IsPrefix;
+  UpdateExpr(ExprPtr Target, bool IsIncrement, bool IsPrefix)
+      : Expr(ExprKind::Update), Target(std::move(Target)),
+        IsIncrement(IsIncrement), IsPrefix(IsPrefix) {}
+};
+
+struct CallExpr : Expr {
+  ExprPtr Callee; // Ident (direct call) or Member (method call).
+  std::vector<ExprPtr> Args;
+  CallExpr(ExprPtr Callee, std::vector<ExprPtr> Args)
+      : Expr(ExprKind::Call), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+};
+
+struct NewExpr : Expr {
+  ExprPtr Callee;
+  std::vector<ExprPtr> Args;
+  NewExpr(ExprPtr Callee, std::vector<ExprPtr> Args)
+      : Expr(ExprKind::New), Callee(std::move(Callee)), Args(std::move(Args)) {}
+};
+
+struct MemberExpr : Expr {
+  ExprPtr Object;
+  std::string Property;
+  MemberExpr(ExprPtr Object, std::string Property)
+      : Expr(ExprKind::Member), Object(std::move(Object)),
+        Property(std::move(Property)) {}
+};
+
+struct IndexExpr : Expr {
+  ExprPtr Object, Index;
+  IndexExpr(ExprPtr Object, ExprPtr Index)
+      : Expr(ExprKind::Index), Object(std::move(Object)),
+        Index(std::move(Index)) {}
+};
+
+struct ObjectLitExpr : Expr {
+  std::vector<std::pair<std::string, ExprPtr>> Properties;
+  ObjectLitExpr() : Expr(ExprKind::ObjectLit) {}
+};
+
+struct ArrayLitExpr : Expr {
+  std::vector<ExprPtr> Elements;
+  ArrayLitExpr() : Expr(ExprKind::ArrayLit) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Block,
+  VarDecl,
+  ExprStmt,
+  If,
+  While,
+  DoWhile,
+  For,
+  Return,
+  Break,
+  Continue,
+  FunctionDecl,
+};
+
+struct Stmt {
+  StmtKind Kind;
+  uint32_t Line = 0;
+  explicit Stmt(StmtKind Kind) : Kind(Kind) {}
+  virtual ~Stmt() = default;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct BlockStmt : Stmt {
+  std::vector<StmtPtr> Body;
+  BlockStmt() : Stmt(StmtKind::Block) {}
+};
+
+struct VarDeclStmt : Stmt {
+  /// Declared names with optional initializers (null when absent).
+  std::vector<std::pair<std::string, ExprPtr>> Decls;
+  VarDeclStmt() : Stmt(StmtKind::VarDecl) {}
+};
+
+struct ExprStmt : Stmt {
+  ExprPtr E;
+  explicit ExprStmt(ExprPtr E) : Stmt(StmtKind::ExprStmt), E(std::move(E)) {}
+};
+
+struct IfStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; // May be null.
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : Stmt(StmtKind::If), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+};
+
+struct WhileStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Body;
+  WhileStmt(ExprPtr Cond, StmtPtr Body)
+      : Stmt(StmtKind::While), Cond(std::move(Cond)), Body(std::move(Body)) {}
+};
+
+struct DoWhileStmt : Stmt {
+  StmtPtr Body;
+  ExprPtr Cond;
+  DoWhileStmt(StmtPtr Body, ExprPtr Cond)
+      : Stmt(StmtKind::DoWhile), Body(std::move(Body)), Cond(std::move(Cond)) {}
+};
+
+struct ForStmt : Stmt {
+  StmtPtr Init; // VarDecl or ExprStmt; may be null.
+  ExprPtr Cond; // May be null (infinite).
+  ExprPtr Step; // May be null.
+  StmtPtr Body;
+  ForStmt() : Stmt(StmtKind::For) {}
+};
+
+struct ReturnStmt : Stmt {
+  ExprPtr Value; // May be null.
+  explicit ReturnStmt(ExprPtr Value)
+      : Stmt(StmtKind::Return), Value(std::move(Value)) {}
+};
+
+struct BreakStmt : Stmt {
+  BreakStmt() : Stmt(StmtKind::Break) {}
+};
+
+struct ContinueStmt : Stmt {
+  ContinueStmt() : Stmt(StmtKind::Continue) {}
+};
+
+/// Top-level function declaration. MiniJS supports functions only at the
+/// program top level (no closures); see DESIGN.md for the language subset.
+struct FunctionDeclStmt : Stmt {
+  std::string Name;
+  std::vector<std::string> Params;
+  std::unique_ptr<BlockStmt> Body;
+  FunctionDeclStmt() : Stmt(StmtKind::FunctionDecl) {}
+};
+
+/// A parsed program: top-level statements, including function declarations.
+struct Program {
+  std::vector<StmtPtr> Body;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_FRONTEND_AST_H

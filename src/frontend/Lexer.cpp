@@ -1,0 +1,450 @@
+//===- frontend/Lexer.cpp -------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include "support/Assert.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+
+using namespace ccjs;
+
+const char *ccjs::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "error";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::String:
+    return "string";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwFunction:
+    return "'function'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwThis:
+    return "'this'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwUndefined:
+    return "'undefined'";
+  case TokenKind::KwTypeof:
+    return "'typeof'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::PlusAssign:
+    return "'+='";
+  case TokenKind::MinusAssign:
+    return "'-='";
+  case TokenKind::StarAssign:
+    return "'*='";
+  case TokenKind::SlashAssign:
+    return "'/='";
+  case TokenKind::PercentAssign:
+    return "'%='";
+  case TokenKind::AmpAssign:
+    return "'&='";
+  case TokenKind::PipeAssign:
+    return "'|='";
+  case TokenKind::CaretAssign:
+    return "'^='";
+  case TokenKind::ShlAssign:
+    return "'<<='";
+  case TokenKind::SarAssign:
+    return "'>>='";
+  case TokenKind::ShrAssign:
+    return "'>>>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pipe:
+    return "'|'";
+  case TokenKind::Caret:
+    return "'^'";
+  case TokenKind::Tilde:
+    return "'~'";
+  case TokenKind::Shl:
+    return "'<<'";
+  case TokenKind::Sar:
+    return "'>>'";
+  case TokenKind::Shr:
+    return "'>>>'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Lt:
+    return "'<'";
+  case TokenKind::Le:
+    return "'<='";
+  case TokenKind::Gt:
+    return "'>'";
+  case TokenKind::Ge:
+    return "'>='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::EqEqEq:
+    return "'==='";
+  case TokenKind::NotEqEq:
+    return "'!=='";
+  }
+  CCJS_UNREACHABLE("unknown token kind");
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r') {
+      ++Pos;
+    } else if (C == '\n') {
+      ++Pos;
+      ++Line;
+    } else if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        ++Pos;
+    } else if (C == '/' && peek(1) == '*') {
+      Pos += 2;
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0')
+          return;
+        if (peek() == '\n')
+          ++Line;
+        ++Pos;
+      }
+      Pos += 2;
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind) const {
+  Token T;
+  T.Kind = Kind;
+  T.Line = Line;
+  return T;
+}
+
+Token Lexer::errorToken(const char *Msg) const {
+  Token T;
+  T.Kind = TokenKind::Error;
+  T.Text = Msg;
+  T.Line = Line;
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  size_t Start = Pos;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    Pos += 2;
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+    Token T = makeToken(TokenKind::Number);
+    T.NumValue = static_cast<double>(
+        std::strtoull(std::string(Source.substr(Start + 2, Pos - Start - 2))
+                          .c_str(),
+                      nullptr, 16));
+    return T;
+  }
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    ++Pos;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    ++Pos;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Save = Pos;
+    ++Pos;
+    if (peek() == '+' || peek() == '-')
+      ++Pos;
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    } else {
+      Pos = Save;
+    }
+  }
+  Token T = makeToken(TokenKind::Number);
+  T.NumValue = std::strtod(std::string(Source.substr(Start, Pos - Start)).c_str(),
+                           nullptr);
+  return T;
+}
+
+Token Lexer::lexString(char Quote) {
+  std::string Decoded;
+  while (peek() != Quote) {
+    char C = peek();
+    if (C == '\0')
+      return errorToken("unterminated string literal");
+    if (C == '\n')
+      return errorToken("newline in string literal");
+    ++Pos;
+    if (C != '\\') {
+      Decoded += C;
+      continue;
+    }
+    char Esc = peek();
+    ++Pos;
+    switch (Esc) {
+    case 'n':
+      Decoded += '\n';
+      break;
+    case 't':
+      Decoded += '\t';
+      break;
+    case 'r':
+      Decoded += '\r';
+      break;
+    case '0':
+      Decoded += '\0';
+      break;
+    case '\\':
+    case '\'':
+    case '"':
+      Decoded += Esc;
+      break;
+    case 'x': {
+      char Hi = peek(), Lo = peek(1);
+      if (!std::isxdigit(static_cast<unsigned char>(Hi)) ||
+          !std::isxdigit(static_cast<unsigned char>(Lo)))
+        return errorToken("invalid \\x escape");
+      Pos += 2;
+      auto HexVal = [](char C) {
+        return C <= '9' ? C - '0' : (C | 0x20) - 'a' + 10;
+      };
+      Decoded += static_cast<char>(HexVal(Hi) * 16 + HexVal(Lo));
+      break;
+    }
+    default:
+      return errorToken("unsupported escape sequence");
+    }
+  }
+  ++Pos; // Closing quote.
+  Token T = makeToken(TokenKind::String);
+  T.Text = std::move(Decoded);
+  return T;
+}
+
+Token Lexer::lexIdentifier() {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' ||
+         peek() == '$')
+    ++Pos;
+  std::string_view Word = Source.substr(Start, Pos - Start);
+
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"var", TokenKind::KwVar},
+      {"function", TokenKind::KwFunction},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},
+      {"for", TokenKind::KwFor},
+      {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"new", TokenKind::KwNew},
+      {"this", TokenKind::KwThis},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+      {"null", TokenKind::KwNull},
+      {"undefined", TokenKind::KwUndefined},
+      {"typeof", TokenKind::KwTypeof},
+  };
+
+  auto It = Keywords.find(Word);
+  Token T = makeToken(It != Keywords.end() ? It->second
+                                           : TokenKind::Identifier);
+  T.Text = std::string(Word);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  if (Pos >= Source.size())
+    return makeToken(TokenKind::Eof);
+
+  char C = peek();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$')
+    return lexIdentifier();
+  if (C == '"' || C == '\'') {
+    ++Pos;
+    return lexString(C);
+  }
+
+  ++Pos;
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen);
+  case ')':
+    return makeToken(TokenKind::RParen);
+  case '{':
+    return makeToken(TokenKind::LBrace);
+  case '}':
+    return makeToken(TokenKind::RBrace);
+  case '[':
+    return makeToken(TokenKind::LBracket);
+  case ']':
+    return makeToken(TokenKind::RBracket);
+  case ';':
+    return makeToken(TokenKind::Semicolon);
+  case ',':
+    return makeToken(TokenKind::Comma);
+  case '.':
+    return makeToken(TokenKind::Dot);
+  case ':':
+    return makeToken(TokenKind::Colon);
+  case '?':
+    return makeToken(TokenKind::Question);
+  case '~':
+    return makeToken(TokenKind::Tilde);
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus);
+    if (match('='))
+      return makeToken(TokenKind::PlusAssign);
+    return makeToken(TokenKind::Plus);
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus);
+    if (match('='))
+      return makeToken(TokenKind::MinusAssign);
+    return makeToken(TokenKind::Minus);
+  case '*':
+    if (match('='))
+      return makeToken(TokenKind::StarAssign);
+    return makeToken(TokenKind::Star);
+  case '/':
+    if (match('='))
+      return makeToken(TokenKind::SlashAssign);
+    return makeToken(TokenKind::Slash);
+  case '%':
+    if (match('='))
+      return makeToken(TokenKind::PercentAssign);
+    return makeToken(TokenKind::Percent);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp);
+    if (match('='))
+      return makeToken(TokenKind::AmpAssign);
+    return makeToken(TokenKind::Amp);
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe);
+    if (match('='))
+      return makeToken(TokenKind::PipeAssign);
+    return makeToken(TokenKind::Pipe);
+  case '^':
+    if (match('='))
+      return makeToken(TokenKind::CaretAssign);
+    return makeToken(TokenKind::Caret);
+  case '!':
+    if (match('=')) {
+      if (match('='))
+        return makeToken(TokenKind::NotEqEq);
+      return makeToken(TokenKind::NotEq);
+    }
+    return makeToken(TokenKind::Bang);
+  case '=':
+    if (match('=')) {
+      if (match('='))
+        return makeToken(TokenKind::EqEqEq);
+      return makeToken(TokenKind::EqEq);
+    }
+    return makeToken(TokenKind::Assign);
+  case '<':
+    if (match('<')) {
+      if (match('='))
+        return makeToken(TokenKind::ShlAssign);
+      return makeToken(TokenKind::Shl);
+    }
+    if (match('='))
+      return makeToken(TokenKind::Le);
+    return makeToken(TokenKind::Lt);
+  case '>':
+    if (match('>')) {
+      if (match('>')) {
+        if (match('='))
+          return makeToken(TokenKind::ShrAssign);
+        return makeToken(TokenKind::Shr);
+      }
+      if (match('='))
+        return makeToken(TokenKind::SarAssign);
+      return makeToken(TokenKind::Sar);
+    }
+    if (match('='))
+      return makeToken(TokenKind::Ge);
+    return makeToken(TokenKind::Gt);
+  default:
+    return errorToken("unexpected character");
+  }
+}

@@ -1,0 +1,52 @@
+//===- frontend/Lexer.h - MiniJS lexer -------------------------*- C++ -*-===//
+///
+/// \file
+/// Hand-written lexer for the MiniJS language (the JavaScript subset the
+/// engine executes). Supports line/block comments, decimal and hex number
+/// literals, and single- or double-quoted strings with common escapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_FRONTEND_LEXER_H
+#define CCJS_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+
+#include <string_view>
+
+namespace ccjs {
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Source(Source) {}
+
+  /// Scans and returns the next token. Returns an Eof token at end of input
+  /// and an Error token (with a message in Text) on invalid input.
+  Token next();
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance() { return Source[Pos++]; }
+  bool match(char C) {
+    if (peek() != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  void skipTrivia();
+  Token makeToken(TokenKind Kind) const;
+  Token errorToken(const char *Msg) const;
+  Token lexNumber();
+  Token lexString(char Quote);
+  Token lexIdentifier();
+
+  std::string_view Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_FRONTEND_LEXER_H

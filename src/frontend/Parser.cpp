@@ -1,0 +1,583 @@
+//===- frontend/Parser.cpp ------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include "support/Assert.h"
+
+using namespace ccjs;
+
+ParseResult ccjs::parseProgram(std::string_view Source) {
+  Parser P(Source);
+  return P.run();
+}
+
+void Parser::bump() {
+  Cur = Lex.next();
+  if (Cur.Kind == TokenKind::Error && !HasError)
+    fail(Cur.Text);
+}
+
+bool Parser::eat(TokenKind Kind) {
+  if (!at(Kind))
+    return false;
+  bump();
+  return true;
+}
+
+void Parser::expect(TokenKind Kind, const char *Context) {
+  if (HasError)
+    return;
+  if (!eat(Kind))
+    fail(std::string("expected ") + tokenKindName(Kind) + " " + Context +
+         ", found " + tokenKindName(Cur.Kind));
+}
+
+void Parser::fail(const std::string &Msg) {
+  if (HasError)
+    return;
+  HasError = true;
+  ErrorMsg = Msg;
+  ErrorLine = Cur.Line;
+}
+
+ParseResult Parser::run() {
+  ParseResult Result;
+  while (!at(TokenKind::Eof) && !HasError) {
+    StmtPtr S = parseStatement();
+    if (HasError)
+      break;
+    Result.Prog.Body.push_back(std::move(S));
+  }
+  if (HasError) {
+    Result.Ok = false;
+    Result.Error = ErrorMsg;
+    Result.ErrorLine = ErrorLine;
+    Result.Prog.Body.clear();
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseStatement() {
+  if (HasError)
+    return nullptr;
+  uint32_t Line = Cur.Line;
+  StmtPtr S;
+  switch (Cur.Kind) {
+  case TokenKind::LBrace:
+    S = parseBlock();
+    break;
+  case TokenKind::KwVar:
+    S = parseVarDecl();
+    break;
+  case TokenKind::KwIf:
+    S = parseIf();
+    break;
+  case TokenKind::KwWhile:
+    S = parseWhile();
+    break;
+  case TokenKind::KwDo:
+    S = parseDoWhile();
+    break;
+  case TokenKind::KwFor:
+    S = parseFor();
+    break;
+  case TokenKind::KwReturn:
+    S = parseReturn();
+    break;
+  case TokenKind::KwBreak:
+    bump();
+    eat(TokenKind::Semicolon);
+    S = std::make_unique<BreakStmt>();
+    break;
+  case TokenKind::KwContinue:
+    bump();
+    eat(TokenKind::Semicolon);
+    S = std::make_unique<ContinueStmt>();
+    break;
+  case TokenKind::KwFunction:
+    S = parseFunctionDecl();
+    break;
+  case TokenKind::Semicolon:
+    bump();
+    S = std::make_unique<BlockStmt>(); // Empty statement.
+    break;
+  default: {
+    ExprPtr E = parseExpression();
+    eat(TokenKind::Semicolon);
+    S = std::make_unique<ExprStmt>(std::move(E));
+    break;
+  }
+  }
+  if (S)
+    S->Line = Line;
+  return S;
+}
+
+StmtPtr Parser::parseBlock() {
+  expect(TokenKind::LBrace, "to open block");
+  auto Block = std::make_unique<BlockStmt>();
+  while (!at(TokenKind::RBrace) && !at(TokenKind::Eof) && !HasError)
+    Block->Body.push_back(parseStatement());
+  expect(TokenKind::RBrace, "to close block");
+  return Block;
+}
+
+StmtPtr Parser::parseVarDecl() {
+  expect(TokenKind::KwVar, "in variable declaration");
+  auto Decl = std::make_unique<VarDeclStmt>();
+  do {
+    if (!at(TokenKind::Identifier)) {
+      fail("expected identifier in var declaration");
+      break;
+    }
+    std::string Name = Cur.Text;
+    bump();
+    ExprPtr Init;
+    if (eat(TokenKind::Assign))
+      Init = parseAssignment();
+    Decl->Decls.emplace_back(std::move(Name), std::move(Init));
+  } while (eat(TokenKind::Comma) && !HasError);
+  eat(TokenKind::Semicolon);
+  return Decl;
+}
+
+StmtPtr Parser::parseIf() {
+  expect(TokenKind::KwIf, "in if statement");
+  expect(TokenKind::LParen, "after 'if'");
+  ExprPtr Cond = parseExpression();
+  expect(TokenKind::RParen, "after if condition");
+  StmtPtr Then = parseStatement();
+  StmtPtr Else;
+  if (eat(TokenKind::KwElse))
+    Else = parseStatement();
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else));
+}
+
+StmtPtr Parser::parseWhile() {
+  expect(TokenKind::KwWhile, "in while statement");
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpression();
+  expect(TokenKind::RParen, "after while condition");
+  StmtPtr Body = parseStatement();
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body));
+}
+
+StmtPtr Parser::parseDoWhile() {
+  expect(TokenKind::KwDo, "in do-while statement");
+  StmtPtr Body = parseStatement();
+  expect(TokenKind::KwWhile, "after do-while body");
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpression();
+  expect(TokenKind::RParen, "after do-while condition");
+  eat(TokenKind::Semicolon);
+  return std::make_unique<DoWhileStmt>(std::move(Body), std::move(Cond));
+}
+
+StmtPtr Parser::parseFor() {
+  expect(TokenKind::KwFor, "in for statement");
+  expect(TokenKind::LParen, "after 'for'");
+  auto For = std::make_unique<ForStmt>();
+  if (at(TokenKind::KwVar)) {
+    For->Init = parseVarDecl(); // Consumes the ';'.
+  } else if (!at(TokenKind::Semicolon)) {
+    For->Init = std::make_unique<ExprStmt>(parseExpression());
+    expect(TokenKind::Semicolon, "after for initializer");
+  } else {
+    bump();
+  }
+  if (!at(TokenKind::Semicolon))
+    For->Cond = parseExpression();
+  expect(TokenKind::Semicolon, "after for condition");
+  if (!at(TokenKind::RParen))
+    For->Step = parseExpression();
+  expect(TokenKind::RParen, "after for step");
+  For->Body = parseStatement();
+  return For;
+}
+
+StmtPtr Parser::parseReturn() {
+  expect(TokenKind::KwReturn, "in return statement");
+  if (FunctionDepth == 0)
+    fail("'return' outside of a function");
+  ExprPtr Value;
+  if (!at(TokenKind::Semicolon) && !at(TokenKind::RBrace))
+    Value = parseExpression();
+  eat(TokenKind::Semicolon);
+  return std::make_unique<ReturnStmt>(std::move(Value));
+}
+
+StmtPtr Parser::parseFunctionDecl() {
+  expect(TokenKind::KwFunction, "in function declaration");
+  if (FunctionDepth > 0)
+    fail("MiniJS supports function declarations only at the top level");
+  auto Fn = std::make_unique<FunctionDeclStmt>();
+  if (!at(TokenKind::Identifier)) {
+    fail("expected function name");
+    return Fn;
+  }
+  Fn->Name = Cur.Text;
+  bump();
+  expect(TokenKind::LParen, "after function name");
+  if (!at(TokenKind::RParen)) {
+    do {
+      if (!at(TokenKind::Identifier)) {
+        fail("expected parameter name");
+        break;
+      }
+      Fn->Params.push_back(Cur.Text);
+      bump();
+    } while (eat(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after parameter list");
+  ++FunctionDepth;
+  StmtPtr Body = parseBlock();
+  --FunctionDepth;
+  if (Body) {
+    assert(Body->Kind == StmtKind::Block && "function body must be a block");
+    Fn->Body.reset(static_cast<BlockStmt *>(Body.release()));
+  }
+  return Fn;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpression() { return parseAssignment(); }
+
+static bool isAssignTarget(const Expr &E) {
+  return E.Kind == ExprKind::Ident || E.Kind == ExprKind::Member ||
+         E.Kind == ExprKind::Index;
+}
+
+ExprPtr Parser::parseAssignment() {
+  if (HasError)
+    return std::make_unique<UndefinedLitExpr>();
+  uint32_t Line = Cur.Line;
+  ExprPtr Lhs = parseConditional();
+
+  struct CompoundMap {
+    TokenKind Tok;
+    BinaryOp Op;
+  };
+  static const CompoundMap Compounds[] = {
+      {TokenKind::PlusAssign, BinaryOp::Add},
+      {TokenKind::MinusAssign, BinaryOp::Sub},
+      {TokenKind::StarAssign, BinaryOp::Mul},
+      {TokenKind::SlashAssign, BinaryOp::Div},
+      {TokenKind::PercentAssign, BinaryOp::Mod},
+      {TokenKind::AmpAssign, BinaryOp::BitAnd},
+      {TokenKind::PipeAssign, BinaryOp::BitOr},
+      {TokenKind::CaretAssign, BinaryOp::BitXor},
+      {TokenKind::ShlAssign, BinaryOp::Shl},
+      {TokenKind::SarAssign, BinaryOp::Sar},
+      {TokenKind::ShrAssign, BinaryOp::Shr},
+  };
+
+  if (at(TokenKind::Assign)) {
+    if (!Lhs || !isAssignTarget(*Lhs))
+      fail("invalid assignment target");
+    bump();
+    ExprPtr Rhs = parseAssignment();
+    auto A = std::make_unique<AssignExpr>(std::move(Lhs), std::move(Rhs));
+    A->Line = Line;
+    return A;
+  }
+  for (const CompoundMap &C : Compounds) {
+    if (!at(C.Tok))
+      continue;
+    if (!Lhs || !isAssignTarget(*Lhs))
+      fail("invalid assignment target");
+    bump();
+    ExprPtr Rhs = parseAssignment();
+    auto A = std::make_unique<AssignExpr>(std::move(Lhs), std::move(Rhs));
+    A->IsCompound = true;
+    A->Op = C.Op;
+    A->Line = Line;
+    return A;
+  }
+  return Lhs;
+}
+
+ExprPtr Parser::parseConditional() {
+  ExprPtr Cond = parseBinary(0);
+  if (!eat(TokenKind::Question))
+    return Cond;
+  ExprPtr Then = parseAssignment();
+  expect(TokenKind::Colon, "in conditional expression");
+  ExprPtr Else = parseAssignment();
+  return std::make_unique<ConditionalExpr>(std::move(Cond), std::move(Then),
+                                           std::move(Else));
+}
+
+namespace {
+/// Binary operator precedence table entry.
+struct BinOpInfo {
+  TokenKind Tok;
+  BinaryOp Op;
+  bool IsLogical;
+  LogicalOp LOp;
+  int Prec;
+};
+} // namespace
+
+static const BinOpInfo *lookupBinOp(TokenKind Kind) {
+  static const BinOpInfo Table[] = {
+      {TokenKind::PipePipe, BinaryOp::Add, true, LogicalOp::Or, 1},
+      {TokenKind::AmpAmp, BinaryOp::Add, true, LogicalOp::And, 2},
+      {TokenKind::Pipe, BinaryOp::BitOr, false, LogicalOp::Or, 3},
+      {TokenKind::Caret, BinaryOp::BitXor, false, LogicalOp::Or, 4},
+      {TokenKind::Amp, BinaryOp::BitAnd, false, LogicalOp::Or, 5},
+      {TokenKind::EqEq, BinaryOp::Eq, false, LogicalOp::Or, 6},
+      {TokenKind::NotEq, BinaryOp::Ne, false, LogicalOp::Or, 6},
+      {TokenKind::EqEqEq, BinaryOp::StrictEq, false, LogicalOp::Or, 6},
+      {TokenKind::NotEqEq, BinaryOp::StrictNe, false, LogicalOp::Or, 6},
+      {TokenKind::Lt, BinaryOp::Lt, false, LogicalOp::Or, 7},
+      {TokenKind::Le, BinaryOp::Le, false, LogicalOp::Or, 7},
+      {TokenKind::Gt, BinaryOp::Gt, false, LogicalOp::Or, 7},
+      {TokenKind::Ge, BinaryOp::Ge, false, LogicalOp::Or, 7},
+      {TokenKind::Shl, BinaryOp::Shl, false, LogicalOp::Or, 8},
+      {TokenKind::Sar, BinaryOp::Sar, false, LogicalOp::Or, 8},
+      {TokenKind::Shr, BinaryOp::Shr, false, LogicalOp::Or, 8},
+      {TokenKind::Plus, BinaryOp::Add, false, LogicalOp::Or, 9},
+      {TokenKind::Minus, BinaryOp::Sub, false, LogicalOp::Or, 9},
+      {TokenKind::Star, BinaryOp::Mul, false, LogicalOp::Or, 10},
+      {TokenKind::Slash, BinaryOp::Div, false, LogicalOp::Or, 10},
+      {TokenKind::Percent, BinaryOp::Mod, false, LogicalOp::Or, 10},
+  };
+  for (const BinOpInfo &Info : Table)
+    if (Info.Tok == Kind)
+      return &Info;
+  return nullptr;
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr Lhs = parseUnary();
+  for (;;) {
+    const BinOpInfo *Info = lookupBinOp(Cur.Kind);
+    if (!Info || Info->Prec < MinPrec || HasError)
+      return Lhs;
+    uint32_t Line = Cur.Line;
+    bump();
+    ExprPtr Rhs = parseBinary(Info->Prec + 1);
+    if (Info->IsLogical) {
+      auto E = std::make_unique<LogicalExpr>(Info->LOp, std::move(Lhs),
+                                             std::move(Rhs));
+      E->Line = Line;
+      Lhs = std::move(E);
+    } else {
+      auto E = std::make_unique<BinaryExpr>(Info->Op, std::move(Lhs),
+                                            std::move(Rhs));
+      E->Line = Line;
+      Lhs = std::move(E);
+    }
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  if (HasError)
+    return std::make_unique<UndefinedLitExpr>();
+  uint32_t Line = Cur.Line;
+  UnaryOp Op;
+  if (eat(TokenKind::Minus))
+    Op = UnaryOp::Neg;
+  else if (eat(TokenKind::Plus))
+    Op = UnaryOp::Plus;
+  else if (eat(TokenKind::Bang))
+    Op = UnaryOp::Not;
+  else if (eat(TokenKind::Tilde))
+    Op = UnaryOp::BitNot;
+  else if (eat(TokenKind::KwTypeof))
+    Op = UnaryOp::Typeof;
+  else if (at(TokenKind::PlusPlus) || at(TokenKind::MinusMinus)) {
+    bool IsInc = at(TokenKind::PlusPlus);
+    bump();
+    ExprPtr Target = parseUnary();
+    if (!Target || !isAssignTarget(*Target))
+      fail("invalid increment/decrement target");
+    auto E = std::make_unique<UpdateExpr>(std::move(Target), IsInc,
+                                          /*IsPrefix=*/true);
+    E->Line = Line;
+    return E;
+  } else {
+    return parsePostfix();
+  }
+  ExprPtr Operand = parseUnary();
+  auto E = std::make_unique<UnaryExpr>(Op, std::move(Operand));
+  E->Line = Line;
+  return E;
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parseCallOrMember(parsePrimary());
+  if (at(TokenKind::PlusPlus) || at(TokenKind::MinusMinus)) {
+    bool IsInc = at(TokenKind::PlusPlus);
+    uint32_t Line = Cur.Line;
+    bump();
+    if (!E || !isAssignTarget(*E))
+      fail("invalid increment/decrement target");
+    auto U = std::make_unique<UpdateExpr>(std::move(E), IsInc,
+                                          /*IsPrefix=*/false);
+    U->Line = Line;
+    return U;
+  }
+  return E;
+}
+
+ExprPtr Parser::parseCallOrMember(ExprPtr Base) {
+  for (;;) {
+    if (HasError)
+      return Base;
+    uint32_t Line = Cur.Line;
+    if (eat(TokenKind::Dot)) {
+      if (!at(TokenKind::Identifier)) {
+        fail("expected property name after '.'");
+        return Base;
+      }
+      auto M = std::make_unique<MemberExpr>(std::move(Base), Cur.Text);
+      M->Line = Line;
+      bump();
+      Base = std::move(M);
+    } else if (eat(TokenKind::LBracket)) {
+      ExprPtr Idx = parseExpression();
+      expect(TokenKind::RBracket, "after index expression");
+      auto I = std::make_unique<IndexExpr>(std::move(Base), std::move(Idx));
+      I->Line = Line;
+      Base = std::move(I);
+    } else if (at(TokenKind::LParen)) {
+      bump();
+      std::vector<ExprPtr> Args;
+      if (!at(TokenKind::RParen)) {
+        do {
+          Args.push_back(parseAssignment());
+        } while (eat(TokenKind::Comma) && !HasError);
+      }
+      expect(TokenKind::RParen, "after call arguments");
+      auto C = std::make_unique<CallExpr>(std::move(Base), std::move(Args));
+      C->Line = Line;
+      Base = std::move(C);
+    } else {
+      return Base;
+    }
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  if (HasError)
+    return std::make_unique<UndefinedLitExpr>();
+  uint32_t Line = Cur.Line;
+  ExprPtr E;
+  switch (Cur.Kind) {
+  case TokenKind::Number:
+    E = std::make_unique<NumberLitExpr>(Cur.NumValue);
+    bump();
+    break;
+  case TokenKind::String:
+    E = std::make_unique<StringLitExpr>(Cur.Text);
+    bump();
+    break;
+  case TokenKind::KwTrue:
+    E = std::make_unique<BoolLitExpr>(true);
+    bump();
+    break;
+  case TokenKind::KwFalse:
+    E = std::make_unique<BoolLitExpr>(false);
+    bump();
+    break;
+  case TokenKind::KwNull:
+    E = std::make_unique<NullLitExpr>();
+    bump();
+    break;
+  case TokenKind::KwUndefined:
+    E = std::make_unique<UndefinedLitExpr>();
+    bump();
+    break;
+  case TokenKind::KwThis:
+    E = std::make_unique<ThisExpr>();
+    bump();
+    break;
+  case TokenKind::Identifier:
+    E = std::make_unique<IdentExpr>(Cur.Text);
+    bump();
+    break;
+  case TokenKind::LParen: {
+    bump();
+    E = parseExpression();
+    expect(TokenKind::RParen, "after parenthesized expression");
+    break;
+  }
+  case TokenKind::KwNew: {
+    bump();
+    if (!at(TokenKind::Identifier)) {
+      fail("expected constructor name after 'new'");
+      return std::make_unique<UndefinedLitExpr>();
+    }
+    ExprPtr Callee = std::make_unique<IdentExpr>(Cur.Text);
+    bump();
+    std::vector<ExprPtr> Args;
+    if (eat(TokenKind::LParen)) {
+      if (!at(TokenKind::RParen)) {
+        do {
+          Args.push_back(parseAssignment());
+        } while (eat(TokenKind::Comma) && !HasError);
+      }
+      expect(TokenKind::RParen, "after constructor arguments");
+    }
+    auto N = std::make_unique<NewExpr>(std::move(Callee), std::move(Args));
+    // A 'new' expression may be followed by member/index/call accesses.
+    N->Line = Line;
+    return parseCallOrMember(std::move(N));
+  }
+  case TokenKind::LBrace: {
+    bump();
+    auto Obj = std::make_unique<ObjectLitExpr>();
+    if (!at(TokenKind::RBrace)) {
+      do {
+        if (at(TokenKind::RBrace))
+          break; // Trailing comma.
+        std::string Key;
+        if (at(TokenKind::Identifier) || at(TokenKind::String)) {
+          Key = Cur.Text;
+          bump();
+        } else if (at(TokenKind::Number)) {
+          fail("numeric object literal keys are not supported in MiniJS");
+          break;
+        } else {
+          fail("expected property key in object literal");
+          break;
+        }
+        expect(TokenKind::Colon, "after object literal key");
+        Obj->Properties.emplace_back(std::move(Key), parseAssignment());
+      } while (eat(TokenKind::Comma) && !HasError);
+    }
+    expect(TokenKind::RBrace, "to close object literal");
+    E = std::move(Obj);
+    break;
+  }
+  case TokenKind::LBracket: {
+    bump();
+    auto Arr = std::make_unique<ArrayLitExpr>();
+    if (!at(TokenKind::RBracket)) {
+      do {
+        if (at(TokenKind::RBracket))
+          break; // Trailing comma.
+        Arr->Elements.push_back(parseAssignment());
+      } while (eat(TokenKind::Comma) && !HasError);
+    }
+    expect(TokenKind::RBracket, "to close array literal");
+    E = std::move(Arr);
+    break;
+  }
+  default:
+    fail(std::string("unexpected token ") + tokenKindName(Cur.Kind));
+    return std::make_unique<UndefinedLitExpr>();
+  }
+  if (E)
+    E->Line = Line;
+  return E;
+}

@@ -1,0 +1,76 @@
+//===- frontend/Parser.h - MiniJS parser -----------------------*- C++ -*-===//
+///
+/// \file
+/// Recursive-descent parser producing a MiniJS AST. Reports the first syntax
+/// error with its source line; on error the returned program is empty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_FRONTEND_PARSER_H
+#define CCJS_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Lexer.h"
+
+#include <string>
+#include <string_view>
+
+namespace ccjs {
+
+/// Result of parsing a MiniJS source file.
+struct ParseResult {
+  Program Prog;
+  bool Ok = true;
+  std::string Error;
+  uint32_t ErrorLine = 0;
+};
+
+/// Parses \p Source into an AST.
+ParseResult parseProgram(std::string_view Source);
+
+class Parser {
+public:
+  explicit Parser(std::string_view Source) : Lex(Source) { bump(); }
+
+  ParseResult run();
+
+private:
+  // Token plumbing.
+  void bump();
+  bool at(TokenKind Kind) const { return Cur.Kind == Kind; }
+  bool eat(TokenKind Kind);
+  void expect(TokenKind Kind, const char *Context);
+  void fail(const std::string &Msg);
+
+  // Statements.
+  StmtPtr parseStatement();
+  StmtPtr parseBlock();
+  StmtPtr parseVarDecl();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseDoWhile();
+  StmtPtr parseFor();
+  StmtPtr parseReturn();
+  StmtPtr parseFunctionDecl();
+
+  // Expressions, in precedence order.
+  ExprPtr parseExpression();
+  ExprPtr parseAssignment();
+  ExprPtr parseConditional();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parseCallOrMember(ExprPtr Base);
+  ExprPtr parsePrimary();
+
+  Lexer Lex;
+  Token Cur;
+  bool HasError = false;
+  std::string ErrorMsg;
+  uint32_t ErrorLine = 0;
+  int FunctionDepth = 0;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_FRONTEND_PARSER_H

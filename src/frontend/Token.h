@@ -1,0 +1,113 @@
+//===- frontend/Token.h - MiniJS tokens ------------------------*- C++ -*-===//
+///
+/// \file
+/// Token kinds and token values produced by the MiniJS lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_FRONTEND_TOKEN_H
+#define CCJS_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace ccjs {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Error,
+  Identifier,
+  Number,
+  String,
+
+  // Keywords.
+  KwVar,
+  KwFunction,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwNew,
+  KwThis,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwUndefined,
+  KwTypeof,
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Comma,
+  Dot,
+  Colon,
+  Question,
+
+  Assign,        // =
+  PlusAssign,    // +=
+  MinusAssign,   // -=
+  StarAssign,    // *=
+  SlashAssign,   // /=
+  PercentAssign, // %=
+  AmpAssign,     // &=
+  PipeAssign,    // |=
+  CaretAssign,   // ^=
+  ShlAssign,     // <<=
+  SarAssign,     // >>=
+  ShrAssign,     // >>>=
+
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  PlusPlus,
+  MinusMinus,
+
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Shl, // <<
+  Sar, // >>
+  Shr, // >>>
+
+  AmpAmp,
+  PipePipe,
+  Bang,
+
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  EqEqEq,
+  NotEqEq,
+};
+
+/// A single token with its source position.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  /// Identifier or keyword spelling, or decoded string literal contents.
+  std::string Text;
+  /// Value for TokenKind::Number.
+  double NumValue = 0;
+  uint32_t Line = 0;
+};
+
+/// Returns a human-readable name for a token kind (for diagnostics).
+const char *tokenKindName(TokenKind Kind);
+
+} // namespace ccjs
+
+#endif // CCJS_FRONTEND_TOKEN_H

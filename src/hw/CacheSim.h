@@ -1,0 +1,81 @@
+//===- hw/CacheSim.h - Set-associative cache model --------------*- C++ -*-===//
+///
+/// \file
+/// A generic set-associative cache model with true-LRU replacement, used
+/// for the DL1, the L2 and (with page-granularity "lines") the DTLB.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_HW_CACHESIM_H
+#define CCJS_HW_CACHESIM_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ccjs {
+
+class CacheSim {
+public:
+  /// \p NumSets and \p Ways define the geometry; \p BlockBytes is the line
+  /// (or page) size. All must be powers of two except Ways.
+  CacheSim(unsigned NumSets, unsigned Ways, unsigned BlockBytes)
+      : NumSets(NumSets), Ways(Ways), BlockBytes(BlockBytes),
+        Lines(size_t(NumSets) * Ways, InvalidTag) {
+    assert((NumSets & (NumSets - 1)) == 0 && "sets must be a power of two");
+    assert((BlockBytes & (BlockBytes - 1)) == 0 &&
+           "block size must be a power of two");
+  }
+
+  /// Convenience constructor from a total capacity in bytes.
+  static CacheSim fromCapacity(unsigned CapacityBytes, unsigned Ways,
+                               unsigned BlockBytes) {
+    return CacheSim(CapacityBytes / (Ways * BlockBytes), Ways, BlockBytes);
+  }
+
+  /// Simulates an access; returns true on hit. Allocates on miss and
+  /// updates LRU order.
+  bool access(uint64_t Addr) {
+    ++Accesses;
+    uint64_t Block = Addr / BlockBytes;
+    unsigned Set = static_cast<unsigned>(Block & (NumSets - 1));
+    uint64_t Tag = Block; // Full block number as the tag.
+    uint64_t *Base = &Lines[size_t(Set) * Ways];
+    // Way 0 is MRU; search and move-to-front.
+    for (unsigned W = 0; W < Ways; ++W) {
+      if (Base[W] == Tag) {
+        for (unsigned I = W; I > 0; --I)
+          Base[I] = Base[I - 1];
+        Base[0] = Tag;
+        return true;
+      }
+    }
+    ++Misses;
+    for (unsigned I = Ways - 1; I > 0; --I)
+      Base[I] = Base[I - 1];
+    Base[0] = Tag;
+    return false;
+  }
+
+  uint64_t accesses() const { return Accesses; }
+  uint64_t misses() const { return Misses; }
+  double hitRate() const {
+    return Accesses == 0 ? 1.0
+                         : 1.0 - static_cast<double>(Misses) / Accesses;
+  }
+
+  void resetStats() { Accesses = Misses = 0; }
+  void flush() { std::fill(Lines.begin(), Lines.end(), InvalidTag); }
+
+private:
+  static constexpr uint64_t InvalidTag = ~uint64_t(0);
+
+  unsigned NumSets, Ways, BlockBytes;
+  std::vector<uint64_t> Lines;
+  uint64_t Accesses = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_HW_CACHESIM_H

@@ -1,0 +1,180 @@
+//===- hw/ClassCache.cpp --------------------------------------------------===//
+
+#include "hw/ClassCache.h"
+
+#include "support/Assert.h"
+
+#include <cassert>
+
+using namespace ccjs;
+
+ClassCache::ClassCache(ClassList &List, unsigned Entries, unsigned Ways)
+    : List(List), NumSets(Entries / Ways), Ways(Ways),
+      Entries(Entries) {
+  assert(Entries % Ways == 0 && "entries must divide evenly into ways");
+  assert((NumSets & (NumSets - 1)) == 0 && "sets must be a power of two");
+}
+
+// The set index must mix ClassID and Line: most entries have Line 0, so
+// indexing by the key's low bits alone would put every class's first line
+// in one set.
+static unsigned setIndexFor(uint8_t ClassId, uint8_t Line,
+                            unsigned NumSets) {
+  return (ClassId ^ (unsigned(Line) * 41u)) & (NumSets - 1);
+}
+
+ClassCache::CacheEntry *ClassCache::findCached(uint8_t ClassId, uint8_t Line) {
+  uint16_t Tag = uint16_t(ClassId) << 8 | Line;
+  unsigned Set = setIndexFor(ClassId, Line, NumSets);
+  CacheEntry *Base = &Entries[size_t(Set) * Ways];
+  for (unsigned W = 0; W < Ways; ++W)
+    if (Base[W].ValidEntry && Base[W].Tag == Tag)
+      return &Base[W];
+  return nullptr;
+}
+
+unsigned ClassCache::lookup(uint8_t ClassId, uint8_t Line,
+                            ClassCacheResult &R) {
+  uint16_t Tag = uint16_t(ClassId) << 8 | Line;
+  unsigned Set = setIndexFor(ClassId, Line, NumSets);
+  CacheEntry *Base = &Entries[size_t(Set) * Ways];
+  for (unsigned W = 0; W < Ways; ++W) {
+    if (Base[W].ValidEntry && Base[W].Tag == Tag) {
+      // Move to MRU position.
+      CacheEntry Hit = Base[W];
+      for (unsigned I = W; I > 0; --I)
+        Base[I] = Base[I - 1];
+      Base[0] = Hit;
+      return 0;
+    }
+  }
+
+  // Miss: evict LRU (writeback if dirty), refill from the Class List.
+  ++Misses;
+  R.Hit = false;
+  CacheEntry &Victim = Base[Ways - 1];
+  if (Victim.ValidEntry && Victim.Dirty) {
+    List.write(static_cast<uint8_t>(Victim.Tag >> 8),
+               static_cast<uint8_t>(Victim.Tag & 0xFF), Victim.Data);
+    R.WritebackAddr = List.entryAddr(static_cast<uint8_t>(Victim.Tag >> 8),
+                                     static_cast<uint8_t>(Victim.Tag & 0xFF));
+    ++Writebacks;
+  }
+  for (unsigned I = Ways - 1; I > 0; --I)
+    Base[I] = Base[I - 1];
+  Base[0].ValidEntry = true;
+  Base[0].Dirty = false;
+  Base[0].Tag = Tag;
+  Base[0].Data = List.read(ClassId, Line);
+  R.FillAddr = List.entryAddr(ClassId, Line);
+  return 0;
+}
+
+ClassCacheResult ClassCache::accessStore(uint8_t ContainerClass, uint8_t Line,
+                                         uint8_t Pos, uint8_t ValueClass) {
+  assert(Pos >= 1 && Pos <= 7 && "property position must be 1..7");
+  ++Accesses;
+  ClassCacheResult R;
+  (void)lookup(ContainerClass, Line, R);
+  // After lookup the entry sits at the MRU way of its set.
+  unsigned Set = setIndexFor(ContainerClass, Line, NumSets);
+  CacheEntry &E = Entries[size_t(Set) * Ways];
+  ClassListEntry &D = E.Data;
+  uint8_t Bit = uint8_t(1) << Pos;
+
+  if (!(D.InitMap & Bit)) {
+    // First store to this property: profile the value class.
+    D.InitMap |= Bit;
+    D.Props[Pos - 1] = ValueClass;
+    E.Dirty = true;
+    return R;
+  }
+  if (D.Props[Pos - 1] == ValueClass)
+    return R; // Matches the profile; nothing to do.
+
+  // Mismatch: the property is no longer monomorphic.
+  if (D.ValidMap & Bit) {
+    D.ValidMap &= ~Bit;
+    E.Dirty = true;
+    R.ValidCleared = true;
+    if (D.SpeculateMap & Bit) {
+      // At least one function was optimized assuming monomorphism: raise
+      // the HW exception. The exception routine clears the bit.
+      D.SpeculateMap &= ~Bit;
+      R.Exception = true;
+      ++Exceptions;
+    }
+  }
+  return R;
+}
+
+int ClassCache::monomorphicClassAt(uint8_t ClassId, uint8_t Line,
+                                   uint8_t Pos) const {
+  assert(Pos >= 1 && Pos <= 7 && "property position must be 1..7");
+  if (ClassId >= UntrackedClassId)
+    return -1;
+  // The compiler reads through the cache when the entry is resident (the
+  // cached copy may be dirtier than memory).
+  ClassListEntry D;
+  if (const CacheEntry *E = const_cast<ClassCache *>(this)->findCached(ClassId,
+                                                                       Line))
+    D = E->Data;
+  else
+    D = List.read(ClassId, Line);
+  uint8_t Bit = uint8_t(1) << Pos;
+  if ((D.InitMap & Bit) && (D.ValidMap & Bit))
+    return D.Props[Pos - 1];
+  return -1;
+}
+
+void ClassCache::setSpeculate(uint8_t ClassId, uint8_t Line, uint8_t Pos) {
+  assert(Pos >= 1 && Pos <= 7 && "property position must be 1..7");
+  uint8_t Bit = uint8_t(1) << Pos;
+  ClassListEntry D = List.read(ClassId, Line);
+  if (CacheEntry *E = findCached(ClassId, Line)) {
+    E->Data.SpeculateMap |= Bit;
+    E->Dirty = true;
+    D = E->Data;
+  }
+  D.SpeculateMap |= Bit;
+  List.write(ClassId, Line, D);
+}
+
+void ClassCache::syncInvalidatedEntry(uint8_t ClassId, uint8_t Line) {
+  if (CacheEntry *E = findCached(ClassId, Line)) {
+    // The Class List already holds the invalidated image; adopt it.
+    E->Data = List.read(ClassId, Line);
+    E->Dirty = false;
+  }
+}
+
+void ClassCache::writebackClass(uint8_t ClassId) {
+  for (CacheEntry &E : Entries) {
+    if (!E.ValidEntry || !E.Dirty ||
+        static_cast<uint8_t>(E.Tag >> 8) != ClassId)
+      continue;
+    List.write(ClassId, static_cast<uint8_t>(E.Tag & 0xFF), E.Data);
+    E.Dirty = false;
+  }
+}
+
+void ClassCache::flushDirty() {
+  for (CacheEntry &E : Entries) {
+    if (!E.ValidEntry || !E.Dirty)
+      continue;
+    List.write(static_cast<uint8_t>(E.Tag >> 8),
+               static_cast<uint8_t>(E.Tag & 0xFF), E.Data);
+    E.Dirty = false;
+  }
+}
+
+unsigned ClassCache::storageBits() const {
+  // Tag bits: the 16-bit (ClassID, Line) key minus the set-index bits.
+  unsigned SetBits = 0;
+  for (unsigned S = NumSets; S > 1; S >>= 1)
+    ++SetBits;
+  unsigned TagBits = 16 - SetBits;
+  // Per entry: valid + dirty + tag + 3 bitmaps + 7 property bytes.
+  unsigned PerEntry = 1 + 1 + TagBits + 3 * 8 + 7 * 8;
+  return PerEntry * static_cast<unsigned>(Entries.size());
+}

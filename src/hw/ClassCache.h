@@ -1,0 +1,117 @@
+//===- hw/ClassCache.h - The Class Cache (paper section 4.2.1.3) -*- C++ -*-===//
+///
+/// \file
+/// The Class Cache: a small set-associative hardware cache of Class List
+/// entries, accessed in parallel with the L1 on every movStoreClassCache /
+/// movStoreClassCacheArray instruction. On a hit the access is free; on a
+/// miss the entry is refilled from the Class List in memory (like a TLB
+/// miss), writing back a dirty victim.
+///
+/// The access implements the paper's protocol: first store to a property
+/// initializes its profile; a mismatching store clears the ValidMap bit
+/// (never to be set again) and, when the SpeculateMap bit was set, raises a
+/// hardware exception so the runtime can deoptimize the dependent
+/// functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_HW_CLASSCACHE_H
+#define CCJS_HW_CLASSCACHE_H
+
+#include "hw/ClassList.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ccjs {
+
+/// Outcome of one Class Cache store request.
+struct ClassCacheResult {
+  bool Hit = true;
+  /// The ValidMap bit of the target slot was cleared by this request.
+  bool ValidCleared = false;
+  /// A HW exception was raised (ValidCleared with SpeculateMap set).
+  bool Exception = false;
+  /// Simulated address of the Class List entry fetched on a miss (0 if
+  /// none); used for timing.
+  uint64_t FillAddr = 0;
+  /// Simulated address of a dirty victim written back (0 if none).
+  uint64_t WritebackAddr = 0;
+};
+
+class ClassCache {
+public:
+  ClassCache(ClassList &List, unsigned Entries, unsigned Ways);
+
+  /// Handles a movStoreClassCache / movStoreClassCacheArray request:
+  /// the store targets property position \p Pos of line \p Line of an
+  /// object of class \p ContainerClass, writing a value of class
+  /// \p ValueClass (SmiClassId for SMIs).
+  ClassCacheResult accessStore(uint8_t ContainerClass, uint8_t Line,
+                               uint8_t Pos, uint8_t ValueClass);
+
+  //===--------------------------------------------------------------------===//
+  // Runtime/compiler-side operations (write-through to the Class List)
+  //===--------------------------------------------------------------------===//
+
+  /// Profile query used by the optimizing compiler: returns the profiled
+  /// value class when (ClassId, Line, Pos) is initialized and still
+  /// monomorphic, or -1.
+  int monomorphicClassAt(uint8_t ClassId, uint8_t Line, uint8_t Pos) const;
+
+  /// Marks the slot as speculated-on (paper: sets the SpeculateMap bit).
+  void setSpeculate(uint8_t ClassId, uint8_t Line, uint8_t Pos);
+
+  /// Applies an externally initiated invalidation (descendant propagation)
+  /// to any cached copy. The Class List itself is updated by the caller.
+  void syncInvalidatedEntry(uint8_t ClassId, uint8_t Line);
+
+  /// Writes every dirty entry back to the Class List.
+  void flushDirty();
+
+  /// Writes back the dirty entries of one class (the runtime synchronizes
+  /// before copying a parent's profile into a freshly created class).
+  void writebackClass(uint8_t ClassId);
+
+  // Statistics.
+  uint64_t accesses() const { return Accesses; }
+  uint64_t misses() const { return Misses; }
+  uint64_t exceptions() const { return Exceptions; }
+  uint64_t writebacks() const { return Writebacks; }
+  double hitRate() const {
+    return Accesses == 0 ? 1.0
+                         : 1.0 - static_cast<double>(Misses) / Accesses;
+  }
+
+  /// Total state bits of the structure (paper section 5.4: <1.5KB).
+  unsigned storageBits() const;
+
+  /// Clears counters; cached entries persist.
+  void resetStats() { Accesses = Misses = Exceptions = Writebacks = 0; }
+
+private:
+  struct CacheEntry {
+    bool ValidEntry = false;
+    bool Dirty = false;
+    uint16_t Tag = 0; // (ClassId << 8) | Line.
+    ClassListEntry Data;
+  };
+
+  /// Finds (ClassId, Line) in the cache, refilling on miss. Returns the
+  /// way index within the set.
+  unsigned lookup(uint8_t ClassId, uint8_t Line, ClassCacheResult &R);
+
+  CacheEntry *findCached(uint8_t ClassId, uint8_t Line);
+
+  ClassList &List;
+  unsigned NumSets, Ways;
+  std::vector<CacheEntry> Entries; // Set-major; way 0 is MRU.
+  uint64_t Accesses = 0;
+  uint64_t Misses = 0;
+  uint64_t Exceptions = 0;
+  uint64_t Writebacks = 0;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_HW_CLASSCACHE_H

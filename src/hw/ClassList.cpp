@@ -1,0 +1,181 @@
+//===- hw/ClassList.cpp ---------------------------------------------------===//
+
+#include "hw/ClassList.h"
+
+#include "runtime/Layout.h"
+
+#include <cassert>
+
+using namespace ccjs;
+
+ClassList::ClassList(SimMemory &Mem) : Mem(Mem), ClassShapes(256) {
+  RegionAddr = Mem.allocate(uint64_t(NumEntries) * EntryBytes, 64);
+}
+
+ClassListEntry ClassList::read(uint8_t ClassId, uint8_t Line) const {
+  uint64_t A = entryAddr(ClassId, Line);
+  ClassListEntry E;
+  E.InitMap = Mem.read8(A + 0);
+  E.ValidMap = Mem.read8(A + 1);
+  E.SpeculateMap = Mem.read8(A + 2);
+  for (unsigned I = 0; I < 7; ++I)
+    E.Props[I] = Mem.read8(A + 4 + I);
+  return E;
+}
+
+void ClassList::write(uint8_t ClassId, uint8_t Line, const ClassListEntry &E) {
+  uint64_t A = entryAddr(ClassId, Line);
+  Mem.write8(A + 0, E.InitMap);
+  Mem.write8(A + 1, E.ValidMap);
+  Mem.write8(A + 2, E.SpeculateMap);
+  for (unsigned I = 0; I < 7; ++I)
+    Mem.write8(A + 4 + I, E.Props[I]);
+}
+
+void ClassList::bootstrapExisting(const ShapeTable &Shapes) {
+  for (ShapeId Id = 0; Id < Shapes.size(); ++Id)
+    onShapeCreated(Shapes, Id);
+}
+
+void ClassList::onShapeCreated(const ShapeTable &Shapes, ShapeId Id) {
+  const Shape &S = Shapes.get(Id);
+  if (S.ClassId >= UntrackedClassId)
+    return; // Saturated ids share entries; never profiled for speculation.
+  ClassShapes[S.ClassId].push_back(Id);
+
+  unsigned Lines = layout::linesForSlots(S.NumSlots ? S.NumSlots : 1);
+  unsigned ParentLines = 0;
+  bool InheritFromParent =
+      S.Parent != InvalidShape &&
+      Shapes.get(S.Parent).ClassId < UntrackedClassId;
+  if (InheritFromParent) {
+    const Shape &P = Shapes.get(S.Parent);
+    ParentLines = layout::linesForSlots(P.NumSlots ? P.NumSlots : 1);
+  }
+  for (unsigned L = 0; L < Lines; ++L) {
+    ClassListEntry E;
+    if (InheritFromParent && L < ParentLines) {
+      // Profile inheritance: constructor-assigned properties keep their
+      // profile across the transition chain. (Lines the parent never had
+      // start fresh.)
+      E = read(Shapes.get(S.Parent).ClassId, static_cast<uint8_t>(L));
+      E.SpeculateMap = 0; // Dependencies are per hidden class.
+    }
+    write(S.ClassId, static_cast<uint8_t>(L), E);
+  }
+}
+
+void ClassList::addFunctionDependency(uint8_t ClassId, uint8_t Line,
+                                      uint8_t Pos, uint32_t FuncIndex) {
+  assert(ClassId < UntrackedClassId &&
+         "cannot speculate on untracked hidden classes");
+  std::vector<uint32_t> &Fns = FunctionLists[slotKey(ClassId, Line, Pos)];
+  for (uint32_t F : Fns)
+    if (F == FuncIndex)
+      return;
+  Fns.push_back(FuncIndex);
+}
+
+const std::vector<uint32_t> &ClassList::functionsFor(uint8_t ClassId,
+                                                     uint8_t Line,
+                                                     uint8_t Pos) const {
+  static const std::vector<uint32_t> Empty;
+  auto It = FunctionLists.find(slotKey(ClassId, Line, Pos));
+  return It == FunctionLists.end() ? Empty : It->second;
+}
+
+const std::vector<ShapeId> &ClassList::shapesForClass(uint8_t ClassId) const {
+  return ClassShapes[ClassId];
+}
+
+void ClassList::invalidateSlot(uint8_t ClassId, uint8_t Line, uint8_t Pos,
+                               std::vector<uint32_t> &Deopt,
+                               std::vector<std::pair<uint8_t, uint8_t>>
+                                   &Touched) {
+  ClassListEntry E = read(ClassId, Line);
+  uint8_t Bit = uint8_t(1) << Pos;
+  if (!(E.ValidMap & Bit) && !(E.SpeculateMap & Bit))
+    return; // Already invalid and dependency-free.
+  E.ValidMap &= ~Bit;
+  if (E.SpeculateMap & Bit) {
+    E.SpeculateMap &= ~Bit;
+    auto It = FunctionLists.find(slotKey(ClassId, Line, Pos));
+    if (It != FunctionLists.end()) {
+      Deopt.insert(Deopt.end(), It->second.begin(), It->second.end());
+      It->second.clear();
+    }
+  }
+  write(ClassId, Line, E);
+  Touched.emplace_back(ClassId, Line);
+}
+
+std::vector<uint32_t> ClassList::invalidateWithDescendants(
+    const ShapeTable &Shapes, uint8_t ClassId, uint8_t Line, uint8_t Pos,
+    std::vector<std::pair<uint8_t, uint8_t>> &Touched) {
+  std::vector<uint32_t> Deopt;
+  invalidateSlot(ClassId, Line, Pos, Deopt, Touched);
+
+  // Objects that later transitioned to descendant classes carry the same
+  // slot; their profiles inherited the now-broken fact.
+  std::vector<ShapeId> Work = ClassShapes[ClassId];
+  while (!Work.empty()) {
+    ShapeId Id = Work.back();
+    Work.pop_back();
+    const Shape &S = Shapes.get(Id);
+    for (const auto &[Name, Child] : S.Transitions) {
+      const Shape &C = Shapes.get(Child);
+      if (C.ClassId < UntrackedClassId)
+        invalidateSlot(C.ClassId, Line, Pos, Deopt, Touched);
+      Work.push_back(Child);
+    }
+  }
+  return Deopt;
+}
+
+std::string ClassList::dumpClass(
+    uint8_t ClassId, unsigned Lines,
+    const std::function<std::string(uint8_t)> &ClassNamer,
+    const std::function<std::string(uint32_t)> &FuncNamer) const {
+  auto Bits = [](uint8_t B) {
+    std::string S(8, '0');
+    for (unsigned I = 0; I < 8; ++I)
+      if (B & (1u << (7 - I)))
+        S[I] = '1';
+    return S;
+  };
+
+  std::string Out;
+  for (unsigned L = 0; L < Lines; ++L) {
+    ClassListEntry E = read(ClassId, static_cast<uint8_t>(L));
+    Out += ClassNamer(ClassId) + ", line " + std::to_string(L) +
+           ": InitMap=" + Bits(E.InitMap) + " ValidMap=" + Bits(E.ValidMap) +
+           " SpeculateMap=" + Bits(E.SpeculateMap);
+    Out += " Props=[";
+    for (unsigned P = 0; P < 7; ++P) {
+      if (P)
+        Out += ", ";
+      unsigned Pos = P + 1;
+      if (E.InitMap & (1u << Pos))
+        Out += ClassNamer(E.Props[P]);
+      else
+        Out += "-";
+    }
+    Out += "]";
+    for (unsigned Pos = 0; Pos < 8; ++Pos) {
+      const std::vector<uint32_t> &Fns =
+          functionsFor(ClassId, static_cast<uint8_t>(L),
+                       static_cast<uint8_t>(Pos));
+      if (Fns.empty())
+        continue;
+      Out += " pos" + std::to_string(Pos) + ":{";
+      for (size_t I = 0; I < Fns.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += FuncNamer(Fns[I]);
+      }
+      Out += "}";
+    }
+    Out += "\n";
+  }
+  return Out;
+}

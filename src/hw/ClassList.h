@@ -1,0 +1,125 @@
+//===- hw/ClassList.h - The Class List (paper section 4.2.1.1) --*- C++ -*-===//
+///
+/// \file
+/// The Class List: a software-maintained structure in simulated memory
+/// with one entry per (ClassID, cache line) recording, for each property
+/// position of that line, whether it has been initialized (InitMap),
+/// whether it is still monomorphic (ValidMap), whether speculative
+/// optimizations depend on it (SpeculateMap), and the profiled ClassID of
+/// its values (Prop1..Prop7). A special register points at the region and
+/// entries are indexed by concatenating ClassID and Line.
+///
+/// The per-property FunctionList (functions speculatively optimized on the
+/// property) is kept host-side, as the runtime would keep it in unmanaged
+/// memory.
+///
+/// Two protocol details the paper leaves implicit are made explicit here
+/// (see DESIGN.md):
+///   * when a hidden class is created by a property transition, its Class
+///     List entries inherit the parent's profile, so constructor-assigned
+///     properties are profiled at the final class of the object;
+///   * when a ValidMap bit is cleared, the invalidation is propagated to
+///     the entries of all descendant hidden classes (objects that
+///     transitioned through the writing class carry the offending value).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_HW_CLASSLIST_H
+#define CCJS_HW_CLASSLIST_H
+
+#include "runtime/Shape.h"
+#include "runtime/SimMemory.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ccjs {
+
+/// In-memory image of one Class List entry (16 simulated bytes).
+struct ClassListEntry {
+  uint8_t InitMap = 0;
+  /// All properties start monomorphic (paper: initialized to 11111111).
+  uint8_t ValidMap = 0xFF;
+  uint8_t SpeculateMap = 0;
+  uint8_t Props[7] = {0, 0, 0, 0, 0, 0, 0};
+};
+
+class ClassList {
+public:
+  static constexpr unsigned EntryBytes = 16;
+  static constexpr unsigned NumEntries = 1u << 16; // ClassID x Line.
+
+  explicit ClassList(SimMemory &Mem);
+
+  /// Simulated address of the entry for (ClassID, Line); the hardware uses
+  /// this for miss refills and writebacks.
+  uint64_t entryAddr(uint8_t ClassId, uint8_t Line) const {
+    return RegionAddr + (uint64_t(ClassId) << 8 | Line) * EntryBytes;
+  }
+
+  ClassListEntry read(uint8_t ClassId, uint8_t Line) const;
+  void write(uint8_t ClassId, uint8_t Line, const ClassListEntry &E);
+
+  //===--------------------------------------------------------------------===//
+  // Runtime-side services
+  //===--------------------------------------------------------------------===//
+
+  /// Registers a newly created hidden class and copies its parent's profile
+  /// into its entries (profile inheritance).
+  void onShapeCreated(const ShapeTable &Shapes, ShapeId Id);
+
+  /// Records that \p FuncIndex was speculatively optimized assuming
+  /// (ClassId, Line, Pos) is monomorphic.
+  void addFunctionDependency(uint8_t ClassId, uint8_t Line, uint8_t Pos,
+                             uint32_t FuncIndex);
+
+  /// Functions that depend on the slot; used by the exception routine.
+  const std::vector<uint32_t> &functionsFor(uint8_t ClassId, uint8_t Line,
+                                            uint8_t Pos) const;
+
+  /// Clears the ValidMap bit of (ClassId, Line, Pos) in this entry and in
+  /// the entries of every descendant hidden class, collecting all dependent
+  /// functions whose SpeculateMap bit was set (they must be deoptimized).
+  /// The caller must also invalidate any Class Cache copies; the touched
+  /// (classId, line) pairs are appended to \p Touched.
+  std::vector<uint32_t>
+  invalidateWithDescendants(const ShapeTable &Shapes, uint8_t ClassId,
+                            uint8_t Line, uint8_t Pos,
+                            std::vector<std::pair<uint8_t, uint8_t>> &Touched);
+
+  /// All hidden classes registered under a ClassID (more than one only when
+  /// the 8-bit id space saturated).
+  const std::vector<ShapeId> &shapesForClass(uint8_t ClassId) const;
+
+  /// Initializes Class List entries for shapes that existed before this
+  /// Class List was attached (the well-known root shapes).
+  void bootstrapExisting(const ShapeTable &Shapes);
+
+  /// Pretty-prints the entries of \p ClassId for the paper's Table 1.
+  /// \p ClassNamer and \p FuncNamer map ids to display names.
+  std::string
+  dumpClass(uint8_t ClassId, unsigned Lines,
+            const std::function<std::string(uint8_t)> &ClassNamer,
+            const std::function<std::string(uint32_t)> &FuncNamer) const;
+
+private:
+  void invalidateSlot(uint8_t ClassId, uint8_t Line, uint8_t Pos,
+                      std::vector<uint32_t> &Deopt,
+                      std::vector<std::pair<uint8_t, uint8_t>> &Touched);
+
+  SimMemory &Mem;
+  uint64_t RegionAddr;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> FunctionLists;
+  std::vector<std::vector<ShapeId>> ClassShapes; // Indexed by ClassID.
+
+  static uint32_t slotKey(uint8_t ClassId, uint8_t Line, uint8_t Pos) {
+    return uint32_t(ClassId) << 16 | uint32_t(Line) << 8 | Pos;
+  }
+};
+
+} // namespace ccjs
+
+#endif // CCJS_HW_CLASSLIST_H

@@ -1,0 +1,82 @@
+//===- hw/EnergyModel.h - McPAT/CACTI-style energy model --------*- C++ -*-===//
+///
+/// \file
+/// Energy accounting: dynamic energy per event class plus leakage per
+/// cycle, with constants of CACTI/McPAT magnitude for the simulated core
+/// (see HwConfig). The paper measures energy with McPAT and the Class
+/// Cache with CACTI (section 5.2); this model reproduces how its savings
+/// arise — fewer executed instructions (dynamic energy) and fewer cycles
+/// (leakage energy).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_HW_ENERGYMODEL_H
+#define CCJS_HW_ENERGYMODEL_H
+
+#include "hw/ExecContext.h"
+
+namespace ccjs {
+
+struct EnergyBreakdown {
+  double CorePJ = 0;
+  double L1PJ = 0;
+  double L2PJ = 0;
+  double MemPJ = 0;
+  double ClassCachePJ = 0;
+  double LeakagePJ = 0;
+  double total() const {
+    return CorePJ + L1PJ + L2PJ + MemPJ + ClassCachePJ + LeakagePJ;
+  }
+};
+
+class EnergyModel {
+public:
+  /// Energy for one bucket's events over \p Cycles simulated cycles.
+  static EnergyBreakdown compute(const HwConfig &Cfg, uint64_t InstrCount,
+                                 const HwBucketCounters &B, double Cycles) {
+    EnergyBreakdown E;
+    E.CorePJ = InstrCount * Cfg.AluOpPJ + B.Branches * Cfg.BranchPJ;
+    E.L1PJ = (B.Loads + B.Stores) * (Cfg.L1AccessPJ + Cfg.TlbAccessPJ);
+    E.L2PJ = B.L1Misses * Cfg.L2AccessPJ;
+    E.MemPJ = B.L2Misses * Cfg.MemAccessPJ;
+    E.ClassCachePJ = B.CcAccesses * Cfg.ClassCachePJ;
+    E.LeakagePJ = Cycles * Cfg.LeakagePJPerCycle;
+    return E;
+  }
+
+  /// Whole-application energy of an execution context.
+  static EnergyBreakdown total(const ExecContext &Ctx) {
+    const HwConfig &Cfg = Ctx.config();
+    EnergyBreakdown Opt =
+        compute(Cfg, Ctx.instrs().optimizedTotal(), Ctx.optimizedBucket(),
+                Ctx.optimizedCycles());
+    EnergyBreakdown Rest = compute(
+        Cfg,
+        Ctx.instrs()
+            .PerCategory[static_cast<unsigned>(InstrCategory::RestOfCode)],
+        Ctx.restBucket(), Ctx.restCycles());
+    EnergyBreakdown Sum;
+    Sum.CorePJ = Opt.CorePJ + Rest.CorePJ;
+    Sum.L1PJ = Opt.L1PJ + Rest.L1PJ;
+    Sum.L2PJ = Opt.L2PJ + Rest.L2PJ;
+    Sum.MemPJ = Opt.MemPJ + Rest.MemPJ;
+    Sum.ClassCachePJ = Opt.ClassCachePJ + Rest.ClassCachePJ;
+    Sum.LeakagePJ = Opt.LeakagePJ + Rest.LeakagePJ;
+    return Sum;
+  }
+
+  /// Optimized-code-only energy of an execution context.
+  static EnergyBreakdown optimizedOnly(const ExecContext &Ctx) {
+    return compute(Ctx.config(), Ctx.instrs().optimizedTotal(),
+                   Ctx.optimizedBucket(), Ctx.optimizedCycles());
+  }
+
+  /// CACTI-style storage estimate of the Class Cache in bytes.
+  static double classCacheBytes(const ClassCache &CC) {
+    return CC.storageBits() / 8.0;
+  }
+};
+
+} // namespace ccjs
+
+#endif // CCJS_HW_ENERGYMODEL_H

@@ -1,0 +1,197 @@
+//===- hw/ExecContext.h - Machine event sink & timing -----------*- C++ -*-===//
+///
+/// \file
+/// The central accounting object of the simulation. Both execution tiers
+/// expand their work into machine-level events (ALU ops, loads, stores,
+/// branches, Class Cache requests); the ExecContext counts them per
+/// category, drives the memory hierarchy and branch predictor, and
+/// accumulates stall cycles.
+///
+/// Events are split into two buckets: *optimized code* (categories Checks,
+/// Tags/Untags, Math Assumptions, Other Optimized) and *rest of code*
+/// (baseline tier, IC stubs, runtime helpers), matching how the paper
+/// reports "optimized code" vs "whole application" results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_HW_EXECCONTEXT_H
+#define CCJS_HW_EXECCONTEXT_H
+
+#include "hw/BranchPredictor.h"
+#include "hw/ClassCache.h"
+#include "hw/HwConfig.h"
+#include "hw/MemorySystem.h"
+#include "profile/Categories.h"
+
+namespace ccjs {
+
+/// Hardware event counters for one bucket (optimized / rest).
+struct HwBucketCounters {
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t L1Misses = 0;
+  uint64_t L2Misses = 0;
+  uint64_t TlbMisses = 0;
+  uint64_t Branches = 0;
+  uint64_t Mispredicts = 0;
+  uint64_t CcAccesses = 0;
+  uint64_t CcMisses = 0;
+  uint64_t CcExceptions = 0;
+  double StallCycles = 0;
+};
+
+class ExecContext {
+public:
+  explicit ExecContext(const HwConfig &Cfg, ClassCache *CC = nullptr)
+      : Cfg(Cfg), Mem(Cfg), CC(CC) {}
+
+  //===--------------------------------------------------------------------===//
+  // Event primitives
+  //===--------------------------------------------------------------------===//
+
+  /// \p N non-memory instructions.
+  void alu(InstrCategory C, unsigned N = 1, bool AfterObjLoad = false) {
+    Instrs.add(C, N, AfterObjLoad);
+  }
+
+  void load(InstrCategory C, uint64_t Addr, bool AfterObjLoad = false) {
+    Instrs.add(C, 1, AfterObjLoad);
+    HwBucketCounters &B = bucket(C);
+    ++B.Loads;
+    memAccess(B, Addr);
+  }
+
+  void store(InstrCategory C, uint64_t Addr, bool AfterObjLoad = false) {
+    Instrs.add(C, 1, AfterObjLoad);
+    HwBucketCounters &B = bucket(C);
+    ++B.Stores;
+    memAccess(B, Addr);
+  }
+
+  void branch(InstrCategory C, uint32_t Site, bool Taken,
+              bool AfterObjLoad = false) {
+    Instrs.add(C, 1, AfterObjLoad);
+    HwBucketCounters &B = bucket(C);
+    ++B.Branches;
+    if (!Predictor.predict(Site, Taken)) {
+      ++B.Mispredicts;
+      B.StallCycles += Cfg.BranchMispredictPenalty;
+    }
+  }
+
+  /// Class Cache request issued in parallel with a property/elements store
+  /// (the store itself must be emitted separately). Free on a hit; a miss
+  /// charges the Class List refill (and dirty writeback) as memory traffic.
+  ClassCacheResult classCacheStore(InstrCategory C, uint8_t ContainerClass,
+                                   uint8_t Line, uint8_t Pos,
+                                   uint8_t ValueClass) {
+    assert(CC && "Class Cache not attached to this configuration");
+    HwBucketCounters &B = bucket(C);
+    ++B.CcAccesses;
+    ClassCacheResult R = CC->accessStore(ContainerClass, Line, Pos,
+                                         ValueClass);
+    if (!R.Hit) {
+      ++B.CcMisses;
+      if (R.WritebackAddr) {
+        ++B.Stores;
+        memAccess(B, R.WritebackAddr);
+      }
+      ++B.Loads;
+      memAccess(B, R.FillAddr);
+    }
+    if (R.Exception) {
+      ++B.CcExceptions;
+      B.StallCycles += Cfg.ClassCacheExceptionFlush;
+    }
+    return R;
+  }
+
+  ClassCache *classCache() { return CC; }
+
+  //===--------------------------------------------------------------------===//
+  // Results
+  //===--------------------------------------------------------------------===//
+
+  const InstrCounters &instrs() const { return Instrs; }
+  MemorySystem &memory() { return Mem; }
+  const MemorySystem &memory() const { return Mem; }
+  const BranchPredictor &predictor() const { return Predictor; }
+
+  const HwBucketCounters &optimizedBucket() const { return Buckets[0]; }
+  const HwBucketCounters &restBucket() const { return Buckets[1]; }
+
+  /// Simulated cycles for the optimized-code bucket, the rest bucket and
+  /// the whole application.
+  double optimizedCycles() const {
+    return cyclesFor(Instrs.optimizedTotal(), Buckets[0]);
+  }
+  double restCycles() const {
+    uint64_t RestInstr =
+        Instrs.PerCategory[static_cast<unsigned>(InstrCategory::RestOfCode)];
+    return cyclesFor(RestInstr, Buckets[1]);
+  }
+  double totalCycles() const { return optimizedCycles() + restCycles(); }
+
+  const HwConfig &config() const { return Cfg; }
+
+  /// Tracks accesses to one address region (the engine registers the
+  /// Class List region, so its memory traffic can be reported).
+  void setRegionOfInterest(uint64_t Lo, uint64_t Hi) {
+    RoiLo = Lo;
+    RoiHi = Hi;
+  }
+  uint64_t roiAccesses() const { return RoiAccesses; }
+  uint64_t roiMisses() const { return RoiMisses; }
+
+  /// Zeroes all counters (instructions, buckets, cache/TLB/predictor/Class
+  /// Cache statistics) while keeping the microarchitectural state warm —
+  /// the paper's steady-state protocol measures the 10th iteration only.
+  void resetStats() {
+    Instrs = InstrCounters();
+    Buckets[0] = HwBucketCounters();
+    Buckets[1] = HwBucketCounters();
+    Mem.resetStats();
+    Predictor.resetStats();
+    if (CC)
+      CC->resetStats();
+  }
+
+private:
+  HwBucketCounters &bucket(InstrCategory C) {
+    return Buckets[C == InstrCategory::RestOfCode ? 1 : 0];
+  }
+
+  void memAccess(HwBucketCounters &B, uint64_t Addr) {
+    MemAccessResult R = Mem.access(Addr);
+    if (Addr >= RoiLo && Addr < RoiHi) {
+      ++RoiAccesses;
+      if (!R.L1Hit)
+        ++RoiMisses;
+    }
+    if (!R.L1Hit)
+      ++B.L1Misses;
+    if (!R.L1Hit && !R.L2Hit)
+      ++B.L2Misses;
+    if (R.TlbMiss)
+      ++B.TlbMisses;
+    if (R.ExtraLatency)
+      B.StallCycles += R.ExtraLatency * Cfg.StallOverlap;
+  }
+
+  double cyclesFor(uint64_t InstrCount, const HwBucketCounters &B) const {
+    return static_cast<double>(InstrCount) / Cfg.IssueWidth + B.StallCycles;
+  }
+
+  const HwConfig &Cfg;
+  MemorySystem Mem;
+  BranchPredictor Predictor;
+  ClassCache *CC;
+  InstrCounters Instrs;
+  HwBucketCounters Buckets[2]; // [0] optimized, [1] rest.
+  uint64_t RoiLo = 0, RoiHi = 0;
+  uint64_t RoiAccesses = 0, RoiMisses = 0;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_HW_EXECCONTEXT_H

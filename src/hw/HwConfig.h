@@ -1,0 +1,77 @@
+//===- hw/HwConfig.h - Microarchitecture configuration ---------*- C++ -*-===//
+///
+/// \file
+/// Simulated micro-architecture configuration, mirroring the paper's
+/// Table 2 (a Nehalem-like core) plus the constants of our event-driven
+/// timing and energy models.
+///
+/// The timing model is deliberately simpler than MARSS: instructions retire
+/// at the issue width, memory stalls come from real set-associative cache
+/// and TLB simulations, and branch penalties from a real gshare predictor.
+/// An overlap factor stands in for the latency-hiding of the 128-entry
+/// out-of-order window. See DESIGN.md for the substitution rationale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_HW_HWCONFIG_H
+#define CCJS_HW_HWCONFIG_H
+
+namespace ccjs {
+
+struct HwConfig {
+  // Core (paper Table 2).
+  unsigned IssueWidth = 4;
+  unsigned InstrQueue = 36;  ///< Documented; folded into StallOverlap.
+  unsigned WindowSize = 128; ///< Documented; folded into StallOverlap.
+  unsigned OutstandingLoadStores = 10;
+
+  // Memory hierarchy (paper Table 2).
+  unsigned LineBytes = 64;
+  unsigned Dl1SizeKB = 32;
+  unsigned Dl1Ways = 8;
+  unsigned Il1SizeKB = 32; ///< Documented; instruction fetch is not modeled.
+  unsigned Il1Ways = 4;
+  unsigned L2SizeKB = 256;
+  unsigned L2Ways = 8;
+  unsigned ItlbEntries = 128;
+  unsigned DtlbEntries = 256;
+  unsigned DtlbWays = 4;
+  unsigned PageBytes = 4096;
+
+  // Latencies (cycles).
+  unsigned L1LoadLatency = 2; ///< Hidden by the pipeline on a hit.
+  unsigned L2Latency = 12;
+  unsigned MemLatency = 150;
+  unsigned TlbMissPenalty = 30;
+  unsigned BranchMispredictPenalty = 14;
+
+  /// Fraction of a miss's extra latency that the out-of-order window fails
+  /// to hide (1.0 = fully exposed, 0 = fully hidden).
+  double StallOverlap = 0.4;
+
+  // Class Cache (paper Table 2: 128 entries, 2-way).
+  unsigned ClassCacheEntries = 128;
+  unsigned ClassCacheWays = 2;
+  /// Instructions executed by the runtime exception routine that
+  /// deoptimizes the offending functions.
+  unsigned ClassCacheExceptionCost = 600;
+  /// Pipeline flush cycles charged when the HW exception fires.
+  unsigned ClassCacheExceptionFlush = 40;
+
+  //===--------------------------------------------------------------------===//
+  // Energy model constants (pJ per event / per cycle), CACTI/McPAT-flavored
+  // magnitudes for a 32nm Nehalem-class core.
+  //===--------------------------------------------------------------------===//
+  double AluOpPJ = 0.9;       ///< Average non-memory instruction energy.
+  double L1AccessPJ = 2.3;    ///< DL1 read/write.
+  double L2AccessPJ = 16.0;
+  double MemAccessPJ = 180.0;
+  double TlbAccessPJ = 0.6;
+  double BranchPJ = 0.4;      ///< Predictor lookup/update.
+  double ClassCachePJ = 0.35; ///< 1.5KB, 2-way structure (CACTI estimate).
+  double LeakagePJPerCycle = 320.0; ///< ~1W static at ~3GHz.
+};
+
+} // namespace ccjs
+
+#endif // CCJS_HW_HWCONFIG_H

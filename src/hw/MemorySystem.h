@@ -1,0 +1,70 @@
+//===- hw/MemorySystem.h - DL1/L2/DTLB hierarchy ----------------*- C++ -*-===//
+///
+/// \file
+/// The data-side memory hierarchy: DTLB, DL1 and L2 in front of main
+/// memory. Every architecturally visible load and store of both tiers goes
+/// through here; the Class Cache's miss refills and writebacks do too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_HW_MEMORYSYSTEM_H
+#define CCJS_HW_MEMORYSYSTEM_H
+
+#include "hw/CacheSim.h"
+#include "hw/HwConfig.h"
+
+namespace ccjs {
+
+/// Outcome of one memory access, for timing and energy accounting.
+struct MemAccessResult {
+  bool L1Hit = false;
+  bool L2Hit = false; ///< Meaningful only when !L1Hit.
+  bool TlbMiss = false;
+  /// Extra latency beyond a pipelined L1 hit, before overlap scaling.
+  unsigned ExtraLatency = 0;
+};
+
+class MemorySystem {
+public:
+  explicit MemorySystem(const HwConfig &Cfg)
+      : Cfg(Cfg),
+        Dl1(CacheSim::fromCapacity(Cfg.Dl1SizeKB * 1024, Cfg.Dl1Ways,
+                                   Cfg.LineBytes)),
+        L2(CacheSim::fromCapacity(Cfg.L2SizeKB * 1024, Cfg.L2Ways,
+                                  Cfg.LineBytes)),
+        Dtlb(Cfg.DtlbEntries / Cfg.DtlbWays, Cfg.DtlbWays, Cfg.PageBytes) {}
+
+  MemAccessResult access(uint64_t Addr) {
+    MemAccessResult R;
+    R.TlbMiss = !Dtlb.access(Addr);
+    if (R.TlbMiss)
+      R.ExtraLatency += Cfg.TlbMissPenalty;
+    R.L1Hit = Dl1.access(Addr);
+    if (!R.L1Hit) {
+      R.L2Hit = L2.access(Addr);
+      R.ExtraLatency += (R.L2Hit ? Cfg.L2Latency : Cfg.MemLatency) -
+                        Cfg.L1LoadLatency;
+    }
+    return R;
+  }
+
+  const CacheSim &dl1() const { return Dl1; }
+  const CacheSim &l2() const { return L2; }
+  const CacheSim &dtlb() const { return Dtlb; }
+
+  void resetStats() {
+    Dl1.resetStats();
+    L2.resetStats();
+    Dtlb.resetStats();
+  }
+
+private:
+  const HwConfig &Cfg;
+  CacheSim Dl1;
+  CacheSim L2;
+  CacheSim Dtlb;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_HW_MEMORYSYSTEM_H

@@ -1,0 +1,348 @@
+//===- interp/Builtins.cpp - Built-in functions ---------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "runtime/Operations.h"
+#include "support/Assert.h"
+#include "vm/Builtins.h"
+#include "vm/ProfileHooks.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace ccjs;
+
+static constexpr InstrCategory RC = InstrCategory::RestOfCode;
+
+static double argNumber(VMState &VM, const Value *Args, uint32_t Argc,
+                        uint32_t I) {
+  return I < Argc ? toNumber(VM.Heap_, Args[I]) : std::nan("");
+}
+
+Value ccjs::callBuiltin(VMState &VM, uint32_t BuiltinIndex, Value ThisV,
+                        const Value *Args, uint32_t Argc) {
+  Heap &H = VM.Heap_;
+  BuiltinId Id = builtinFromIndex(BuiltinIndex);
+  switch (Id) {
+  case BuiltinId::Print: {
+    std::string Line = Argc > 0 ? toStringValue(H, Args[0]) : "";
+    VM.Ctx.alu(RC, 20 + Line.size() / 4);
+    VM.Output += Line;
+    VM.Output += '\n';
+    if (VM.EchoOutput)
+      std::printf("%s\n", Line.c_str());
+    return H.undefined();
+  }
+
+  // Math.* — one argument unless noted.
+  case BuiltinId::MathFloor: {
+    VM.Ctx.alu(RC, 8);
+    return H.number(std::floor(argNumber(VM, Args, Argc, 0)));
+  }
+  case BuiltinId::MathCeil:
+    VM.Ctx.alu(RC, 8);
+    return H.number(std::ceil(argNumber(VM, Args, Argc, 0)));
+  case BuiltinId::MathRound: {
+    VM.Ctx.alu(RC, 8);
+    double D = argNumber(VM, Args, Argc, 0);
+    return H.number(std::floor(D + 0.5));
+  }
+  case BuiltinId::MathSqrt:
+    VM.Ctx.alu(RC, 12);
+    return H.number(std::sqrt(argNumber(VM, Args, Argc, 0)));
+  case BuiltinId::MathAbs:
+    VM.Ctx.alu(RC, 6);
+    return H.number(std::fabs(argNumber(VM, Args, Argc, 0)));
+  case BuiltinId::MathMin: {
+    VM.Ctx.alu(RC, 8);
+    double A = argNumber(VM, Args, Argc, 0), B = argNumber(VM, Args, Argc, 1);
+    return H.number(std::fmin(A, B));
+  }
+  case BuiltinId::MathMax: {
+    VM.Ctx.alu(RC, 8);
+    double A = argNumber(VM, Args, Argc, 0), B = argNumber(VM, Args, Argc, 1);
+    return H.number(std::fmax(A, B));
+  }
+  case BuiltinId::MathPow:
+    VM.Ctx.alu(RC, 25);
+    return H.number(
+        std::pow(argNumber(VM, Args, Argc, 0), argNumber(VM, Args, Argc, 1)));
+  case BuiltinId::MathSin:
+    VM.Ctx.alu(RC, 20);
+    return H.number(std::sin(argNumber(VM, Args, Argc, 0)));
+  case BuiltinId::MathCos:
+    VM.Ctx.alu(RC, 20);
+    return H.number(std::cos(argNumber(VM, Args, Argc, 0)));
+  case BuiltinId::MathTan:
+    VM.Ctx.alu(RC, 22);
+    return H.number(std::tan(argNumber(VM, Args, Argc, 0)));
+  case BuiltinId::MathAtan:
+    VM.Ctx.alu(RC, 22);
+    return H.number(std::atan(argNumber(VM, Args, Argc, 0)));
+  case BuiltinId::MathAtan2:
+    VM.Ctx.alu(RC, 24);
+    return H.number(std::atan2(argNumber(VM, Args, Argc, 0),
+                               argNumber(VM, Args, Argc, 1)));
+  case BuiltinId::MathExp:
+    VM.Ctx.alu(RC, 20);
+    return H.number(std::exp(argNumber(VM, Args, Argc, 0)));
+  case BuiltinId::MathLog:
+    VM.Ctx.alu(RC, 20);
+    return H.number(std::log(argNumber(VM, Args, Argc, 0)));
+  case BuiltinId::MathRandom:
+    VM.Ctx.alu(RC, 10);
+    return H.allocHeapNumber(VM.nextRandom());
+
+  case BuiltinId::StringFromCharCode: {
+    VM.Ctx.alu(RC, 15);
+    std::string S;
+    for (uint32_t I = 0; I < Argc; ++I)
+      S += static_cast<char>(toInt32(toNumber(H, Args[I])) & 0xFF);
+    return H.allocString(S);
+  }
+
+  // String.prototype.* (ThisV is the string receiver).
+  case BuiltinId::StrCharCodeAt: {
+    if (!ThisV.isPointer() || !H.isString(ThisV)) {
+      VM.halt("charCodeAt on a non-string");
+      return H.undefined();
+    }
+    uint64_t Addr = ThisV.asPointer();
+    int32_t I = Argc > 0 ? toInt32(toNumber(H, Args[0])) : 0;
+    VM.Ctx.alu(RC, 4);
+    if (I < 0 || static_cast<uint32_t>(I) >= H.stringLength(Addr))
+      return H.allocHeapNumber(std::nan(""));
+    VM.Ctx.load(RC, Addr + 16 + static_cast<uint32_t>(I));
+    return Value::makeSmi(H.stringCharAt(Addr, static_cast<uint32_t>(I)));
+  }
+  case BuiltinId::StrCharAt: {
+    if (!ThisV.isPointer() || !H.isString(ThisV)) {
+      VM.halt("charAt on a non-string");
+      return H.undefined();
+    }
+    uint64_t Addr = ThisV.asPointer();
+    int32_t I = Argc > 0 ? toInt32(toNumber(H, Args[0])) : 0;
+    VM.Ctx.alu(RC, 10);
+    if (I < 0 || static_cast<uint32_t>(I) >= H.stringLength(Addr))
+      return H.emptyString();
+    VM.Ctx.load(RC, Addr + 16 + static_cast<uint32_t>(I));
+    char C = static_cast<char>(H.stringCharAt(Addr, static_cast<uint32_t>(I)));
+    return H.allocString(std::string_view(&C, 1));
+  }
+  case BuiltinId::StrSubstring: {
+    if (!ThisV.isPointer() || !H.isString(ThisV)) {
+      VM.halt("substring on a non-string");
+      return H.undefined();
+    }
+    std::string S = H.stringContents(ThisV.asPointer());
+    int64_t Len = static_cast<int64_t>(S.size());
+    int64_t A = Argc > 0 ? toInt32(toNumber(H, Args[0])) : 0;
+    int64_t B = Argc > 1 ? toInt32(toNumber(H, Args[1])) : Len;
+    A = std::clamp<int64_t>(A, 0, Len);
+    B = std::clamp<int64_t>(B, 0, Len);
+    if (A > B)
+      std::swap(A, B);
+    VM.Ctx.alu(RC, 12 + static_cast<unsigned>(B - A) / 4);
+    return H.allocString(std::string_view(S).substr(A, B - A));
+  }
+  case BuiltinId::StrIndexOf: {
+    if (!ThisV.isPointer() || !H.isString(ThisV)) {
+      VM.halt("indexOf on a non-string");
+      return H.undefined();
+    }
+    std::string S = H.stringContents(ThisV.asPointer());
+    std::string Needle = Argc > 0 ? toStringValue(H, Args[0]) : "";
+    VM.Ctx.alu(RC, 10 + S.size() / 4);
+    size_t P = S.find(Needle);
+    return Value::makeSmi(P == std::string::npos ? -1
+                                                 : static_cast<int32_t>(P));
+  }
+  case BuiltinId::StrSplit: {
+    if (!ThisV.isPointer() || !H.isString(ThisV)) {
+      VM.halt("split on a non-string");
+      return H.undefined();
+    }
+    std::string S = H.stringContents(ThisV.asPointer());
+    std::string Sep = Argc > 0 ? toStringValue(H, Args[0]) : "";
+    VM.Ctx.alu(RC, 20 + S.size() / 2);
+    Value Arr = H.allocArray(0);
+    uint64_t ArrAddr = Arr.asPointer();
+    int64_t Count = 0;
+    if (Sep.empty()) {
+      for (char C : S)
+        H.setElement(ArrAddr, Count++, H.allocString({&C, 1}));
+    } else {
+      size_t Start = 0;
+      for (;;) {
+        size_t P = S.find(Sep, Start);
+        if (P == std::string::npos) {
+          H.setElement(ArrAddr, Count++,
+                       H.allocString(std::string_view(S).substr(Start)));
+          break;
+        }
+        H.setElement(ArrAddr, Count++,
+                     H.allocString(
+                         std::string_view(S).substr(Start, P - Start)));
+        Start = P + Sep.size();
+      }
+    }
+    return Arr;
+  }
+  case BuiltinId::StrToUpperCase:
+  case BuiltinId::StrToLowerCase: {
+    if (!ThisV.isPointer() || !H.isString(ThisV)) {
+      VM.halt("case conversion on a non-string");
+      return H.undefined();
+    }
+    std::string S = H.stringContents(ThisV.asPointer());
+    VM.Ctx.alu(RC, 8 + S.size() / 2);
+    for (char &C : S)
+      C = Id == BuiltinId::StrToUpperCase
+              ? static_cast<char>(std::toupper(static_cast<unsigned char>(C)))
+              : static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    return H.allocString(S);
+  }
+
+  // Array.prototype.* (ThisV is a plain object with elements).
+  case BuiltinId::ArrPush: {
+    if (!ThisV.isPointer() || !H.isPlainObject(ThisV)) {
+      VM.halt("push on a non-object");
+      return H.undefined();
+    }
+    uint64_t Addr = ThisV.asPointer();
+    int64_t Len = H.elementsLength(Addr);
+    VM.Ctx.alu(RC, 8);
+    for (uint32_t I = 0; I < Argc; ++I) {
+      H.setElement(Addr, Len, Args[I]);
+      VM.Ctx.store(RC, H.elementAddress(Addr, static_cast<uint32_t>(Len)));
+      profileElementsStore(VM, RC, H.shapeOf(Addr), Addr, Args[I], false);
+      ++Len;
+    }
+    return Value::fitsSmi(Len) ? Value::makeSmi(static_cast<int32_t>(Len))
+                               : H.number(static_cast<double>(Len));
+  }
+  case BuiltinId::ArrPop: {
+    if (!ThisV.isPointer() || !H.isPlainObject(ThisV)) {
+      VM.halt("pop on a non-object");
+      return H.undefined();
+    }
+    uint64_t Addr = ThisV.asPointer();
+    int64_t Len = H.elementsLength(Addr);
+    VM.Ctx.alu(RC, 8);
+    if (Len == 0)
+      return H.undefined();
+    Value V = H.getElement(Addr, Len - 1);
+    VM.Ctx.load(RC, H.elementAddress(Addr, static_cast<uint32_t>(Len - 1)));
+    VM.Mem.write64(Addr + layout::ElementsLengthPos * 8,
+                   static_cast<uint64_t>(Len - 1));
+    VM.Ctx.store(RC, Addr + layout::ElementsLengthPos * 8);
+    return V;
+  }
+  case BuiltinId::ArrJoin: {
+    if (!ThisV.isPointer() || !H.isPlainObject(ThisV)) {
+      VM.halt("join on a non-object");
+      return H.undefined();
+    }
+    uint64_t Addr = ThisV.asPointer();
+    int64_t Len = H.elementsLength(Addr);
+    std::string Sep = Argc > 0 ? toStringValue(H, Args[0]) : ",";
+    std::string Out;
+    for (int64_t I = 0; I < Len; ++I) {
+      if (I)
+        Out += Sep;
+      VM.Ctx.load(RC, H.elementAddress(Addr, static_cast<uint32_t>(I)));
+      Out += toStringValue(H, H.getElement(Addr, I));
+    }
+    VM.Ctx.alu(RC, 10 + Out.size() / 4);
+    return H.allocString(Out);
+  }
+  case BuiltinId::ArrIndexOf: {
+    if (!ThisV.isPointer() || !H.isPlainObject(ThisV)) {
+      VM.halt("indexOf on a non-object");
+      return H.undefined();
+    }
+    uint64_t Addr = ThisV.asPointer();
+    int64_t Len = H.elementsLength(Addr);
+    Value Needle = Argc > 0 ? Args[0] : H.undefined();
+    for (int64_t I = 0; I < Len; ++I) {
+      VM.Ctx.alu(RC, 2);
+      VM.Ctx.load(RC, H.elementAddress(Addr, static_cast<uint32_t>(I)));
+      if (strictEquals(H, H.getElement(Addr, I), Needle))
+        return Value::makeSmi(static_cast<int32_t>(I));
+    }
+    return Value::makeSmi(-1);
+  }
+
+  case BuiltinId::ArrayCtor: {
+    // `Array(n)` called without `new`.
+    uint32_t N = Argc >= 1 && Args[0].isSmi() && Args[0].asSmi() >= 0
+                     ? static_cast<uint32_t>(Args[0].asSmi())
+                     : 0;
+    VM.Ctx.alu(RC, 20 + N / 16);
+    return H.allocArray(N);
+  }
+
+  case BuiltinId::NumBuiltins:
+    break;
+  }
+  CCJS_UNREACHABLE("unknown builtin id");
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime globals
+//===----------------------------------------------------------------------===//
+
+void ccjs::installRuntimeGlobals(VMState &VM) {
+  Heap &H = VM.Heap_;
+  auto GlobalOf = [&](const char *Name) -> int64_t {
+    auto It = VM.Module.GlobalIndexOf.find(Name);
+    if (It == VM.Module.GlobalIndexOf.end())
+      return -1;
+    return static_cast<int64_t>(It->second);
+  };
+  auto Bind = [&](const char *Name, Value V) {
+    int64_t Idx = GlobalOf(Name);
+    if (Idx >= 0)
+      VM.writeGlobal(static_cast<uint32_t>(Idx), V);
+  };
+  auto Fn = [&](BuiltinId Id) {
+    return H.allocFunction(indexOfBuiltin(Id));
+  };
+
+  Bind("print", Fn(BuiltinId::Print));
+  Bind("Array", Fn(BuiltinId::ArrayCtor));
+
+  if (GlobalOf("Math") >= 0) {
+    Value Math = H.allocObject(VM.Shapes.plainRoot(), 24);
+    uint64_t Addr = Math.asPointer();
+    auto Prop = [&](const char *Name, Value V) {
+      H.addProperty(Addr, VM.Names.intern(Name), V);
+    };
+    Prop("floor", Fn(BuiltinId::MathFloor));
+    Prop("ceil", Fn(BuiltinId::MathCeil));
+    Prop("round", Fn(BuiltinId::MathRound));
+    Prop("sqrt", Fn(BuiltinId::MathSqrt));
+    Prop("abs", Fn(BuiltinId::MathAbs));
+    Prop("min", Fn(BuiltinId::MathMin));
+    Prop("max", Fn(BuiltinId::MathMax));
+    Prop("pow", Fn(BuiltinId::MathPow));
+    Prop("sin", Fn(BuiltinId::MathSin));
+    Prop("cos", Fn(BuiltinId::MathCos));
+    Prop("tan", Fn(BuiltinId::MathTan));
+    Prop("atan", Fn(BuiltinId::MathAtan));
+    Prop("atan2", Fn(BuiltinId::MathAtan2));
+    Prop("exp", Fn(BuiltinId::MathExp));
+    Prop("log", Fn(BuiltinId::MathLog));
+    Prop("random", Fn(BuiltinId::MathRandom));
+    Prop("PI", H.allocHeapNumber(3.141592653589793));
+    Prop("E", H.allocHeapNumber(2.718281828459045));
+    Bind("Math", Math);
+  }
+
+  if (GlobalOf("String") >= 0) {
+    Value Str = H.allocObject(VM.Shapes.plainRoot(), 4);
+    H.addProperty(Str.asPointer(), VM.Names.intern("fromCharCode"),
+                  Fn(BuiltinId::StringFromCharCode));
+    Bind("String", Str);
+  }
+}

@@ -1,0 +1,771 @@
+//===- interp/Interpreter.cpp ---------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "frontend/Ast.h"
+#include "runtime/Operations.h"
+#include "support/Assert.h"
+#include "vm/Builtins.h"
+#include "vm/ProfileHooks.h"
+
+#include <cmath>
+
+using namespace ccjs;
+
+// All baseline-tier events carry this category (paper Figure 1: everything
+// outside optimized code is "rest of code").
+static constexpr InstrCategory RC = InstrCategory::RestOfCode;
+
+void ccjs::materializeConsts(VMState &VM, FunctionInfo &FI) {
+  if (FI.ConstsMaterialized)
+    return;
+  FI.ConstPool.reserve(FI.Fn->Consts.size());
+  for (const ConstEntry &C : FI.Fn->Consts)
+    FI.ConstPool.push_back(C.Kind == ConstEntry::Number
+                               ? VM.Heap_.number(C.Num)
+                               : VM.Heap_.allocString(C.Str));
+  FI.ConstsMaterialized = true;
+}
+
+static uint32_t branchSite(uint32_t FuncIndex, size_t Pc) {
+  return (FuncIndex << 16) ^ static_cast<uint32_t>(Pc);
+}
+
+namespace {
+
+/// Per-call interpreter frame.
+class Frame {
+public:
+  Frame(VMState &VM, uint32_t FuncIndex, Value ThisV)
+      : VM(VM), H(VM.Heap_), FI(VM.Funcs[FuncIndex]), F(*FI.Fn),
+        FuncIndex(FuncIndex), ThisV(ThisV) {}
+
+  Value run(std::vector<Value> &&LocalsIn, std::vector<Value> &&StackIn,
+            uint32_t Pc);
+
+private:
+  Value pop() {
+    assert(!Stack.empty() && "operand stack underflow");
+    Value V = Stack.back();
+    Stack.pop_back();
+    return V;
+  }
+  Value &peek(unsigned Depth = 0) {
+    assert(Stack.size() > Depth && "operand stack underflow");
+    return Stack[Stack.size() - 1 - Depth];
+  }
+  void push(Value V) { Stack.push_back(V); }
+
+  // Bytecode handlers that need more than a few lines.
+  void doGetProp(const Instr &In);
+  void doSetProp(const Instr &In);
+  void doGetElem(const Instr &In);
+  void doSetElem(const Instr &In);
+  void doGetLength(const Instr &In);
+  void doBinOp(const Instr &In, size_t Pc);
+  void doCallGlobal(const Instr &In);
+  void doCallMethod(const Instr &In);
+  void doCallValue(const Instr &In);
+  void doNew(const Instr &In);
+  void doAddPropLit(const Instr &In);
+
+  /// Pops \p Argc arguments into ArgBuf (in call order).
+  const Value *popArgs(uint32_t Argc) {
+    assert(Argc <= MaxArgs && "too many call arguments");
+    for (uint32_t I = 0; I < Argc; ++I)
+      ArgBuf[Argc - 1 - I] = pop();
+    return ArgBuf;
+  }
+
+  Value invoke(uint32_t FuncIdx, Value This, const Value *Args,
+               uint32_t Argc) {
+    if (isBuiltinIndex(FuncIdx))
+      return callBuiltin(VM, FuncIdx, This, Args, Argc);
+    return VM.Invoke(VM, FuncIdx, This, Args, Argc);
+  }
+
+  /// True when \p V is a plain-object pointer; halts otherwise.
+  bool requirePlainObject(Value V, const char *What) {
+    if (V.isPointer() && H.isPlainObject(V))
+      return true;
+    VM.halt(std::string("baseline: ") + What + " on a non-object value");
+    return false;
+  }
+
+  VMState &VM;
+  Heap &H;
+  FunctionInfo &FI;
+  const BytecodeFunction &F;
+  uint32_t FuncIndex;
+  Value ThisV;
+  std::vector<Value> Locals;
+  std::vector<Value> Stack;
+
+  static constexpr uint32_t MaxArgs = 16;
+  Value ArgBuf[MaxArgs];
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Property and element handlers
+//===----------------------------------------------------------------------===//
+
+void Frame::doGetProp(const Instr &In) {
+  Value Obj = pop();
+  if (!requirePlainObject(Obj, "property load")) {
+    push(H.undefined());
+    return;
+  }
+  uint64_t Addr = Obj.asPointer();
+  ShapeId Shape = H.shapeOf(Addr);
+  SiteFeedback &FB = FI.Feedback[In.Site];
+
+  const PropEntry *E = FB.find(Shape);
+  uint32_t Slot;
+  if (E) {
+    // IC hit: patched call, map load + compare, slot load.
+    Slot = E->Slot;
+    VM.Ctx.alu(RC, 3);
+    VM.Ctx.load(RC, Addr);
+    VM.Ctx.branch(RC, branchSite(FuncIndex, In.Site), false);
+  } else {
+    std::optional<uint32_t> Found = VM.Shapes.lookup(Shape, In.B);
+    if (!Found) {
+      // Missing property reads as undefined (generic lookup each time).
+      VM.Ctx.alu(RC, 30);
+      push(H.undefined());
+      return;
+    }
+    Slot = *Found;
+    FB.insert(Shape, static_cast<uint16_t>(Slot));
+    VM.Ctx.alu(RC, 35); // Lookup routine + IC patching.
+    VM.Ctx.load(RC, Addr);
+  }
+
+  bool InObject = false;
+  uint64_t SlotAddr = H.slotAddress(Addr, Slot, &InObject);
+  VM.Ctx.load(RC, SlotAddr);
+  VM.Profiler.recordPropertyLoad(
+      Shape, Slot, InObject && layout::slotLocation(Slot).Line == 0);
+  push(H.getSlot(Addr, Slot));
+}
+
+void Frame::doSetProp(const Instr &In) {
+  Value V = pop();
+  Value Obj = pop();
+  if (!requirePlainObject(Obj, "property store")) {
+    push(V);
+    return;
+  }
+  uint64_t Addr = Obj.asPointer();
+  ShapeId Shape = H.shapeOf(Addr);
+  SiteFeedback &FB = FI.Feedback[In.Site];
+
+  std::optional<uint32_t> Found = VM.Shapes.lookup(Shape, In.B);
+  uint32_t Slot;
+  ShapeId PostShape = Shape;
+  if (Found) {
+    Slot = *Found;
+    if (FB.find(Shape)) {
+      VM.Ctx.alu(RC, 3);
+      VM.Ctx.load(RC, Addr);
+      VM.Ctx.branch(RC, branchSite(FuncIndex, In.Site), false);
+    } else {
+      FB.insert(Shape, static_cast<uint16_t>(Slot));
+      VM.Ctx.alu(RC, 35);
+      VM.Ctx.load(RC, Addr);
+    }
+    bool InObject = false;
+    uint64_t SlotAddr = H.slotAddress(Addr, Slot, &InObject);
+    H.setSlot(Addr, Slot, V);
+    VM.Ctx.store(RC, SlotAddr);
+    profilePropertyStore(VM, RC, PostShape, Slot, V, InObject);
+  } else {
+    // Transitioning store: new hidden class, headers rewritten.
+    Slot = H.addProperty(Addr, In.B, V);
+    PostShape = H.shapeOf(Addr);
+    FB.insert(Shape, static_cast<uint16_t>(Slot), PostShape);
+    VM.Ctx.alu(RC, 25);
+    uint32_t Lines = layout::linesForSlots(H.capacityOf(Addr));
+    for (uint32_t L = 0; L < Lines; ++L)
+      VM.Ctx.store(RC, Addr + L * layout::CacheLineBytes);
+    bool InObject = false;
+    uint64_t SlotAddr = H.slotAddress(Addr, Slot, &InObject);
+    VM.Ctx.store(RC, SlotAddr);
+    profilePropertyStore(VM, RC, PostShape, Slot, V, InObject);
+  }
+  push(V);
+}
+
+void Frame::doGetElem(const Instr &In) {
+  Value Idx = pop();
+  Value Obj = pop();
+  if (!requirePlainObject(Obj, "element load")) {
+    push(H.undefined());
+    return;
+  }
+  uint64_t Addr = Obj.asPointer();
+  ShapeId Shape = H.shapeOf(Addr);
+  SiteFeedback &FB = FI.Feedback[In.Site];
+
+  // String keys fall back to a generic named lookup.
+  if (Idx.isPointer() && H.isString(Idx)) {
+    VM.Ctx.alu(RC, 45);
+    InternedString Name = VM.Names.intern(H.stringContents(Idx.asPointer()));
+    std::optional<uint32_t> Found = VM.Shapes.lookup(Shape, Name);
+    FB.Megamorphic = true;
+    push(Found ? H.getSlot(Addr, *Found) : H.undefined());
+    return;
+  }
+
+  int64_t I;
+  if (Idx.isSmi()) {
+    I = Idx.asSmi();
+  } else if (H.isHeapNumber(Idx)) {
+    double D = H.heapNumberValue(Idx.asPointer());
+    I = static_cast<int64_t>(D);
+    if (D != static_cast<double>(I)) {
+      push(H.undefined());
+      return;
+    }
+  } else {
+    VM.halt("baseline: non-numeric array index");
+    push(H.undefined());
+    return;
+  }
+
+  if (!FB.find(Shape)) {
+    FB.insert(Shape, 0);
+    VM.Ctx.alu(RC, 30);
+  }
+  // Map check, elements pointer load, bounds check, element load.
+  VM.Ctx.alu(RC, 4);
+  VM.Ctx.load(RC, Addr);
+  VM.Ctx.load(RC, Addr + layout::ElementsPointerPos * 8);
+  VM.Ctx.branch(RC, branchSite(FuncIndex, In.Site), false);
+
+  VM.Profiler.recordElementLoad(Shape);
+  if (I < 0 || I >= H.elementsLength(Addr)) {
+    FB.SawOutOfBounds = true;
+    push(H.undefined());
+    return;
+  }
+  VM.Ctx.load(RC, H.elementAddress(Addr, static_cast<uint32_t>(I)));
+  push(H.getElement(Addr, I));
+}
+
+void Frame::doSetElem(const Instr &In) {
+  Value V = pop();
+  Value Idx = pop();
+  Value Obj = pop();
+  if (!requirePlainObject(Obj, "element store")) {
+    push(V);
+    return;
+  }
+  uint64_t Addr = Obj.asPointer();
+  ShapeId Shape = H.shapeOf(Addr);
+  SiteFeedback &FB = FI.Feedback[In.Site];
+
+  int64_t I;
+  if (Idx.isSmi()) {
+    I = Idx.asSmi();
+  } else if (Idx.isPointer() && H.isHeapNumber(Idx)) {
+    I = static_cast<int64_t>(H.heapNumberValue(Idx.asPointer()));
+  } else {
+    VM.halt("baseline: non-numeric array index in store");
+    push(V);
+    return;
+  }
+  if (I < 0) {
+    VM.halt("baseline: negative array index in store");
+    push(V);
+    return;
+  }
+
+  if (!FB.find(Shape)) {
+    FB.insert(Shape, 0);
+    VM.Ctx.alu(RC, 30);
+  }
+  VM.Ctx.alu(RC, 4);
+  VM.Ctx.load(RC, Addr);
+  VM.Ctx.load(RC, Addr + layout::ElementsPointerPos * 8);
+  VM.Ctx.branch(RC, branchSite(FuncIndex, In.Site), false);
+
+  bool Slow = H.setElement(Addr, I, V);
+  if (Slow) {
+    FB.SawOutOfBounds = true;
+    VM.Ctx.alu(RC, 40); // Growth / length update path.
+  }
+  VM.Ctx.store(RC, H.elementAddress(Addr, static_cast<uint32_t>(I)));
+  profileElementsStore(VM, RC, Shape, Addr, V,
+                       /*ArrayClassIdLoaded=*/false);
+  push(V);
+}
+
+void Frame::doGetLength(const Instr &In) {
+  Value Obj = pop();
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  if (Obj.isPointer() && H.isString(Obj)) {
+    FB.Length = FB.Length == LengthKind::None || FB.Length == LengthKind::String
+                    ? LengthKind::String
+                    : LengthKind::Mixed;
+    VM.Ctx.alu(RC, 2);
+    VM.Ctx.load(RC, Obj.asPointer() + 8);
+    push(Value::makeSmi(static_cast<int32_t>(H.stringLength(Obj.asPointer()))));
+    return;
+  }
+  if (!requirePlainObject(Obj, "length read")) {
+    push(H.undefined());
+    return;
+  }
+  uint64_t Addr = Obj.asPointer();
+  ShapeId Shape = H.shapeOf(Addr);
+  // An explicit `length` property wins over the elements length.
+  std::optional<uint32_t> Named =
+      VM.Shapes.lookup(Shape, VM.Names.intern("length"));
+  if (Named) {
+    FB.Length = FB.Length == LengthKind::None ||
+                        FB.Length == LengthKind::NamedSlot
+                    ? LengthKind::NamedSlot
+                    : LengthKind::Mixed;
+    FB.LengthSlot = static_cast<uint16_t>(*Named);
+    FB.insert(Shape, static_cast<uint16_t>(*Named));
+    VM.Ctx.alu(RC, 3);
+    VM.Ctx.load(RC, Addr);
+    VM.Ctx.load(RC, H.slotAddress(Addr, *Named, nullptr));
+    push(H.getSlot(Addr, *Named));
+    return;
+  }
+  FB.Length = FB.Length == LengthKind::None ||
+                      FB.Length == LengthKind::Elements
+                  ? LengthKind::Elements
+                  : LengthKind::Mixed;
+  FB.insert(Shape, 0);
+  VM.Ctx.alu(RC, 2);
+  VM.Ctx.load(RC, Addr + layout::ElementsLengthPos * 8);
+  int64_t Len = H.elementsLength(Addr);
+  push(Value::fitsSmi(Len) ? Value::makeSmi(static_cast<int32_t>(Len))
+                           : H.number(static_cast<double>(Len)));
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic
+//===----------------------------------------------------------------------===//
+
+void Frame::doBinOp(const Instr &In, size_t Pc) {
+  Value B = pop();
+  Value A = pop();
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  BinaryOp Op = static_cast<BinaryOp>(In.A);
+
+  NumberHint Seen;
+  bool AStr = A.isPointer() && H.isString(A);
+  bool BStr = B.isPointer() && H.isString(B);
+  if (A.isSmi() && B.isSmi())
+    Seen = NumberHint::Smi;
+  else if ((A.isSmi() || H.isHeapNumber(A)) && (B.isSmi() || H.isHeapNumber(B)))
+    Seen = NumberHint::Double;
+  else if (AStr || BStr)
+    Seen = NumberHint::String;
+  else
+    Seen = NumberHint::Generic;
+  FB.Hint = mergeHint(FB.Hint, Seen);
+
+  // Baseline arithmetic runs through a binary-op stub: tag checks, the
+  // operation, result boxing.
+  if (Seen == NumberHint::String && Op == BinaryOp::Add) {
+    uint32_t La = AStr ? H.stringLength(A.asPointer()) : 8;
+    uint32_t Lb = BStr ? H.stringLength(B.asPointer()) : 8;
+    VM.Ctx.alu(RC, 12 + (La + Lb) / 4);
+  } else {
+    VM.Ctx.alu(RC, 7);
+    VM.Ctx.branch(RC, branchSite(FuncIndex, Pc), false);
+  }
+  push(genericBinary(H, Op, A, B));
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+void Frame::doCallGlobal(const Instr &In) {
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  uint32_t Argc = In.B;
+  const Value *Args = popArgs(Argc);
+  Value Callee = VM.readGlobal(static_cast<uint32_t>(In.A));
+  VM.Ctx.load(RC, VM.globalAddr(static_cast<uint32_t>(In.A)));
+  if (!Callee.isPointer() || !H.isFunction(Callee)) {
+    VM.halt("baseline: call of a non-function global '" +
+            VM.Module.GlobalNames[static_cast<uint32_t>(In.A)] + "'");
+    push(H.undefined());
+    return;
+  }
+  uint32_t Target = H.functionIndex(Callee.asPointer());
+  FB.recordCallTarget(Target);
+  VM.Ctx.alu(RC, 4); // Frame setup + call.
+  VM.Ctx.load(RC, Callee.asPointer());
+  push(invoke(Target, H.undefined(), Args, Argc));
+}
+
+void Frame::doCallMethod(const Instr &In) {
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  uint32_t Argc = static_cast<uint32_t>(In.A);
+  const Value *Args = popArgs(Argc);
+  Value Receiver = pop();
+  std::string_view Name = VM.Names.text(In.B);
+
+  if (Receiver.isPointer() && H.isString(Receiver)) {
+    static const std::pair<std::string_view, BuiltinId> StringMethods[] = {
+        {"charCodeAt", BuiltinId::StrCharCodeAt},
+        {"charAt", BuiltinId::StrCharAt},
+        {"substring", BuiltinId::StrSubstring},
+        {"indexOf", BuiltinId::StrIndexOf},
+        {"split", BuiltinId::StrSplit},
+        {"toUpperCase", BuiltinId::StrToUpperCase},
+        {"toLowerCase", BuiltinId::StrToLowerCase},
+    };
+    for (const auto &[MName, Id] : StringMethods) {
+      if (Name == MName) {
+        FB.recordCallTarget(indexOfBuiltin(Id));
+        VM.Ctx.alu(RC, 5);
+        push(callBuiltin(VM, indexOfBuiltin(Id), Receiver, Args, Argc));
+        return;
+      }
+    }
+    VM.halt("baseline: unknown string method '" + std::string(Name) + "'");
+    push(H.undefined());
+    return;
+  }
+
+  if (!requirePlainObject(Receiver, "method call")) {
+    push(H.undefined());
+    return;
+  }
+  uint64_t Addr = Receiver.asPointer();
+  ShapeId Shape = H.shapeOf(Addr);
+  std::optional<uint32_t> Found = VM.Shapes.lookup(Shape, In.B);
+  if (Found) {
+    Value Method = H.getSlot(Addr, *Found);
+    if (Method.isPointer() && H.isFunction(Method)) {
+      if (FB.find(Shape)) {
+        VM.Ctx.alu(RC, 3);
+        VM.Ctx.load(RC, Addr);
+        VM.Ctx.branch(RC, branchSite(FuncIndex, In.Site), false);
+      } else {
+        FB.insert(Shape, static_cast<uint16_t>(*Found));
+        VM.Ctx.alu(RC, 35);
+      }
+      VM.Ctx.load(RC, H.slotAddress(Addr, *Found, nullptr));
+      uint32_t Target = H.functionIndex(Method.asPointer());
+      FB.recordCallTarget(Target);
+      VM.Ctx.alu(RC, 4);
+      push(invoke(Target, Receiver, Args, Argc));
+      return;
+    }
+  }
+
+  // Array built-ins act as methods of any plain object with elements.
+  static const std::pair<std::string_view, BuiltinId> ArrayMethods[] = {
+      {"push", BuiltinId::ArrPush},
+      {"pop", BuiltinId::ArrPop},
+      {"join", BuiltinId::ArrJoin},
+      {"indexOf", BuiltinId::ArrIndexOf},
+  };
+  for (const auto &[MName, Id] : ArrayMethods) {
+    if (Name == MName) {
+      FB.recordCallTarget(indexOfBuiltin(Id));
+      VM.Ctx.alu(RC, 5);
+      push(callBuiltin(VM, indexOfBuiltin(Id), Receiver, Args, Argc));
+      return;
+    }
+  }
+  VM.halt("baseline: call of missing method '" + std::string(Name) + "'");
+  push(H.undefined());
+}
+
+void Frame::doCallValue(const Instr &In) {
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  uint32_t Argc = static_cast<uint32_t>(In.A);
+  const Value *Args = popArgs(Argc);
+  Value Callee = pop();
+  if (!Callee.isPointer() || !H.isFunction(Callee)) {
+    VM.halt("baseline: call of a non-function value");
+    push(H.undefined());
+    return;
+  }
+  uint32_t Target = H.functionIndex(Callee.asPointer());
+  FB.recordCallTarget(Target);
+  VM.Ctx.alu(RC, 5);
+  VM.Ctx.load(RC, Callee.asPointer());
+  push(invoke(Target, H.undefined(), Args, Argc));
+}
+
+void Frame::doNew(const Instr &In) {
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  uint32_t Argc = In.B;
+  const Value *Args = popArgs(Argc);
+  Value Callee = VM.readGlobal(static_cast<uint32_t>(In.A));
+  VM.Ctx.load(RC, VM.globalAddr(static_cast<uint32_t>(In.A)));
+  if (!Callee.isPointer() || !H.isFunction(Callee)) {
+    VM.halt("baseline: 'new' of a non-function global");
+    push(H.undefined());
+    return;
+  }
+  uint32_t Target = H.functionIndex(Callee.asPointer());
+  FB.recordCallTarget(Target);
+
+  if (isBuiltinIndex(Target)) {
+    if (builtinFromIndex(Target) == BuiltinId::ArrayCtor) {
+      uint32_t N = Argc >= 1 && Args[0].isSmi() && Args[0].asSmi() >= 0
+                       ? static_cast<uint32_t>(Args[0].asSmi())
+                       : 0;
+      VM.Ctx.alu(RC, 20 + N / 16);
+      uint64_t Site = (uint64_t(FuncIndex) << 32) |
+                      static_cast<uint64_t>(&In - F.Code.data());
+      Value Arr = H.allocArray(N, VM.Shapes.rootForArraySite(Site));
+      VM.Ctx.store(RC, Arr.asPointer());
+      push(Arr);
+      return;
+    }
+    VM.halt("baseline: unsupported built-in constructor");
+    push(H.undefined());
+    return;
+  }
+
+  ShapeId Root = VM.Shapes.rootForConstructor(Target);
+  uint32_t Capacity = H.constructorCapacityHint(Target);
+  Value Obj = H.allocObject(Root, Capacity);
+  uint64_t Addr = Obj.asPointer();
+  uint32_t Lines = layout::linesForSlots(H.capacityOf(Addr));
+  VM.Ctx.alu(RC, 15);
+  for (uint32_t L = 0; L < Lines; ++L)
+    VM.Ctx.store(RC, Addr + L * layout::CacheLineBytes);
+
+  VM.Ctx.alu(RC, 4);
+  Value Result = invoke(Target, Obj, Args, Argc);
+  H.observeConstructed(Target,
+                       VM.Shapes.get(H.shapeOf(Addr)).NumSlots);
+  push(Result.isPointer() && H.isPlainObject(Result) ? Result : Obj);
+}
+
+void Frame::doAddPropLit(const Instr &In) {
+  Value V = pop();
+  Value Obj = peek();
+  assert(Obj.isPointer() && H.isPlainObject(Obj) &&
+         "object literal target must be a plain object");
+  uint64_t Addr = Obj.asPointer();
+  ShapeId Before = H.shapeOf(Addr);
+  SiteFeedback &FB = FI.Feedback[In.Site];
+
+  uint32_t Slot = H.addProperty(Addr, In.B, V);
+  ShapeId After = H.shapeOf(Addr);
+  FB.insert(Before, static_cast<uint16_t>(Slot), After);
+  VM.Ctx.alu(RC, 12);
+  VM.Ctx.store(RC, Addr); // Header rewrite (first line).
+  bool InObject = false;
+  uint64_t SlotAddr = H.slotAddress(Addr, Slot, &InObject);
+  VM.Ctx.store(RC, SlotAddr);
+  profilePropertyStore(VM, RC, After, Slot, V, InObject);
+}
+
+//===----------------------------------------------------------------------===//
+// Main loop
+//===----------------------------------------------------------------------===//
+
+Value Frame::run(std::vector<Value> &&LocalsIn, std::vector<Value> &&StackIn,
+                 uint32_t Pc) {
+  Locals = std::move(LocalsIn);
+  Locals.resize(F.NumLocals, H.undefined());
+  Stack = std::move(StackIn);
+  Stack.reserve(32);
+  size_t PC = Pc;
+
+  for (;;) {
+    if (VM.Halted)
+      return H.undefined();
+    assert(PC < F.Code.size() && "bytecode pc out of range");
+    const Instr &In = F.Code[PC];
+    size_t Cur = PC;
+    ++PC;
+
+    switch (In.Op) {
+    case Opcode::LdaConst:
+      VM.Ctx.alu(RC, 1);
+      push(FI.ConstPool[In.A]);
+      break;
+    case Opcode::LdaSmi:
+      VM.Ctx.alu(RC, 1);
+      push(Value::makeSmi(In.A));
+      break;
+    case Opcode::LdaUndefined:
+      VM.Ctx.alu(RC, 1);
+      push(H.undefined());
+      break;
+    case Opcode::LdaNull:
+      VM.Ctx.alu(RC, 1);
+      push(H.null());
+      break;
+    case Opcode::LdaTrue:
+      VM.Ctx.alu(RC, 1);
+      push(H.trueValue());
+      break;
+    case Opcode::LdaFalse:
+      VM.Ctx.alu(RC, 1);
+      push(H.falseValue());
+      break;
+    case Opcode::LdaThis:
+      VM.Ctx.alu(RC, 1);
+      push(ThisV);
+      break;
+    case Opcode::LdLocal:
+      VM.Ctx.alu(RC, 1);
+      push(Locals[In.A]);
+      break;
+    case Opcode::StLocal:
+      VM.Ctx.alu(RC, 1);
+      Locals[In.A] = pop();
+      break;
+    case Opcode::LdGlobal:
+      VM.Ctx.load(RC, VM.globalAddr(static_cast<uint32_t>(In.A)));
+      push(VM.readGlobal(static_cast<uint32_t>(In.A)));
+      break;
+    case Opcode::StGlobal:
+      VM.Ctx.store(RC, VM.globalAddr(static_cast<uint32_t>(In.A)));
+      VM.writeGlobal(static_cast<uint32_t>(In.A), pop());
+      break;
+    case Opcode::Pop:
+      VM.Ctx.alu(RC, 1);
+      pop();
+      break;
+    case Opcode::Dup:
+      VM.Ctx.alu(RC, 1);
+      push(peek());
+      break;
+    case Opcode::BinOp:
+      doBinOp(In, Cur);
+      break;
+    case Opcode::UnaOp:
+      VM.Ctx.alu(RC, 3);
+      push(genericUnary(H, static_cast<UnaryOp>(In.A), pop()));
+      break;
+    case Opcode::Jump:
+      VM.Ctx.alu(RC, 1);
+      PC = static_cast<size_t>(In.A);
+      break;
+    case Opcode::JumpLoop:
+      ++FI.BackEdgeTrips;
+      VM.Ctx.branch(RC, branchSite(FuncIndex, Cur), true);
+      PC = static_cast<size_t>(In.A);
+      break;
+    case Opcode::JumpIfFalse: {
+      bool Cond = toBoolean(H, pop());
+      VM.Ctx.alu(RC, 2);
+      VM.Ctx.branch(RC, branchSite(FuncIndex, Cur), !Cond);
+      if (!Cond)
+        PC = static_cast<size_t>(In.A);
+      break;
+    }
+    case Opcode::JumpIfTrue: {
+      bool Cond = toBoolean(H, pop());
+      VM.Ctx.alu(RC, 2);
+      VM.Ctx.branch(RC, branchSite(FuncIndex, Cur), Cond);
+      if (Cond)
+        PC = static_cast<size_t>(In.A);
+      break;
+    }
+    case Opcode::GetProp:
+      doGetProp(In);
+      break;
+    case Opcode::SetProp:
+      doSetProp(In);
+      break;
+    case Opcode::GetElem:
+      doGetElem(In);
+      break;
+    case Opcode::SetElem:
+      doSetElem(In);
+      break;
+    case Opcode::GetLength:
+      doGetLength(In);
+      break;
+    case Opcode::CreateObject: {
+      VM.Ctx.alu(RC, 15);
+      Value Obj =
+          H.allocObject(VM.Shapes.plainRoot(),
+                        static_cast<uint32_t>(std::max<int32_t>(In.A, 0)));
+      VM.Ctx.store(RC, Obj.asPointer());
+      push(Obj);
+      break;
+    }
+    case Opcode::CreateArray: {
+      VM.Ctx.alu(RC, 20 + static_cast<uint32_t>(In.A) / 16);
+      uint64_t Site = (uint64_t(FuncIndex) << 32) | Cur;
+      Value Arr = H.allocArray(static_cast<uint32_t>(In.A),
+                               VM.Shapes.rootForArraySite(Site));
+      VM.Ctx.store(RC, Arr.asPointer());
+      push(Arr);
+      break;
+    }
+    case Opcode::AddPropLit:
+      doAddPropLit(In);
+      break;
+    case Opcode::StElemInit: {
+      Value V = pop();
+      Value Arr = peek();
+      uint64_t Addr = Arr.asPointer();
+      H.setElement(Addr, In.A, V);
+      VM.Ctx.store(RC, H.elementAddress(Addr, static_cast<uint32_t>(In.A)));
+      profileElementsStore(VM, RC, H.shapeOf(Addr), Addr, V,
+                           /*ArrayClassIdLoaded=*/false);
+      break;
+    }
+    case Opcode::CallGlobal:
+      doCallGlobal(In);
+      break;
+    case Opcode::CallMethod:
+      doCallMethod(In);
+      break;
+    case Opcode::CallValue:
+      doCallValue(In);
+      break;
+    case Opcode::New:
+      doNew(In);
+      break;
+    case Opcode::Return:
+      VM.Ctx.alu(RC, 2);
+      return pop();
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+Value ccjs::interpretCall(VMState &VM, uint32_t FuncIndex, Value ThisV,
+                          const Value *Args, uint32_t Argc) {
+  FunctionInfo &FI = VM.Funcs[FuncIndex];
+  materializeConsts(VM, FI);
+  if (++VM.CallDepth > VMState::MaxCallDepth) {
+    VM.halt("stack overflow");
+    --VM.CallDepth;
+    return VM.Heap_.undefined();
+  }
+  std::vector<Value> Locals(FI.Fn->NumLocals, VM.Heap_.undefined());
+  for (uint32_t I = 0; I < Argc && I < FI.Fn->NumParams; ++I)
+    Locals[I] = Args[I];
+  Frame Fr(VM, FuncIndex, ThisV);
+  Value Result = Fr.run(std::move(Locals), {}, 0);
+  --VM.CallDepth;
+  return Result;
+}
+
+Value ccjs::interpretFrom(VMState &VM, uint32_t FuncIndex, Value ThisV,
+                          std::vector<Value> &&Locals,
+                          std::vector<Value> &&Stack, uint32_t Pc) {
+  FunctionInfo &FI = VM.Funcs[FuncIndex];
+  materializeConsts(VM, FI);
+  Frame Fr(VM, FuncIndex, ThisV);
+  return Fr.run(std::move(Locals), std::move(Stack), Pc);
+}

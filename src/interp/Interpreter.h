@@ -1,0 +1,42 @@
+//===- interp/Interpreter.h - Baseline tier ----------------------*- C++ -*-===//
+///
+/// \file
+/// The baseline execution tier (the Full Codegen analogue): a bytecode
+/// interpreter with inline caches. Every bytecode charges the machine
+/// events its compiled baseline expansion would execute (category
+/// RestOfCode), collects type feedback, and — when the mechanism is
+/// enabled — performs the Class Cache profiling stores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_INTERP_INTERPRETER_H
+#define CCJS_INTERP_INTERPRETER_H
+
+#include "vm/VMState.h"
+
+namespace ccjs {
+
+/// Interprets a call to function \p FuncIndex from its entry.
+Value interpretCall(VMState &VM, uint32_t FuncIndex, Value ThisV,
+                    const Value *Args, uint32_t Argc);
+
+/// Resumes interpretation at bytecode \p Pc with the given frame state
+/// (deoptimization entry from the optimizing tier).
+Value interpretFrom(VMState &VM, uint32_t FuncIndex, Value ThisV,
+                    std::vector<Value> &&Locals, std::vector<Value> &&Stack,
+                    uint32_t Pc);
+
+/// Calls a built-in function (see vm/Builtins.h). \p BuiltinIndex is the
+/// raw function index (BuiltinBase + id).
+Value callBuiltin(VMState &VM, uint32_t BuiltinIndex, Value ThisV,
+                  const Value *Args, uint32_t Argc);
+
+/// Installs the runtime globals: print, Math, String, Array.
+void installRuntimeGlobals(VMState &VM);
+
+/// Materializes a function's constant pool into heap values.
+void materializeConsts(VMState &VM, FunctionInfo &FI);
+
+} // namespace ccjs
+
+#endif // CCJS_INTERP_INTERPRETER_H

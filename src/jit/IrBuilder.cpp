@@ -1,0 +1,1206 @@
+//===- jit/IrBuilder.cpp - Bytecode + feedback -> OptIR -------------------===//
+///
+/// Translates a hot function's bytecode into OptIR using the inline-cache
+/// feedback, inserting explicit checks, and applying three optimizations:
+///
+///   1. Classic redundant-check elimination: an abstract interpretation of
+///      the stack and locals tracks what is already known about each value
+///      within extended basic blocks, so repeated checks disappear (the
+///      state of the art; always on).
+///   2. Class Cache check elision (the paper's section 4.3): a check on a
+///      value whose provenance is a monomorphic property/elements slot is
+///      removed; the function registers in the slot's FunctionList and the
+///      SpeculateMap bit is set.
+///   3. movClassIDArray hoisting (section 4.2.1.3): the container-class
+///      load of elements-store profiling moves to the loop preheader when
+///      the array local is loop-invariant and the loop body is call-free.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jit/Jit.h"
+
+#include "frontend/Ast.h"
+#include "runtime/Layout.h"
+#include "support/Assert.h"
+#include "vm/Builtins.h"
+
+#include <algorithm>
+
+using namespace ccjs;
+
+namespace {
+
+/// Compile-time knowledge about one value.
+struct AbsVal {
+  enum KindTy : uint8_t {
+    Unknown,
+    Smi,
+    Number, ///< SMI or HeapNumber (post CheckNumber).
+    UnboxedDouble,
+    Obj,
+    Str,
+    Boolean,
+  } K = Unknown;
+  ShapeId Shape = InvalidShape; // For Obj.
+
+  // Provenance: the value was loaded from a property/elements slot.
+  bool HasProv = false;
+  bool ProvElements = false;
+  ShapeId ProvHolder = InvalidShape;
+  uint32_t ProvSlot = 0;
+
+  /// Which local the value came from unmodified (-1 none, -2 `this`).
+  int OriginLocal = -1;
+  /// Which global the value came from unmodified (-1 none).
+  int OriginGlobal = -1;
+};
+
+/// Encoding of hoisted movClassIDArray sources in OptCode::LoopPreloads:
+/// locals are stored directly; globals carry this bit plus their index.
+inline constexpr uint32_t PreloadGlobalBit = 1u << 31;
+
+/// Meet of the provenance facts of every value stored into one local.
+/// Provenance is structural ("loaded from slot X of class Y"), so when all
+/// assignment sites agree, the fact holds for the local's value at any
+/// definitely-assigned point regardless of control flow.
+struct LocalProvFact {
+  bool Seen = false;
+  bool Valid = true;
+  bool ProvElements = false;
+  ShapeId ProvHolder = InvalidShape;
+  uint32_t ProvSlot = 0;
+
+  void meet(const AbsVal &V) {
+    if (!Valid)
+      return;
+    if (!V.HasProv) {
+      Valid = false;
+      return;
+    }
+    if (!Seen) {
+      Seen = true;
+      ProvElements = V.ProvElements;
+      ProvHolder = V.ProvHolder;
+      ProvSlot = V.ProvSlot;
+      return;
+    }
+    if (ProvElements != V.ProvElements || ProvHolder != V.ProvHolder ||
+        (!ProvElements && ProvSlot != V.ProvSlot))
+      Valid = false;
+  }
+};
+
+class IrBuilder {
+public:
+  IrBuilder(VMState &VM, uint32_t FuncIndex,
+            const std::vector<LocalProvFact> *PriorFacts = nullptr)
+      : VM(VM), FI(VM.Funcs[FuncIndex]), F(*FI.Fn), FuncIndex(FuncIndex),
+        PriorFacts(PriorFacts) {}
+
+  OptCode *build();
+
+  /// Per-local provenance facts collected during this build (input for a
+  /// second, more precise pass).
+  std::vector<LocalProvFact> takeFacts() { return std::move(Facts); }
+
+private:
+  //===------------------------------------------------------------------===//
+  // Emission helpers
+  //===------------------------------------------------------------------===//
+
+  OptIrOp &emit(IrOpcode Op) {
+    OptIrOp O;
+    O.Op = Op;
+    O.BcPc = CurBc;
+    O.BcNext = CurBc + 1;
+    O.Site = CurSite;
+    Code->Ops.push_back(O);
+    return Code->Ops.back();
+  }
+
+  AbsVal &tos(unsigned Depth = 0) {
+    assert(St.size() > Depth && "abstract stack underflow");
+    return St[St.size() - 1 - Depth];
+  }
+  AbsVal pop() {
+    AbsVal V = St.back();
+    St.pop_back();
+    return V;
+  }
+  void push(AbsVal V) { St.push_back(std::move(V)); }
+  void push(AbsVal::KindTy K) {
+    AbsVal V;
+    V.K = K;
+    St.push_back(V);
+  }
+
+  void clearAbstractState() {
+    for (AbsVal &V : St)
+      V = AbsVal();
+    for (AbsVal &V : Loc)
+      V = AbsVal();
+    AbsThis = AbsVal();
+    AbsThis.OriginLocal = -2;
+  }
+
+  /// Conservative join at a merge point: stack values and `this` tracking
+  /// reset, but a local keeps its abstract fact when it has a single
+  /// static assignment site and is definitely assigned here — the fact is
+  /// then exactly the assignment-site fact on every incoming path.
+  /// (Check-driven refinements never write back into locals, so kept
+  /// facts are path-independent.)
+  void joinAtMerge(uint32_t BcIndex) {
+    for (AbsVal &V : St)
+      V = AbsVal();
+    AbsThis = AbsVal();
+    AbsThis.OriginLocal = -2;
+    killGlobals();
+    for (uint32_t L = 0; L < Loc.size(); ++L) {
+      bool Keep = L < 64 && StLocalCount.size() > L &&
+                  StLocalCount[L] == 1 &&
+                  (DefAssigned[BcIndex] >> L) & 1;
+      if (!Keep) {
+        Loc[L] = AbsVal();
+        Loc[L].OriginLocal = static_cast<int>(L);
+        // Multi-assignment locals whose stores all carry the same
+        // provenance (pass-1 fact) keep that provenance when definitely
+        // assigned: the accumulator pattern `best = open[i]` stays
+        // elidable.
+        if (PriorFacts && L < PriorFacts->size() &&
+            (*PriorFacts)[L].Seen && (*PriorFacts)[L].Valid &&
+            ((DefAssigned[BcIndex] >> L) & 1) && StLocalCount[L] > 0) {
+          const LocalProvFact &F2 = (*PriorFacts)[L];
+          Loc[L].HasProv = true;
+          Loc[L].ProvElements = F2.ProvElements;
+          Loc[L].ProvHolder = F2.ProvHolder;
+          Loc[L].ProvSlot = F2.ProvSlot;
+        }
+      }
+    }
+  }
+
+  /// Forgets everything known about global bindings. Called at merge
+  /// points and whenever user code could run (calls) or object shapes
+  /// could change (transitions): a known global shape is only valid while
+  /// nothing can rebind the global or transition the object it holds.
+  void killGlobals() { AbsGlobals.clear(); }
+
+  /// Propagates a check-driven refinement back to the global binding it
+  /// was loaded from (valid until the next kill point).
+  void noteRefined(AbsVal &V) {
+    if (V.OriginGlobal >= 0)
+      AbsGlobals[static_cast<uint32_t>(V.OriginGlobal)] = V;
+  }
+
+  /// Updates the tracked shape of whatever \p Origin refers to.
+  void retrackOrigin(int Origin, ShapeId NewShape) {
+    AbsVal *T = nullptr;
+    if (Origin == -2)
+      T = &AbsThis;
+    else if (Origin >= 0)
+      T = &Loc[Origin];
+    if (!T)
+      return;
+    T->K = AbsVal::Obj;
+    T->Shape = NewShape;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Check insertion / elision (the heart of the mechanism)
+  //===------------------------------------------------------------------===//
+
+  /// Attempts to prove, from the Class List profile, that the value's
+  /// provenance slot always holds class \p WantClassId. On success the
+  /// dependency is registered (SpeculateMap + FunctionList). \p ElideFlag
+  /// gates which of the section 4.3 optimizations this is.
+  bool profileProves(const AbsVal &V, uint8_t WantClassId, bool ElideFlag) {
+    if (!VM.Config.ClassCacheEnabled || !ElideFlag || !V.HasProv)
+      return false;
+    const Shape &Holder = VM.Shapes.get(V.ProvHolder);
+    if (Holder.ClassId >= UntrackedClassId)
+      return false;
+    uint8_t Line, Pos;
+    if (V.ProvElements) {
+      Line = 0;
+      Pos = layout::ElementsPointerPos;
+    } else {
+      layout::SlotLocation L = layout::slotLocation(V.ProvSlot);
+      Line = L.Line;
+      Pos = L.Pos;
+    }
+    int Profiled = VM.CCache.monomorphicClassAt(Holder.ClassId, Line, Pos);
+    if (Profiled < 0 || Profiled != WantClassId)
+      return false;
+    VM.CCache.setSpeculate(Holder.ClassId, Line, Pos);
+    VM.CList.addFunctionDependency(Holder.ClassId, Line, Pos, FuncIndex);
+    ++Code->ChecksElidedClassCache;
+    return true;
+  }
+
+  /// Ensures the value at \p Depth has shape \p S (Check Map).
+  void ensureShape(unsigned Depth, ShapeId S, bool PreUntag = false) {
+    AbsVal &V = tos(Depth);
+    if (V.K == AbsVal::Obj && V.Shape == S) {
+      ++Code->ChecksElidedClassic;
+      return;
+    }
+    if (V.K == AbsVal::Str && S == VM.Shapes.stringShape()) {
+      ++Code->ChecksElidedClassic;
+      return;
+    }
+    bool ElideFlag = PreUntag ? VM.Config.ElideCheckNonSmi
+                              : VM.Config.ElideCheckMaps;
+    if (profileProves(V, VM.Shapes.get(S).ClassId, ElideFlag)) {
+      V.K = AbsVal::Obj;
+      V.Shape = S;
+      noteRefined(V);
+      return;
+    }
+    OptIrOp &O = emit(IrOpcode::CheckMapOp);
+    O.Depth = static_cast<uint8_t>(Depth);
+    O.Shape = S;
+    if (V.HasProv)
+      O.Flags |= IrFlagAfterObjectLoad;
+    if (PreUntag)
+      O.Flags |= IrFlagPreUntag;
+    ++Code->ChecksEmitted;
+    V.K = AbsVal::Obj;
+    V.Shape = S;
+    noteRefined(V);
+  }
+
+  /// Ensures the value at \p Depth is a SMI (Check SMI).
+  void ensureSmi(unsigned Depth) {
+    AbsVal &V = tos(Depth);
+    if (V.K == AbsVal::Smi) {
+      ++Code->ChecksElidedClassic;
+      return;
+    }
+    if (profileProves(V, SmiClassId, VM.Config.ElideCheckSmi)) {
+      V.K = AbsVal::Smi;
+      noteRefined(V);
+      return;
+    }
+    OptIrOp &O = emit(IrOpcode::CheckSmiOp);
+    O.Depth = static_cast<uint8_t>(Depth);
+    if (V.HasProv)
+      O.Flags |= IrFlagAfterObjectLoad;
+    ++Code->ChecksEmitted;
+    V.K = AbsVal::Smi;
+    noteRefined(V);
+  }
+
+  /// Ensures the value at \p Depth is a SMI or HeapNumber (the checking
+  /// operations performed before untagging a number).
+  void ensureNumber(unsigned Depth) {
+    AbsVal &V = tos(Depth);
+    if (V.K == AbsVal::Smi || V.K == AbsVal::Number ||
+        V.K == AbsVal::UnboxedDouble) {
+      ++Code->ChecksElidedClassic;
+      return;
+    }
+    uint8_t HeapNumClass =
+        VM.Shapes.get(VM.Shapes.heapNumberShape()).ClassId;
+    if (profileProves(V, HeapNumClass, VM.Config.ElideCheckNonSmi) ||
+        profileProves(V, SmiClassId, VM.Config.ElideCheckSmi)) {
+      V.K = AbsVal::Number;
+      noteRefined(V);
+      return;
+    }
+    OptIrOp &O = emit(IrOpcode::CheckNumberOp);
+    O.Depth = static_cast<uint8_t>(Depth);
+    O.Flags |= IrFlagPreUntag;
+    if (V.HasProv)
+      O.Flags |= IrFlagAfterObjectLoad;
+    ++Code->ChecksEmitted;
+    V.K = AbsVal::Number;
+    noteRefined(V);
+  }
+
+  /// True when the slot's ValidMap bit is still set, i.e. the paper's
+  /// criterion for emitting a movStoreClassCache instead of a plain store.
+  bool slotStillMono(ShapeId Holder, uint8_t Line, uint8_t Pos) {
+    if (!VM.Config.ClassCacheEnabled)
+      return false;
+    const Shape &S = VM.Shapes.get(Holder);
+    if (S.ClassId >= UntrackedClassId)
+      return false;
+    ClassListEntry E = VM.CList.read(S.ClassId, Line);
+    return (E.ValidMap & (uint8_t(1) << Pos)) != 0;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Bytecode translation
+  //===------------------------------------------------------------------===//
+
+  void scanControlFlow();
+  void translate(const Instr &In);
+  void translateGetProp(const Instr &In);
+  void translateSetProp(const Instr &In);
+  void translateGetElem(const Instr &In);
+  void translateSetElem(const Instr &In);
+  void translateGetLength(const Instr &In);
+  void translateBinOp(const Instr &In);
+  void translateUnaOp(const Instr &In);
+  void translateCallGlobal(const Instr &In);
+  void translateCallMethod(const Instr &In);
+  void translateNew(const Instr &In);
+  void hoistClassIdLoads();
+
+  static bool isMathInline(BuiltinId Id) {
+    switch (Id) {
+    case BuiltinId::MathFloor:
+    case BuiltinId::MathCeil:
+    case BuiltinId::MathRound:
+    case BuiltinId::MathSqrt:
+    case BuiltinId::MathAbs:
+    case BuiltinId::MathMin:
+    case BuiltinId::MathMax:
+    case BuiltinId::MathSin:
+    case BuiltinId::MathCos:
+    case BuiltinId::MathPow:
+    case BuiltinId::MathExp:
+    case BuiltinId::MathLog:
+    case BuiltinId::MathRandom:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  VMState &VM;
+  FunctionInfo &FI;
+  const BytecodeFunction &F;
+  uint32_t FuncIndex;
+  OptCode *Code = nullptr;
+
+  std::vector<AbsVal> St;
+  std::vector<AbsVal> Loc;
+  AbsVal AbsThis;
+  /// Known abstract values of global bindings within the current
+  /// call-free, transition-free straight-line region.
+  std::unordered_map<uint32_t, AbsVal> AbsGlobals;
+
+  // Control-flow metadata.
+  std::vector<uint8_t> PredCount;
+  std::vector<uint8_t> IsBackedgeTarget;
+  std::vector<int32_t> DepthAtTarget;
+  std::vector<int32_t> BcToIr;
+  /// Number of StLocal sites per local (index capped at 64).
+  std::vector<uint32_t> StLocalCount;
+  /// Definite-assignment bitmask (locals 0..63) at each bytecode index.
+  std::vector<uint64_t> DefAssigned;
+
+  uint32_t CurBc = 0;
+  uint16_t CurSite = 0;
+  const std::vector<LocalProvFact> *PriorFacts;
+  std::vector<LocalProvFact> Facts;
+};
+
+} // namespace
+
+void IrBuilder::scanControlFlow() {
+  size_t N = F.Code.size();
+  PredCount.assign(N + 1, 0);
+  IsBackedgeTarget.assign(N + 1, 0);
+  DepthAtTarget.assign(N + 1, -1);
+  BcToIr.assign(N + 1, -1);
+  StLocalCount.assign(F.NumLocals, 0);
+  for (size_t I = 0; I < N; ++I) {
+    const Instr &In = F.Code[I];
+    if (In.Op == Opcode::StLocal)
+      ++StLocalCount[In.A];
+    switch (In.Op) {
+    case Opcode::Jump:
+      ++PredCount[In.A];
+      break;
+    case Opcode::JumpLoop:
+      ++PredCount[In.A];
+      IsBackedgeTarget[In.A] = 1;
+      break;
+    case Opcode::JumpIfFalse:
+    case Opcode::JumpIfTrue:
+      ++PredCount[In.A];
+      ++PredCount[I + 1];
+      break;
+    case Opcode::Return:
+      break;
+    default:
+      ++PredCount[I + 1];
+      break;
+    }
+  }
+
+  // Definite-assignment dataflow: DefAssigned[I] = mask of locals assigned
+  // on *every* path from entry to instruction I. Parameters count as
+  // assigned at entry; the meet over incoming edges is intersection.
+  uint64_t ParamMask =
+      F.NumParams >= 64 ? ~uint64_t(0) : (uint64_t(1) << F.NumParams) - 1;
+  DefAssigned.assign(N + 1, ~uint64_t(0));
+  DefAssigned[0] = ParamMask;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < N; ++I) {
+      uint64_t Out = DefAssigned[I];
+      const Instr &In = F.Code[I];
+      if (In.Op == Opcode::StLocal && In.A < 64)
+        Out |= uint64_t(1) << In.A;
+      auto Flow = [&](size_t To) {
+        uint64_t Meet = DefAssigned[To] & Out;
+        if (Meet != DefAssigned[To]) {
+          DefAssigned[To] = Meet;
+          Changed = true;
+        }
+      };
+      switch (In.Op) {
+      case Opcode::Jump:
+      case Opcode::JumpLoop:
+        Flow(In.A);
+        break;
+      case Opcode::JumpIfFalse:
+      case Opcode::JumpIfTrue:
+        Flow(In.A);
+        Flow(I + 1);
+        break;
+      case Opcode::Return:
+        break;
+      default:
+        Flow(I + 1);
+        break;
+      }
+    }
+  }
+}
+
+void IrBuilder::translateGetProp(const Instr &In) {
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  if (FB.Megamorphic || FB.NumEntries == 0) {
+    pop();
+    OptIrOp &O = emit(IrOpcode::GenericGetPropOp);
+    O.B = In.B;
+    push(AbsVal::Unknown);
+    return;
+  }
+  if (FB.isMonomorphic()) {
+    const PropEntry &E = FB.Entries[0];
+    ensureShape(0, E.Shape);
+    pop();
+    OptIrOp &O = emit(IrOpcode::LoadPropOp);
+    O.B = E.Slot;
+    O.Shape = E.Shape;
+    AbsVal V;
+    V.HasProv = true;
+    V.ProvHolder = E.Shape;
+    V.ProvSlot = E.Slot;
+    push(std::move(V));
+    return;
+  }
+  // Polymorphic: a Check Map chain that also selects the slot.
+  pop();
+  OptIrOp &O = emit(IrOpcode::PolyLoadPropOp);
+  O.Aux = static_cast<int32_t>(Code->PolyTables.size());
+  Code->PolyTables.emplace_back(FB.Entries, FB.Entries + FB.NumEntries);
+  push(AbsVal::Unknown);
+}
+
+void IrBuilder::translateSetProp(const Instr &In) {
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  // Stack: [obj, value].
+  if (!FB.isMonomorphic()) {
+    AbsVal V = pop();
+    pop();
+    killGlobals();
+    OptIrOp &O = emit(IrOpcode::GenericSetPropOp);
+    O.B = In.B;
+    push(std::move(V));
+    return;
+  }
+  const PropEntry &E = FB.Entries[0];
+  ensureShape(1, E.Shape);
+  int RecvOrigin = tos(1).OriginLocal;
+  AbsVal V = pop();
+  pop();
+  if (E.NewShape == InvalidShape) {
+    layout::SlotLocation L = layout::slotLocation(E.Slot);
+    OptIrOp &O = emit(IrOpcode::StorePropOp);
+    O.B = E.Slot;
+    O.Shape = E.Shape;
+    if (slotStillMono(E.Shape, L.Line, L.Pos)) {
+      O.Flags |= IrFlagCcStore;
+      ++Code->CcStores;
+    }
+  } else {
+    killGlobals();
+    layout::SlotLocation L = layout::slotLocation(E.Slot);
+    OptIrOp &O = emit(IrOpcode::TransitionStorePropOp);
+    O.B = E.Slot;
+    O.Shape = E.Shape;
+    O.Shape2 = E.NewShape;
+    if (slotStillMono(E.NewShape, L.Line, L.Pos)) {
+      O.Flags |= IrFlagCcStore;
+      ++Code->CcStores;
+    }
+    retrackOrigin(RecvOrigin, E.NewShape);
+  }
+  V.OriginLocal = -1;
+  push(std::move(V));
+}
+
+void IrBuilder::translateGetElem(const Instr &In) {
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  if (!FB.isMonomorphic()) {
+    pop();
+    pop();
+    emit(IrOpcode::GenericGetElemOp);
+    push(AbsVal::Unknown);
+    return;
+  }
+  const PropEntry &E = FB.Entries[0];
+  ensureShape(1, E.Shape);
+  ensureSmi(0);
+  pop();
+  pop();
+  OptIrOp &O = emit(IrOpcode::LoadElemOp);
+  O.Shape = E.Shape;
+  if (FB.SawOutOfBounds)
+    O.Flags |= IrFlagSafeElem;
+  AbsVal V;
+  V.HasProv = true;
+  V.ProvElements = true;
+  V.ProvHolder = E.Shape;
+  push(std::move(V));
+}
+
+void IrBuilder::translateSetElem(const Instr &In) {
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  // Stack: [obj, idx, value].
+  if (!FB.isMonomorphic()) {
+    AbsVal V = pop();
+    pop();
+    pop();
+    emit(IrOpcode::GenericSetElemOp);
+    push(std::move(V));
+    return;
+  }
+  const PropEntry &E = FB.Entries[0];
+  ensureShape(2, E.Shape);
+  ensureSmi(1);
+  int RecvLocal = tos(2).OriginLocal;
+  int RecvGlobal = tos(2).OriginGlobal;
+  AbsVal V = pop();
+  pop();
+  pop();
+  OptIrOp &O = emit(IrOpcode::StoreElemOp);
+  O.Shape = E.Shape;
+  O.A = RecvLocal;
+  O.Aux = RecvGlobal;
+  if (slotStillMono(E.Shape, 0, layout::ElementsPointerPos)) {
+    O.Flags |= IrFlagCcStore;
+    ++Code->CcStores;
+  }
+  V.OriginLocal = -1;
+  push(std::move(V));
+}
+
+void IrBuilder::translateGetLength(const Instr &In) {
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  switch (FB.Length) {
+  case LengthKind::String:
+    ensureShape(0, VM.Shapes.stringShape());
+    pop();
+    emit(IrOpcode::LoadStrLengthOp);
+    push(AbsVal::Smi);
+    return;
+  case LengthKind::Elements:
+    if (FB.isMonomorphic())
+      ensureShape(0, FB.Entries[0].Shape);
+    pop();
+    emit(IrOpcode::LoadElemsLengthOp);
+    push(AbsVal::Smi);
+    return;
+  case LengthKind::NamedSlot: {
+    if (!FB.isMonomorphic())
+      break;
+    const PropEntry &E = FB.Entries[0];
+    ensureShape(0, E.Shape);
+    pop();
+    OptIrOp &O = emit(IrOpcode::LoadNamedLengthOp);
+    O.B = E.Slot;
+    AbsVal V;
+    V.HasProv = true;
+    V.ProvHolder = E.Shape;
+    V.ProvSlot = E.Slot;
+    push(std::move(V));
+    return;
+  }
+  case LengthKind::None:
+  case LengthKind::Mixed:
+    break;
+  }
+  pop();
+  emit(IrOpcode::DeoptOp);
+  push(AbsVal::Unknown);
+}
+
+void IrBuilder::translateBinOp(const Instr &In) {
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  BinaryOp Op = static_cast<BinaryOp>(In.A);
+  bool IsCompare = Op >= BinaryOp::Lt;
+  bool IsDiv = Op == BinaryOp::Div;
+
+  NumberHint Hint = FB.Hint;
+  if (Hint == NumberHint::Smi && IsDiv)
+    Hint = NumberHint::Double; // JS division produces doubles.
+
+  if (Hint == NumberHint::Smi) {
+    ensureSmi(1);
+    ensureSmi(0);
+    pop();
+    pop();
+    OptIrOp &O = emit(IsCompare ? IrOpcode::SmiCompareOp
+                                : IrOpcode::SmiBinOpOp);
+    O.A = In.A;
+    if (IsCompare) {
+      push(AbsVal::Boolean);
+    } else if (Op == BinaryOp::Shr) {
+      push(AbsVal::Number); // >>> may exceed the SMI range.
+    } else {
+      push(AbsVal::Smi);
+    }
+    return;
+  }
+  if (Hint == NumberHint::Double) {
+    ensureNumber(1);
+    ensureNumber(0);
+    pop();
+    pop();
+    OptIrOp &O = emit(IsCompare ? IrOpcode::DoubleCompareOp
+                                : IrOpcode::DoubleBinOpOp);
+    O.A = In.A;
+    push(IsCompare ? AbsVal::Boolean : AbsVal::UnboxedDouble);
+    return;
+  }
+  if (Hint == NumberHint::String && Op == BinaryOp::Add) {
+    pop();
+    pop();
+    emit(IrOpcode::StringAddOp);
+    push(AbsVal::Str);
+    return;
+  }
+  pop();
+  pop();
+  OptIrOp &O = emit(IrOpcode::GenericBinOpOp);
+  O.A = In.A;
+  push(IsCompare ? AbsVal::Boolean : AbsVal::Unknown);
+}
+
+void IrBuilder::translateUnaOp(const Instr &In) {
+  UnaryOp Op = static_cast<UnaryOp>(In.A);
+  AbsVal &V = tos();
+  // A recorded deopt reason (result left the SMI domain) forces the
+  // double path even for SMI-typed operands.
+  bool ForceDouble = FI.Feedback[In.Site].Hint == NumberHint::Double;
+  switch (Op) {
+  case UnaryOp::Neg:
+    if (ForceDouble && (V.K == AbsVal::Smi || V.K == AbsVal::Number ||
+                        V.K == AbsVal::UnboxedDouble)) {
+      pop();
+      emit(IrOpcode::DoubleNegOp);
+      push(AbsVal::UnboxedDouble);
+      return;
+    }
+    if (V.K == AbsVal::Smi) {
+      pop();
+      emit(IrOpcode::SmiNegOp);
+      push(AbsVal::Smi);
+      return;
+    }
+    if (V.K == AbsVal::Number || V.K == AbsVal::UnboxedDouble) {
+      pop();
+      emit(IrOpcode::DoubleNegOp);
+      push(AbsVal::UnboxedDouble);
+      return;
+    }
+    break;
+  case UnaryOp::Plus:
+    if (V.K == AbsVal::Smi || V.K == AbsVal::Number ||
+        V.K == AbsVal::UnboxedDouble)
+      return; // Already a number.
+    break;
+  case UnaryOp::Not:
+    pop();
+    emit(IrOpcode::NotOp);
+    push(AbsVal::Boolean);
+    return;
+  case UnaryOp::BitNot:
+    if (V.K == AbsVal::Smi) {
+      pop();
+      emit(IrOpcode::BitNotOp);
+      push(AbsVal::Smi);
+      return;
+    }
+    break;
+  case UnaryOp::Typeof:
+    break;
+  }
+  pop();
+  OptIrOp &O = emit(IrOpcode::GenericUnaOpOp);
+  O.A = In.A;
+  push(Op == UnaryOp::Not ? AbsVal::Boolean : AbsVal::Unknown);
+}
+
+void IrBuilder::translateCallGlobal(const Instr &In) {
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  uint32_t Argc = In.B;
+  if (FB.CallTarget != SiteFeedback::NoTarget && !FB.PolymorphicCall) {
+    uint32_t Target = FB.CallTarget;
+    if (isBuiltinIndex(Target) && isMathInline(builtinFromIndex(Target))) {
+      for (uint32_t I = 0; I < Argc; ++I)
+        pop();
+      OptIrOp &O = emit(IrOpcode::CallBuiltinInlineOp);
+      O.A = static_cast<int32_t>(Argc);
+      O.B = Target;
+      push(AbsVal::Unknown);
+      return;
+    }
+    if (!isBuiltinIndex(Target)) {
+      killGlobals();
+      for (uint32_t I = 0; I < Argc; ++I)
+        pop();
+      OptIrOp &O = emit(IrOpcode::CallDirectOp);
+      O.A = static_cast<int32_t>(Argc);
+      O.B = Target;
+      O.Aux = In.A; // Global slot (for the cell check event).
+      push(AbsVal::Unknown);
+      return;
+    }
+  }
+  // Unknown or polymorphic target: load the global and call it as a value.
+  {
+    OptIrOp &O = emit(IrOpcode::LdGlobalOp);
+    O.A = In.A;
+  }
+  // The callee must sit *under* the arguments for CallValueOp; since the
+  // arguments are already on the stack, use the generic path instead.
+  // (Bytecode pushes arguments before CallGlobal resolves the callee, so
+  // fall back to a deopt for this rare polymorphic-global case.)
+  Code->Ops.pop_back();
+  for (uint32_t I = 0; I < Argc; ++I)
+    pop();
+  OptIrOp &O = emit(IrOpcode::DeoptOp);
+  O.A = 1;
+  push(AbsVal::Unknown);
+}
+
+void IrBuilder::translateCallMethod(const Instr &In) {
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  uint32_t Argc = static_cast<uint32_t>(In.A);
+  // Stack: [recv, args...]; receiver at depth Argc.
+  bool MonoTarget =
+      FB.CallTarget != SiteFeedback::NoTarget && !FB.PolymorphicCall;
+
+  if (MonoTarget && isBuiltinIndex(FB.CallTarget)) {
+    BuiltinId Id = builtinFromIndex(FB.CallTarget);
+    // String methods: check the receiver is a string; array methods and
+    // Math-object methods: check the receiver shape when known.
+    if (FB.NumEntries == 1)
+      ensureShape(Argc, FB.Entries[0].Shape);
+    else if (Id >= BuiltinId::StrCharCodeAt && Id <= BuiltinId::StrToLowerCase)
+      ensureShape(Argc, VM.Shapes.stringShape());
+    for (uint32_t I = 0; I <= Argc; ++I)
+      pop();
+    OptIrOp &O = emit(isMathInline(Id) ? IrOpcode::CallBuiltinInlineOp
+                                       : IrOpcode::CallBuiltinMethodOp);
+    O.A = static_cast<int32_t>(Argc);
+    O.B = FB.CallTarget;
+    O.Flags |= IrFlagInObject; // Marks "receiver present" for inline ops.
+    push(AbsVal::Unknown);
+    return;
+  }
+
+  if (MonoTarget && FB.NumEntries == 1) {
+    // User method, monomorphic receiver: map check + constant target.
+    killGlobals();
+    ensureShape(Argc, FB.Entries[0].Shape);
+    for (uint32_t I = 0; I <= Argc; ++I)
+      pop();
+    OptIrOp &O = emit(IrOpcode::CallMethodDirectOp);
+    O.A = static_cast<int32_t>(Argc);
+    O.B = FB.CallTarget;
+    push(AbsVal::Unknown);
+    return;
+  }
+
+  killGlobals();
+  for (uint32_t I = 0; I <= Argc; ++I)
+    pop();
+  OptIrOp &O = emit(IrOpcode::GenericCallMethodOp);
+  O.A = static_cast<int32_t>(Argc);
+  O.B = In.B;
+  push(AbsVal::Unknown);
+}
+
+void IrBuilder::translateNew(const Instr &In) {
+  SiteFeedback &FB = FI.Feedback[In.Site];
+  killGlobals();
+  uint32_t Argc = In.B;
+  for (uint32_t I = 0; I < Argc; ++I)
+    pop();
+  if (FB.CallTarget == SiteFeedback::NoTarget || FB.PolymorphicCall) {
+    OptIrOp &O = emit(IrOpcode::DeoptOp);
+    O.A = 2;
+    push(AbsVal::Unknown);
+    return;
+  }
+  if (isBuiltinIndex(FB.CallTarget)) {
+    OptIrOp &O = emit(IrOpcode::NewArrayOp);
+    O.A = static_cast<int32_t>(Argc);
+    push(AbsVal::Unknown);
+    return;
+  }
+  OptIrOp &O = emit(IrOpcode::NewObjectOp);
+  O.A = static_cast<int32_t>(Argc);
+  O.B = FB.CallTarget;
+  push(AbsVal::Unknown);
+}
+
+void IrBuilder::translate(const Instr &In) {
+  switch (In.Op) {
+  case Opcode::LdaConst: {
+    OptIrOp &O = emit(IrOpcode::Const);
+    O.A = In.A;
+    const ConstEntry &C = F.Consts[In.A];
+    if (C.Kind == ConstEntry::String)
+      push(AbsVal::Str);
+    else
+      push(AbsVal::Number);
+    return;
+  }
+  case Opcode::LdaSmi: {
+    OptIrOp &O = emit(IrOpcode::LdaSmiOp);
+    O.A = In.A;
+    push(AbsVal::Smi);
+    return;
+  }
+  case Opcode::LdaUndefined:
+    emit(IrOpcode::LdaUndef);
+    push(AbsVal::Unknown);
+    return;
+  case Opcode::LdaNull:
+    emit(IrOpcode::LdaNull);
+    push(AbsVal::Unknown);
+    return;
+  case Opcode::LdaTrue:
+    emit(IrOpcode::LdaTrue);
+    push(AbsVal::Boolean);
+    return;
+  case Opcode::LdaFalse:
+    emit(IrOpcode::LdaFalse);
+    push(AbsVal::Boolean);
+    return;
+  case Opcode::LdaThis: {
+    emit(IrOpcode::LdaThisOp);
+    AbsVal V = AbsThis;
+    push(std::move(V));
+    return;
+  }
+  case Opcode::LdLocal: {
+    OptIrOp &O = emit(IrOpcode::LdLocalOp);
+    O.A = In.A;
+    AbsVal V = Loc[In.A];
+    V.OriginLocal = In.A;
+    push(std::move(V));
+    return;
+  }
+  case Opcode::StLocal: {
+    OptIrOp &O = emit(IrOpcode::StLocalOp);
+    O.A = In.A;
+    AbsVal V = pop();
+    if (static_cast<size_t>(In.A) < Facts.size())
+      Facts[In.A].meet(V);
+    V.OriginLocal = In.A;
+    Loc[In.A] = std::move(V);
+    return;
+  }
+  case Opcode::LdGlobal: {
+    OptIrOp &O = emit(IrOpcode::LdGlobalOp);
+    O.A = In.A;
+    auto It = AbsGlobals.find(static_cast<uint32_t>(In.A));
+    AbsVal V = It != AbsGlobals.end() ? It->second : AbsVal();
+    V.OriginGlobal = In.A;
+    V.OriginLocal = -1;
+    push(std::move(V));
+    return;
+  }
+  case Opcode::StGlobal: {
+    OptIrOp &O = emit(IrOpcode::StGlobalOp);
+    O.A = In.A;
+    AbsVal V = pop();
+    V.OriginGlobal = In.A;
+    AbsGlobals[static_cast<uint32_t>(In.A)] = std::move(V);
+    return;
+  }
+  case Opcode::Pop:
+    emit(IrOpcode::PopOp);
+    pop();
+    return;
+  case Opcode::Dup: {
+    emit(IrOpcode::DupOp);
+    AbsVal V = tos();
+    push(std::move(V));
+    return;
+  }
+  case Opcode::BinOp:
+    translateBinOp(In);
+    return;
+  case Opcode::UnaOp:
+    translateUnaOp(In);
+    return;
+  case Opcode::Jump: {
+    OptIrOp &O = emit(IrOpcode::JumpOp);
+    O.A = In.A; // Bytecode target; fixed up at the end.
+    DepthAtTarget[In.A] = static_cast<int32_t>(St.size());
+    return;
+  }
+  case Opcode::JumpLoop: {
+    OptIrOp &O = emit(IrOpcode::JumpLoopOp);
+    O.A = In.A;
+    return;
+  }
+  case Opcode::JumpIfFalse:
+  case Opcode::JumpIfTrue: {
+    pop();
+    OptIrOp &O = emit(In.Op == Opcode::JumpIfFalse ? IrOpcode::JumpIfFalseOp
+                                                   : IrOpcode::JumpIfTrueOp);
+    O.A = In.A;
+    DepthAtTarget[In.A] = static_cast<int32_t>(St.size());
+    return;
+  }
+  case Opcode::GetProp:
+    translateGetProp(In);
+    return;
+  case Opcode::SetProp:
+    translateSetProp(In);
+    return;
+  case Opcode::GetElem:
+    translateGetElem(In);
+    return;
+  case Opcode::SetElem:
+    translateSetElem(In);
+    return;
+  case Opcode::GetLength:
+    translateGetLength(In);
+    return;
+  case Opcode::CreateObject: {
+    OptIrOp &O = emit(IrOpcode::CreateObjectOp);
+    O.A = In.A;
+    AbsVal V;
+    V.K = AbsVal::Obj;
+    V.Shape = VM.Shapes.plainRoot();
+    push(std::move(V));
+    return;
+  }
+  case Opcode::CreateArray: {
+    OptIrOp &O = emit(IrOpcode::CreateArrayOp);
+    O.A = In.A;
+    AbsVal V;
+    V.K = AbsVal::Obj;
+    V.Shape = VM.Shapes.rootForArraySite((uint64_t(FuncIndex) << 32) | CurBc);
+    push(std::move(V));
+    return;
+  }
+  case Opcode::AddPropLit: {
+    killGlobals();
+    // The literal object's shape is statically known; follow (or create)
+    // the transition at compile time.
+    AbsVal V = pop();
+    AbsVal &Obj = tos();
+    assert(Obj.K == AbsVal::Obj && "literal target shape must be known");
+    ShapeId Old = Obj.Shape;
+    ShapeId New = VM.Shapes.transition(Old, In.B);
+    uint32_t Slot = VM.Shapes.get(New).NumSlots - 1;
+    OptIrOp &O = emit(IrOpcode::AddPropTransitionOp);
+    O.B = Slot;
+    O.Shape = Old;
+    O.Shape2 = New;
+    layout::SlotLocation L = layout::slotLocation(Slot);
+    if (slotStillMono(New, L.Line, L.Pos)) {
+      O.Flags |= IrFlagCcStore;
+      ++Code->CcStores;
+    }
+    Obj.Shape = New;
+    (void)V;
+    return;
+  }
+  case Opcode::StElemInit: {
+    OptIrOp &O = emit(IrOpcode::StElemInitOp);
+    O.A = In.A;
+    AbsVal &Arr = tos(1);
+    if (Arr.K == AbsVal::Obj &&
+        slotStillMono(Arr.Shape, 0, layout::ElementsPointerPos)) {
+      O.Flags |= IrFlagCcStore;
+      ++Code->CcStores;
+    }
+    O.Shape = Arr.K == AbsVal::Obj ? Arr.Shape : InvalidShape;
+    pop();
+    return;
+  }
+  case Opcode::CallGlobal:
+    translateCallGlobal(In);
+    return;
+  case Opcode::CallMethod:
+    translateCallMethod(In);
+    return;
+  case Opcode::CallValue: {
+    uint32_t Argc = static_cast<uint32_t>(In.A);
+    killGlobals();
+    ensureShape(Argc, VM.Shapes.functionShape());
+    for (uint32_t I = 0; I <= Argc; ++I)
+      pop();
+    OptIrOp &O = emit(IrOpcode::CallValueOp);
+    O.A = In.A;
+    push(AbsVal::Unknown);
+    return;
+  }
+  case Opcode::New:
+    translateNew(In);
+    return;
+  case Opcode::Return:
+    emit(IrOpcode::ReturnOp);
+    pop();
+    return;
+  }
+  CCJS_UNREACHABLE("unknown opcode in IR builder");
+}
+
+void IrBuilder::hoistClassIdLoads() {
+  if (!VM.Config.ClassCacheEnabled || !VM.Config.HoistClassIdArray)
+    return;
+  for (uint32_t I = 0; I < Code->Ops.size(); ++I) {
+    if (Code->Ops[I].Op != IrOpcode::JumpLoopOp)
+      continue;
+    uint32_t Head = static_cast<uint32_t>(Code->Ops[I].A);
+    if (Head >= I)
+      continue;
+
+    // The loop body must be call-free (calls clobber the special regs).
+    bool HasCall = false;
+    for (uint32_t J = Head; J <= I && !HasCall; ++J) {
+      switch (Code->Ops[J].Op) {
+      case IrOpcode::CallDirectOp:
+      case IrOpcode::CallBuiltinMethodOp:
+      case IrOpcode::CallMethodDirectOp:
+      case IrOpcode::CallValueOp:
+      case IrOpcode::GenericCallMethodOp:
+      case IrOpcode::NewObjectOp:
+      case IrOpcode::NewArrayOp:
+        HasCall = true;
+        break;
+      default:
+        break;
+      }
+    }
+    if (HasCall)
+      continue;
+
+    // Locals and globals written inside the loop are not invariant.
+    std::vector<uint32_t> WrittenLocals, WrittenGlobals;
+    for (uint32_t J = Head; J <= I; ++J) {
+      if (Code->Ops[J].Op == IrOpcode::StLocalOp)
+        WrittenLocals.push_back(static_cast<uint32_t>(Code->Ops[J].A));
+      if (Code->Ops[J].Op == IrOpcode::StGlobalOp)
+        WrittenGlobals.push_back(static_cast<uint32_t>(Code->Ops[J].A));
+    }
+    auto Contains = [](const std::vector<uint32_t> &V, uint32_t X) {
+      return std::find(V.begin(), V.end(), X) != V.end();
+    };
+
+    std::vector<uint32_t> &Preloads = Code->LoopPreloads[Head];
+    for (uint32_t J = Head; J <= I; ++J) {
+      OptIrOp &O = Code->Ops[J];
+      if (O.Op != IrOpcode::StoreElemOp || !(O.Flags & IrFlagCcStore))
+        continue;
+      uint32_t Key;
+      if (O.A >= 0 && !Contains(WrittenLocals, static_cast<uint32_t>(O.A)))
+        Key = static_cast<uint32_t>(O.A);
+      else if (O.Aux >= 0 &&
+               !Contains(WrittenGlobals, static_cast<uint32_t>(O.Aux)))
+        Key = PreloadGlobalBit | static_cast<uint32_t>(O.Aux);
+      else
+        continue;
+      if (!Contains(Preloads, Key)) {
+        if (Preloads.size() >= VM.Config.NumArrayClassRegs)
+          continue; // Out of regArrayObjectClassId registers.
+        Preloads.push_back(Key);
+      }
+      O.Flags |= IrFlagHoistedClassId;
+      ++Code->HoistedStores;
+    }
+    if (Preloads.empty())
+      Code->LoopPreloads.erase(Head);
+  }
+}
+
+OptCode *IrBuilder::build() {
+  Code = new OptCode();
+  Code->FuncIndex = FuncIndex;
+  scanControlFlow();
+  Facts.assign(F.NumLocals, LocalProvFact());
+  Loc.assign(F.NumLocals, AbsVal());
+  AbsThis.OriginLocal = -2;
+
+  bool Reachable = true;
+  for (size_t I = 0; I < F.Code.size(); ++I) {
+    CurBc = static_cast<uint32_t>(I);
+    CurSite = F.Code[I].Site;
+    if (!Reachable) {
+      if (DepthAtTarget[I] < 0 && PredCount[I] == 0)
+        continue; // Dead code.
+      int32_t D = DepthAtTarget[I] >= 0 ? DepthAtTarget[I] : 0;
+      St.assign(static_cast<size_t>(D), AbsVal());
+      clearAbstractState();
+      Reachable = true;
+    } else if (PredCount[I] > 1 || IsBackedgeTarget[I]) {
+      // Merge point: conservative join.
+      joinAtMerge(static_cast<uint32_t>(I));
+    }
+    BcToIr[I] = static_cast<int32_t>(Code->Ops.size());
+    translate(F.Code[I]);
+    Opcode Op = F.Code[I].Op;
+    if (Op == Opcode::Jump || Op == Opcode::JumpLoop || Op == Opcode::Return)
+      Reachable = false;
+  }
+  BcToIr[F.Code.size()] = static_cast<int32_t>(Code->Ops.size());
+
+  // Fix up jump targets from bytecode indices to IR indices.
+  for (OptIrOp &O : Code->Ops) {
+    if (O.Op != IrOpcode::JumpOp && O.Op != IrOpcode::JumpLoopOp &&
+        O.Op != IrOpcode::JumpIfFalseOp && O.Op != IrOpcode::JumpIfTrueOp)
+      continue;
+    int32_t Target = O.A;
+    while (Target <= static_cast<int32_t>(F.Code.size()) &&
+           BcToIr[Target] < 0)
+      ++Target;
+    assert(BcToIr[Target] >= 0 && "jump to untranslated bytecode");
+    O.A = BcToIr[Target];
+  }
+
+  hoistClassIdLoads();
+  return Code;
+}
+
+OptCode *ccjs::compileOptimized(VMState &VM, uint32_t FuncIndex) {
+  // Two passes: the first collects per-local provenance facts; the second
+  // uses them to keep multi-assignment locals' provenance across merges.
+  IrBuilder Pass1(VM, FuncIndex);
+  OptCode *Scratch = Pass1.build();
+  delete Scratch;
+  std::vector<LocalProvFact> Facts = Pass1.takeFacts();
+  IrBuilder Pass2(VM, FuncIndex, &Facts);
+  OptCode *Code = Pass2.build();
+  // Crankshaft-style compilation cost, charged to the runtime bucket.
+  VM.Ctx.alu(InstrCategory::RestOfCode,
+             300 + 60 * static_cast<unsigned>(Code->Ops.size()));
+  return Code;
+}

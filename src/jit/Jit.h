@@ -1,0 +1,33 @@
+//===- jit/Jit.h - Optimizing tier entry points ------------------*- C++ -*-===//
+///
+/// \file
+/// Public interface of the optimizing tier: compile a hot function's
+/// bytecode + feedback into OptCode, and execute OptCode (with
+/// deoptimization back into the interpreter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_JIT_JIT_H
+#define CCJS_JIT_JIT_H
+
+#include "jit/OptIr.h"
+#include "vm/VMState.h"
+
+namespace ccjs {
+
+/// Compiles function \p FuncIndex with its current feedback. When the
+/// Class Cache mechanism is enabled, monomorphic-slot profiles are
+/// consumed to elide checks; every consumed profile registers the function
+/// in the slot's FunctionList and sets its SpeculateMap bit.
+/// Returns nullptr when the function cannot be optimized.
+OptCode *compileOptimized(VMState &VM, uint32_t FuncIndex);
+
+/// Executes a function's optimized code. Deoptimization (check failure,
+/// SMI overflow, Class Cache exception) transparently resumes in the
+/// interpreter; the returned value is always the completed call's result.
+Value runOptimized(VMState &VM, uint32_t FuncIndex, Value ThisV,
+                   const Value *Args, uint32_t Argc);
+
+} // namespace ccjs
+
+#endif // CCJS_JIT_JIT_H

@@ -1,0 +1,155 @@
+//===- jit/OptIr.h - Optimizing-tier IR -------------------------*- C++ -*-===//
+///
+/// \file
+/// OptIR: the check-explicit linear IR of the optimizing tier (the
+/// Crankshaft analogue). It keeps the bytecode's stack discipline so every
+/// op maps back to a bytecode position for deoptimization, but all type
+/// checks (Check Map / Check SMI / Check Number), tag/untag operations and
+/// math-assumption guards are explicit ops the optimizer can reason about
+/// and — with the Class Cache — remove.
+///
+/// Deopt contract: an op either deoptimizes with the operand stack
+/// untouched (resuming the interpreter at BcPc) or completes its stack
+/// effect; stores that complete but invalidate the running code resume at
+/// BcNext.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_JIT_OPTIR_H
+#define CCJS_JIT_OPTIR_H
+
+#include "runtime/Shape.h"
+#include "vm/Feedback.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ccjs {
+
+enum class IrOpcode : uint8_t {
+  // Constants, locals, globals.
+  Const,
+  LdaSmiOp,
+  LdaUndef,
+  LdaNull,
+  LdaTrue,
+  LdaFalse,
+  LdaThisOp,
+  LdLocalOp,
+  StLocalOp,
+  LdGlobalOp,
+  StGlobalOp,
+  PopOp,
+  DupOp,
+
+  // Checks (peek at Depth; no stack effect; deopt on failure).
+  CheckMapOp,    ///< Value must be a pointer with the expected shape.
+  CheckSmiOp,    ///< Value must be a SMI.
+  CheckNumberOp, ///< Value must be a SMI or a HeapNumber (pre-untag check).
+
+  // Named properties.
+  LoadPropOp,           ///< B = slot. [obj] -> [value].
+  PolyLoadPropOp,       ///< Aux = poly table. [obj] -> [value].
+  GenericGetPropOp,     ///< B = name.
+  StorePropOp,          ///< B = slot, Shape = holder. [obj, v] -> [v].
+  TransitionStorePropOp,///< B = slot, Shape = old, Shape2 = new.
+  GenericSetPropOp,     ///< B = name.
+
+  // Elements.
+  LoadElemOp,        ///< [obj, idx] -> [value].
+  StoreElemOp,       ///< [obj, idx, v] -> [v]. A = receiver local or -1.
+  GenericGetElemOp,
+  GenericSetElemOp,
+
+  // Lengths.
+  LoadElemsLengthOp,
+  LoadStrLengthOp,
+  LoadNamedLengthOp, ///< B = slot.
+
+  // Arithmetic (A = BinaryOp).
+  SmiBinOpOp,
+  DoubleBinOpOp,
+  SmiCompareOp,
+  DoubleCompareOp,
+  StringAddOp,
+  GenericBinOpOp,
+
+  // Unary.
+  SmiNegOp,
+  DoubleNegOp,
+  NotOp,
+  BitNotOp,
+  GenericUnaOpOp, ///< A = UnaryOp.
+
+  // Control flow (A = target ir index).
+  JumpOp,
+  JumpLoopOp,
+  JumpIfFalseOp,
+  JumpIfTrueOp,
+
+  // Calls.
+  CallDirectOp,        ///< A = argc, B = callee function index.
+  CallBuiltinInlineOp, ///< A = argc, B = builtin id (inlined Math ops).
+  CallBuiltinMethodOp, ///< A = argc, B = builtin id; receiver under args.
+  CallMethodDirectOp,  ///< A = argc, B = target; receiver under args.
+  CallValueOp,         ///< A = argc; callee under args.
+  GenericCallMethodOp, ///< A = argc, B = name; receiver under args.
+  NewObjectOp,         ///< A = argc, B = constructor function index.
+  NewArrayOp,          ///< A = argc (Array built-in constructor).
+
+  // Literals.
+  CreateObjectOp,      ///< A = capacity hint.
+  CreateArrayOp,       ///< A = initial length.
+  AddPropTransitionOp, ///< B = slot, Shape = old, Shape2 = new. [obj,v]->[obj].
+  StElemInitOp,        ///< A = index. [arr, v] -> [arr].
+
+  ReturnOp,
+  DeoptOp, ///< Unconditional bailout (unsupported situation).
+};
+
+/// Flag bits for OptIrOp::Flags.
+enum : uint16_t {
+  IrFlagAfterObjectLoad = 1 << 0, ///< Check guards a property/element value.
+  IrFlagInObject = 1 << 1,        ///< Slot is in-object (trackable).
+  IrFlagCcStore = 1 << 2,         ///< Store is a movStoreClassCache[Array].
+  IrFlagHoistedClassId = 1 << 3,  ///< movClassIDArray was hoisted.
+  IrFlagSafeElem = 1 << 4,        ///< Element access tolerates out-of-bounds.
+  IrFlagPreUntag = 1 << 5,        ///< Check precedes an untag (Tags/Untags).
+};
+
+struct OptIrOp {
+  IrOpcode Op;
+  int32_t A = 0;
+  uint32_t B = 0;
+  ShapeId Shape = InvalidShape;
+  ShapeId Shape2 = InvalidShape;
+  uint8_t Depth = 0;
+  uint16_t Flags = 0;
+  uint16_t Site = 0;
+  int32_t Aux = -1;
+  uint32_t BcPc = 0;   ///< Bytecode index to resume at (pre-effect deopt).
+  uint32_t BcNext = 0; ///< Bytecode index after this op's bytecode.
+};
+
+/// Compiled optimized code for one function.
+struct OptCode {
+  uint32_t FuncIndex = 0;
+  std::vector<OptIrOp> Ops;
+  /// Polymorphic IC tables referenced by Aux.
+  std::vector<std::vector<PropEntry>> PolyTables;
+  /// Loop-preheader movClassIDArray loads: ir index of the loop head ->
+  /// locals whose ClassID is loaded into regArrayObjectClassId registers.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> LoopPreloads;
+
+  // Compile-time statistics (for the ablation benches).
+  uint32_t ChecksEmitted = 0;
+  uint32_t ChecksElidedClassic = 0;
+  uint32_t ChecksElidedClassCache = 0;
+  uint32_t CcStores = 0;
+  uint32_t HoistedStores = 0;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_JIT_OPTIR_H

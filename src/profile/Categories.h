@@ -1,0 +1,115 @@
+//===- profile/Categories.h - Dynamic instruction categories ---*- C++ -*-===//
+///
+/// \file
+/// The dynamic-instruction categories of the paper's Figure 1, plus counter
+/// structures used to account every simulated machine instruction.
+///
+/// Every machine-level event the interpreter (baseline tier) and the OptIR
+/// executor (optimizing tier) emit carries one of these categories, so the
+/// breakdown of Figure 1 and the overhead analysis of Figure 2 fall directly
+/// out of the counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_PROFILE_CATEGORIES_H
+#define CCJS_PROFILE_CATEGORIES_H
+
+#include <array>
+#include <cstdint>
+
+namespace ccjs {
+
+/// Categories of dynamic instructions (paper Figure 1).
+enum class InstrCategory : uint8_t {
+  /// Standalone checking operations in optimized code: Check Map,
+  /// Check SMI, Check Non-SMI.
+  Checks,
+  /// Boxing/unboxing of number values, including the checking operations
+  /// performed before a value is untagged.
+  TagsUntags,
+  /// Runtime verification of math assumptions (SMI overflow, division by
+  /// zero, ToInt32 range).
+  MathAssumptions,
+  /// All other instructions executed by optimized (Crankshaft-tier) code.
+  OtherOptimized,
+  /// Everything else: baseline (Full Codegen-tier) code, inline cache
+  /// stubs, runtime helpers and housekeeping.
+  RestOfCode,
+};
+
+inline constexpr unsigned NumInstrCategories = 5;
+
+inline const char *instrCategoryName(InstrCategory Cat) {
+  switch (Cat) {
+  case InstrCategory::Checks:
+    return "Checks";
+  case InstrCategory::TagsUntags:
+    return "Tags/Untags";
+  case InstrCategory::MathAssumptions:
+    return "Math Assumptions";
+  case InstrCategory::OtherOptimized:
+    return "Other Optimized Code";
+  case InstrCategory::RestOfCode:
+    return "Rest of Code";
+  }
+  return "?";
+}
+
+/// Aggregated dynamic instruction counters for one engine run.
+struct InstrCounters {
+  /// Instructions per category.
+  std::array<uint64_t, NumInstrCategories> PerCategory{};
+  /// Of the category counts above, the subset that are *checking
+  /// operations applied to values obtained from object properties or
+  /// elements arrays* (paper Figure 2: includes the pre-untag checks).
+  std::array<uint64_t, NumInstrCategories> ChecksAfterObjectLoad{};
+
+  uint64_t total() const {
+    uint64_t Sum = 0;
+    for (uint64_t C : PerCategory)
+      Sum += C;
+    return Sum;
+  }
+
+  /// Instructions executed inside optimized code (all categories except
+  /// RestOfCode).
+  uint64_t optimizedTotal() const {
+    return total() -
+           PerCategory[static_cast<unsigned>(InstrCategory::RestOfCode)];
+  }
+
+  uint64_t checksAfterObjectLoadTotal() const {
+    uint64_t Sum = 0;
+    for (uint64_t C : ChecksAfterObjectLoad)
+      Sum += C;
+    return Sum;
+  }
+
+  void add(InstrCategory Cat, uint64_t N, bool AfterObjectLoad = false) {
+    PerCategory[static_cast<unsigned>(Cat)] += N;
+    if (AfterObjectLoad)
+      ChecksAfterObjectLoad[static_cast<unsigned>(Cat)] += N;
+  }
+};
+
+/// Counters for object load accesses, classified by whether the accessed
+/// slot turned out to be monomorphic over the whole run (paper Figure 3).
+struct ObjectLoadCounters {
+  uint64_t MonomorphicProperty = 0;
+  uint64_t NonMonomorphicProperty = 0;
+  uint64_t MonomorphicElements = 0;
+  uint64_t NonMonomorphicElements = 0;
+  /// Property loads that hit the first cache line of the object
+  /// (paper section 5.3.4 reports 79%).
+  uint64_t FirstLineLoads = 0;
+  uint64_t TotalPropertyLoads = 0;
+
+  uint64_t total() const {
+    return MonomorphicProperty + NonMonomorphicProperty +
+           MonomorphicElements + NonMonomorphicElements;
+  }
+};
+
+} // namespace ccjs
+
+#endif // CCJS_PROFILE_CATEGORIES_H

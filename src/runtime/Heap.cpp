@@ -1,0 +1,265 @@
+//===- runtime/Heap.cpp ---------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+#include "support/Assert.h"
+
+#include <cmath>
+
+using namespace ccjs;
+using namespace ccjs::layout;
+
+Heap::Heap(SimMemory &Mem, ShapeTable &Shapes, StringInterner &Names)
+    : Mem(Mem), Shapes(Shapes), Names(Names) {
+  auto AllocOddball = [&](ShapeId Shape) {
+    uint64_t Addr = Mem.allocate(8, 8);
+    Mem.write64(Addr, makeHeader(ShapeTable::descriptorAddr(Shape), 0,
+                                 Shapes.get(Shape).ClassId, 0));
+    return Value::makePointer(Addr);
+  };
+  UndefinedV = AllocOddball(Shapes.undefinedShape());
+  NullV = AllocOddball(Shapes.nullShape());
+  TrueV = AllocOddball(Shapes.trueShape());
+  FalseV = AllocOddball(Shapes.falseShape());
+  EmptyStringV = allocString("");
+}
+
+void Heap::writeHeaders(uint64_t ObjAddr, ShapeId Shape,
+                        uint32_t CapacitySlots) {
+  uint32_t Lines = linesForSlots(CapacitySlots == 0 ? 1 : CapacitySlots);
+  uint64_t Desc = ShapeTable::descriptorAddr(Shape);
+  uint8_t ClassId = Shapes.get(Shape).ClassId;
+  for (uint32_t L = 0; L < Lines; ++L)
+    Mem.write64(ObjAddr + L * CacheLineBytes,
+                makeHeader(Desc, static_cast<uint8_t>(CapacitySlots), ClassId,
+                           static_cast<uint8_t>(L)));
+}
+
+Value Heap::allocObject(ShapeId Shape, uint32_t CapacitySlots) {
+  if (CapacitySlots > 200)
+    CapacitySlots = 200; // Keep the capacity byte in range.
+  uint32_t Lines = linesForSlots(CapacitySlots == 0 ? 1 : CapacitySlots);
+  CapacitySlots = slotsForLines(Lines); // Round up to whole lines.
+  uint64_t Bytes = Lines * CacheLineBytes;
+  uint64_t Addr = Mem.allocate(Bytes, CacheLineBytes);
+  writeHeaders(Addr, Shape, CapacitySlots);
+
+  // Initialize in-object slots to undefined so reads of declared-but-unset
+  // properties behave.
+  for (uint32_t S = 0; S < CapacitySlots; ++S)
+    Mem.write64(Addr + slotByteOffset(S), UndefinedV.bits());
+
+  ++Stats.ObjectsAllocated;
+  Stats.ObjectBytes += Bytes;
+  if (Lines > 1) {
+    ++Stats.MultiLineObjects;
+    Stats.ExtraHeaderBytes += (Lines - 1) * 8;
+  }
+  return Value::makePointer(Addr);
+}
+
+Value Heap::allocArray(uint32_t Length, ShapeId Shape) {
+  if (Shape == InvalidShape)
+    Shape = Shapes.arrayRoot();
+  Value Arr = allocObject(Shape, 0);
+  uint64_t Addr = Arr.asPointer();
+  if (Length > 0) {
+    ensureElementsCapacity(Addr, int64_t(Length) - 1);
+    Mem.write64(Addr + ElementsLengthPos * 8, Length);
+  }
+  return Arr;
+}
+
+Value Heap::allocHeapNumber(double D) {
+  uint64_t Addr = Mem.allocate(16, 8);
+  Mem.write64(Addr, makeHeader(
+                        ShapeTable::descriptorAddr(Shapes.heapNumberShape()),
+                        0, Shapes.get(Shapes.heapNumberShape()).ClassId, 0));
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, 8);
+  Mem.write64(Addr + 8, Bits);
+  ++Stats.HeapNumbersAllocated;
+  return Value::makePointer(Addr);
+}
+
+Value Heap::allocString(std::string_view Text) {
+  uint64_t Bytes = 16 + ((Text.size() + 7) & ~size_t(7));
+  uint64_t Addr = Mem.allocate(Bytes, 8);
+  Mem.write64(Addr,
+              makeHeader(ShapeTable::descriptorAddr(Shapes.stringShape()), 0,
+                         Shapes.get(Shapes.stringShape()).ClassId, 0));
+  Mem.write64(Addr + 8, Text.size());
+  for (size_t I = 0; I < Text.size(); ++I)
+    Mem.write8(Addr + 16 + I, static_cast<uint8_t>(Text[I]));
+  ++Stats.StringsAllocated;
+  return Value::makePointer(Addr);
+}
+
+Value Heap::allocFunction(uint32_t FuncIndex) {
+  uint64_t Addr = Mem.allocate(16, 8);
+  Mem.write64(Addr,
+              makeHeader(ShapeTable::descriptorAddr(Shapes.functionShape()), 0,
+                         Shapes.get(Shapes.functionShape()).ClassId, 0));
+  Mem.write64(Addr + 8, FuncIndex);
+  return Value::makePointer(Addr);
+}
+
+Value Heap::number(double D) {
+  if (D == std::floor(D) && !std::isinf(D) && Value::fitsSmi(int64_t(D)) &&
+      !(D == 0 && std::signbit(D)))
+    return Value::makeSmi(static_cast<int32_t>(D));
+  return allocHeapNumber(D);
+}
+
+ValueKind Heap::kindOf(Value V) const {
+  if (V.isSmi())
+    return ValueKind::Smi;
+  ShapeId S = shapeOfValue(V);
+  if (S == Shapes.heapNumberShape())
+    return ValueKind::HeapNumber;
+  if (S == Shapes.stringShape())
+    return ValueKind::String;
+  if (S == Shapes.functionShape())
+    return ValueKind::Function;
+  if (S == Shapes.undefinedShape())
+    return ValueKind::Undefined;
+  if (S == Shapes.nullShape())
+    return ValueKind::Null;
+  if (S == Shapes.trueShape() || S == Shapes.falseShape())
+    return ValueKind::Boolean;
+  return ValueKind::Object;
+}
+
+//===----------------------------------------------------------------------===//
+// Named properties
+//===----------------------------------------------------------------------===//
+
+uint64_t Heap::slotAddress(uint64_t ObjAddr, uint32_t Slot,
+                           bool *InObject) const {
+  uint32_t Capacity = capacityOf(ObjAddr);
+  if (Slot < Capacity) {
+    if (InObject)
+      *InObject = true;
+    return ObjAddr + slotByteOffset(Slot);
+  }
+  if (InObject)
+    *InObject = false;
+  uint64_t Props = Mem.read64(ObjAddr + PropsPointerPos * 8);
+  assert(Props != 0 && "overflow slot without properties array");
+  return Props + 8 + uint64_t(Slot - Capacity) * 8;
+}
+
+Value Heap::getSlot(uint64_t ObjAddr, uint32_t Slot) const {
+  return Value::fromBits(Mem.read64(slotAddress(ObjAddr, Slot, nullptr)));
+}
+
+void Heap::setSlot(uint64_t ObjAddr, uint32_t Slot, Value V) {
+  Mem.write64(slotAddress(ObjAddr, Slot, nullptr), V.bits());
+}
+
+void Heap::ensurePropsCapacity(uint64_t ObjAddr, uint32_t NeededOverflow) {
+  uint64_t Props = Mem.read64(ObjAddr + PropsPointerPos * 8);
+  uint64_t OldCap = Props ? Mem.read64(Props) : 0;
+  if (NeededOverflow <= OldCap)
+    return;
+  uint64_t NewCap = OldCap ? OldCap * 2 : 4;
+  if (NewCap < NeededOverflow)
+    NewCap = NeededOverflow;
+  uint64_t NewProps = Mem.allocate(8 + NewCap * 8, 8);
+  Mem.write64(NewProps, NewCap);
+  for (uint64_t I = 0; I < NewCap; ++I)
+    Mem.write64(NewProps + 8 + I * 8,
+                I < OldCap ? Mem.read64(Props + 8 + I * 8)
+                           : UndefinedV.bits());
+  Mem.write64(ObjAddr + PropsPointerPos * 8, NewProps);
+}
+
+uint32_t Heap::addProperty(uint64_t ObjAddr, InternedString Name, Value V) {
+  ShapeId Old = shapeOf(ObjAddr);
+  assert(Shapes.get(Old).Kind == ObjectKind::Plain &&
+         "properties can only be added to plain objects");
+  ShapeId New = Shapes.transition(Old, Name);
+  uint32_t Slot = Shapes.get(New).NumSlots - 1;
+  uint32_t Capacity = capacityOf(ObjAddr);
+  if (Slot >= Capacity)
+    ensurePropsCapacity(ObjAddr, Slot - Capacity + 1);
+  // Update the map (and the ClassID tag bytes of every line) before the
+  // property store, so the Class Cache profiles the store against the
+  // destination hidden class.
+  writeHeaders(ObjAddr, New, Capacity);
+  setSlot(ObjAddr, Slot, V);
+  return Slot;
+}
+
+//===----------------------------------------------------------------------===//
+// Elements
+//===----------------------------------------------------------------------===//
+
+void Heap::ensureElementsCapacity(uint64_t ObjAddr, int64_t Index) {
+  assert(Index >= 0 && "negative element index");
+  uint64_t Elems = elementsPointer(ObjAddr);
+  uint64_t OldCap = Elems ? Mem.read64(Elems) : 0;
+  if (uint64_t(Index) < OldCap)
+    return;
+  uint64_t NewCap = OldCap ? OldCap * 2 : 8;
+  if (NewCap < uint64_t(Index) + 1)
+    NewCap = uint64_t(Index) + 1;
+  uint64_t NewElems = Mem.allocate(8 + NewCap * 8, 8);
+  Mem.write64(NewElems, NewCap);
+  for (uint64_t I = 0; I < NewCap; ++I)
+    Mem.write64(NewElems + 8 + I * 8,
+                I < OldCap ? Mem.read64(Elems + 8 + I * 8)
+                           : UndefinedV.bits());
+  Mem.write64(ObjAddr + ElementsPointerPos * 8, NewElems);
+}
+
+Value Heap::getElement(uint64_t ObjAddr, int64_t Index) const {
+  if (Index < 0 || Index >= elementsLength(ObjAddr))
+    return UndefinedV;
+  return Value::fromBits(Mem.read64(elementAddress(ObjAddr,
+                                                   uint32_t(Index))));
+}
+
+bool Heap::setElement(uint64_t ObjAddr, int64_t Index, Value V) {
+  assert(Index >= 0 && "negative element index");
+  bool Slow = false;
+  uint64_t Elems = elementsPointer(ObjAddr);
+  uint64_t Cap = Elems ? Mem.read64(Elems) : 0;
+  if (uint64_t(Index) >= Cap) {
+    ensureElementsCapacity(ObjAddr, Index);
+    Slow = true;
+  }
+  if (Index >= elementsLength(ObjAddr)) {
+    Mem.write64(ObjAddr + ElementsLengthPos * 8, uint64_t(Index) + 1);
+    Slow = true;
+  }
+  Mem.write64(elementAddress(ObjAddr, uint32_t(Index)), V.bits());
+  return Slow;
+}
+
+//===----------------------------------------------------------------------===//
+// Strings & slack tracking
+//===----------------------------------------------------------------------===//
+
+std::string Heap::stringContents(uint64_t Addr) const {
+  uint32_t Len = stringLength(Addr);
+  std::string Out;
+  Out.reserve(Len);
+  for (uint32_t I = 0; I < Len; ++I)
+    Out += static_cast<char>(Mem.read8(Addr + 16 + I));
+  return Out;
+}
+
+uint32_t Heap::constructorCapacityHint(uint32_t FuncIndex) const {
+  auto It = ConstructorSlotHints.find(FuncIndex);
+  // First instance: a generous two-line guess (V8-style slack).
+  if (It == ConstructorSlotHints.end())
+    return slotsForLines(2);
+  return It->second;
+}
+
+void Heap::observeConstructed(uint32_t FuncIndex, uint32_t Slots) {
+  uint32_t &Hint = ConstructorSlotHints[FuncIndex];
+  if (Slots > Hint)
+    Hint = Slots;
+}

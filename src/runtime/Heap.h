@@ -1,0 +1,234 @@
+//===- runtime/Heap.h - Object heap ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Allocation and semantic access for all heap object kinds: plain objects
+/// (with hidden-class transitions, in-object slots, overflow properties and
+/// elements arrays), HeapNumbers, strings, functions and oddballs.
+///
+/// The heap is purely semantic: it reads and writes the simulated memory
+/// but never emits timing events. The interpreter and the OptIR executor
+/// decide which accesses are architecturally visible and account for them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_RUNTIME_HEAP_H
+#define CCJS_RUNTIME_HEAP_H
+
+#include "runtime/Layout.h"
+#include "runtime/Shape.h"
+#include "runtime/SimMemory.h"
+#include "runtime/Value.h"
+#include "support/StringInterner.h"
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ccjs {
+
+/// Classification of a value, derived from its tag and shape.
+enum class ValueKind : uint8_t {
+  Smi,
+  HeapNumber,
+  String,
+  Function,
+  Undefined,
+  Null,
+  Boolean,
+  Object,
+};
+
+/// Allocation statistics (paper section 5.3.4).
+struct HeapStats {
+  uint64_t ObjectsAllocated = 0;
+  uint64_t MultiLineObjects = 0;
+  uint64_t ObjectBytes = 0;
+  /// Extra bytes spent on the per-line header words that the Class Cache
+  /// scheme requires for lines beyond the first.
+  uint64_t ExtraHeaderBytes = 0;
+  uint64_t HeapNumbersAllocated = 0;
+  uint64_t StringsAllocated = 0;
+};
+
+class Heap {
+public:
+  Heap(SimMemory &Mem, ShapeTable &Shapes, StringInterner &Names);
+
+  SimMemory &memory() { return Mem; }
+  ShapeTable &shapes() { return Shapes; }
+  StringInterner &names() { return Names; }
+  const HeapStats &stats() const { return Stats; }
+
+  //===--------------------------------------------------------------------===//
+  // Canonical values
+  //===--------------------------------------------------------------------===//
+
+  Value undefined() const { return UndefinedV; }
+  Value null() const { return NullV; }
+  Value boolean(bool B) const { return B ? TrueV : FalseV; }
+  Value trueValue() const { return TrueV; }
+  Value falseValue() const { return FalseV; }
+  Value emptyString() const { return EmptyStringV; }
+
+  //===--------------------------------------------------------------------===//
+  // Allocation
+  //===--------------------------------------------------------------------===//
+
+  /// Allocates a plain object with the given shape and in-object slot
+  /// capacity (rounded up to whole cache lines). The object is cache-line
+  /// aligned and every line carries the ClassID/Line tag bytes.
+  Value allocObject(ShapeId Shape, uint32_t CapacitySlots);
+
+  /// Allocates an array: a plain object with \p Shape (defaults to the
+  /// generic ArrayRoot; tiers pass per-allocation-site shapes) and an
+  /// elements array of \p Length (filled with undefined, length set).
+  Value allocArray(uint32_t Length, ShapeId Shape = InvalidShape);
+
+  Value allocHeapNumber(double D);
+  Value allocString(std::string_view Text);
+  Value allocFunction(uint32_t FuncIndex);
+
+  /// Boxes \p D: SMI when integral and in range (excluding -0), else a
+  /// HeapNumber.
+  Value number(double D);
+
+  //===--------------------------------------------------------------------===//
+  // Classification
+  //===--------------------------------------------------------------------===//
+
+  ShapeId shapeOf(uint64_t ObjAddr) const {
+    return ShapeTable::shapeForDescriptor(
+        layout::headerDescAddr(Mem.read64(ObjAddr)));
+  }
+  ShapeId shapeOfValue(Value V) const {
+    assert(V.isPointer() && "SMIs have no shape");
+    return shapeOf(V.asPointer());
+  }
+
+  /// ClassID for Class Cache requests: SmiClassId for SMIs, else the
+  /// value's hidden-class id.
+  uint8_t classIdOfValue(Value V) const {
+    if (V.isSmi())
+      return SmiClassId;
+    return Shapes.get(shapeOfValue(V)).ClassId;
+  }
+
+  ValueKind kindOf(Value V) const;
+
+  bool isString(Value V) const { return kindOf(V) == ValueKind::String; }
+  bool isHeapNumber(Value V) const {
+    return kindOf(V) == ValueKind::HeapNumber;
+  }
+  bool isFunction(Value V) const { return kindOf(V) == ValueKind::Function; }
+  bool isPlainObject(Value V) const { return kindOf(V) == ValueKind::Object; }
+
+  //===--------------------------------------------------------------------===//
+  // Named properties
+  //===--------------------------------------------------------------------===//
+
+  /// Simulated address of property slot \p Slot. \p InObject is set to
+  /// false when the slot lives in the overflow properties array.
+  uint64_t slotAddress(uint64_t ObjAddr, uint32_t Slot, bool *InObject) const;
+
+  Value getSlot(uint64_t ObjAddr, uint32_t Slot) const;
+  void setSlot(uint64_t ObjAddr, uint32_t Slot, Value V);
+
+  /// Adds property \p Name (transitioning the shape) and stores \p V.
+  /// Returns the slot index.
+  uint32_t addProperty(uint64_t ObjAddr, InternedString Name, Value V);
+
+  /// In-object slot capacity of the object.
+  uint32_t capacityOf(uint64_t ObjAddr) const {
+    return layout::headerCapacity(Mem.read64(ObjAddr));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Elements
+  //===--------------------------------------------------------------------===//
+
+  uint64_t elementsPointer(uint64_t ObjAddr) const {
+    return Mem.read64(ObjAddr + layout::ElementsPointerPos * 8);
+  }
+  int64_t elementsLength(uint64_t ObjAddr) const {
+    return static_cast<int64_t>(
+        Mem.read64(ObjAddr + layout::ElementsLengthPos * 8));
+  }
+  /// Simulated address of element \p Index (elements must exist).
+  uint64_t elementAddress(uint64_t ObjAddr, uint32_t Index) const {
+    return elementsPointer(ObjAddr) + 8 + uint64_t(Index) * 8;
+  }
+
+  /// Reads element \p Index; undefined when out of range.
+  Value getElement(uint64_t ObjAddr, int64_t Index) const;
+
+  /// Writes element \p Index, growing the elements array and the length as
+  /// needed. Returns true when the store grew or (re)allocated the backing
+  /// store (a slow path in the tiers).
+  bool setElement(uint64_t ObjAddr, int64_t Index, Value V);
+
+  //===--------------------------------------------------------------------===//
+  // HeapNumbers, strings, functions
+  //===--------------------------------------------------------------------===//
+
+  double heapNumberValue(uint64_t Addr) const {
+    uint64_t Bits = Mem.read64(Addr + 8);
+    double D;
+    std::memcpy(&D, &Bits, 8);
+    return D;
+  }
+
+  /// Numeric value of a SMI or HeapNumber.
+  double numberValue(Value V) const {
+    if (V.isSmi())
+      return V.asSmi();
+    assert(isHeapNumber(V) && "value is not a number");
+    return heapNumberValue(V.asPointer());
+  }
+
+  uint32_t stringLength(uint64_t Addr) const {
+    return static_cast<uint32_t>(Mem.read64(Addr + 8));
+  }
+  /// Reads the character bytes of a string into a host std::string.
+  std::string stringContents(uint64_t Addr) const;
+  uint8_t stringCharAt(uint64_t Addr, uint32_t Index) const {
+    return Mem.read8(Addr + 16 + Index);
+  }
+
+  uint32_t functionIndex(uint64_t Addr) const {
+    return static_cast<uint32_t>(Mem.read64(Addr + 8));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Constructor slack tracking
+  //===--------------------------------------------------------------------===//
+
+  /// In-object capacity to use for `new F()` allocations, learned from
+  /// previously constructed instances.
+  uint32_t constructorCapacityHint(uint32_t FuncIndex) const;
+  /// Records the final slot count of a freshly constructed instance.
+  void observeConstructed(uint32_t FuncIndex, uint32_t Slots);
+
+private:
+  /// Rewrites the header word of every line (shape transitions change the
+  /// ClassID the Class Cache hardware reads from the line).
+  void writeHeaders(uint64_t ObjAddr, ShapeId Shape, uint32_t CapacitySlots);
+
+  /// Ensures the overflow properties array can hold \p NeededOverflow
+  /// values.
+  void ensurePropsCapacity(uint64_t ObjAddr, uint32_t NeededOverflow);
+
+  /// Ensures the elements array can hold index \p Index.
+  void ensureElementsCapacity(uint64_t ObjAddr, int64_t Index);
+
+  SimMemory &Mem;
+  ShapeTable &Shapes;
+  StringInterner &Names;
+  HeapStats Stats;
+
+  Value UndefinedV, NullV, TrueV, FalseV, EmptyStringV;
+  std::unordered_map<uint32_t, uint32_t> ConstructorSlotHints;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_RUNTIME_HEAP_H

@@ -1,0 +1,116 @@
+//===- runtime/Layout.h - Object memory layout -----------------*- C++ -*-===//
+///
+/// \file
+/// Memory layout of heap objects in the simulated address space, following
+/// the paper (sections 3.1 and 4.2.1) and V8:
+///
+///   word 0: header = shape descriptor address (low 40 bits)
+///           | in-object slot capacity (byte 5)
+///           | ClassID (byte 6) | relative cache line (byte 7)
+///   word 1: overflow properties array pointer (0 when none)
+///   word 2: elements array pointer (0 when none)
+///   word 3: elements length
+///   words 4..7 and words 1..7 of subsequent lines: in-object property slots
+///
+/// Objects are 64-byte (cache line) aligned, and *every* line of a
+/// multi-line object repeats the header tag bytes with its own line number,
+/// exactly as the paper's Class Cache requires (Figure 4). The paper's text
+/// is inconsistent about whether the elements pointer is word 2 or 3 and
+/// whether its Class List field is Prop2 or position 3; we use 0-based word
+/// positions throughout: the elements-array class profile lives at
+/// (line 0, position 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_RUNTIME_LAYOUT_H
+#define CCJS_RUNTIME_LAYOUT_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ccjs {
+
+namespace layout {
+
+inline constexpr uint64_t CacheLineBytes = 64;
+inline constexpr unsigned WordsPerLine = 8;
+/// In-object slots available in the first line (positions 4..7).
+inline constexpr unsigned Line0Slots = 4;
+/// In-object slots available in each subsequent line (positions 1..7).
+inline constexpr unsigned LineNSlots = 7;
+
+/// Word position (0-based, within line 0) holding the overflow properties
+/// array pointer.
+inline constexpr unsigned PropsPointerPos = 1;
+/// Word position holding the elements array pointer; also the Class List /
+/// Class Cache property position used for elements-array class profiles.
+inline constexpr unsigned ElementsPointerPos = 2;
+/// Word position holding the elements length.
+inline constexpr unsigned ElementsLengthPos = 3;
+
+/// Location of an in-object slot: cache line index and word position.
+struct SlotLocation {
+  uint8_t Line;
+  uint8_t Pos;
+};
+
+/// Maps an in-object slot index to its (line, position).
+inline SlotLocation slotLocation(uint32_t Slot) {
+  if (Slot < Line0Slots)
+    return {0, static_cast<uint8_t>(4 + Slot)};
+  uint32_t Rest = Slot - Line0Slots;
+  return {static_cast<uint8_t>(1 + Rest / LineNSlots),
+          static_cast<uint8_t>(1 + Rest % LineNSlots)};
+}
+
+/// Number of cache lines needed for \p Slots in-object slots.
+inline uint32_t linesForSlots(uint32_t Slots) {
+  if (Slots <= Line0Slots)
+    return 1;
+  return 1 + (Slots - Line0Slots + LineNSlots - 1) / LineNSlots;
+}
+
+/// In-object slots available in an object spanning \p Lines cache lines.
+inline uint32_t slotsForLines(uint32_t Lines) {
+  assert(Lines >= 1);
+  return Line0Slots + (Lines - 1) * LineNSlots;
+}
+
+/// Byte offset of an in-object slot from the object base.
+inline uint64_t slotByteOffset(uint32_t Slot) {
+  SlotLocation Loc = slotLocation(Slot);
+  return Loc.Line * CacheLineBytes + Loc.Pos * 8;
+}
+
+//===----------------------------------------------------------------------===//
+// Header word encoding
+//===----------------------------------------------------------------------===//
+
+/// Builds a header word from a shape descriptor address (must fit 40 bits),
+/// the in-object capacity, the 8-bit ClassID and the relative line number.
+inline uint64_t makeHeader(uint64_t DescAddr, uint8_t CapacitySlots,
+                           uint8_t ClassId, uint8_t Line) {
+  assert(DescAddr < (uint64_t(1) << 40) &&
+         "shape descriptor address exceeds 40 bits");
+  return DescAddr | (uint64_t(CapacitySlots) << 40) |
+         (uint64_t(ClassId) << 48) | (uint64_t(Line) << 56);
+}
+
+inline uint64_t headerDescAddr(uint64_t Header) {
+  return Header & ((uint64_t(1) << 40) - 1);
+}
+inline uint8_t headerCapacity(uint64_t Header) {
+  return static_cast<uint8_t>(Header >> 40);
+}
+inline uint8_t headerClassId(uint64_t Header) {
+  return static_cast<uint8_t>(Header >> 48);
+}
+inline uint8_t headerLine(uint64_t Header) {
+  return static_cast<uint8_t>(Header >> 56);
+}
+
+} // namespace layout
+
+} // namespace ccjs
+
+#endif // CCJS_RUNTIME_LAYOUT_H

@@ -1,0 +1,257 @@
+//===- runtime/Operations.cpp ---------------------------------------------===//
+
+#include "runtime/Operations.h"
+
+#include "support/Assert.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ccjs;
+
+bool ccjs::toBoolean(const Heap &H, Value V) {
+  switch (H.kindOf(V)) {
+  case ValueKind::Smi:
+    return V.asSmi() != 0;
+  case ValueKind::HeapNumber: {
+    double D = H.heapNumberValue(V.asPointer());
+    return D != 0 && !std::isnan(D);
+  }
+  case ValueKind::String:
+    return H.stringLength(V.asPointer()) != 0;
+  case ValueKind::Undefined:
+  case ValueKind::Null:
+    return false;
+  case ValueKind::Boolean:
+    return V == H.trueValue();
+  case ValueKind::Function:
+  case ValueKind::Object:
+    return true;
+  }
+  CCJS_UNREACHABLE("unknown value kind");
+}
+
+double ccjs::toNumber(const Heap &H, Value V) {
+  switch (H.kindOf(V)) {
+  case ValueKind::Smi:
+    return V.asSmi();
+  case ValueKind::HeapNumber:
+    return H.heapNumberValue(V.asPointer());
+  case ValueKind::String: {
+    std::string S = H.stringContents(V.asPointer());
+    if (S.empty())
+      return 0;
+    char *End = nullptr;
+    double D = std::strtod(S.c_str(), &End);
+    while (End && *End == ' ')
+      ++End;
+    if (!End || *End != '\0')
+      return std::nan("");
+    return D;
+  }
+  case ValueKind::Undefined:
+    return std::nan("");
+  case ValueKind::Null:
+    return 0;
+  case ValueKind::Boolean:
+    return V == H.trueValue() ? 1 : 0;
+  case ValueKind::Function:
+  case ValueKind::Object:
+    return std::nan("");
+  }
+  CCJS_UNREACHABLE("unknown value kind");
+}
+
+int32_t ccjs::toInt32(double D) {
+  if (std::isnan(D) || std::isinf(D))
+    return 0;
+  // ECMAScript ToInt32: modulo 2^32 into the signed range.
+  double M = std::fmod(std::trunc(D), 4294967296.0);
+  if (M < 0)
+    M += 4294967296.0;
+  uint32_t U = static_cast<uint32_t>(M);
+  return static_cast<int32_t>(U);
+}
+
+std::string ccjs::numberToString(double D) {
+  if (std::isnan(D))
+    return "NaN";
+  if (std::isinf(D))
+    return D > 0 ? "Infinity" : "-Infinity";
+  if (D == std::floor(D) && std::fabs(D) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", D);
+    return Buf;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.12g", D);
+  return Buf;
+}
+
+std::string ccjs::toStringValue(const Heap &H, Value V) {
+  switch (H.kindOf(V)) {
+  case ValueKind::Smi:
+    return numberToString(V.asSmi());
+  case ValueKind::HeapNumber:
+    return numberToString(H.heapNumberValue(V.asPointer()));
+  case ValueKind::String:
+    return H.stringContents(V.asPointer());
+  case ValueKind::Undefined:
+    return "undefined";
+  case ValueKind::Null:
+    return "null";
+  case ValueKind::Boolean:
+    return V == H.trueValue() ? "true" : "false";
+  case ValueKind::Function:
+    return "function";
+  case ValueKind::Object:
+    return "[object Object]";
+  }
+  CCJS_UNREACHABLE("unknown value kind");
+}
+
+const char *ccjs::typeofString(const Heap &H, Value V) {
+  switch (H.kindOf(V)) {
+  case ValueKind::Smi:
+  case ValueKind::HeapNumber:
+    return "number";
+  case ValueKind::String:
+    return "string";
+  case ValueKind::Undefined:
+    return "undefined";
+  case ValueKind::Boolean:
+    return "boolean";
+  case ValueKind::Function:
+    return "function";
+  case ValueKind::Null:
+  case ValueKind::Object:
+    return "object";
+  }
+  CCJS_UNREACHABLE("unknown value kind");
+}
+
+static bool isNumberKind(ValueKind K) {
+  return K == ValueKind::Smi || K == ValueKind::HeapNumber;
+}
+
+bool ccjs::strictEquals(const Heap &H, Value A, Value B) {
+  if (A == B) {
+    // Identical heap numbers / SMIs still need the NaN rule.
+    if (H.kindOf(A) == ValueKind::HeapNumber)
+      return !std::isnan(H.heapNumberValue(A.asPointer()));
+    return true;
+  }
+  ValueKind KA = H.kindOf(A), KB = H.kindOf(B);
+  if (isNumberKind(KA) && isNumberKind(KB))
+    return toNumber(H, A) == toNumber(H, B);
+  if (KA == ValueKind::String && KB == ValueKind::String)
+    return H.stringContents(A.asPointer()) == H.stringContents(B.asPointer());
+  return false;
+}
+
+bool ccjs::looseEquals(const Heap &H, Value A, Value B) {
+  ValueKind KA = H.kindOf(A), KB = H.kindOf(B);
+  bool NullishA = KA == ValueKind::Undefined || KA == ValueKind::Null;
+  bool NullishB = KB == ValueKind::Undefined || KB == ValueKind::Null;
+  if (NullishA || NullishB)
+    return NullishA && NullishB;
+  if (KA == ValueKind::String && isNumberKind(KB))
+    return toNumber(H, A) == toNumber(H, B);
+  if (isNumberKind(KA) && KB == ValueKind::String)
+    return toNumber(H, A) == toNumber(H, B);
+  if (KA == ValueKind::Boolean || KB == ValueKind::Boolean)
+    return toNumber(H, A) == toNumber(H, B);
+  return strictEquals(H, A, B);
+}
+
+Value ccjs::genericBinary(Heap &H, BinaryOp Op, Value A, Value B) {
+  switch (Op) {
+  case BinaryOp::Add: {
+    if (H.isString(A) || H.isString(B))
+      return H.allocString(toStringValue(H, A) + toStringValue(H, B));
+    return H.number(toNumber(H, A) + toNumber(H, B));
+  }
+  case BinaryOp::Sub:
+    return H.number(toNumber(H, A) - toNumber(H, B));
+  case BinaryOp::Mul:
+    return H.number(toNumber(H, A) * toNumber(H, B));
+  case BinaryOp::Div:
+    return H.number(toNumber(H, A) / toNumber(H, B));
+  case BinaryOp::Mod:
+    return H.number(std::fmod(toNumber(H, A), toNumber(H, B)));
+  case BinaryOp::BitAnd:
+    return Value::makeSmi(toInt32(toNumber(H, A)) & toInt32(toNumber(H, B)));
+  case BinaryOp::BitOr:
+    return Value::makeSmi(toInt32(toNumber(H, A)) | toInt32(toNumber(H, B)));
+  case BinaryOp::BitXor:
+    return Value::makeSmi(toInt32(toNumber(H, A)) ^ toInt32(toNumber(H, B)));
+  case BinaryOp::Shl:
+    return Value::makeSmi(toInt32(toNumber(H, A))
+                          << (toInt32(toNumber(H, B)) & 31));
+  case BinaryOp::Sar:
+    return Value::makeSmi(toInt32(toNumber(H, A)) >>
+                          (toInt32(toNumber(H, B)) & 31));
+  case BinaryOp::Shr: {
+    uint32_t U = static_cast<uint32_t>(toInt32(toNumber(H, A)));
+    uint32_t Shifted = U >> (toInt32(toNumber(H, B)) & 31);
+    // JS >>> yields an unsigned 32-bit result, which may not fit a SMI.
+    return H.number(static_cast<double>(Shifted));
+  }
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge: {
+    if (H.isString(A) && H.isString(B)) {
+      int Cmp = H.stringContents(A.asPointer())
+                    .compare(H.stringContents(B.asPointer()));
+      switch (Op) {
+      case BinaryOp::Lt:
+        return H.boolean(Cmp < 0);
+      case BinaryOp::Le:
+        return H.boolean(Cmp <= 0);
+      case BinaryOp::Gt:
+        return H.boolean(Cmp > 0);
+      default:
+        return H.boolean(Cmp >= 0);
+      }
+    }
+    double X = toNumber(H, A), Y = toNumber(H, B);
+    switch (Op) {
+    case BinaryOp::Lt:
+      return H.boolean(X < Y);
+    case BinaryOp::Le:
+      return H.boolean(X <= Y);
+    case BinaryOp::Gt:
+      return H.boolean(X > Y);
+    default:
+      return H.boolean(X >= Y);
+    }
+  }
+  case BinaryOp::Eq:
+    return H.boolean(looseEquals(H, A, B));
+  case BinaryOp::Ne:
+    return H.boolean(!looseEquals(H, A, B));
+  case BinaryOp::StrictEq:
+    return H.boolean(strictEquals(H, A, B));
+  case BinaryOp::StrictNe:
+    return H.boolean(!strictEquals(H, A, B));
+  }
+  CCJS_UNREACHABLE("unknown binary op");
+}
+
+Value ccjs::genericUnary(Heap &H, UnaryOp Op, Value V) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return H.number(-toNumber(H, V));
+  case UnaryOp::Plus:
+    return H.number(toNumber(H, V));
+  case UnaryOp::Not:
+    return H.boolean(!toBoolean(H, V));
+  case UnaryOp::BitNot:
+    return Value::makeSmi(~toInt32(toNumber(H, V)));
+  case UnaryOp::Typeof:
+    return H.allocString(typeofString(H, V));
+  }
+  CCJS_UNREACHABLE("unknown unary op");
+}

@@ -1,0 +1,57 @@
+//===- runtime/Operations.h - JS value semantics ---------------*- C++ -*-===//
+///
+/// \file
+/// Semantic helpers implementing MiniJS value operations: coercions,
+/// arithmetic on generic values, comparisons and string conversion. These
+/// are the "runtime call" slow paths of both tiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_RUNTIME_OPERATIONS_H
+#define CCJS_RUNTIME_OPERATIONS_H
+
+#include "frontend/Ast.h"
+#include "runtime/Heap.h"
+#include "runtime/Value.h"
+
+#include <string>
+
+namespace ccjs {
+
+/// ECMAScript-style ToBoolean.
+bool toBoolean(const Heap &H, Value V);
+
+/// ECMAScript-style ToNumber (strings parse as decimal numbers; objects
+/// coerce to NaN — MiniJS has no valueOf).
+double toNumber(const Heap &H, Value V);
+
+/// ToInt32 for bitwise operators.
+int32_t toInt32(double D);
+
+/// Formats a number the way JS does for integers and common doubles.
+std::string numberToString(double D);
+
+/// ToString for string concatenation and print().
+std::string toStringValue(const Heap &H, Value V);
+
+/// typeof operator result.
+const char *typeofString(const Heap &H, Value V);
+
+/// Loose equality (==): numbers numerically, strings by content,
+/// null == undefined, otherwise identity.
+bool looseEquals(const Heap &H, Value A, Value B);
+
+/// Strict equality (===).
+bool strictEquals(const Heap &H, Value A, Value B);
+
+/// Generic binary arithmetic/comparison used by the baseline tier and by
+/// deoptimized paths. Allocates (e.g. HeapNumbers, concatenated strings)
+/// through \p H.
+Value genericBinary(Heap &H, BinaryOp Op, Value A, Value B);
+
+/// Generic unary operator.
+Value genericUnary(Heap &H, UnaryOp Op, Value V);
+
+} // namespace ccjs
+
+#endif // CCJS_RUNTIME_OPERATIONS_H

@@ -1,0 +1,81 @@
+//===- runtime/Shape.cpp --------------------------------------------------===//
+
+#include "runtime/Shape.h"
+
+#include <cassert>
+
+using namespace ccjs;
+
+ShapeTable::ShapeTable() {
+  PlainRoot = createShape(ObjectKind::Plain, InvalidShape, 0);
+  ArrayRoot = createShape(ObjectKind::Plain, InvalidShape, 0);
+  HeapNumber = createShape(ObjectKind::HeapNumber, InvalidShape, 0);
+  StringS = createShape(ObjectKind::String, InvalidShape, 0);
+  FunctionS = createShape(ObjectKind::Function, InvalidShape, 0);
+  UndefinedS = createShape(ObjectKind::Oddball, InvalidShape, 0);
+  NullS = createShape(ObjectKind::Oddball, InvalidShape, 0);
+  TrueS = createShape(ObjectKind::Oddball, InvalidShape, 0);
+  FalseS = createShape(ObjectKind::Oddball, InvalidShape, 0);
+}
+
+ShapeId ShapeTable::createShape(ObjectKind Kind, ShapeId Parent,
+                                InternedString Name) {
+  Shape S;
+  S.Id = static_cast<ShapeId>(Shapes.size());
+  S.Kind = Kind;
+  // ClassIDs are consecutive 8-bit numbers; 0xFE saturates (untracked) and
+  // 0xFF encodes SMI. The paper reports at most 32 hidden classes for all
+  // but two benchmarks, so saturation is rare.
+  S.ClassId = NextClassId < UntrackedClassId
+                  ? static_cast<uint8_t>(NextClassId++)
+                  : UntrackedClassId;
+  if (Parent != InvalidShape) {
+    const Shape &P = Shapes[Parent];
+    S.Parent = Parent;
+    S.AddedName = Name;
+    S.SlotOf = P.SlotOf;
+    S.NumSlots = P.NumSlots;
+    if (Name != 0) {
+      assert(!S.SlotOf.count(Name) && "property already present in shape");
+      S.SlotOf.emplace(Name, S.NumSlots);
+      ++S.NumSlots;
+    }
+  }
+  if (Kind == ObjectKind::Plain)
+    ++NumPlain;
+  Shapes.push_back(std::move(S));
+  ShapeId Id = Shapes.back().Id;
+  if (CreationHook)
+    CreationHook(Id);
+  return Id;
+}
+
+ShapeId ShapeTable::transition(ShapeId Parent, InternedString Name) {
+  assert(Name != 0 && "cannot transition on the empty property name");
+  Shape &P = Shapes[Parent];
+  auto It = P.Transitions.find(Name);
+  if (It != P.Transitions.end())
+    return It->second;
+  ShapeId Child = createShape(Shapes[Parent].Kind, Parent, Name);
+  // Note: createShape may invalidate P by reallocating Shapes.
+  Shapes[Parent].Transitions.emplace(Name, Child);
+  return Child;
+}
+
+ShapeId ShapeTable::rootForConstructor(uint32_t FuncIndex) {
+  auto It = ConstructorRoots.find(FuncIndex);
+  if (It != ConstructorRoots.end())
+    return It->second;
+  ShapeId Root = createShape(ObjectKind::Plain, InvalidShape, 0);
+  ConstructorRoots.emplace(FuncIndex, Root);
+  return Root;
+}
+
+ShapeId ShapeTable::rootForArraySite(uint64_t SiteKey) {
+  auto It = ArraySiteRoots.find(SiteKey);
+  if (It != ArraySiteRoots.end())
+    return It->second;
+  ShapeId Root = createShape(ObjectKind::Plain, InvalidShape, 0);
+  ArraySiteRoots.emplace(SiteKey, Root);
+  return Root;
+}

@@ -1,0 +1,137 @@
+//===- runtime/Shape.h - Hidden classes ------------------------*- C++ -*-===//
+///
+/// \file
+/// Hidden classes ("shapes"), the immutable type descriptors of section 3.1:
+/// each shape represents an ordered set of named properties. Adding a
+/// property transitions an object to a child shape (creating it on first
+/// use). Each shape carries the 8-bit ClassID the Class Cache hardware uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_RUNTIME_SHAPE_H
+#define CCJS_RUNTIME_SHAPE_H
+
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace ccjs {
+
+using ShapeId = uint32_t;
+inline constexpr ShapeId InvalidShape = ~ShapeId(0);
+
+/// ClassID encoding for SMI values (paper: 11111111).
+inline constexpr uint8_t SmiClassId = 0xFF;
+/// Saturation ClassID shared by shapes beyond the 8-bit id space; slots
+/// holding such values are never speculated on.
+inline constexpr uint8_t UntrackedClassId = 0xFE;
+
+/// What kind of heap object a shape describes.
+enum class ObjectKind : uint8_t {
+  Plain,      ///< Ordinary JS object (including arrays).
+  HeapNumber, ///< Boxed double.
+  String,
+  Function,
+  Oddball, ///< undefined / null / true / false.
+};
+
+struct Shape {
+  ShapeId Id = InvalidShape;
+  ObjectKind Kind = ObjectKind::Plain;
+  uint8_t ClassId = UntrackedClassId;
+  ShapeId Parent = InvalidShape;
+  /// Name and slot of the property whose addition created this shape.
+  InternedString AddedName = 0;
+  uint32_t NumSlots = 0;
+  /// Full name -> slot map (copied from the parent chain for O(1) lookup).
+  std::unordered_map<InternedString, uint32_t> SlotOf;
+  /// Property-addition transitions out of this shape.
+  std::unordered_map<InternedString, ShapeId> Transitions;
+};
+
+/// Owns all shapes; assigns ids, ClassIDs and descriptor addresses.
+class ShapeTable {
+public:
+  /// Simulated address region for shape descriptors (never dereferenced,
+  /// only compared by Check Map operations). Must stay below 2^40 so a
+  /// descriptor address fits the header word.
+  static constexpr uint64_t DescRegionBase = uint64_t(0x80) << 32;
+
+  ShapeTable();
+
+  const Shape &get(ShapeId Id) const { return Shapes[Id]; }
+  size_t size() const { return Shapes.size(); }
+
+  /// Number of hidden classes created for Plain objects (the paper's
+  /// warm-up metric, section 5.3.1).
+  size_t numPlainShapes() const { return NumPlain; }
+
+  /// Shape descriptor address used in object headers and Check Maps.
+  static uint64_t descriptorAddr(ShapeId Id) {
+    return DescRegionBase + uint64_t(Id) * 64;
+  }
+  static ShapeId shapeForDescriptor(uint64_t Addr) {
+    return static_cast<ShapeId>((Addr - DescRegionBase) / 64);
+  }
+
+  /// Returns the child shape of \p Parent extended with property \p Name,
+  /// creating it on first use.
+  ShapeId transition(ShapeId Parent, InternedString Name);
+
+  /// Looks up the slot of \p Name in \p Id, if present.
+  std::optional<uint32_t> lookup(ShapeId Id, InternedString Name) const {
+    const Shape &S = Shapes[Id];
+    auto It = S.SlotOf.find(Name);
+    if (It == S.SlotOf.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  /// Root shape for objects created by `new F()`; one per constructor so
+  /// distinct constructors produce distinct hidden classes.
+  ShapeId rootForConstructor(uint32_t FuncIndex);
+
+  /// Root shape for arrays created at a given allocation site (function
+  /// index << 32 | bytecode index). Distinct sites get distinct hidden
+  /// classes, modeling V8's per-site elements-kind maps: the Class Cache
+  /// can then profile each array variable's elements independently.
+  ShapeId rootForArraySite(uint64_t SiteKey);
+
+  /// Installs an observer invoked for every newly created shape (used by
+  /// the Class List to initialize/inherit profile entries).
+  void setCreationHook(std::function<void(ShapeId)> Hook) {
+    CreationHook = std::move(Hook);
+  }
+
+  // Well-known shapes.
+  ShapeId plainRoot() const { return PlainRoot; }
+  ShapeId arrayRoot() const { return ArrayRoot; }
+  ShapeId heapNumberShape() const { return HeapNumber; }
+  ShapeId stringShape() const { return StringS; }
+  ShapeId functionShape() const { return FunctionS; }
+  ShapeId undefinedShape() const { return UndefinedS; }
+  ShapeId nullShape() const { return NullS; }
+  ShapeId trueShape() const { return TrueS; }
+  ShapeId falseShape() const { return FalseS; }
+
+private:
+  ShapeId createShape(ObjectKind Kind, ShapeId Parent, InternedString Name);
+
+  std::vector<Shape> Shapes;
+  std::function<void(ShapeId)> CreationHook;
+  std::unordered_map<uint32_t, ShapeId> ConstructorRoots;
+  std::unordered_map<uint64_t, ShapeId> ArraySiteRoots;
+  uint32_t NextClassId = 0;
+  size_t NumPlain = 0;
+
+  ShapeId PlainRoot, ArrayRoot, HeapNumber, StringS, FunctionS;
+  ShapeId UndefinedS, NullS, TrueS, FalseS;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_RUNTIME_SHAPE_H

@@ -1,0 +1,90 @@
+//===- runtime/SimMemory.h - Simulated flat memory -------------*- C++ -*-===//
+///
+/// \file
+/// A flat simulated address space backing the JavaScript heap, the globals
+/// area and the Class List region. All object data lives here at explicit
+/// 64-bit "simulated addresses", which the hardware models (caches, TLB,
+/// Class Cache) use for their timing behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_RUNTIME_SIMMEMORY_H
+#define CCJS_RUNTIME_SIMMEMORY_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <cstdio>
+#include <vector>
+
+namespace ccjs {
+
+class SimMemory {
+public:
+  /// Simulated base address; non-zero so that address 0 can mean "null".
+  static constexpr uint64_t BaseAddr = 0x10000;
+
+  explicit SimMemory(size_t InitialCapacity = 1u << 20) {
+    Data.reserve(InitialCapacity);
+  }
+
+  /// Allocates \p Bytes with the given power-of-two \p Align, growing the
+  /// simulated address space as needed. Memory is zero-initialized.
+  uint64_t allocate(size_t Bytes, size_t Align = 8) {
+    assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+    size_t Offset = (Data.size() + Align - 1) & ~(Align - 1);
+    Data.resize(Offset + Bytes, 0);
+    return BaseAddr + Offset;
+  }
+
+  uint64_t read64(uint64_t Addr) const {
+    uint64_t V;
+    std::memcpy(&V, slot(Addr, 8), 8);
+    return V;
+  }
+
+  void write64(uint64_t Addr, uint64_t V) { std::memcpy(slot(Addr, 8), &V, 8); }
+
+  uint8_t read8(uint64_t Addr) const { return *slot(Addr, 1); }
+  void write8(uint64_t Addr, uint8_t V) { *slot(Addr, 1) = V; }
+
+  uint16_t read16(uint64_t Addr) const {
+    uint16_t V;
+    std::memcpy(&V, slot(Addr, 2), 2);
+    return V;
+  }
+  void write16(uint64_t Addr, uint16_t V) {
+    std::memcpy(slot(Addr, 2), &V, 2);
+  }
+
+  /// Total simulated bytes allocated so far.
+  size_t bytesAllocated() const { return Data.size(); }
+
+  /// True when \p Addr points into allocated simulated memory.
+  bool contains(uint64_t Addr) const {
+    return Addr >= BaseAddr && Addr < BaseAddr + Data.size();
+  }
+
+private:
+  uint8_t *slot(uint64_t Addr, size_t Size) {
+    if (!(Addr >= BaseAddr && Addr + Size <= BaseAddr + Data.size()))
+      std::fprintf(stderr,
+                   "ccjs: simulated address 0x%llx (+%zu) outside the "
+                   "allocated 0x%zx bytes\n",
+                   (unsigned long long)Addr, Size, Data.size());
+    assert(Addr >= BaseAddr && Addr + Size <= BaseAddr + Data.size() &&
+           "simulated address out of range");
+    return Data.data() + (Addr - BaseAddr);
+  }
+  const uint8_t *slot(uint64_t Addr, size_t Size) const {
+    assert(Addr >= BaseAddr && Addr + Size <= BaseAddr + Data.size() &&
+           "simulated address out of range");
+    return Data.data() + (Addr - BaseAddr);
+  }
+
+  std::vector<uint8_t> Data;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_RUNTIME_SIMMEMORY_H

@@ -1,0 +1,23 @@
+//===- runtime/TypeProfiler.cpp -------------------------------------------===//
+
+#include "runtime/TypeProfiler.h"
+
+using namespace ccjs;
+
+ObjectLoadCounters TypeProfiler::summarize() const {
+  ObjectLoadCounters Out;
+  Out.FirstLineLoads = FirstLineLoads;
+  Out.TotalPropertyLoads = TotalPropertyLoads;
+  for (const auto &[Key, Count] : Loads) {
+    bool IsElements = (Key >> 63) != 0;
+    auto It = Profiles.find(Key);
+    bool Mono = It != Profiles.end() && It->second.Initialized &&
+                !It->second.Polymorphic;
+    if (IsElements) {
+      (Mono ? Out.MonomorphicElements : Out.NonMonomorphicElements) += Count;
+    } else {
+      (Mono ? Out.MonomorphicProperty : Out.NonMonomorphicProperty) += Count;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,106 @@
+//===- runtime/TypeProfiler.h - Monomorphism instrumentation ---*- C++ -*-===//
+///
+/// \file
+/// Host-side instrumentation of stores and loads, independent of the Class
+/// Cache hardware. It records, for every (hidden class, slot) and for every
+/// hidden class's elements array, whether the stored values kept a single
+/// type over the whole run, and tallies load accesses per location.
+///
+/// This is the ground truth behind Figure 3 (fraction of object load
+/// accesses that target monomorphic properties / elements arrays) and the
+/// first-line statistic of section 5.3.4. It exists in every engine
+/// configuration, including the baseline without the proposed hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_RUNTIME_TYPEPROFILER_H
+#define CCJS_RUNTIME_TYPEPROFILER_H
+
+#include "profile/Categories.h"
+#include "runtime/Shape.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace ccjs {
+
+class TypeProfiler {
+public:
+  /// Sentinel "class of value" for SMIs (exact hidden classes are ShapeIds).
+  static constexpr uint32_t SmiClass = ~uint32_t(0);
+
+  void recordPropertyStore(ShapeId Holder, uint32_t Slot,
+                           uint32_t ValueClass) {
+    record(Profiles[propKey(Holder, Slot)], ValueClass);
+  }
+
+  void recordElementStore(ShapeId Holder, uint32_t ValueClass) {
+    record(Profiles[elemKey(Holder)], ValueClass);
+  }
+
+  void recordPropertyLoad(ShapeId Holder, uint32_t Slot, bool FirstLine) {
+    ++Loads[propKey(Holder, Slot)];
+    ++TotalPropertyLoads;
+    if (FirstLine)
+      ++FirstLineLoads;
+  }
+
+  void recordElementLoad(ShapeId Holder) { ++Loads[elemKey(Holder)]; }
+
+  /// True when the location has seen stores of exactly one value class.
+  bool isPropertyMonomorphic(ShapeId Holder, uint32_t Slot) const {
+    auto It = Profiles.find(propKey(Holder, Slot));
+    return It != Profiles.end() && It->second.Initialized &&
+           !It->second.Polymorphic;
+  }
+  bool isElementsMonomorphic(ShapeId Holder) const {
+    auto It = Profiles.find(elemKey(Holder));
+    return It != Profiles.end() && It->second.Initialized &&
+           !It->second.Polymorphic;
+  }
+
+  /// Classifies every recorded load against the final monomorphism state
+  /// (paper Figure 3 is computed over the whole execution).
+  ObjectLoadCounters summarize() const;
+
+  /// Clears load tallies (steady-state measurement); store profiles —
+  /// the monomorphism ground truth — persist.
+  void resetLoadCounts() {
+    Loads.clear();
+    FirstLineLoads = 0;
+    TotalPropertyLoads = 0;
+  }
+
+private:
+  struct LocProfile {
+    bool Initialized = false;
+    bool Polymorphic = false;
+    uint32_t FirstClass = 0;
+  };
+
+  static void record(LocProfile &P, uint32_t ValueClass) {
+    if (!P.Initialized) {
+      P.Initialized = true;
+      P.FirstClass = ValueClass;
+    } else if (P.FirstClass != ValueClass) {
+      P.Polymorphic = true;
+    }
+  }
+
+  // Element keys use the high bit; slot keys pack (shape, slot).
+  static uint64_t propKey(ShapeId Holder, uint32_t Slot) {
+    return (uint64_t(Holder) << 24) | Slot;
+  }
+  static uint64_t elemKey(ShapeId Holder) {
+    return (uint64_t(1) << 63) | Holder;
+  }
+
+  std::unordered_map<uint64_t, LocProfile> Profiles;
+  std::unordered_map<uint64_t, uint64_t> Loads;
+  uint64_t FirstLineLoads = 0;
+  uint64_t TotalPropertyLoads = 0;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_RUNTIME_TYPEPROFILER_H

@@ -1,0 +1,77 @@
+//===- runtime/Value.h - Tagged value representation -----------*- C++ -*-===//
+///
+/// \file
+/// 64-bit tagged values, following the V8 scheme the paper describes
+/// (section 3.3): a register holding a boxed value is either
+///   * a SMI (small integer): least-significant bit 0, 32-bit payload in the
+///     32 most-significant bits, or
+///   * a pointer into the simulated heap: least-significant bit 1.
+///
+/// Doubles are boxed as HeapNumber objects; undefined/null/true/false are
+/// canonical heap "oddballs", so every non-SMI value is a heap pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_RUNTIME_VALUE_H
+#define CCJS_RUNTIME_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ccjs {
+
+class Value {
+public:
+  constexpr Value() : Bits(0) {} // SMI 0.
+
+  /// Creates a SMI value.
+  static constexpr Value makeSmi(int32_t V) {
+    return Value(static_cast<uint64_t>(static_cast<uint32_t>(V)) << 32);
+  }
+
+  /// Creates a tagged heap pointer. \p Addr must be at least 2-byte aligned.
+  static Value makePointer(uint64_t Addr) {
+    assert((Addr & 1) == 0 && "heap addresses must be aligned");
+    assert(Addr != 0 && "null simulated address is reserved");
+    return Value(Addr | 1);
+  }
+
+  /// Reconstructs a value from raw bits (e.g. read back from the simulated
+  /// heap).
+  static constexpr Value fromBits(uint64_t Bits) { return Value(Bits); }
+
+  constexpr uint64_t bits() const { return Bits; }
+
+  constexpr bool isSmi() const { return (Bits & 1) == 0; }
+  constexpr bool isPointer() const { return (Bits & 1) != 0; }
+
+  constexpr int32_t asSmi() const {
+    assert(isSmi() && "value is not a SMI");
+    return static_cast<int32_t>(Bits >> 32);
+  }
+
+  constexpr uint64_t asPointer() const {
+    assert(isPointer() && "value is not a heap pointer");
+    return Bits & ~uint64_t(1);
+  }
+
+  /// True when \p V fits the SMI payload.
+  static constexpr bool fitsSmi(int64_t V) {
+    return V >= INT32_MIN && V <= INT32_MAX;
+  }
+
+  friend constexpr bool operator==(Value A, Value B) {
+    return A.Bits == B.Bits;
+  }
+  friend constexpr bool operator!=(Value A, Value B) {
+    return A.Bits != B.Bits;
+  }
+
+private:
+  explicit constexpr Value(uint64_t Bits) : Bits(Bits) {}
+  uint64_t Bits;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_RUNTIME_VALUE_H

@@ -1,0 +1,32 @@
+//===- support/Assert.h - Assertion helpers --------------------*- C++ -*-===//
+///
+/// \file
+/// Assertion and unreachable-code helpers used across the ccjs libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_SUPPORT_ASSERT_H
+#define CCJS_SUPPORT_ASSERT_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccjs {
+
+/// Reports an internal invariant violation and aborts.
+///
+/// Used to mark control flow that must never be reached if the program's
+/// invariants hold (e.g. a fully-covered switch over an enum).
+[[noreturn]] inline void unreachable(const char *Msg, const char *File,
+                                     int Line) {
+  std::fprintf(stderr, "ccjs fatal: unreachable executed at %s:%d: %s\n", File,
+               Line, Msg);
+  std::abort();
+}
+
+} // namespace ccjs
+
+#define CCJS_UNREACHABLE(MSG) ::ccjs::unreachable(MSG, __FILE__, __LINE__)
+
+#endif // CCJS_SUPPORT_ASSERT_H

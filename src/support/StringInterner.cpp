@@ -1,0 +1,16 @@
+//===- support/StringInterner.cpp -----------------------------------------===//
+
+#include "support/StringInterner.h"
+
+using namespace ccjs;
+
+InternedString StringInterner::intern(std::string_view Text) {
+  auto It = Ids.find(Text);
+  if (It != Ids.end())
+    return It->second;
+
+  InternedString Id = static_cast<InternedString>(Strings.size());
+  Strings.emplace_back(Text);
+  Ids.emplace(std::string_view(Strings.back()), Id);
+  return Id;
+}

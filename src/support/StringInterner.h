@@ -1,0 +1,54 @@
+//===- support/StringInterner.h - String uniquing --------------*- C++ -*-===//
+///
+/// \file
+/// A string interner mapping strings to dense 32-bit ids. Property names,
+/// global names and other identifiers are interned so the rest of the engine
+/// can compare and hash them as integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_SUPPORT_STRINGINTERNER_H
+#define CCJS_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ccjs {
+
+/// Dense id for an interned string. Id 0 is reserved for the empty string.
+using InternedString = uint32_t;
+
+/// Uniques strings and hands out dense InternedString ids.
+///
+/// Ids are stable for the lifetime of the interner and index into a
+/// contiguous table, so clients can use them as vector indices.
+class StringInterner {
+public:
+  StringInterner() { (void)intern(""); }
+
+  /// Returns the id for \p Text, interning it on first use.
+  InternedString intern(std::string_view Text);
+
+  /// Returns the text for a previously interned id.
+  std::string_view text(InternedString Id) const {
+    assert(Id < Strings.size() && "interned string id out of range");
+    return Strings[Id];
+  }
+
+  /// Number of distinct strings interned so far.
+  size_t size() const { return Strings.size(); }
+
+private:
+  // A deque keeps element addresses stable, so the map may key on views into
+  // the stored strings.
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, InternedString> Ids;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_SUPPORT_STRINGINTERNER_H

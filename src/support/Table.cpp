@@ -1,0 +1,77 @@
+//===- support/Table.cpp --------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace ccjs;
+
+// Sentinel cell text marking a separator row.
+static const char *const SeparatorTag = "\x01--";
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+void Table::addSeparator() { Rows.push_back({SeparatorTag}); }
+
+std::string Table::fmt(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+std::string Table::pct(double Value, int Digits) {
+  return fmt(Value * 100.0, Digits) + "%";
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows) {
+    if (!Row.empty() && Row[0] == SeparatorTag)
+      continue;
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I >= Widths.size())
+        Widths.resize(I + 1, 0);
+      Widths[I] = std::max(Widths[I], Row[I].size());
+    }
+  }
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Out;
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      const std::string &Cell = I < Cells.size() ? Cells[I] : std::string();
+      Out += "| ";
+      Out += Cell;
+      Out.append(Widths[I] > Cell.size() ? Widths[I] - Cell.size() : 0, ' ');
+      Out += ' ';
+    }
+    Out += "|\n";
+    return Out;
+  };
+
+  auto RenderSep = [&]() {
+    std::string Out;
+    for (size_t W : Widths) {
+      Out += "|";
+      Out.append(W + 2, '-');
+    }
+    Out += "|\n";
+    return Out;
+  };
+
+  std::string Out = RenderRow(Header);
+  Out += RenderSep();
+  for (const auto &Row : Rows) {
+    if (!Row.empty() && Row[0] == SeparatorTag)
+      Out += RenderSep();
+    else
+      Out += RenderRow(Row);
+  }
+  return Out;
+}

@@ -1,0 +1,45 @@
+//===- support/Table.h - Plain-text table formatting -----------*- C++ -*-===//
+///
+/// \file
+/// A small helper for printing aligned plain-text tables. The benchmark
+/// harness uses it to print the rows/series of every paper table and figure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_SUPPORT_TABLE_H
+#define CCJS_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace ccjs {
+
+/// Accumulates rows of cells and prints them with aligned columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends one row; missing trailing cells print as empty.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  /// Renders the table to a string (header, separator, rows).
+  std::string render() const;
+
+  /// Formats \p Value as a fixed-point decimal with \p Digits fraction
+  /// digits, e.g. fmt(7.13, 1) == "7.1".
+  static std::string fmt(double Value, int Digits = 1);
+
+  /// Formats \p Value as a percentage string, e.g. pct(0.071) == "7.1%".
+  static std::string pct(double Value, int Digits = 1);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_SUPPORT_TABLE_H

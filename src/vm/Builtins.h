@@ -1,0 +1,71 @@
+//===- vm/Builtins.h - Built-in function ids ---------------------*- C++ -*-===//
+///
+/// \file
+/// Identifiers for the built-in functions the engine installs (print, the
+/// Math and String namespace objects, string and array methods). Built-in
+/// function values carry `BuiltinBase + id` as their function index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_VM_BUILTINS_H
+#define CCJS_VM_BUILTINS_H
+
+#include <cstdint>
+
+namespace ccjs {
+
+inline constexpr uint32_t BuiltinBase = 0x40000000;
+
+enum class BuiltinId : uint32_t {
+  Print,
+  // Math.*
+  MathFloor,
+  MathCeil,
+  MathRound,
+  MathSqrt,
+  MathAbs,
+  MathMin,
+  MathMax,
+  MathPow,
+  MathSin,
+  MathCos,
+  MathTan,
+  MathAtan,
+  MathAtan2,
+  MathExp,
+  MathLog,
+  MathRandom,
+  // String.*
+  StringFromCharCode,
+  // String.prototype.*
+  StrCharCodeAt,
+  StrCharAt,
+  StrSubstring,
+  StrIndexOf,
+  StrSplit,
+  StrToUpperCase,
+  StrToLowerCase,
+  // Array.prototype.*
+  ArrPush,
+  ArrPop,
+  ArrJoin,
+  ArrIndexOf,
+  /// The `Array` constructor (used with `new Array(n)`).
+  ArrayCtor,
+
+  NumBuiltins,
+};
+
+inline bool isBuiltinIndex(uint32_t FuncIndex) {
+  return FuncIndex >= BuiltinBase;
+}
+inline BuiltinId builtinFromIndex(uint32_t FuncIndex) {
+  return static_cast<BuiltinId>(FuncIndex - BuiltinBase);
+}
+inline uint32_t indexOfBuiltin(BuiltinId Id) {
+  return BuiltinBase + static_cast<uint32_t>(Id);
+}
+
+} // namespace ccjs
+
+#endif // CCJS_VM_BUILTINS_H

@@ -1,0 +1,107 @@
+//===- vm/Feedback.h - Inline caches & type feedback ------------*- C++ -*-===//
+///
+/// \file
+/// Per-site inline caches and type feedback recorded by the baseline tier
+/// (section 3.2: Full Codegen's Inline Caching) and consumed by the
+/// optimizing tier to generate specialized code with explicit checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_VM_FEEDBACK_H
+#define CCJS_VM_FEEDBACK_H
+
+#include "runtime/Shape.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ccjs {
+
+/// Operand-type lattice for arithmetic sites.
+enum class NumberHint : uint8_t { None, Smi, Double, String, Generic };
+
+inline NumberHint mergeHint(NumberHint Old, NumberHint New) {
+  if (Old == NumberHint::None)
+    return New;
+  if (Old == New)
+    return Old;
+  // Smi and Double merge to Double; anything else is generic.
+  bool Numeric = (Old == NumberHint::Smi || Old == NumberHint::Double) &&
+                 (New == NumberHint::Smi || New == NumberHint::Double);
+  return Numeric ? NumberHint::Double : NumberHint::Generic;
+}
+
+/// One inline-cache entry for a property or element site.
+struct PropEntry {
+  ShapeId Shape = InvalidShape;
+  uint16_t Slot = 0;
+  /// For transitioning stores: the destination shape (InvalidShape for
+  /// in-place stores and loads).
+  ShapeId NewShape = InvalidShape;
+};
+
+/// What `.length` resolved to at a GetLength site.
+enum class LengthKind : uint8_t { None, Elements, String, NamedSlot, Mixed };
+
+/// Feedback for one bytecode site. A site is used for exactly one purpose
+/// (property IC, arithmetic hint, call target, ...), so the fields overlay
+/// harmlessly.
+struct SiteFeedback {
+  // Property / element ICs.
+  static constexpr unsigned MaxEntries = 4;
+  PropEntry Entries[MaxEntries];
+  uint8_t NumEntries = 0;
+  bool Megamorphic = false;
+
+  // Arithmetic.
+  NumberHint Hint = NumberHint::None;
+
+  // Calls: monomorphic callee (function-table or builtin index).
+  static constexpr uint32_t NoTarget = ~uint32_t(0);
+  uint32_t CallTarget = NoTarget;
+  bool PolymorphicCall = false;
+
+  // GetLength.
+  LengthKind Length = LengthKind::None;
+  /// Slot of a named `length` property (LengthKind::NamedSlot).
+  uint16_t LengthSlot = 0;
+
+  // Element sites.
+  bool SawOutOfBounds = false;
+
+  /// Finds the IC entry for \p Shape, or null.
+  const PropEntry *find(ShapeId Shape) const {
+    for (unsigned I = 0; I < NumEntries; ++I)
+      if (Entries[I].Shape == Shape)
+        return &Entries[I];
+    return nullptr;
+  }
+
+  /// Inserts an IC entry, going megamorphic beyond MaxEntries. Returns
+  /// false when the site is megamorphic.
+  bool insert(ShapeId Shape, uint16_t Slot, ShapeId NewShape = InvalidShape) {
+    if (Megamorphic)
+      return false;
+    if (NumEntries == MaxEntries) {
+      Megamorphic = true;
+      return false;
+    }
+    Entries[NumEntries++] = PropEntry{Shape, Slot, NewShape};
+    return true;
+  }
+
+  bool isMonomorphic() const { return !Megamorphic && NumEntries == 1; }
+
+  void recordCallTarget(uint32_t Target) {
+    if (CallTarget == NoTarget)
+      CallTarget = Target;
+    else if (CallTarget != Target)
+      PolymorphicCall = true;
+  }
+};
+
+using FeedbackVector = std::vector<SiteFeedback>;
+
+} // namespace ccjs
+
+#endif // CCJS_VM_FEEDBACK_H

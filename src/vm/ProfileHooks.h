@@ -1,0 +1,111 @@
+//===- vm/ProfileHooks.h - Store profiling helpers ---------------*- C++ -*-===//
+///
+/// \file
+/// The Class Cache side of property and elements stores, shared by both
+/// tiers. Every store that writes an object property or an elements array
+/// is encoded as a movStoreClassCache / movStoreClassCacheArray instruction
+/// (preceded by movClassID / movClassIDArray), which profiles the stored
+/// value's class and verifies the compiler's monomorphism assumptions
+/// (paper section 4.2).
+///
+/// The host-side TypeProfiler is updated unconditionally (it feeds the
+/// paper's motivation figures); the Class Cache traffic is only modeled
+/// when the mechanism is enabled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_VM_PROFILEHOOKS_H
+#define CCJS_VM_PROFILEHOOKS_H
+
+#include "runtime/Layout.h"
+#include "vm/VMState.h"
+
+namespace ccjs {
+
+inline uint32_t profilerClassOf(VMState &VM, Value V) {
+  return V.isSmi() ? TypeProfiler::SmiClass : VM.Heap_.shapeOfValue(V);
+}
+
+/// Emits the movClassID instruction that loads the stored value's ClassID
+/// into regObjectClassId: a header load for heap values, one ALU op for
+/// SMIs (the tag test plus immediate move).
+inline void emitMovClassId(VMState &VM, InstrCategory Cat, Value V) {
+  if (V.isPointer())
+    VM.Ctx.load(Cat, V.asPointer());
+  else
+    VM.Ctx.alu(Cat, 1);
+}
+
+/// Runs the Class Cache protocol for a store request and dispatches the
+/// invalidation/exception service when needed.
+inline void runClassCacheRequest(VMState &VM, InstrCategory Cat,
+                                 uint8_t ContainerClass, uint8_t Line,
+                                 uint8_t Pos, uint8_t ValueClass) {
+  if (VM.Config.SoftwareOnlyClassCache) {
+    // Section 5.4: a pure software implementation performs the whole
+    // protocol with ordinary instructions on every store — compute the
+    // entry index, load the entry, compare the profiled class, update the
+    // maps, store the entry back.
+    VM.Ctx.alu(InstrCategory::RestOfCode, 25);
+    VM.Ctx.load(InstrCategory::RestOfCode,
+                VM.CList.entryAddr(ContainerClass, Line));
+    VM.Ctx.store(InstrCategory::RestOfCode,
+                 VM.CList.entryAddr(ContainerClass, Line));
+  }
+  ClassCacheResult R =
+      VM.Ctx.classCacheStore(Cat, ContainerClass, Line, Pos, ValueClass);
+  if (R.ValidCleared && VM.OnClassCacheInvalidation)
+    VM.OnClassCacheInvalidation(VM, ContainerClass, Line, Pos);
+}
+
+/// Profiles a property store. \p HolderShape is the object's shape *after*
+/// the store (the destination shape for transitioning stores); \p InObject
+/// is false for overflow-property slots, which the mechanism does not
+/// track.
+inline void profilePropertyStore(VMState &VM, InstrCategory Cat,
+                                 ShapeId HolderShape, uint32_t Slot, Value V,
+                                 bool InObject) {
+  VM.Profiler.recordPropertyStore(HolderShape, Slot, profilerClassOf(VM, V));
+  if (!VM.Config.ClassCacheEnabled)
+    return;
+  const Shape &S = VM.Shapes.get(HolderShape);
+  if (S.ClassId >= UntrackedClassId)
+    return;
+  if (!InObject) {
+    // Overflow-property stores bypass the Class Cache (their cache lines
+    // carry no ClassID tag bytes), so the runtime conservatively
+    // invalidates the slot's profile to keep elision sound.
+    layout::SlotLocation Loc = layout::slotLocation(Slot);
+    if (VM.OnClassCacheInvalidation)
+      VM.OnClassCacheInvalidation(VM, S.ClassId, Loc.Line, Loc.Pos);
+    return;
+  }
+  emitMovClassId(VM, Cat, V);
+  layout::SlotLocation Loc = layout::slotLocation(Slot);
+  runClassCacheRequest(VM, Cat, S.ClassId, Loc.Line, Loc.Pos,
+                       VM.Heap_.classIdOfValue(V));
+}
+
+/// Profiles an elements-array store: position 2 (the elements pointer) of
+/// line 0 of the containing object's class. \p ArrayClassIdLoaded is true
+/// when a hoisted movClassIDArray already loaded the container's ClassID
+/// into a regArrayObjectClassId register.
+inline void profileElementsStore(VMState &VM, InstrCategory Cat,
+                                 ShapeId ContainerShape, uint64_t ObjAddr,
+                                 Value V, bool ArrayClassIdLoaded) {
+  VM.Profiler.recordElementStore(ContainerShape, profilerClassOf(VM, V));
+  if (!VM.Config.ClassCacheEnabled)
+    return;
+  const Shape &S = VM.Shapes.get(ContainerShape);
+  if (S.ClassId >= UntrackedClassId)
+    return;
+  if (!ArrayClassIdLoaded)
+    VM.Ctx.load(Cat, ObjAddr); // movClassIDArray: container header load.
+  emitMovClassId(VM, Cat, V);
+  runClassCacheRequest(VM, Cat, S.ClassId, 0, layout::ElementsPointerPos,
+                       VM.Heap_.classIdOfValue(V));
+}
+
+} // namespace ccjs
+
+#endif // CCJS_VM_PROFILEHOOKS_H

@@ -1,0 +1,174 @@
+//===- vm/VMState.h - Shared VM state ---------------------------*- C++ -*-===//
+///
+/// \file
+/// The state shared by the two execution tiers and the engine facade:
+/// heap, shapes, globals, the per-function metadata (feedback, optimized
+/// code, hotness), the hardware models, and the tier-dispatch hooks.
+///
+/// The hooks (Invoke, InterpretFrom, CallBuiltin, OnClassCacheInvalidation)
+/// are function pointers installed by the engine so the interpreter and the
+/// OptIR executor can call across tiers without a link-time cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_VM_VMSTATE_H
+#define CCJS_VM_VMSTATE_H
+
+#include "bytecode/Bytecode.h"
+#include "hw/ClassCache.h"
+#include "hw/ClassList.h"
+#include "hw/ExecContext.h"
+#include "hw/HwConfig.h"
+#include "runtime/Heap.h"
+#include "runtime/TypeProfiler.h"
+#include "support/StringInterner.h"
+#include "vm/Feedback.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccjs {
+
+struct OptCode; // Defined by the jit library; owned by the engine.
+
+/// Engine configuration: which parts of the paper's mechanism are active.
+struct EngineConfig {
+  /// Master switch for the proposed mechanism (profiling stores, Class
+  /// Cache accesses, check elision). Off = the state-of-the-art baseline.
+  bool ClassCacheEnabled = false;
+
+  // Section 4.3 optimizations, individually togglable for ablations.
+  bool ElideCheckMaps = true;
+  bool ElideCheckSmi = true;
+  bool ElideCheckNonSmi = true;
+
+  /// Hoist movClassIDArray out of loops (section 4.2.1.3).
+  bool HoistClassIdArray = true;
+  /// Number of regArrayObjectClassId registers (the paper uses 4).
+  unsigned NumArrayClassRegs = 4;
+
+  /// Model a software-only implementation (section 5.4): every profiling
+  /// store pays a software lookup instead of the parallel HW access.
+  bool SoftwareOnlyClassCache = false;
+
+  /// Tiering thresholds.
+  uint32_t HotInvocationThreshold = 6;
+  uint32_t HotLoopThreshold = 1000;
+  /// Deopts of one function before optimization is disabled for it.
+  uint32_t MaxDeoptsPerFunction = 8;
+
+  HwConfig Hw;
+};
+
+/// Per-function runtime metadata.
+struct FunctionInfo {
+  const BytecodeFunction *Fn = nullptr;
+  FeedbackVector Feedback;
+  uint32_t InvocationCount = 0;
+  uint32_t BackEdgeTrips = 0;
+  uint32_t DeoptCount = 0;
+  bool OptDisabled = false;
+  /// Optimized code, owned by the engine; valid only while OptValid.
+  OptCode *Opt = nullptr;
+  bool OptValid = false;
+  /// Materialized constant pool (heap values for the ConstEntries).
+  std::vector<Value> ConstPool;
+  bool ConstsMaterialized = false;
+};
+
+struct VMState {
+  explicit VMState(const EngineConfig &Config)
+      : Config(Config), Mem(1u << 22), Shapes(), Heap_(Mem, Shapes, Names),
+        CList(Mem), CCache(CList, Config.Hw.ClassCacheEntries,
+                           Config.Hw.ClassCacheWays),
+        Ctx(this->Config.Hw, &CCache) {}
+
+  EngineConfig Config;
+  StringInterner Names;
+  SimMemory Mem;
+  ShapeTable Shapes;
+  Heap Heap_;
+  TypeProfiler Profiler;
+  ClassList CList;
+  ClassCache CCache;
+  ExecContext Ctx;
+
+  BytecodeModule Module;
+  std::vector<FunctionInfo> Funcs;
+
+  /// Globals live in simulated memory as tagged values.
+  uint64_t GlobalsAddr = 0;
+  uint32_t NumGlobals = 0;
+
+  /// Deterministic Math.random state.
+  uint64_t RandomState = 0x9E3779B97F4A7C15ull;
+
+  /// Number of optimizing-tier compilations performed.
+  uint64_t OptCompiles = 0;
+
+  /// Runtime error handling: execution unwinds when Halted.
+  bool Halted = false;
+  std::string Error;
+
+  /// print() output (benchmarks verify checksums through it).
+  std::string Output;
+  /// When true, print() also writes to stdout.
+  bool EchoOutput = false;
+
+  /// Call depth guard.
+  uint32_t CallDepth = 0;
+  static constexpr uint32_t MaxCallDepth = 4000;
+
+  //===--------------------------------------------------------------------===//
+  // Tier dispatch hooks (installed by the engine)
+  //===--------------------------------------------------------------------===//
+
+  Value (*Invoke)(VMState &, uint32_t FuncIndex, Value ThisV,
+                  const Value *Args, uint32_t Argc) = nullptr;
+  Value (*InterpretFrom)(VMState &, uint32_t FuncIndex, Value ThisV,
+                         std::vector<Value> &&Locals,
+                         std::vector<Value> &&Stack, uint32_t Pc) = nullptr;
+  Value (*CallBuiltinFn)(VMState &, uint32_t BuiltinIdx, Value ThisV,
+                         const Value *Args, uint32_t Argc) = nullptr;
+  /// Runtime service invoked when a profiling store cleared a ValidMap bit:
+  /// propagates the invalidation to descendant classes and deoptimizes
+  /// dependent functions (the HW exception routine of section 4.2.2).
+  void (*OnClassCacheInvalidation)(VMState &, uint8_t ClassId, uint8_t Line,
+                                   uint8_t Pos) = nullptr;
+  /// Generic (megamorphic) method-call dispatch shared with the baseline
+  /// tier's semantics.
+  Value (*GenericCallMethod)(VMState &, Value Receiver, uint32_t Name,
+                             const Value *Args, uint32_t Argc) = nullptr;
+
+  void halt(std::string Msg) {
+    if (Halted)
+      return;
+    Halted = true;
+    Error = std::move(Msg);
+  }
+
+  /// Reads/writes a global variable's tagged value.
+  Value readGlobal(uint32_t Index) const {
+    return Value::fromBits(Mem.read64(GlobalsAddr + uint64_t(Index) * 8));
+  }
+  void writeGlobal(uint32_t Index, Value V) {
+    Mem.write64(GlobalsAddr + uint64_t(Index) * 8, V.bits());
+  }
+  uint64_t globalAddr(uint32_t Index) const {
+    return GlobalsAddr + uint64_t(Index) * 8;
+  }
+
+  /// Deterministic xorshift for Math.random.
+  double nextRandom() {
+    RandomState ^= RandomState << 13;
+    RandomState ^= RandomState >> 7;
+    RandomState ^= RandomState << 17;
+    return static_cast<double>(RandomState >> 11) /
+           static_cast<double>(1ull << 53);
+  }
+};
+
+} // namespace ccjs
+
+#endif // CCJS_VM_VMSTATE_H

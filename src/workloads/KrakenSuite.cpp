@@ -1,0 +1,570 @@
+//===- workloads/KrakenSuite.cpp - Kraken-style workloads -----------------===//
+
+#include "workloads/Suites.h"
+
+namespace ccjs::workloads {
+
+/// ai-astar: the paper's showcase (34% speedup). Grid pathfinding with a
+/// big array of Node objects whose f/g/h/parent fields are read and
+/// written in a tight loop — exactly the monomorphic property traffic the
+/// Class Cache removes checks from.
+const char KrAiAstar[] = R"js(
+var W = 24;
+var H = 24;
+var nodes = [];
+function Node(x, y, blocked) {
+  this.x = x;
+  this.y = y;
+  this.blocked = blocked;
+  this.g = 0;
+  this.h = 0;
+  this.f = 0;
+  this.parent = -1;
+  this.state = 0; // 0 fresh, 1 open, 2 closed.
+}
+function buildGrid() {
+  nodes = [];
+  var y, x;
+  for (y = 0; y < H; y++)
+    for (x = 0; x < W; x++) {
+      var blocked = ((x * 13 + y * 7) % 11 == 0) && x != 0 && y != 0 ? 1 : 0;
+      nodes[y * W + x] = new Node(x, y, blocked);
+    }
+}
+function heuristic(a, bx, by) {
+  var dx = a.x - bx;
+  var dy = a.y - by;
+  return (dx < 0 ? -dx : dx) + (dy < 0 ? -dy : dy);
+}
+function findPath(sx, sy, tx, ty) {
+  // The open list holds the node objects themselves (as Kraken's astar
+  // does), so the inner loop is dominated by object property traffic.
+  var open = [];
+  var start = nodes[sy * W + sx];
+  start.g = 0;
+  start.h = heuristic(start, tx, ty);
+  start.f = start.h;
+  start.state = 1;
+  open.push(start);
+  var expansions = 0;
+  while (open.length > 0) {
+    // Find the open node with the lowest f.
+    var bestIdx = 0;
+    var best = open[0];
+    var i;
+    for (i = 1; i < open.length; i++) {
+      var cand = open[i];
+      if (cand.f < best.f) { bestIdx = i; best = cand; }
+    }
+    var cur = open[bestIdx];
+    open[bestIdx] = open[open.length - 1];
+    open.pop();
+    if (cur.x == tx && cur.y == ty) return cur.g * 1000 + expansions;
+    cur.state = 2;
+    expansions++;
+    var d;
+    for (d = 0; d < 4; d++) {
+      var nx = cur.x + (d == 0 ? 1 : (d == 1 ? -1 : 0));
+      var ny = cur.y + (d == 2 ? 1 : (d == 3 ? -1 : 0));
+      if (nx < 0 || ny < 0 || nx >= W || ny >= H) continue;
+      var nb = nodes[ny * W + nx];
+      if (nb.blocked == 1 || nb.state == 2) continue;
+      var ng = cur.g + 1;
+      if (nb.state == 0) {
+        nb.g = ng;
+        nb.h = heuristic(nb, tx, ty);
+        nb.f = ng + nb.h;
+        nb.parent = cur.x * 1000 + cur.y;
+        nb.state = 1;
+        open.push(nb);
+      } else if (ng < nb.g) {
+        nb.g = ng;
+        nb.f = ng + nb.h;
+        nb.parent = cur.x * 1000 + cur.y;
+      }
+    }
+  }
+  return -expansions;
+}
+function run() {
+  buildGrid();
+  var r1 = findPath(0, 0, W - 1, H - 1);
+  buildGrid();
+  var r2 = findPath(0, H - 1, W - 1, 0);
+  print(r1 + r2);
+}
+)js";
+
+/// audio-beat-detection: envelope followers over sample arrays, with
+/// detector state objects.
+const char KrBeatDetection[] = R"js(
+var samples = [];
+function Detector() { this.energy = 0.0; this.avg = 0.0; this.beats = 0; this.phase = 0; }
+function synthesize() {
+  samples = [];
+  var i;
+  for (i = 0; i < 4096; i++) {
+    var t = i / 4096.0;
+    var kick = (i % 512) < 24 ? 0.9 : 0.0;
+    samples[i] = Math.sin(t * 440.0) * 0.3 + kick;
+  }
+}
+function detect(d) {
+  var i;
+  for (i = 0; i < samples.length; i++) {
+    var s = samples[i];
+    var e = s * s;
+    d.energy = d.energy * 0.98 + e * 0.02;
+    d.avg = d.avg * 0.999 + e * 0.001;
+    if (d.energy > d.avg * 1.4 && d.phase == 0) { d.beats = d.beats + 1; d.phase = 1; }
+    if (d.energy < d.avg && d.phase == 1) d.phase = 0;
+  }
+}
+function run() {
+  synthesize();
+  var d = new Detector();
+  detect(d);
+  print(d.beats * 1000 + Math.floor(d.avg * 100000.0));
+}
+)js";
+
+/// audio-oscillator: additive synthesis writing double arrays through
+/// oscillator objects.
+const char KrOscillator[] = R"js(
+function Osc(freq, amp) { this.freq = freq; this.amp = amp; this.phase = 0.0; }
+var oscs = [];
+var buffer = [];
+function setupOscs() {
+  oscs = [];
+  var i;
+  for (i = 0; i < 6; i++) oscs[i] = new Osc(0.01 * (i + 1), 1.0 / (i + 1));
+  buffer = [];
+  for (i = 0; i < 2048; i++) buffer[i] = 0.0;
+}
+function generate() {
+  var i, k;
+  for (i = 0; i < buffer.length; i++) buffer[i] = 0.0;
+  for (k = 0; k < oscs.length; k++) {
+    var o = oscs[k];
+    for (i = 0; i < buffer.length; i++) {
+      buffer[i] += Math.sin(o.phase) * o.amp;
+      o.phase += o.freq;
+    }
+  }
+}
+function run() {
+  setupOscs();
+  generate();
+  var s = 0.0;
+  var i;
+  for (i = 0; i < buffer.length; i += 16) s += buffer[i];
+  print(Math.floor(s * 100000.0));
+}
+)js";
+
+/// imaging-gaussian-blur: 2D convolution over a pixel array.
+const char KrGaussianBlur[] = R"js(
+var img = [];
+var out = [];
+var WID = 48;
+var HGT = 48;
+function loadImage() {
+  img = []; out = [];
+  var i;
+  for (i = 0; i < WID * HGT; i++) { img[i] = (i * 7919) % 256; out[i] = 0; }
+}
+function blur() {
+  var x, y;
+  for (y = 2; y < HGT - 2; y++) {
+    for (x = 2; x < WID - 2; x++) {
+      var acc = 0;
+      var dy, dx;
+      for (dy = -2; dy <= 2; dy++)
+        for (dx = -2; dx <= 2; dx++) {
+          var w = 5 - (dx < 0 ? -dx : dx) - (dy < 0 ? -dy : dy);
+          acc += img[(y + dy) * WID + (x + dx)] * w;
+        }
+      out[y * WID + x] = (acc / 65) | 0;
+    }
+  }
+}
+function run() {
+  loadImage();
+  blur();
+  var h = 0;
+  var i;
+  for (i = 0; i < WID * HGT; i += 11) h = (h * 31 + out[i]) % 1000003;
+  print(h);
+}
+)js";
+
+/// stanford-crypto-aes: word-oriented AES-flavoured rounds with a key
+/// schedule object.
+const char KrStanfordAes[] = R"js(
+var sbox = [];
+function Key() { this.words = []; this.rounds = 10; }
+function buildSbox() {
+  var i;
+  sbox = [];
+  for (i = 0; i < 256; i++) sbox[i] = ((i * 5) ^ (i >> 3) ^ 0x63) & 0xff;
+}
+function expandKey(k) {
+  var i;
+  k.words = [];
+  for (i = 0; i < 4; i++) k.words[i] = (i * 0x01020304) & 0x7fffffff;
+  for (i = 4; i < 44; i++) {
+    var t = k.words[i - 1];
+    if (i % 4 == 0)
+      t = ((sbox[t & 0xff] << 8) ^ sbox[(t >> 8) & 0xff] ^ (t >>> 16)) & 0x7fffffff;
+    k.words[i] = (k.words[i - 4] ^ t) & 0x7fffffff;
+  }
+}
+function encrypt(k, b0, b1, b2, b3) {
+  var r;
+  for (r = 0; r < k.rounds; r++) {
+    var base = r * 4;
+    b0 = (sbox[b0 & 0xff] ^ (b1 >>> 8) ^ k.words[base]) & 0x7fffffff;
+    b1 = (sbox[b1 & 0xff] ^ (b2 >>> 8) ^ k.words[base + 1]) & 0x7fffffff;
+    b2 = (sbox[b2 & 0xff] ^ (b3 >>> 8) ^ k.words[base + 2]) & 0x7fffffff;
+    b3 = (sbox[b3 & 0xff] ^ (b0 >>> 8) ^ k.words[base + 3]) & 0x7fffffff;
+  }
+  return (b0 ^ b1 ^ b2 ^ b3) & 0x7fffffff;
+}
+function run() {
+  buildSbox();
+  var k = new Key();
+  expandKey(k);
+  var s = 0;
+  var b;
+  for (b = 0; b < 120; b++) s = (s + encrypt(k, b, b * 3 + 1, b * 5 + 2, b * 7 + 3)) % 1000003;
+  print(s);
+}
+)js";
+
+/// stanford-crypto-ccm: CBC-MAC + counter mode over word arrays.
+const char KrStanfordCcm[] = R"js(
+var msg = [];
+function Mac() { this.state = 0x13579bdf & 0x7fffffff; this.blocks = 0; }
+function fillMsg() {
+  var i;
+  msg = [];
+  for (i = 0; i < 512; i++) msg[i] = (i * 2654435761) & 0x7fffffff;
+}
+function cipherWord(w, ctr) {
+  var x = (w ^ (ctr * 0x9e37)) & 0x7fffffff;
+  x = ((x << 7) | (x >>> 24)) & 0x7fffffff;
+  return (x + 0x1234567) & 0x7fffffff;
+}
+function ccm(m) {
+  var i;
+  for (i = 0; i < msg.length; i++) {
+    m.state = cipherWord((m.state ^ msg[i]) & 0x7fffffff, i);
+    msg[i] = (msg[i] ^ cipherWord(i, m.state & 0xff)) & 0x7fffffff;
+    m.blocks = m.blocks + 1;
+  }
+  return m.state;
+}
+function run() {
+  fillMsg();
+  var m = new Mac();
+  var s = 0;
+  var r;
+  for (r = 0; r < 6; r++) s = (s + ccm(m)) % 1000003;
+  print(s + m.blocks);
+}
+)js";
+
+/// stanford-crypto-pbkdf2: iterated HMAC-flavoured key stretching.
+const char KrStanfordPbkdf2[] = R"js(
+function prf(key, data) {
+  var x = (key ^ data) & 0x7fffffff;
+  var r;
+  for (r = 0; r < 4; r++)
+    x = (((x << 5) | (x >>> 26)) ^ (x * 3 + 0x5c5c)) & 0x7fffffff;
+  return x;
+}
+function pbkdf2(password, salt, iters) {
+  var u = prf(password, salt);
+  var t = u;
+  var i;
+  for (i = 1; i < iters; i++) {
+    u = prf(password, u);
+    t = (t ^ u) & 0x7fffffff;
+  }
+  return t;
+}
+function run() {
+  var s = 0;
+  var p;
+  for (p = 0; p < 24; p++) s = (s + pbkdf2(0x1000 + p, 0xbeef ^ p, 220)) % 1000003;
+  print(s);
+}
+)js";
+
+/// stanford-crypto-sha256: message schedule + compression over word
+/// arrays, with a hasher state object.
+const char KrStanfordSha256[] = R"js(
+var sched = [];
+function Hasher() { this.h0 = 0x6a09; this.h1 = 0xbb67; this.h2 = 0x3c6e; this.h3 = 0xa54f; this.blocks = 0; }
+function schedule(seed) {
+  var i;
+  sched = [];
+  for (i = 0; i < 16; i++) sched[i] = (seed * (i + 1) * 40503) & 0x3fffffff;
+  for (i = 16; i < 64; i++) {
+    var s0 = ((sched[i - 15] >>> 7) ^ (sched[i - 15] << 3)) & 0x3fffffff;
+    var s1 = ((sched[i - 2] >>> 17) ^ (sched[i - 2] << 5)) & 0x3fffffff;
+    sched[i] = (sched[i - 16] + s0 + sched[i - 7] + s1) & 0x3fffffff;
+  }
+}
+function compress(h) {
+  var a = h.h0, b = h.h1, c = h.h2, d = h.h3;
+  var i;
+  for (i = 0; i < 64; i++) {
+    var ch = (a & b) ^ (~a & c);
+    var t = (d + ch + sched[i]) & 0x3fffffff;
+    d = c; c = b; b = a;
+    a = (t + ((a >>> 2) ^ (a << 4) & 0x3fffffff)) & 0x3fffffff;
+  }
+  h.h0 = (h.h0 + a) & 0x3fffffff;
+  h.h1 = (h.h1 + b) & 0x3fffffff;
+  h.h2 = (h.h2 + c) & 0x3fffffff;
+  h.h3 = (h.h3 + d) & 0x3fffffff;
+  h.blocks = h.blocks + 1;
+}
+function run() {
+  var h = new Hasher();
+  var b;
+  for (b = 0; b < 40; b++) {
+    schedule(b + 1);
+    compress(h);
+  }
+  print((h.h0 ^ h.h1 ^ h.h2 ^ h.h3) + h.blocks);
+}
+)js";
+
+// --- Kraken benchmarks outside the selected set.
+
+/// audio-dft: direct discrete Fourier transform on double arrays.
+const char KrAudioDft[] = R"js(
+var signal = [];
+function buildSignal() {
+  var i;
+  signal = [];
+  for (i = 0; i < 256; i++)
+    signal[i] = Math.sin(i * 0.22) + 0.5 * Math.sin(i * 0.45 + 0.3);
+}
+function dftBin(k) {
+  var re = 0.0, im = 0.0;
+  var n;
+  for (n = 0; n < signal.length; n++) {
+    var ang = -2.0 * Math.PI * k * n / signal.length;
+    re += signal[n] * Math.cos(ang);
+    im += signal[n] * Math.sin(ang);
+  }
+  return re * re + im * im;
+}
+function run() {
+  buildSignal();
+  var s = 0.0;
+  var k;
+  for (k = 0; k < 24; k++) s += dftBin(k);
+  print(Math.floor(s * 100.0));
+}
+)js";
+
+/// audio-fft: radix-2 FFT butterflies over double arrays.
+const char KrAudioFft[] = R"js(
+var re = [];
+var im = [];
+function buildInput() {
+  var i;
+  re = []; im = [];
+  for (i = 0; i < 256; i++) { re[i] = Math.cos(i * 0.17); im[i] = 0.0; }
+}
+function fft() {
+  var n = re.length;
+  var i, j, k;
+  j = 0;
+  for (i = 0; i < n - 1; i++) {
+    if (i < j) {
+      var tr = re[i]; re[i] = re[j]; re[j] = tr;
+      var ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+    k = n >> 1;
+    while (k <= j) { j -= k; k >>= 1; }
+    j += k;
+  }
+  var len;
+  for (len = 2; len <= n; len <<= 1) {
+    var ang = -2.0 * Math.PI / len;
+    var half = len >> 1;
+    for (i = 0; i < n; i += len) {
+      for (k = 0; k < half; k++) {
+        var c = Math.cos(ang * k);
+        var s = Math.sin(ang * k);
+        var xr = re[i + k + half] * c - im[i + k + half] * s;
+        var xi = re[i + k + half] * s + im[i + k + half] * c;
+        re[i + k + half] = re[i + k] - xr;
+        im[i + k + half] = im[i + k] - xi;
+        re[i + k] += xr;
+        im[i + k] += xi;
+      }
+    }
+  }
+}
+function run() {
+  buildInput();
+  fft();
+  var s = 0.0;
+  var i;
+  for (i = 0; i < re.length; i += 8) s += re[i] * re[i] + im[i] * im[i];
+  print(Math.floor(s * 1000.0));
+}
+)js";
+
+/// imaging-darkroom: per-pixel brightness/contrast over an int array.
+const char KrDarkroom[] = R"js(
+var pixels = [];
+function loadPixels() {
+  var i;
+  pixels = [];
+  for (i = 0; i < 4096; i++) pixels[i] = (i * 97) % 256;
+}
+function adjust(brightness, contrast) {
+  var i;
+  for (i = 0; i < pixels.length; i++) {
+    var p = pixels[i] + brightness;
+    p = ((p - 128) * contrast >> 6) + 128;
+    if (p < 0) p = 0;
+    if (p > 255) p = 255;
+    pixels[i] = p;
+  }
+}
+function run() {
+  loadPixels();
+  adjust(10, 70);
+  adjust(-5, 60);
+  var h = 0;
+  var i;
+  for (i = 0; i < pixels.length; i += 17) h = (h * 31 + pixels[i]) % 1000003;
+  print(h);
+}
+)js";
+
+/// imaging-desaturate: RGB -> gray over parallel arrays.
+const char KrDesaturate[] = R"js(
+var r = [];
+var g = [];
+var b = [];
+function loadRgb() {
+  var i;
+  r = []; g = []; b = [];
+  for (i = 0; i < 4096; i++) { r[i] = (i * 3) % 256; g[i] = (i * 5) % 256; b[i] = (i * 7) % 256; }
+}
+function desaturate() {
+  var i;
+  var acc = 0;
+  for (i = 0; i < r.length; i++) {
+    var gray = (r[i] * 77 + g[i] * 151 + b[i] * 28) >> 8;
+    r[i] = gray; g[i] = gray; b[i] = gray;
+    acc = (acc + gray) % 1000003;
+  }
+  return acc;
+}
+function run() {
+  loadRgb();
+  print(desaturate());
+}
+)js";
+
+/// json-parse-financial: parsing a synthetic JSON-ish string into record
+/// objects.
+const char KrJsonParse[] = R"js(
+var doc = '';
+function buildDoc() {
+  var parts = [];
+  var i;
+  for (i = 0; i < 50; i++)
+    parts[i] = 'id:' + i + ',price:' + (i * 13 % 997) + ',qty:' + (i % 9);
+  doc = parts.join(';');
+}
+function Record() { this.id = 0; this.price = 0; this.qty = 0; }
+function parseNumber(s, from) {
+  var v = 0;
+  var i = from;
+  while (i < s.length) {
+    var c = s.charCodeAt(i);
+    if (c < 48 || c > 57) break;
+    v = v * 10 + (c - 48);
+    i++;
+  }
+  return v;
+}
+function run() {
+  buildDoc();
+  var records = doc.split(';');
+  var total = 0;
+  var i;
+  for (i = 0; i < records.length; i++) {
+    var rec = new Record();
+    var s = records[i];
+    rec.id = parseNumber(s, s.indexOf('id:') + 3);
+    rec.price = parseNumber(s, s.indexOf('price:') + 6);
+    rec.qty = parseNumber(s, s.indexOf('qty:') + 4);
+    total = (total + rec.price * rec.qty + rec.id) % 1000003;
+  }
+  print(total);
+}
+)js";
+
+/// json-stringify-tinderbox: building a JSON-ish string from objects.
+const char KrJsonStringify[] = R"js(
+function Entry(name, ok, secs) { this.name = name; this.ok = ok; this.secs = secs; }
+var entries = [];
+function buildEntries() {
+  entries = [];
+  var i;
+  for (i = 0; i < 60; i++)
+    entries[i] = new Entry('build' + i, i % 4 != 0, i * 3 + 7);
+}
+function stringify() {
+  var parts = [];
+  var i;
+  for (i = 0; i < entries.length; i++) {
+    var e = entries[i];
+    parts[i] = '{"name":"' + e.name + '","ok":' + (e.ok ? 'true' : 'false') +
+               ',"secs":' + e.secs + '}';
+  }
+  return '[' + parts.join(',') + ']';
+}
+function run() {
+  buildEntries();
+  var s = stringify();
+  var h = 0;
+  var i;
+  for (i = 0; i < s.length; i += 5) h = (h * 33 + s.charCodeAt(i)) % 1000003;
+  print(h + s.length);
+}
+)js";
+
+const Workload KrakenWorkloads[] = {
+    {"ai-astar", "kraken", KrAiAstar, true},
+    {"audio-beat-detection", "kraken", KrBeatDetection, true},
+    {"audio-dft", "kraken", KrAudioDft, false},
+    {"audio-fft", "kraken", KrAudioFft, false},
+    {"audio-oscillator", "kraken", KrOscillator, true},
+    {"imaging-darkroom", "kraken", KrDarkroom, false},
+    {"imaging-desaturate", "kraken", KrDesaturate, false},
+    {"imaging-gaussian-blur", "kraken", KrGaussianBlur, true},
+    {"json-parse-financial", "kraken", KrJsonParse, false},
+    {"json-stringify-tinderbox", "kraken", KrJsonStringify, false},
+    {"stanford-crypto-aes", "kraken", KrStanfordAes, true},
+    {"stanford-crypto-ccm", "kraken", KrStanfordCcm, true},
+    {"stanford-crypto-pbkdf2", "kraken", KrStanfordPbkdf2, true},
+    {"stanford-crypto-sha256", "kraken", KrStanfordSha256, true},
+};
+
+const size_t NumKrakenWorkloads =
+    sizeof(KrakenWorkloads) / sizeof(KrakenWorkloads[0]);
+
+} // namespace ccjs::workloads

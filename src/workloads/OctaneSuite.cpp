@@ -1,0 +1,602 @@
+//===- workloads/OctaneSuite.cpp - Octane-style workloads -----------------===//
+///
+/// MiniJS ports of the Octane benchmarks the paper evaluates. See
+/// Workloads.h for the porting rules.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Suites.h"
+
+namespace ccjs::workloads {
+
+/// richards: an OS scheduler simulation. Task and Packet objects with
+/// monomorphic fields, queues as elements arrays, light polymorphism in the
+/// dispatch loop.
+const char OctaneRichards[] = R"js(
+var NTASKS = 6;
+var tasks = [];
+function Task(id, pri) {
+  this.id = id;
+  this.pri = pri;
+  this.queue = [];
+  this.head = 0;
+  this.processed = 0;
+  this.acc = 0;
+}
+function Packet(dest, val) {
+  this.dest = dest;
+  this.val = val;
+}
+function post(task, pkt) { task.queue.push(pkt); }
+function setupTasks() {
+  var i;
+  tasks = [];
+  for (i = 0; i < NTASKS; i++) tasks[i] = new Task(i, (i * 7) % 5);
+  for (i = 0; i < 24; i++)
+    post(tasks[i % NTASKS], new Packet((i + 1) % NTASKS, i * 3 + 1));
+}
+function schedule(rounds) {
+  var r, i;
+  for (r = 0; r < rounds; r++) {
+    var best = null;
+    for (i = 0; i < NTASKS; i++) {
+      var t = tasks[i];
+      if (t.head < t.queue.length && (best === null || t.pri > best.pri))
+        best = t;
+    }
+    if (best === null) break;
+    var pkt = best.queue[best.head];
+    best.head = best.head + 1;
+    best.processed = best.processed + 1;
+    best.acc = (best.acc + pkt.val) % 65521;
+    var nv = (pkt.val * 13 + best.id) % 4093;
+    if (pkt.val % 3 != 0) post(tasks[pkt.dest], new Packet((pkt.dest + 2) % NTASKS, nv));
+  }
+}
+function run() {
+  setupTasks();
+  schedule(4000);
+  var sum = 0;
+  var i;
+  for (i = 0; i < NTASKS; i++) sum = (sum + tasks[i].acc * (i + 1) + tasks[i].processed) % 1000000007;
+  print(sum);
+}
+)js";
+
+/// deltablue: one-way constraint solver. Variable/Constraint object graphs
+/// with repeated propagation over monomorphic fields.
+const char OctaneDeltaBlue[] = R"js(
+var variables = [];
+var constraints = [];
+function Variable(value) {
+  this.value = value;
+  this.stay = true;
+  this.mark = 0;
+}
+function Constraint(a, b, scale, offset, strength) {
+  this.a = a;
+  this.b = b;
+  this.scale = scale;
+  this.offset = offset;
+  this.strength = strength;
+  this.satisfied = false;
+}
+function build(n) {
+  var i;
+  variables = [];
+  constraints = [];
+  for (i = 0; i <= n; i++) variables[i] = new Variable(i);
+  for (i = 0; i < n; i++)
+    constraints[i] = new Constraint(variables[i], variables[i + 1], 2, 1, i % 3);
+}
+function propagate() {
+  var i;
+  for (i = 0; i < constraints.length; i++) {
+    var c = constraints[i];
+    if (c.strength > 0) {
+      c.b.value = (c.a.value * c.scale + c.offset) % 1000003;
+      c.b.stay = c.a.stay;
+      c.satisfied = true;
+    } else {
+      c.satisfied = false;
+    }
+  }
+}
+function run() {
+  build(60);
+  var p;
+  for (p = 0; p < 60; p++) {
+    variables[0].value = p;
+    propagate();
+  }
+  print(variables[60].value + constraints.length);
+}
+)js";
+
+/// raytrace: vector math over small objects; constructor-heavy with
+/// HeapNumber-valued fields.
+const char OctaneRayTrace[] = R"js(
+function V3(x, y, z) { this.x = x; this.y = y; this.z = z; }
+function Sphere(c, r, col) { this.c = c; this.r = r; this.col = col; }
+function Ray(o, d) { this.o = o; this.d = d; }
+var scene = [];
+function vdot(a, b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+function vsub(a, b) { return new V3(a.x - b.x, a.y - b.y, a.z - b.z); }
+function setupScene() {
+  var i;
+  scene = [];
+  for (i = 0; i < 8; i++)
+    scene[i] = new Sphere(new V3(i * 1.5 - 6.0, (i % 3) - 1.0, 4.0 + i), 0.8 + 0.1 * i, i * 30);
+}
+function traceRay(ray) {
+  var best = 1e9;
+  var hit = -1;
+  var i;
+  for (i = 0; i < scene.length; i++) {
+    var s = scene[i];
+    var oc = vsub(s.c, ray.o);
+    var tca = vdot(oc, ray.d);
+    if (tca < 0) continue;
+    var d2 = vdot(oc, oc) - tca * tca;
+    var r2 = s.r * s.r;
+    if (d2 > r2) continue;
+    var t = tca - Math.sqrt(r2 - d2);
+    if (t < best) { best = t; hit = i; }
+  }
+  return hit < 0 ? 0 : scene[hit].col + best;
+}
+function run() {
+  setupScene();
+  var acc = 0.0;
+  var px, py;
+  for (py = 0; py < 24; py++) {
+    for (px = 0; px < 24; px++) {
+      var dx = (px - 12) / 24.0;
+      var dy = (py - 12) / 24.0;
+      var n = Math.sqrt(dx * dx + dy * dy + 1.0);
+      acc += traceRay(new Ray(new V3(0.0, 0.0, 0.0), new V3(dx / n, dy / n, 1.0 / n)));
+    }
+  }
+  print(Math.floor(acc));
+}
+)js";
+
+/// crypto: modular exponentiation over SMI digit arrays (RSA flavour);
+/// dominated by element accesses and tag/untag arithmetic.
+const char OctaneCrypto[] = R"js(
+var BASE = 16384;
+function mulmod(a, b, out, m) {
+  var i, j;
+  for (i = 0; i < out.length; i++) out[i] = 0;
+  for (i = 0; i < a.length; i++) {
+    var carry = 0;
+    for (j = 0; j < b.length; j++) {
+      var t = out[i + j] + a[i] * b[j] + carry;
+      out[i + j] = t % BASE;
+      carry = (t - out[i + j]) / BASE;
+    }
+    out[i + b.length] = (out[i + b.length] + carry) % BASE;
+  }
+  var acc = 0;
+  for (i = 0; i < out.length; i++) acc = (acc * 31 + out[i]) % m;
+  return acc;
+}
+function run() {
+  var a = [], b = [], out = [];
+  var i;
+  for (i = 0; i < 24; i++) { a[i] = (i * 2311 + 17) % BASE; b[i] = (i * 4057 + 3) % BASE; }
+  for (i = 0; i < 49; i++) out[i] = 0;
+  var sum = 0;
+  var round;
+  for (round = 0; round < 12; round++) {
+    sum = (sum + mulmod(a, b, out, 999983)) % 999983;
+    a[round % 24] = (a[round % 24] + round) % BASE;
+  }
+  print(sum);
+}
+)js";
+
+/// earley-boyer: symbolic list processing with cons cells; deep recursion
+/// over monomorphic two-field objects.
+const char OctaneEarleyBoyer[] = R"js(
+function Cons(car, cdr) { this.car = car; this.cdr = cdr; }
+function listLen(l) { var n = 0; while (l !== null) { n++; l = l.cdr; } return n; }
+function rewrite(l, depth) {
+  if (l === null || depth > 12) return null;
+  if (l.car % 2 == 0)
+    return new Cons(l.car * 3 + 1, rewrite(l.cdr, depth + 1));
+  return new Cons(l.car - 1, rewrite(l.cdr, depth + 1));
+}
+function sumList(l) { var s = 0; while (l !== null) { s = (s + l.car) % 1000003; l = l.cdr; } return s; }
+function makeList(n, seed) {
+  var l = null;
+  var i;
+  for (i = 0; i < n; i++) l = new Cons((seed + i * 7) % 97, l);
+  return l;
+}
+function run() {
+  var total = 0;
+  var t;
+  for (t = 0; t < 120; t++) {
+    var l = makeList(12, t);
+    var r = l;
+    var k;
+    for (k = 0; k < 4; k++) r = rewrite(r, 0);
+    total = (total + sumList(r) + listLen(l)) % 1000003;
+  }
+  print(total);
+}
+)js";
+
+/// gbemu: a toy 8-bit CPU interpreter; a big SMI memory array, opcode
+/// dispatch, flag bit twiddling, and a register-file object.
+const char OctaneGbEmu[] = R"js(
+var mem = [];
+function Cpu() { this.a = 0; this.b = 0; this.pc = 0; this.sp = 255; this.flags = 0; this.cycles = 0; }
+var cpu = null;
+function resetMachine() {
+  var i;
+  mem = [];
+  for (i = 0; i < 4096; i++) mem[i] = (i * 167 + 13) & 0xff;
+  cpu = new Cpu();
+}
+function step() {
+  var op = mem[cpu.pc & 4095];
+  cpu.pc = (cpu.pc + 1) & 4095;
+  var k = op & 7;
+  if (k == 0) { cpu.a = (cpu.a + mem[(cpu.pc + op) & 4095]) & 0xff; }
+  else if (k == 1) { cpu.b = (cpu.b ^ op) & 0xff; }
+  else if (k == 2) { mem[(cpu.sp + op) & 4095] = (cpu.a + cpu.b) & 0xff; }
+  else if (k == 3) { cpu.flags = ((cpu.a & 0x80) != 0 ? 1 : 0) | (cpu.b == 0 ? 2 : 0); }
+  else if (k == 4) { cpu.a = (cpu.a << 1 | (cpu.flags & 1)) & 0xff; }
+  else if (k == 5) { cpu.sp = (cpu.sp + 1) & 4095; }
+  else if (k == 6) { cpu.pc = (cpu.pc + (op >> 3)) & 4095; }
+  else { cpu.b = (cpu.b + 1) & 0xff; }
+  cpu.cycles = cpu.cycles + 1;
+}
+function run() {
+  resetMachine();
+  var i;
+  for (i = 0; i < 30000; i++) step();
+  var h = 0;
+  for (i = 0; i < 4096; i += 64) h = (h * 31 + mem[i]) % 1000003;
+  print(h + cpu.a * 7 + cpu.b * 3 + cpu.flags);
+}
+)js";
+
+/// box2d: a tiny rigid-body step with many object classes (the paper notes
+/// box2d exceeds 32 hidden classes) and double-valued fields.
+const char OctaneBox2d[] = R"js(
+function Body(x, y) { this.x = x; this.y = y; this.vx = 0.0; this.vy = 0.0; this.inv = 1.0; }
+function AABB(lo, hi) { this.lo = lo; this.hi = hi; }
+function Vec(x, y) { this.x = x; this.y = y; }
+function Joint(a, b, rest) { this.a = a; this.b = b; this.rest = rest; this.bias = 0.0; }
+function Contact(i, j, depth) { this.i = i; this.j = j; this.depth = depth; }
+function Fixture(body, w, h) { this.body = body; this.w = w; this.h = h; }
+function World() { this.gravity = new Vec(0.0, -10.0); this.steps = 0; }
+var bodies = [];
+var joints = [];
+var world = null;
+function setupWorld() {
+  var i;
+  world = new World();
+  bodies = [];
+  joints = [];
+  for (i = 0; i < 24; i++) bodies[i] = new Body(i * 0.5, 10.0 + (i % 4));
+  for (i = 0; i + 1 < 24; i++) joints[i] = new Joint(bodies[i], bodies[i + 1], 0.5);
+}
+function stepWorld(dt) {
+  var i;
+  for (i = 0; i < bodies.length; i++) {
+    var b = bodies[i];
+    b.vy += world.gravity.y * dt * b.inv;
+    b.x += b.vx * dt;
+    b.y += b.vy * dt;
+    if (b.y < 0.0) { b.y = 0.0; b.vy = -b.vy * 0.5; }
+  }
+  for (i = 0; i < joints.length; i++) {
+    var j = joints[i];
+    var dx = j.b.x - j.a.x;
+    var dy = j.b.y - j.a.y;
+    var d = Math.sqrt(dx * dx + dy * dy) + 0.0001;
+    var corr = (d - j.rest) * 0.25 / d;
+    j.a.vx += dx * corr; j.a.vy += dy * corr;
+    j.b.vx -= dx * corr; j.b.vy -= dy * corr;
+    j.bias = corr;
+  }
+  world.steps = world.steps + 1;
+}
+function run() {
+  setupWorld();
+  var s;
+  for (s = 0; s < 160; s++) stepWorld(0.016);
+  var acc = 0.0;
+  var i;
+  for (i = 0; i < bodies.length; i++) acc += bodies[i].x * 3.0 + bodies[i].y;
+  print(Math.floor(acc * 1000.0));
+}
+)js";
+
+/// pdfjs: token scanning over a byte array, building token objects and a
+/// small dictionary of counters.
+const char OctanePdfJs[] = R"js(
+var bytes = [];
+function Token(kind, start, len) { this.kind = kind; this.start = start; this.len = len; }
+function Stats() { this.names = 0; this.numbers = 0; this.ops = 0; this.total = 0; }
+function fillBytes() {
+  var i;
+  bytes = [];
+  for (i = 0; i < 6000; i++) {
+    var r = (i * 1103515245 + 12345) % 100;
+    if (r < 30) bytes[i] = 48 + (r % 10);        // digits
+    else if (r < 60) bytes[i] = 97 + (r % 26);   // letters
+    else if (r < 70) bytes[i] = 47;              // '/'
+    else bytes[i] = 32;                          // space
+  }
+}
+function scan(stats) {
+  var i = 0;
+  var toks = 0;
+  while (i < bytes.length) {
+    var c = bytes[i];
+    if (c == 32) { i++; continue; }
+    var start = i;
+    var kind;
+    if (c == 47) { kind = 1; i++; while (i < bytes.length && bytes[i] >= 97) i++; stats.names++; }
+    else if (c >= 48 && c <= 57) { kind = 2; while (i < bytes.length && bytes[i] >= 48 && bytes[i] <= 57) i++; stats.numbers++; }
+    else { kind = 3; while (i < bytes.length && bytes[i] >= 97) i++; stats.ops++; }
+    var t = new Token(kind, start, i - start);
+    stats.total = (stats.total + t.kind * t.len + t.start) % 1000003;
+    toks++;
+  }
+  return toks;
+}
+function run() {
+  fillBytes();
+  var stats = new Stats();
+  var n = 0;
+  var r;
+  for (r = 0; r < 6; r++) n += scan(stats);
+  print(stats.total + n + stats.names + stats.numbers * 2 + stats.ops * 3);
+}
+)js";
+
+/// mandreel: compiled-C++ style code — flat arrays as a fake heap, an
+/// object-free inner loop mixed with a few state objects.
+const char OctaneMandreel[] = R"js(
+var heap32 = [];
+function Module() { this.hp = 0; this.calls = 0; }
+var module = null;
+function initHeap() {
+  var i;
+  heap32 = [];
+  for (i = 0; i < 4096; i++) heap32[i] = (i * 2654435761) & 0x3fffffff;
+  module = new Module();
+}
+function kernelAdd(p, q, n) {
+  var i;
+  for (i = 0; i < n; i++)
+    heap32[p + i] = (heap32[p + i] + heap32[q + i]) & 0x3fffffff;
+  module.calls = module.calls + 1;
+}
+function kernelMix(p, n) {
+  var i;
+  for (i = 1; i < n; i++)
+    heap32[p + i] = (heap32[p + i] ^ (heap32[p + i - 1] >> 3)) & 0x3fffffff;
+  module.calls = module.calls + 1;
+}
+function run() {
+  initHeap();
+  var r;
+  for (r = 0; r < 30; r++) {
+    kernelAdd(0, 1024, 1024);
+    kernelMix(2048, 1024);
+  }
+  var h = 0;
+  var i;
+  for (i = 0; i < 4096; i += 32) h = (h * 33 + heap32[i]) % 1000003;
+  print(h + module.calls);
+}
+)js";
+
+// --- Octane benchmarks outside the selected set (low check overhead or
+// --- dominated by non-optimized code); used for Figures 1 and 3 context.
+
+/// splay: self-adjusting binary tree; node objects with left/right/key.
+const char OctaneSplay[] = R"js(
+function Node(key) { this.key = key; this.left = null; this.right = null; }
+var root = null;
+function insert(key) {
+  if (root === null) { root = new Node(key); return; }
+  var n = root;
+  for (;;) {
+    if (key < n.key) { if (n.left === null) { n.left = new Node(key); return; } n = n.left; }
+    else if (key > n.key) { if (n.right === null) { n.right = new Node(key); return; } n = n.right; }
+    else return;
+  }
+}
+function depthSum(n, d) {
+  if (n === null) return 0;
+  return d + depthSum(n.left, d + 1) + depthSum(n.right, d + 1);
+}
+function run() {
+  root = null;
+  var x = 1;
+  var i;
+  for (i = 0; i < 600; i++) { x = (x * 1103515245 + 12345) % 2048; insert(x); }
+  print(depthSum(root, 1));
+}
+)js";
+
+/// navier-stokes: double-array fluid kernel; almost no object checks.
+const char OctaneNavierStokes[] = R"js(
+var u = [];
+var v = [];
+var SIZE = 34;
+function initFields() {
+  var i;
+  u = []; v = [];
+  for (i = 0; i < SIZE * SIZE; i++) { u[i] = 0.0; v[i] = 0.0; }
+  u[SIZE * 17 + 17] = 10.0;
+}
+function diffuse(dst, src) {
+  var x, y;
+  for (y = 1; y < SIZE - 1; y++) {
+    for (x = 1; x < SIZE - 1; x++) {
+      var i = y * SIZE + x;
+      dst[i] = (src[i] + 0.2 * (src[i - 1] + src[i + 1] + src[i - SIZE] + src[i + SIZE])) / 1.8;
+    }
+  }
+}
+function run() {
+  initFields();
+  var it;
+  for (it = 0; it < 14; it++) { diffuse(v, u); diffuse(u, v); }
+  var s = 0.0;
+  var i;
+  for (i = 0; i < SIZE * SIZE; i += 7) s += u[i];
+  print(Math.floor(s * 1e6));
+}
+)js";
+
+/// regexp: string scanning without objects — zero check overhead after
+/// object loads (built-in string data only).
+const char OctaneRegExp[] = R"js(
+var text = '';
+function buildText() {
+  var parts = [];
+  var i;
+  for (i = 0; i < 60; i++)
+    parts[i] = i % 3 == 0 ? 'foo' + i : (i % 3 == 1 ? 'bar' + i : 'baz' + i);
+  text = parts.join(' ');
+}
+function countMatches(needle) {
+  var n = 0;
+  var s = text;
+  for (;;) {
+    var p = s.indexOf(needle);
+    if (p < 0) break;
+    n++;
+    s = s.substring(p + needle.length);
+  }
+  return n;
+}
+function run() {
+  buildText();
+  print(countMatches('ba') * 3 + countMatches('foo') + text.length);
+}
+)js";
+
+/// code-load: creates many distinct hidden classes and runs each briefly —
+/// most time in non-optimized code.
+const char OctaneCodeLoad[] = R"js(
+function mk0() { return {a0: 1}; }
+function mk1() { return {b0: 1, b1: 2}; }
+function mk2() { return {c0: 1, c1: 2, c2: 3}; }
+function mk3() { return {d0: 1, d1: 2, d2: 3, d3: 4}; }
+function mk4() { return {e0: 2, e1: 3}; }
+function mk5() { return {f0: 5}; }
+function touch(o, k) {
+  if (k == 0) return o.a0;
+  if (k == 1) return o.b0 + o.b1;
+  if (k == 2) return o.c0 + o.c1 + o.c2;
+  if (k == 3) return o.d0 + o.d1 + o.d2 + o.d3;
+  if (k == 4) return o.e0 * o.e1;
+  return o.f0;
+}
+function run() {
+  var s = 0;
+  var i;
+  for (i = 0; i < 400; i++) {
+    var k = i % 6;
+    var o;
+    if (k == 0) o = mk0(); else if (k == 1) o = mk1(); else if (k == 2) o = mk2();
+    else if (k == 3) o = mk3(); else if (k == 4) o = mk4(); else o = mk5();
+    s = (s + touch(o, k)) % 65521;
+  }
+  print(s);
+}
+)js";
+
+/// typescript: a lexer-flavoured workload over strings and token arrays.
+const char OctaneTypescript[] = R"js(
+var source = '';
+function buildSource() {
+  var parts = [];
+  var i;
+  for (i = 0; i < 40; i++)
+    parts[i] = 'var x' + i + ' = ' + i + ' + y' + i + ';';
+  source = parts.join(' ');
+}
+function lex() {
+  var count = 0;
+  var i = 0;
+  var n = source.length;
+  while (i < n) {
+    var c = source.charCodeAt(i);
+    if (c == 32) { i++; continue; }
+    if (c >= 97 && c <= 122) { while (i < n && ((source.charCodeAt(i) >= 97 && source.charCodeAt(i) <= 122) || (source.charCodeAt(i) >= 48 && source.charCodeAt(i) <= 57))) i++; count += 2; continue; }
+    if (c >= 48 && c <= 57) { while (i < n && source.charCodeAt(i) >= 48 && source.charCodeAt(i) <= 57) i++; count += 3; continue; }
+    i++;
+    count++;
+  }
+  return count;
+}
+function run() {
+  buildSource();
+  var s = 0;
+  var r;
+  for (r = 0; r < 8; r++) s += lex();
+  print(s);
+}
+)js";
+
+/// zlib: LZ-style match finding over SMI byte arrays.
+const char OctaneZlib[] = R"js(
+var data = [];
+function fillData() {
+  var i;
+  data = [];
+  for (i = 0; i < 3000; i++) data[i] = (i * 37 + (i >> 4)) & 0xff;
+}
+function longestMatch(pos, limit) {
+  var best = 0;
+  var back;
+  for (back = 1; back <= 32 && back <= pos; back++) {
+    var len = 0;
+    while (len < limit && pos + len < data.length && data[pos + len] == data[pos - back + len]) len++;
+    if (len > best) best = len;
+  }
+  return best;
+}
+function run() {
+  fillData();
+  var s = 0;
+  var pos;
+  for (pos = 64; pos < data.length; pos += 13) s = (s + longestMatch(pos, 16)) % 65521;
+  print(s);
+}
+)js";
+
+const Workload OctaneWorkloads[] = {
+    {"box2d", "octane", OctaneBox2d, true},
+    {"code-load", "octane", OctaneCodeLoad, false},
+    {"crypto", "octane", OctaneCrypto, true},
+    {"deltablue", "octane", OctaneDeltaBlue, true},
+    {"earley-boyer", "octane", OctaneEarleyBoyer, true},
+    {"gbemu", "octane", OctaneGbEmu, true},
+    {"mandreel", "octane", OctaneMandreel, true},
+    {"navier-stokes", "octane", OctaneNavierStokes, false},
+    {"pdfjs", "octane", OctanePdfJs, true},
+    {"raytrace", "octane", OctaneRayTrace, true},
+    {"regexp", "octane", OctaneRegExp, false},
+    {"richards", "octane", OctaneRichards, true},
+    {"splay", "octane", OctaneSplay, false},
+    {"typescript", "octane", OctaneTypescript, false},
+    {"zlib", "octane", OctaneZlib, false},
+};
+
+const size_t NumOctaneWorkloads =
+    sizeof(OctaneWorkloads) / sizeof(OctaneWorkloads[0]);
+
+} // namespace ccjs::workloads

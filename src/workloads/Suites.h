@@ -1,0 +1,27 @@
+//===- workloads/Suites.h - Per-suite workload tables ----------*- C++ -*-===//
+///
+/// \file
+/// Internal header: the per-suite workload tables assembled by
+/// Workloads.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_WORKLOADS_SUITES_H
+#define CCJS_WORKLOADS_SUITES_H
+
+#include "workloads/Workloads.h"
+
+namespace ccjs::workloads {
+
+extern const Workload OctaneWorkloads[];
+extern const size_t NumOctaneWorkloads;
+
+extern const Workload SunSpiderWorkloads[];
+extern const size_t NumSunSpiderWorkloads;
+
+extern const Workload KrakenWorkloads[];
+extern const size_t NumKrakenWorkloads;
+
+} // namespace ccjs::workloads
+
+#endif // CCJS_WORKLOADS_SUITES_H

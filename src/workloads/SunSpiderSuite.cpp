@@ -1,0 +1,651 @@
+//===- workloads/SunSpiderSuite.cpp - SunSpider-style workloads -----------===//
+
+#include "workloads/Suites.h"
+
+namespace ccjs::workloads {
+
+/// 3d-cube: rotating a cube; vertex objects with double fields plus a
+/// rotation-matrix array.
+const char Ss3dCube[] = R"js(
+function Vtx(x, y, z) { this.x = x; this.y = y; this.z = z; }
+var verts = [];
+function buildCube() {
+  verts = [];
+  var i;
+  for (i = 0; i < 64; i++)
+    verts[i] = new Vtx((i & 1) * 2.0 - 1.0, ((i >> 1) & 1) * 2.0 - 1.0, ((i >> 2) & 1) * 2.0 - 1.0 + i * 0.01);
+}
+function rotateAll(ang) {
+  var s = Math.sin(ang);
+  var c = Math.cos(ang);
+  var i;
+  for (i = 0; i < verts.length; i++) {
+    var v = verts[i];
+    var x = v.x * c - v.z * s;
+    var z = v.x * s + v.z * c;
+    v.x = x;
+    v.z = z;
+    var y = v.y * c - v.z * s;
+    v.z = v.y * s + v.z * c;
+    v.y = y;
+  }
+}
+function run() {
+  buildCube();
+  var f;
+  for (f = 0; f < 120; f++) rotateAll(0.05);
+  var acc = 0.0;
+  var i;
+  for (i = 0; i < verts.length; i++) acc += verts[i].x * 2.0 + verts[i].y - verts[i].z;
+  print(Math.floor(acc * 100000.0));
+}
+)js";
+
+/// 3d-raytrace: sphere-grid intersection with vector objects.
+const char Ss3dRayTrace[] = R"js(
+function Vec(x, y, z) { this.x = x; this.y = y; this.z = z; }
+var centers = [];
+function buildScene() {
+  centers = [];
+  var i;
+  for (i = 0; i < 12; i++) centers[i] = new Vec(i * 0.7 - 4.0, (i % 4) * 0.9 - 1.5, 3.0 + (i % 3));
+}
+function hitDistance(ox, oy, oz, dx, dy, dz) {
+  var best = 1000.0;
+  var i;
+  for (i = 0; i < centers.length; i++) {
+    var c = centers[i];
+    var lx = c.x - ox;
+    var ly = c.y - oy;
+    var lz = c.z - oz;
+    var t = lx * dx + ly * dy + lz * dz;
+    if (t < 0.0) continue;
+    var d2 = lx * lx + ly * ly + lz * lz - t * t;
+    if (d2 < 0.49 && t < best) best = t;
+  }
+  return best;
+}
+function run() {
+  buildScene();
+  var acc = 0.0;
+  var px, py;
+  for (py = 0; py < 20; py++)
+    for (px = 0; px < 20; px++) {
+      var dx = (px - 10) * 0.05;
+      var dy = (py - 10) * 0.05;
+      var inv = 1.0 / Math.sqrt(dx * dx + dy * dy + 1.0);
+      acc += hitDistance(0.0, 0.0, 0.0, dx * inv, dy * inv, inv);
+    }
+  print(Math.floor(acc * 1000.0));
+}
+)js";
+
+/// access-binary-trees: GC-heavy tree allocation and traversal over
+/// monomorphic two-pointer nodes.
+const char SsBinaryTrees[] = R"js(
+function TreeNode(left, right, item) { this.left = left; this.right = right; this.item = item; }
+function bottomUp(item, depth) {
+  if (depth <= 0) return new TreeNode(null, null, item);
+  return new TreeNode(bottomUp(2 * item - 1, depth - 1), bottomUp(2 * item, depth - 1), item);
+}
+function itemCheck(n) {
+  if (n.left === null) return n.item;
+  return n.item + itemCheck(n.left) - itemCheck(n.right);
+}
+function run() {
+  var check = 0;
+  var d;
+  for (d = 2; d <= 7; d++) {
+    var iters = 1 << (8 - d);
+    var i;
+    for (i = 0; i < iters; i++)
+      check += itemCheck(bottomUp(i, d)) + itemCheck(bottomUp(-i, d));
+  }
+  print(check);
+}
+)js";
+
+/// access-fannkuch: SMI array permutation flipping; pure element traffic.
+const char SsFannkuch[] = R"js(
+function fannkuch(n) {
+  var perm = [], perm1 = [], count = [];
+  var i;
+  for (i = 0; i < n; i++) perm1[i] = i;
+  var maxFlips = 0;
+  var r = n;
+  var iters = 0;
+  for (;;) {
+    iters++;
+    if (iters > 400) break;
+    while (r != 1) { count[r - 1] = r; r--; }
+    for (i = 0; i < n; i++) perm[i] = perm1[i];
+    var flips = 0;
+    var k = perm[0];
+    while (k != 0) {
+      var i2;
+      for (i2 = 0; i2 * 2 < k; i2++) {
+        var t = perm[i2];
+        perm[i2] = perm[k - i2];
+        perm[k - i2] = t;
+      }
+      flips++;
+      k = perm[0];
+    }
+    if (flips > maxFlips) maxFlips = flips;
+    for (;;) {
+      if (r == n) return maxFlips * 1000 + iters;
+      var p0 = perm1[0];
+      for (i = 0; i < r; i++) perm1[i] = perm1[i + 1];
+      perm1[r] = p0;
+      count[r] = count[r] - 1;
+      if (count[r] > 0) break;
+      r++;
+    }
+  }
+  return maxFlips * 1000 + iters;
+}
+function run() { print(fannkuch(7)); }
+)js";
+
+/// access-nbody: the classic planetary simulation — double-valued object
+/// fields updated in a tight O(n^2) loop. A prime Class Cache target.
+const char SsNBody[] = R"js(
+function Body(x, y, z, vx, vy, vz, mass) {
+  this.x = x; this.y = y; this.z = z;
+  this.vx = vx; this.vy = vy; this.vz = vz;
+  this.mass = mass;
+}
+var bodies = [];
+function setupBodies() {
+  bodies = [];
+  bodies[0] = new Body(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 39.47);
+  bodies[1] = new Body(4.84, -1.16, -0.10, 0.60, 2.81, -0.02, 0.037);
+  bodies[2] = new Body(8.34, 4.12, -0.40, -1.01, 1.82, 0.008, 0.011);
+  bodies[3] = new Body(12.89, -15.11, -0.22, 1.08, 0.86, -0.010, 0.0017);
+  bodies[4] = new Body(15.37, -25.91, 0.17, 0.97, 0.59, -0.034, 0.0020);
+}
+function advance(dt) {
+  var i, j;
+  var n = bodies.length;
+  for (i = 0; i < n; i++) {
+    var bi = bodies[i];
+    for (j = i + 1; j < n; j++) {
+      var bj = bodies[j];
+      var dx = bi.x - bj.x;
+      var dy = bi.y - bj.y;
+      var dz = bi.z - bj.z;
+      var d2 = dx * dx + dy * dy + dz * dz;
+      var mag = dt / (d2 * Math.sqrt(d2));
+      bi.vx -= dx * bj.mass * mag; bi.vy -= dy * bj.mass * mag; bi.vz -= dz * bj.mass * mag;
+      bj.vx += dx * bi.mass * mag; bj.vy += dy * bi.mass * mag; bj.vz += dz * bi.mass * mag;
+    }
+  }
+  for (i = 0; i < n; i++) {
+    var b = bodies[i];
+    b.x += dt * b.vx; b.y += dt * b.vy; b.z += dt * b.vz;
+  }
+}
+function energy() {
+  var e = 0.0;
+  var i, j;
+  for (i = 0; i < bodies.length; i++) {
+    var bi = bodies[i];
+    e += 0.5 * bi.mass * (bi.vx * bi.vx + bi.vy * bi.vy + bi.vz * bi.vz);
+    for (j = i + 1; j < bodies.length; j++) {
+      var bj = bodies[j];
+      var dx = bi.x - bj.x; var dy = bi.y - bj.y; var dz = bi.z - bj.z;
+      e -= bi.mass * bj.mass / Math.sqrt(dx * dx + dy * dy + dz * dz);
+    }
+  }
+  return e;
+}
+function run() {
+  setupBodies();
+  var s;
+  for (s = 0; s < 220; s++) advance(0.01);
+  print(Math.floor(energy() * 1000000.0));
+}
+)js";
+
+/// access-nsieve: boolean-flag sieve over an elements array (no object
+/// checks; context benchmark).
+const char SsNsieve[] = R"js(
+function sieve(m) {
+  var flags = new Array(m + 1);
+  var i, k;
+  var count = 0;
+  for (i = 2; i <= m; i++) flags[i] = true;
+  for (i = 2; i <= m; i++) {
+    if (flags[i]) {
+      for (k = i + i; k <= m; k += i) flags[k] = false;
+      count++;
+    }
+  }
+  return count;
+}
+function run() { print(sieve(4000) + sieve(2000)); }
+)js";
+
+/// bitops-bits-in-byte: pure SMI bit twiddling in locals; no objects at
+/// all (zero overhead half of Figure 2).
+const char SsBitsInByte[] = R"js(
+function bitsinbyte(b) {
+  var m = 1, c = 0;
+  while (m < 0x100) {
+    if (b & m) c++;
+    m <<= 1;
+  }
+  return c;
+}
+function run() {
+  var sum = 0;
+  var j, k;
+  for (j = 0; j < 40; j++)
+    for (k = 0; k < 256; k++) sum += bitsinbyte(k);
+  print(sum);
+}
+)js";
+
+/// controlflow-recursive: ackermann/fib/tak recursion, no heap traffic.
+const char SsControlFlow[] = R"js(
+function ack(m, n) {
+  if (m == 0) return n + 1;
+  if (n == 0) return ack(m - 1, 1);
+  return ack(m - 1, ack(m, n - 1));
+}
+function tak(x, y, z) {
+  if (y >= x) return z;
+  return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y));
+}
+function run() { print(ack(2, 5) * 100 + tak(9, 5, 2)); }
+)js";
+
+/// crypto-aes: byte-array substitution/mix rounds with a state object.
+const char SsCryptoAes[] = R"js(
+var sbox = [];
+function Cipher() { this.rounds = 0; this.acc = 0; }
+function makeSbox() {
+  var i;
+  sbox = [];
+  for (i = 0; i < 256; i++) sbox[i] = (i * 7 + 99) & 0xff;
+}
+function encryptBlock(state, c) {
+  var r, i;
+  for (r = 0; r < 10; r++) {
+    for (i = 0; i < 16; i++) state[i] = sbox[state[i]];
+    var t = state[0];
+    for (i = 0; i < 15; i++) state[i] = state[i + 1] ^ (t & r);
+    state[15] = t;
+    c.rounds = c.rounds + 1;
+  }
+  var h = 0;
+  for (i = 0; i < 16; i++) h = (h * 31 + state[i]) & 0xffffff;
+  c.acc = (c.acc + h) % 1000003;
+}
+function run() {
+  makeSbox();
+  var c = new Cipher();
+  var state = [];
+  var b, i;
+  for (i = 0; i < 16; i++) state[i] = i * 11 & 0xff;
+  for (b = 0; b < 120; b++) encryptBlock(state, c);
+  print(c.acc + c.rounds);
+}
+)js";
+
+/// crypto-md5: word-array mixing rounds (SMI bitops; modest object use).
+const char SsCryptoMd5[] = R"js(
+var words = [];
+function fillWords() {
+  var i;
+  words = [];
+  for (i = 0; i < 64; i++) words[i] = (i * 0x9e3779b9) & 0x7fffffff;
+}
+function mix() {
+  var a = 0x6745, b = 0xefcd, c = 0x98ba, d = 0x1032;
+  var i;
+  for (i = 0; i < 64; i++) {
+    var f = (b & c) | (~b & d);
+    var t = d; d = c; c = b;
+    b = (b + ((a + f + words[i]) << (i % 5))) & 0x7fffffff;
+    a = t;
+  }
+  return (a ^ b ^ c ^ d) & 0x7fffffff;
+}
+function run() {
+  fillWords();
+  var s = 0;
+  var r;
+  for (r = 0; r < 150; r++) { s = (s + mix()) % 1000003; words[r % 64] = (words[r % 64] + r) & 0x7fffffff; }
+  print(s);
+}
+)js";
+
+/// crypto-sha1: rotate-and-mix over a word array.
+const char SsCryptoSha1[] = R"js(
+var block = [];
+function fillBlock() {
+  var i;
+  block = [];
+  for (i = 0; i < 80; i++) block[i] = (i * 0x5a82 + 1) & 0x3fffffff;
+}
+function rounds() {
+  var a = 0x6745, b = 0x2301, c = 0xefcd, d = 0xab89, e = 0x98ba;
+  var i;
+  for (i = 0; i < 80; i++) {
+    var f;
+    if (i < 20) f = (b & c) | (~b & d);
+    else if (i < 40) f = b ^ c ^ d;
+    else if (i < 60) f = (b & c) | (b & d) | (c & d);
+    else f = b ^ c ^ d;
+    var t = (((a << 5) | (a >>> 27)) + f + e + block[i]) & 0x3fffffff;
+    e = d; d = c; c = (b << 2) & 0x3fffffff; b = a; a = t;
+  }
+  return (a + b + c + d + e) & 0x3fffffff;
+}
+function run() {
+  fillBlock();
+  var s = 0;
+  var r;
+  for (r = 0; r < 120; r++) { s = (s + rounds()) % 1000003; block[r % 80] = (block[r % 80] ^ r) & 0x3fffffff; }
+  print(s);
+}
+)js";
+
+/// date-format-tofte: month/day name tables and string assembly.
+const char SsDateFormat[] = R"js(
+var months = [];
+var days = [];
+function buildTables() {
+  months = ['January','February','March','April','May','June','July',
+            'August','September','October','November','December'];
+  days = ['Sun','Mon','Tue','Wed','Thu','Fri','Sat'];
+}
+function pad2(n) { return n < 10 ? '0' + n : '' + n; }
+function formatDate(t) {
+  var day = days[t % 7];
+  var month = months[t % 12];
+  var dom = 1 + (t % 28);
+  var h = t % 24;
+  var m = (t * 7) % 60;
+  return day + ' ' + month + ' ' + pad2(dom) + ' ' + pad2(h) + ':' + pad2(m);
+}
+function run() {
+  buildTables();
+  var len = 0;
+  var t;
+  for (t = 0; t < 320; t++) len += formatDate(t * 86377).length;
+  print(len);
+}
+)js";
+
+/// math-cordic: fixed-point rotation, pure local arithmetic.
+const char SsMathCordic[] = R"js(
+var angles = [];
+function setupAngles() {
+  angles = [];
+  var i;
+  var v = 0x4000;
+  for (i = 0; i < 14; i++) { angles[i] = v; v = (v / 2) | 0; }
+}
+function cordic(target) {
+  var x = 0x2000, y = 0, acc = 0;
+  var i;
+  for (i = 0; i < 14; i++) {
+    var nx;
+    if (acc < target) { nx = x - (y >> i); y = y + (x >> i); acc += angles[i]; }
+    else { nx = x + (y >> i); y = y - (x >> i); acc -= angles[i]; }
+    x = nx;
+  }
+  return x ^ y;
+}
+function run() {
+  setupAngles();
+  var s = 0;
+  var t;
+  for (t = 0; t < 900; t++) s = (s + cordic((t * 37) & 0x7fff)) & 0xffffff;
+  print(s);
+}
+)js";
+
+/// math-partial-sums: double accumulation series.
+const char SsPartialSums[] = R"js(
+function run() {
+  var a1 = 0.0, a2 = 0.0, a3 = 0.0, a4 = 0.0;
+  var k;
+  for (k = 1; k <= 2000; k++) {
+    var k2 = k * k;
+    var sk = Math.sin(k);
+    var ck = Math.cos(k);
+    a1 += 1.0 / k;
+    a2 += 1.0 / k2;
+    a3 += 1.0 / (k2 * (sk * sk + 0.0001));
+    a4 += 1.0 / (k2 * (ck * ck + 0.0001));
+  }
+  print(Math.floor((a1 + a2 + a3 * 0.001 + a4 * 0.001) * 10000.0));
+}
+)js";
+
+/// math-spectral-norm: matrix-free power iteration with double arrays.
+const char SsSpectralNorm[] = R"js(
+function A(i, j) { return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1); }
+function multAv(v, av) {
+  var i, j;
+  var n = v.length;
+  for (i = 0; i < n; i++) {
+    var s = 0.0;
+    for (j = 0; j < n; j++) s += A(i, j) * v[j];
+    av[i] = s;
+  }
+}
+function multAtv(v, av) {
+  var i, j;
+  var n = v.length;
+  for (i = 0; i < n; i++) {
+    var s = 0.0;
+    for (j = 0; j < n; j++) s += A(j, i) * v[j];
+    av[i] = s;
+  }
+}
+function run() {
+  var n = 28;
+  var u = [], v = [], w = [];
+  var i;
+  for (i = 0; i < n; i++) { u[i] = 1.0; v[i] = 0.0; w[i] = 0.0; }
+  var it;
+  for (it = 0; it < 6; it++) {
+    multAv(u, w); multAtv(w, v);
+    multAv(v, w); multAtv(w, u);
+  }
+  var vbv = 0.0, vv = 0.0;
+  for (i = 0; i < n; i++) { vbv += u[i] * v[i]; vv += v[i] * v[i]; }
+  print(Math.floor(Math.sqrt(vbv / vv) * 1000000.0));
+}
+)js";
+
+/// regexp-dna-lite: substring counting over a synthetic DNA string.
+const char SsRegexpDna[] = R"js(
+var dna = '';
+function buildDna() {
+  var parts = [];
+  var i;
+  var bases = 'acgt';
+  for (i = 0; i < 600; i++) parts[i] = bases.charAt((i * 7 + (i >> 3)) % 4);
+  dna = parts.join('');
+}
+function countPattern(p) {
+  var n = 0;
+  var i;
+  var limit = dna.length - p.length;
+  for (i = 0; i <= limit; i++) {
+    var k = 0;
+    while (k < p.length && dna.charCodeAt(i + k) == p.charCodeAt(k)) k++;
+    if (k == p.length) n++;
+  }
+  return n;
+}
+function run() {
+  buildDna();
+  print(countPattern('acgt') * 100 + countPattern('gaa') * 10 + countPattern('tt'));
+}
+)js";
+
+/// string-base64: base64 encoding through char-code arithmetic.
+const char SsStringBase64[] = R"js(
+var alphabet = 'ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/';
+function encode(len) {
+  var out = '';
+  var i;
+  for (i = 0; i + 2 < len; i += 3) {
+    var b0 = (i * 73) & 0xff, b1 = (i * 149 + 1) & 0xff, b2 = (i * 211 + 2) & 0xff;
+    var triple = (b0 << 16) | (b1 << 8) | b2;
+    out = out + alphabet.charAt((triple >> 18) & 63) + alphabet.charAt((triple >> 12) & 63)
+              + alphabet.charAt((triple >> 6) & 63) + alphabet.charAt(triple & 63);
+  }
+  return out;
+}
+function run() {
+  var s = encode(900);
+  var h = 0;
+  var i;
+  for (i = 0; i < s.length; i += 7) h = (h * 33 + s.charCodeAt(i)) % 1000003;
+  print(h + s.length);
+}
+)js";
+
+/// string-fasta: weighted random sequence generation.
+const char SsStringFasta[] = R"js(
+var seed = 42;
+function rng(max) {
+  seed = (seed * 3877 + 29573) % 139968;
+  return max * seed / 139968;
+}
+function makeCumulative(probs) {
+  var c = [];
+  var acc = 0.0;
+  var i;
+  for (i = 0; i < probs.length; i++) { acc += probs[i]; c[i] = acc; }
+  return c;
+}
+function run() {
+  seed = 42;
+  var letters = 'acgtBDHKMNRSVWY';
+  var cum = makeCumulative([0.27, 0.12, 0.12, 0.27, 0.02, 0.02, 0.02, 0.02,
+                            0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.02]);
+  var h = 0;
+  var n;
+  for (n = 0; n < 2500; n++) {
+    var r = rng(1.0);
+    var i = 0;
+    while (i < cum.length - 1 && cum[i] < r) i++;
+    h = (h * 31 + letters.charCodeAt(i)) % 1000003;
+  }
+  print(h);
+}
+)js";
+
+/// string-unpack-code: splitting and re-joining packed strings.
+const char SsStringUnpack[] = R"js(
+var packed = '';
+function buildPacked() {
+  var parts = [];
+  var i;
+  for (i = 0; i < 80; i++) parts[i] = 'sym' + i;
+  packed = parts.join('|');
+}
+function unpack() {
+  var words = packed.split('|');
+  var total = 0;
+  var i;
+  for (i = 0; i < words.length; i++) total += words[i].length + words[i].charCodeAt(0);
+  return total + words.length;
+}
+function run() {
+  buildPacked();
+  var s = 0;
+  var r;
+  for (r = 0; r < 10; r++) s += unpack();
+  print(s);
+}
+)js";
+
+/// string-validate-input: checking synthetic user input strings.
+const char SsStringValidate[] = R"js(
+function isDigit(c) { return c >= 48 && c <= 57; }
+function isAlpha(c) { return (c >= 97 && c <= 122) || (c >= 65 && c <= 90); }
+function validate(s) {
+  var at = s.indexOf('@');
+  if (at <= 0) return 0;
+  var i;
+  for (i = 0; i < s.length; i++) {
+    var c = s.charCodeAt(i);
+    if (!isDigit(c) && !isAlpha(c) && c != 64 && c != 46) return 0;
+  }
+  return 1;
+}
+function run() {
+  var good = 0;
+  var i;
+  for (i = 0; i < 250; i++) {
+    var name = 'user' + i;
+    var addr = i % 3 == 0 ? name + '@host' + (i % 7) + '.com'
+                          : (i % 3 == 1 ? name + '#bad' : name + '@ok.org');
+    good += validate(addr);
+  }
+  print(good);
+}
+)js";
+
+/// 3d-morph: pure double-array mesh morphing (no object checks).
+const char Ss3dMorph[] = R"js(
+var mesh = [];
+function initMesh() {
+  var i;
+  mesh = [];
+  for (i = 0; i < 900; i++) mesh[i] = 0.0;
+}
+function morph(f) {
+  var i;
+  var PI2 = Math.PI * 2.0;
+  for (i = 0; i < 900; i++)
+    mesh[i] = Math.sin((i % 30) / 30.0 * PI2 + f) * 0.4 + mesh[i] * 0.6;
+}
+function run() {
+  initMesh();
+  var f;
+  for (f = 0; f < 15; f++) morph(f * 0.2);
+  var s = 0.0;
+  var i;
+  for (i = 0; i < 900; i += 9) s += mesh[i];
+  print(Math.floor(s * 1000000.0));
+}
+)js";
+
+const Workload SunSpiderWorkloads[] = {
+    {"3d-cube", "sunspider", Ss3dCube, true},
+    {"3d-morph", "sunspider", Ss3dMorph, false},
+    {"3d-raytrace", "sunspider", Ss3dRayTrace, true},
+    {"access-binary-trees", "sunspider", SsBinaryTrees, true},
+    {"access-fannkuch", "sunspider", SsFannkuch, true},
+    {"access-nbody", "sunspider", SsNBody, true},
+    {"access-nsieve", "sunspider", SsNsieve, false},
+    {"bitops-bits-in-byte", "sunspider", SsBitsInByte, false},
+    {"controlflow-recursive", "sunspider", SsControlFlow, false},
+    {"crypto-aes", "sunspider", SsCryptoAes, true},
+    {"crypto-md5", "sunspider", SsCryptoMd5, false},
+    {"crypto-sha1", "sunspider", SsCryptoSha1, false},
+    {"date-format-tofte", "sunspider", SsDateFormat, true},
+    {"math-cordic", "sunspider", SsMathCordic, false},
+    {"math-partial-sums", "sunspider", SsPartialSums, false},
+    {"math-spectral-norm", "sunspider", SsSpectralNorm, true},
+    {"regexp-dna", "sunspider", SsRegexpDna, false},
+    {"string-base64", "sunspider", SsStringBase64, false},
+    {"string-fasta", "sunspider", SsStringFasta, false},
+    {"string-unpack-code", "sunspider", SsStringUnpack, true},
+    {"string-validate-input", "sunspider", SsStringValidate, false},
+};
+
+const size_t NumSunSpiderWorkloads =
+    sizeof(SunSpiderWorkloads) / sizeof(SunSpiderWorkloads[0]);
+
+} // namespace ccjs::workloads

@@ -1,0 +1,34 @@
+//===- workloads/Workloads.cpp --------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/Suites.h"
+
+#include <vector>
+
+using namespace ccjs;
+using namespace ccjs::workloads;
+
+static std::vector<Workload> buildAll() {
+  std::vector<Workload> All;
+  All.insert(All.end(), OctaneWorkloads, OctaneWorkloads + NumOctaneWorkloads);
+  All.insert(All.end(), SunSpiderWorkloads,
+             SunSpiderWorkloads + NumSunSpiderWorkloads);
+  All.insert(All.end(), KrakenWorkloads, KrakenWorkloads + NumKrakenWorkloads);
+  return All;
+}
+
+const Workload *ccjs::allWorkloads(size_t *Count) {
+  static const std::vector<Workload> All = buildAll();
+  *Count = All.size();
+  return All.data();
+}
+
+const Workload *ccjs::findWorkload(std::string_view Name) {
+  size_t N = 0;
+  const Workload *All = allWorkloads(&N);
+  for (size_t I = 0; I < N; ++I)
+    if (Name == All[I].Name)
+      return &All[I];
+  return nullptr;
+}

@@ -1,0 +1,42 @@
+//===- workloads/Workloads.h - Benchmark registry ---------------*- C++ -*-===//
+///
+/// \file
+/// MiniJS ports of the paper's evaluation workloads (Octane, Kraken,
+/// SunSpider), scaled down to simulator-friendly sizes but preserving each
+/// benchmark's workload character: object-graph traversal, constructor
+/// churn, elements-array numeric kernels, string processing, or pure SMI
+/// arithmetic. Every program defines `run()` (one measured iteration) and
+/// prints a deterministic checksum, so the tests can verify that every
+/// engine configuration computes identical results.
+///
+/// `Selected` marks the benchmarks of the paper's Figures 8/9 (those with
+/// more than 1% check overhead after object loads; section 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_WORKLOADS_WORKLOADS_H
+#define CCJS_WORKLOADS_WORKLOADS_H
+
+#include <cstddef>
+#include <string_view>
+
+namespace ccjs {
+
+struct Workload {
+  const char *Name;
+  const char *Suite; ///< "octane", "kraken" or "sunspider".
+  const char *Source;
+  /// In the paper's selected set (the >1%-overhead benchmarks of Figures
+  /// 8/9; 26 appear in those figures).
+  bool Selected;
+};
+
+/// All registered workloads, grouped by suite (octane, sunspider, kraken).
+const Workload *allWorkloads(size_t *Count);
+
+/// Finds a workload by name; returns null when unknown.
+const Workload *findWorkload(std::string_view Name);
+
+} // namespace ccjs
+
+#endif // CCJS_WORKLOADS_WORKLOADS_H

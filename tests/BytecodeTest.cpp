@@ -1,0 +1,180 @@
+//===- tests/BytecodeTest.cpp - AST -> bytecode compiler ------------------===//
+
+#include "bytecode/Compiler.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccjs;
+
+namespace {
+
+BytecodeModule compileOk(std::string_view Src, StringInterner &Names) {
+  ParseResult P = parseProgram(Src);
+  EXPECT_TRUE(P.Ok) << P.Error;
+  CompileResult C = compileProgram(P.Prog, Names);
+  EXPECT_TRUE(C.Ok) << C.Error;
+  return std::move(C.Module);
+}
+
+size_t countOp(const BytecodeFunction &F, Opcode Op) {
+  size_t N = 0;
+  for (const Instr &I : F.Code)
+    if (I.Op == Op)
+      ++N;
+  return N;
+}
+
+TEST(BytecodeTest, EntryFunctionIsIndexZero) {
+  StringInterner Names;
+  BytecodeModule M = compileOk("var x = 1; function f() {}", Names);
+  ASSERT_EQ(M.Functions.size(), 2u);
+  EXPECT_EQ(M.Functions[0].Name, "<main>");
+  EXPECT_EQ(M.Functions[1].Name, "f");
+}
+
+TEST(BytecodeTest, TopLevelVarsAreGlobals) {
+  StringInterner Names;
+  BytecodeModule M = compileOk("var x = 1; x = x + 2;", Names);
+  EXPECT_GT(countOp(M.Functions[0], Opcode::StGlobal), 0u);
+  EXPECT_EQ(M.Functions[0].NumLocals, 0u);
+  EXPECT_TRUE(M.GlobalIndexOf.count("x"));
+}
+
+TEST(BytecodeTest, FunctionVarsAreLocals) {
+  StringInterner Names;
+  BytecodeModule M =
+      compileOk("function f(a) { var b = a + 1; return b; }", Names);
+  const BytecodeFunction &F = M.Functions[1];
+  EXPECT_EQ(F.NumParams, 1u);
+  EXPECT_GE(F.NumLocals, 2u);
+  EXPECT_EQ(countOp(F, Opcode::LdGlobal), 0u);
+}
+
+TEST(BytecodeTest, VarHoistingAcrossBlocks) {
+  StringInterner Names;
+  BytecodeModule M = compileOk(
+      "function f() { if (true) { var x = 1; } return x; }", Names);
+  EXPECT_EQ(countOp(M.Functions[1], Opcode::LdGlobal), 0u)
+      << "var declared in a block must still be function-scoped";
+}
+
+TEST(BytecodeTest, PropertyAccessUsesNamedOps) {
+  StringInterner Names;
+  BytecodeModule M = compileOk("function f(o) { o.a = o.b; }", Names);
+  const BytecodeFunction &F = M.Functions[1];
+  EXPECT_EQ(countOp(F, Opcode::GetProp), 1u);
+  EXPECT_EQ(countOp(F, Opcode::SetProp), 1u);
+}
+
+TEST(BytecodeTest, LengthUsesDedicatedOp) {
+  StringInterner Names;
+  BytecodeModule M = compileOk("function f(a) { return a.length; }", Names);
+  EXPECT_EQ(countOp(M.Functions[1], Opcode::GetLength), 1u);
+  EXPECT_EQ(countOp(M.Functions[1], Opcode::GetProp), 0u);
+}
+
+TEST(BytecodeTest, LoopsUseJumpLoop) {
+  StringInterner Names;
+  BytecodeModule M =
+      compileOk("function f() { var i; for (i = 0; i < 3; i++) {} }", Names);
+  EXPECT_EQ(countOp(M.Functions[1], Opcode::JumpLoop), 1u);
+}
+
+TEST(BytecodeTest, EverySitedOpHasDistinctSite) {
+  StringInterner Names;
+  BytecodeModule M = compileOk(
+      "function f(o, p) { return o.a + o.b + p[0] + p[1]; }", Names);
+  const BytecodeFunction &F = M.Functions[1];
+  std::vector<bool> Seen(F.NumSites, false);
+  for (const Instr &I : F.Code) {
+    switch (I.Op) {
+    case Opcode::GetProp:
+    case Opcode::GetElem:
+    case Opcode::BinOp:
+      EXPECT_LT(I.Site, F.NumSites);
+      EXPECT_FALSE(Seen[I.Site]) << "site reused";
+      Seen[I.Site] = true;
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+TEST(BytecodeTest, MethodCallsCompileToCallMethod) {
+  StringInterner Names;
+  BytecodeModule M = compileOk("function f(o) { return o.m(1, 2); }", Names);
+  const BytecodeFunction &F = M.Functions[1];
+  EXPECT_EQ(countOp(F, Opcode::CallMethod), 1u);
+  EXPECT_EQ(countOp(F, Opcode::GetProp), 0u);
+}
+
+TEST(BytecodeTest, GlobalCallsCompileToCallGlobal) {
+  StringInterner Names;
+  BytecodeModule M =
+      compileOk("function g() {} function f() { g(); }", Names);
+  EXPECT_EQ(countOp(M.Functions[2], Opcode::CallGlobal), 1u);
+}
+
+TEST(BytecodeTest, LocalFunctionValueCallsUseCallValue) {
+  StringInterner Names;
+  BytecodeModule M =
+      compileOk("function f(cb) { return cb(1); }", Names);
+  EXPECT_EQ(countOp(M.Functions[1], Opcode::CallValue), 1u);
+}
+
+TEST(BytecodeTest, LiteralsUseInitOps) {
+  StringInterner Names;
+  BytecodeModule M = compileOk(
+      "function f() { return {a: 1, b: 2}; } function g() { return [1, 2, "
+      "3]; }",
+      Names);
+  EXPECT_EQ(countOp(M.Functions[1], Opcode::AddPropLit), 2u);
+  EXPECT_EQ(countOp(M.Functions[1], Opcode::CreateObject), 1u);
+  EXPECT_EQ(countOp(M.Functions[2], Opcode::StElemInit), 3u);
+  EXPECT_EQ(countOp(M.Functions[2], Opcode::CreateArray), 1u);
+}
+
+TEST(BytecodeTest, ConstantPoolDeduplicates) {
+  StringInterner Names;
+  BytecodeModule M = compileOk(
+      "function f() { return 1.5 + 1.5 + 'x'.length + 'x'.length; }", Names);
+  EXPECT_EQ(M.Functions[1].Consts.size(), 2u);
+}
+
+TEST(BytecodeTest, BreakOutsideLoopFails) {
+  StringInterner Names;
+  ParseResult P = parseProgram("function f() { break; }");
+  ASSERT_TRUE(P.Ok);
+  CompileResult C = compileProgram(P.Prog, Names);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_NE(C.Error.find("break"), std::string::npos);
+}
+
+TEST(BytecodeTest, DisassemblerMentionsNames) {
+  StringInterner Names;
+  BytecodeModule M = compileOk("function f(o) { return o.prop; }", Names);
+  std::string D = disassemble(M.Functions[1], Names);
+  EXPECT_NE(D.find("GetProp"), std::string::npos);
+  EXPECT_NE(D.find("prop"), std::string::npos);
+  EXPECT_NE(D.find("Return"), std::string::npos);
+}
+
+TEST(BytecodeTest, JumpTargetsInRange) {
+  StringInterner Names;
+  BytecodeModule M = compileOk(
+      "function f(n) { var s = 0; var i; for (i = 0; i < n; i++) { if (i % "
+      "2) continue; if (i > 10) break; s += i; } return s; }",
+      Names);
+  const BytecodeFunction &F = M.Functions[1];
+  for (const Instr &I : F.Code) {
+    if (I.Op == Opcode::Jump || I.Op == Opcode::JumpLoop ||
+        I.Op == Opcode::JumpIfFalse || I.Op == Opcode::JumpIfTrue) {
+      EXPECT_GE(I.A, 0);
+      EXPECT_LE(static_cast<size_t>(I.A), F.Code.size());
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,274 @@
+//===- tests/ClassCacheTest.cpp - Class List & Class Cache protocol -------===//
+
+#include "hw/ClassCache.h"
+#include "hw/ClassList.h"
+#include "runtime/Layout.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccjs;
+
+namespace {
+
+class ClassCacheTest : public ::testing::Test {
+protected:
+  ClassCacheTest() : List(Mem), Cache(List, 128, 2) {
+    List.bootstrapExisting(Shapes);
+    Shapes.setCreationHook(
+        [this](ShapeId Id) { List.onShapeCreated(Shapes, Id); });
+    X = Names.intern("x");
+    Y = Names.intern("y");
+  }
+
+  uint8_t classOf(ShapeId S) { return Shapes.get(S).ClassId; }
+
+  SimMemory Mem;
+  ShapeTable Shapes;
+  StringInterner Names;
+  ClassList List;
+  ClassCache Cache;
+  InternedString X, Y;
+};
+
+TEST_F(ClassCacheTest, EntryRoundTrip) {
+  ClassListEntry E;
+  E.InitMap = 0x50;
+  E.ValidMap = 0xA1;
+  E.SpeculateMap = 0x08;
+  for (unsigned I = 0; I < 7; ++I)
+    E.Props[I] = static_cast<uint8_t>(10 + I);
+  List.write(3, 1, E);
+  ClassListEntry R = List.read(3, 1);
+  EXPECT_EQ(R.InitMap, 0x50);
+  EXPECT_EQ(R.ValidMap, 0xA1);
+  EXPECT_EQ(R.SpeculateMap, 0x08);
+  EXPECT_EQ(R.Props[4], 14);
+}
+
+TEST_F(ClassCacheTest, FreshEntriesStartAllValid) {
+  // Paper: ValidMap initializes to 11111111, InitMap to zeros.
+  ShapeId S = Shapes.transition(Shapes.plainRoot(), X);
+  ClassListEntry E = List.read(classOf(S), 0);
+  EXPECT_EQ(E.InitMap, 0x00);
+  EXPECT_EQ(E.ValidMap, 0xFF);
+  EXPECT_EQ(E.SpeculateMap, 0x00);
+}
+
+TEST_F(ClassCacheTest, FirstStoreInitializesProfile) {
+  ShapeId S = Shapes.transition(Shapes.plainRoot(), X);
+  ClassCacheResult R = Cache.accessStore(classOf(S), 0, 4, 7);
+  EXPECT_FALSE(R.Hit) << "cold access misses";
+  EXPECT_FALSE(R.ValidCleared);
+  EXPECT_FALSE(R.Exception);
+  EXPECT_EQ(Cache.monomorphicClassAt(classOf(S), 0, 4), 7);
+}
+
+TEST_F(ClassCacheTest, MatchingStoresKeepMonomorphism) {
+  ShapeId S = Shapes.transition(Shapes.plainRoot(), X);
+  Cache.accessStore(classOf(S), 0, 4, 7);
+  for (int I = 0; I < 100; ++I) {
+    ClassCacheResult R = Cache.accessStore(classOf(S), 0, 4, 7);
+    EXPECT_TRUE(R.Hit);
+    EXPECT_FALSE(R.ValidCleared);
+  }
+  EXPECT_EQ(Cache.monomorphicClassAt(classOf(S), 0, 4), 7);
+  EXPECT_GT(Cache.hitRate(), 0.99);
+}
+
+TEST_F(ClassCacheTest, MismatchClearsValidForever) {
+  ShapeId S = Shapes.transition(Shapes.plainRoot(), X);
+  Cache.accessStore(classOf(S), 0, 4, 7);
+  ClassCacheResult R = Cache.accessStore(classOf(S), 0, 4, 9);
+  EXPECT_TRUE(R.ValidCleared);
+  EXPECT_FALSE(R.Exception) << "no SpeculateMap bit: no exception";
+  EXPECT_EQ(Cache.monomorphicClassAt(classOf(S), 0, 4), -1);
+  // Returning to the original class must not revalidate.
+  Cache.accessStore(classOf(S), 0, 4, 7);
+  EXPECT_EQ(Cache.monomorphicClassAt(classOf(S), 0, 4), -1);
+}
+
+TEST_F(ClassCacheTest, ExceptionOnlyWhenSpeculated) {
+  ShapeId S = Shapes.transition(Shapes.plainRoot(), X);
+  Cache.accessStore(classOf(S), 0, 4, 7);
+  Cache.setSpeculate(classOf(S), 0, 4);
+  List.addFunctionDependency(classOf(S), 0, 4, 1234);
+  ClassCacheResult R = Cache.accessStore(classOf(S), 0, 4, 9);
+  EXPECT_TRUE(R.Exception);
+  EXPECT_EQ(Cache.exceptions(), 1u);
+  // The exception routine consumes the FunctionList.
+  EXPECT_EQ(List.functionsFor(classOf(S), 0, 4).size(), 1u);
+  // A second offending store must not raise again (SpeculateMap cleared).
+  ClassCacheResult R2 = Cache.accessStore(classOf(S), 0, 4, 11);
+  EXPECT_FALSE(R2.Exception);
+}
+
+TEST_F(ClassCacheTest, SlotsAreIndependent) {
+  ShapeId S = Shapes.transition(Shapes.plainRoot(), X);
+  Cache.accessStore(classOf(S), 0, 4, 7);
+  Cache.accessStore(classOf(S), 0, 5, 8);
+  Cache.accessStore(classOf(S), 0, 4, 9); // Invalidate slot 4 only.
+  EXPECT_EQ(Cache.monomorphicClassAt(classOf(S), 0, 4), -1);
+  EXPECT_EQ(Cache.monomorphicClassAt(classOf(S), 0, 5), 8);
+}
+
+TEST_F(ClassCacheTest, MissRefillsFromListAndWritesBack) {
+  ShapeId S = Shapes.transition(Shapes.plainRoot(), X);
+  ClassCacheResult R = Cache.accessStore(classOf(S), 0, 4, 7);
+  EXPECT_EQ(R.FillAddr, List.entryAddr(classOf(S), 0));
+  // Flush the dirty entry and verify memory holds the profile.
+  Cache.flushDirty();
+  ClassListEntry E = List.read(classOf(S), 0);
+  EXPECT_TRUE(E.InitMap & (1 << 4));
+  EXPECT_EQ(E.Props[3], 7); // Props[pos-1].
+}
+
+TEST_F(ClassCacheTest, EvictionWritesBackDirtyEntries) {
+  // A 4-entry, 2-way cache: three entries mapping to one set force an
+  // eviction with writeback.
+  ClassCache Small(List, 4, 2);
+  ShapeId S1 = Shapes.transition(Shapes.plainRoot(), X);
+  (void)S1;
+  Small.accessStore(2, 0, 4, 7);  // Set (2<<8|0)&1 = 0.
+  Small.accessStore(4, 0, 4, 8);  // Also set 0.
+  ClassCacheResult R = Small.accessStore(6, 0, 4, 9); // Evicts (2,0).
+  EXPECT_NE(R.WritebackAddr, 0u);
+  EXPECT_EQ(Small.writebacks(), 1u);
+  // The evicted profile survives in the Class List.
+  ClassListEntry E = List.read(2, 0);
+  EXPECT_TRUE(E.InitMap & (1 << 4));
+  EXPECT_EQ(E.Props[3], 7);
+  // And re-fetching it sees the same data.
+  EXPECT_EQ(Small.monomorphicClassAt(2, 0, 4), 7);
+}
+
+TEST_F(ClassCacheTest, ProfileInheritanceOnTransition) {
+  // Constructor pattern: x profiled at shape {x}; creating {x,y} inherits
+  // the profile so loads of x on final objects can be elided.
+  ShapeId SX = Shapes.transition(Shapes.plainRoot(), X);
+  layout::SlotLocation LX = layout::slotLocation(0);
+  Cache.accessStore(classOf(SX), LX.Line, LX.Pos, 7);
+  Cache.flushDirty();
+  ShapeId SXY = Shapes.transition(SX, Y);
+  EXPECT_EQ(Cache.monomorphicClassAt(classOf(SXY), LX.Line, LX.Pos), 7);
+  ClassListEntry E = List.read(classOf(SXY), 0);
+  EXPECT_EQ(E.SpeculateMap, 0) << "dependencies are not inherited";
+}
+
+TEST_F(ClassCacheTest, InvalidationPropagatesToDescendants) {
+  ShapeId SX = Shapes.transition(Shapes.plainRoot(), X);
+  layout::SlotLocation LX = layout::slotLocation(0);
+  Cache.accessStore(classOf(SX), LX.Line, LX.Pos, 7);
+  Cache.flushDirty();
+  ShapeId SXY = Shapes.transition(SX, Y);
+  Cache.setSpeculate(classOf(SXY), LX.Line, LX.Pos);
+  List.addFunctionDependency(classOf(SXY), LX.Line, LX.Pos, 77);
+
+  // A mismatching store at the PARENT class (an object that later
+  // transitions carries the bad value into the child class).
+  std::vector<std::pair<uint8_t, uint8_t>> Touched;
+  std::vector<uint32_t> Deopt = List.invalidateWithDescendants(
+      Shapes, classOf(SX), LX.Line, LX.Pos, Touched);
+  ASSERT_EQ(Deopt.size(), 1u);
+  EXPECT_EQ(Deopt[0], 77u);
+  for (const auto &[C, L] : Touched)
+    Cache.syncInvalidatedEntry(C, L);
+  EXPECT_EQ(Cache.monomorphicClassAt(classOf(SXY), LX.Line, LX.Pos), -1);
+  EXPECT_EQ(Cache.monomorphicClassAt(classOf(SX), LX.Line, LX.Pos), -1);
+}
+
+TEST_F(ClassCacheTest, SmiProfile) {
+  ShapeId S = Shapes.transition(Shapes.plainRoot(), X);
+  Cache.accessStore(classOf(S), 0, 4, SmiClassId);
+  EXPECT_EQ(Cache.monomorphicClassAt(classOf(S), 0, 4), SmiClassId);
+  ClassCacheResult R = Cache.accessStore(classOf(S), 0, 4, 3);
+  EXPECT_TRUE(R.ValidCleared);
+}
+
+TEST_F(ClassCacheTest, FunctionDependenciesDeduplicate) {
+  List.addFunctionDependency(5, 0, 4, 9);
+  List.addFunctionDependency(5, 0, 4, 9);
+  List.addFunctionDependency(5, 0, 4, 10);
+  EXPECT_EQ(List.functionsFor(5, 0, 4).size(), 2u);
+}
+
+TEST_F(ClassCacheTest, StorageUnderPaperBudget) {
+  EXPECT_LT(Cache.storageBits() / 8.0, 1536.0)
+      << "paper section 5.4: the Class Cache occupies less than 1.5KB";
+}
+
+TEST_F(ClassCacheTest, DumpRendersTable1Style) {
+  ShapeId S = Shapes.transition(Shapes.plainRoot(), X);
+  Cache.accessStore(classOf(S), 0, 4, 7);
+  Cache.flushDirty();
+  std::string Dump = List.dumpClass(
+      classOf(S), 1, [](uint8_t C) { return "class" + std::to_string(C); },
+      [](uint32_t F) { return "fn" + std::to_string(F); });
+  EXPECT_NE(Dump.find("InitMap=00010000"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("ValidMap=11111111"), std::string::npos) << Dump;
+}
+
+/// Property test: the Class Cache must behave exactly like an uncached
+/// reference implementation of the protocol, for random request streams.
+class ClassCacheRandomProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ClassCacheRandomProperty, MatchesReferenceModel) {
+  SimMemory Mem;
+  ClassList List(Mem);
+  ClassCache Cache(List, 8, 2); // Tiny cache: constant evictions.
+  // Initialize the entries as shape creation would (ValidMap = 11111111).
+  for (uint8_t Cls = 0; Cls < 4; ++Cls)
+    List.write(Cls, 0, ClassListEntry());
+
+  struct RefSlot {
+    bool Init = false;
+    bool Valid = true;
+    bool Spec = false;
+    uint8_t Cls = 0;
+  };
+  RefSlot Ref[4][8]; // classes 0..3, positions 0..7.
+
+  uint32_t Seed = GetParam();
+  auto Rnd = [&Seed]() {
+    Seed = Seed * 1664525u + 1013904223u;
+    return Seed >> 16;
+  };
+
+  for (int I = 0; I < 5000; ++I) {
+    uint8_t Cls = Rnd() % 4;
+    uint8_t Pos = 1 + Rnd() % 7;
+    uint8_t VC = Rnd() % 3;
+    if (Rnd() % 64 == 0)
+      Cache.setSpeculate(Cls, 0, Pos);
+
+    RefSlot &R = Ref[Cls][Pos];
+    if (Rnd() % 64 == 1)
+      R.Spec = true; // Mirror setSpeculate timing below.
+
+    // Reference protocol.
+    bool ExpectException = false;
+    if (!R.Init) {
+      R.Init = true;
+      R.Cls = VC;
+    } else if (R.Cls != VC && R.Valid) {
+      R.Valid = false;
+      if (R.Spec) {
+        ExpectException = true;
+        R.Spec = false;
+      }
+    }
+    (void)ExpectException;
+
+    ClassCacheResult CR = Cache.accessStore(Cls, 0, Pos, VC);
+    (void)CR;
+
+    // Compare the observable profile state.
+    int Expected = (R.Init && R.Valid) ? R.Cls : -1;
+    ASSERT_EQ(Cache.monomorphicClassAt(Cls, 0, Pos), Expected)
+        << "iteration " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassCacheRandomProperty,
+                         ::testing::Values(1u, 2u, 3u, 42u, 0xBEEFu));
+
+} // namespace

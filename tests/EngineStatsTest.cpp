@@ -1,0 +1,133 @@
+//===- tests/EngineStatsTest.cpp - Measurement plumbing -------------------===//
+
+#include "TestUtil.h"
+
+#include "core/Runner.h"
+
+using namespace ccjs;
+
+namespace {
+
+const char *CountedProgram = R"js(
+function P(x) { this.x = x; }
+var objs = [];
+var i; for (i = 0; i < 64; i++) objs[i] = new P(i);
+function run() {
+  var s = 0; var i;
+  for (i = 0; i < 64; i++) s += objs[i].x;
+  return s;
+}
+)js";
+
+TEST(EngineStatsTest, InstructionCategoriesSumToTotal) {
+  Engine E(test::hotConfig(false));
+  ASSERT_TRUE(E.load(CountedProgram));
+  ASSERT_TRUE(E.runTopLevel());
+  for (int I = 0; I < 10; ++I)
+    E.callGlobal("run");
+  RunStats S = E.stats();
+  uint64_t Sum = 0;
+  for (unsigned C = 0; C < NumInstrCategories; ++C)
+    Sum += S.Instrs.PerCategory[C];
+  EXPECT_EQ(Sum, S.Instrs.total());
+  EXPECT_GT(S.Instrs.total(), 0u);
+  EXPECT_GT(S.Instrs.optimizedTotal(), 0u);
+}
+
+TEST(EngineStatsTest, ResetStatsKeepsWarmState) {
+  Engine E(test::hotConfig(false));
+  ASSERT_TRUE(E.load(CountedProgram));
+  ASSERT_TRUE(E.runTopLevel());
+  for (int I = 0; I < 9; ++I)
+    E.callGlobal("run");
+  E.resetStats();
+  EXPECT_EQ(E.stats().Instrs.total(), 0u);
+  E.callGlobal("run");
+  RunStats S = E.stats();
+  EXPECT_GT(S.Instrs.total(), 0u);
+  // After warm-up the measured iteration runs almost entirely optimized.
+  EXPECT_GT(double(S.Instrs.optimizedTotal()), 0.5 * double(S.Instrs.total()))
+      << "steady state must be dominated by optimized code";
+}
+
+TEST(EngineStatsTest, CyclesAndEnergyArePositiveAndConsistent) {
+  Engine E(test::hotConfig(false));
+  ASSERT_TRUE(E.load(CountedProgram));
+  ASSERT_TRUE(E.runTopLevel());
+  E.callGlobal("run");
+  RunStats S = E.stats();
+  EXPECT_GT(S.CyclesTotal, 0.0);
+  EXPECT_DOUBLE_EQ(S.CyclesTotal, S.CyclesOptimized + S.CyclesRest);
+  EXPECT_GT(S.EnergyTotal.total(), 0.0);
+  EXPECT_GE(S.EnergyTotal.total(), S.EnergyOptimized.total());
+  EXPECT_GT(S.EnergyTotal.LeakagePJ, 0.0);
+}
+
+TEST(EngineStatsTest, MonomorphismSummary) {
+  Engine E(test::hotConfig(false));
+  ASSERT_TRUE(E.load(CountedProgram));
+  ASSERT_TRUE(E.runTopLevel());
+  for (int I = 0; I < 10; ++I)
+    E.callGlobal("run");
+  RunStats S = E.stats();
+  // objs[i].x loads: monomorphic property loads; objs[i]: monomorphic
+  // elements loads.
+  EXPECT_GT(S.Loads.MonomorphicProperty, 0u);
+  EXPECT_GT(S.Loads.MonomorphicElements, 0u);
+  EXPECT_EQ(S.Loads.NonMonomorphicProperty, 0u);
+  EXPECT_GT(S.Loads.FirstLineLoads, 0u);
+}
+
+TEST(EngineStatsTest, ClassCacheCountersOnlyWhenEnabled) {
+  {
+    Engine E(test::hotConfig(false));
+    ASSERT_TRUE(E.load(CountedProgram));
+    ASSERT_TRUE(E.runTopLevel());
+    E.callGlobal("run");
+    EXPECT_EQ(E.stats().CcAccesses, 0u);
+  }
+  {
+    Engine E(test::hotConfig(true));
+    ASSERT_TRUE(E.load(CountedProgram));
+    ASSERT_TRUE(E.runTopLevel());
+    E.callGlobal("run");
+    EXPECT_GT(E.stats().CcAccesses, 0u);
+    EXPECT_GT(E.stats().CcHitRate, 0.9);
+  }
+}
+
+TEST(EngineStatsTest, HiddenClassCountIsSmall) {
+  Engine E(test::hotConfig(false));
+  ASSERT_TRUE(E.load(CountedProgram));
+  ASSERT_TRUE(E.runTopLevel());
+  RunStats S = E.stats();
+  // Paper section 5.3.1: benchmarks use few hidden classes.
+  EXPECT_LT(S.NumHiddenClasses, 32u);
+  EXPECT_GE(S.NumHiddenClasses, 3u);
+}
+
+TEST(EngineStatsTest, RunnerSteadyStateProtocol) {
+  std::string Src = std::string(CountedProgram) + "\nprint('ready');";
+  BenchRun R = runSteadyState(EngineConfig(), Src, 10);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_GT(R.Steady.Instrs.total(), 0u);
+}
+
+TEST(EngineStatsTest, RunnerComparisonProducesSpeedup) {
+  std::string Src = std::string(CountedProgram) +
+                    "\nfunction noop() {} print('ok');";
+  Comparison C = compareConfigs(Src, EngineConfig(), 10);
+  ASSERT_TRUE(C.Baseline.Ok) << C.Baseline.Error;
+  ASSERT_TRUE(C.ClassCache.Ok) << C.ClassCache.Error;
+  EXPECT_TRUE(C.OutputsMatch);
+  // This workload is exactly the mechanism's target: the optimized-code
+  // speedup must be positive.
+  EXPECT_GT(C.SpeedupOptimized, 0.0);
+}
+
+TEST(EngineStatsTest, RunnerReportsMissingRun) {
+  BenchRun R = runSteadyState(EngineConfig(), "var x = 1;", 3);
+  EXPECT_FALSE(R.Ok);
+}
+
+} // namespace

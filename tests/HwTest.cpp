@@ -1,0 +1,141 @@
+//===- tests/HwTest.cpp - Cache, TLB, predictor, memory system ------------===//
+
+#include "hw/BranchPredictor.h"
+#include "hw/CacheSim.h"
+#include "hw/MemorySystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccjs;
+
+namespace {
+
+TEST(CacheSimTest, ColdMissThenHit) {
+  CacheSim C(16, 2, 64);
+  EXPECT_FALSE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x1038)); // Same 64-byte line.
+  EXPECT_FALSE(C.access(0x1040)); // Next line.
+  EXPECT_EQ(C.accesses(), 4u);
+  EXPECT_EQ(C.misses(), 2u);
+}
+
+TEST(CacheSimTest, LruEviction) {
+  CacheSim C(1, 2, 64); // One set, two ways.
+  EXPECT_FALSE(C.access(0x0));
+  EXPECT_FALSE(C.access(0x40));
+  EXPECT_TRUE(C.access(0x0)); // 0x40 becomes LRU.
+  EXPECT_FALSE(C.access(0x80)); // Evicts 0x40.
+  EXPECT_TRUE(C.access(0x0));
+  EXPECT_FALSE(C.access(0x40)); // Was evicted.
+}
+
+TEST(CacheSimTest, SetIndexing) {
+  CacheSim C(4, 1, 64);
+  // Lines 0 and 4 map to set 0; lines 1..3 to other sets.
+  EXPECT_FALSE(C.access(0 * 64));
+  EXPECT_FALSE(C.access(1 * 64));
+  EXPECT_TRUE(C.access(0 * 64));
+  EXPECT_FALSE(C.access(4 * 64)); // Conflicts with line 0.
+  EXPECT_FALSE(C.access(0 * 64)); // Evicted by line 4.
+}
+
+TEST(CacheSimTest, CapacityConstructor) {
+  CacheSim C = CacheSim::fromCapacity(32 * 1024, 8, 64);
+  // 32KB / (8 ways * 64B) = 64 sets. A stream of 64 distinct lines with
+  // stride 64*64 maps to one set and overflows 8 ways.
+  for (int I = 0; I < 9; ++I)
+    C.access(uint64_t(I) * 64 * 64);
+  EXPECT_EQ(C.misses(), 9u);
+  EXPECT_FALSE(C.access(0)); // First line was evicted (true LRU).
+}
+
+TEST(CacheSimTest, HitRateAndReset) {
+  CacheSim C(16, 2, 64);
+  C.access(0);
+  C.access(0);
+  EXPECT_DOUBLE_EQ(C.hitRate(), 0.5);
+  C.resetStats();
+  EXPECT_EQ(C.accesses(), 0u);
+  EXPECT_TRUE(C.access(0)) << "contents survive a stats reset";
+}
+
+TEST(CacheSimTest, WorkingSetProperty) {
+  // Property: a repeating working set no larger than the cache reaches a
+  // 100% steady-state hit rate.
+  CacheSim C = CacheSim::fromCapacity(4096, 4, 64);
+  for (int Round = 0; Round < 4; ++Round)
+    for (uint64_t L = 0; L < 4096 / 64; ++L)
+      C.access(L * 64);
+  C.resetStats();
+  for (uint64_t L = 0; L < 4096 / 64; ++L)
+    EXPECT_TRUE(C.access(L * 64));
+}
+
+TEST(BranchPredictorTest, LearnsStrongBias) {
+  BranchPredictor P;
+  for (int I = 0; I < 100; ++I)
+    P.predict(42, false);
+  uint64_t Before = P.mispredicts();
+  for (int I = 0; I < 100; ++I)
+    P.predict(42, false);
+  EXPECT_EQ(P.mispredicts(), Before)
+      << "a never-taken check branch must predict perfectly once trained";
+}
+
+TEST(BranchPredictorTest, CountsMispredicts) {
+  BranchPredictor P;
+  uint32_t X = 99;
+  for (int I = 0; I < 1000; ++I) {
+    X = X * 1664525u + 1013904223u;
+    P.predict(7, (X >> 16) & 1);
+  }
+  EXPECT_GT(P.mispredicts(), 100u) << "random outcomes cannot predict well";
+  EXPECT_EQ(P.branches(), 1000u);
+}
+
+TEST(MemorySystemTest, HierarchyLatencies) {
+  HwConfig Cfg;
+  MemorySystem M(Cfg);
+  MemAccessResult R1 = M.access(0x100000);
+  EXPECT_FALSE(R1.L1Hit);
+  EXPECT_FALSE(R1.L2Hit);
+  EXPECT_TRUE(R1.TlbMiss);
+  EXPECT_EQ(R1.ExtraLatency,
+            Cfg.MemLatency - Cfg.L1LoadLatency + Cfg.TlbMissPenalty);
+
+  MemAccessResult R2 = M.access(0x100000);
+  EXPECT_TRUE(R2.L1Hit);
+  EXPECT_FALSE(R2.TlbMiss);
+  EXPECT_EQ(R2.ExtraLatency, 0u);
+}
+
+TEST(MemorySystemTest, L2CatchesL1Evictions) {
+  HwConfig Cfg;
+  MemorySystem M(Cfg);
+  // Touch enough lines to overflow the 32KB L1 but stay inside 256KB L2.
+  unsigned Lines = 64 * 1024 / 64;
+  for (unsigned I = 0; I < Lines; ++I)
+    M.access(uint64_t(I) * 64);
+  // Second pass: mostly L1 misses that hit in L2.
+  uint64_t L2HitsBefore = M.l2().accesses() - M.l2().misses();
+  for (unsigned I = 0; I < Lines; ++I)
+    M.access(uint64_t(I) * 64);
+  uint64_t L2Hits = (M.l2().accesses() - M.l2().misses()) - L2HitsBefore;
+  EXPECT_GT(L2Hits, Lines / 2);
+}
+
+TEST(MemorySystemTest, DtlbGeometry) {
+  HwConfig Cfg;
+  MemorySystem M(Cfg);
+  // 256 pages fit the DTLB; revisiting them misses no more.
+  for (int Round = 0; Round < 2; ++Round)
+    for (unsigned P = 0; P < 256; ++P)
+      M.access(uint64_t(P) * 4096);
+  uint64_t MissesAfterWarmup = M.dtlb().misses();
+  for (unsigned P = 0; P < 256; ++P)
+    M.access(uint64_t(P) * 4096);
+  EXPECT_EQ(M.dtlb().misses(), MissesAfterWarmup);
+}
+
+} // namespace

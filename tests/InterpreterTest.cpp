@@ -1,0 +1,261 @@
+//===- tests/InterpreterTest.cpp - Baseline-tier language semantics -------===//
+
+#include "TestUtil.h"
+
+using namespace ccjs;
+using ccjs::test::runProgram;
+
+namespace {
+
+// Keep programs below the tiering thresholds so this file exercises the
+// baseline tier; JitTest covers the optimizing tier, and the differential
+// tests cover both at once.
+
+TEST(InterpTest, Arithmetic) {
+  EXPECT_EQ(runProgram("print(1 + 2 * 3 - 4 / 2);"), "5\n");
+  EXPECT_EQ(runProgram("print(7 % 3);"), "1\n");
+  EXPECT_EQ(runProgram("print(0.1 + 0.2 > 0.3 - 0.0000001);"), "true\n");
+  EXPECT_EQ(runProgram("print(10 / 4);"), "2.5\n");
+  EXPECT_EQ(runProgram("print(-5);"), "-5\n");
+  EXPECT_EQ(runProgram("print(1 / 0);"), "Infinity\n");
+  EXPECT_EQ(runProgram("print(0 / 0);"), "NaN\n");
+}
+
+TEST(InterpTest, SmiOverflowPromotesToDouble) {
+  EXPECT_EQ(runProgram("print(2147483647 + 1);"), "2147483648\n");
+  EXPECT_EQ(runProgram("print(-2147483648 - 1);"), "-2147483649\n");
+  EXPECT_EQ(runProgram("print(100000 * 100000);"), "10000000000\n");
+}
+
+TEST(InterpTest, BitwiseOps) {
+  EXPECT_EQ(runProgram("print(12 & 10);"), "8\n");
+  EXPECT_EQ(runProgram("print(12 | 10);"), "14\n");
+  EXPECT_EQ(runProgram("print(12 ^ 10);"), "6\n");
+  EXPECT_EQ(runProgram("print(~5);"), "-6\n");
+  EXPECT_EQ(runProgram("print(1 << 10);"), "1024\n");
+  EXPECT_EQ(runProgram("print(-8 >> 1);"), "-4\n");
+  EXPECT_EQ(runProgram("print(-8 >>> 28);"), "15\n");
+  EXPECT_EQ(runProgram("print(-1 >>> 0);"), "4294967295\n");
+  EXPECT_EQ(runProgram("print(3.7 | 0);"), "3\n");
+  EXPECT_EQ(runProgram("print(-3.7 | 0);"), "-3\n");
+}
+
+TEST(InterpTest, Comparisons) {
+  EXPECT_EQ(runProgram("print(1 < 2);"), "true\n");
+  EXPECT_EQ(runProgram("print(2 <= 2);"), "true\n");
+  EXPECT_EQ(runProgram("print('abc' < 'abd');"), "true\n");
+  EXPECT_EQ(runProgram("print('b' > 'a');"), "true\n");
+  EXPECT_EQ(runProgram("print(1 == '1');"), "true\n");
+  EXPECT_EQ(runProgram("print(1 === '1');"), "false\n");
+  EXPECT_EQ(runProgram("print(null == undefined);"), "true\n");
+  EXPECT_EQ(runProgram("print(null === undefined);"), "false\n");
+  EXPECT_EQ(runProgram("var n = 0 / 0; print(n == n);"), "false\n")
+      << "NaN compares unequal to itself";
+}
+
+TEST(InterpTest, StringOps) {
+  EXPECT_EQ(runProgram("print('a' + 'b' + 'c');"), "abc\n");
+  EXPECT_EQ(runProgram("print('n=' + 5);"), "n=5\n");
+  EXPECT_EQ(runProgram("print(5 + 'x');"), "5x\n");
+  EXPECT_EQ(runProgram("print('hello'.length);"), "5\n");
+  EXPECT_EQ(runProgram("print('hello'.charCodeAt(1));"), "101\n");
+  EXPECT_EQ(runProgram("print('hello'.charAt(0));"), "h\n");
+  EXPECT_EQ(runProgram("print('hello'.substring(1, 3));"), "el\n");
+  EXPECT_EQ(runProgram("print('hello'.indexOf('ll'));"), "2\n");
+  EXPECT_EQ(runProgram("print('a,b,c'.split(',').length);"), "3\n");
+  EXPECT_EQ(runProgram("print('aBc'.toUpperCase());"), "ABC\n");
+  EXPECT_EQ(runProgram("print(String.fromCharCode(65, 66));"), "AB\n");
+}
+
+TEST(InterpTest, ControlFlow) {
+  EXPECT_EQ(runProgram("var x = 3; if (x > 2) print('big'); else "
+                       "print('small');"),
+            "big\n");
+  EXPECT_EQ(runProgram("var s = 0; var i; for (i = 1; i <= 10; i++) s += i; "
+                       "print(s);"),
+            "55\n");
+  EXPECT_EQ(runProgram("var i = 0; while (i < 5) i++; print(i);"), "5\n");
+  EXPECT_EQ(runProgram("var i = 9; do i++; while (false); print(i);"),
+            "10\n");
+  EXPECT_EQ(runProgram("var i; var s = 0; for (i = 0; i < 10; i++) { if (i "
+                       "== 3) continue; if (i == 6) break; s += i; } "
+                       "print(s);"),
+            "12\n");
+}
+
+TEST(InterpTest, LogicalOperatorsReturnOperands) {
+  EXPECT_EQ(runProgram("print(0 || 'fallback');"), "fallback\n");
+  EXPECT_EQ(runProgram("print(1 && 2);"), "2\n");
+  EXPECT_EQ(runProgram("print(null || undefined);"), "undefined\n");
+  EXPECT_EQ(runProgram("var n = 0; function f() { n++; return true; } "
+                       "var r = false && f(); print(n);"),
+            "0\n");
+}
+
+TEST(InterpTest, ConditionalExpr) {
+  EXPECT_EQ(runProgram("print(5 > 3 ? 'yes' : 'no');"), "yes\n");
+}
+
+TEST(InterpTest, Truthiness) {
+  EXPECT_EQ(runProgram("print(!!0);"), "false\n");
+  EXPECT_EQ(runProgram("print(!!0.0);"), "false\n");
+  EXPECT_EQ(runProgram("print(!!'');"), "false\n");
+  EXPECT_EQ(runProgram("print(!!'a');"), "true\n");
+  EXPECT_EQ(runProgram("print(!!null);"), "false\n");
+  EXPECT_EQ(runProgram("print(!!undefined);"), "false\n");
+  EXPECT_EQ(runProgram("print(!!{});"), "true\n");
+}
+
+TEST(InterpTest, Typeof) {
+  EXPECT_EQ(runProgram("print(typeof 1);"), "number\n");
+  EXPECT_EQ(runProgram("print(typeof 1.5);"), "number\n");
+  EXPECT_EQ(runProgram("print(typeof 'a');"), "string\n");
+  EXPECT_EQ(runProgram("print(typeof true);"), "boolean\n");
+  EXPECT_EQ(runProgram("print(typeof undefined);"), "undefined\n");
+  EXPECT_EQ(runProgram("print(typeof {});"), "object\n");
+  EXPECT_EQ(runProgram("print(typeof print);"), "function\n");
+}
+
+TEST(InterpTest, Objects) {
+  EXPECT_EQ(runProgram("var o = {a: 1, b: 'two'}; print(o.a); print(o.b);"),
+            "1\ntwo\n");
+  EXPECT_EQ(runProgram("var o = {}; o.x = 3; o.y = o.x + 1; print(o.y);"),
+            "4\n");
+  EXPECT_EQ(runProgram("var o = {n: 1}; o.n += 5; print(o.n);"), "6\n");
+  EXPECT_EQ(runProgram("var o = {n: 1}; o.n++; print(o.n++); print(o.n);"),
+            "2\n3\n");
+  EXPECT_EQ(runProgram("var o = {}; print(o.missing);"), "undefined\n");
+}
+
+TEST(InterpTest, NestedObjects) {
+  EXPECT_EQ(runProgram("var o = {inner: {v: 7}}; print(o.inner.v);"), "7\n");
+}
+
+TEST(InterpTest, Constructors) {
+  EXPECT_EQ(runProgram("function P(x, y) { this.x = x; this.y = y; } "
+                       "var p = new P(3, 4); print(p.x * p.x + p.y * p.y);"),
+            "25\n");
+  EXPECT_EQ(runProgram("function C() { this.v = 1; return {v: 99}; } "
+                       "print(new C().v);"),
+            "99\n") << "constructor returning an object overrides this";
+  EXPECT_EQ(runProgram("function C() { this.v = 1; return 5; } "
+                       "print(new C().v);"),
+            "1\n") << "constructor returning a primitive keeps this";
+}
+
+TEST(InterpTest, MethodsViaProperties) {
+  EXPECT_EQ(runProgram("function getA() { return this.a; } "
+                       "var o = {a: 7}; o.get = getA; print(o.get());"),
+            "7\n");
+}
+
+TEST(InterpTest, Arrays) {
+  EXPECT_EQ(runProgram("var a = [10, 20, 30]; print(a[1]); print(a.length);"),
+            "20\n3\n");
+  EXPECT_EQ(runProgram("var a = []; a[0] = 'x'; a[2] = 'z'; print(a.length); "
+                       "print(a[1]);"),
+            "3\nundefined\n");
+  EXPECT_EQ(runProgram("var a = new Array(5); print(a.length);"), "5\n");
+  EXPECT_EQ(runProgram("var a = [1]; a.push(2); a.push(3); print(a.length); "
+                       "print(a.pop()); print(a.length);"),
+            "3\n3\n2\n");
+  EXPECT_EQ(runProgram("print([1, 2, 3].join('-'));"), "1-2-3\n");
+  EXPECT_EQ(runProgram("print([5, 6, 7].indexOf(6));"), "1\n");
+  EXPECT_EQ(runProgram("print([5, 6, 7].indexOf(9));"), "-1\n");
+  EXPECT_EQ(runProgram("var a = [1,2]; a[0] += 10; print(a[0]);"), "11\n");
+  EXPECT_EQ(runProgram("var a = [7]; print(a[0]++); print(a[0]);"), "7\n8\n");
+}
+
+TEST(InterpTest, NamedLengthPropertyWins) {
+  EXPECT_EQ(runProgram("var q = {}; q.length = 42; print(q.length);"),
+            "42\n");
+}
+
+TEST(InterpTest, MathBuiltins) {
+  EXPECT_EQ(runProgram("print(Math.floor(3.7));"), "3\n");
+  EXPECT_EQ(runProgram("print(Math.ceil(3.2));"), "4\n");
+  EXPECT_EQ(runProgram("print(Math.abs(-5));"), "5\n");
+  EXPECT_EQ(runProgram("print(Math.sqrt(81));"), "9\n");
+  EXPECT_EQ(runProgram("print(Math.min(3, 7));"), "3\n");
+  EXPECT_EQ(runProgram("print(Math.max(3, 7));"), "7\n");
+  EXPECT_EQ(runProgram("print(Math.pow(2, 10));"), "1024\n");
+  EXPECT_EQ(runProgram("print(Math.floor(Math.PI));"), "3\n");
+  EXPECT_EQ(runProgram("var r = Math.random(); print(r >= 0 && r < 1);"),
+            "true\n");
+}
+
+TEST(InterpTest, Recursion) {
+  EXPECT_EQ(runProgram("function fib(n) { if (n < 2) return n; "
+                       "return fib(n - 1) + fib(n - 2); } print(fib(12));"),
+            "144\n");
+}
+
+TEST(InterpTest, MutualRecursion) {
+  EXPECT_EQ(runProgram(
+                "function isEven(n) { if (n == 0) return true; return "
+                "isOdd(n - 1); } function isOdd(n) { if (n == 0) return "
+                "false; return isEven(n - 1); } print(isEven(10));"),
+            "true\n");
+}
+
+TEST(InterpTest, FunctionsAsValues) {
+  EXPECT_EQ(runProgram("function dbl(x) { return x * 2; } "
+                       "var f = dbl; print(f(21));"),
+            "42\n");
+  EXPECT_EQ(runProgram("function a() { return 1; } function b() { return 2; }"
+                       "var fns = [a, b]; print(fns[0]() + fns[1]());"),
+            "3\n");
+}
+
+TEST(InterpTest, GlobalsSharedAcrossFunctions) {
+  EXPECT_EQ(runProgram("var counter = 0; function bump() { counter += 1; } "
+                       "bump(); bump(); print(counter);"),
+            "2\n");
+}
+
+TEST(InterpTest, ArgumentCountMismatch) {
+  EXPECT_EQ(runProgram("function f(a, b) { return b; } print(f(1));"),
+            "undefined\n");
+  EXPECT_EQ(runProgram("function f(a) { return a; } print(f(1, 2, 3));"),
+            "1\n");
+}
+
+TEST(InterpTest, StringKeyedAccess) {
+  EXPECT_EQ(runProgram("var o = {abc: 9}; var k = 'abc'; print(o[k]);"),
+            "9\n");
+}
+
+TEST(InterpTest, NegativeAndFractionalIndices) {
+  EXPECT_EQ(runProgram("var a = [1, 2]; print(a[-1]);"), "undefined\n");
+  EXPECT_EQ(runProgram("var a = [1, 2]; print(a[0.5]);"), "undefined\n");
+}
+
+// Runtime errors ----------------------------------------------------------
+
+TEST(InterpTest, RuntimeErrorPropertyOfUndefined) {
+  Engine E((EngineConfig()));
+  ASSERT_TRUE(E.load("var u; print(u.x);"));
+  EXPECT_FALSE(E.runTopLevel());
+  EXPECT_NE(E.lastError().find("non-object"), std::string::npos);
+}
+
+TEST(InterpTest, RuntimeErrorCallNonFunction) {
+  Engine E((EngineConfig()));
+  ASSERT_TRUE(E.load("var u = 5; u();"));
+  EXPECT_FALSE(E.runTopLevel());
+}
+
+TEST(InterpTest, RuntimeErrorStackOverflow) {
+  Engine E((EngineConfig()));
+  ASSERT_TRUE(E.load("function f() { return f(); } f();"));
+  EXPECT_FALSE(E.runTopLevel());
+  EXPECT_NE(E.lastError().find("stack overflow"), std::string::npos);
+}
+
+TEST(InterpTest, DeterministicRandom) {
+  std::string A = runProgram("print(Math.random()); print(Math.random());");
+  std::string B = runProgram("print(Math.random()); print(Math.random());");
+  EXPECT_EQ(A, B) << "Math.random must be deterministic per engine";
+}
+
+} // namespace

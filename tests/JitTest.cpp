@@ -1,0 +1,259 @@
+//===- tests/JitTest.cpp - Optimizing tier & deoptimization ---------------===//
+
+#include "TestUtil.h"
+
+#include "jit/Jit.h"
+
+using namespace ccjs;
+using ccjs::test::hotConfig;
+
+namespace {
+
+/// Runs \p Source under an aggressive-tiering engine and returns it.
+std::unique_ptr<Engine> runHot(std::string_view Source,
+                               bool ClassCache = false) {
+  auto E = std::make_unique<Engine>(hotConfig(ClassCache));
+  EXPECT_TRUE(E->load(Source)) << E->lastError();
+  EXPECT_TRUE(E->runTopLevel()) << E->lastError();
+  return E;
+}
+
+TEST(JitTest, HotFunctionGetsOptimized) {
+  auto E = runHot("function f(n) { return n + 1; } "
+                  "var i; var s = 0; for (i = 0; i < 100; i++) s = f(s); "
+                  "print(s);");
+  EXPECT_EQ(E->output(), "100\n");
+  EXPECT_GT(E->stats().OptCompiles, 0u);
+  // The hot function produced optimized-tier instructions.
+  EXPECT_GT(E->stats().Instrs.optimizedTotal(), 0u);
+}
+
+TEST(JitTest, ColdCodeStaysBaseline) {
+  auto E = runHot("function once(n) { return n * 2; } print(once(21));");
+  EXPECT_EQ(E->output(), "42\n");
+  EXPECT_EQ(E->stats().OptCompiles, 0u);
+}
+
+TEST(JitTest, OptimizedPropertyAccess) {
+  auto E = runHot(
+      "function P(x) { this.x = x; }\n"
+      "var objs = [];\n"
+      "var i; for (i = 0; i < 64; i++) objs[i] = new P(i);\n"
+      "function sum() { var s = 0; var i; for (i = 0; i < 64; i++) "
+      "s += objs[i].x; return s; }\n"
+      "var r = 0; for (i = 0; i < 20; i++) r = sum();\n"
+      "print(r);");
+  EXPECT_EQ(E->output(), "2016\n");
+  // Checks were executed in optimized code.
+  EXPECT_GT(E->stats().Instrs.PerCategory[unsigned(InstrCategory::Checks)],
+            0u);
+}
+
+TEST(JitTest, DeoptOnShapeChange) {
+  // f is optimized for {a}-shaped objects, then sees a {b,a} object.
+  auto E = runHot(
+      "function f(o) { return o.a; }\n"
+      "var i; var s = 0;\n"
+      "for (i = 0; i < 50; i++) s += f({a: 1});\n"
+      "var other = {b: 2, a: 10};\n"
+      "s += f(other);\n"
+      "print(s);");
+  EXPECT_EQ(E->output(), "60\n");
+  EXPECT_GT(E->stats().Deopts, 0u);
+}
+
+TEST(JitTest, DeoptOnSmiOverflow) {
+  auto E = runHot(
+      "function inc(n) { return n + n; }\n"
+      "var x = 3; var i;\n"
+      "for (i = 0; i < 40; i++) x = inc(3);\n"
+      "print(inc(2000000000));"); // Overflows int32.
+  EXPECT_EQ(E->output(), "4000000000\n");
+  EXPECT_GT(E->stats().Deopts, 0u);
+}
+
+TEST(JitTest, ReoptimizationAfterDeoptUsesNewFeedback) {
+  auto E = runHot(
+      "function add(a, b) { return a + b; }\n"
+      "var i; var s = 0;\n"
+      "for (i = 0; i < 50; i++) s = add(s, 1);\n" // SMI feedback.
+      "var d = 0.5;\n"
+      "for (i = 0; i < 50; i++) d = add(d, 0.25);\n" // Double now.
+      "print(s); print(d);");
+  EXPECT_EQ(E->output(), "50\n13\n");
+}
+
+TEST(JitTest, RepeatedDeoptDisablesOptimization) {
+  EngineConfig Cfg = hotConfig();
+  Cfg.MaxDeoptsPerFunction = 2;
+  Engine E(Cfg);
+  // Alternating shapes defeat the monomorphic speculation repeatedly.
+  ASSERT_TRUE(E.load(
+      "function f(o) { return o.v; }\n"
+      "var a = {v: 1}; var b = {w: 0, v: 2};\n"
+      "var i; var s = 0;\n"
+      "for (i = 0; i < 200; i++) s += f(i % 2 == 0 ? a : b);\n"
+      "print(s);"));
+  ASSERT_TRUE(E.runTopLevel());
+  EXPECT_EQ(E.output(), "300\n");
+  EXPECT_EQ(E.vm().Funcs[1].OptDisabled ||
+                E.vm().Funcs[1].DeoptCount <= Cfg.MaxDeoptsPerFunction,
+            true);
+}
+
+TEST(JitTest, UnboxedDoubleLoops) {
+  auto E = runHot(
+      "function kernel() { var x = 0.5; var i; "
+      "for (i = 0; i < 100; i++) x = x * 1.01 + 0.1; return x; }\n"
+      "var r; var i; for (i = 0; i < 10; i++) r = kernel();\n"
+      "print(r > 18 && r < 19);");
+  EXPECT_EQ(E->output(), "true\n");
+}
+
+TEST(JitTest, InlinedMathBuiltins) {
+  auto E = runHot(
+      "function hyp(a, b) { return Math.sqrt(a * a + b * b); }\n"
+      "var i; var s = 0; for (i = 0; i < 60; i++) s = hyp(3, 4);\n"
+      "print(s);");
+  EXPECT_EQ(E->output(), "5\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Class Cache behaviour through the full engine
+//===----------------------------------------------------------------------===//
+
+TEST(JitTest, ClassCacheElidesChecks) {
+  const char *Src =
+      "function P(x) { this.x = x; }\n"
+      "var objs = [];\n"
+      "var i; for (i = 0; i < 64; i++) objs[i] = new P(i);\n"
+      "function sum() { var s = 0; var i; for (i = 0; i < 64; i++) "
+      "s += objs[i].x; return s; }\n"
+      "function run() { var r = 0; var i; for (i = 0; i < 20; i++) "
+      "r = sum(); return r; }\n"
+      "run(); run(); run(); run();";
+  auto Base = runHot(Src, /*ClassCache=*/false);
+  auto Cc = runHot(Src, /*ClassCache=*/true);
+  uint64_t BaseChecks =
+      Base->stats().Instrs.PerCategory[unsigned(InstrCategory::Checks)];
+  uint64_t CcChecks =
+      Cc->stats().Instrs.PerCategory[unsigned(InstrCategory::Checks)];
+  EXPECT_LT(CcChecks, BaseChecks)
+      << "the mechanism must remove check instructions";
+  EXPECT_GT(Cc->stats().CcAccesses, 0u);
+}
+
+TEST(JitTest, ClassCacheExceptionDeoptimizesDependents) {
+  EngineConfig Cfg = hotConfig(/*ClassCache=*/true);
+  Engine E(Cfg);
+  ASSERT_TRUE(E.load(
+      "function Box(v) { this.v = v; }\n"
+      "function Pt(x) { this.x = x; }\n"
+      "var boxes = [];\n"
+      "var i; for (i = 0; i < 64; i++) boxes[i] = new Box(new Pt(i));\n"
+      "function sum() { var s = 0; var i; for (i = 0; i < 64; i++) "
+      "s += boxes[i].v.x; return s; }\n"
+      "var r; for (i = 0; i < 20; i++) r = sum();\n"
+      "print(r);\n"
+      // Break the monomorphism of Box.v: store a non-Pt value.
+      "boxes[0].v = {y: 1, x: 100};\n"
+      "print(sum());"));
+  ASSERT_TRUE(E.runTopLevel()) << E.lastError();
+  EXPECT_EQ(E.output(), "2016\n2116\n");
+  EXPECT_GE(E.stats().CcExceptions + E.vm().CCache.exceptions(), 0u);
+}
+
+TEST(JitTest, ClassCacheCorrectAfterInvalidation) {
+  // The same program must produce identical output with and without the
+  // mechanism even when speculation is broken mid-run.
+  const char *Src =
+      "function N(next) { this.next = next; this.val = 1; }\n"
+      "var head = null;\n"
+      "var i; for (i = 0; i < 40; i++) head = new N(head);\n"
+      "function count() { var c = 0; var n = head; "
+      "while (n !== null) { c += n.val; n = n.next; } return c; }\n"
+      "var r; for (i = 0; i < 15; i++) r = count();\n"
+      "print(r);\n"
+      "head.val = 0.5;\n" // SMI slot becomes double.
+      "print(count());";
+  auto Base = runHot(Src, false);
+  auto Cc = runHot(Src, true);
+  EXPECT_EQ(Base->output(), Cc->output());
+  EXPECT_EQ(Cc->output(), "40\n39.5\n");
+}
+
+TEST(JitTest, CompileStatisticsExposed) {
+  EngineConfig Cfg = hotConfig(/*ClassCache=*/true);
+  Engine E(Cfg);
+  ASSERT_TRUE(E.load(
+      "function P(a) { this.a = a; }\n"
+      "var o = [];\n"
+      "var i; for (i = 0; i < 32; i++) o[i] = new P(i);\n"
+      "function f() { var s = 0; var i; for (i = 0; i < 32; i++) "
+      "s += o[i].a; return s; }\n"
+      "for (i = 0; i < 30; i++) f();"));
+  ASSERT_TRUE(E.runTopLevel());
+  const FunctionInfo &FI = E.vm().Funcs[2]; // f is the second function.
+  ASSERT_NE(FI.Opt, nullptr);
+  EXPECT_GT(FI.Opt->ChecksEmitted + FI.Opt->ChecksElidedClassic +
+                FI.Opt->ChecksElidedClassCache,
+            0u);
+  EXPECT_GT(FI.Opt->ChecksElidedClassCache, 0u)
+      << "monomorphic element loads must enable elision";
+}
+
+TEST(JitTest, HoistingMarksLoopStores) {
+  EngineConfig Cfg = hotConfig(/*ClassCache=*/true);
+  Engine E(Cfg);
+  ASSERT_TRUE(E.load(
+      "var dst = new Array(128);\n"
+      "function fill() { var i; for (i = 0; i < 128; i++) dst[i] = i; }\n"
+      "var i; for (i = 0; i < 30; i++) fill();\n"
+      "print(dst[100]);"));
+  ASSERT_TRUE(E.runTopLevel());
+  EXPECT_EQ(E.output(), "100\n");
+  const FunctionInfo &FI = E.vm().Funcs[1];
+  ASSERT_NE(FI.Opt, nullptr);
+  EXPECT_GT(FI.Opt->HoistedStores, 0u)
+      << "the loop-invariant array local must hoist movClassIDArray";
+  EXPECT_FALSE(FI.Opt->LoopPreloads.empty());
+}
+
+TEST(JitTest, NoHoistingAcrossCalls) {
+  EngineConfig Cfg = hotConfig(/*ClassCache=*/true);
+  Engine E(Cfg);
+  ASSERT_TRUE(E.load(
+      "var dst = new Array(64);\n"
+      "function g(x) { return x; }\n"
+      "function fill() { var i; for (i = 0; i < 64; i++) dst[i] = g(i); }\n"
+      "var i; for (i = 0; i < 30; i++) fill();\n"
+      "print(dst[10]);"));
+  ASSERT_TRUE(E.runTopLevel());
+  const FunctionInfo &FI = E.vm().Funcs[2];
+  ASSERT_NE(FI.Opt, nullptr);
+  EXPECT_EQ(FI.Opt->HoistedStores, 0u)
+      << "calls in the loop body clobber the regArrayObjectClassId regs";
+}
+
+TEST(JitTest, AblationFlagsDisableElision) {
+  EngineConfig Cfg = hotConfig(/*ClassCache=*/true);
+  Cfg.ElideCheckMaps = false;
+  Cfg.ElideCheckSmi = false;
+  Cfg.ElideCheckNonSmi = false;
+  Engine E(Cfg);
+  ASSERT_TRUE(E.load(
+      "function P(a) { this.a = a; }\n"
+      "var o = [];\n"
+      "var i; for (i = 0; i < 32; i++) o[i] = new P(i);\n"
+      "function f() { var s = 0; var i; for (i = 0; i < 32; i++) "
+      "s += o[i].a; return s; }\n"
+      "for (i = 0; i < 30; i++) f();\n"
+      "print(f());"));
+  ASSERT_TRUE(E.runTopLevel());
+  EXPECT_EQ(E.output(), "496\n");
+  const FunctionInfo &FI = E.vm().Funcs[2];
+  ASSERT_NE(FI.Opt, nullptr);
+  EXPECT_EQ(FI.Opt->ChecksElidedClassCache, 0u);
+}
+
+} // namespace

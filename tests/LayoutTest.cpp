@@ -1,0 +1,93 @@
+//===- tests/LayoutTest.cpp -----------------------------------------------===//
+
+#include "runtime/Layout.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccjs;
+using namespace ccjs::layout;
+
+namespace {
+
+TEST(LayoutTest, ReservedWords) {
+  EXPECT_EQ(PropsPointerPos, 1u);
+  EXPECT_EQ(ElementsPointerPos, 2u);
+  EXPECT_EQ(ElementsLengthPos, 3u);
+}
+
+TEST(LayoutTest, FirstLineSlots) {
+  // Line 0 keeps words 0..3 for header/props/elements; slots start at 4.
+  EXPECT_EQ(slotLocation(0).Line, 0);
+  EXPECT_EQ(slotLocation(0).Pos, 4);
+  EXPECT_EQ(slotLocation(3).Pos, 7);
+}
+
+TEST(LayoutTest, SecondLineSlots) {
+  // Subsequent lines keep only word 0 (the repeated header tag).
+  EXPECT_EQ(slotLocation(4).Line, 1);
+  EXPECT_EQ(slotLocation(4).Pos, 1);
+  EXPECT_EQ(slotLocation(10).Line, 1);
+  EXPECT_EQ(slotLocation(10).Pos, 7);
+  EXPECT_EQ(slotLocation(11).Line, 2);
+  EXPECT_EQ(slotLocation(11).Pos, 1);
+}
+
+TEST(LayoutTest, LinesForSlots) {
+  EXPECT_EQ(linesForSlots(1), 1u);
+  EXPECT_EQ(linesForSlots(4), 1u);
+  EXPECT_EQ(linesForSlots(5), 2u);
+  EXPECT_EQ(linesForSlots(11), 2u);
+  EXPECT_EQ(linesForSlots(12), 3u);
+}
+
+TEST(LayoutTest, SlotsForLinesInverse) {
+  for (uint32_t Lines = 1; Lines < 30; ++Lines) {
+    uint32_t Slots = slotsForLines(Lines);
+    EXPECT_EQ(linesForSlots(Slots), Lines);
+    if (Slots + 1 <= 200)
+      EXPECT_EQ(linesForSlots(Slots + 1), Lines + 1);
+  }
+}
+
+class SlotMappingProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SlotMappingProperty, PositionsAreValidAndUnique) {
+  uint32_t Slot = GetParam();
+  SlotLocation L = slotLocation(Slot);
+  // Positions 1..7 only; position 0 is always the header tag word.
+  EXPECT_GE(L.Pos, 1);
+  EXPECT_LE(L.Pos, 7);
+  if (L.Line == 0) {
+    // Line 0 reserves the props pointer, elements pointer and length.
+    EXPECT_GE(L.Pos, 4);
+  }
+  // The byte offset matches (line, pos).
+  EXPECT_EQ(slotByteOffset(Slot), L.Line * CacheLineBytes + L.Pos * 8u);
+  // Uniqueness against all smaller slots.
+  for (uint32_t S = 0; S < Slot; ++S) {
+    SlotLocation O = slotLocation(S);
+    EXPECT_FALSE(O.Line == L.Line && O.Pos == L.Pos)
+        << "slots " << S << " and " << Slot << " collide";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FirstSlots, SlotMappingProperty,
+                         ::testing::Range(0u, 40u));
+
+TEST(LayoutTest, HeaderEncoding) {
+  uint64_t H = makeHeader(0x123456789A, 25, 0xAB, 3);
+  EXPECT_EQ(headerDescAddr(H), 0x123456789Au);
+  EXPECT_EQ(headerCapacity(H), 25);
+  EXPECT_EQ(headerClassId(H), 0xAB);
+  EXPECT_EQ(headerLine(H), 3);
+}
+
+TEST(LayoutTest, HeaderFieldsIndependent) {
+  uint64_t H = makeHeader((uint64_t(1) << 40) - 8, 255, 0xFF, 255);
+  EXPECT_EQ(headerDescAddr(H), (uint64_t(1) << 40) - 8);
+  EXPECT_EQ(headerCapacity(H), 255);
+  EXPECT_EQ(headerClassId(H), 0xFF);
+  EXPECT_EQ(headerLine(H), 255);
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+//===- tests/LexerTest.cpp ------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace ccjs;
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Src) {
+  Lexer L(Src);
+  std::vector<Token> Out;
+  for (;;) {
+    Token T = L.next();
+    Out.push_back(T);
+    if (T.Kind == TokenKind::Eof || T.Kind == TokenKind::Error)
+      break;
+  }
+  return Out;
+}
+
+std::vector<TokenKind> kindsOf(std::string_view Src) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : lexAll(Src))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+TEST(LexerTest, EmptyInput) {
+  EXPECT_EQ(kindsOf(""), std::vector<TokenKind>{TokenKind::Eof});
+}
+
+TEST(LexerTest, Identifiers) {
+  auto Toks = lexAll("foo _bar $baz x1");
+  ASSERT_EQ(Toks.size(), 5u);
+  EXPECT_EQ(Toks[0].Text, "foo");
+  EXPECT_EQ(Toks[1].Text, "_bar");
+  EXPECT_EQ(Toks[2].Text, "$baz");
+  EXPECT_EQ(Toks[3].Text, "x1");
+}
+
+TEST(LexerTest, Keywords) {
+  EXPECT_EQ(kindsOf("var function return"),
+            (std::vector<TokenKind>{TokenKind::KwVar, TokenKind::KwFunction,
+                                    TokenKind::KwReturn, TokenKind::Eof}));
+}
+
+TEST(LexerTest, DecimalNumbers) {
+  auto Toks = lexAll("0 42 3.5 1e3 2.5e-2 7E+1");
+  EXPECT_DOUBLE_EQ(Toks[0].NumValue, 0);
+  EXPECT_DOUBLE_EQ(Toks[1].NumValue, 42);
+  EXPECT_DOUBLE_EQ(Toks[2].NumValue, 3.5);
+  EXPECT_DOUBLE_EQ(Toks[3].NumValue, 1000);
+  EXPECT_DOUBLE_EQ(Toks[4].NumValue, 0.025);
+  EXPECT_DOUBLE_EQ(Toks[5].NumValue, 70);
+}
+
+TEST(LexerTest, HexNumbers) {
+  auto Toks = lexAll("0x0 0xff 0XDEAD");
+  EXPECT_DOUBLE_EQ(Toks[0].NumValue, 0);
+  EXPECT_DOUBLE_EQ(Toks[1].NumValue, 255);
+  EXPECT_DOUBLE_EQ(Toks[2].NumValue, 57005);
+}
+
+TEST(LexerTest, NumberFollowedByDotCall) {
+  // `1.e` must not swallow the identifier: 1 . e? Our grammar only allows
+  // fraction digits after '.', so "1.x" lexes as 1, '.', x.
+  auto Kinds = kindsOf("1.x");
+  EXPECT_EQ(Kinds, (std::vector<TokenKind>{TokenKind::Number, TokenKind::Dot,
+                                           TokenKind::Identifier,
+                                           TokenKind::Eof}));
+}
+
+TEST(LexerTest, Strings) {
+  auto Toks = lexAll(R"("hello" 'world')");
+  EXPECT_EQ(Toks[0].Text, "hello");
+  EXPECT_EQ(Toks[1].Text, "world");
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto Toks = lexAll(R"("a\nb\t\\\"\x41")");
+  EXPECT_EQ(Toks[0].Text, "a\nb\t\\\"A");
+}
+
+TEST(LexerTest, UnterminatedString) {
+  auto Toks = lexAll("\"abc");
+  EXPECT_EQ(Toks.back().Kind, TokenKind::Error);
+}
+
+TEST(LexerTest, LineComments) {
+  EXPECT_EQ(kindsOf("1 // comment\n2"),
+            (std::vector<TokenKind>{TokenKind::Number, TokenKind::Number,
+                                    TokenKind::Eof}));
+}
+
+TEST(LexerTest, BlockComments) {
+  EXPECT_EQ(kindsOf("1 /* multi\nline */ 2"),
+            (std::vector<TokenKind>{TokenKind::Number, TokenKind::Number,
+                                    TokenKind::Eof}));
+}
+
+TEST(LexerTest, LineNumbers) {
+  auto Toks = lexAll("a\nb\n\nc");
+  EXPECT_EQ(Toks[0].Line, 1u);
+  EXPECT_EQ(Toks[1].Line, 2u);
+  EXPECT_EQ(Toks[2].Line, 4u);
+}
+
+TEST(LexerTest, OperatorMaximalMunch) {
+  EXPECT_EQ(kindsOf("a >>> b >> c > d >= e >>>= f"),
+            (std::vector<TokenKind>{
+                TokenKind::Identifier, TokenKind::Shr, TokenKind::Identifier,
+                TokenKind::Sar, TokenKind::Identifier, TokenKind::Gt,
+                TokenKind::Identifier, TokenKind::Ge, TokenKind::Identifier,
+                TokenKind::ShrAssign, TokenKind::Identifier, TokenKind::Eof}));
+}
+
+TEST(LexerTest, EqualityOperators) {
+  EXPECT_EQ(kindsOf("= == === != !== !"),
+            (std::vector<TokenKind>{TokenKind::Assign, TokenKind::EqEq,
+                                    TokenKind::EqEqEq, TokenKind::NotEq,
+                                    TokenKind::NotEqEq, TokenKind::Bang,
+                                    TokenKind::Eof}));
+}
+
+TEST(LexerTest, IncrementAndCompound) {
+  EXPECT_EQ(kindsOf("++ -- += -= *= /= %= &= |= ^= <<="),
+            (std::vector<TokenKind>{
+                TokenKind::PlusPlus, TokenKind::MinusMinus,
+                TokenKind::PlusAssign, TokenKind::MinusAssign,
+                TokenKind::StarAssign, TokenKind::SlashAssign,
+                TokenKind::PercentAssign, TokenKind::AmpAssign,
+                TokenKind::PipeAssign, TokenKind::CaretAssign,
+                TokenKind::ShlAssign, TokenKind::Eof}));
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  EXPECT_EQ(kindsOf("@").front(), TokenKind::Error);
+}
+
+} // namespace

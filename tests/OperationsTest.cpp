@@ -1,0 +1,154 @@
+//===- tests/OperationsTest.cpp - Value semantics helpers -----------------===//
+
+#include "runtime/Operations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ccjs;
+
+namespace {
+
+class OpsTest : public ::testing::Test {
+protected:
+  OpsTest() : H(Mem, Shapes, Names) {}
+  SimMemory Mem;
+  ShapeTable Shapes;
+  StringInterner Names;
+  Heap H;
+};
+
+TEST_F(OpsTest, ToNumber) {
+  EXPECT_DOUBLE_EQ(toNumber(H, Value::makeSmi(42)), 42);
+  EXPECT_DOUBLE_EQ(toNumber(H, H.allocHeapNumber(2.5)), 2.5);
+  EXPECT_DOUBLE_EQ(toNumber(H, H.allocString("3.5")), 3.5);
+  EXPECT_DOUBLE_EQ(toNumber(H, H.allocString("")), 0);
+  EXPECT_TRUE(std::isnan(toNumber(H, H.allocString("abc"))));
+  EXPECT_TRUE(std::isnan(toNumber(H, H.undefined())));
+  EXPECT_DOUBLE_EQ(toNumber(H, H.null()), 0);
+  EXPECT_DOUBLE_EQ(toNumber(H, H.trueValue()), 1);
+  EXPECT_DOUBLE_EQ(toNumber(H, H.falseValue()), 0);
+}
+
+TEST_F(OpsTest, ToInt32Semantics) {
+  EXPECT_EQ(toInt32(0), 0);
+  EXPECT_EQ(toInt32(3.9), 3);
+  EXPECT_EQ(toInt32(-3.9), -3);
+  EXPECT_EQ(toInt32(4294967296.0), 0);
+  EXPECT_EQ(toInt32(4294967297.0), 1);
+  EXPECT_EQ(toInt32(2147483648.0), INT32_MIN);
+  EXPECT_EQ(toInt32(-2147483649.0), INT32_MAX);
+  EXPECT_EQ(toInt32(std::nan("")), 0);
+  EXPECT_EQ(toInt32(INFINITY), 0);
+}
+
+TEST_F(OpsTest, NumberToString) {
+  EXPECT_EQ(numberToString(0), "0");
+  EXPECT_EQ(numberToString(-7), "-7");
+  EXPECT_EQ(numberToString(2.5), "2.5");
+  EXPECT_EQ(numberToString(1e21), "1e+21");
+  EXPECT_EQ(numberToString(std::nan("")), "NaN");
+  EXPECT_EQ(numberToString(INFINITY), "Infinity");
+  EXPECT_EQ(numberToString(-INFINITY), "-Infinity");
+  EXPECT_EQ(numberToString(1000000), "1000000");
+}
+
+TEST_F(OpsTest, ToStringValue) {
+  EXPECT_EQ(toStringValue(H, H.undefined()), "undefined");
+  EXPECT_EQ(toStringValue(H, H.null()), "null");
+  EXPECT_EQ(toStringValue(H, H.trueValue()), "true");
+  EXPECT_EQ(toStringValue(H, H.allocString("x")), "x");
+  EXPECT_EQ(toStringValue(H, Value::makeSmi(5)), "5");
+  Value Obj = H.allocObject(Shapes.plainRoot(), 0);
+  EXPECT_EQ(toStringValue(H, Obj), "[object Object]");
+}
+
+TEST_F(OpsTest, StrictEquality) {
+  EXPECT_TRUE(strictEquals(H, Value::makeSmi(1), Value::makeSmi(1)));
+  EXPECT_TRUE(strictEquals(H, Value::makeSmi(1), H.allocHeapNumber(1.0)));
+  EXPECT_FALSE(strictEquals(H, Value::makeSmi(1), H.allocString("1")));
+  EXPECT_TRUE(
+      strictEquals(H, H.allocString("ab"), H.allocString("ab")));
+  Value NaN1 = H.allocHeapNumber(std::nan(""));
+  EXPECT_FALSE(strictEquals(H, NaN1, NaN1)) << "NaN !== NaN";
+  Value O1 = H.allocObject(Shapes.plainRoot(), 0);
+  Value O2 = H.allocObject(Shapes.plainRoot(), 0);
+  EXPECT_TRUE(strictEquals(H, O1, O1));
+  EXPECT_FALSE(strictEquals(H, O1, O2)) << "objects compare by identity";
+}
+
+TEST_F(OpsTest, LooseEquality) {
+  EXPECT_TRUE(looseEquals(H, H.null(), H.undefined()));
+  EXPECT_FALSE(looseEquals(H, H.null(), Value::makeSmi(0)));
+  EXPECT_TRUE(looseEquals(H, Value::makeSmi(1), H.allocString("1")));
+  EXPECT_TRUE(looseEquals(H, H.trueValue(), Value::makeSmi(1)));
+  EXPECT_TRUE(looseEquals(H, H.falseValue(), Value::makeSmi(0)));
+}
+
+struct BinCase {
+  BinaryOp Op;
+  double A, B, Expected;
+};
+
+class BinarySweep : public OpsTest,
+                    public ::testing::WithParamInterface<BinCase> {
+protected:
+  BinarySweep() : OpsTest() {}
+};
+
+TEST_P(BinarySweep, Matches) {
+  const BinCase &C = GetParam();
+  Value R = genericBinary(H, C.Op, H.number(C.A), H.number(C.B));
+  EXPECT_DOUBLE_EQ(H.numberValue(R), C.Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, BinarySweep,
+    ::testing::Values(
+        BinCase{BinaryOp::Add, 2, 3, 5}, BinCase{BinaryOp::Sub, 2, 3, -1},
+        BinCase{BinaryOp::Mul, -4, 3, -12},
+        BinCase{BinaryOp::Div, 7, 2, 3.5},
+        BinCase{BinaryOp::Mod, 7, 3, 1},
+        BinCase{BinaryOp::Mod, -7, 3, -1},
+        BinCase{BinaryOp::BitAnd, 12, 10, 8},
+        BinCase{BinaryOp::BitOr, 12, 10, 14},
+        BinCase{BinaryOp::BitXor, 12, 10, 6},
+        BinCase{BinaryOp::Shl, 1, 10, 1024},
+        BinCase{BinaryOp::Sar, -8, 1, -4},
+        BinCase{BinaryOp::Shr, -1, 0, 4294967295.0},
+        BinCase{BinaryOp::Shl, 1, 33, 2} /* shift count masked to 31 */));
+
+TEST_F(OpsTest, StringConcatViaAdd) {
+  Value R = genericBinary(H, BinaryOp::Add, H.allocString("a"),
+                          Value::makeSmi(1));
+  EXPECT_EQ(toStringValue(H, R), "a1");
+}
+
+TEST_F(OpsTest, GenericUnary) {
+  EXPECT_DOUBLE_EQ(
+      H.numberValue(genericUnary(H, UnaryOp::Neg, Value::makeSmi(5))), -5);
+  EXPECT_EQ(genericUnary(H, UnaryOp::Not, Value::makeSmi(0)),
+            H.trueValue());
+  EXPECT_DOUBLE_EQ(
+      H.numberValue(genericUnary(H, UnaryOp::BitNot, Value::makeSmi(0))),
+      -1);
+  EXPECT_EQ(toStringValue(H, genericUnary(H, UnaryOp::Typeof,
+                                          H.allocString("s"))),
+            "string");
+}
+
+TEST_F(OpsTest, ToBooleanTable) {
+  EXPECT_FALSE(toBoolean(H, Value::makeSmi(0)));
+  EXPECT_TRUE(toBoolean(H, Value::makeSmi(-1)));
+  EXPECT_FALSE(toBoolean(H, H.allocHeapNumber(0.0)));
+  EXPECT_FALSE(toBoolean(H, H.allocHeapNumber(std::nan(""))));
+  EXPECT_TRUE(toBoolean(H, H.allocHeapNumber(0.001)));
+  EXPECT_FALSE(toBoolean(H, H.emptyString()));
+  EXPECT_TRUE(toBoolean(H, H.allocString("0")));
+  EXPECT_FALSE(toBoolean(H, H.undefined()));
+  EXPECT_FALSE(toBoolean(H, H.null()));
+  EXPECT_TRUE(toBoolean(H, H.allocObject(Shapes.plainRoot(), 0)));
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+//===- tests/ParserTest.cpp -----------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccjs;
+
+namespace {
+
+Program parseOk(std::string_view Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(R.Ok) << R.Error << " at line " << R.ErrorLine;
+  return std::move(R.Prog);
+}
+
+std::string parseErr(std::string_view Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_FALSE(R.Ok) << "expected a syntax error";
+  return R.Error;
+}
+
+/// Initializer of the first declarator of the first (var) statement.
+Expr &D(Program &P) {
+  return *static_cast<VarDeclStmt &>(*P.Body[0]).Decls[0].second;
+}
+
+TEST(ParserTest, EmptyProgram) {
+  EXPECT_TRUE(parseOk("").Body.empty());
+}
+
+TEST(ParserTest, VarDeclMulti) {
+  Program P = parseOk("var a = 1, b, c = 2;");
+  ASSERT_EQ(P.Body.size(), 1u);
+  auto &D = static_cast<VarDeclStmt &>(*P.Body[0]);
+  ASSERT_EQ(D.Decls.size(), 3u);
+  EXPECT_EQ(D.Decls[0].first, "a");
+  EXPECT_NE(D.Decls[0].second, nullptr);
+  EXPECT_EQ(D.Decls[1].second, nullptr);
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  Program P = parseOk("x = 1 + 2 * 3;");
+  auto &E = static_cast<ExprStmt &>(*P.Body[0]);
+  auto &A = static_cast<AssignExpr &>(*E.E);
+  auto &Add = static_cast<BinaryExpr &>(*A.Value);
+  EXPECT_EQ(Add.Op, BinaryOp::Add);
+  EXPECT_EQ(static_cast<BinaryExpr &>(*Add.Rhs).Op, BinaryOp::Mul);
+}
+
+TEST(ParserTest, PrecedenceShiftVsCompare) {
+  Program P = parseOk("x = a << 2 < b;");
+  auto &A = static_cast<AssignExpr &>(
+      *static_cast<ExprStmt &>(*P.Body[0]).E);
+  EXPECT_EQ(static_cast<BinaryExpr &>(*A.Value).Op, BinaryOp::Lt);
+}
+
+TEST(ParserTest, LogicalShortCircuitStructure) {
+  Program P = parseOk("x = a && b || c;");
+  auto &A = static_cast<AssignExpr &>(
+      *static_cast<ExprStmt &>(*P.Body[0]).E);
+  auto &Or = static_cast<LogicalExpr &>(*A.Value);
+  EXPECT_EQ(Or.Op, LogicalOp::Or);
+  EXPECT_EQ(static_cast<LogicalExpr &>(*Or.Lhs).Op, LogicalOp::And);
+}
+
+TEST(ParserTest, ConditionalExpression) {
+  Program P = parseOk("x = a ? 1 : 2;");
+  auto &A = static_cast<AssignExpr &>(
+      *static_cast<ExprStmt &>(*P.Body[0]).E);
+  EXPECT_EQ(A.Value->Kind, ExprKind::Conditional);
+}
+
+TEST(ParserTest, MemberChainsAndCalls) {
+  Program P = parseOk("a.b.c(1)[2].d;");
+  auto &E = static_cast<ExprStmt &>(*P.Body[0]);
+  EXPECT_EQ(E.E->Kind, ExprKind::Member);
+  auto &M = static_cast<MemberExpr &>(*E.E);
+  EXPECT_EQ(M.Property, "d");
+  EXPECT_EQ(M.Object->Kind, ExprKind::Index);
+}
+
+TEST(ParserTest, NewWithMembers) {
+  Program P = parseOk("var q = new Foo(1, 2).bar;");
+  auto &D = static_cast<VarDeclStmt &>(*P.Body[0]);
+  EXPECT_EQ(D.Decls[0].second->Kind, ExprKind::Member);
+}
+
+TEST(ParserTest, NewWithoutParens) {
+  Program P = parseOk("var q = new Foo;");
+  EXPECT_EQ(D(P).Kind, ExprKind::New);
+}
+
+TEST(ParserTest, FunctionDecl) {
+  Program P = parseOk("function add(a, b) { return a + b; }");
+  auto &F = static_cast<FunctionDeclStmt &>(*P.Body[0]);
+  EXPECT_EQ(F.Name, "add");
+  EXPECT_EQ(F.Params, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(F.Body->Body.size(), 1u);
+}
+
+TEST(ParserTest, ForLoopAllClauses) {
+  Program P = parseOk("for (var i = 0; i < 10; i++) { }");
+  auto &F = static_cast<ForStmt &>(*P.Body[0]);
+  EXPECT_NE(F.Init, nullptr);
+  EXPECT_NE(F.Cond, nullptr);
+  EXPECT_NE(F.Step, nullptr);
+}
+
+TEST(ParserTest, ForLoopEmptyClauses) {
+  Program P = parseOk("for (;;) { break; }");
+  auto &F = static_cast<ForStmt &>(*P.Body[0]);
+  EXPECT_EQ(F.Init, nullptr);
+  EXPECT_EQ(F.Cond, nullptr);
+  EXPECT_EQ(F.Step, nullptr);
+}
+
+TEST(ParserTest, DoWhile) {
+  Program P = parseOk("do { x = 1; } while (x < 3);");
+  EXPECT_EQ(P.Body[0]->Kind, StmtKind::DoWhile);
+}
+
+TEST(ParserTest, ObjectLiteral) {
+  Program P = parseOk("var o = { a: 1, 'b': 2, c: f() };");
+  auto &O = static_cast<ObjectLitExpr &>(D(P));
+  ASSERT_EQ(O.Properties.size(), 3u);
+  EXPECT_EQ(O.Properties[1].first, "b");
+}
+
+TEST(ParserTest, ArrayLiteral) {
+  Program P = parseOk("var a = [1, 2, [3]];");
+  auto &A = static_cast<ArrayLitExpr &>(D(P));
+  EXPECT_EQ(A.Elements.size(), 3u);
+}
+
+TEST(ParserTest, UpdateExpressions) {
+  Program P = parseOk("i++; ++i; a.x--; a[0]++;");
+  for (const StmtPtr &S : P.Body) {
+    EXPECT_EQ(static_cast<ExprStmt &>(*S).E->Kind, ExprKind::Update);
+  }
+}
+
+TEST(ParserTest, CompoundAssignTargets) {
+  Program P = parseOk("x += 1; a.b -= 2; a[i] *= 3;");
+  for (const StmtPtr &S : P.Body) {
+    auto &A = static_cast<AssignExpr &>(*static_cast<ExprStmt &>(*S).E);
+    EXPECT_TRUE(A.IsCompound);
+  }
+}
+
+TEST(ParserTest, TypeofOperator) {
+  Program P = parseOk("x = typeof y;");
+  auto &A = static_cast<AssignExpr &>(
+      *static_cast<ExprStmt &>(*P.Body[0]).E);
+  EXPECT_EQ(static_cast<UnaryExpr &>(*A.Value).Op, UnaryOp::Typeof);
+}
+
+// Error cases -------------------------------------------------------------
+
+TEST(ParserTest, ErrorMissingParen) {
+  parseErr("if (x { }");
+}
+
+TEST(ParserTest, ErrorAssignToLiteral) {
+  EXPECT_NE(parseErr("1 = 2;").find("assignment target"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorNestedFunction) {
+  EXPECT_NE(parseErr("function f() { function g() {} }").find("top level"),
+            std::string::npos);
+}
+
+TEST(ParserTest, ErrorReturnOutsideFunction) {
+  parseErr("return 1;");
+}
+
+TEST(ParserTest, ErrorNumericObjectKey) {
+  parseErr("var o = {1: 2};");
+}
+
+TEST(ParserTest, ErrorReportsLine) {
+  ParseResult R = parseProgram("var a = 1;\nvar b = ;\n");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.ErrorLine, 2u);
+}
+
+} // namespace

@@ -1,0 +1,212 @@
+//===- tests/ShapeHeapTest.cpp --------------------------------------------===//
+
+#include "runtime/Heap.h"
+#include "runtime/Shape.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccjs;
+
+namespace {
+
+class HeapTest : public ::testing::Test {
+protected:
+  HeapTest() : Heap_(Mem, Shapes, Names) {}
+
+  SimMemory Mem;
+  ShapeTable Shapes;
+  StringInterner Names;
+  Heap Heap_;
+};
+
+TEST_F(HeapTest, ShapeTransitionsAreShared) {
+  InternedString X = Names.intern("x");
+  ShapeId A = Shapes.transition(Shapes.plainRoot(), X);
+  ShapeId B = Shapes.transition(Shapes.plainRoot(), X);
+  EXPECT_EQ(A, B);
+  InternedString Y = Names.intern("y");
+  ShapeId AY = Shapes.transition(A, Y);
+  EXPECT_NE(AY, A);
+  EXPECT_EQ(Shapes.get(AY).NumSlots, 2u);
+  EXPECT_EQ(Shapes.lookup(AY, X), std::optional<uint32_t>(0));
+  EXPECT_EQ(Shapes.lookup(AY, Y), std::optional<uint32_t>(1));
+  EXPECT_EQ(Shapes.lookup(A, Y), std::nullopt);
+}
+
+TEST_F(HeapTest, TransitionOrderMatters) {
+  InternedString X = Names.intern("x"), Y = Names.intern("y");
+  ShapeId XY = Shapes.transition(Shapes.transition(Shapes.plainRoot(), X), Y);
+  ShapeId YX = Shapes.transition(Shapes.transition(Shapes.plainRoot(), Y), X);
+  EXPECT_NE(XY, YX);
+}
+
+TEST_F(HeapTest, ClassIdsAreConsecutiveAndSmall) {
+  ShapeId A = Shapes.transition(Shapes.plainRoot(), Names.intern("p"));
+  ShapeId B = Shapes.transition(A, Names.intern("q"));
+  EXPECT_EQ(Shapes.get(B).ClassId, Shapes.get(A).ClassId + 1);
+  EXPECT_LT(Shapes.get(B).ClassId, UntrackedClassId);
+}
+
+TEST_F(HeapTest, ConstructorRootsDistinct) {
+  ShapeId A = Shapes.rootForConstructor(1);
+  ShapeId B = Shapes.rootForConstructor(2);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Shapes.rootForConstructor(1), A);
+}
+
+TEST_F(HeapTest, CreationHookFires) {
+  std::vector<ShapeId> Created;
+  Shapes.setCreationHook([&](ShapeId Id) { Created.push_back(Id); });
+  ShapeId A = Shapes.transition(Shapes.plainRoot(), Names.intern("h"));
+  ASSERT_EQ(Created.size(), 1u);
+  EXPECT_EQ(Created[0], A);
+}
+
+TEST_F(HeapTest, OddballsAreCanonical) {
+  EXPECT_EQ(Heap_.undefined(), Heap_.undefined());
+  EXPECT_NE(Heap_.undefined(), Heap_.null());
+  EXPECT_NE(Heap_.trueValue(), Heap_.falseValue());
+  EXPECT_EQ(Heap_.kindOf(Heap_.undefined()), ValueKind::Undefined);
+  EXPECT_EQ(Heap_.kindOf(Heap_.null()), ValueKind::Null);
+  EXPECT_EQ(Heap_.kindOf(Heap_.boolean(true)), ValueKind::Boolean);
+}
+
+TEST_F(HeapTest, ObjectAlignmentAndHeader) {
+  Value O = Heap_.allocObject(Shapes.plainRoot(), 4);
+  uint64_t Addr = O.asPointer();
+  EXPECT_EQ(Addr % 64, 0u) << "objects must be cache-line aligned";
+  EXPECT_EQ(Heap_.shapeOf(Addr), Shapes.plainRoot());
+  EXPECT_EQ(Heap_.capacityOf(Addr), 4u);
+}
+
+TEST_F(HeapTest, MultiLineHeadersCarryLineNumbers) {
+  Value O = Heap_.allocObject(Shapes.plainRoot(), 18); // 3 lines.
+  uint64_t Addr = O.asPointer();
+  for (uint32_t L = 0; L < 3; ++L) {
+    uint64_t H = Mem.read64(Addr + L * 64);
+    EXPECT_EQ(layout::headerLine(H), L);
+    EXPECT_EQ(layout::headerClassId(H),
+              Shapes.get(Shapes.plainRoot()).ClassId);
+  }
+}
+
+TEST_F(HeapTest, AddPropertyTransitionsAndStores) {
+  Value O = Heap_.allocObject(Shapes.plainRoot(), 4);
+  uint64_t Addr = O.asPointer();
+  uint32_t Slot = Heap_.addProperty(Addr, Names.intern("x"),
+                                    Value::makeSmi(42));
+  EXPECT_EQ(Slot, 0u);
+  EXPECT_EQ(Heap_.getSlot(Addr, 0), Value::makeSmi(42));
+  // The header (including the ClassID tag byte) must be rewritten.
+  EXPECT_NE(Heap_.shapeOf(Addr), Shapes.plainRoot());
+  EXPECT_EQ(layout::headerClassId(Mem.read64(Addr)),
+            Shapes.get(Heap_.shapeOf(Addr)).ClassId);
+}
+
+TEST_F(HeapTest, OverflowPropertiesWork) {
+  Value O = Heap_.allocObject(Shapes.plainRoot(), 4);
+  uint64_t Addr = O.asPointer();
+  // Add more properties than the in-object capacity.
+  for (int I = 0; I < 12; ++I)
+    Heap_.addProperty(Addr, Names.intern("p" + std::to_string(I)),
+                      Value::makeSmi(I));
+  for (uint32_t I = 0; I < 12; ++I) {
+    EXPECT_EQ(Heap_.getSlot(Addr, I), Value::makeSmi(int32_t(I)));
+    bool InObject = true;
+    Heap_.slotAddress(Addr, I, &InObject);
+    EXPECT_EQ(InObject, I < 4);
+  }
+}
+
+TEST_F(HeapTest, SlotAddressMatchesLayout) {
+  Value O = Heap_.allocObject(Shapes.plainRoot(), 11);
+  uint64_t Addr = O.asPointer();
+  bool InObject = false;
+  EXPECT_EQ(Heap_.slotAddress(Addr, 0, &InObject),
+            Addr + layout::slotByteOffset(0));
+  EXPECT_TRUE(InObject);
+  EXPECT_EQ(Heap_.slotAddress(Addr, 5, &InObject), Addr + 64 + 2 * 8);
+}
+
+TEST_F(HeapTest, ElementsGrowAndKeepValues) {
+  Value A = Heap_.allocArray(0);
+  uint64_t Addr = A.asPointer();
+  EXPECT_EQ(Heap_.elementsLength(Addr), 0);
+  for (int I = 0; I < 100; ++I)
+    Heap_.setElement(Addr, I, Value::makeSmi(I * 3));
+  EXPECT_EQ(Heap_.elementsLength(Addr), 100);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Heap_.getElement(Addr, I), Value::makeSmi(I * 3));
+  EXPECT_EQ(Heap_.getElement(Addr, 100), Heap_.undefined());
+  EXPECT_EQ(Heap_.getElement(Addr, -1), Heap_.undefined());
+}
+
+TEST_F(HeapTest, ArrayWithInitialLength) {
+  Value A = Heap_.allocArray(10);
+  uint64_t Addr = A.asPointer();
+  EXPECT_EQ(Heap_.elementsLength(Addr), 10);
+  EXPECT_EQ(Heap_.getElement(Addr, 5), Heap_.undefined());
+}
+
+TEST_F(HeapTest, SparseStoreUpdatesLength) {
+  Value A = Heap_.allocArray(0);
+  uint64_t Addr = A.asPointer();
+  EXPECT_TRUE(Heap_.setElement(Addr, 50, Value::makeSmi(1)));
+  EXPECT_EQ(Heap_.elementsLength(Addr), 51);
+  EXPECT_EQ(Heap_.getElement(Addr, 25), Heap_.undefined());
+}
+
+TEST_F(HeapTest, NumberBoxing) {
+  EXPECT_TRUE(Heap_.number(5).isSmi());
+  EXPECT_TRUE(Heap_.number(-7).isSmi());
+  EXPECT_FALSE(Heap_.number(0.5).isSmi());
+  EXPECT_FALSE(Heap_.number(1e10).isSmi());
+  EXPECT_FALSE(Heap_.number(-0.0).isSmi()) << "-0 must not become SMI 0";
+  Value H = Heap_.number(3.25);
+  EXPECT_DOUBLE_EQ(Heap_.numberValue(H), 3.25);
+  EXPECT_EQ(Heap_.kindOf(H), ValueKind::HeapNumber);
+}
+
+TEST_F(HeapTest, Strings) {
+  Value S = Heap_.allocString("hello");
+  uint64_t Addr = S.asPointer();
+  EXPECT_EQ(Heap_.stringLength(Addr), 5u);
+  EXPECT_EQ(Heap_.stringContents(Addr), "hello");
+  EXPECT_EQ(Heap_.stringCharAt(Addr, 1), 'e');
+  EXPECT_EQ(Heap_.kindOf(S), ValueKind::String);
+}
+
+TEST_F(HeapTest, Functions) {
+  Value F = Heap_.allocFunction(17);
+  EXPECT_EQ(Heap_.kindOf(F), ValueKind::Function);
+  EXPECT_EQ(Heap_.functionIndex(F.asPointer()), 17u);
+}
+
+TEST_F(HeapTest, ClassIdOfValue) {
+  EXPECT_EQ(Heap_.classIdOfValue(Value::makeSmi(3)), SmiClassId);
+  Value N = Heap_.allocHeapNumber(1.5);
+  EXPECT_EQ(Heap_.classIdOfValue(N),
+            Shapes.get(Shapes.heapNumberShape()).ClassId);
+}
+
+TEST_F(HeapTest, SlackTracking) {
+  EXPECT_EQ(Heap_.constructorCapacityHint(5), layout::slotsForLines(2));
+  Heap_.observeConstructed(5, 3);
+  EXPECT_EQ(Heap_.constructorCapacityHint(5), 3u);
+  Heap_.observeConstructed(5, 9);
+  EXPECT_EQ(Heap_.constructorCapacityHint(5), 9u);
+  Heap_.observeConstructed(5, 2); // Never shrinks.
+  EXPECT_EQ(Heap_.constructorCapacityHint(5), 9u);
+}
+
+TEST_F(HeapTest, StatsTrackMultiLineObjects) {
+  HeapStats Before = Heap_.stats();
+  Heap_.allocObject(Shapes.plainRoot(), 4);
+  Heap_.allocObject(Shapes.plainRoot(), 18);
+  const HeapStats &After = Heap_.stats();
+  EXPECT_EQ(After.ObjectsAllocated - Before.ObjectsAllocated, 2u);
+  EXPECT_EQ(After.MultiLineObjects - Before.MultiLineObjects, 1u);
+  EXPECT_EQ(After.ExtraHeaderBytes - Before.ExtraHeaderBytes, 16u);
+}
+
+} // namespace

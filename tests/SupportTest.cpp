@@ -1,0 +1,118 @@
+//===- tests/SupportTest.cpp - SimMemory, interner, tables ----------------===//
+
+#include "runtime/SimMemory.h"
+#include "support/StringInterner.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccjs;
+
+namespace {
+
+TEST(SimMemoryTest, AllocationIsAligned) {
+  SimMemory M;
+  uint64_t A = M.allocate(10, 8);
+  uint64_t B = M.allocate(1, 64);
+  uint64_t C = M.allocate(8, 8);
+  EXPECT_EQ(A % 8, 0u);
+  EXPECT_EQ(B % 64, 0u);
+  EXPECT_EQ(C % 8, 0u);
+  EXPECT_GT(B, A);
+  EXPECT_GT(C, B);
+}
+
+TEST(SimMemoryTest, ReadWriteRoundTrip) {
+  SimMemory M;
+  uint64_t A = M.allocate(64, 8);
+  M.write64(A, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(M.read64(A), 0xDEADBEEFCAFEBABEull);
+  M.write8(A + 8, 0x42);
+  EXPECT_EQ(M.read8(A + 8), 0x42);
+  M.write16(A + 10, 0x1234);
+  EXPECT_EQ(M.read16(A + 10), 0x1234);
+}
+
+TEST(SimMemoryTest, ZeroInitialized) {
+  SimMemory M;
+  uint64_t A = M.allocate(128, 64);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(M.read64(A + I * 8), 0u);
+}
+
+TEST(SimMemoryTest, BaseAddressIsNonZero) {
+  SimMemory M;
+  EXPECT_EQ(M.allocate(8, 8), SimMemory::BaseAddr);
+  EXPECT_GT(SimMemory::BaseAddr, 0u);
+}
+
+TEST(SimMemoryTest, ContainsTracksGrowth) {
+  SimMemory M;
+  EXPECT_FALSE(M.contains(SimMemory::BaseAddr));
+  uint64_t A = M.allocate(16, 8);
+  EXPECT_TRUE(M.contains(A));
+  EXPECT_TRUE(M.contains(A + 15));
+  EXPECT_FALSE(M.contains(A + 16));
+}
+
+TEST(SimMemoryTest, LargeGrowth) {
+  SimMemory M(16);
+  uint64_t A = M.allocate(1 << 20, 64); // Far beyond the initial reserve.
+  M.write64(A + (1 << 20) - 8, 7);
+  EXPECT_EQ(M.read64(A + (1 << 20) - 8), 7u);
+}
+
+TEST(StringInternerTest, EmptyStringIsIdZero) {
+  StringInterner I;
+  EXPECT_EQ(I.intern(""), 0u);
+}
+
+TEST(StringInternerTest, InterningIsIdempotent) {
+  StringInterner I;
+  InternedString A = I.intern("hello");
+  InternedString B = I.intern("hello");
+  InternedString C = I.intern("world");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(I.text(A), "hello");
+  EXPECT_EQ(I.text(C), "world");
+}
+
+TEST(StringInternerTest, ManyStringsKeepStableIds) {
+  StringInterner I;
+  std::vector<InternedString> Ids;
+  for (int K = 0; K < 1000; ++K)
+    Ids.push_back(I.intern("s" + std::to_string(K)));
+  for (int K = 0; K < 1000; ++K) {
+    EXPECT_EQ(I.text(Ids[K]), "s" + std::to_string(K));
+    EXPECT_EQ(I.intern("s" + std::to_string(K)), Ids[K]);
+  }
+  EXPECT_EQ(I.size(), 1001u); // + the empty string.
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer-name", "22"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("| name        | value |"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("| longer-name | 22    |"), std::string::npos) << Out;
+}
+
+TEST(TableTest, SeparatorAndShortRows) {
+  Table T({"a", "b", "c"});
+  T.addRow({"x"});
+  T.addSeparator();
+  T.addRow({"y", "z"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("|---"), std::string::npos);
+}
+
+TEST(TableTest, Formatting) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(7, 0), "7");
+  EXPECT_EQ(Table::pct(0.0712), "7.1%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+} // namespace

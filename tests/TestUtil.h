@@ -1,0 +1,43 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+
+#ifndef CCJS_TESTS_TESTUTIL_H
+#define CCJS_TESTS_TESTUTIL_H
+
+#include "core/Engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+namespace ccjs::test {
+
+/// Runs a program to completion under \p Config and returns its print()
+/// output. Fails the current test on any engine error.
+inline std::string runProgram(std::string_view Source,
+                              const EngineConfig &Config = EngineConfig()) {
+  Engine E(Config);
+  if (!E.load(Source)) {
+    ADD_FAILURE() << "load failed: " << E.lastError();
+    return "<load error>";
+  }
+  if (!E.runTopLevel()) {
+    ADD_FAILURE() << "run failed: " << E.lastError();
+    return "<runtime error>";
+  }
+  return E.output();
+}
+
+/// Runs a program under a configuration with aggressive tiering so the
+/// optimizing tier is exercised quickly.
+inline EngineConfig hotConfig(bool ClassCache = false) {
+  EngineConfig C;
+  C.ClassCacheEnabled = ClassCache;
+  C.HotInvocationThreshold = 2;
+  C.HotLoopThreshold = 50;
+  return C;
+}
+
+} // namespace ccjs::test
+
+#endif // CCJS_TESTS_TESTUTIL_H

@@ -1,0 +1,76 @@
+//===- tests/ValueTest.cpp ------------------------------------------------===//
+
+#include "runtime/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccjs;
+
+namespace {
+
+TEST(ValueTest, DefaultIsSmiZero) {
+  Value V;
+  EXPECT_TRUE(V.isSmi());
+  EXPECT_EQ(V.asSmi(), 0);
+}
+
+TEST(ValueTest, SmiTagBit) {
+  // The paper's encoding: SMIs have the least-significant bit cleared and
+  // their payload in the 32 most-significant bits.
+  Value V = Value::makeSmi(7);
+  EXPECT_EQ(V.bits() & 1, 0u);
+  EXPECT_EQ(V.bits() >> 32, 7u);
+}
+
+TEST(ValueTest, PointerTagBit) {
+  Value V = Value::makePointer(0x1000);
+  EXPECT_TRUE(V.isPointer());
+  EXPECT_FALSE(V.isSmi());
+  EXPECT_EQ(V.bits() & 1, 1u);
+  EXPECT_EQ(V.asPointer(), 0x1000u);
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::makeSmi(5), Value::makeSmi(5));
+  EXPECT_NE(Value::makeSmi(5), Value::makeSmi(6));
+  EXPECT_NE(Value::makeSmi(5), Value::makePointer(0x500000000ull & ~1ull));
+}
+
+TEST(ValueTest, FitsSmi) {
+  EXPECT_TRUE(Value::fitsSmi(0));
+  EXPECT_TRUE(Value::fitsSmi(INT32_MAX));
+  EXPECT_TRUE(Value::fitsSmi(INT32_MIN));
+  EXPECT_FALSE(Value::fitsSmi(int64_t(INT32_MAX) + 1));
+  EXPECT_FALSE(Value::fitsSmi(int64_t(INT32_MIN) - 1));
+}
+
+class SmiRoundTrip : public ::testing::TestWithParam<int32_t> {};
+
+TEST_P(SmiRoundTrip, EncodesAndDecodes) {
+  int32_t N = GetParam();
+  Value V = Value::makeSmi(N);
+  EXPECT_TRUE(V.isSmi());
+  EXPECT_EQ(V.asSmi(), N);
+  EXPECT_EQ(Value::fromBits(V.bits()), V);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, SmiRoundTrip,
+                         ::testing::Values(0, 1, -1, 2, -2, 42, -42,
+                                           INT32_MAX, INT32_MIN,
+                                           INT32_MAX - 1, INT32_MIN + 1,
+                                           0x7FFF, -0x8000, 123456789,
+                                           -123456789));
+
+TEST(ValueTest, SmiSweepProperty) {
+  // Pseudo-random sweep: round trip must hold for arbitrary payloads.
+  uint32_t X = 0x12345678;
+  for (int I = 0; I < 10000; ++I) {
+    X = X * 1664525u + 1013904223u;
+    int32_t N = static_cast<int32_t>(X);
+    Value V = Value::makeSmi(N);
+    ASSERT_TRUE(V.isSmi());
+    ASSERT_EQ(V.asSmi(), N);
+  }
+}
+
+} // namespace

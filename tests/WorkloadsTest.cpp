@@ -1,0 +1,84 @@
+//===- tests/WorkloadsTest.cpp - Workload integration ---------------------===//
+///
+/// Every registered workload must: parse, run to steady state under every
+/// engine configuration, and print the same checksum everywhere. This is
+/// the system's broadest integration property test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/Runner.h"
+#include "workloads/Workloads.h"
+
+using namespace ccjs;
+
+namespace {
+
+std::vector<Workload> allAsVector() {
+  size_t N = 0;
+  const Workload *W = allWorkloads(&N);
+  return std::vector<Workload>(W, W + N);
+}
+
+class WorkloadTest : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(WorkloadTest, RunsAndMatchesAcrossConfigs) {
+  const Workload &W = GetParam();
+  Comparison C = compareConfigs(W.Source, EngineConfig(), 4);
+  ASSERT_TRUE(C.Baseline.Ok) << W.Name << ": " << C.Baseline.Error;
+  ASSERT_TRUE(C.ClassCache.Ok) << W.Name << ": " << C.ClassCache.Error;
+  EXPECT_TRUE(C.OutputsMatch) << W.Name << "\nbaseline:\n"
+                              << C.Baseline.Output << "\nclass cache:\n"
+                              << C.ClassCache.Output;
+  EXPECT_FALSE(C.Baseline.Output.empty())
+      << W.Name << " printed no checksum";
+}
+
+TEST_P(WorkloadTest, SteadyStateIsMostlyOptimized) {
+  const Workload &W = GetParam();
+  BenchRun R = runSteadyState(EngineConfig(), W.Source, 6);
+  ASSERT_TRUE(R.Ok) << W.Name << ": " << R.Error;
+  // In steady state the measured iteration should spend the bulk of its
+  // instructions in optimized code (the paper measures the 10th run).
+  // String- and runtime-dominated workloads legitimately spend much of
+  // their time in non-optimized code (the paper makes the same point about
+  // string-base64), so the selected set carries the stronger bound.
+  double OptShare = double(R.Steady.Instrs.optimizedTotal()) /
+                    double(R.Steady.Instrs.total());
+  EXPECT_GT(OptShare, W.Selected ? 0.3 : 0.05)
+      << W.Name << " runs too little optimized code";
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadTest,
+                         ::testing::ValuesIn(allAsVector()),
+                         [](const auto &Info) {
+                           std::string N = Info.param.Name;
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+TEST(WorkloadRegistryTest, CountsAndLookup) {
+  size_t N = 0;
+  allWorkloads(&N);
+  EXPECT_GE(N, 40u);
+  EXPECT_NE(findWorkload("ai-astar"), nullptr);
+  EXPECT_EQ(findWorkload("no-such-benchmark"), nullptr);
+  EXPECT_TRUE(findWorkload("ai-astar")->Selected);
+  EXPECT_FALSE(findWorkload("bitops-bits-in-byte")->Selected);
+}
+
+TEST(WorkloadRegistryTest, SelectedSetMatchesPaper) {
+  // 26 selected benchmarks (the paper's >1%-overhead set, section 4.1).
+  size_t N = 0;
+  const Workload *All = allWorkloads(&N);
+  size_t Selected = 0;
+  for (size_t I = 0; I < N; ++I)
+    if (All[I].Selected)
+      ++Selected;
+  EXPECT_EQ(Selected, 26u);
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+//===- tools/ccjs.cpp - Command-line driver --------------------------------===//
+///
+/// Runs a MiniJS file under the simulated engine:
+///
+///   ccjs [options] file.js
+///     --class-cache        enable the paper's mechanism
+///     --software-only      model the software-only Class Cache (§5.4)
+///     --no-opt             baseline tier only (never optimize)
+///     --iterations=N       call run() N times after the top level
+///     --stats              print the measurement report
+///     --compare            run baseline vs class cache and report speedups
+///     --disassemble        dump bytecode instead of executing
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Compiler.h"
+#include "core/Runner.h"
+#include "frontend/Parser.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace ccjs;
+
+static void printStats(const RunStats &S) {
+  Table T({"metric", "value"});
+  T.addRow({"dynamic instructions", std::to_string(S.Instrs.total())});
+  for (unsigned C = 0; C < NumInstrCategories; ++C)
+    T.addRow({std::string("  ") +
+                  instrCategoryName(static_cast<InstrCategory>(C)),
+              std::to_string(S.Instrs.PerCategory[C]) + "  (" +
+                  Table::pct(S.categoryShare(static_cast<InstrCategory>(C))) +
+                  ")"});
+  T.addRow({"cycles (total)", Table::fmt(S.CyclesTotal, 0)});
+  T.addRow({"cycles (optimized code)", Table::fmt(S.CyclesOptimized, 0)});
+  T.addRow({"energy (uJ)", Table::fmt(S.EnergyTotal.total() / 1e6, 3)});
+  T.addRow({"DL1 hit rate", Table::pct(S.Dl1HitRate, 2)});
+  T.addRow({"L2 hit rate", Table::pct(S.L2HitRate, 2)});
+  T.addRow({"DTLB hit rate", Table::pct(S.DtlbHitRate, 3)});
+  T.addRow({"hidden classes", std::to_string(S.NumHiddenClasses)});
+  T.addRow({"optimizing compiles", std::to_string(S.OptCompiles)});
+  T.addRow({"deoptimizations", std::to_string(S.Deopts)});
+  if (S.CcAccesses) {
+    T.addRow({"Class Cache accesses", std::to_string(S.CcAccesses)});
+    T.addRow({"Class Cache hit rate", Table::pct(S.CcHitRate, 3)});
+    T.addRow({"Class Cache exceptions", std::to_string(S.CcExceptions)});
+  }
+  std::printf("%s", T.render().c_str());
+}
+
+int main(int Argc, char **Argv) {
+  EngineConfig Config;
+  bool Stats = false, Compare = false, Disassemble = false;
+  int Iterations = 0;
+  const char *Path = nullptr;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (!std::strcmp(A, "--class-cache")) {
+      Config.ClassCacheEnabled = true;
+    } else if (!std::strcmp(A, "--software-only")) {
+      Config.ClassCacheEnabled = true;
+      Config.SoftwareOnlyClassCache = true;
+    } else if (!std::strcmp(A, "--no-opt")) {
+      Config.HotInvocationThreshold = ~0u;
+      Config.HotLoopThreshold = ~0u;
+    } else if (!std::strncmp(A, "--iterations=", 13)) {
+      Iterations = std::atoi(A + 13);
+    } else if (!std::strcmp(A, "--stats")) {
+      Stats = true;
+    } else if (!std::strcmp(A, "--compare")) {
+      Compare = true;
+    } else if (!std::strcmp(A, "--disassemble")) {
+      Disassemble = true;
+    } else if (A[0] == '-') {
+      std::fprintf(stderr, "ccjs: unknown option '%s'\n", A);
+      return 2;
+    } else {
+      Path = A;
+    }
+  }
+  if (!Path) {
+    std::fprintf(stderr,
+                 "usage: ccjs [--class-cache] [--software-only] [--no-opt] "
+                 "[--iterations=N]\n            [--stats] [--compare] "
+                 "[--disassemble] file.js\n");
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "ccjs: cannot open '%s'\n", Path);
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+
+  if (Disassemble) {
+    ParseResult P = parseProgram(Source);
+    if (!P.Ok) {
+      std::fprintf(stderr, "ccjs: syntax error at line %u: %s\n",
+                   P.ErrorLine, P.Error.c_str());
+      return 1;
+    }
+    StringInterner Names;
+    CompileResult C = compileProgram(P.Prog, Names);
+    if (!C.Ok) {
+      std::fprintf(stderr, "ccjs: %s\n", C.Error.c_str());
+      return 1;
+    }
+    for (const BytecodeFunction &F : C.Module.Functions)
+      std::printf("%s\n", disassemble(F, Names).c_str());
+    return 0;
+  }
+
+  if (Compare) {
+    Comparison C = compareConfigs(Source, Config,
+                                  Iterations > 0 ? Iterations
+                                                 : DefaultIterations);
+    if (!C.Baseline.Ok || !C.ClassCache.Ok) {
+      std::fprintf(stderr, "ccjs: %s%s\n", C.Baseline.Error.c_str(),
+                   C.ClassCache.Error.c_str());
+      return 1;
+    }
+    std::printf("%s", C.Baseline.Output.c_str());
+    std::printf("outputs match: %s\n", C.OutputsMatch ? "yes" : "NO");
+    std::printf("speedup: %.1f%% whole application, %.1f%% optimized code\n",
+                C.SpeedupWhole, C.SpeedupOptimized);
+    std::printf("energy reduction: %.1f%% / %.1f%%\n",
+                C.EnergyReductionWhole, C.EnergyReductionOptimized);
+    return 0;
+  }
+
+  Engine E(Config);
+  E.vm().EchoOutput = true;
+  if (!E.load(Source) || !E.runTopLevel()) {
+    std::fprintf(stderr, "ccjs: %s\n", E.lastError().c_str());
+    return 1;
+  }
+  for (int I = 0; I < Iterations; ++I) {
+    if (I == Iterations - 1)
+      E.resetStats();
+    E.callGlobal("run");
+    if (E.halted()) {
+      std::fprintf(stderr, "ccjs: %s\n", E.lastError().c_str());
+      return 1;
+    }
+  }
+  if (Stats)
+    printStats(E.stats());
+  return 0;
+}
