@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_opt_split.dir/ablation_opt_split.cpp.o"
+  "CMakeFiles/ablation_opt_split.dir/ablation_opt_split.cpp.o.d"
+  "ablation_opt_split"
+  "ablation_opt_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_opt_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_software_only.dir/ablation_software_only.cpp.o"
+  "CMakeFiles/ablation_software_only.dir/ablation_software_only.cpp.o.d"
+  "ablation_software_only"
+  "ablation_software_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_software_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

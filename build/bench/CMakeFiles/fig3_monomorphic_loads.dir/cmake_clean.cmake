@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_monomorphic_loads.dir/fig3_monomorphic_loads.cpp.o"
+  "CMakeFiles/fig3_monomorphic_loads.dir/fig3_monomorphic_loads.cpp.o.d"
+  "fig3_monomorphic_loads"
+  "fig3_monomorphic_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_monomorphic_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

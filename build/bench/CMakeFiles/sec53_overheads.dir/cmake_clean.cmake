@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_overheads.dir/sec53_overheads.cpp.o"
+  "CMakeFiles/sec53_overheads.dir/sec53_overheads.cpp.o.d"
+  "sec53_overheads"
+  "sec53_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

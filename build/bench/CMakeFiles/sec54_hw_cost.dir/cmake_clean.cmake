@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_hw_cost.dir/sec54_hw_cost.cpp.o"
+  "CMakeFiles/sec54_hw_cost.dir/sec54_hw_cost.cpp.o.d"
+  "sec54_hw_cost"
+  "sec54_hw_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_hw_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

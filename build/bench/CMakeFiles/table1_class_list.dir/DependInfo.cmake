@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_class_list.cpp" "bench/CMakeFiles/table1_class_list.dir/table1_class_list.cpp.o" "gcc" "bench/CMakeFiles/table1_class_list.dir/table1_class_list.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccjs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ccjs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ccjs_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/ccjs_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/ccjs_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ccjs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ccjs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ccjs_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccjs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_class_list.dir/table1_class_list.cpp.o"
+  "CMakeFiles/table1_class_list.dir/table1_class_list.cpp.o.d"
+  "table1_class_list"
+  "table1_class_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_class_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

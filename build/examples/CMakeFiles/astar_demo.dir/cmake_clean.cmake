@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astar_demo.dir/astar_demo.cpp.o"
+  "CMakeFiles/astar_demo.dir/astar_demo.cpp.o.d"
+  "astar_demo"
+  "astar_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astar_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

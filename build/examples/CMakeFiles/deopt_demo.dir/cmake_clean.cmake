@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deopt_demo.dir/deopt_demo.cpp.o"
+  "CMakeFiles/deopt_demo.dir/deopt_demo.cpp.o.d"
+  "deopt_demo"
+  "deopt_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deopt_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_nodes.dir/graph_nodes.cpp.o"
+  "CMakeFiles/graph_nodes.dir/graph_nodes.cpp.o.d"
+  "graph_nodes"
+  "graph_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

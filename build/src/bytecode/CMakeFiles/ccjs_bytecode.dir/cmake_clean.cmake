@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccjs_bytecode.dir/Compiler.cpp.o"
+  "CMakeFiles/ccjs_bytecode.dir/Compiler.cpp.o.d"
+  "CMakeFiles/ccjs_bytecode.dir/Disassembler.cpp.o"
+  "CMakeFiles/ccjs_bytecode.dir/Disassembler.cpp.o.d"
+  "libccjs_bytecode.a"
+  "libccjs_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccjs_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

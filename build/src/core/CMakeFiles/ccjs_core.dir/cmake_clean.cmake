@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccjs_core.dir/Engine.cpp.o"
+  "CMakeFiles/ccjs_core.dir/Engine.cpp.o.d"
+  "CMakeFiles/ccjs_core.dir/Runner.cpp.o"
+  "CMakeFiles/ccjs_core.dir/Runner.cpp.o.d"
+  "libccjs_core.a"
+  "libccjs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccjs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccjs_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/ccjs_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/ccjs_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/ccjs_frontend.dir/Parser.cpp.o.d"
+  "libccjs_frontend.a"
+  "libccjs_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccjs_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

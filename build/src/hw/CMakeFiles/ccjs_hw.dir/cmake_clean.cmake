@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccjs_hw.dir/ClassCache.cpp.o"
+  "CMakeFiles/ccjs_hw.dir/ClassCache.cpp.o.d"
+  "CMakeFiles/ccjs_hw.dir/ClassList.cpp.o"
+  "CMakeFiles/ccjs_hw.dir/ClassList.cpp.o.d"
+  "libccjs_hw.a"
+  "libccjs_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccjs_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccjs_interp.dir/Builtins.cpp.o"
+  "CMakeFiles/ccjs_interp.dir/Builtins.cpp.o.d"
+  "CMakeFiles/ccjs_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/ccjs_interp.dir/Interpreter.cpp.o.d"
+  "libccjs_interp.a"
+  "libccjs_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccjs_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

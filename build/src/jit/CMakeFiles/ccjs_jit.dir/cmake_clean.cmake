@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccjs_jit.dir/Executor.cpp.o"
+  "CMakeFiles/ccjs_jit.dir/Executor.cpp.o.d"
+  "CMakeFiles/ccjs_jit.dir/IrBuilder.cpp.o"
+  "CMakeFiles/ccjs_jit.dir/IrBuilder.cpp.o.d"
+  "libccjs_jit.a"
+  "libccjs_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccjs_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

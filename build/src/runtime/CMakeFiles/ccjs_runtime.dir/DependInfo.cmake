@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Heap.cpp" "src/runtime/CMakeFiles/ccjs_runtime.dir/Heap.cpp.o" "gcc" "src/runtime/CMakeFiles/ccjs_runtime.dir/Heap.cpp.o.d"
+  "/root/repo/src/runtime/Operations.cpp" "src/runtime/CMakeFiles/ccjs_runtime.dir/Operations.cpp.o" "gcc" "src/runtime/CMakeFiles/ccjs_runtime.dir/Operations.cpp.o.d"
+  "/root/repo/src/runtime/Shape.cpp" "src/runtime/CMakeFiles/ccjs_runtime.dir/Shape.cpp.o" "gcc" "src/runtime/CMakeFiles/ccjs_runtime.dir/Shape.cpp.o.d"
+  "/root/repo/src/runtime/TypeProfiler.cpp" "src/runtime/CMakeFiles/ccjs_runtime.dir/TypeProfiler.cpp.o" "gcc" "src/runtime/CMakeFiles/ccjs_runtime.dir/TypeProfiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ccjs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ccjs_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

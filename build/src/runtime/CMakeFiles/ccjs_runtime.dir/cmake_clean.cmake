@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccjs_runtime.dir/Heap.cpp.o"
+  "CMakeFiles/ccjs_runtime.dir/Heap.cpp.o.d"
+  "CMakeFiles/ccjs_runtime.dir/Operations.cpp.o"
+  "CMakeFiles/ccjs_runtime.dir/Operations.cpp.o.d"
+  "CMakeFiles/ccjs_runtime.dir/Shape.cpp.o"
+  "CMakeFiles/ccjs_runtime.dir/Shape.cpp.o.d"
+  "CMakeFiles/ccjs_runtime.dir/TypeProfiler.cpp.o"
+  "CMakeFiles/ccjs_runtime.dir/TypeProfiler.cpp.o.d"
+  "libccjs_runtime.a"
+  "libccjs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccjs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

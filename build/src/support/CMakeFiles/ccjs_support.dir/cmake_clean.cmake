@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccjs_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/ccjs_support.dir/StringInterner.cpp.o.d"
+  "CMakeFiles/ccjs_support.dir/Table.cpp.o"
+  "CMakeFiles/ccjs_support.dir/Table.cpp.o.d"
+  "libccjs_support.a"
+  "libccjs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccjs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

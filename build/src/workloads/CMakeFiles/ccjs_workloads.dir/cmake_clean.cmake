@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccjs_workloads.dir/KrakenSuite.cpp.o"
+  "CMakeFiles/ccjs_workloads.dir/KrakenSuite.cpp.o.d"
+  "CMakeFiles/ccjs_workloads.dir/OctaneSuite.cpp.o"
+  "CMakeFiles/ccjs_workloads.dir/OctaneSuite.cpp.o.d"
+  "CMakeFiles/ccjs_workloads.dir/SunSpiderSuite.cpp.o"
+  "CMakeFiles/ccjs_workloads.dir/SunSpiderSuite.cpp.o.d"
+  "CMakeFiles/ccjs_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/ccjs_workloads.dir/Workloads.cpp.o.d"
+  "libccjs_workloads.a"
+  "libccjs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccjs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/BytecodeTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/BytecodeTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/BytecodeTest.cpp.o.d"
+  "/root/repo/tests/ClassCacheTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/ClassCacheTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/ClassCacheTest.cpp.o.d"
+  "/root/repo/tests/DifferentialTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/DifferentialTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/DifferentialTest.cpp.o.d"
+  "/root/repo/tests/EngineStatsTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/EngineStatsTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/EngineStatsTest.cpp.o.d"
+  "/root/repo/tests/HwTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/HwTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/HwTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/JitTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/JitTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/JitTest.cpp.o.d"
+  "/root/repo/tests/LayoutTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/LayoutTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/LayoutTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/OperationsTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/OperationsTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/OperationsTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/ShapeHeapTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/ShapeHeapTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/ShapeHeapTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/ValueTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/ValueTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/ValueTest.cpp.o.d"
+  "/root/repo/tests/WorkloadsTest.cpp" "tests/CMakeFiles/ccjs_tests.dir/WorkloadsTest.cpp.o" "gcc" "tests/CMakeFiles/ccjs_tests.dir/WorkloadsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccjs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ccjs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ccjs_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/ccjs_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/ccjs_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ccjs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ccjs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ccjs_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccjs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

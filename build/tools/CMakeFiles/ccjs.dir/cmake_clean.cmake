@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccjs.dir/ccjs.cpp.o"
+  "CMakeFiles/ccjs.dir/ccjs.cpp.o.d"
+  "ccjs"
+  "ccjs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccjs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
