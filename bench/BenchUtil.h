@@ -1,20 +1,33 @@
 //===- bench/BenchUtil.h - Shared benchmark-harness helpers -----*- C++ -*-===//
+///
+/// \file
+/// Bench-binary-side conveniences on top of the core harness
+/// (core/BenchHarness.h): suite grouping honoring --filter, running
+/// averages that skip unmeasurable metrics, and table formatting for
+/// optional percentages.
+///
+//===----------------------------------------------------------------------===//
 
 #ifndef CCJS_BENCH_BENCHUTIL_H
 #define CCJS_BENCH_BENCHUTIL_H
 
+#include "core/BenchHarness.h"
 #include "core/Runner.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace ccjs::bench {
 
-inline std::vector<const Workload *> workloadsOfSuite(const char *Suite,
-                                                      bool SelectedOnly) {
+inline const char *const SuiteOrder[] = {"octane", "sunspider", "kraken"};
+
+inline std::vector<const Workload *>
+workloadsOfSuite(const char *Suite, bool SelectedOnly,
+                 const std::string &Filter = "") {
   std::vector<const Workload *> Out;
   size_t N = 0;
   const Workload *All = allWorkloads(&N);
@@ -23,25 +36,71 @@ inline std::vector<const Workload *> workloadsOfSuite(const char *Suite,
       continue;
     if (SelectedOnly && !All[I].Selected)
       continue;
+    if (!Filter.empty() && Filter != All[I].Suite && Filter != All[I].Name)
+      continue;
     Out.push_back(&All[I]);
   }
   return Out;
 }
 
-/// Running average helper for per-suite rows.
+/// One suite's (filtered) workloads, in registry order.
+struct SuiteGroup {
+  const char *Suite;
+  std::vector<const Workload *> Ws;
+};
+
+/// The benchmark sweep in canonical suite order, restricted by \p Filter
+/// (already validated by HarnessOptions::parse). Suites emptied by the
+/// filter are dropped.
+inline std::vector<SuiteGroup> groupWorkloads(bool SelectedOnly,
+                                              const std::string &Filter) {
+  std::vector<SuiteGroup> Groups;
+  for (const char *Suite : SuiteOrder) {
+    SuiteGroup G{Suite, workloadsOfSuite(Suite, SelectedOnly, Filter)};
+    if (!G.Ws.empty())
+      Groups.push_back(std::move(G));
+  }
+  return Groups;
+}
+
+/// Flattens suite groups into the deterministic job order the harness
+/// indexes results by.
+inline std::vector<const Workload *>
+flattenGroups(const std::vector<SuiteGroup> &Groups) {
+  std::vector<const Workload *> Flat;
+  for (const SuiteGroup &G : Groups)
+    Flat.insert(Flat.end(), G.Ws.begin(), G.Ws.end());
+  return Flat;
+}
+
+/// Running average helper for per-suite rows. Absent (unmeasurable)
+/// samples are skipped, never counted as zero.
 class Avg {
 public:
   void add(double V) {
     Sum += V;
     ++N;
   }
+  void add(const std::optional<double> &V) {
+    if (V)
+      add(*V);
+  }
   double value() const { return N ? Sum / N : 0; }
+  /// The average, or nullopt when every sample was unmeasurable.
+  std::optional<double> valueOpt() const {
+    return N ? std::optional<double>(Sum / N) : std::nullopt;
+  }
   bool empty() const { return N == 0; }
 
 private:
   double Sum = 0;
   size_t N = 0;
 };
+
+/// Formats an optional percentage metric: "n/a" when unmeasurable.
+inline std::string fmtPct(const std::optional<double> &V, int Digits = 1) {
+  return V ? Table::fmt(*V, Digits) + "%" : "n/a";
+}
 
 inline void printHeader(const char *Title, const char *PaperRef) {
   std::printf("==============================================================="
@@ -54,7 +113,19 @@ inline void printHeader(const char *Title, const char *PaperRef) {
               "=========\n");
 }
 
-inline const char *const SuiteOrder[] = {"octane", "sunspider", "kraken"};
+/// Writes the report when --json was given. Returns false (after printing
+/// to stderr) on I/O failure so main() can exit non-zero.
+inline bool finishReport(const BenchReport &Report,
+                         const HarnessOptions &Opt) {
+  if (Opt.JsonPath.empty())
+    return true;
+  std::string Err;
+  if (!Report.write(Opt.JsonPath, &Err)) {
+    std::fprintf(stderr, "error writing JSON report: %s\n", Err.c_str());
+    return false;
+  }
+  return true;
+}
 
 } // namespace ccjs::bench
 

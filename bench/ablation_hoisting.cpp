@@ -1,7 +1,8 @@
 //===- bench/ablation_hoisting.cpp -----------------------------------------===//
 ///
 /// Ablation for the movClassIDArray loop hoisting of section 4.2.1.3 and
-/// the choice of four regArrayObjectClassId registers.
+/// the choice of four regArrayObjectClassId registers. Supports the shared
+/// harness flags; each mode fans its workloads out over --jobs threads.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -10,7 +11,11 @@
 using namespace ccjs;
 using namespace ccjs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  HarnessOptions Opt;
+  if (!Opt.parse(Argc, Argv))
+    return 2;
+
   printHeader("Ablation: movClassIDArray hoisting and register count",
               "section 4.2.1.3");
 
@@ -32,21 +37,24 @@ int main() {
       findWorkload("mandreel"), findWorkload("imaging-desaturate"),
       findWorkload("navier-stokes"), findWorkload("gbemu")};
 
+  BenchReport Report("ablation_hoisting", EngineConfig());
   Table T({"configuration", "avg speedup (optimized)",
            "avg CC-store overhead instrs"});
   for (const Mode &M : Modes) {
     EngineConfig Cfg;
     Cfg.HoistClassIdArray = M.Hoist;
     Cfg.NumArrayClassRegs = M.Regs;
-    Avg Opt;
+    std::vector<Comparison> Results =
+        compareWorkloads(Set, Cfg, Opt.effectiveJobs());
+    Avg OptAvg;
     double OverheadInstrs = 0;
-    for (const Workload *W : Set) {
-      Comparison C = compareConfigs(W->Source, Cfg);
-      if (!C.Baseline.Ok || !C.ClassCache.Ok) {
-        std::fprintf(stderr, "%s failed\n", W->Name);
+    for (size_t I = 0; I < Set.size(); ++I) {
+      const Comparison &C = Results[I];
+      if (!C.valid()) {
+        std::fprintf(stderr, "%s failed\n", Set[I]->Name);
         return 1;
       }
-      Opt.add(C.SpeedupOptimized);
+      OptAvg.add(C.SpeedupOptimized);
       // The mechanism's instruction overhead shows up as extra
       // OtherOptimized instructions relative to the baseline run.
       double Extra =
@@ -56,12 +64,18 @@ int main() {
               InstrCategory::OtherOptimized)]);
       OverheadInstrs += Extra / Set.size();
     }
-    T.addRow({M.Name, Table::fmt(Opt.value(), 2) + "%",
+    T.addRow({M.Name, fmtPct(OptAvg.valueOpt(), 2),
               Table::fmt(OverheadInstrs, 0)});
+    json::Value Data = json::Value::object();
+    Data.set("hoist", M.Hoist);
+    Data.set("registers", M.Regs);
+    Data.set("avg_speedup_optimized_pct", json::Value(OptAvg.valueOpt()));
+    Data.set("avg_cc_store_overhead_instrs", OverheadInstrs);
+    Report.addEntry(M.Name, "ablation", std::move(Data));
   }
   std::printf("%s", T.render().c_str());
   std::printf("\nHoisting removes the per-store movClassIDArray header load "
               "for loop-invariant\narrays; four registers cover loops that "
               "write several arrays.\n");
-  return 0;
+  return finishReport(Report, Opt) ? 0 : 1;
 }

@@ -3,7 +3,8 @@
 /// Contribution of the three optimizations of section 4.3, enabled
 /// separately: Check Maps elimination (4.3.1), Check SMI elimination
 /// (4.3.3) and Check Non-SMI elimination (4.3.2, the pre-untag HeapNumber
-/// checks).
+/// checks). Supports the shared harness flags; each mode fans its
+/// workloads out over --jobs threads.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -12,7 +13,11 @@
 using namespace ccjs;
 using namespace ccjs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  HarnessOptions Opt;
+  if (!Opt.parse(Argc, Argv))
+    return 2;
+
   printHeader("Ablation: section 4.3 optimizations enabled independently",
               "sections 4.3.1-4.3.3");
 
@@ -33,6 +38,7 @@ int main() {
       findWorkload("3d-cube"),       findWorkload("box2d"),
       findWorkload("stanford-crypto-sha256")};
 
+  BenchReport Report("ablation_opt_split", EngineConfig());
   Table T({"configuration", "avg speedup (optimized)",
            "avg speedup (whole app)"});
   for (const Mode &M : Modes) {
@@ -40,23 +46,31 @@ int main() {
     Cfg.ElideCheckMaps = M.Maps;
     Cfg.ElideCheckSmi = M.Smi;
     Cfg.ElideCheckNonSmi = M.NonSmi;
-    Avg Opt, Whole;
-    for (const Workload *W : Set) {
-      Comparison C = compareConfigs(W->Source, Cfg);
-      if (!C.Baseline.Ok || !C.ClassCache.Ok) {
-        std::fprintf(stderr, "%s failed\n", W->Name);
+    std::vector<Comparison> Results =
+        compareWorkloads(Set, Cfg, Opt.effectiveJobs());
+    Avg OptAvg, Whole;
+    for (size_t I = 0; I < Set.size(); ++I) {
+      const Comparison &C = Results[I];
+      if (!C.valid()) {
+        std::fprintf(stderr, "%s failed\n", Set[I]->Name);
         return 1;
       }
-      Opt.add(C.SpeedupOptimized);
+      OptAvg.add(C.SpeedupOptimized);
       Whole.add(C.SpeedupWhole);
     }
-    T.addRow({M.Name, Table::fmt(Opt.value(), 1) + "%",
-              Table::fmt(Whole.value(), 1) + "%"});
+    T.addRow({M.Name, fmtPct(OptAvg.valueOpt()), fmtPct(Whole.valueOpt())});
+    json::Value Data = json::Value::object();
+    Data.set("elide_check_maps", M.Maps);
+    Data.set("elide_check_smi", M.Smi);
+    Data.set("elide_check_non_smi", M.NonSmi);
+    Data.set("avg_speedup_optimized_pct", json::Value(OptAvg.valueOpt()));
+    Data.set("avg_speedup_whole_pct", json::Value(Whole.valueOpt()));
+    Report.addEntry(M.Name, "ablation", std::move(Data));
   }
   std::printf("%s", T.render().c_str());
   std::printf("\nPaper reference: Check Maps are the most common checking "
               "operation\n(section 3.3), so 4.3.1 contributes most; ai-astar"
               "'s removed checks are more\nthan half Check Maps (section "
               "5.1).\n");
-  return 0;
+  return finishReport(Report, Opt) ? 0 : 1;
 }

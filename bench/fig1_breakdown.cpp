@@ -3,6 +3,7 @@
 /// Breakdown of dynamic instructions into Checks / Tags-Untags / Math
 /// Assumptions / Other Optimized / Rest of Code for every workload at
 /// steady state, under the state-of-the-art baseline configuration.
+/// Supports the shared harness flags (--jobs/--json/--filter).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -11,31 +12,43 @@
 using namespace ccjs;
 using namespace ccjs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  HarnessOptions Opt;
+  if (!Opt.parse(Argc, Argv))
+    return 2;
+
   printHeader("Figure 1: Breakdown of dynamic instructions (steady state, "
               "baseline engine)",
               "Figure 1");
 
+  std::vector<SuiteGroup> Groups = groupWorkloads(false, Opt.Filter);
+  std::vector<const Workload *> Flat = flattenGroups(Groups);
+  EngineConfig Cfg;
+  std::vector<BenchRun> Results =
+      runWorkloadsSteadyState(Flat, Cfg, Opt.effectiveJobs());
+
+  BenchReport Report("fig1_breakdown", Cfg);
   Table T({"benchmark", "suite", "checks", "tags/untags", "math assum.",
            "other optimized", "rest of code"});
-
-  for (const char *Suite : SuiteOrder) {
+  size_t Idx = 0;
+  for (const SuiteGroup &G : Groups) {
     Avg A[NumInstrCategories];
-    for (const Workload *W : workloadsOfSuite(Suite, false)) {
-      BenchRun R = runSteadyState(EngineConfig(), W->Source);
+    for (const Workload *W : G.Ws) {
+      const BenchRun &R = Results[Idx++];
       if (!R.Ok) {
         std::fprintf(stderr, "%s failed: %s\n", W->Name, R.Error.c_str());
         return 1;
       }
-      std::vector<std::string> Row = {W->Name, Suite};
+      std::vector<std::string> Row = {W->Name, G.Suite};
       for (unsigned C = 0; C < NumInstrCategories; ++C) {
         double Share = R.Steady.categoryShare(static_cast<InstrCategory>(C));
         A[C].add(Share);
         Row.push_back(Table::pct(Share));
       }
       T.addRow(std::move(Row));
+      Report.addRun(*W, R);
     }
-    std::vector<std::string> AvgRow = {std::string(Suite) + " average", ""};
+    std::vector<std::string> AvgRow = {std::string(G.Suite) + " average", ""};
     for (unsigned C = 0; C < NumInstrCategories; ++C)
       AvgRow.push_back(Table::pct(A[C].value()));
     T.addRow(std::move(AvgRow));
@@ -45,5 +58,5 @@ int main() {
   std::printf("\nPaper reference: checks + tags/untags + math assumptions "
               "average 19.5%%\nof dynamic instructions across suites at "
               "steady state.\n");
-  return 0;
+  return finishReport(Report, Opt) ? 0 : 1;
 }

@@ -2,7 +2,8 @@
 ///
 /// Fraction of object load accesses that target monomorphic properties and
 /// monomorphic elements arrays (classified against the whole execution's
-/// store profile).
+/// store profile). Supports the shared harness flags (--jobs/--json/
+/// --filter).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -11,19 +12,31 @@
 using namespace ccjs;
 using namespace ccjs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  HarnessOptions Opt;
+  if (!Opt.parse(Argc, Argv))
+    return 2;
+
   printHeader("Figure 3: Object load accesses to monomorphic properties / "
               "elements arrays",
               "Figure 3");
 
+  std::vector<SuiteGroup> Groups = groupWorkloads(true, Opt.Filter);
+  std::vector<const Workload *> Flat = flattenGroups(Groups);
+  EngineConfig Cfg;
+  std::vector<BenchRun> Results =
+      runWorkloadsSteadyState(Flat, Cfg, Opt.effectiveJobs());
+
+  BenchReport Report("fig3_monomorphic_loads", Cfg);
   Table T({"benchmark", "suite", "mono properties", "mono elements",
            "non-mono properties", "non-mono elements"});
 
   Avg AllMono;
-  for (const char *Suite : SuiteOrder) {
+  size_t Idx = 0;
+  for (const SuiteGroup &G : Groups) {
     Avg SuiteMono;
-    for (const Workload *W : workloadsOfSuite(Suite, true)) {
-      BenchRun R = runSteadyState(EngineConfig(), W->Source);
+    for (const Workload *W : G.Ws) {
+      const BenchRun &R = Results[Idx++];
       if (!R.Ok) {
         std::fprintf(stderr, "%s failed: %s\n", W->Name, R.Error.c_str());
         return 1;
@@ -36,13 +49,14 @@ int main() {
           double(L.MonomorphicProperty + L.MonomorphicElements) / Total;
       SuiteMono.add(Mono);
       AllMono.add(Mono);
-      T.addRow({W->Name, Suite,
+      T.addRow({W->Name, G.Suite,
                 Table::pct(L.MonomorphicProperty / Total),
                 Table::pct(L.MonomorphicElements / Total),
                 Table::pct(L.NonMonomorphicProperty / Total),
                 Table::pct(L.NonMonomorphicElements / Total)});
+      Report.addRun(*W, R);
     }
-    T.addRow({std::string(Suite) + " average (mono total)", "",
+    T.addRow({std::string(G.Suite) + " average (mono total)", "",
               Table::pct(SuiteMono.value()), "", "", ""});
     T.addSeparator();
   }
@@ -51,5 +65,6 @@ int main() {
   std::printf("%s", T.render().c_str());
   std::printf("\nPaper reference: 66%% of object load accesses target "
               "monomorphic properties\nor monomorphic elements arrays.\n");
-  return 0;
+  Report.setSummary("monomorphic_share_avg", AllMono.value());
+  return finishReport(Report, Opt) ? 0 : 1;
 }

@@ -6,24 +6,30 @@
 /// prints the per-structure hit-rate changes the paper discusses for
 /// ai-astar (DL1 / L2 / DTLB).
 ///
+/// Harness flags: --jobs=N fans the per-workload comparisons out over N
+/// threads (output stays byte-identical to the serial run); --json=<path>
+/// emits the structured report; --filter restricts the sweep. All flags —
+/// including --detail — are validated before any benchmark work runs.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
-#include <cstring>
-
 using namespace ccjs;
 using namespace ccjs::bench;
 
-static void printDetail(const char *Name) {
+static bool printDetail(const char *Name, unsigned Jobs) {
   const Workload *W = findWorkload(Name);
   if (!W) {
     std::fprintf(stderr, "unknown workload '%s'\n", Name);
-    return;
+    return false;
   }
-  Comparison C = compareConfigs(W->Source, EngineConfig());
-  if (!C.Baseline.Ok || !C.ClassCache.Ok)
-    return;
+  Comparison C = compareWorkloads({W}, EngineConfig(), Jobs).front();
+  if (!C.valid()) {
+    std::fprintf(stderr, "%s failed: %s%s\n", Name,
+                 C.Baseline.Error.c_str(), C.ClassCache.Error.c_str());
+    return false;
+  }
   const RunStats &B = C.Baseline.Steady;
   const RunStats &N = C.ClassCache.Steady;
   std::printf("\n--- %s memory-system detail (paper section 5.1) ---\n",
@@ -32,9 +38,10 @@ static void printDetail(const char *Name) {
            "miss-rate reduction"});
   auto Row = [&](const char *S, double HB, double HN) {
     double MissB = 1 - HB, MissN = 1 - HN;
-    double Red = MissB > 0 ? (1 - MissN / MissB) * 100 : 0;
-    T.addRow({S, Table::pct(HB, 2), Table::pct(HN, 2),
-              Table::fmt(Red, 1) + "%"});
+    std::optional<double> Red;
+    if (MissB > 0)
+      Red = (1 - MissN / MissB) * 100;
+    T.addRow({S, Table::pct(HB, 2), Table::pct(HN, 2), fmtPct(Red, 1)});
   };
   Row("DL1", B.Dl1HitRate, N.Dl1HitRate);
   Row("L2", B.L2HitRate, N.L2HitRate);
@@ -43,20 +50,49 @@ static void printDetail(const char *Name) {
   std::printf("DL1 accesses: %llu -> %llu (removed Check-Map loads)\n",
               static_cast<unsigned long long>(B.Dl1Accesses),
               static_cast<unsigned long long>(N.Dl1Accesses));
+  return true;
 }
 
 int main(int Argc, char **Argv) {
+  HarnessOptions Opt;
+  std::string Detail;
+  bool HaveDetail = false;
+  auto Extra = [&](std::string_view A) {
+    if (A.rfind("--detail=", 0) == 0) {
+      Detail = A.substr(9);
+      HaveDetail = true;
+      return true;
+    }
+    return false;
+  };
+  if (!Opt.parse(Argc, Argv, Extra, "[--detail=<workload>]"))
+    return 2;
+  // A typo'd --detail name must fail *before* the full sweep runs.
+  if (HaveDetail && !findWorkload(Detail)) {
+    std::fprintf(stderr, "fig8_speedup: --detail='%s' is not a workload\n",
+                 Detail.c_str());
+    return 2;
+  }
+
   printHeader("Figure 8: Improvement in number of cycles (Class Cache vs "
               "baseline)",
               "Figure 8");
 
+  std::vector<SuiteGroup> Groups = groupWorkloads(true, Opt.Filter);
+  std::vector<const Workload *> Flat = flattenGroups(Groups);
+  EngineConfig Base;
+  std::vector<Comparison> Results =
+      compareWorkloads(Flat, Base, Opt.effectiveJobs());
+
+  BenchReport Report("fig8_speedup", Base);
   Table T({"benchmark", "suite", "whole application", "optimized code"});
   Avg AllWhole, AllOpt;
-  for (const char *Suite : SuiteOrder) {
+  size_t Idx = 0;
+  for (const SuiteGroup &G : Groups) {
     Avg SW, SO;
-    for (const Workload *W : workloadsOfSuite(Suite, true)) {
-      Comparison C = compareConfigs(W->Source, EngineConfig());
-      if (!C.Baseline.Ok || !C.ClassCache.Ok) {
+    for (const Workload *W : G.Ws) {
+      const Comparison &C = Results[Idx++];
+      if (!C.valid()) {
         std::fprintf(stderr, "%s failed: %s%s\n", W->Name,
                      C.Baseline.Error.c_str(), C.ClassCache.Error.c_str());
         return 1;
@@ -69,23 +105,26 @@ int main(int Argc, char **Argv) {
       SO.add(C.SpeedupOptimized);
       AllWhole.add(C.SpeedupWhole);
       AllOpt.add(C.SpeedupOptimized);
-      T.addRow({W->Name, Suite, Table::fmt(C.SpeedupWhole, 1) + "%",
-                Table::fmt(C.SpeedupOptimized, 1) + "%"});
+      T.addRow({W->Name, G.Suite, fmtPct(C.SpeedupWhole),
+                fmtPct(C.SpeedupOptimized)});
+      Report.addComparison(*W, C);
     }
-    T.addRow({std::string(Suite) + " average", "",
-              Table::fmt(SW.value(), 1) + "%",
-              Table::fmt(SO.value(), 1) + "%"});
+    T.addRow({std::string(G.Suite) + " average", "", fmtPct(SW.valueOpt()),
+              fmtPct(SO.valueOpt())});
     T.addSeparator();
   }
-  T.addRow({"overall average", "", Table::fmt(AllWhole.value(), 1) + "%",
-            Table::fmt(AllOpt.value(), 1) + "%"});
+  T.addRow({"overall average", "", fmtPct(AllWhole.valueOpt()),
+            fmtPct(AllOpt.valueOpt())});
   std::printf("%s", T.render().c_str());
   std::printf("\nPaper reference: 7.1%% average speedup for optimized code "
               "(up to 34%% for\nai-astar) and 5%% for the whole "
               "application.\n");
+  Report.setSummary("speedup_whole_avg_pct",
+                    json::Value(AllWhole.valueOpt()));
+  Report.setSummary("speedup_optimized_avg_pct",
+                    json::Value(AllOpt.valueOpt()));
 
-  for (int I = 1; I < Argc; ++I)
-    if (std::strncmp(Argv[I], "--detail=", 9) == 0)
-      printDetail(Argv[I] + 9);
-  return 0;
+  if (HaveDetail && !printDetail(Detail.c_str(), Opt.effectiveJobs()))
+    return 1;
+  return finishReport(Report, Opt) ? 0 : 1;
 }

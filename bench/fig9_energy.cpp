@@ -3,7 +3,7 @@
 /// Energy reduction of the Class Cache configuration over the baseline
 /// (dynamic energy from fewer executed instructions and memory accesses,
 /// leakage from fewer cycles), for the whole application and optimized
-/// code.
+/// code. Supports the shared harness flags (--jobs/--json/--filter).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -12,17 +12,29 @@
 using namespace ccjs;
 using namespace ccjs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  HarnessOptions Opt;
+  if (!Opt.parse(Argc, Argv))
+    return 2;
+
   printHeader("Figure 9: Energy reduction (Class Cache vs baseline)",
               "Figure 9");
 
+  std::vector<SuiteGroup> Groups = groupWorkloads(true, Opt.Filter);
+  std::vector<const Workload *> Flat = flattenGroups(Groups);
+  EngineConfig Base;
+  std::vector<Comparison> Results =
+      compareWorkloads(Flat, Base, Opt.effectiveJobs());
+
+  BenchReport Report("fig9_energy", Base);
   Table T({"benchmark", "suite", "whole application", "optimized code"});
   Avg AllWhole, AllOpt;
-  for (const char *Suite : SuiteOrder) {
+  size_t Idx = 0;
+  for (const SuiteGroup &G : Groups) {
     Avg SW, SO;
-    for (const Workload *W : workloadsOfSuite(Suite, true)) {
-      Comparison C = compareConfigs(W->Source, EngineConfig());
-      if (!C.Baseline.Ok || !C.ClassCache.Ok) {
+    for (const Workload *W : G.Ws) {
+      const Comparison &C = Results[Idx++];
+      if (!C.valid()) {
         std::fprintf(stderr, "%s failed: %s%s\n", W->Name,
                      C.Baseline.Error.c_str(), C.ClassCache.Error.c_str());
         return 1;
@@ -31,20 +43,23 @@ int main() {
       SO.add(C.EnergyReductionOptimized);
       AllWhole.add(C.EnergyReductionWhole);
       AllOpt.add(C.EnergyReductionOptimized);
-      T.addRow({W->Name, Suite,
-                Table::fmt(C.EnergyReductionWhole, 1) + "%",
-                Table::fmt(C.EnergyReductionOptimized, 1) + "%"});
+      T.addRow({W->Name, G.Suite, fmtPct(C.EnergyReductionWhole),
+                fmtPct(C.EnergyReductionOptimized)});
+      Report.addComparison(*W, C);
     }
-    T.addRow({std::string(Suite) + " average", "",
-              Table::fmt(SW.value(), 1) + "%",
-              Table::fmt(SO.value(), 1) + "%"});
+    T.addRow({std::string(G.Suite) + " average", "", fmtPct(SW.valueOpt()),
+              fmtPct(SO.valueOpt())});
     T.addSeparator();
   }
-  T.addRow({"overall average", "", Table::fmt(AllWhole.value(), 1) + "%",
-            Table::fmt(AllOpt.value(), 1) + "%"});
+  T.addRow({"overall average", "", fmtPct(AllWhole.valueOpt()),
+            fmtPct(AllOpt.valueOpt())});
   std::printf("%s", T.render().c_str());
   std::printf("\nPaper reference: 4.5%% average energy reduction for the "
               "whole application\nand 6.5%% for optimized code; Kraken "
               "saves the most (8.8%% optimized code).\n");
-  return 0;
+  Report.setSummary("energy_reduction_whole_avg_pct",
+                    json::Value(AllWhole.valueOpt()));
+  Report.setSummary("energy_reduction_optimized_avg_pct",
+                    json::Value(AllOpt.valueOpt()));
+  return finishReport(Report, Opt) ? 0 : 1;
 }

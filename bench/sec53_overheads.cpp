@@ -2,7 +2,8 @@
 ///
 /// The paper's overhead analysis: warm-up (number of hidden classes per
 /// benchmark, 5.3.1), Class Cache hit rate (5.3.2/5.3.3) and object size
-/// increase / first-line access share (5.3.4).
+/// increase / first-line access share (5.3.4). Supports the shared harness
+/// flags (--jobs/--json/--filter).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -11,48 +12,58 @@
 using namespace ccjs;
 using namespace ccjs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  HarnessOptions Opt;
+  if (!Opt.parse(Argc, Argv))
+    return 2;
+
   printHeader("Section 5.3: Incurred overheads", "section 5.3");
 
+  EngineConfig Cfg;
+  Cfg.ClassCacheEnabled = true;
+  std::vector<SuiteGroup> Groups = groupWorkloads(true, Opt.Filter);
+  std::vector<const Workload *> Flat = flattenGroups(Groups);
+  std::vector<BenchRun> Results =
+      runWorkloadsSteadyState(Flat, Cfg, Opt.effectiveJobs());
+
+  BenchReport Report("sec53_overheads", Cfg);
   Table T({"benchmark", "hidden classes", "cc hit rate", "cc accesses",
            "exceptions", "multi-line obj size +%", "first-line loads"});
 
   Avg HitRate, FirstLine;
   unsigned Above32 = 0;
   size_t Rows = 0;
-  EngineConfig Cfg;
-  Cfg.ClassCacheEnabled = true;
-  for (const char *Suite : SuiteOrder) {
-    for (const Workload *W : workloadsOfSuite(Suite, true)) {
-      BenchRun R = runSteadyState(Cfg, W->Source);
-      if (!R.Ok) {
-        std::fprintf(stderr, "%s failed: %s\n", W->Name, R.Error.c_str());
-        return 1;
-      }
-      const RunStats &S = R.Steady;
-      if (S.NumHiddenClasses > 32)
-        ++Above32;
-      if (S.CcAccesses > 0)
-        HitRate.add(S.CcHitRate);
-      double FirstShare =
-          S.Loads.TotalPropertyLoads
-              ? double(S.Loads.FirstLineLoads) / S.Loads.TotalPropertyLoads
-              : 1.0;
-      FirstLine.add(FirstShare);
-      // Size increase of multi-line objects: extra per-line header words
-      // relative to their total size.
-      double SizeInc =
-          S.Heap.ObjectBytes
-              ? double(S.Heap.ExtraHeaderBytes) /
-                    double(S.Heap.ObjectBytes - S.Heap.ExtraHeaderBytes) * 100
-              : 0;
-      T.addRow({W->Name, std::to_string(S.NumHiddenClasses),
-                S.CcAccesses ? Table::pct(S.CcHitRate, 3) : "-",
-                std::to_string(S.CcAccesses),
-                std::to_string(S.CcExceptions), Table::fmt(SizeInc, 2),
-                Table::pct(FirstShare)});
-      ++Rows;
+  for (size_t I = 0; I < Flat.size(); ++I) {
+    const Workload *W = Flat[I];
+    const BenchRun &R = Results[I];
+    if (!R.Ok) {
+      std::fprintf(stderr, "%s failed: %s\n", W->Name, R.Error.c_str());
+      return 1;
     }
+    const RunStats &S = R.Steady;
+    if (S.NumHiddenClasses > 32)
+      ++Above32;
+    if (S.CcAccesses > 0)
+      HitRate.add(S.CcHitRate);
+    double FirstShare =
+        S.Loads.TotalPropertyLoads
+            ? double(S.Loads.FirstLineLoads) / S.Loads.TotalPropertyLoads
+            : 1.0;
+    FirstLine.add(FirstShare);
+    // Size increase of multi-line objects: extra per-line header words
+    // relative to their total size.
+    double SizeInc =
+        S.Heap.ObjectBytes
+            ? double(S.Heap.ExtraHeaderBytes) /
+                  double(S.Heap.ObjectBytes - S.Heap.ExtraHeaderBytes) * 100
+            : 0;
+    T.addRow({W->Name, std::to_string(S.NumHiddenClasses),
+              S.CcAccesses ? Table::pct(S.CcHitRate, 3) : "-",
+              std::to_string(S.CcAccesses),
+              std::to_string(S.CcExceptions), Table::fmt(SizeInc, 2),
+              Table::pct(FirstShare)});
+    Report.addRun(*W, R);
+    ++Rows;
   }
   std::printf("%s", T.render().c_str());
   std::printf("\nSummary: average Class Cache hit rate %s (paper: >99.9%% "
@@ -61,5 +72,8 @@ int main() {
               "average %s (paper: 79%%).\n",
               Table::pct(HitRate.value(), 3).c_str(), Above32, Rows,
               Table::pct(FirstLine.value()).c_str());
-  return 0;
+  Report.setSummary("avg_cc_hit_rate", json::Value(HitRate.valueOpt()));
+  Report.setSummary("benchmarks_above_32_classes", Above32);
+  Report.setSummary("avg_first_line_share", FirstLine.value());
+  return finishReport(Report, Opt) ? 0 : 1;
 }

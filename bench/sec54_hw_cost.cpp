@@ -1,7 +1,8 @@
 //===- bench/sec54_hw_cost.cpp - Section 5.4 ------------------------------===//
 ///
 /// Hardware cost of the Class Cache: storage (paper: <1.5KB, <0.04% of
-/// core area) and its energy share of a representative run.
+/// core area) and its energy share of a representative run. Accepts the
+/// shared harness flags; --json emits the cost metrics and the run stats.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -12,7 +13,11 @@
 using namespace ccjs;
 using namespace ccjs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  HarnessOptions Opt;
+  if (!Opt.parse(Argc, Argv))
+    return 2;
+
   printHeader("Section 5.4: Hardware cost of the Class Cache",
               "section 5.4");
 
@@ -28,6 +33,10 @@ int main() {
     E.callGlobal("run");
   E.resetStats();
   E.callGlobal("run");
+  if (E.halted()) {
+    std::fprintf(stderr, "error: %s\n", E.lastError().c_str());
+    return 1;
+  }
   RunStats S = E.stats();
 
   double Bytes = EnergyModel::classCacheBytes(E.vm().CCache);
@@ -42,14 +51,22 @@ int main() {
             "< 1.5 KB"});
   T.addRow({"Estimated core area share", Table::fmt(CorePct, 4) + "%",
             "< 0.04%"});
-  double EnergyShare = S.EnergyTotal.total() > 0
-                           ? S.EnergyTotal.ClassCachePJ /
-                                 S.EnergyTotal.total() * 100
-                           : 0;
-  T.addRow({"Class Cache energy share (ai-astar)",
-            Table::fmt(EnergyShare, 3) + "%", "negligible"});
+  std::optional<double> EnergyShare;
+  if (S.EnergyTotal.total() > 0)
+    EnergyShare = S.EnergyTotal.ClassCachePJ / S.EnergyTotal.total() * 100;
+  T.addRow({"Class Cache energy share (ai-astar)", fmtPct(EnergyShare, 3),
+            "negligible"});
   T.addRow({"Class Cache accesses (one iteration)",
             std::to_string(S.CcAccesses), "-"});
   std::printf("%s", T.render().c_str());
-  return 0;
+
+  BenchReport Report("sec54_hw_cost", Cfg);
+  BenchRun R;
+  R.Ok = true;
+  R.Steady = S;
+  Report.addRun(*W, R);
+  Report.setSummary("class_cache_storage_bytes", Bytes);
+  Report.setSummary("core_area_share_pct", CorePct);
+  Report.setSummary("energy_share_pct", json::Value(EnergyShare));
+  return finishReport(Report, Opt) ? 0 : 1;
 }

@@ -8,12 +8,15 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "core/Engine.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
 
 using namespace ccjs;
+using namespace ccjs::bench;
 
 static const char Source[] = R"js(
 function Position(x, y) { this.x = x; this.y = y; }
@@ -59,7 +62,10 @@ function run() {
 fillList(40);
 )js";
 
-int main() {
+int main(int Argc, char **Argv) {
+  HarnessOptions Opt;
+  if (!Opt.parse(Argc, Argv))
+    return 2;
   EngineConfig Cfg;
   Cfg.ClassCacheEnabled = true;
   Engine E(Cfg);
@@ -138,5 +144,14 @@ int main() {
               "the FunctionList\nof GraphNode's position property and of "
               "NodeList's elements array, with all\ninitialized properties "
               "still valid (monomorphic).\n");
-  return 0;
+
+  BenchReport Report("table1_class_list", Cfg);
+  json::Value Data = json::Value::object();
+  Data.set("graphnode_class_id", VM.Shapes.get(NodeShape).ClassId);
+  Data.set("graphnode_num_properties", VM.Shapes.get(NodeShape).NumSlots);
+  Data.set("nodelist_class_id", VM.Shapes.get(ListShape).ClassId);
+  Data.set("output_checksum",
+           E.output().substr(0, E.output().find('\n')));
+  Report.addEntry("graph-node-example", "example", std::move(Data));
+  return finishReport(Report, Opt) ? 0 : 1;
 }

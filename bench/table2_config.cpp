@@ -6,6 +6,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "hw/EnergyModel.h"
 #include "hw/HwConfig.h"
 #include "support/Table.h"
@@ -13,8 +15,12 @@
 #include <cstdio>
 
 using namespace ccjs;
+using namespace ccjs::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  HarnessOptions Opt;
+  if (!Opt.parse(Argc, Argv))
+    return 2;
   HwConfig Cfg;
   std::printf("Table 2: Simulated micro-architecture configuration\n");
   std::printf("---------------------------------------------------\n");
@@ -42,5 +48,25 @@ int main() {
                                              " cycles"});
   T.addRow({"OoO stall overlap factor", Table::fmt(Cfg.StallOverlap, 2)});
   std::printf("%s", T.render().c_str());
-  return 0;
+
+  EngineConfig EngineCfg;
+  EngineCfg.Hw = Cfg;
+  BenchReport Report("table2_config", EngineCfg);
+  json::Value Data = json::Value::object();
+  Data.set("issue_width", Cfg.IssueWidth);
+  Data.set("window_size", Cfg.WindowSize);
+  Data.set("dl1_size_kb", Cfg.Dl1SizeKB);
+  Data.set("dl1_ways", Cfg.Dl1Ways);
+  Data.set("l2_size_kb", Cfg.L2SizeKB);
+  Data.set("l2_ways", Cfg.L2Ways);
+  Data.set("dtlb_entries", Cfg.DtlbEntries);
+  Data.set("class_cache_entries", Cfg.ClassCacheEntries);
+  Data.set("class_cache_ways", Cfg.ClassCacheWays);
+  Data.set("l2_latency", Cfg.L2Latency);
+  Data.set("mem_latency", Cfg.MemLatency);
+  Data.set("tlb_miss_penalty", Cfg.TlbMissPenalty);
+  Data.set("branch_mispredict_penalty", Cfg.BranchMispredictPenalty);
+  Data.set("stall_overlap", Cfg.StallOverlap);
+  Report.addEntry("hw-config", "config", std::move(Data));
+  return finishReport(Report, Opt) ? 0 : 1;
 }

@@ -13,8 +13,18 @@
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <optional>
 
 using namespace ccjs;
+
+// Speedup/energy metrics can be unmeasurable (zero denominator); render those
+// as "n/a" rather than a fabricated 0%.
+static std::string fmtOpt(const std::optional<double> &V,
+                          const char *Prefix, const char *Suffix) {
+  if (!V)
+    return "n/a";
+  return Prefix + Table::fmt(*V, 1) + Suffix;
+}
 
 int main() {
   const Workload *W = findWorkload("ai-astar");
@@ -42,10 +52,10 @@ int main() {
             ""});
   T.addRow({"cycles (optimized code)", Table::fmt(B.CyclesOptimized, 0),
             Table::fmt(N.CyclesOptimized, 0),
-            "+" + Table::fmt(C.SpeedupOptimized, 1) + "% speedup"});
+            fmtOpt(C.SpeedupOptimized, "+", "% speedup")});
   T.addRow({"cycles (whole application)", Table::fmt(B.CyclesTotal, 0),
             Table::fmt(N.CyclesTotal, 0),
-            "+" + Table::fmt(C.SpeedupWhole, 1) + "% speedup"});
+            fmtOpt(C.SpeedupWhole, "+", "% speedup")});
   T.addRow({"DL1 accesses", U64(B.Dl1Accesses), U64(N.Dl1Accesses),
             "Check-Map loads removed"});
   T.addRow({"DL1 hit rate", Table::pct(B.Dl1HitRate, 2),
@@ -56,7 +66,7 @@ int main() {
   T.addRow({"energy (whole app, uJ)",
             Table::fmt(B.EnergyTotal.total() / 1e6, 2),
             Table::fmt(N.EnergyTotal.total() / 1e6, 2),
-            Table::fmt(C.EnergyReductionWhole, 1) + "% saved"});
+            fmtOpt(C.EnergyReductionWhole, "", "% saved")});
   std::printf("%s", T.render().c_str());
   std::printf("\noutputs match: %s\n", C.OutputsMatch ? "yes" : "NO");
   std::printf("path checksum: %s",

@@ -10,6 +10,8 @@
 #include "support/Table.h"
 
 #include <cstdio>
+#include <optional>
+#include <string>
 
 using namespace ccjs;
 
@@ -79,9 +81,15 @@ int main() {
             Table::pct(CC.CcHitRate, 2)});
   std::printf("%s", T.render().c_str());
 
-  std::printf("speedup: %.1f%% whole app, %.1f%% optimized code\n",
-              C.SpeedupWhole, C.SpeedupOptimized);
-  std::printf("energy reduction: %.1f%% whole app, %.1f%% optimized code\n",
-              C.EnergyReductionWhole, C.EnergyReductionOptimized);
+  // The speedup metrics are optional: absent (zero denominator) prints as
+  // "n/a", never as 0%.
+  auto Pct = [](const std::optional<double> &V) -> std::string {
+    return V ? Table::fmt(*V, 1) + "%" : "n/a";
+  };
+  std::printf("speedup: %s whole app, %s optimized code\n",
+              Pct(C.SpeedupWhole).c_str(), Pct(C.SpeedupOptimized).c_str());
+  std::printf("energy reduction: %s whole app, %s optimized code\n",
+              Pct(C.EnergyReductionWhole).c_str(),
+              Pct(C.EnergyReductionOptimized).c_str());
   return 0;
 }

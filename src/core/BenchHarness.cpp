@@ -1,0 +1,565 @@
+//===- core/BenchHarness.cpp ----------------------------------------------===//
+///
+/// Thread-safety audit for the parallel fan-out (runIndexed):
+///
+///  * Engine owns its entire world: one VMState per Engine holds the
+///    StringInterner, SimMemory, ShapeTable, Heap, TypeProfiler, ClassList,
+///    ClassCache and ExecContext — nothing is shared between instances.
+///  * The only function-local static in the measurement path is the
+///    workload registry (Workloads.cpp: `static const std::vector<Workload>
+///    All`), which is const after its (thread-safe, C++11) initialization.
+///    The harness still touches it once up front, before any worker thread
+///    starts, so workers only ever read it.
+///  * All other statics in src/ are constexpr/const tables.
+///
+/// Consequently (workload x config) jobs are embarrassingly parallel, and
+/// because each job writes only its own result slot and the table/JSON
+/// rendering happens serially afterwards in workload order, parallel output
+/// is byte-identical to the serial run (asserted by BenchHarnessTest).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BenchHarness.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+using namespace ccjs;
+
+//===----------------------------------------------------------------------===//
+// Flag parsing
+//===----------------------------------------------------------------------===//
+
+static bool parseUnsigned(std::string_view Text, unsigned &Out) {
+  if (Text.empty())
+    return false;
+  unsigned V = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + unsigned(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+bool HarnessOptions::parse(int Argc, char **Argv,
+                           const std::function<bool(std::string_view)> &Extra,
+                           const char *ExtraUsage) {
+  auto Usage = [&](const char *Prog) {
+    std::fprintf(stderr,
+                 "usage: %s [--jobs=N] [--json=<path>|--json=-] "
+                 "[--filter=<suite|workload>]%s%s\n"
+                 "  --jobs=N    run benchmark jobs on N threads (0 = one per "
+                 "hardware thread;\n              output is byte-identical "
+                 "to --jobs=1)\n"
+                 "  --json=P    also write a machine-readable report "
+                 "(schema v%d) to P\n"
+                 "  --filter=F  restrict to one suite or one workload "
+                 "(exact name)\n",
+                 Prog, *ExtraUsage ? " " : "", ExtraUsage,
+                 BenchReportSchemaVersion);
+  };
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view A = Argv[I];
+    if (A.rfind("--jobs=", 0) == 0) {
+      if (!parseUnsigned(A.substr(7), Jobs)) {
+        std::fprintf(stderr, "%s: invalid --jobs value '%s'\n", Argv[0],
+                     Argv[I] + 7);
+        return false;
+      }
+    } else if (A.rfind("--json=", 0) == 0) {
+      JsonPath = A.substr(7);
+      if (JsonPath.empty()) {
+        std::fprintf(stderr, "%s: --json needs a path (or '-')\n", Argv[0]);
+        return false;
+      }
+    } else if (A.rfind("--filter=", 0) == 0) {
+      Filter = A.substr(9);
+    } else if (A == "--help" || A == "-h") {
+      Usage(Argv[0]);
+      return false;
+    } else if (Extra && Extra(A)) {
+      // Consumed by the binary-specific handler.
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", Argv[0], Argv[I]);
+      Usage(Argv[0]);
+      return false;
+    }
+  }
+  // Validate the filter against the registry *now*: a typo must fail before
+  // any benchmark work is spent (satellite fix for the old --detail bug).
+  if (!Filter.empty()) {
+    bool Known = false;
+    size_t N = 0;
+    const Workload *All = allWorkloads(&N);
+    for (size_t I = 0; I < N && !Known; ++I)
+      Known = Filter == All[I].Name || Filter == All[I].Suite;
+    if (!Known) {
+      std::fprintf(stderr,
+                   "%s: --filter='%s' matches no suite and no workload\n",
+                   Argv[0], Filter.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+unsigned HarnessOptions::effectiveJobs() const {
+  if (Jobs != 0)
+    return Jobs;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel execution
+//===----------------------------------------------------------------------===//
+
+void ccjs::runIndexed(size_t N, unsigned Jobs,
+                      const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  // Touch the workload registry before spawning workers so its one-time
+  // initialization happens on this thread (see the audit note above).
+  size_t RegistryCount = 0;
+  (void)allWorkloads(&RegistryCount);
+
+  if (Jobs <= 1 || N == 1) {
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I = Next.fetch_add(1); I < N; I = Next.fetch_add(1))
+      Fn(I);
+  };
+  size_t NumThreads = std::min<size_t>(Jobs, N);
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumThreads);
+  for (size_t T = 0; T < NumThreads; ++T)
+    Threads.emplace_back(Worker);
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+std::vector<Comparison>
+ccjs::compareWorkloads(const std::vector<const Workload *> &Ws,
+                       const EngineConfig &Base, unsigned Jobs,
+                       int Iterations) {
+  std::vector<Comparison> Results(Ws.size());
+  runIndexed(Ws.size(), Jobs, [&](size_t I) {
+    Results[I] = compareConfigs(Ws[I]->Source, Base, Iterations);
+  });
+  return Results;
+}
+
+std::vector<BenchRun>
+ccjs::runWorkloadsSteadyState(const std::vector<const Workload *> &Ws,
+                              const EngineConfig &Cfg, unsigned Jobs,
+                              int Iterations) {
+  std::vector<BenchRun> Results(Ws.size());
+  runIndexed(Ws.size(), Jobs, [&](size_t I) {
+    Results[I] = runSteadyState(Cfg, Ws[I]->Source, Iterations);
+  });
+  return Results;
+}
+
+//===----------------------------------------------------------------------===//
+// Structured reports
+//===----------------------------------------------------------------------===//
+
+std::string ccjs::configFingerprint(const EngineConfig &Cfg) {
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "v%d:cc=%d,maps=%d,smi=%d,nonsmi=%d,hoist=%d,regs=%u,sw=%d,"
+                "hotinv=%u,hotloop=%u,maxdeopt=%u,ccent=%u,ccways=%u",
+                BenchReportSchemaVersion, Cfg.ClassCacheEnabled,
+                Cfg.ElideCheckMaps, Cfg.ElideCheckSmi, Cfg.ElideCheckNonSmi,
+                Cfg.HoistClassIdArray, Cfg.NumArrayClassRegs,
+                Cfg.SoftwareOnlyClassCache, Cfg.HotInvocationThreshold,
+                Cfg.HotLoopThreshold, Cfg.MaxDeoptsPerFunction,
+                Cfg.Hw.ClassCacheEntries, Cfg.Hw.ClassCacheWays);
+  return Buf;
+}
+
+json::Value ccjs::configToJson(const EngineConfig &Cfg) {
+  json::Value J = json::Value::object();
+  J.set("fingerprint", configFingerprint(Cfg));
+  J.set("class_cache_enabled", Cfg.ClassCacheEnabled);
+  J.set("elide_check_maps", Cfg.ElideCheckMaps);
+  J.set("elide_check_smi", Cfg.ElideCheckSmi);
+  J.set("elide_check_non_smi", Cfg.ElideCheckNonSmi);
+  J.set("hoist_class_id_array", Cfg.HoistClassIdArray);
+  J.set("num_array_class_regs", Cfg.NumArrayClassRegs);
+  J.set("software_only_class_cache", Cfg.SoftwareOnlyClassCache);
+  J.set("hot_invocation_threshold", Cfg.HotInvocationThreshold);
+  J.set("hot_loop_threshold", Cfg.HotLoopThreshold);
+  J.set("class_cache_entries", Cfg.Hw.ClassCacheEntries);
+  J.set("class_cache_ways", Cfg.Hw.ClassCacheWays);
+  return J;
+}
+
+json::Value ccjs::statsToJson(const RunStats &S) {
+  json::Value J = json::Value::object();
+
+  json::Value Instr = json::Value::object();
+  Instr.set("total", S.Instrs.total());
+  static const char *const CategoryKeys[NumInstrCategories] = {
+      "checks", "tags_untags", "math_assumptions", "other_optimized",
+      "rest_of_code"};
+  for (unsigned C = 0; C < NumInstrCategories; ++C)
+    Instr.set(CategoryKeys[C], S.Instrs.PerCategory[C]);
+  Instr.set("optimized_total", S.Instrs.optimizedTotal());
+  Instr.set("checks_after_object_load",
+            S.Instrs.checksAfterObjectLoadTotal());
+  J.set("instructions", std::move(Instr));
+
+  json::Value Cycles = json::Value::object();
+  Cycles.set("total", S.CyclesTotal);
+  Cycles.set("optimized", S.CyclesOptimized);
+  Cycles.set("rest", S.CyclesRest);
+  J.set("cycles", std::move(Cycles));
+
+  json::Value Energy = json::Value::object();
+  Energy.set("total", S.EnergyTotal.total());
+  Energy.set("optimized_total", S.EnergyOptimized.total());
+  Energy.set("core", S.EnergyTotal.CorePJ);
+  Energy.set("l1", S.EnergyTotal.L1PJ);
+  Energy.set("l2", S.EnergyTotal.L2PJ);
+  Energy.set("mem", S.EnergyTotal.MemPJ);
+  Energy.set("class_cache", S.EnergyTotal.ClassCachePJ);
+  Energy.set("leakage", S.EnergyTotal.LeakagePJ);
+  J.set("energy_pj", std::move(Energy));
+
+  json::Value Mem = json::Value::object();
+  Mem.set("dl1_hit_rate", S.Dl1HitRate);
+  Mem.set("l2_hit_rate", S.L2HitRate);
+  Mem.set("dtlb_hit_rate", S.DtlbHitRate);
+  Mem.set("dl1_accesses", S.Dl1Accesses);
+  Mem.set("l2_accesses", S.L2Accesses);
+  J.set("mem", std::move(Mem));
+
+  json::Value Cc = json::Value::object();
+  Cc.set("accesses", S.CcAccesses);
+  Cc.set("misses", S.CcMisses);
+  Cc.set("exceptions", S.CcExceptions);
+  Cc.set("hit_rate", S.CcHitRate);
+  J.set("class_cache", std::move(Cc));
+
+  json::Value Loads = json::Value::object();
+  Loads.set("monomorphic_property", S.Loads.MonomorphicProperty);
+  Loads.set("non_monomorphic_property", S.Loads.NonMonomorphicProperty);
+  Loads.set("monomorphic_elements", S.Loads.MonomorphicElements);
+  Loads.set("non_monomorphic_elements", S.Loads.NonMonomorphicElements);
+  Loads.set("first_line_loads", S.Loads.FirstLineLoads);
+  Loads.set("total_property_loads", S.Loads.TotalPropertyLoads);
+  J.set("loads", std::move(Loads));
+
+  json::Value Heap = json::Value::object();
+  Heap.set("objects_allocated", S.Heap.ObjectsAllocated);
+  Heap.set("multi_line_objects", S.Heap.MultiLineObjects);
+  Heap.set("object_bytes", S.Heap.ObjectBytes);
+  Heap.set("extra_header_bytes", S.Heap.ExtraHeaderBytes);
+  Heap.set("heap_numbers_allocated", S.Heap.HeapNumbersAllocated);
+  Heap.set("strings_allocated", S.Heap.StringsAllocated);
+  J.set("heap", std::move(Heap));
+
+  J.set("hidden_classes", S.NumHiddenClasses);
+  J.set("opt_compiles", S.OptCompiles);
+  J.set("deopts", S.Deopts);
+  return J;
+}
+
+json::Value ccjs::comparisonToJson(const Comparison &C, bool IncludeRuns) {
+  json::Value J = json::Value::object();
+  J.set("ok", C.valid());
+  J.set("outputs_match", C.OutputsMatch);
+  // Unmeasurable metrics (zero denominator) serialize as null, never 0.
+  J.set("speedup_whole_pct", json::Value(C.SpeedupWhole));
+  J.set("speedup_optimized_pct", json::Value(C.SpeedupOptimized));
+  J.set("energy_reduction_whole_pct", json::Value(C.EnergyReductionWhole));
+  J.set("energy_reduction_optimized_pct",
+        json::Value(C.EnergyReductionOptimized));
+  if (!C.Baseline.Ok)
+    J.set("baseline_error", C.Baseline.Error);
+  if (!C.ClassCache.Ok)
+    J.set("class_cache_error", C.ClassCache.Error);
+  if (IncludeRuns && C.Baseline.Ok)
+    J.set("baseline", statsToJson(C.Baseline.Steady));
+  if (IncludeRuns && C.ClassCache.Ok)
+    J.set("class_cache", statsToJson(C.ClassCache.Steady));
+  return J;
+}
+
+BenchReport::BenchReport(std::string Generator, const EngineConfig &Cfg)
+    : Generator(std::move(Generator)), Config(configToJson(Cfg)) {}
+
+void BenchReport::addComparison(const Workload &W, const Comparison &C,
+                                bool IncludeRuns) {
+  json::Value E = json::Value::object();
+  E.set("name", W.Name);
+  E.set("suite", W.Suite);
+  E.set("selected", W.Selected);
+  E.set("comparison", comparisonToJson(C, IncludeRuns));
+  Workloads.push(std::move(E));
+}
+
+void BenchReport::addRun(const Workload &W, const BenchRun &R) {
+  json::Value E = json::Value::object();
+  E.set("name", W.Name);
+  E.set("suite", W.Suite);
+  E.set("selected", W.Selected);
+  E.set("ok", R.Ok);
+  if (!R.Ok)
+    E.set("error", R.Error);
+  else
+    E.set("stats", statsToJson(R.Steady));
+  Workloads.push(std::move(E));
+}
+
+void BenchReport::addEntry(std::string Name, std::string Suite,
+                           json::Value Payload) {
+  json::Value E = json::Value::object();
+  E.set("name", std::move(Name));
+  E.set("suite", std::move(Suite));
+  E.set("data", std::move(Payload));
+  Workloads.push(std::move(E));
+}
+
+void BenchReport::setSummary(std::string_view Key, json::Value V) {
+  Summary.set(Key, std::move(V));
+}
+
+json::Value BenchReport::toJson() const {
+  json::Value J = json::Value::object();
+  J.set("schema_version", BenchReportSchemaVersion);
+  J.set("generator", Generator);
+  J.set("config", Config);
+  J.set("workloads", Workloads);
+  J.set("summary", Summary);
+  return J;
+}
+
+bool BenchReport::write(const std::string &Path, std::string *Err) const {
+  std::string Text = toJson().dump(2);
+  if (Path == "-") {
+    std::fwrite(Text.data(), 1, Text.size(), stdout);
+    return true;
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool Ok = Written == Text.size() && std::fclose(F) == 0;
+  if (!Ok && Err)
+    *Err = "short write to '" + Path + "'";
+  return Ok;
+}
+
+bool ccjs::validateReport(const json::Value &Report, std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  if (!Report.isObject())
+    return Fail("report is not a JSON object");
+  const json::Value *Schema = Report.find("schema_version");
+  if (!Schema || !Schema->isNumber())
+    return Fail("missing numeric schema_version");
+  const json::Value *Gen = Report.find("generator");
+  if (!Gen || !Gen->isString())
+    return Fail("missing generator");
+  const json::Value *Fp = Report.findPath("config.fingerprint");
+  if (!Fp || !Fp->isString())
+    return Fail("missing config.fingerprint");
+  const json::Value *Ws = Report.find("workloads");
+  if (!Ws || !Ws->isArray())
+    return Fail("missing workloads array");
+  for (const json::Value &W : Ws->elements()) {
+    const json::Value *Name = W.find("name");
+    if (!Name || !Name->isString())
+      return Fail("workload entry without a name");
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Report diffing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class MetricKind {
+  /// Value is already percentage points; higher is better (speedups,
+  /// energy reductions). Movement is measured in points.
+  PointsHigherBetter,
+  /// Value is a 0..1 rate; higher is better. Movement measured in points
+  /// (delta * 100).
+  RateHigherBetter,
+  /// Absolute quantity; lower is better. Movement measured in relative
+  /// percent of the old value.
+  RelativeLowerBetter,
+};
+
+struct MetricSpec {
+  const char *Path;
+  MetricKind Kind;
+};
+
+/// Improvement of a metric in "tolerance units" (percentage points or
+/// relative percent); positive = better.
+double improvementOf(const MetricSpec &M, double Old, double New) {
+  switch (M.Kind) {
+  case MetricKind::PointsHigherBetter:
+    return New - Old;
+  case MetricKind::RateHigherBetter:
+    return (New - Old) * 100.0;
+  case MetricKind::RelativeLowerBetter:
+    return Old != 0 ? (Old - New) / Old * 100.0 : 0.0;
+  }
+  return 0;
+}
+
+} // namespace
+
+DiffResult ccjs::diffReports(const json::Value &Old, const json::Value &New,
+                             double Tolerance) {
+  DiffResult R;
+  std::string Err;
+  if (!validateReport(Old, &Err)) {
+    R.Comparable = false;
+    R.Error = "old report invalid: " + Err;
+    return R;
+  }
+  if (!validateReport(New, &Err)) {
+    R.Comparable = false;
+    R.Error = "new report invalid: " + Err;
+    return R;
+  }
+  auto Mismatch = [&](const char *What, const std::string &A,
+                      const std::string &B) {
+    R.Comparable = false;
+    R.Error = std::string(What) + " differs: '" + A + "' vs '" + B + "'";
+  };
+  std::string OldSchema =
+      json::formatNumber(Old.find("schema_version")->asNumber());
+  std::string NewSchema =
+      json::formatNumber(New.find("schema_version")->asNumber());
+  if (OldSchema != NewSchema)
+    return Mismatch("schema_version", OldSchema, NewSchema), R;
+  if (Old.find("generator")->asString() != New.find("generator")->asString())
+    return Mismatch("generator", Old.find("generator")->asString(),
+                    New.find("generator")->asString()),
+           R;
+  if (Old.findPath("config.fingerprint")->asString() !=
+      New.findPath("config.fingerprint")->asString())
+    return Mismatch("config.fingerprint",
+                    Old.findPath("config.fingerprint")->asString(),
+                    New.findPath("config.fingerprint")->asString()),
+           R;
+
+  // The metrics the perf gate watches. Comparison metrics live under
+  // "comparison"; per-run stats under "stats" (single-run reports) or the
+  // comparison's embedded runs.
+  static const MetricSpec Specs[] = {
+      {"comparison.speedup_whole_pct", MetricKind::PointsHigherBetter},
+      {"comparison.speedup_optimized_pct", MetricKind::PointsHigherBetter},
+      {"comparison.energy_reduction_whole_pct",
+       MetricKind::PointsHigherBetter},
+      {"comparison.energy_reduction_optimized_pct",
+       MetricKind::PointsHigherBetter},
+      {"comparison.class_cache.cycles.total",
+       MetricKind::RelativeLowerBetter},
+      {"comparison.class_cache.energy_pj.total",
+       MetricKind::RelativeLowerBetter},
+      {"comparison.class_cache.mem.dl1_hit_rate",
+       MetricKind::RateHigherBetter},
+      {"comparison.class_cache.class_cache.hit_rate",
+       MetricKind::RateHigherBetter},
+      {"stats.cycles.total", MetricKind::RelativeLowerBetter},
+      {"stats.energy_pj.total", MetricKind::RelativeLowerBetter},
+      {"stats.instructions.total", MetricKind::RelativeLowerBetter},
+      {"stats.mem.dl1_hit_rate", MetricKind::RateHigherBetter},
+      {"stats.mem.l2_hit_rate", MetricKind::RateHigherBetter},
+      {"stats.mem.dtlb_hit_rate", MetricKind::RateHigherBetter},
+      {"stats.class_cache.hit_rate", MetricKind::RateHigherBetter},
+  };
+
+  const json::Value &NewWs = *New.find("workloads");
+  auto FindNew = [&](const std::string &Name) -> const json::Value * {
+    for (const json::Value &W : NewWs.elements())
+      if (W.find("name")->asString() == Name)
+        return &W;
+    return nullptr;
+  };
+
+  for (const json::Value &OldW : Old.find("workloads")->elements()) {
+    const std::string &Name = OldW.find("name")->asString();
+    const json::Value *NewW = FindNew(Name);
+    if (!NewW) {
+      R.Notes.push_back("workload '" + Name + "' missing from new report");
+      continue;
+    }
+    for (const MetricSpec &M : Specs) {
+      const json::Value *OldV = OldW.findPath(M.Path);
+      const json::Value *NewV = NewW->findPath(M.Path);
+      if (!OldV && !NewV)
+        continue;
+      // A metric that was measurable and became null (or vanished) is a
+      // regression in its own right: the run stopped being measurable.
+      bool OldNum = OldV && OldV->isNumber();
+      bool NewNum = NewV && NewV->isNumber();
+      if (OldNum != NewNum) {
+        DiffEntry E;
+        E.Workload = Name;
+        E.Metric = M.Path;
+        E.OldValue = OldNum ? OldV->asNumber() : 0;
+        E.NewValue = NewNum ? NewV->asNumber() : 0;
+        E.Delta = 0;
+        E.Regression = OldNum; // Lost a previously measurable metric.
+        if (E.Regression)
+          R.Changes.push_back(E);
+        else
+          R.Notes.push_back("workload '" + Name + "' metric '" + M.Path +
+                            "' newly measurable");
+        continue;
+      }
+      if (!OldNum)
+        continue;
+      ++R.MetricsCompared;
+      double Improvement = improvementOf(M, OldV->asNumber(),
+                                         NewV->asNumber());
+      if (Improvement == 0)
+        continue;
+      DiffEntry E;
+      E.Workload = Name;
+      E.Metric = M.Path;
+      E.OldValue = OldV->asNumber();
+      E.NewValue = NewV->asNumber();
+      E.Delta = Improvement;
+      E.Regression = Improvement < -Tolerance;
+      R.Changes.push_back(E);
+    }
+  }
+  for (const json::Value &NewW : NewWs.elements()) {
+    const std::string &Name = NewW.find("name")->asString();
+    bool InOld = false;
+    for (const json::Value &OldW : Old.find("workloads")->elements())
+      if (OldW.find("name")->asString() == Name) {
+        InOld = true;
+        break;
+      }
+    if (!InOld)
+      R.Notes.push_back("workload '" + Name + "' only in new report");
+  }
+  return R;
+}

@@ -1,0 +1,192 @@
+//===- core/BenchHarness.h - Shared benchmark harness -----------*- C++ -*-===//
+///
+/// \file
+/// The shared layer every bench binary (and `ccjs --compare`) runs on:
+///
+///  * **Parallel fan-out** — independent runSteadyState/compareConfigs jobs
+///    (workload x config) execute on a std::thread pool (`--jobs=N`) and
+///    results are collected in deterministic workload order, so tables,
+///    averages and JSON reports are byte-identical to the serial run.
+///    Engine state is instance-owned (one VMState per Engine) and the only
+///    static in the measurement path is the const workload registry, so
+///    runs are embarrassingly parallel; see the audit note in
+///    BenchHarness.cpp.
+///
+///  * **Machine-readable reports** — `--json=<path>` emits per-workload
+///    RunStats (instruction breakdown by category, cycles, energy,
+///    DL1/L2/DTLB/Class-Cache hit rates, deopts) and comparison metrics
+///    through one serializer, with a schema version and a config
+///    fingerprint, so the perf trajectory of the repo can be tracked by
+///    `tools/bench_diff` (and by CI, which gates on it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_CORE_BENCHHARNESS_H
+#define CCJS_CORE_BENCHHARNESS_H
+
+#include "core/Runner.h"
+#include "support/Json.h"
+#include "workloads/Workloads.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ccjs {
+
+//===----------------------------------------------------------------------===//
+// Common flags
+//===----------------------------------------------------------------------===//
+
+/// Flags shared by every bench binary: --jobs=N, --json=<path>,
+/// --filter=<suite|workload>. Binary-specific flags are handled by the
+/// \p Extra callback.
+struct HarnessOptions {
+  /// Worker threads for the benchmark fan-out. 1 = serial (the default);
+  /// 0 = one per hardware thread.
+  unsigned Jobs = 1;
+  /// When non-empty, write the structured report here ("-" = stdout).
+  std::string JsonPath;
+  /// When non-empty, restrict the sweep to one suite (exact suite name) or
+  /// one workload (exact workload name).
+  std::string Filter;
+
+  /// Parses argv. Unknown flags are offered to \p Extra first (return true
+  /// to consume); anything left over prints a usage message listing
+  /// \p ExtraUsage and fails. Returns false on any parse error — callers
+  /// must exit non-zero *before* doing any benchmark work.
+  bool parse(int Argc, char **Argv,
+             const std::function<bool(std::string_view)> &Extra = nullptr,
+             const char *ExtraUsage = "");
+
+  /// Jobs with 0 resolved to std::thread::hardware_concurrency().
+  unsigned effectiveJobs() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Parallel execution
+//===----------------------------------------------------------------------===//
+
+/// Invokes \p Fn(I) exactly once for every I in [0, N) across \p Jobs
+/// threads (serially when Jobs <= 1). Blocks until all indices completed.
+/// \p Fn must only touch state owned by its index slot.
+void runIndexed(size_t N, unsigned Jobs, const std::function<void(size_t)> &Fn);
+
+/// compareConfigs for each workload, fanned out over \p Jobs threads;
+/// results are indexed exactly like \p Ws (deterministic order).
+std::vector<Comparison>
+compareWorkloads(const std::vector<const Workload *> &Ws,
+                 const EngineConfig &Base, unsigned Jobs,
+                 int Iterations = DefaultIterations);
+
+/// runSteadyState for each workload under one configuration, fanned out
+/// over \p Jobs threads; results are indexed exactly like \p Ws.
+std::vector<BenchRun>
+runWorkloadsSteadyState(const std::vector<const Workload *> &Ws,
+                        const EngineConfig &Cfg, unsigned Jobs,
+                        int Iterations = DefaultIterations);
+
+//===----------------------------------------------------------------------===//
+// Structured reports (schema v1)
+//===----------------------------------------------------------------------===//
+
+/// Version of the report layout documented in EXPERIMENTS.md. Bump when
+/// renaming/removing fields; bench_diff refuses to compare across versions.
+inline constexpr int BenchReportSchemaVersion = 1;
+
+/// Compact deterministic one-line fingerprint of an EngineConfig, embedded
+/// in every report so diffs across different configurations are rejected.
+std::string configFingerprint(const EngineConfig &Cfg);
+
+/// Full config serialization (fingerprint plus individual fields).
+json::Value configToJson(const EngineConfig &Cfg);
+
+/// Serializes one run's RunStats: instruction breakdown by category,
+/// cycles, energy breakdown, memory-hierarchy and Class-Cache hit rates,
+/// hidden classes, heap and engine counters.
+json::Value statsToJson(const RunStats &S);
+
+/// Serializes a Comparison: the four derived metrics (null when
+/// unmeasurable), output match, and both runs' stats.
+json::Value comparisonToJson(const Comparison &C, bool IncludeRuns = true);
+
+/// Accumulates one bench binary's per-workload results and renders the
+/// versioned report.
+class BenchReport {
+public:
+  /// \p Generator names the emitting binary (e.g. "fig8_speedup").
+  BenchReport(std::string Generator, const EngineConfig &Cfg);
+
+  /// Adds a workload entry carrying a baseline-vs-mechanism comparison.
+  void addComparison(const Workload &W, const Comparison &C,
+                     bool IncludeRuns = true);
+
+  /// Adds a workload entry carrying a single run's stats.
+  void addRun(const Workload &W, const BenchRun &R);
+
+  /// Adds a workload entry with a caller-built payload (ablation rows,
+  /// geometry sweeps...).
+  void addEntry(std::string Name, std::string Suite, json::Value Payload);
+
+  /// Sets a key in the report-level "summary" object (averages etc).
+  void setSummary(std::string_view Key, json::Value V);
+
+  json::Value toJson() const;
+
+  /// Writes the pretty-printed report to \p Path ("-" = stdout). Returns
+  /// false and fills \p Err on I/O failure.
+  bool write(const std::string &Path, std::string *Err) const;
+
+private:
+  std::string Generator;
+  json::Value Config;
+  json::Value Workloads = json::Value::array();
+  json::Value Summary = json::Value::object();
+};
+
+/// Validates that \p Report has the schema-v1 required structure
+/// (schema_version, generator, config.fingerprint, workloads[].name).
+/// Returns false and fills \p Err with the first problem found.
+bool validateReport(const json::Value &Report, std::string *Err);
+
+//===----------------------------------------------------------------------===//
+// Report diffing (tools/bench_diff, CI perf gate)
+//===----------------------------------------------------------------------===//
+
+/// One metric delta between two reports.
+struct DiffEntry {
+  std::string Workload;
+  std::string Metric;     ///< Dotted path inside the workload entry.
+  double OldValue = 0;
+  double NewValue = 0;
+  double Delta = 0;       ///< New - Old, sign-adjusted so negative == worse.
+  bool Regression = false;
+};
+
+struct DiffResult {
+  /// False when the reports cannot be compared at all (schema mismatch,
+  /// different generator or config fingerprint).
+  bool Comparable = true;
+  std::string Error;
+  size_t MetricsCompared = 0;
+  std::vector<DiffEntry> Changes;      ///< All metric movements beyond noise.
+  std::vector<std::string> Notes;      ///< Workloads present on one side only.
+
+  bool hasRegressions() const {
+    for (const DiffEntry &E : Changes)
+      if (E.Regression)
+        return true;
+    return false;
+  }
+};
+
+/// Compares two reports metric-by-metric. \p Tolerance is the movement
+/// (percentage points for the speedup/energy/hit-rate metrics, relative
+/// percent for cycles/energy totals) beyond which a worsening is flagged
+/// as a regression.
+DiffResult diffReports(const json::Value &Old, const json::Value &New,
+                       double Tolerance);
+
+} // namespace ccjs
+
+#endif // CCJS_CORE_BENCHHARNESS_H

@@ -43,15 +43,22 @@ Comparison ccjs::compareConfigs(std::string_view Source,
     return C;
   C.OutputsMatch = C.Baseline.Output == C.ClassCache.Output;
 
-  auto Pct = [](double Base, double New) {
-    return New > 0 ? (Base / New - 1.0) * 100.0 : 0.0;
+  // A zero denominator means the quantity was never measured (e.g. a
+  // workload that never tiers up executes no optimized cycles): report the
+  // metric as absent rather than a silent 0%.
+  auto Pct = [](double Base, double New) -> std::optional<double> {
+    if (Base <= 0 || New <= 0)
+      return std::nullopt;
+    return (Base / New - 1.0) * 100.0;
   };
   C.SpeedupWhole =
       Pct(C.Baseline.Steady.CyclesTotal, C.ClassCache.Steady.CyclesTotal);
   C.SpeedupOptimized = Pct(C.Baseline.Steady.CyclesOptimized,
                            C.ClassCache.Steady.CyclesOptimized);
-  auto Red = [](double Base, double New) {
-    return Base > 0 ? (1.0 - New / Base) * 100.0 : 0.0;
+  auto Red = [](double Base, double New) -> std::optional<double> {
+    if (Base <= 0)
+      return std::nullopt;
+    return (1.0 - New / Base) * 100.0;
   };
   C.EnergyReductionWhole = Red(C.Baseline.Steady.EnergyTotal.total(),
                                C.ClassCache.Steady.EnergyTotal.total());

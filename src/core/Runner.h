@@ -13,6 +13,7 @@
 
 #include "core/Engine.h"
 
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -36,17 +37,28 @@ BenchRun runSteadyState(const EngineConfig &Config, std::string_view Source,
                         int Iterations = DefaultIterations);
 
 /// Baseline-vs-mechanism comparison for one workload (figures 8 and 9).
+///
+/// The four derived metrics are std::optional: a metric is absent
+/// (unmeasurable, *not* zero) whenever its denominator is zero — e.g. a
+/// workload that never tiers up has CyclesOptimized == 0 in both runs, so
+/// no optimized-code speedup exists. Consumers must surface absent metrics
+/// distinctly ("n/a" in tables, null in JSON) instead of a silent "0%".
 struct Comparison {
   BenchRun Baseline;
   BenchRun ClassCache;
-  /// Speedup percentages ((base/cc - 1) * 100).
-  double SpeedupWhole = 0;
-  double SpeedupOptimized = 0;
-  /// Energy reduction percentages ((1 - cc/base) * 100).
-  double EnergyReductionWhole = 0;
-  double EnergyReductionOptimized = 0;
+  /// Speedup percentages ((base/cc - 1) * 100); nullopt when unmeasurable.
+  std::optional<double> SpeedupWhole;
+  std::optional<double> SpeedupOptimized;
+  /// Energy reduction percentages ((1 - cc/base) * 100); nullopt when
+  /// unmeasurable.
+  std::optional<double> EnergyReductionWhole;
+  std::optional<double> EnergyReductionOptimized;
   /// True when both runs completed and printed identical output.
   bool OutputsMatch = false;
+
+  /// True when both runs completed (the metrics above may still be
+  /// individually absent).
+  bool valid() const { return Baseline.Ok && ClassCache.Ok; }
 };
 
 /// Runs \p Source under the baseline and the Class Cache configuration

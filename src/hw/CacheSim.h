@@ -22,15 +22,28 @@ public:
   CacheSim(unsigned NumSets, unsigned Ways, unsigned BlockBytes)
       : NumSets(NumSets), Ways(Ways), BlockBytes(BlockBytes),
         Lines(size_t(NumSets) * Ways, InvalidTag) {
+    // NumSets == 0 would pass the power-of-two check (0 & -1 == 0) and then
+    // `Block & (NumSets - 1)` masks with all-ones, indexing Lines out of
+    // bounds — reject degenerate geometry explicitly.
+    assert(NumSets >= 1 && "cache must have at least one set");
+    assert(Ways >= 1 && "cache must have at least one way");
     assert((NumSets & (NumSets - 1)) == 0 && "sets must be a power of two");
     assert((BlockBytes & (BlockBytes - 1)) == 0 &&
            "block size must be a power of two");
   }
 
-  /// Convenience constructor from a total capacity in bytes.
+  /// Convenience constructor from a total capacity in bytes. The capacity
+  /// must hold at least one full way-set (Ways * BlockBytes) and divide
+  /// into a power-of-two number of sets.
   static CacheSim fromCapacity(unsigned CapacityBytes, unsigned Ways,
                                unsigned BlockBytes) {
-    return CacheSim(CapacityBytes / (Ways * BlockBytes), Ways, BlockBytes);
+    assert(Ways >= 1 && BlockBytes >= 1 && "degenerate way/block geometry");
+    unsigned WaySetBytes = Ways * BlockBytes;
+    assert(CapacityBytes >= WaySetBytes &&
+           "capacity smaller than one way-set yields zero sets");
+    assert(CapacityBytes % WaySetBytes == 0 &&
+           "capacity must be a multiple of ways * block size");
+    return CacheSim(CapacityBytes / WaySetBytes, Ways, BlockBytes);
   }
 
   /// Simulates an access; returns true on hit. Allocates on miss and

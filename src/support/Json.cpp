@@ -1,0 +1,419 @@
+//===- support/Json.cpp ---------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ccjs;
+using namespace ccjs::json;
+
+//===----------------------------------------------------------------------===//
+// Object accessors
+//===----------------------------------------------------------------------===//
+
+void Value::set(std::string_view Key, Value V) {
+  assert(K == Kind::Object && "set() requires an object");
+  for (auto &M : Members) {
+    if (M.first == Key) {
+      M.second = std::move(V);
+      return;
+    }
+  }
+  Members.emplace_back(std::string(Key), std::move(V));
+}
+
+const Value *Value::find(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &M : Members)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+const Value *Value::findPath(std::string_view DottedPath) const {
+  const Value *Cur = this;
+  while (!DottedPath.empty()) {
+    size_t Dot = DottedPath.find('.');
+    std::string_view Head = DottedPath.substr(0, Dot);
+    Cur = Cur->find(Head);
+    if (!Cur)
+      return nullptr;
+    if (Dot == std::string_view::npos)
+      break;
+    DottedPath.remove_prefix(Dot + 1);
+  }
+  return Cur;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+std::string ccjs::json::formatNumber(double N) {
+  if (std::isnan(N) || std::isinf(N))
+    return "null"; // JSON has no NaN/Inf; unmeasurable values map to null.
+  char Buf[64];
+  // Exactly-representable integers (counters, byte sizes...) print in plain
+  // decimal — to_chars' shortest form would turn 1000000 into "1e+06",
+  // which is valid JSON but needlessly hostile to grep and diffs.
+  std::to_chars_result R;
+  if (N == std::floor(N) && std::abs(N) < 9007199254740992.0 /* 2^53 */)
+    R = std::to_chars(Buf, Buf + sizeof(Buf), static_cast<long long>(N));
+  else
+    R = std::to_chars(Buf, Buf + sizeof(Buf), N);
+  assert(R.ec == std::errc() && "number formatting cannot fail");
+  return std::string(Buf, R.ptr);
+}
+
+static void escapeString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C; // UTF-8 bytes pass through unchanged.
+      }
+    }
+  }
+  Out += '"';
+}
+
+void Value::dumpTo(std::string &Out, unsigned Indent, unsigned Depth) const {
+  auto Newline = [&](unsigned D) {
+    if (Indent == 0)
+      return;
+    Out += '\n';
+    Out.append(size_t(Indent) * D, ' ');
+  };
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Boolean:
+    Out += Bool ? "true" : "false";
+    break;
+  case Kind::Number:
+    Out += formatNumber(Num);
+    break;
+  case Kind::String:
+    escapeString(Out, Str);
+    break;
+  case Kind::Array:
+    if (Elems.empty()) {
+      Out += "[]";
+      break;
+    }
+    Out += '[';
+    for (size_t I = 0; I < Elems.size(); ++I) {
+      if (I)
+        Out += ',';
+      Newline(Depth + 1);
+      Elems[I].dumpTo(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += ']';
+    break;
+  case Kind::Object:
+    if (Members.empty()) {
+      Out += "{}";
+      break;
+    }
+    Out += '{';
+    for (size_t I = 0; I < Members.size(); ++I) {
+      if (I)
+        Out += ',';
+      Newline(Depth + 1);
+      escapeString(Out, Members[I].first);
+      Out += Indent ? ": " : ":";
+      Members[I].second.dumpTo(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += '}';
+    break;
+  }
+}
+
+std::string Value::dump(unsigned Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  if (Indent)
+    Out += '\n';
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  std::optional<Value> run(std::string *Err) {
+    std::optional<Value> V = parseValue();
+    if (V) {
+      skipWs();
+      if (Pos != Text.size()) {
+        fail("trailing content after JSON value");
+        V.reset();
+      }
+    }
+    if (!V && Err)
+      *Err = Error;
+    return V;
+  }
+
+private:
+  void fail(const char *Msg) {
+    if (Error.empty())
+      Error = std::string(Msg) + " at byte " + std::to_string(Pos);
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view Lit) {
+    if (Text.substr(Pos, Lit.size()) == Lit) {
+      Pos += Lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Value> parseValue() {
+    skipWs();
+    if (Pos >= Text.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char C = Text[Pos];
+    if (C == 'n')
+      return literal("null") ? std::optional<Value>(Value(nullptr))
+                             : (fail("invalid literal"), std::nullopt);
+    if (C == 't')
+      return literal("true") ? std::optional<Value>(Value(true))
+                             : (fail("invalid literal"), std::nullopt);
+    if (C == 'f')
+      return literal("false") ? std::optional<Value>(Value(false))
+                              : (fail("invalid literal"), std::nullopt);
+    if (C == '"')
+      return parseString();
+    if (C == '[')
+      return parseArray();
+    if (C == '{')
+      return parseObject();
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return parseNumber();
+    fail("unexpected character");
+    return std::nullopt;
+  }
+
+  std::optional<Value> parseNumber() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    double N = 0;
+    auto [End, Ec] = std::from_chars(Text.data() + Start, Text.data() + Pos, N);
+    if (Ec != std::errc() || End != Text.data() + Pos) {
+      fail("malformed number");
+      return std::nullopt;
+    }
+    return Value(N);
+  }
+
+  std::optional<Value> parseString() {
+    std::optional<std::string> S = parseRawString();
+    if (!S)
+      return std::nullopt;
+    return Value(std::move(*S));
+  }
+
+  std::optional<std::string> parseRawString() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string Out;
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size()) {
+          fail("truncated \\u escape");
+          return std::nullopt;
+        }
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code += H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code += H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code += H - 'A' + 10;
+          else {
+            fail("invalid \\u escape");
+            return std::nullopt;
+          }
+        }
+        // Encode the code point as UTF-8 (BMP only; surrogate pairs are not
+        // produced by our writer).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        fail("invalid escape");
+        return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Value> parseArray() {
+    consume('[');
+    Value A = Value::array();
+    skipWs();
+    if (consume(']'))
+      return A;
+    while (true) {
+      std::optional<Value> V = parseValue();
+      if (!V)
+        return std::nullopt;
+      A.push(std::move(*V));
+      if (consume(']'))
+        return A;
+      if (!consume(',')) {
+        fail("expected ',' or ']' in array");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<Value> parseObject() {
+    consume('{');
+    Value O = Value::object();
+    skipWs();
+    if (consume('}'))
+      return O;
+    while (true) {
+      skipWs();
+      std::optional<std::string> Key = parseRawString();
+      if (!Key)
+        return std::nullopt;
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      std::optional<Value> V = parseValue();
+      if (!V)
+        return std::nullopt;
+      O.set(*Key, std::move(*V));
+      if (consume('}'))
+        return O;
+      if (!consume(',')) {
+        fail("expected ',' or '}' in object");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Error;
+};
+
+} // namespace
+
+std::optional<Value> Value::parse(std::string_view Text, std::string *Err) {
+  return Parser(Text).run(Err);
+}

@@ -1,0 +1,138 @@
+//===- support/Json.h - Minimal JSON value, writer and parser ---*- C++ -*-===//
+///
+/// \file
+/// A small JSON library for the benchmark harness: every bench binary
+/// serializes its per-workload measurements through it (--json=<path>) and
+/// `tools/bench_diff` parses the resulting reports back to compare runs.
+///
+/// Design points that matter for measurement reports:
+///  * Objects preserve insertion order, so emitted reports are byte-stable
+///    across runs and thread counts (the harness requires --jobs=N output
+///    to be byte-identical to the serial run).
+///  * Numbers are written with the shortest round-tripping representation
+///    (std::to_chars), so parse(dump(x)) == x exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_SUPPORT_JSON_H
+#define CCJS_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ccjs::json {
+
+/// A JSON value: null, boolean, number, string, array or (ordered) object.
+class Value {
+public:
+  enum class Kind : uint8_t { Null, Boolean, Number, String, Array, Object };
+
+  Value() : K(Kind::Null) {}
+  Value(std::nullptr_t) : K(Kind::Null) {}
+  Value(bool B) : K(Kind::Boolean), Bool(B) {}
+  Value(double N) : K(Kind::Number), Num(N) {}
+  Value(int N) : K(Kind::Number), Num(N) {}
+  Value(unsigned N) : K(Kind::Number), Num(N) {}
+  Value(long N) : K(Kind::Number), Num(static_cast<double>(N)) {}
+  Value(unsigned long N) : K(Kind::Number), Num(static_cast<double>(N)) {}
+  Value(long long N) : K(Kind::Number), Num(static_cast<double>(N)) {}
+  Value(unsigned long long N) : K(Kind::Number), Num(static_cast<double>(N)) {}
+  Value(std::string S) : K(Kind::String), Str(std::move(S)) {}
+  Value(std::string_view S) : K(Kind::String), Str(S) {}
+  Value(const char *S) : K(Kind::String), Str(S) {}
+  /// An optional number maps to the number or to JSON null — the harness
+  /// uses this for unmeasurable metrics (e.g. speedups with a zero
+  /// denominator).
+  Value(const std::optional<double> &N)
+      : K(N ? Kind::Number : Kind::Null), Num(N ? *N : 0) {}
+
+  static Value array() {
+    Value V;
+    V.K = Kind::Array;
+    return V;
+  }
+  static Value object() {
+    Value V;
+    V.K = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Boolean; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const { return Bool; }
+  double asNumber() const { return Num; }
+  const std::string &asString() const { return Str; }
+
+  //===------------------------------------------------------------------===//
+  // Arrays
+  //===------------------------------------------------------------------===//
+
+  void push(Value V) { Elems.push_back(std::move(V)); }
+  size_t size() const {
+    return K == Kind::Array ? Elems.size() : Members.size();
+  }
+  const Value &at(size_t I) const { return Elems[I]; }
+  const std::vector<Value> &elements() const { return Elems; }
+
+  //===------------------------------------------------------------------===//
+  // Objects (insertion-ordered)
+  //===------------------------------------------------------------------===//
+
+  /// Sets \p Key to \p V, overwriting an existing member in place or
+  /// appending a new one.
+  void set(std::string_view Key, Value V);
+
+  /// Returns the member value or null when absent.
+  const Value *find(std::string_view Key) const;
+
+  /// Member lookup walking a dotted path, e.g. "comparison.speedup_whole".
+  /// Returns null when any component is missing or not an object.
+  const Value *findPath(std::string_view DottedPath) const;
+
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+
+  //===------------------------------------------------------------------===//
+  // Serialization
+  //===------------------------------------------------------------------===//
+
+  /// Renders the value. \p Indent == 0 emits the compact form; a positive
+  /// indent pretty-prints with that many spaces per nesting level. Output
+  /// is deterministic: object order is insertion order and numbers use the
+  /// shortest round-tripping form.
+  std::string dump(unsigned Indent = 0) const;
+
+  /// Parses \p Text; on failure returns std::nullopt and, when \p Err is
+  /// non-null, a message with the byte offset of the problem.
+  static std::optional<Value> parse(std::string_view Text,
+                                    std::string *Err = nullptr);
+
+private:
+  void dumpTo(std::string &Out, unsigned Indent, unsigned Depth) const;
+
+  Kind K;
+  bool Bool = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Elems;
+  std::vector<std::pair<std::string, Value>> Members;
+};
+
+/// Formats a double the way the writer does (shortest round-trip form);
+/// exposed so tests and tools can render numbers consistently.
+std::string formatNumber(double N);
+
+} // namespace ccjs::json
+
+#endif // CCJS_SUPPORT_JSON_H

@@ -1,0 +1,334 @@
+//===- tests/BenchHarnessTest.cpp - Bench harness tests -------------------===//
+///
+/// Covers the harness guarantees the bench binaries rely on: parallel
+/// fan-out produces byte-identical results to the serial run, unmeasurable
+/// comparison metrics surface as absent (never as 0%), reports validate
+/// against the schema, and diffReports flags regressions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BenchHarness.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+using namespace ccjs;
+
+namespace {
+
+const char *TieringProgram = R"js(
+function P(x) { this.x = x; }
+var objs = [];
+var i; for (i = 0; i < 64; i++) objs[i] = new P(i);
+function run() {
+  var s = 0; var i;
+  for (i = 0; i < 64; i++) s += objs[i].x;
+  return s;
+}
+print('ready');
+)js";
+
+//===----------------------------------------------------------------------===//
+// Zero-denominator Comparison metrics (the Runner.cpp bugfix)
+//===----------------------------------------------------------------------===//
+
+TEST(ComparisonMetricsTest, UnmeasurableOptimizedMetricsAreAbsent) {
+  // With tiering disabled nothing ever runs optimized: the optimized-code
+  // speedup has a zero denominator on both sides. It used to print as a
+  // silent "0.0%"; it must be absent instead.
+  EngineConfig NoOpt;
+  NoOpt.HotInvocationThreshold = ~0u;
+  NoOpt.HotLoopThreshold = ~0u;
+  Comparison C = compareConfigs(TieringProgram, NoOpt, 5);
+  ASSERT_TRUE(C.Baseline.Ok) << C.Baseline.Error;
+  ASSERT_TRUE(C.ClassCache.Ok) << C.ClassCache.Error;
+  ASSERT_TRUE(C.valid());
+  EXPECT_FALSE(C.SpeedupOptimized.has_value());
+  EXPECT_FALSE(C.EnergyReductionOptimized.has_value());
+  // Whole-application cycles are always nonzero, so those stay measurable.
+  EXPECT_TRUE(C.SpeedupWhole.has_value());
+  EXPECT_TRUE(C.EnergyReductionWhole.has_value());
+}
+
+TEST(ComparisonMetricsTest, AbsentMetricsSerializeAsNull) {
+  EngineConfig NoOpt;
+  NoOpt.HotInvocationThreshold = ~0u;
+  NoOpt.HotLoopThreshold = ~0u;
+  Comparison C = compareConfigs(TieringProgram, NoOpt, 5);
+  ASSERT_TRUE(C.valid());
+  json::Value J = comparisonToJson(C, /*IncludeRuns=*/false);
+  const json::Value *Opt = J.find("speedup_optimized_pct");
+  ASSERT_NE(Opt, nullptr);
+  EXPECT_TRUE(Opt->isNull());
+  const json::Value *Whole = J.find("speedup_whole_pct");
+  ASSERT_NE(Whole, nullptr);
+  EXPECT_TRUE(Whole->isNumber());
+}
+
+TEST(ComparisonMetricsTest, MeasurableProgramHasAllMetrics) {
+  Comparison C = compareConfigs(TieringProgram, EngineConfig(), 10);
+  ASSERT_TRUE(C.valid());
+  EXPECT_TRUE(C.SpeedupWhole.has_value());
+  EXPECT_TRUE(C.SpeedupOptimized.has_value());
+  EXPECT_TRUE(C.EnergyReductionWhole.has_value());
+  EXPECT_TRUE(C.EnergyReductionOptimized.has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel fan-out
+//===----------------------------------------------------------------------===//
+
+TEST(RunIndexedTest, CoversEveryIndexExactlyOnce) {
+  for (unsigned Jobs : {1u, 2u, 4u, 7u}) {
+    std::vector<std::atomic<int>> Hits(23);
+    runIndexed(Hits.size(), Jobs, [&](size_t I) { Hits[I].fetch_add(1); });
+    for (size_t I = 0; I < Hits.size(); ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "index " << I << " jobs " << Jobs;
+  }
+}
+
+TEST(RunIndexedTest, MoreJobsThanWork) {
+  std::atomic<int> Count{0};
+  runIndexed(2, 16, [&](size_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 2);
+}
+
+// The tentpole guarantee: a parallel sweep must be byte-identical to the
+// serial one — same Comparison results in the same workload order, hence
+// identical tables and JSON.
+TEST(ParallelDeterminismTest, JobsFourMatchesSerialByteForByte) {
+  size_t Count = 0;
+  const Workload *All = allWorkloads(&Count);
+  ASSERT_GE(Count, 3u);
+  std::vector<const Workload *> Ws = {&All[0], &All[1], &All[2]};
+
+  const int Iterations = 5;
+  std::vector<Comparison> Serial = compareWorkloads(Ws, EngineConfig(), 1,
+                                                    Iterations);
+  std::vector<Comparison> Parallel = compareWorkloads(Ws, EngineConfig(), 4,
+                                                      Iterations);
+  ASSERT_EQ(Serial.size(), Ws.size());
+  ASSERT_EQ(Parallel.size(), Ws.size());
+
+  BenchReport SerialReport("determinism", EngineConfig());
+  BenchReport ParallelReport("determinism", EngineConfig());
+  for (size_t I = 0; I < Ws.size(); ++I) {
+    SerialReport.addComparison(*Ws[I], Serial[I]);
+    ParallelReport.addComparison(*Ws[I], Parallel[I]);
+  }
+  // Byte-for-byte, not approximately: the simulator is deterministic and
+  // rendering happens serially after the fan-out.
+  EXPECT_EQ(SerialReport.toJson().dump(2), ParallelReport.toJson().dump(2));
+}
+
+//===----------------------------------------------------------------------===//
+// Report schema
+//===----------------------------------------------------------------------===//
+
+TEST(BenchReportTest, RoundTripsAndValidates) {
+  EngineConfig Cfg;
+  BenchRun R = runSteadyState(Cfg, TieringProgram, 5);
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  BenchReport Report("unit_test", Cfg);
+  Workload W{"w1", "suite1", "", true};
+  Report.addRun(W, R);
+  Report.setSummary("some_avg", 1.25);
+
+  std::string Text = Report.toJson().dump(2);
+  std::string Err;
+  std::optional<json::Value> Parsed = json::Value::parse(Text, &Err);
+  ASSERT_TRUE(Parsed.has_value()) << Err;
+  EXPECT_TRUE(validateReport(*Parsed, &Err)) << Err;
+
+  EXPECT_EQ(Parsed->findPath("schema_version")->asNumber(),
+            BenchReportSchemaVersion);
+  EXPECT_EQ(Parsed->findPath("generator")->asString(), "unit_test");
+  EXPECT_EQ(Parsed->findPath("config.fingerprint")->asString(),
+            configFingerprint(Cfg));
+  const json::Value *Workloads = Parsed->find("workloads");
+  ASSERT_NE(Workloads, nullptr);
+  ASSERT_EQ(Workloads->size(), 1u);
+  const json::Value &Entry = Workloads->at(0);
+  EXPECT_EQ(Entry.find("name")->asString(), "w1");
+  const json::Value *Stats = Entry.find("stats");
+  ASSERT_NE(Stats, nullptr);
+  EXPECT_GT(Stats->findPath("instructions.total")->asNumber(), 0.0);
+  EXPECT_GT(Stats->findPath("cycles.total")->asNumber(), 0.0);
+  EXPECT_GT(Stats->findPath("energy_pj.total")->asNumber(), 0.0);
+  ASSERT_NE(Stats->findPath("mem.dl1_hit_rate"), nullptr);
+  EXPECT_EQ(Parsed->findPath("summary.some_avg")->asNumber(), 1.25);
+}
+
+TEST(BenchReportTest, ValidateRejectsJunk) {
+  std::string Err;
+  json::Value NotObj = json::Value::array();
+  EXPECT_FALSE(validateReport(NotObj, &Err));
+
+  std::optional<json::Value> MissingVersion =
+      json::Value::parse(R"({"generator": "x"})", &Err);
+  ASSERT_TRUE(MissingVersion.has_value());
+  EXPECT_FALSE(validateReport(*MissingVersion, &Err));
+}
+
+TEST(ConfigFingerprintTest, DistinguishesConfigs) {
+  EngineConfig A, B;
+  B.ClassCacheEnabled = true;
+  EXPECT_NE(configFingerprint(A), configFingerprint(B));
+  EXPECT_EQ(configFingerprint(A), configFingerprint(EngineConfig()));
+}
+
+//===----------------------------------------------------------------------===//
+// diffReports
+//===----------------------------------------------------------------------===//
+
+static json::Value reportWithComparison(const Comparison &C) {
+  BenchReport Report("difftest", EngineConfig());
+  Workload W{"w1", "s", "", true};
+  Report.addComparison(W, C, /*IncludeRuns=*/true);
+  return Report.toJson();
+}
+
+class DiffReportsTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    Base = new Comparison(compareConfigs(TieringProgram, EngineConfig(), 10));
+    ASSERT_TRUE(Base->valid());
+  }
+  static void TearDownTestSuite() {
+    delete Base;
+    Base = nullptr;
+  }
+  static Comparison *Base;
+};
+
+Comparison *DiffReportsTest::Base = nullptr;
+
+TEST_F(DiffReportsTest, SelfCompareIsClean) {
+  json::Value R = reportWithComparison(*Base);
+  DiffResult D = diffReports(R, R, 0.1);
+  ASSERT_TRUE(D.Comparable) << D.Error;
+  EXPECT_GT(D.MetricsCompared, 0u);
+  EXPECT_FALSE(D.hasRegressions());
+  EXPECT_TRUE(D.Changes.empty());
+}
+
+TEST_F(DiffReportsTest, FlagsSpeedupDrop) {
+  json::Value Old = reportWithComparison(*Base);
+  Comparison Worse = *Base;
+  Worse.SpeedupWhole = *Worse.SpeedupWhole - 5.0;
+  json::Value New = reportWithComparison(Worse);
+  DiffResult D = diffReports(Old, New, 0.5);
+  ASSERT_TRUE(D.Comparable) << D.Error;
+  EXPECT_TRUE(D.hasRegressions());
+  bool Found = false;
+  for (const DiffEntry &E : D.Changes)
+    if (E.Metric == "comparison.speedup_whole_pct" && E.Regression)
+      Found = true;
+  EXPECT_TRUE(Found);
+}
+
+TEST_F(DiffReportsTest, ImprovementIsNotARegression) {
+  json::Value Old = reportWithComparison(*Base);
+  Comparison Better = *Base;
+  Better.SpeedupWhole = *Better.SpeedupWhole + 5.0;
+  json::Value New = reportWithComparison(Better);
+  DiffResult D = diffReports(Old, New, 0.5);
+  ASSERT_TRUE(D.Comparable) << D.Error;
+  EXPECT_FALSE(D.hasRegressions());
+  EXPECT_FALSE(D.Changes.empty()); // Still reported as a movement.
+}
+
+TEST_F(DiffReportsTest, LosingMeasurabilityIsARegression) {
+  json::Value Old = reportWithComparison(*Base);
+  Comparison Unmeasurable = *Base;
+  Unmeasurable.SpeedupWhole.reset();
+  json::Value New = reportWithComparison(Unmeasurable);
+  DiffResult D = diffReports(Old, New, 0.5);
+  ASSERT_TRUE(D.Comparable) << D.Error;
+  EXPECT_TRUE(D.hasRegressions());
+}
+
+TEST_F(DiffReportsTest, RejectsFingerprintMismatch) {
+  json::Value Old = reportWithComparison(*Base);
+  BenchReport OtherCfg("difftest", [] {
+    EngineConfig C;
+    C.ClassCacheEnabled = true;
+    return C;
+  }());
+  Workload W{"w1", "s", "", true};
+  OtherCfg.addComparison(W, *Base);
+  DiffResult D = diffReports(Old, OtherCfg.toJson(), 0.5);
+  EXPECT_FALSE(D.Comparable);
+}
+
+TEST_F(DiffReportsTest, MissingWorkloadIsANote) {
+  json::Value Old = reportWithComparison(*Base);
+  BenchReport Empty("difftest", EngineConfig());
+  DiffResult D = diffReports(Old, Empty.toJson(), 0.5);
+  ASSERT_TRUE(D.Comparable) << D.Error;
+  EXPECT_FALSE(D.Notes.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// HarnessOptions
+//===----------------------------------------------------------------------===//
+
+static bool parseArgs(HarnessOptions &Opt,
+                      std::initializer_list<const char *> Args) {
+  std::vector<char *> Argv;
+  static char Prog[] = "bench_test";
+  Argv.push_back(Prog);
+  std::vector<std::string> Storage(Args.begin(), Args.end());
+  for (std::string &S : Storage)
+    Argv.push_back(S.data());
+  return Opt.parse(static_cast<int>(Argv.size()), Argv.data());
+}
+
+TEST(HarnessOptionsTest, ParsesSharedFlags) {
+  HarnessOptions Opt;
+  EXPECT_TRUE(parseArgs(Opt, {"--jobs=4", "--json=/tmp/x.json",
+                              "--filter=sunspider"}));
+  EXPECT_EQ(Opt.Jobs, 4u);
+  EXPECT_EQ(Opt.JsonPath, "/tmp/x.json");
+  EXPECT_EQ(Opt.Filter, "sunspider");
+  EXPECT_EQ(Opt.effectiveJobs(), 4u);
+}
+
+TEST(HarnessOptionsTest, RejectsUnknownFlag) {
+  HarnessOptions Opt;
+  EXPECT_FALSE(parseArgs(Opt, {"--bogus"}));
+}
+
+TEST(HarnessOptionsTest, RejectsBadJobs) {
+  HarnessOptions Opt;
+  EXPECT_FALSE(parseArgs(Opt, {"--jobs=banana"}));
+}
+
+// The fig8 bugfix generalized: an invalid filter must fail before any
+// benchmark work happens, not after a full sweep.
+TEST(HarnessOptionsTest, RejectsUnknownFilterUpFront) {
+  HarnessOptions Opt;
+  EXPECT_FALSE(parseArgs(Opt, {"--filter=definitely-not-a-workload"}));
+}
+
+TEST(HarnessOptionsTest, AcceptsWorkloadNameAsFilter) {
+  size_t Count = 0;
+  const Workload &W = allWorkloads(&Count)[0];
+  ASSERT_GE(Count, 1u);
+  HarnessOptions Opt;
+  std::string Flag = std::string("--filter=") + W.Name;
+  EXPECT_TRUE(parseArgs(Opt, {Flag.c_str()}));
+  EXPECT_EQ(Opt.Filter, W.Name);
+}
+
+TEST(HarnessOptionsTest, ZeroJobsResolvesToHardware) {
+  HarnessOptions Opt;
+  EXPECT_TRUE(parseArgs(Opt, {"--jobs=0"}));
+  EXPECT_GE(Opt.effectiveJobs(), 1u);
+}
+
+} // namespace

@@ -125,6 +125,40 @@ TEST(MemorySystemTest, L2CatchesL1Evictions) {
   EXPECT_GT(L2Hits, Lines / 2);
 }
 
+// Degenerate geometries must be rejected loudly. A capacity smaller than one
+// way-set used to produce NumSets == 0, which passed the power-of-two assert
+// (0 & -1 == 0) and then masked every set index to garbage — asserts stay on
+// in every build type, so these are death tests.
+TEST(CacheSimDeathTest, RejectsCapacityBelowOneWaySet) {
+  // 64 bytes of capacity cannot hold a 4-way x 64-byte way-set (256 bytes).
+  EXPECT_DEATH(CacheSim::fromCapacity(64, 4, 64), "zero sets");
+}
+
+TEST(CacheSimDeathTest, RejectsNonMultipleCapacity) {
+  // 320 is not a multiple of the 256-byte way-set.
+  EXPECT_DEATH(CacheSim::fromCapacity(320, 4, 64), "multiple of ways");
+}
+
+TEST(CacheSimDeathTest, RejectsZeroSets) {
+  EXPECT_DEATH(CacheSim(0, 2, 64), "at least one set");
+}
+
+TEST(CacheSimDeathTest, RejectsZeroWays) {
+  EXPECT_DEATH(CacheSim(16, 0, 64), "at least one way");
+}
+
+TEST(CacheSimDeathTest, RejectsNonPowerOfTwoSets) {
+  EXPECT_DEATH(CacheSim(3, 2, 64), "power of two");
+}
+
+TEST(CacheSimTest, SmallestValidCapacityIsOneWaySet) {
+  // Exactly one way-set is the legal minimum: a single fully-associative set.
+  CacheSim C = CacheSim::fromCapacity(256, 4, 64);
+  C.access(0);
+  EXPECT_EQ(C.misses(), 1u);
+  EXPECT_TRUE(C.access(0));
+}
+
 TEST(MemorySystemTest, DtlbGeometry) {
   HwConfig Cfg;
   MemorySystem M(Cfg);

@@ -1,0 +1,116 @@
+//===- tests/JsonTest.cpp - JSON writer/parser tests ----------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+using namespace ccjs;
+
+namespace {
+
+TEST(JsonTest, ScalarDump) {
+  EXPECT_EQ(json::Value().dump(), "null");
+  EXPECT_EQ(json::Value(true).dump(), "true");
+  EXPECT_EQ(json::Value(false).dump(), "false");
+  EXPECT_EQ(json::Value(42).dump(), "42");
+  EXPECT_EQ(json::Value(1.5).dump(), "1.5");
+  EXPECT_EQ(json::Value("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, NumbersRoundTripShortest) {
+  // Integral doubles print without an exponent or trailing ".0"; irrational
+  // values print the shortest digits that round-trip exactly.
+  EXPECT_EQ(json::formatNumber(1000000), "1000000");
+  EXPECT_EQ(json::formatNumber(0.1), "0.1");
+  double V = 1.0 / 3.0;
+  std::string S = json::formatNumber(V);
+  std::string Err;
+  std::optional<json::Value> P = json::Value::parse(S, &Err);
+  ASSERT_TRUE(P.has_value()) << Err;
+  EXPECT_EQ(P->asNumber(), V);
+}
+
+TEST(JsonTest, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(json::Value(std::nan("")).dump(), "null");
+  EXPECT_EQ(json::Value(INFINITY).dump(), "null");
+}
+
+TEST(JsonTest, OptionalMapsToNull) {
+  json::Value V(std::optional<double>{});
+  EXPECT_TRUE(V.isNull());
+  json::Value W(std::optional<double>{2.5});
+  EXPECT_EQ(W.asNumber(), 2.5);
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(json::Value("a\"b\\c\n\t").dump(), "\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(json::Value(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  json::Value O = json::Value::object();
+  O.set("zebra", 1);
+  O.set("alpha", 2);
+  O.set("mid", 3);
+  EXPECT_EQ(O.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  // set() on an existing key overwrites in place without reordering.
+  O.set("alpha", 9);
+  EXPECT_EQ(O.dump(), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(JsonTest, FindPath) {
+  std::string Err;
+  std::optional<json::Value> V = json::Value::parse(
+      R"({"a": {"b": {"c": 7}}, "x": [1, 2]})", &Err);
+  ASSERT_TRUE(V.has_value()) << Err;
+  const json::Value *C = V->findPath("a.b.c");
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->asNumber(), 7);
+  EXPECT_EQ(V->findPath("a.b.missing"), nullptr);
+  EXPECT_EQ(V->findPath("x.y"), nullptr);
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const char *Src = R"({"n":null,"t":true,"s":"a\nb","arr":[1,2.5,-3],)"
+                    R"("obj":{"k":"v"}})";
+  std::string Err;
+  std::optional<json::Value> V = json::Value::parse(Src, &Err);
+  ASSERT_TRUE(V.has_value()) << Err;
+  EXPECT_EQ(V->dump(), Src);
+}
+
+TEST(JsonTest, PrettyPrintParsesBack) {
+  json::Value O = json::Value::object();
+  O.set("a", 1);
+  json::Value Arr = json::Value::array();
+  Arr.push("x");
+  Arr.push(json::Value());
+  O.set("list", std::move(Arr));
+  std::string Pretty = O.dump(2);
+  EXPECT_NE(Pretty.find('\n'), std::string::npos);
+  std::string Err;
+  std::optional<json::Value> Back = json::Value::parse(Pretty, &Err);
+  ASSERT_TRUE(Back.has_value()) << Err;
+  EXPECT_EQ(Back->dump(), O.dump());
+}
+
+TEST(JsonTest, ParseUnicodeEscape) {
+  std::string Err;
+  std::optional<json::Value> V = json::Value::parse(R"("\u00e9")", &Err);
+  ASSERT_TRUE(V.has_value()) << Err;
+  EXPECT_EQ(V->asString(), "\xc3\xa9"); // UTF-8 e-acute.
+}
+
+TEST(JsonTest, ParseErrorsReportOffset) {
+  std::string Err;
+  EXPECT_FALSE(json::Value::parse("{\"a\": }", &Err).has_value());
+  EXPECT_NE(Err.find("at byte"), std::string::npos);
+  EXPECT_FALSE(json::Value::parse("[1, 2", &Err).has_value());
+  EXPECT_FALSE(json::Value::parse("", &Err).has_value());
+  EXPECT_FALSE(json::Value::parse("true false", &Err).has_value());
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- tools/bench_diff.cpp - Benchmark report comparator ------------------===//
+///
+/// Diffs two machine-readable bench reports (the --json output of any bench
+/// binary) and flags regressions beyond a tolerance. CI runs it as a perf
+/// smoke gate against a committed baseline report:
+///
+///   bench_diff [--tolerance=PCT] [--verbose] old.json new.json
+///
+/// Tolerance semantics (see core/BenchHarness.h): percentage points for
+/// speedup / energy-reduction / hit-rate metrics, relative percent for
+/// cycle / energy / instruction totals. Default 0.1.
+///
+/// Exit codes: 0 = no regressions; 1 = regressions found (or the reports
+/// are not comparable); 2 = usage or I/O error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BenchHarness.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace ccjs;
+
+static bool loadReport(const char *Path, json::Value &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "bench_diff: cannot open '%s'\n", Path);
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Err;
+  std::optional<json::Value> V = json::Value::parse(Buf.str(), &Err);
+  if (!V) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", Path, Err.c_str());
+    return false;
+  }
+  if (!validateReport(*V, &Err)) {
+    std::fprintf(stderr, "bench_diff: %s: not a bench report: %s\n", Path,
+                 Err.c_str());
+    return false;
+  }
+  Out = std::move(*V);
+  return true;
+}
+
+int main(int Argc, char **Argv) {
+  double Tolerance = 0.1;
+  bool Verbose = false;
+  const char *Paths[2] = {nullptr, nullptr};
+  int NumPaths = 0;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (!std::strncmp(A, "--tolerance=", 12)) {
+      char *End = nullptr;
+      Tolerance = std::strtod(A + 12, &End);
+      if (!End || *End || Tolerance < 0) {
+        std::fprintf(stderr, "bench_diff: invalid tolerance '%s'\n", A + 12);
+        return 2;
+      }
+    } else if (!std::strcmp(A, "--verbose")) {
+      Verbose = true;
+    } else if (A[0] == '-' && A[1] != '\0') {
+      std::fprintf(stderr, "bench_diff: unknown option '%s'\n", A);
+      return 2;
+    } else if (NumPaths < 2) {
+      Paths[NumPaths++] = A;
+    } else {
+      std::fprintf(stderr, "bench_diff: too many arguments\n");
+      return 2;
+    }
+  }
+  if (NumPaths != 2) {
+    std::fprintf(stderr, "usage: bench_diff [--tolerance=PCT] [--verbose] "
+                         "old.json new.json\n");
+    return 2;
+  }
+
+  json::Value Old, New;
+  if (!loadReport(Paths[0], Old) || !loadReport(Paths[1], New))
+    return 2;
+
+  DiffResult R = diffReports(Old, New, Tolerance);
+  if (!R.Comparable) {
+    std::fprintf(stderr, "bench_diff: reports not comparable: %s\n",
+                 R.Error.c_str());
+    return 1;
+  }
+
+  for (const std::string &Note : R.Notes)
+    std::printf("note: %s\n", Note.c_str());
+
+  size_t Regressions = 0, Improvements = 0;
+  Table T({"workload", "metric", "old", "new", "movement", "verdict"});
+  for (const DiffEntry &E : R.Changes) {
+    if (E.Regression)
+      ++Regressions;
+    else if (E.Delta > 0)
+      ++Improvements;
+    if (!Verbose && !E.Regression)
+      continue;
+    char Move[32];
+    std::snprintf(Move, sizeof(Move), "%+.3f", E.Delta);
+    T.addRow({E.Workload, E.Metric, json::formatNumber(E.OldValue),
+              json::formatNumber(E.NewValue), Move,
+              E.Regression ? "REGRESSION" : (E.Delta > 0 ? "improved"
+                                                         : "within tol")});
+  }
+  if (Regressions || Verbose)
+    std::printf("%s", T.render().c_str());
+  std::printf("%zu metrics compared, %zu improved, %zu regressed "
+              "(tolerance %.3g)\n",
+              R.MetricsCompared, Improvements, Regressions, Tolerance);
+  return Regressions ? 1 : 0;
+}

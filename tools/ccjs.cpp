@@ -9,11 +9,14 @@
 ///     --iterations=N       call run() N times after the top level
 ///     --stats              print the measurement report
 ///     --compare            run baseline vs class cache and report speedups
+///     --json=<path>        write the measurement report / comparison as a
+///                          schema-versioned JSON report ('-' = stdout)
 ///     --disassemble        dump bytecode instead of executing
 ///
 //===----------------------------------------------------------------------===//
 
 #include "bytecode/Compiler.h"
+#include "core/BenchHarness.h"
 #include "core/Runner.h"
 #include "frontend/Parser.h"
 #include "support/Table.h"
@@ -21,6 +24,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 using namespace ccjs;
@@ -51,11 +55,26 @@ static void printStats(const RunStats &S) {
   std::printf("%s", T.render().c_str());
 }
 
+/// Writes \p Report to \p JsonPath when requested; returns false on I/O
+/// failure.
+static bool writeReport(const BenchReport &Report,
+                        const std::string &JsonPath) {
+  if (JsonPath.empty())
+    return true;
+  std::string Err;
+  if (!Report.write(JsonPath, &Err)) {
+    std::fprintf(stderr, "ccjs: %s\n", Err.c_str());
+    return false;
+  }
+  return true;
+}
+
 int main(int Argc, char **Argv) {
   EngineConfig Config;
   bool Stats = false, Compare = false, Disassemble = false;
   int Iterations = 0;
   const char *Path = nullptr;
+  std::string JsonPath;
 
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
@@ -73,6 +92,12 @@ int main(int Argc, char **Argv) {
       Stats = true;
     } else if (!std::strcmp(A, "--compare")) {
       Compare = true;
+    } else if (!std::strncmp(A, "--json=", 7)) {
+      JsonPath = A + 7;
+      if (JsonPath.empty()) {
+        std::fprintf(stderr, "ccjs: --json needs a path (or '-')\n");
+        return 2;
+      }
     } else if (!std::strcmp(A, "--disassemble")) {
       Disassemble = true;
     } else if (A[0] == '-') {
@@ -86,7 +111,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "usage: ccjs [--class-cache] [--software-only] [--no-opt] "
                  "[--iterations=N]\n            [--stats] [--compare] "
-                 "[--disassemble] file.js\n");
+                 "[--json=<path>] [--disassemble] file.js\n");
     return 2;
   }
 
@@ -121,18 +146,31 @@ int main(int Argc, char **Argv) {
     Comparison C = compareConfigs(Source, Config,
                                   Iterations > 0 ? Iterations
                                                  : DefaultIterations);
-    if (!C.Baseline.Ok || !C.ClassCache.Ok) {
+    if (!C.valid()) {
       std::fprintf(stderr, "ccjs: %s%s\n", C.Baseline.Error.c_str(),
                    C.ClassCache.Error.c_str());
       return 1;
     }
+    // Unmeasurable metrics (zero denominator, e.g. nothing ever tiered up)
+    // print as "n/a", never as a silent 0%.
+    auto Fmt = [](const std::optional<double> &V) -> std::string {
+      if (!V)
+        return "n/a";
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.1f%%", *V);
+      return Buf;
+    };
     std::printf("%s", C.Baseline.Output.c_str());
     std::printf("outputs match: %s\n", C.OutputsMatch ? "yes" : "NO");
-    std::printf("speedup: %.1f%% whole application, %.1f%% optimized code\n",
-                C.SpeedupWhole, C.SpeedupOptimized);
-    std::printf("energy reduction: %.1f%% / %.1f%%\n",
-                C.EnergyReductionWhole, C.EnergyReductionOptimized);
-    return 0;
+    std::printf("speedup: %s whole application, %s optimized code\n",
+                Fmt(C.SpeedupWhole).c_str(), Fmt(C.SpeedupOptimized).c_str());
+    std::printf("energy reduction: %s / %s\n",
+                Fmt(C.EnergyReductionWhole).c_str(),
+                Fmt(C.EnergyReductionOptimized).c_str());
+    BenchReport Report("ccjs_compare", Config);
+    Workload W{Path, "cli", "", false};
+    Report.addComparison(W, C);
+    return writeReport(Report, JsonPath) ? 0 : 1;
   }
 
   Engine E(Config);
@@ -152,5 +190,16 @@ int main(int Argc, char **Argv) {
   }
   if (Stats)
     printStats(E.stats());
+  if (!JsonPath.empty()) {
+    BenchReport Report("ccjs_run", Config);
+    BenchRun R;
+    R.Ok = true;
+    R.Steady = E.stats();
+    R.Output = E.output();
+    Workload W{Path, "cli", "", false};
+    Report.addRun(W, R);
+    if (!writeReport(Report, JsonPath))
+      return 1;
+  }
   return 0;
 }
