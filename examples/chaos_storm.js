@@ -1,0 +1,98 @@
+// chaos_storm.js - exercise every speculation mechanism at once, as a target
+// for the fault-injection sweep:
+//
+//   ccjs --class-cache --chaos-seed=N --audit --iterations=3 examples/chaos_storm.js
+//
+// Monomorphic constructor-initialized loads (Class Cache speculation), a
+// mid-run shape break (invalidation + descendant walk), polymorphic call
+// sites, SMI and double kernels (CheckSmi/CheckNumber elision), array
+// growth, and string building. Output is deterministic, so any divergence
+// under chaos is a transparency violation.
+
+function Point(x, y) {
+  this.x = x;
+  this.y = y;
+}
+
+function Particle(p, vx, vy) {
+  this.p = p;
+  this.vx = vx;
+  this.vy = vy;
+}
+
+function step(ps, n) {
+  var i;
+  for (i = 0; i < n; i++) {
+    var q = ps[i];
+    q.p.x = q.p.x + q.vx;
+    q.p.y = q.p.y + q.vy;
+  }
+}
+
+function checksum(ps, n) {
+  var s = 0;
+  var i;
+  for (i = 0; i < n; i++) {
+    s += ps[i].p.x * 3 + ps[i].p.y;
+  }
+  return s;
+}
+
+function smiKernel(n) {
+  var acc = 0;
+  var i;
+  for (i = 0; i < n; i++) {
+    acc = (acc + i * 7) % 100000;
+  }
+  return acc;
+}
+
+function doubleKernel(n) {
+  var acc = 0.5;
+  var i;
+  for (i = 0; i < n; i++) {
+    acc = acc * 1.0000001 + 0.25;
+  }
+  return acc;
+}
+
+function describe(k) {
+  var s = "";
+  var i;
+  for (i = 0; i < k; i++) {
+    s = s + "r" + i + ";";
+  }
+  return s;
+}
+
+function run() {
+  var n = 64;
+  var ps = [];
+  var i;
+  for (i = 0; i < n; i++) {
+    ps[i] = new Particle(new Point(i, n - i), 1, -1);
+  }
+  for (i = 0; i < 30; i++) {
+    step(ps, n);
+  }
+  print(checksum(ps, n));
+
+  // Break the monomorphism mid-run: later Points grow an extra property,
+  // invalidating inherited profiles through the transition chain.
+  for (i = 0; i < n; i++) {
+    if (i % 3 == 0) {
+      ps[i].p.tag = i;
+    }
+  }
+  for (i = 0; i < 30; i++) {
+    step(ps, n);
+  }
+  print(checksum(ps, n));
+
+  print(smiKernel(4000));
+  print(doubleKernel(2000));
+  print(describe(12));
+  return 0;
+}
+
+run();

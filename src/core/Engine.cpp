@@ -10,6 +10,9 @@
 #include "support/Assert.h"
 #include "vm/Builtins.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 using namespace ccjs;
 
 Engine::Engine(const EngineConfig &Config)
@@ -19,6 +22,17 @@ Engine::Engine(const EngineConfig &Config)
   VM->CallBuiltinFn = &ccjs::callBuiltin;
   VM->OnClassCacheInvalidation = &Engine::handleInvalidation;
   VM->GenericCallMethod = &Engine::genericCallMethod;
+
+  // The environment is consulted once per process (deopts are hot); the
+  // result routes through the OnDeopt trace hook, which tests and the
+  // chaos harness can replace with their own capture.
+  static const bool DebugDeoptEnv = std::getenv("CCJS_DEBUG_DEOPT") != nullptr;
+  if (DebugDeoptEnv)
+    VM->OnDeopt = [](VMState &, const DeoptEvent &E) {
+      std::fprintf(stderr, "deopt fn=%u ir=%u bc=%u failure=%d count=%u\n",
+                   E.FuncIndex, E.IrIndex, E.ResumeBcPc, E.Failure,
+                   E.PriorDeoptCount);
+    };
 
   if (VM->Config.ClassCacheEnabled) {
     VM->CList.bootstrapExisting(VM->Shapes);
@@ -37,12 +51,43 @@ Engine::Engine(const EngineConfig &Config)
   }
 }
 
+/// Frees optimized code that was replaced while still potentially live on
+/// the C++ stack. Only called when no JS frames are active.
+static void reclaimRetiredOpt(VMState &VM) {
+  assert(VM.CallDepth == 0 && "reclaiming code with frames on the stack");
+  for (OptCode *Code : VM.RetiredOpt)
+    delete Code;
+  VM.RetiredOpt.clear();
+}
+
 Engine::~Engine() {
   for (FunctionInfo &FI : VM->Funcs)
     delete FI.Opt;
+  reclaimRetiredOpt(*VM);
 }
 
 bool Engine::load(std::string_view Source) {
+  // A (re)load fully resets program state, making the engine reusable
+  // after a runtime error: optimized code, feedback, hotness and deopt
+  // bookkeeping, accumulated output and the halt latch all belong to the
+  // previous program. Profiled hardware state (shapes, Class List images,
+  // caches) persists — except speculation dependencies, which record
+  // function indices of the old module and would deoptimize (or index out
+  // of bounds in) the new function table.
+  for (FunctionInfo &FI : VM->Funcs)
+    delete FI.Opt;
+  reclaimRetiredOpt(*VM);
+  VM->Funcs.clear();
+  VM->Module = BytecodeModule();
+  VM->Halted = false;
+  VM->Error.clear();
+  VM->Output.clear();
+  VM->CallDepth = 0;
+  if (VM->Config.ClassCacheEnabled) {
+    VM->CCache.invalidateAll();
+    VM->CList.clearSpeculations();
+  }
+
   ParseResult Parsed = parseProgram(Source);
   if (!Parsed.Ok) {
     VM->halt("syntax error at line " + std::to_string(Parsed.ErrorLine) +
@@ -84,12 +129,20 @@ bool Engine::load(std::string_view Source) {
 }
 
 bool Engine::runTopLevel() {
+  if (VM->Halted)
+    return false;
   interpretCall(*VM, 0, VM->Heap_.undefined(), nullptr, 0);
+  VM->CallDepth = 0; // A halt may have unwound without popping frames.
+  reclaimRetiredOpt(*VM);
   return !VM->Halted;
 }
 
 Value Engine::callGlobal(const std::string &Name,
                          const std::vector<Value> &Args) {
+  // A halted VM stays halted (preserving lastError()) until the next
+  // load(); calling into it is a defined no-op.
+  if (VM->Halted)
+    return VM->Heap_.undefined();
   auto It = VM->Module.GlobalIndexOf.find(Name);
   if (It == VM->Module.GlobalIndexOf.end()) {
     VM->halt("no global named '" + Name + "'");
@@ -122,10 +175,23 @@ Value Engine::dispatchInvoke(VMState &VM, uint32_t FuncIndex, Value ThisV,
   bool Hot = FI.InvocationCount > VM.Config.HotInvocationThreshold ||
              FI.BackEdgeTrips > VM.Config.HotLoopThreshold;
   if (Hot && !FI.OptDisabled) {
-    delete FI.Opt;
+    // Chaos: let recorded feedback go stale right before the compiler
+    // consumes it. The poisons only drop or over-generalize facts, so the
+    // compiled code may speculate wrongly but its guards must catch it.
+    if (VM.FaultInj)
+      for (SiteFeedback &FB : FI.Feedback)
+        if (VM.FaultInj->fire(FaultPoint::StaleFeedback))
+          poisonSiteFeedback(FB, VM.FaultInj->auxRandom());
+    // Outer recursive activations may still be executing the replaced
+    // code; retire it instead of freeing under their feet.
+    if (FI.Opt)
+      VM.RetiredOpt.push_back(FI.Opt);
     FI.Opt = compileOptimized(VM, FuncIndex);
     FI.OptValid = FI.Opt != nullptr;
     ++VM.OptCompiles;
+    // Tier-up boundary: the compile just registered its speculations.
+    if (VM.Auditor)
+      VM.Auditor->audit(VM, "tier-up", FuncIndex);
     if (FI.OptValid)
       return runOptimized(VM, FuncIndex, ThisV, Args, Argc);
   }
@@ -134,6 +200,14 @@ Value Engine::dispatchInvoke(VMState &VM, uint32_t FuncIndex, Value ThisV,
 
 void Engine::handleInvalidation(VMState &VM, uint8_t ClassId, uint8_t Line,
                                 uint8_t Pos) {
+  // The invalidation walk reads and rewrites Class List *memory* images,
+  // but resident Class Cache entries can be ahead of memory in
+  // InitMap/Props profiling. Walking stale images and syncing them back
+  // would silently drop that profiling, letting a later store
+  // re-initialize an already-polymorphic slot as monomorphic — an unsound
+  // elision. The exception routine therefore synchronizes the cache first
+  // (the triggering entry and any dirty descendants).
+  VM.CCache.flushDirty();
   std::vector<std::pair<uint8_t, uint8_t>> Touched;
   std::vector<uint32_t> Deopt = VM.CList.invalidateWithDescendants(
       VM.Shapes, ClassId, Line, Pos, Touched);

@@ -64,6 +64,15 @@ public:
   /// Collects the current measurement counters into a report.
   RunStats stats() const;
 
+  /// Chaos engine handles (null unless enabled in the config).
+  const FaultInjector *faultInjector() const { return VM->FaultInj.get(); }
+  const InvariantAuditor *auditor() const { return VM->Auditor.get(); }
+  /// Runs an on-demand invariant audit (no-op unless AuditInvariants).
+  void auditNow(const char *When = "final") {
+    if (VM->Auditor)
+      VM->Auditor->audit(*VM, When, 0);
+  }
+
   VMState &vm() { return *VM; }
   const VMState &vm() const { return *VM; }
 

@@ -9,7 +9,8 @@
 #ifndef CCJS_HW_CACHESIM_H
 #define CCJS_HW_CACHESIM_H
 
-#include <cassert>
+#include "support/Assert.h"
+
 #include <cstdint>
 #include <vector>
 
@@ -24,12 +25,12 @@ public:
         Lines(size_t(NumSets) * Ways, InvalidTag) {
     // NumSets == 0 would pass the power-of-two check (0 & -1 == 0) and then
     // `Block & (NumSets - 1)` masks with all-ones, indexing Lines out of
-    // bounds — reject degenerate geometry explicitly.
-    assert(NumSets >= 1 && "cache must have at least one set");
-    assert(Ways >= 1 && "cache must have at least one way");
-    assert((NumSets & (NumSets - 1)) == 0 && "sets must be a power of two");
-    assert((BlockBytes & (BlockBytes - 1)) == 0 &&
-           "block size must be a power of two");
+    // bounds — reject degenerate geometry explicitly, in every build type.
+    CCJS_ASSERT(NumSets >= 1, "cache must have at least one set");
+    CCJS_ASSERT(Ways >= 1, "cache must have at least one way");
+    CCJS_ASSERT((NumSets & (NumSets - 1)) == 0, "sets must be a power of two");
+    CCJS_ASSERT((BlockBytes & (BlockBytes - 1)) == 0,
+                "block size must be a power of two");
   }
 
   /// Convenience constructor from a total capacity in bytes. The capacity
@@ -37,12 +38,12 @@ public:
   /// into a power-of-two number of sets.
   static CacheSim fromCapacity(unsigned CapacityBytes, unsigned Ways,
                                unsigned BlockBytes) {
-    assert(Ways >= 1 && BlockBytes >= 1 && "degenerate way/block geometry");
+    CCJS_ASSERT(Ways >= 1 && BlockBytes >= 1, "degenerate way/block geometry");
     unsigned WaySetBytes = Ways * BlockBytes;
-    assert(CapacityBytes >= WaySetBytes &&
-           "capacity smaller than one way-set yields zero sets");
-    assert(CapacityBytes % WaySetBytes == 0 &&
-           "capacity must be a multiple of ways * block size");
+    CCJS_ASSERT(CapacityBytes >= WaySetBytes,
+                "capacity smaller than one way-set yields zero sets");
+    CCJS_ASSERT(CapacityBytes % WaySetBytes == 0,
+                "capacity must be a multiple of ways * block size");
     return CacheSim(CapacityBytes / WaySetBytes, Ways, BlockBytes);
   }
 

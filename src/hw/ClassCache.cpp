@@ -3,16 +3,19 @@
 #include "hw/ClassCache.h"
 
 #include "support/Assert.h"
+#include "support/FaultInjector.h"
 
-#include <cassert>
+#include <cstdio>
+#include <cstring>
 
 using namespace ccjs;
 
 ClassCache::ClassCache(ClassList &List, unsigned Entries, unsigned Ways)
     : List(List), NumSets(Entries / Ways), Ways(Ways),
       Entries(Entries) {
-  assert(Entries % Ways == 0 && "entries must divide evenly into ways");
-  assert((NumSets & (NumSets - 1)) == 0 && "sets must be a power of two");
+  CCJS_ASSERT(Ways >= 1 && Entries >= Ways, "degenerate class cache geometry");
+  CCJS_ASSERT(Entries % Ways == 0, "entries must divide evenly into ways");
+  CCJS_ASSERT((NumSets & (NumSets - 1)) == 0, "sets must be a power of two");
 }
 
 // The set index must mix ClassID and Line: most entries have Line 0, so
@@ -72,8 +75,21 @@ unsigned ClassCache::lookup(uint8_t ClassId, uint8_t Line,
 
 ClassCacheResult ClassCache::accessStore(uint8_t ContainerClass, uint8_t Line,
                                          uint8_t Pos, uint8_t ValueClass) {
-  assert(Pos >= 1 && Pos <= 7 && "property position must be 1..7");
+  CCJS_ASSERT(Pos >= 1 && Pos <= 7, "property position must be 1..7");
   ++Accesses;
+  // Chaos: forcibly evict the target entry before the lookup. The dirty
+  // image is written back first, so only the timing changes (a guaranteed
+  // miss/refill), never the profile contents.
+  if (FaultInj && FaultInj->fire(FaultPoint::CcForcedEviction)) {
+    if (CacheEntry *E = findCached(ContainerClass, Line)) {
+      if (E->Dirty) {
+        List.write(ContainerClass, Line, E->Data);
+        ++Writebacks;
+      }
+      E->ValidEntry = false;
+      E->Dirty = false;
+    }
+  }
   ClassCacheResult R;
   (void)lookup(ContainerClass, Line, R);
   // After lookup the entry sits at the MRU way of its set.
@@ -110,7 +126,7 @@ ClassCacheResult ClassCache::accessStore(uint8_t ContainerClass, uint8_t Line,
 
 int ClassCache::monomorphicClassAt(uint8_t ClassId, uint8_t Line,
                                    uint8_t Pos) const {
-  assert(Pos >= 1 && Pos <= 7 && "property position must be 1..7");
+  CCJS_ASSERT(Pos >= 1 && Pos <= 7, "property position must be 1..7");
   if (ClassId >= UntrackedClassId)
     return -1;
   // The compiler reads through the cache when the entry is resident (the
@@ -128,7 +144,7 @@ int ClassCache::monomorphicClassAt(uint8_t ClassId, uint8_t Line,
 }
 
 void ClassCache::setSpeculate(uint8_t ClassId, uint8_t Line, uint8_t Pos) {
-  assert(Pos >= 1 && Pos <= 7 && "property position must be 1..7");
+  CCJS_ASSERT(Pos >= 1 && Pos <= 7, "property position must be 1..7");
   uint8_t Bit = uint8_t(1) << Pos;
   ClassListEntry D = List.read(ClassId, Line);
   if (CacheEntry *E = findCached(ClassId, Line)) {
@@ -165,6 +181,77 @@ void ClassCache::flushDirty() {
     List.write(static_cast<uint8_t>(E.Tag >> 8),
                static_cast<uint8_t>(E.Tag & 0xFF), E.Data);
     E.Dirty = false;
+  }
+}
+
+void ClassCache::invalidateAll() {
+  flushDirty();
+  for (CacheEntry &E : Entries)
+    E.ValidEntry = false;
+}
+
+bool ClassCache::peekEntry(uint8_t ClassId, uint8_t Line, ClassListEntry &Out,
+                           bool *DirtyOut) const {
+  uint16_t Tag = uint16_t(ClassId) << 8 | Line;
+  unsigned Set = setIndexFor(ClassId, Line, NumSets);
+  const CacheEntry *Base = &Entries[size_t(Set) * Ways];
+  for (unsigned W = 0; W < Ways; ++W) {
+    if (Base[W].ValidEntry && Base[W].Tag == Tag) {
+      Out = Base[W].Data;
+      if (DirtyOut)
+        *DirtyOut = Base[W].Dirty;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ClassCache::auditCoherence(std::vector<std::string> &Failures) const {
+  char Buf[160];
+  for (const CacheEntry &E : Entries) {
+    if (!E.ValidEntry)
+      continue;
+    uint8_t ClassId = static_cast<uint8_t>(E.Tag >> 8);
+    uint8_t Line = static_cast<uint8_t>(E.Tag & 0xFF);
+    ClassListEntry M = List.read(ClassId, Line);
+    const ClassListEntry &C = E.Data;
+    auto Fail = [&](const char *What) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "class cache (%u,%u) %s: cached "
+                    "I=%02x V=%02x S=%02x vs memory I=%02x V=%02x S=%02x%s",
+                    ClassId, Line, What, C.InitMap, C.ValidMap, C.SpeculateMap,
+                    M.InitMap, M.ValidMap, M.SpeculateMap,
+                    E.Dirty ? " (dirty)" : "");
+      Failures.push_back(Buf);
+    };
+    if (!E.Dirty) {
+      // A clean entry must be an exact copy of memory: every memory writer
+      // either syncs resident copies or only targets unregistered classes.
+      if (C.InitMap != M.InitMap || C.ValidMap != M.ValidMap ||
+          C.SpeculateMap != M.SpeculateMap)
+        Fail("clean entry diverges from memory");
+      else if (std::memcmp(C.Props, M.Props, sizeof(C.Props)) != 0)
+        Fail("clean entry props diverge from memory");
+      continue;
+    }
+    // A dirty entry may only be ahead of memory in profiling: extra InitMap
+    // bits and their Props. ValidMap and SpeculateMap changes are pushed
+    // through the invalidation service synchronously, so at any audit
+    // boundary they must agree.
+    if (M.InitMap & ~C.InitMap)
+      Fail("memory initialized a position the cached entry has not");
+    if (C.ValidMap != M.ValidMap)
+      Fail("dirty entry ValidMap diverges from memory");
+    if (C.SpeculateMap != M.SpeculateMap)
+      Fail("dirty entry SpeculateMap diverges from memory");
+    for (unsigned Pos = 1; Pos <= 7; ++Pos) {
+      uint8_t Bit = uint8_t(1) << Pos;
+      if ((M.InitMap & Bit) && (C.InitMap & Bit) &&
+          M.Props[Pos - 1] != C.Props[Pos - 1]) {
+        Fail("profiled class diverges for an initialized position");
+        break;
+      }
+    }
   }
 }
 

@@ -21,9 +21,12 @@
 #include "hw/ClassList.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace ccjs {
+
+class FaultInjector;
 
 /// Outcome of one Class Cache store request.
 struct ClassCacheResult {
@@ -73,6 +76,33 @@ public:
   /// before copying a parent's profile into a freshly created class).
   void writebackClass(uint8_t ClassId);
 
+  /// Writes back every dirty entry and invalidates the whole cache (used
+  /// when the engine is reloaded with a new program: stale entries must not
+  /// alias the new program's class ids).
+  void invalidateAll();
+
+  //===--------------------------------------------------------------------===//
+  // Chaos engine hooks
+  //===--------------------------------------------------------------------===//
+
+  /// Attaches the chaos-engine fault injector (null to detach). When armed,
+  /// accessStore consults the CcForcedEviction point and evicts the target
+  /// entry (writing back dirty data) before the lookup, forcing the
+  /// miss/refill path.
+  void setFaultInjector(FaultInjector *FI) { FaultInj = FI; }
+
+  /// Side-effect-free copy of the cached image of (ClassId, Line) without
+  /// touching LRU order or statistics. Returns false when not resident.
+  bool peekEntry(uint8_t ClassId, uint8_t Line, ClassListEntry &Out,
+                 bool *DirtyOut = nullptr) const;
+
+  /// Invariant audit: checks every resident entry against the Class List
+  /// memory image (clean entries must match exactly; dirty entries may only
+  /// be ahead of memory in InitMap/Props profiling, never divergent in
+  /// ValidMap/SpeculateMap at an audit boundary). Appends one message per
+  /// violation to \p Failures.
+  void auditCoherence(std::vector<std::string> &Failures) const;
+
   // Statistics.
   uint64_t accesses() const { return Accesses; }
   uint64_t misses() const { return Misses; }
@@ -106,6 +136,7 @@ private:
   ClassList &List;
   unsigned NumSets, Ways;
   std::vector<CacheEntry> Entries; // Set-major; way 0 is MRU.
+  FaultInjector *FaultInj = nullptr;
   uint64_t Accesses = 0;
   uint64_t Misses = 0;
   uint64_t Exceptions = 0;

@@ -3,8 +3,7 @@
 #include "hw/ClassList.h"
 
 #include "runtime/Layout.h"
-
-#include <cassert>
+#include "support/Assert.h"
 
 using namespace ccjs;
 
@@ -67,8 +66,8 @@ void ClassList::onShapeCreated(const ShapeTable &Shapes, ShapeId Id) {
 
 void ClassList::addFunctionDependency(uint8_t ClassId, uint8_t Line,
                                       uint8_t Pos, uint32_t FuncIndex) {
-  assert(ClassId < UntrackedClassId &&
-         "cannot speculate on untracked hidden classes");
+  CCJS_ASSERT(ClassId < UntrackedClassId,
+              "cannot speculate on untracked hidden classes");
   std::vector<uint32_t> &Fns = FunctionLists[slotKey(ClassId, Line, Pos)];
   for (uint32_t F : Fns)
     if (F == FuncIndex)
@@ -88,22 +87,43 @@ const std::vector<ShapeId> &ClassList::shapesForClass(uint8_t ClassId) const {
   return ClassShapes[ClassId];
 }
 
+void ClassList::clearSpeculations() {
+  FunctionLists.clear();
+  for (unsigned ClassId = 0; ClassId < ClassShapes.size(); ++ClassId) {
+    if (ClassShapes[ClassId].empty())
+      continue;
+    // Every line an entry of this class could have been written at.
+    for (unsigned Line = 0; Line < 256; ++Line) {
+      ClassListEntry E = read(static_cast<uint8_t>(ClassId),
+                              static_cast<uint8_t>(Line));
+      if (E.SpeculateMap == 0)
+        continue;
+      E.SpeculateMap = 0;
+      write(static_cast<uint8_t>(ClassId), static_cast<uint8_t>(Line), E);
+    }
+  }
+}
+
 void ClassList::invalidateSlot(uint8_t ClassId, uint8_t Line, uint8_t Pos,
                                std::vector<uint32_t> &Deopt,
                                std::vector<std::pair<uint8_t, uint8_t>>
                                    &Touched) {
   ClassListEntry E = read(ClassId, Line);
   uint8_t Bit = uint8_t(1) << Pos;
-  if (!(E.ValidMap & Bit) && !(E.SpeculateMap & Bit))
+  // The host-side FunctionList is authoritative for dependents: the entry's
+  // SpeculateMap bit may already have been cleared by the Class Cache (the
+  // exception path synchronizes the cached image to memory before this walk
+  // runs), but the dependent functions still must be deoptimized exactly
+  // once.
+  auto It = FunctionLists.find(slotKey(ClassId, Line, Pos));
+  bool HasDependents = It != FunctionLists.end() && !It->second.empty();
+  if (!(E.ValidMap & Bit) && !(E.SpeculateMap & Bit) && !HasDependents)
     return; // Already invalid and dependency-free.
   E.ValidMap &= ~Bit;
-  if (E.SpeculateMap & Bit) {
-    E.SpeculateMap &= ~Bit;
-    auto It = FunctionLists.find(slotKey(ClassId, Line, Pos));
-    if (It != FunctionLists.end()) {
-      Deopt.insert(Deopt.end(), It->second.begin(), It->second.end());
-      It->second.clear();
-    }
+  E.SpeculateMap &= ~Bit;
+  if (HasDependents) {
+    Deopt.insert(Deopt.end(), It->second.begin(), It->second.end());
+    It->second.clear();
   }
   write(ClassId, Line, E);
   Touched.emplace_back(ClassId, Line);

@@ -80,6 +80,29 @@ public:
   const std::vector<uint32_t> &functionsFor(uint8_t ClassId, uint8_t Line,
                                             uint8_t Pos) const;
 
+  /// Host-side dependency lists, keyed by slotKey (ClassId<<16|Line<<8|Pos).
+  /// Exposed read-only for the invariant auditor, which cross-checks every
+  /// non-empty list against the SpeculateMap bit of its slot.
+  const std::unordered_map<uint32_t, std::vector<uint32_t>> &
+  functionLists() const {
+    return FunctionLists;
+  }
+
+  static void decodeSlotKey(uint32_t Key, uint8_t &ClassId, uint8_t &Line,
+                            uint8_t &Pos) {
+    ClassId = static_cast<uint8_t>(Key >> 16);
+    Line = static_cast<uint8_t>(Key >> 8);
+    Pos = static_cast<uint8_t>(Key);
+  }
+
+  /// Drops every function dependency and clears all SpeculateMap bits of
+  /// registered classes. Used when the engine is reloaded with a new
+  /// program: dependency lists hold function indices of the old module, and
+  /// a stale entry would deoptimize (or index out of bounds in) the new
+  /// function table. The caller must synchronize/invalidate Class Cache
+  /// copies first.
+  void clearSpeculations();
+
   /// Clears the ValidMap bit of (ClassId, Line, Pos) in this entry and in
   /// the entries of every descendant hidden class, collecting all dependent
   /// functions whose SpeculateMap bit was set (they must be deoptimized).

@@ -1,0 +1,191 @@
+//===- hw/InvariantAuditor.cpp --------------------------------------------===//
+
+#include "vm/InvariantAuditor.h"
+
+#include "runtime/Layout.h"
+#include "vm/VMState.h"
+
+#include <cstdio>
+
+using namespace ccjs;
+
+namespace {
+
+/// Effective (architecturally current) image of a Class List entry: the
+/// cached copy when resident — it can be ahead of memory in profiling —
+/// else the memory image.
+ClassListEntry effectiveEntry(const VMState &VM, uint8_t ClassId,
+                              uint8_t Line) {
+  ClassListEntry E;
+  if (VM.CCache.peekEntry(ClassId, Line, E))
+    return E;
+  return VM.CList.read(ClassId, Line);
+}
+
+/// Number of Class List lines class \p ClassId can own: the maximum over
+/// its registered shapes. Audits scan only these, keeping a full audit
+/// proportional to live classes rather than the 64K-entry region.
+unsigned linesOfClass(const VMState &VM, uint8_t ClassId) {
+  unsigned Lines = 0;
+  for (ShapeId Id : VM.CList.shapesForClass(ClassId)) {
+    const Shape &S = VM.Shapes.get(Id);
+    unsigned L = layout::linesForSlots(S.NumSlots ? S.NumSlots : 1);
+    if (L > Lines)
+      Lines = L;
+  }
+  return Lines;
+}
+
+} // namespace
+
+void InvariantAuditor::fail(std::string Msg) {
+  ++TotalFailures;
+  if (Failures.size() < MaxRecorded)
+    Failures.push_back(std::move(Msg));
+}
+
+void InvariantAuditor::audit(const VMState &VM, const char *When,
+                             uint32_t FuncIndex) {
+  ++Audits;
+  auditDeoptBounds(VM, When);
+  if (VM.Config.ClassCacheEnabled) {
+    std::vector<std::string> CacheFailures;
+    VM.CCache.auditCoherence(CacheFailures);
+    for (std::string &F : CacheFailures)
+      fail(std::string(When) + ": " + F);
+    auditSpeculationLists(VM, When);
+    auditDescendantPropagation(VM, When);
+  }
+  (void)FuncIndex;
+}
+
+void InvariantAuditor::auditSpeculationLists(const VMState &VM,
+                                             const char *When) {
+  char Buf[192];
+  // Direction 1: every non-empty FunctionList has its SpeculateMap bit set
+  // and rests on a still-valid, initialized slot — the core soundness
+  // condition for elision: a function with elided checks is reachable from
+  // the slot it depends on until the slot breaks.
+  for (const auto &[Key, Fns] : VM.CList.functionLists()) {
+    if (Fns.empty())
+      continue; // Drained by a past invalidation.
+    uint8_t ClassId, Line, Pos;
+    ClassList::decodeSlotKey(Key, ClassId, Line, Pos);
+    ClassListEntry E = effectiveEntry(VM, ClassId, Line);
+    uint8_t Bit = uint8_t(1) << Pos;
+    if (!(E.SpeculateMap & Bit)) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s: %zu dependent function(s) on (%u,%u,%u) but "
+                    "SpeculateMap bit is clear",
+                    When, Fns.size(), ClassId, Line, Pos);
+      fail(Buf);
+    }
+    if (!(E.InitMap & Bit) || !(E.ValidMap & Bit)) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s: speculation on (%u,%u,%u) rests on a slot that is "
+                    "not initialized+valid (I=%02x V=%02x)",
+                    When, ClassId, Line, Pos, E.InitMap, E.ValidMap);
+      fail(Buf);
+    }
+  }
+  // Direction 2: every set SpeculateMap bit has at least one dependent
+  // function recorded — otherwise a future mismatch raises an exception
+  // that deoptimizes nobody, i.e. the bit leaked.
+  for (unsigned ClassId = 0; ClassId < UntrackedClassId; ++ClassId) {
+    unsigned Lines = linesOfClass(VM, static_cast<uint8_t>(ClassId));
+    for (unsigned Line = 0; Line < Lines; ++Line) {
+      ClassListEntry E = effectiveEntry(VM, static_cast<uint8_t>(ClassId),
+                                        static_cast<uint8_t>(Line));
+      if (E.SpeculateMap == 0)
+        continue;
+      for (unsigned Pos = 1; Pos <= 7; ++Pos) {
+        if (!(E.SpeculateMap & (uint8_t(1) << Pos)))
+          continue;
+        if (VM.CList
+                .functionsFor(static_cast<uint8_t>(ClassId),
+                              static_cast<uint8_t>(Line),
+                              static_cast<uint8_t>(Pos))
+                .empty()) {
+          std::snprintf(Buf, sizeof(Buf),
+                        "%s: SpeculateMap bit set on (%u,%u,%u) with no "
+                        "dependent functions",
+                        When, ClassId, Line, Pos);
+          fail(Buf);
+        }
+      }
+    }
+  }
+}
+
+void InvariantAuditor::auditDescendantPropagation(const VMState &VM,
+                                                  const char *When) {
+  // For every registered parent→child transition edge: any ValidMap bit
+  // cleared on the parent must be cleared on the child for the lines the
+  // child inherited (children have at least the parent's slots, so a value
+  // that broke monomorphism on the parent flowed into the child's slot
+  // too). Walking single edges covers whole chains transitively.
+  char Buf[160];
+  for (unsigned ClassId = 0; ClassId < UntrackedClassId; ++ClassId) {
+    for (ShapeId Id : VM.CList.shapesForClass(static_cast<uint8_t>(ClassId))) {
+      const Shape &P = VM.Shapes.get(Id);
+      unsigned ParentLines = layout::linesForSlots(P.NumSlots ? P.NumSlots : 1);
+      for (const auto &[Name, ChildId] : P.Transitions) {
+        const Shape &C = VM.Shapes.get(ChildId);
+        if (C.ClassId >= UntrackedClassId)
+          continue;
+        for (unsigned Line = 0; Line < ParentLines; ++Line) {
+          ClassListEntry Pe = effectiveEntry(VM, static_cast<uint8_t>(ClassId),
+                                             static_cast<uint8_t>(Line));
+          ClassListEntry Ce = effectiveEntry(VM, C.ClassId,
+                                             static_cast<uint8_t>(Line));
+          uint8_t Missed = static_cast<uint8_t>(~Pe.ValidMap) & Ce.ValidMap &
+                           0xFE; // Positions 1..7.
+          if (Missed) {
+            std::snprintf(Buf, sizeof(Buf),
+                          "%s: invalidation of class %u line %u (V=%02x) did "
+                          "not reach descendant class %u (V=%02x, missed "
+                          "bits %02x)",
+                          When, ClassId, Line, Pe.ValidMap, C.ClassId,
+                          Ce.ValidMap, Missed);
+            fail(Buf);
+          }
+        }
+      }
+    }
+  }
+}
+
+void InvariantAuditor::auditDeoptBounds(const VMState &VM, const char *When) {
+  char Buf[160];
+  for (size_t F = 0; F < VM.Funcs.size(); ++F) {
+    const FunctionInfo &FI = VM.Funcs[F];
+    if (FI.DeoptCount > VM.Config.MaxDeoptsPerFunction) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s: function %zu DeoptCount %u exceeds "
+                    "MaxDeoptsPerFunction %u",
+                    When, F, FI.DeoptCount, VM.Config.MaxDeoptsPerFunction);
+      fail(Buf);
+    }
+    if (FI.DeoptCount >= VM.Config.MaxDeoptsPerFunction && !FI.OptDisabled) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s: function %zu hit the deopt bound (%u) but "
+                    "optimization was not disabled",
+                    When, F, FI.DeoptCount);
+      fail(Buf);
+    }
+    if (FI.OptDisabled && FI.OptValid) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s: function %zu is OptDisabled yet holds valid "
+                    "optimized code",
+                    When, F);
+      fail(Buf);
+    }
+    if (FI.OptValid && !FI.Opt) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s: function %zu claims valid optimized code but has "
+                    "none",
+                    When, F);
+      fail(Buf);
+    }
+  }
+}

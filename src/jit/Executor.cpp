@@ -105,14 +105,12 @@ private:
   /// bytecode \p ResumeBc. \p Failure marks a broken speculation (stale
   /// feedback), which invalidates this code.
   Value deopt(uint32_t ResumeBc, bool Failure) {
-    if (const char *Dbg = std::getenv("CCJS_DEBUG_DEOPT")) {
-      (void)Dbg;
-      std::fprintf(stderr,
-                   "deopt fn=%u ir=%u op=%u bc=%u failure=%d count=%u\n",
-                   FuncIndex, CurOpIndex,
-                   static_cast<unsigned>(C.Ops[CurOpIndex].Op), ResumeBc,
-                   Failure, FI.DeoptCount);
-    }
+    // Tracing goes through the VMState hook; the engine installs a stderr
+    // printer when CCJS_DEBUG_DEOPT is set (the env var is checked once per
+    // process, not per deopt), and the chaos harness installs a capture.
+    if (VM.OnDeopt)
+      VM.OnDeopt(VM, DeoptEvent{FuncIndex, CurOpIndex, ResumeBc, Failure,
+                                FI.DeoptCount});
     if (Failure) {
       FI.OptValid = false;
       // Let the baseline tier refresh the feedback before re-optimizing.
@@ -120,6 +118,8 @@ private:
       if (++FI.DeoptCount >= VM.Config.MaxDeoptsPerFunction)
         FI.OptDisabled = true;
     }
+    if (VM.Auditor)
+      VM.Auditor->audit(VM, "deopt", FuncIndex);
     VM.Ctx.alu(RC, 60); // Frame reconstruction in the deoptimizer.
     std::vector<Value> Locals(Loc.size());
     for (size_t I = 0; I < Loc.size(); ++I)
@@ -292,6 +292,9 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       bool Pass = V.Unboxed
                       ? O.Shape == VM.Shapes.heapNumberShape()
                       : V.V.isPointer() && H.shapeOfValue(V.V) == O.Shape;
+      // Chaos: pretend the check failed; the deopt path must recover.
+      if (Pass && VM.FaultInj && VM.FaultInj->fire(FaultPoint::ForcedGuardFail))
+        Pass = false;
       if (Pass && !V.Unboxed)
         VM.Ctx.load(Cat, V.V.asPointer(), AOL);
       else
@@ -322,6 +325,10 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       } else {
         Pass = V.V.isSmi();
       }
+      // Chaos: a forced failure after the in-place conversion is still
+      // transparent — the interpreter re-executes on the tagged SMI.
+      if (Pass && VM.FaultInj && VM.FaultInj->fire(FaultPoint::ForcedGuardFail))
+        Pass = false;
       VM.Ctx.alu(CH, 1, AOL);
       VM.Ctx.branch(CH, site(Cur), !Pass, AOL);
       if (!Pass)
@@ -333,6 +340,8 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       OptValue &V = peek(O.Depth);
       bool Pass = V.Unboxed || V.V.isSmi() ||
                   (V.V.isPointer() && H.isHeapNumber(V.V));
+      if (Pass && VM.FaultInj && VM.FaultInj->fire(FaultPoint::ForcedGuardFail))
+        Pass = false;
       VM.Ctx.alu(TU, 1, AOL);
       if (!V.Unboxed && V.V.isPointer())
         VM.Ctx.load(TU, V.V.asPointer(), AOL);

@@ -123,6 +123,7 @@ private:
     return St[St.size() - 1 - Depth];
   }
   AbsVal pop() {
+    assert(!St.empty() && "abstract stack underflow");
     AbsVal V = St.back();
     St.pop_back();
     return V;
@@ -1155,8 +1156,31 @@ OptCode *IrBuilder::build() {
     CurBc = static_cast<uint32_t>(I);
     CurSite = F.Code[I].Site;
     if (!Reachable) {
-      if (DepthAtTarget[I] < 0 && PredCount[I] == 0)
-        continue; // Dead code.
+      if (DepthAtTarget[I] < 0 && PredCount[I] == 0) {
+        // Dead code. PredCount was computed statically, so retract this
+        // instruction's outgoing edges: code reachable only from dead code
+        // is dead too (e.g. the compiler's implicit `undefined; return`
+        // epilogue after a function whose every path already returned —
+        // translating it would pop an empty abstract stack).
+        const Instr &Dead = F.Code[I];
+        switch (Dead.Op) {
+        case Opcode::Jump:
+        case Opcode::JumpLoop:
+          --PredCount[Dead.A];
+          break;
+        case Opcode::JumpIfFalse:
+        case Opcode::JumpIfTrue:
+          --PredCount[Dead.A];
+          --PredCount[I + 1];
+          break;
+        case Opcode::Return:
+          break;
+        default:
+          --PredCount[I + 1];
+          break;
+        }
+        continue;
+      }
       int32_t D = DepthAtTarget[I] >= 0 ? DepthAtTarget[I] : 0;
       St.assign(static_cast<size_t>(D), AbsVal());
       clearAbstractState();

@@ -3,6 +3,7 @@
 #include "runtime/Heap.h"
 
 #include "support/Assert.h"
+#include "support/FaultInjector.h"
 
 #include <cmath>
 
@@ -35,7 +36,17 @@ void Heap::writeHeaders(uint64_t ObjAddr, ShapeId Shape,
                            static_cast<uint8_t>(L)));
 }
 
+void Heap::maybeInjectAllocPressure() {
+  if (FaultInj && FaultInj->fire(FaultPoint::AllocPressure)) {
+    // 1..8 dead cache lines; not counted in HeapStats (no program-visible
+    // allocation happened, the layout just shifted).
+    uint64_t Lines = 1 + FaultInj->auxRandom() % 8;
+    Mem.allocate(Lines * CacheLineBytes, CacheLineBytes);
+  }
+}
+
 Value Heap::allocObject(ShapeId Shape, uint32_t CapacitySlots) {
+  maybeInjectAllocPressure();
   if (CapacitySlots > 200)
     CapacitySlots = 200; // Keep the capacity byte in range.
   uint32_t Lines = linesForSlots(CapacitySlots == 0 ? 1 : CapacitySlots);
@@ -71,6 +82,7 @@ Value Heap::allocArray(uint32_t Length, ShapeId Shape) {
 }
 
 Value Heap::allocHeapNumber(double D) {
+  maybeInjectAllocPressure();
   uint64_t Addr = Mem.allocate(16, 8);
   Mem.write64(Addr, makeHeader(
                         ShapeTable::descriptorAddr(Shapes.heapNumberShape()),

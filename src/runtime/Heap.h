@@ -26,6 +26,8 @@
 
 namespace ccjs {
 
+class FaultInjector;
+
 /// Classification of a value, derived from its tag and shape.
 enum class ValueKind : uint8_t {
   Smi,
@@ -58,6 +60,13 @@ public:
   ShapeTable &shapes() { return Shapes; }
   StringInterner &names() { return Names; }
   const HeapStats &stats() const { return Stats; }
+
+  /// Attaches the chaos-engine fault injector (null to detach). When armed,
+  /// object and HeapNumber allocations consult the AllocPressure point and
+  /// insert padding allocations first, shifting heap layout (and thus cache
+  /// and TLB behaviour) the way allocation pressure would. Addresses are
+  /// never observable to programs, so output must not change.
+  void setFaultInjector(FaultInjector *FI) { FaultInj = FI; }
 
   //===--------------------------------------------------------------------===//
   // Canonical values
@@ -220,10 +229,15 @@ private:
   /// Ensures the elements array can hold index \p Index.
   void ensureElementsCapacity(uint64_t ObjAddr, int64_t Index);
 
+  /// Chaos: burns simulated address space when the AllocPressure point
+  /// fires ahead of an allocation.
+  void maybeInjectAllocPressure();
+
   SimMemory &Mem;
   ShapeTable &Shapes;
   StringInterner &Names;
   HeapStats Stats;
+  FaultInjector *FaultInj = nullptr;
 
   Value UndefinedV, NullV, TrueV, FalseV, EmptyStringV;
   std::unordered_map<uint32_t, uint32_t> ConstructorSlotHints;

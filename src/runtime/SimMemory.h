@@ -11,7 +11,8 @@
 #ifndef CCJS_RUNTIME_SIMMEMORY_H
 #define CCJS_RUNTIME_SIMMEMORY_H
 
-#include <cassert>
+#include "support/Assert.h"
+
 #include <cstdint>
 #include <cstring>
 #include <cstdio>
@@ -31,7 +32,8 @@ public:
   /// Allocates \p Bytes with the given power-of-two \p Align, growing the
   /// simulated address space as needed. Memory is zero-initialized.
   uint64_t allocate(size_t Bytes, size_t Align = 8) {
-    assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+    CCJS_ASSERT(Align != 0 && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two");
     size_t Offset = (Data.size() + Align - 1) & ~(Align - 1);
     Data.resize(Offset + Bytes, 0);
     return BaseAddr + Offset;
@@ -72,13 +74,13 @@ private:
                    "ccjs: simulated address 0x%llx (+%zu) outside the "
                    "allocated 0x%zx bytes\n",
                    (unsigned long long)Addr, Size, Data.size());
-    assert(Addr >= BaseAddr && Addr + Size <= BaseAddr + Data.size() &&
-           "simulated address out of range");
+    CCJS_ASSERT(Addr >= BaseAddr && Addr + Size <= BaseAddr + Data.size(),
+                "simulated address out of range");
     return Data.data() + (Addr - BaseAddr);
   }
   const uint8_t *slot(uint64_t Addr, size_t Size) const {
-    assert(Addr >= BaseAddr && Addr + Size <= BaseAddr + Data.size() &&
-           "simulated address out of range");
+    CCJS_ASSERT(Addr >= BaseAddr && Addr + Size <= BaseAddr + Data.size(),
+                "simulated address out of range");
     return Data.data() + (Addr - BaseAddr);
   }
 

@@ -25,8 +25,27 @@ namespace ccjs {
   std::abort();
 }
 
+/// Reports a failed CCJS_ASSERT and aborts.
+[[noreturn]] inline void assertFail(const char *Cond, const char *Msg,
+                                    const char *File, int Line) {
+  std::fprintf(stderr, "ccjs fatal: assertion `%s` failed at %s:%d: %s\n",
+               Cond, File, Line, Msg);
+  std::abort();
+}
+
 } // namespace ccjs
 
 #define CCJS_UNREACHABLE(MSG) ::ccjs::unreachable(MSG, __FILE__, __LINE__)
+
+/// An assertion that stays on in Release builds. Use it for checks that
+/// guard simulated-memory indexing (ClassList / ClassCache / CacheSim
+/// geometry and address ranges): a silent out-of-range index corrupts the
+/// simulated machine state and invalidates every measurement downstream,
+/// which is far worse than the cost of the check.
+#define CCJS_ASSERT(COND, MSG)                                                 \
+  do {                                                                         \
+    if (!(COND))                                                               \
+      ::ccjs::assertFail(#COND, MSG, __FILE__, __LINE__);                      \
+  } while (false)
 
 #endif // CCJS_SUPPORT_ASSERT_H

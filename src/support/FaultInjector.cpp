@@ -1,0 +1,110 @@
+//===- support/FaultInjector.cpp ------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include "support/Assert.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace ccjs;
+
+namespace {
+
+/// Per-point occurrence-period ranges the seed picks from. Ranges are tuned
+/// so every point trips many times over a differential-test sized run while
+/// leaving enough fault-free stretches for tier-up to happen at all.
+struct PointSpec {
+  const char *Name;
+  uint32_t PeriodMin, PeriodMax;
+};
+
+constexpr PointSpec Specs[NumFaultPoints] = {
+    {"cc-evict", 13, 211},
+    {"spurious-invalidate", 23, 401},
+    {"stale-feedback", 3, 17},
+    {"guard-fail", 11, 301},
+    {"alloc-pressure", 7, 61},
+};
+
+uint64_t splitmix64(uint64_t &X) {
+  X += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultConfig &Cfg)
+    : Seed(Cfg.Seed ? Cfg.Seed : 1) {
+  AuxState = Seed ^ 0xA5A5A5A5DEADBEEFull;
+  for (unsigned P = 0; P < NumFaultPoints; ++P) {
+    PointState &St = Points[P];
+    int32_t Override = Cfg.Schedule[P];
+    if (Override < 0)
+      continue; // Disabled: Period stays 0, fire() never trips.
+    if (Override > 0) {
+      St.Period = static_cast<uint32_t>(Override);
+      St.Phase = 0;
+      continue;
+    }
+    // Give each point its own stream so schedules are independent of the
+    // enum ordering staying stable across points that fire.
+    uint64_t Stream = Seed + 0x100 * (uint64_t(P) + 1);
+    const PointSpec &Spec = Specs[P];
+    St.Period =
+        Spec.PeriodMin + splitmix64(Stream) % (Spec.PeriodMax - Spec.PeriodMin + 1);
+    St.Phase = static_cast<uint32_t>(splitmix64(Stream) % St.Period);
+  }
+}
+
+bool FaultInjector::fire(FaultPoint P) {
+  PointState &St = Points[static_cast<unsigned>(P)];
+  uint64_t Occ = ++St.Occurrence;
+  if (St.Period == 0 || Occ % St.Period != St.Phase)
+    return false;
+  ++St.Fired;
+  if (Trips.size() < MaxRecordedTrips)
+    Trips.push_back({P, Occ});
+  return true;
+}
+
+uint64_t FaultInjector::auxRandom() { return splitmix64(AuxState); }
+
+const char *FaultInjector::pointName(FaultPoint P) {
+  unsigned I = static_cast<unsigned>(P);
+  CCJS_ASSERT(I < NumFaultPoints, "invalid fault point");
+  return Specs[I].Name;
+}
+
+bool FaultInjector::pointFromName(const std::string &Name, FaultPoint &Out) {
+  for (unsigned P = 0; P < NumFaultPoints; ++P)
+    if (Name == Specs[P].Name) {
+      Out = static_cast<FaultPoint>(P);
+      return true;
+    }
+  return false;
+}
+
+std::string FaultInjector::renderTripLog() const {
+  std::string Out;
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "chaos seed=%" PRIu64 "\n", Seed);
+  Out += Buf;
+  for (const FaultTrip &T : Trips) {
+    std::snprintf(Buf, sizeof(Buf), "trip %s occ=%" PRIu64 "\n",
+                  pointName(T.Point), T.Occurrence);
+    Out += Buf;
+  }
+  for (unsigned P = 0; P < NumFaultPoints; ++P) {
+    const PointState &St = Points[P];
+    std::snprintf(Buf, sizeof(Buf),
+                  "point %s period=%u phase=%u occurrences=%" PRIu64
+                  " fired=%" PRIu64 "\n",
+                  Specs[P].Name, St.Period, St.Phase, St.Occurrence, St.Fired);
+    Out += Buf;
+  }
+  return Out;
+}

@@ -1,0 +1,124 @@
+//===- support/FaultInjector.h - Deterministic fault injection --*- C++ -*-===//
+///
+/// \file
+/// The chaos engine: a seeded, deterministic fault injector for the
+/// speculation machinery. Hot paths consult named fault points; each point
+/// fires on an exact occurrence schedule derived from the seed, so the same
+/// seed always produces the same fault sequence (and a byte-identical trip
+/// log), making any chaos failure replayable.
+///
+/// The injector is entirely host-side: it never emits simulated machine
+/// events itself. The faults it triggers (evictions, invalidations, guard
+/// failures) flow through the production recovery paths, which charge their
+/// own events — chaos runs exercise the real machinery, not a mock of it.
+///
+/// Transparency contract: every fault point may only *degrade* the engine
+/// (lose profile state, force the slow path, deopt) — never fabricate a
+/// fact the guard machinery would trust. Under any schedule the observable
+/// program output must equal the interpreter-only reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_SUPPORT_FAULTINJECTOR_H
+#define CCJS_SUPPORT_FAULTINJECTOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccjs {
+
+/// Named fault points consulted by the speculation stack.
+enum class FaultPoint : uint8_t {
+  /// ClassCache::accessStore — evict the target entry (writing back dirty
+  /// data) before the lookup, forcing the miss/refill path.
+  CcForcedEviction,
+  /// runClassCacheRequest — raise a spurious invalidation for the stored
+  /// slot: ValidMap clear + descendant propagation + dependent deopts, as
+  /// if a mismatching store had occurred.
+  SpuriousInvalidation,
+  /// Tier-up — poison one feedback site before compiling, modeling feedback
+  /// that went stale between profiling and optimization.
+  StaleFeedback,
+  /// Executor check ops — force the guard to fail, taking the deopt exit
+  /// with the frame materialization path.
+  ForcedGuardFail,
+  /// Heap allocation — insert padding allocations, shifting heap layout
+  /// and cache behaviour like allocation pressure would.
+  AllocPressure,
+};
+
+inline constexpr unsigned NumFaultPoints = 5;
+
+/// Chaos configuration, hung off EngineConfig. Disabled by default; when
+/// disabled no FaultInjector is created and the hot paths only ever pay a
+/// null-pointer test on the host (zero simulated events either way).
+struct FaultConfig {
+  bool Enabled = false;
+  uint64_t Seed = 1;
+  /// Per-point schedule override, indexed by FaultPoint:
+  ///   0  derive period and phase from the seed (the default),
+  ///  -1  disable the point,
+  ///  N>0 fire on every Nth occurrence exactly (N=1: every occurrence).
+  int32_t Schedule[NumFaultPoints] = {0, 0, 0, 0, 0};
+};
+
+/// One fired fault, recorded in occurrence order.
+struct FaultTrip {
+  FaultPoint Point;
+  /// 1-based occurrence index of the point when it fired.
+  uint64_t Occurrence;
+};
+
+class FaultInjector {
+public:
+  explicit FaultInjector(const FaultConfig &Cfg);
+
+  /// Counts one occurrence of \p P and returns true when the schedule says
+  /// this occurrence trips. A trip is appended to the replayable log.
+  bool fire(FaultPoint P);
+
+  /// Deterministic auxiliary stream for fault *parameters* (which poison to
+  /// apply, how much padding). Separate from the schedules so consuming
+  /// parameters never perturbs when faults fire.
+  uint64_t auxRandom();
+
+  uint64_t seed() const { return Seed; }
+  const std::vector<FaultTrip> &trips() const { return Trips; }
+  uint64_t tripCount(FaultPoint P) const {
+    return Points[static_cast<unsigned>(P)].Fired;
+  }
+  uint64_t occurrences(FaultPoint P) const {
+    return Points[static_cast<unsigned>(P)].Occurrence;
+  }
+
+  /// Renders the trip log as text: a header, one line per recorded trip,
+  /// and per-point totals. Byte-identical for identical seeds and schedules
+  /// over a deterministic execution.
+  std::string renderTripLog() const;
+
+  static const char *pointName(FaultPoint P);
+  /// Parses a --chaos-only style name; returns false on unknown names.
+  static bool pointFromName(const std::string &Name, FaultPoint &Out);
+
+private:
+  struct PointState {
+    uint64_t Occurrence = 0;
+    uint64_t Fired = 0;
+    uint32_t Period = 0; // 0 = never fires.
+    uint32_t Phase = 0;  // Fires when Occurrence % Period == Phase.
+  };
+
+  /// Trips beyond this are still counted but not recorded, bounding log
+  /// memory on very long runs.
+  static constexpr size_t MaxRecordedTrips = 1u << 16;
+
+  uint64_t Seed;
+  PointState Points[NumFaultPoints];
+  uint64_t AuxState;
+  std::vector<FaultTrip> Trips;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_SUPPORT_FAULTINJECTOR_H

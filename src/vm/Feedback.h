@@ -102,6 +102,44 @@ struct SiteFeedback {
 
 using FeedbackVector = std::vector<SiteFeedback>;
 
+/// Chaos-engine helper: perturbs one site's feedback the way real staleness
+/// would — facts are dropped or over-generalized, never fabricated. Every
+/// perturbation leaves the site in a state the optimizing tier either
+/// guards (wrong Hint ⇒ failing CheckSmi/CheckNumber ⇒ deopt) or compiles
+/// generically (no entries, no target, megamorphic), so a compile from
+/// poisoned feedback can mis-speculate but never mis-execute.
+///
+/// The one coupling rule: clearing IC entries must also reset CallTarget,
+/// because a monomorphic builtin-method call guards the receiver through
+/// its IC entry — keeping the target without the entry would drop that
+/// guard.
+inline void poisonSiteFeedback(SiteFeedback &FB, uint64_t Rnd) {
+  switch (Rnd % 6) {
+  case 0: // Forget all but the first IC entry (site re-records later).
+    if (FB.NumEntries > 1)
+      FB.NumEntries = 1;
+    break;
+  case 1: // Forget the site entirely.
+    FB.NumEntries = 0;
+    FB.CallTarget = SiteFeedback::NoTarget;
+    FB.PolymorphicCall = false;
+    break;
+  case 2: // Pessimize to megamorphic (absorbing, but only costs speed).
+    FB.Megamorphic = true;
+    break;
+  case 3: // Wrong arithmetic hint: the Smi path is fully guarded.
+    FB.Hint = NumberHint::Smi;
+    break;
+  case 4: // Wrong arithmetic hint: the Double path is fully guarded.
+    FB.Hint = NumberHint::Double;
+    break;
+  case 5: // Forget the call target (site compiles a deopt fallback).
+    FB.CallTarget = SiteFeedback::NoTarget;
+    FB.PolymorphicCall = false;
+    break;
+  }
+}
+
 } // namespace ccjs
 
 #endif // CCJS_VM_FEEDBACK_H

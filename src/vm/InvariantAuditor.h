@@ -1,0 +1,67 @@
+//===- vm/InvariantAuditor.h - Speculation invariant audits ----*- C++ -*-===//
+///
+/// \file
+/// Cross-checks the speculation machinery's global invariants at deopt and
+/// tier-up boundaries (the two points where the engine commits to, or backs
+/// out of, elided checks). The audited invariants are the ones the paper's
+/// transparency argument rests on:
+///
+///   1. Class Cache / Class List coherence: clean cached entries equal the
+///      memory image; dirty entries are only ahead in InitMap/Props
+///      profiling, never divergent in ValidMap/SpeculateMap.
+///   2. SpeculateMap bits agree with the host-side FunctionLists: a set bit
+///      has at least one dependent function recorded, a non-empty list has
+///      its bit set — and the slot is still valid (speculation only ever
+///      rests on monomorphic slots).
+///   3. Descendant propagation: a ValidMap bit cleared on a parent class is
+///      also cleared on every descendant class for the lines the parent
+///      owns (the inherited-profile lines).
+///   4. Re-optimization is bounded: DeoptCount never exceeds
+///      MaxDeoptsPerFunction; reaching the bound disables optimization;
+///      disabled or invalidated functions never run optimized code.
+///
+/// The auditor is pure observation: it reads VM state and records failures,
+/// it never mutates the machine. It is only constructed when
+/// EngineConfig::AuditInvariants is set, so normal runs pay nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_VM_INVARIANTAUDITOR_H
+#define CCJS_VM_INVARIANTAUDITOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccjs {
+
+struct VMState;
+
+class InvariantAuditor {
+public:
+  /// Runs every audit family against \p VM. \p When names the boundary
+  /// ("tier-up", "deopt", "final") and \p FuncIndex the function involved;
+  /// both only flavor the failure messages.
+  void audit(const VMState &VM, const char *When, uint32_t FuncIndex);
+
+  uint64_t audits() const { return Audits; }
+  uint64_t failureCount() const { return TotalFailures; }
+  /// The first MaxRecorded failure messages, in detection order.
+  const std::vector<std::string> &failures() const { return Failures; }
+
+private:
+  void auditSpeculationLists(const VMState &VM, const char *When);
+  void auditDescendantPropagation(const VMState &VM, const char *When);
+  void auditDeoptBounds(const VMState &VM, const char *When);
+  void fail(std::string Msg);
+
+  static constexpr size_t MaxRecorded = 64;
+
+  uint64_t Audits = 0;
+  uint64_t TotalFailures = 0;
+  std::vector<std::string> Failures;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_VM_INVARIANTAUDITOR_H

@@ -56,6 +56,13 @@ inline void runClassCacheRequest(VMState &VM, InstrCategory Cat,
       VM.Ctx.classCacheStore(Cat, ContainerClass, Line, Pos, ValueClass);
   if (R.ValidCleared && VM.OnClassCacheInvalidation)
     VM.OnClassCacheInvalidation(VM, ContainerClass, Line, Pos);
+  else if (VM.FaultInj && VM.OnClassCacheInvalidation &&
+           VM.FaultInj->fire(FaultPoint::SpuriousInvalidation))
+    // Chaos: run the full invalidation service (ValidMap clear, descendant
+    // propagation, dependent deopts) for a slot that did NOT mismatch.
+    // Invalidation is always a safe over-approximation — the engine only
+    // loses elision opportunities — so any output change is a bug.
+    VM.OnClassCacheInvalidation(VM, ContainerClass, Line, Pos);
 }
 
 /// Profiles a property store. \p HolderShape is the object's shape *after*

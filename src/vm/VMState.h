@@ -21,8 +21,10 @@
 #include "hw/HwConfig.h"
 #include "runtime/Heap.h"
 #include "runtime/TypeProfiler.h"
+#include "support/FaultInjector.h"
 #include "support/StringInterner.h"
 #include "vm/Feedback.h"
+#include "vm/InvariantAuditor.h"
 
 #include <memory>
 #include <string>
@@ -58,6 +60,11 @@ struct EngineConfig {
   /// Deopts of one function before optimization is disabled for it.
   uint32_t MaxDeoptsPerFunction = 8;
 
+  /// Chaos engine: deterministic fault injection (off by default).
+  FaultConfig Faults;
+  /// Run the InvariantAuditor at deopt and tier-up boundaries.
+  bool AuditInvariants = false;
+
   HwConfig Hw;
 };
 
@@ -77,12 +84,34 @@ struct FunctionInfo {
   bool ConstsMaterialized = false;
 };
 
+/// One deoptimization, reported through the VMState::OnDeopt trace hook.
+struct DeoptEvent {
+  uint32_t FuncIndex;
+  /// OptIR index of the op that deoptimized.
+  uint32_t IrIndex;
+  /// Bytecode pc execution resumes at in the baseline tier.
+  uint32_t ResumeBcPc;
+  /// True for speculation failures (counted against MaxDeoptsPerFunction),
+  /// false for planned DeoptOp fallbacks.
+  bool Failure;
+  /// The function's failure-deopt count before this event.
+  uint32_t PriorDeoptCount;
+};
+
 struct VMState {
   explicit VMState(const EngineConfig &Config)
       : Config(Config), Mem(1u << 22), Shapes(), Heap_(Mem, Shapes, Names),
         CList(Mem), CCache(CList, Config.Hw.ClassCacheEntries,
                            Config.Hw.ClassCacheWays),
-        Ctx(this->Config.Hw, &CCache) {}
+        Ctx(this->Config.Hw, &CCache) {
+    if (this->Config.Faults.Enabled) {
+      FaultInj = std::make_unique<FaultInjector>(this->Config.Faults);
+      CCache.setFaultInjector(FaultInj.get());
+      Heap_.setFaultInjector(FaultInj.get());
+    }
+    if (this->Config.AuditInvariants)
+      Auditor = std::make_unique<InvariantAuditor>();
+  }
 
   EngineConfig Config;
   StringInterner Names;
@@ -93,6 +122,13 @@ struct VMState {
   ClassList CList;
   ClassCache CCache;
   ExecContext Ctx;
+
+  /// Chaos engine (null unless Config.Faults.Enabled). Hot paths test the
+  /// pointer and nothing else, so the fault-off cost is a branch on the
+  /// host — no simulated events.
+  std::unique_ptr<FaultInjector> FaultInj;
+  /// Invariant auditor (null unless Config.AuditInvariants).
+  std::unique_ptr<InvariantAuditor> Auditor;
 
   BytecodeModule Module;
   std::vector<FunctionInfo> Funcs;
@@ -116,9 +152,27 @@ struct VMState {
   /// When true, print() also writes to stdout.
   bool EchoOutput = false;
 
-  /// Call depth guard.
+  /// Call depth guard. Sanitizer builds inflate native frames severalfold,
+  /// so the guarded depth shrinks to trip before the real stack does.
   uint32_t CallDepth = 0;
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CCJS_ASAN_ENABLED 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define CCJS_ASAN_ENABLED 1
+#endif
+#ifdef CCJS_ASAN_ENABLED
+  static constexpr uint32_t MaxCallDepth = 800;
+#else
   static constexpr uint32_t MaxCallDepth = 4000;
+#endif
+
+  /// Optimized code replaced while activations of it may still be on the
+  /// C++ stack (a recursive function re-tiering mid-recursion). Deleting
+  /// eagerly would free code an outer frame is executing; retired code is
+  /// reclaimed at the next top-level quiescent point instead.
+  std::vector<OptCode *> RetiredOpt;
 
   //===--------------------------------------------------------------------===//
   // Tier dispatch hooks (installed by the engine)
@@ -140,6 +194,11 @@ struct VMState {
   /// tier's semantics.
   Value (*GenericCallMethod)(VMState &, Value Receiver, uint32_t Name,
                              const Value *Args, uint32_t Argc) = nullptr;
+  /// Deopt trace hook: invoked on every deoptimization when installed.
+  /// Replaces the per-deopt getenv("CCJS_DEBUG_DEOPT") lookup — the engine
+  /// installs a stderr printer when the env var is set (checked once per
+  /// process), and the chaos harness installs its own capture.
+  void (*OnDeopt)(VMState &, const DeoptEvent &) = nullptr;
 
   void halt(std::string Msg) {
     if (Halted)

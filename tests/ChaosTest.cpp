@@ -1,0 +1,324 @@
+//===- tests/ChaosTest.cpp - Fault injection + invariant audit oracle -----===//
+///
+/// The chaos oracle for the speculation machinery (the paper's transparency
+/// invariant as a continuously enforced property): for every differential
+/// program and a sweep of fault-injection seeds, the observable output must
+/// equal the interpreter-only reference, with zero invariant-audit failures
+/// and no crash or livelock. Same seed ⇒ byte-identical trip log.
+///
+//===----------------------------------------------------------------------===//
+
+#include "DiffPrograms.h"
+#include "TestUtil.h"
+
+#include "support/FaultInjector.h"
+#include "vm/InvariantAuditor.h"
+
+using namespace ccjs;
+
+namespace {
+
+using test::DiffProgram;
+using test::Programs;
+
+constexpr uint64_t NumSweepSeeds = 64;
+
+EngineConfig chaosConfig(uint64_t Seed) {
+  EngineConfig C = test::hotConfig(/*ClassCache=*/true);
+  C.Faults.Enabled = true;
+  C.Faults.Seed = Seed;
+  C.AuditInvariants = true;
+  return C;
+}
+
+struct ChaosRun {
+  std::string Output;
+  std::string Error;
+  bool Ok = false;
+  uint64_t AuditFailures = 0;
+  std::vector<std::string> FailureMessages;
+  uint64_t TotalTrips = 0;
+  std::string TripLog;
+};
+
+ChaosRun runChaos(const char *Source, const EngineConfig &Config) {
+  ChaosRun R;
+  Engine E(Config);
+  if (!E.load(Source) || !E.runTopLevel()) {
+    R.Error = E.lastError();
+    return R;
+  }
+  E.auditNow("final");
+  R.Ok = true;
+  R.Output = E.output();
+  if (const InvariantAuditor *A = E.auditor()) {
+    R.AuditFailures = A->failureCount();
+    R.FailureMessages = A->failures();
+  }
+  if (const FaultInjector *FI = E.faultInjector()) {
+    for (unsigned P = 0; P < NumFaultPoints; ++P)
+      R.TotalTrips += FI->tripCount(static_cast<FaultPoint>(P));
+    R.TripLog = FI->renderTripLog();
+  }
+  return R;
+}
+
+std::string interpreterReference(const char *Source) {
+  EngineConfig Cold;
+  Cold.HotInvocationThreshold = 1000000; // Never optimize.
+  Cold.HotLoopThreshold = 1u << 30;
+  return test::runProgram(Source, Cold);
+}
+
+class ChaosDifferentialTest : public ::testing::TestWithParam<DiffProgram> {};
+
+/// The tentpole oracle: 64-seed sweep per program.
+TEST_P(ChaosDifferentialTest, OutputMatchesReferenceAcrossSeeds) {
+  const DiffProgram &P = GetParam();
+  const std::string Ref = interpreterReference(P.Source);
+  ASSERT_NE(Ref, "<runtime error>");
+  uint64_t TripsSeen = 0;
+  for (uint64_t Seed = 1; Seed <= NumSweepSeeds; ++Seed) {
+    ChaosRun R = runChaos(P.Source, chaosConfig(Seed));
+    ASSERT_TRUE(R.Ok) << "seed " << Seed << " halted: " << R.Error;
+    EXPECT_EQ(R.Output, Ref) << "seed " << Seed
+                             << " changed observable behaviour; trip log:\n"
+                             << R.TripLog;
+    EXPECT_EQ(R.AuditFailures, 0u)
+        << "seed " << Seed << " first failure: "
+        << (R.FailureMessages.empty() ? "<none recorded>"
+                                      : R.FailureMessages.front());
+    TripsSeen += R.TotalTrips;
+  }
+  // The sweep must actually have injected faults, or the oracle is vacuous.
+  EXPECT_GT(TripsSeen, 0u) << "no fault ever fired across the sweep";
+}
+
+/// Replay: the same seed must produce a byte-identical trip log.
+TEST_P(ChaosDifferentialTest, TripLogIsReplayable) {
+  const DiffProgram &P = GetParam();
+  ChaosRun A = runChaos(P.Source, chaosConfig(7));
+  ChaosRun B = runChaos(P.Source, chaosConfig(7));
+  ASSERT_TRUE(A.Ok && B.Ok);
+  EXPECT_EQ(A.TripLog, B.TripLog) << "same seed diverged";
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+/// The auditor itself must not cry wolf: a fault-free audited run of every
+/// program and config is failure-free.
+TEST_P(ChaosDifferentialTest, AuditCleanWithoutFaults) {
+  const DiffProgram &P = GetParam();
+  for (bool ClassCache : {false, true}) {
+    EngineConfig C = test::hotConfig(ClassCache);
+    C.AuditInvariants = true;
+    Engine E(C);
+    ASSERT_TRUE(E.load(P.Source));
+    ASSERT_TRUE(E.runTopLevel()) << E.lastError();
+    E.auditNow("final");
+    ASSERT_NE(E.auditor(), nullptr);
+    EXPECT_GT(E.auditor()->audits(), 0u);
+    EXPECT_EQ(E.auditor()->failureCount(), 0u)
+        << "false positive: "
+        << (E.auditor()->failures().empty()
+                ? "<none recorded>"
+                : E.auditor()->failures().front());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, ChaosDifferentialTest,
+                         ::testing::ValuesIn(Programs),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Per-point schedules
+//===----------------------------------------------------------------------===//
+
+/// Isolates one fault point at maximum rate (every occurrence fires) with
+/// every other point disabled; output must still match.
+class SingleFaultPointTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SingleFaultPointTest, EveryOccurrenceFires) {
+  FaultPoint Point = static_cast<FaultPoint>(GetParam());
+  for (const DiffProgram &P :
+       {Programs[2] /*object_fields*/, Programs[4] /*mid_run_shape_break*/}) {
+    const std::string Ref = interpreterReference(P.Source);
+    EngineConfig C = chaosConfig(1);
+    for (unsigned I = 0; I < NumFaultPoints; ++I)
+      C.Faults.Schedule[I] = -1;
+    C.Faults.Schedule[GetParam()] = 1;
+    ChaosRun R = runChaos(P.Source, C);
+    ASSERT_TRUE(R.Ok) << FaultInjector::pointName(Point) << " halted "
+                      << P.Name << ": " << R.Error;
+    EXPECT_EQ(R.Output, Ref)
+        << FaultInjector::pointName(Point) << " changed " << P.Name;
+    EXPECT_EQ(R.AuditFailures, 0u)
+        << (R.FailureMessages.empty() ? "<none>" : R.FailureMessages.front());
+    EXPECT_GT(R.TotalTrips, 0u)
+        << FaultInjector::pointName(Point) << " never fired on " << P.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, SingleFaultPointTest,
+                         ::testing::Range(0u, NumFaultPoints),
+                         [](const auto &Info) {
+                           std::string Name = FaultInjector::pointName(
+                               static_cast<FaultPoint>(Info.param));
+                           for (char &C : Name)
+                             if (C == '-')
+                               C = '_';
+                           return Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Deopt storms (satellite: feedback that never stops being stale)
+//===----------------------------------------------------------------------===//
+
+TEST(DeoptStormTest, PermanentlyStaleFeedbackHitsTheBoundAndFallsBack) {
+  // Every guard the optimized code executes fails, so every tier-up deopts
+  // immediately: the bound must engage, disable re-optimization, and the
+  // program must finish (correctly) in the baseline tier.
+  const char *Source = R"js(
+function Pt(x) { this.x = x; }
+var ps = [];
+var i; for (i = 0; i < 30; i++) ps[i] = new Pt(i);
+function run() { var s = 0; var i; for (i = 0; i < 30; i++) s += ps[i].x; return s; }
+var j; for (j = 0; j < 40; j++) print(run());
+)js";
+  const std::string Ref = interpreterReference(Source);
+
+  EngineConfig C = chaosConfig(1);
+  C.MaxDeoptsPerFunction = 3;
+  for (unsigned I = 0; I < NumFaultPoints; ++I)
+    C.Faults.Schedule[I] = -1;
+  C.Faults.Schedule[static_cast<unsigned>(FaultPoint::ForcedGuardFail)] = 1;
+
+  Engine E(C);
+  ASSERT_TRUE(E.load(Source));
+  ASSERT_TRUE(E.runTopLevel()) << E.lastError();
+  E.auditNow("final");
+  EXPECT_EQ(E.output(), Ref);
+  EXPECT_EQ(E.auditor()->failureCount(), 0u);
+
+  // Tier counters, not just output: `run` must have hit the bound exactly,
+  // been disabled, and dropped its optimized code for good.
+  const VMState &VM = E.vm();
+  bool SawStorm = false;
+  uint32_t TotalDeopts = 0;
+  for (const FunctionInfo &FI : VM.Funcs) {
+    TotalDeopts += FI.DeoptCount;
+    EXPECT_LE(FI.DeoptCount, C.MaxDeoptsPerFunction);
+    if (FI.DeoptCount >= C.MaxDeoptsPerFunction) {
+      SawStorm = true;
+      EXPECT_TRUE(FI.OptDisabled);
+      EXPECT_FALSE(FI.OptValid);
+    }
+    EXPECT_FALSE(FI.OptDisabled && FI.OptValid);
+  }
+  EXPECT_TRUE(SawStorm) << "no function ever reached MaxDeoptsPerFunction";
+  // Each failure deopt burned one compile; once disabled, compiles stop.
+  EXPECT_GE(VM.OptCompiles, TotalDeopts);
+}
+
+TEST(DeoptStormTest, DeoptTraceHookCapturesTheStorm) {
+  static std::vector<DeoptEvent> Captured;
+  Captured.clear();
+
+  const char *Source = R"js(
+function run() { var s = 0; var i; for (i = 0; i < 40; i++) s += i; return s; }
+var j; for (j = 0; j < 20; j++) print(run());
+)js";
+  EngineConfig C = chaosConfig(1);
+  C.MaxDeoptsPerFunction = 2;
+  for (unsigned I = 0; I < NumFaultPoints; ++I)
+    C.Faults.Schedule[I] = -1;
+  C.Faults.Schedule[static_cast<unsigned>(FaultPoint::ForcedGuardFail)] = 1;
+
+  Engine E(C);
+  E.vm().OnDeopt = [](VMState &, const DeoptEvent &Ev) {
+    Captured.push_back(Ev);
+  };
+  ASSERT_TRUE(E.load(Source));
+  ASSERT_TRUE(E.runTopLevel()) << E.lastError();
+
+  ASSERT_FALSE(Captured.empty()) << "hook never fired";
+  uint32_t Failures = 0;
+  for (const DeoptEvent &Ev : Captured)
+    if (Ev.Failure)
+      ++Failures;
+  EXPECT_EQ(Failures, C.MaxDeoptsPerFunction);
+  // Prior counts are monotone within the storm.
+  EXPECT_EQ(Captured.front().PriorDeoptCount, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjector unit behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectorTest, ScheduleOverridesAreExact) {
+  FaultConfig Cfg;
+  Cfg.Enabled = true;
+  Cfg.Seed = 42;
+  for (unsigned I = 0; I < NumFaultPoints; ++I)
+    Cfg.Schedule[I] = -1;
+  Cfg.Schedule[static_cast<unsigned>(FaultPoint::CcForcedEviction)] = 3;
+
+  FaultInjector FI(Cfg);
+  unsigned Fired = 0;
+  for (unsigned I = 0; I < 30; ++I)
+    Fired += FI.fire(FaultPoint::CcForcedEviction);
+  EXPECT_EQ(Fired, 10u); // Every 3rd of 30.
+  for (unsigned I = 0; I < 100; ++I)
+    EXPECT_FALSE(FI.fire(FaultPoint::ForcedGuardFail)) << "disabled point fired";
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultConfig Cfg;
+  Cfg.Enabled = true;
+  Cfg.Seed = 1234;
+  FaultInjector A(Cfg), B(Cfg);
+  for (unsigned I = 0; I < 5000; ++I)
+    for (unsigned P = 0; P < NumFaultPoints; ++P) {
+      FaultPoint Point = static_cast<FaultPoint>(P);
+      ASSERT_EQ(A.fire(Point), B.fire(Point)) << "divergence at occ " << I;
+    }
+  EXPECT_EQ(A.renderTripLog(), B.renderTripLog());
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDifferentSchedules) {
+  FaultConfig A, B;
+  A.Enabled = B.Enabled = true;
+  A.Seed = 1;
+  B.Seed = 2;
+  FaultInjector Fa(A), Fb(B);
+  unsigned Divergences = 0;
+  for (unsigned I = 0; I < 5000; ++I)
+    for (unsigned P = 0; P < NumFaultPoints; ++P) {
+      FaultPoint Point = static_cast<FaultPoint>(P);
+      if (Fa.fire(Point) != Fb.fire(Point))
+        ++Divergences;
+    }
+  EXPECT_GT(Divergences, 0u) << "seeds 1 and 2 injected identical faults";
+}
+
+TEST(FaultInjectorTest, PointNamesRoundTrip) {
+  for (unsigned P = 0; P < NumFaultPoints; ++P) {
+    FaultPoint Out;
+    ASSERT_TRUE(FaultInjector::pointFromName(
+        FaultInjector::pointName(static_cast<FaultPoint>(P)), Out));
+    EXPECT_EQ(static_cast<unsigned>(Out), P);
+  }
+  FaultPoint Out;
+  EXPECT_FALSE(FaultInjector::pointFromName("no-such-point", Out));
+}
+
+//===----------------------------------------------------------------------===//
+// CCJS_ASSERT (satellite: release-mode assertions)
+//===----------------------------------------------------------------------===//
+
+TEST(CcjsAssertDeathTest, FiresWithMessage) {
+  EXPECT_DEATH(CCJS_ASSERT(1 == 2, "chaos sanity"), "chaos sanity");
+}
+
+} // namespace

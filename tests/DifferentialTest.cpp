@@ -10,181 +10,15 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "DiffPrograms.h"
 #include "TestUtil.h"
 
 using namespace ccjs;
 
 namespace {
 
-struct DiffProgram {
-  const char *Name;
-  const char *Source;
-};
-
-// Every program defines work at the top level and prints a checksum.
-const DiffProgram Programs[] = {
-    {"smi_loop", R"js(
-function run() { var s = 0; var i; for (i = 0; i < 500; i++) s += i * 3 - 1; return s; }
-var j; for (j = 0; j < 12; j++) print(run());
-)js"},
-
-    {"double_kernel", R"js(
-function run() { var x = 0.1; var i; for (i = 0; i < 300; i++) x = x * 1.003 + 0.01; return x; }
-var j; var r; for (j = 0; j < 12; j++) r = run();
-print(r > 0 && r < 100);
-print(Math.floor(r * 1000));
-)js"},
-
-    {"object_fields", R"js(
-function Vec(x, y, z) { this.x = x; this.y = y; this.z = z; }
-function dot(a, b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
-var vs = [];
-var i; for (i = 0; i < 50; i++) vs[i] = new Vec(i, i + 1, i + 2);
-function run() { var s = 0; var i; for (i = 0; i < 49; i++) s += dot(vs[i], vs[i + 1]); return s; }
-var j; for (j = 0; j < 12; j++) print(run());
-)js"},
-
-    {"poly_sites", R"js(
-function A() { this.k = 1; }
-function B() { this.tag = 0; this.k = 2; }
-function C() { this.t1 = 0; this.t2 = 0; this.k = 3; }
-var objs = [];
-var i; for (i = 0; i < 60; i++) {
-  if (i % 3 == 0) objs[i] = new A();
-  else if (i % 3 == 1) objs[i] = new B();
-  else objs[i] = new C();
-}
-function run() { var s = 0; var i; for (i = 0; i < 60; i++) s += objs[i].k; return s; }
-var j; for (j = 0; j < 12; j++) print(run());
-)js"},
-
-    {"mid_run_shape_break", R"js(
-function Node(v) { this.v = v; }
-var nodes = [];
-var i; for (i = 0; i < 40; i++) nodes[i] = new Node(i);
-function total() { var s = 0; var i; for (i = 0; i < 40; i++) s += nodes[i].v; return s; }
-var j; for (j = 0; j < 8; j++) print(total());
-nodes[7].v = 3.5;           // SMI slot becomes a double.
-print(total());
-nodes[9].v = 'str';         // And then a string (generic add).
-print(total());
-)js"},
-
-    {"elements_mixed", R"js(
-var a = [];
-var i; for (i = 0; i < 64; i++) a[i] = i;
-function run() {
-  var s = 0; var i;
-  for (i = 0; i < 64; i++) s += a[i];
-  for (i = 0; i < 64; i++) a[i] = s % 97 + i;
-  return s;
-}
-var j; for (j = 0; j < 12; j++) print(run());
-a[3] = 0.5;                 // Elements kind breaks to double.
-print(run());
-)js"},
-
-    {"string_building", R"js(
-function run() {
-  var s = ''; var i;
-  for (i = 0; i < 30; i++) s = s + String.fromCharCode(65 + (i % 26));
-  return s;
-}
-var j; var r; for (j = 0; j < 12; j++) r = run();
-print(r);
-print(r.length);
-print(r.charCodeAt(5));
-)js"},
-
-    {"branches_and_logic", R"js(
-function classify(n) {
-  if (n < 0) return 'neg';
-  if (n == 0) return 'zero';
-  return n % 2 == 0 ? 'even' : 'odd';
-}
-function run() {
-  var out = ''; var i;
-  for (i = -3; i < 10; i++) out = out + classify(i) + ',';
-  return out;
-}
-var j; for (j = 0; j < 12; j++) print(run());
-)js"},
-
-    {"recursion_hot", R"js(
-function fib(n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
-function run() { return fib(14); }
-var j; for (j = 0; j < 12; j++) print(run());
-)js"},
-
-    {"transitions_in_loop", R"js(
-function run() {
-  var s = 0; var i;
-  for (i = 0; i < 40; i++) {
-    var o = {};
-    o.a = i;
-    o.b = i * 2;
-    s += o.a + o.b;
-  }
-  return s;
-}
-var j; for (j = 0; j < 12; j++) print(run());
-)js"},
-
-    {"bitops_kernel", R"js(
-function run() {
-  var h = 0x12345678; var i;
-  for (i = 0; i < 200; i++) {
-    h = (h << 5) ^ (h >>> 3) ^ i;
-    h = h & 0x7fffffff;
-  }
-  return h;
-}
-var j; for (j = 0; j < 12; j++) print(run());
-)js"},
-
-    {"method_calls", R"js(
-function Counter() { this.n = 0; }
-function bumpBy(d) { this.n += d; return this.n; }
-var c = new Counter();
-c.bump = bumpBy;
-function run() { var i; for (i = 0; i < 50; i++) c.bump(2); return c.n; }
-var j; for (j = 0; j < 12; j++) print(run());
-)js"},
-
-    {"array_growth_push", R"js(
-function run() {
-  var a = []; var i;
-  for (i = 0; i < 100; i++) a.push(i * i);
-  return a[99] + a.length;
-}
-var j; for (j = 0; j < 12; j++) print(run());
-)js"},
-
-    {"overflow_properties", R"js(
-function run() {
-  var o = {}; var i;
-  // Far beyond the in-object capacity: exercises the overflow store path.
-  o.p0 = 0; o.p1 = 1; o.p2 = 2; o.p3 = 3; o.p4 = 4; o.p5 = 5;
-  o.p6 = 6; o.p7 = 7; o.p8 = 8; o.p9 = 9; o.p10 = 10; o.p11 = 11;
-  o.p12 = 12; o.p13 = 13; o.p14 = 14; o.p15 = 15;
-  return o.p0 + o.p7 + o.p15;
-}
-var j; for (j = 0; j < 12; j++) print(run());
-)js"},
-
-    {"mixed_number_compare", R"js(
-function run() {
-  var c = 0; var i;
-  for (i = 0; i < 100; i++) {
-    var x = i % 2 == 0 ? i : i + 0.5;
-    if (x < 50) c++;
-    if (x >= 25.5) c += 2;
-  }
-  return c;
-}
-var j; for (j = 0; j < 12; j++) print(run());
-)js"},
-};
+using test::DiffProgram;
+using test::Programs;
 
 class DifferentialTest : public ::testing::TestWithParam<DiffProgram> {};
 

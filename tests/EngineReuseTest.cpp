@@ -1,0 +1,102 @@
+//===- tests/EngineReuseTest.cpp - Engine reuse after errors --------------===//
+///
+/// An Engine must be reusable: `load` starts a clean program regardless of
+/// what the previous program did (including halting with a runtime error),
+/// and calls into a halted VM are defined no-ops rather than crashes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace ccjs;
+
+namespace {
+
+const char *GoodProgram = R"js(
+function run() { var s = 0; var i; for (i = 0; i < 10; i++) s += i; return s; }
+print(run());
+)js";
+
+const char *HaltingProgram = R"js(
+print(1);
+missing();
+print(2);
+)js";
+
+TEST(EngineReuseTest, ReloadAfterRuntimeError) {
+  Engine E(test::hotConfig(true));
+  ASSERT_TRUE(E.load(HaltingProgram));
+  EXPECT_FALSE(E.runTopLevel());
+  EXPECT_TRUE(E.halted());
+  EXPECT_NE(E.lastError(), "");
+  EXPECT_EQ(E.output(), "1\n"); // Stopped at the error.
+
+  // A fresh load must fully reset: no halt flag, no stale error, no output
+  // carried over from the failed program.
+  ASSERT_TRUE(E.load(GoodProgram)) << E.lastError();
+  EXPECT_FALSE(E.halted());
+  EXPECT_EQ(E.lastError(), "");
+  ASSERT_TRUE(E.runTopLevel()) << E.lastError();
+  EXPECT_EQ(E.output(), "45\n");
+}
+
+TEST(EngineReuseTest, CallAfterHaltIsDefinedNoOp) {
+  Engine E(test::hotConfig(false));
+  ASSERT_TRUE(E.load(HaltingProgram));
+  ASSERT_FALSE(E.runTopLevel());
+  std::string Err = E.lastError();
+  ASSERT_NE(Err, "");
+
+  // Calling into the halted VM neither crashes nor clobbers the diagnostic.
+  Value V = E.callGlobal("run");
+  EXPECT_TRUE(V == E.vm().Heap_.undefined());
+  EXPECT_TRUE(E.halted());
+  EXPECT_EQ(E.lastError(), Err);
+  EXPECT_FALSE(E.runTopLevel());
+}
+
+TEST(EngineReuseTest, ReloadAfterSyntaxError) {
+  Engine E(test::hotConfig(false));
+  EXPECT_FALSE(E.load("function ("));
+  EXPECT_TRUE(E.halted());
+  ASSERT_TRUE(E.load(GoodProgram)) << E.lastError();
+  ASSERT_TRUE(E.runTopLevel()) << E.lastError();
+  EXPECT_EQ(E.output(), "45\n");
+}
+
+TEST(EngineReuseTest, ReloadDiscardsPreviousOutputAndGlobals) {
+  Engine E(test::hotConfig(true));
+  ASSERT_TRUE(E.load("var leak = 123; print(leak);"));
+  ASSERT_TRUE(E.runTopLevel());
+  EXPECT_EQ(E.output(), "123\n");
+
+  // The previous program's global value must be gone in the fresh module:
+  // `leak` starts over as an undefined global, not 123.
+  ASSERT_TRUE(E.load("print(leak);"));
+  ASSERT_TRUE(E.runTopLevel()) << E.lastError();
+  EXPECT_EQ(E.output(), "undefined\n");
+}
+
+TEST(EngineReuseTest, ReloadThenReTierUp) {
+  // A program that tiers up and speculates, reloaded and re-run: the stale
+  // speculation dependencies of the first module (whose function indices
+  // mean something else now) must not leak into the second run.
+  const char *Speculating = R"js(
+function Pt(x) { this.x = x; }
+var ps = [];
+var i; for (i = 0; i < 20; i++) ps[i] = new Pt(i);
+function run() { var s = 0; var i; for (i = 0; i < 20; i++) s += ps[i].x; return s; }
+var j; for (j = 0; j < 10; j++) print(run());
+)js";
+  Engine E(test::hotConfig(true));
+  for (int Round = 0; Round < 3; ++Round) {
+    ASSERT_TRUE(E.load(Speculating)) << "round " << Round;
+    ASSERT_TRUE(E.runTopLevel()) << "round " << Round << ": " << E.lastError();
+    std::string Expect;
+    for (int J = 0; J < 10; ++J)
+      Expect += "190\n";
+    EXPECT_EQ(E.output(), Expect) << "round " << Round;
+  }
+}
+
+} // namespace

@@ -12,6 +12,10 @@
 ///     --json=<path>        write the measurement report / comparison as a
 ///                          schema-versioned JSON report ('-' = stdout)
 ///     --disassemble        dump bytecode instead of executing
+///     --chaos-seed=N       enable deterministic fault injection (seed N)
+///     --chaos-only=a,b     restrict injection to the named fault points
+///     --audit              run invariant audits; exit 1 on any failure
+///     --trip-log=<path>    write the replayable fault trip log ('-' = stdout)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,7 +23,9 @@
 #include "core/BenchHarness.h"
 #include "core/Runner.h"
 #include "frontend/Parser.h"
+#include "support/FaultInjector.h"
 #include "support/Table.h"
+#include "vm/InvariantAuditor.h"
 
 #include <cstdio>
 #include <cstring>
@@ -69,12 +75,44 @@ static bool writeReport(const BenchReport &Report,
   return true;
 }
 
+/// Parses "a,b,c" into fault-point schedule overrides: every listed point
+/// keeps its derived schedule, every other point is disabled. Returns false
+/// on an unknown name.
+static bool applyChaosOnly(FaultConfig &Faults, const char *List) {
+  int32_t Schedule[NumFaultPoints];
+  for (unsigned P = 0; P < NumFaultPoints; ++P)
+    Schedule[P] = -1;
+  std::string Name;
+  for (const char *C = List;; ++C) {
+    if (*C && *C != ',') {
+      Name += *C;
+      continue;
+    }
+    FaultPoint Point;
+    if (!FaultInjector::pointFromName(Name, Point)) {
+      std::fprintf(stderr, "ccjs: unknown fault point '%s' (have:", Name.c_str());
+      for (unsigned P = 0; P < NumFaultPoints; ++P)
+        std::fprintf(stderr, " %s",
+                     FaultInjector::pointName(static_cast<FaultPoint>(P)));
+      std::fprintf(stderr, ")\n");
+      return false;
+    }
+    Schedule[static_cast<unsigned>(Point)] = 0; // Keep the derived schedule.
+    Name.clear();
+    if (!*C)
+      break;
+  }
+  for (unsigned P = 0; P < NumFaultPoints; ++P)
+    Faults.Schedule[P] = Schedule[P];
+  return true;
+}
+
 int main(int Argc, char **Argv) {
   EngineConfig Config;
   bool Stats = false, Compare = false, Disassemble = false;
   int Iterations = 0;
   const char *Path = nullptr;
-  std::string JsonPath;
+  std::string JsonPath, TripLogPath;
 
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
@@ -100,6 +138,20 @@ int main(int Argc, char **Argv) {
       }
     } else if (!std::strcmp(A, "--disassemble")) {
       Disassemble = true;
+    } else if (!std::strncmp(A, "--chaos-seed=", 13)) {
+      Config.Faults.Enabled = true;
+      Config.Faults.Seed = std::strtoull(A + 13, nullptr, 10);
+    } else if (!std::strncmp(A, "--chaos-only=", 13)) {
+      if (!applyChaosOnly(Config.Faults, A + 13))
+        return 2;
+    } else if (!std::strcmp(A, "--audit")) {
+      Config.AuditInvariants = true;
+    } else if (!std::strncmp(A, "--trip-log=", 11)) {
+      TripLogPath = A + 11;
+      if (TripLogPath.empty()) {
+        std::fprintf(stderr, "ccjs: --trip-log needs a path (or '-')\n");
+        return 2;
+      }
     } else if (A[0] == '-') {
       std::fprintf(stderr, "ccjs: unknown option '%s'\n", A);
       return 2;
@@ -111,7 +163,13 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "usage: ccjs [--class-cache] [--software-only] [--no-opt] "
                  "[--iterations=N]\n            [--stats] [--compare] "
-                 "[--json=<path>] [--disassemble] file.js\n");
+                 "[--json=<path>] [--disassemble]\n            "
+                 "[--chaos-seed=N] [--chaos-only=a,b] [--audit] "
+                 "[--trip-log=<path>] file.js\n");
+    return 2;
+  }
+  if (!TripLogPath.empty() && !Config.Faults.Enabled) {
+    std::fprintf(stderr, "ccjs: --trip-log requires --chaos-seed=N\n");
     return 2;
   }
 
@@ -175,8 +233,41 @@ int main(int Argc, char **Argv) {
 
   Engine E(Config);
   E.vm().EchoOutput = true;
+
+  // Always write the trip log when requested, even after a halt: the log is
+  // the repro recipe for the failure.
+  auto WriteTripLog = [&]() -> bool {
+    if (TripLogPath.empty() || !E.faultInjector())
+      return true;
+    std::string Log = E.faultInjector()->renderTripLog();
+    if (TripLogPath == "-") {
+      std::printf("%s", Log.c_str());
+      return true;
+    }
+    std::ofstream Out(TripLogPath);
+    if (!Out || !(Out << Log)) {
+      std::fprintf(stderr, "ccjs: cannot write '%s'\n", TripLogPath.c_str());
+      return false;
+    }
+    return true;
+  };
+  auto ReportAudits = [&]() -> int {
+    if (!E.auditor())
+      return 0;
+    E.auditNow("final");
+    const InvariantAuditor &A = *E.auditor();
+    std::fprintf(stderr, "ccjs: %llu audits, %llu failures\n",
+                 (unsigned long long)A.audits(),
+                 (unsigned long long)A.failureCount());
+    for (const std::string &F : A.failures())
+      std::fprintf(stderr, "ccjs: audit failure: %s\n", F.c_str());
+    return A.failureCount() ? 1 : 0;
+  };
+
   if (!E.load(Source) || !E.runTopLevel()) {
     std::fprintf(stderr, "ccjs: %s\n", E.lastError().c_str());
+    WriteTripLog();
+    ReportAudits();
     return 1;
   }
   for (int I = 0; I < Iterations; ++I) {
@@ -185,9 +276,16 @@ int main(int Argc, char **Argv) {
     E.callGlobal("run");
     if (E.halted()) {
       std::fprintf(stderr, "ccjs: %s\n", E.lastError().c_str());
+      WriteTripLog();
+      ReportAudits();
       return 1;
     }
   }
+  int AuditRc = ReportAudits();
+  if (!WriteTripLog())
+    return 1;
+  if (AuditRc)
+    return AuditRc;
   if (Stats)
     printStats(E.stats());
   if (!JsonPath.empty()) {
