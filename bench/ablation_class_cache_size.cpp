@@ -31,14 +31,14 @@ int main(int Argc, char **Argv) {
       findWorkload("access-nbody"), findWorkload("box2d"),
       findWorkload("deltablue")};
 
-  BenchReport Report("ablation_class_cache_size", EngineConfig());
+  BenchReport Report("ablation_class_cache_size", Engine::Options().build());
   Table T({"geometry", "avg hit rate", "avg speedup (optimized code)",
            "storage bytes"});
   for (const Geometry &G : Sweeps) {
-    EngineConfig Cfg;
-    Cfg.ClassCacheEnabled = true;
-    Cfg.Hw.ClassCacheEntries = G.Entries;
-    Cfg.Hw.ClassCacheWays = G.Ways;
+    HwConfig Hw;
+    Hw.ClassCacheEntries = G.Entries;
+    Hw.ClassCacheWays = G.Ways;
+    EngineConfig Cfg = Engine::Options().withClassCache().withHw(Hw).build();
     std::vector<Comparison> Results =
         compareWorkloads(Set, Cfg, Opt.effectiveJobs());
     Avg Hit, Speed;

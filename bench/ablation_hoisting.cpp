@@ -37,13 +37,12 @@ int main(int Argc, char **Argv) {
       findWorkload("mandreel"), findWorkload("imaging-desaturate"),
       findWorkload("navier-stokes"), findWorkload("gbemu")};
 
-  BenchReport Report("ablation_hoisting", EngineConfig());
+  BenchReport Report("ablation_hoisting", Engine::Options().build());
   Table T({"configuration", "avg speedup (optimized)",
            "avg CC-store overhead instrs"});
   for (const Mode &M : Modes) {
-    EngineConfig Cfg;
-    Cfg.HoistClassIdArray = M.Hoist;
-    Cfg.NumArrayClassRegs = M.Regs;
+    EngineConfig Cfg =
+        Engine::Options().withHoisting(M.Hoist, M.Regs).build();
     std::vector<Comparison> Results =
         compareWorkloads(Set, Cfg, Opt.effectiveJobs());
     Avg OptAvg;

@@ -38,14 +38,12 @@ int main(int Argc, char **Argv) {
       findWorkload("3d-cube"),       findWorkload("box2d"),
       findWorkload("stanford-crypto-sha256")};
 
-  BenchReport Report("ablation_opt_split", EngineConfig());
+  BenchReport Report("ablation_opt_split", Engine::Options().build());
   Table T({"configuration", "avg speedup (optimized)",
            "avg speedup (whole app)"});
   for (const Mode &M : Modes) {
-    EngineConfig Cfg;
-    Cfg.ElideCheckMaps = M.Maps;
-    Cfg.ElideCheckSmi = M.Smi;
-    Cfg.ElideCheckNonSmi = M.NonSmi;
+    EngineConfig Cfg =
+        Engine::Options().withElision(M.Maps, M.Smi, M.NonSmi).build();
     std::vector<Comparison> Results =
         compareWorkloads(Set, Cfg, Opt.effectiveJobs());
     Avg OptAvg, Whole;

@@ -27,9 +27,8 @@ int main(int Argc, char **Argv) {
       findWorkload("box2d"),     findWorkload("access-nbody"),
       findWorkload("deltablue"), findWorkload("splay")};
 
-  EngineConfig HwCfg;
-  EngineConfig SwCfg;
-  SwCfg.SoftwareOnlyClassCache = true;
+  EngineConfig HwCfg = Engine::Options().build();
+  EngineConfig SwCfg = Engine::Options().withSoftwareOnlyClassCache().build();
   std::vector<Comparison> HwResults =
       compareWorkloads(Set, HwCfg, Opt.effectiveJobs());
   std::vector<Comparison> SwResults =

@@ -23,7 +23,7 @@ int main(int Argc, char **Argv) {
 
   std::vector<SuiteGroup> Groups = groupWorkloads(true, Opt.Filter);
   std::vector<const Workload *> Flat = flattenGroups(Groups);
-  EngineConfig Cfg;
+  EngineConfig Cfg = Engine::Options().build();
   std::vector<BenchRun> Results =
       runWorkloadsSteadyState(Flat, Cfg, Opt.effectiveJobs());
 

@@ -24,7 +24,7 @@ static bool printDetail(const char *Name, unsigned Jobs) {
     std::fprintf(stderr, "unknown workload '%s'\n", Name);
     return false;
   }
-  Comparison C = compareWorkloads({W}, EngineConfig(), Jobs).front();
+  Comparison C = compareWorkloads({W}, Engine::Options().build(), Jobs).front();
   if (!C.valid()) {
     std::fprintf(stderr, "%s failed: %s%s\n", Name,
                  C.Baseline.Error.c_str(), C.ClassCache.Error.c_str());
@@ -80,7 +80,7 @@ int main(int Argc, char **Argv) {
 
   std::vector<SuiteGroup> Groups = groupWorkloads(true, Opt.Filter);
   std::vector<const Workload *> Flat = flattenGroups(Groups);
-  EngineConfig Base;
+  EngineConfig Base = Engine::Options().build();
   std::vector<Comparison> Results =
       compareWorkloads(Flat, Base, Opt.effectiveJobs());
 

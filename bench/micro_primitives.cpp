@@ -100,9 +100,7 @@ BENCHMARK(BM_MemoryHierarchyAccess);
 
 static void BM_SteadyIteration(benchmark::State &State) {
   const Workload *W = findWorkload("richards");
-  EngineConfig Cfg;
-  Cfg.ClassCacheEnabled = true;
-  Engine E(Cfg);
+  Engine E(Engine::Options().withClassCache());
   if (!E.load(W->Source) || !E.runTopLevel())
     State.SkipWithError("load failed");
   for (int I = 0; I < 10; ++I)

@@ -19,8 +19,7 @@ int main(int Argc, char **Argv) {
 
   printHeader("Section 5.3: Incurred overheads", "section 5.3");
 
-  EngineConfig Cfg;
-  Cfg.ClassCacheEnabled = true;
+  EngineConfig Cfg = Engine::Options().withClassCache().build();
   std::vector<SuiteGroup> Groups = groupWorkloads(true, Opt.Filter);
   std::vector<const Workload *> Flat = flattenGroups(Groups);
   std::vector<BenchRun> Results =

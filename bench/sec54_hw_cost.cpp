@@ -21,8 +21,7 @@ int main(int Argc, char **Argv) {
   printHeader("Section 5.4: Hardware cost of the Class Cache",
               "section 5.4");
 
-  EngineConfig Cfg;
-  Cfg.ClassCacheEnabled = true;
+  EngineConfig Cfg = Engine::Options().withClassCache().build();
   Engine E(Cfg);
   const Workload *W = findWorkload("ai-astar");
   if (!E.load(W->Source) || !E.runTopLevel()) {

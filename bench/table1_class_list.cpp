@@ -66,8 +66,7 @@ int main(int Argc, char **Argv) {
   HarnessOptions Opt;
   if (!Opt.parse(Argc, Argv))
     return 2;
-  EngineConfig Cfg;
-  Cfg.ClassCacheEnabled = true;
+  EngineConfig Cfg = Engine::Options().withClassCache().build();
   Engine E(Cfg);
   if (!E.load(Source) || !E.runTopLevel()) {
     std::fprintf(stderr, "error: %s\n", E.lastError().c_str());

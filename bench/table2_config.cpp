@@ -49,8 +49,7 @@ int main(int Argc, char **Argv) {
   T.addRow({"OoO stall overlap factor", Table::fmt(Cfg.StallOverlap, 2)});
   std::printf("%s", T.render().c_str());
 
-  EngineConfig EngineCfg;
-  EngineCfg.Hw = Cfg;
+  EngineConfig EngineCfg = Engine::Options().withHw(Cfg).build();
   BenchReport Report("table2_config", EngineCfg);
   json::Value Data = json::Value::object();
   Data.set("issue_width", Cfg.IssueWidth);

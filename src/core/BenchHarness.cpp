@@ -335,6 +335,11 @@ void BenchReport::setSummary(std::string_view Key, json::Value V) {
   Summary.set(Key, std::move(V));
 }
 
+void BenchReport::setMetrics(json::Value V) {
+  Metrics = std::move(V);
+  HasMetrics = true;
+}
+
 json::Value BenchReport::toJson() const {
   json::Value J = json::Value::object();
   J.set("schema_version", BenchReportSchemaVersion);
@@ -342,6 +347,10 @@ json::Value BenchReport::toJson() const {
   J.set("config", Config);
   J.set("workloads", Workloads);
   J.set("summary", Summary);
+  // Only present when an engine actually collected metrics: reports from
+  // metrics-off runs stay byte-identical to pre-metrics reports.
+  if (HasMetrics)
+    J.set("metrics", Metrics);
   return J;
 }
 
@@ -432,7 +441,7 @@ double improvementOf(const MetricSpec &M, double Old, double New) {
 } // namespace
 
 DiffResult ccjs::diffReports(const json::Value &Old, const json::Value &New,
-                             double Tolerance) {
+                             double Tolerance, bool IgnoreMetrics) {
   DiffResult R;
   std::string Err;
   if (!validateReport(Old, &Err)) {
@@ -560,6 +569,48 @@ DiffResult ccjs::diffReports(const json::Value &Old, const json::Value &New,
       }
     if (!InOld)
       R.Notes.push_back("workload '" + Name + "' only in new report");
+  }
+
+  // Report-level metrics section (engine counters). Only the failure-shaped
+  // counters gate: more deopts or more invalidation work is a behavioral
+  // regression even when the headline cycle counts still pass; everything
+  // else (tier_ups, elided-check counts...) is informational movement.
+  if (!IgnoreMetrics) {
+    const json::Value *OldC = Old.findPath("metrics.counters");
+    const json::Value *NewC = New.findPath("metrics.counters");
+    if ((OldC != nullptr) != (NewC != nullptr)) {
+      R.Notes.push_back(std::string("metrics section only in ") +
+                        (OldC ? "old" : "new") + " report");
+    } else if (OldC && NewC && OldC->isObject() && NewC->isObject()) {
+      auto Gates = [](const std::string &Name) {
+        return Name.rfind("deopts", 0) == 0 ||
+               Name.rfind("invalidation", 0) == 0;
+      };
+      for (const auto &[Name, OldV] : OldC->members()) {
+        const json::Value *NewV = NewC->find(Name);
+        if (!OldV.isNumber() || !NewV || !NewV->isNumber())
+          continue;
+        ++R.MetricsCompared;
+        double OldN = OldV.asNumber(), NewN = NewV->asNumber();
+        if (OldN == NewN)
+          continue;
+        DiffEntry E;
+        E.Workload = "<metrics>";
+        E.Metric = "counters." + Name;
+        E.OldValue = OldN;
+        E.NewValue = NewN;
+        // Counters are lower-is-better for gating purposes; sign-adjust so
+        // negative == worse, in relative percent of the old value.
+        E.Delta = OldN != 0 ? (OldN - NewN) / OldN * 100.0
+                            : (NewN > OldN ? -100.0 : 100.0);
+        E.Regression = Gates(Name) && E.Delta < -Tolerance;
+        R.Changes.push_back(E);
+      }
+      for (const auto &[Name, NewV] : NewC->members())
+        if (!OldC->find(Name))
+          R.Notes.push_back("metrics counter '" + Name +
+                            "' only in new report");
+    }
   }
   return R;
 }

@@ -131,6 +131,13 @@ public:
   /// Sets a key in the report-level "summary" object (averages etc).
   void setSummary(std::string_view Key, json::Value V);
 
+  /// Attaches the engine's MetricsRegistry export as a report-level
+  /// "metrics" section. Observational: the section is not part of the
+  /// config fingerprint, so reports with and without it stay comparable,
+  /// and a report produced without metrics is byte-identical to one never
+  /// offered them.
+  void setMetrics(json::Value V);
+
   json::Value toJson() const;
 
   /// Writes the pretty-printed report to \p Path ("-" = stdout). Returns
@@ -142,6 +149,8 @@ private:
   json::Value Config;
   json::Value Workloads = json::Value::array();
   json::Value Summary = json::Value::object();
+  json::Value Metrics;
+  bool HasMetrics = false;
 };
 
 /// Validates that \p Report has the schema-v1 required structure
@@ -183,9 +192,13 @@ struct DiffResult {
 /// Compares two reports metric-by-metric. \p Tolerance is the movement
 /// (percentage points for the speedup/energy/hit-rate metrics, relative
 /// percent for cycles/energy totals) beyond which a worsening is flagged
-/// as a regression.
+/// as a regression. When both reports carry a "metrics" section its
+/// counters are compared too — growth in "deopts*"/"invalidation*"
+/// counters beyond \p Tolerance relative percent is a regression, any
+/// other counter movement is informational — unless \p IgnoreMetrics
+/// suppresses that section entirely (tools/bench_diff --ignore-metrics).
 DiffResult diffReports(const json::Value &Old, const json::Value &New,
-                       double Tolerance);
+                       double Tolerance, bool IgnoreMetrics = false);
 
 } // namespace ccjs
 

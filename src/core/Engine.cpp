@@ -15,24 +15,35 @@
 
 using namespace ccjs;
 
+namespace {
+
+/// CCJS_DEBUG_DEOPT observer: prints every deopt to stderr. Stateless, so
+/// one process-wide instance serves every engine.
+struct DebugDeoptPrinter : EngineObserver {
+  void onDeopt(VMState &, const DeoptEvent &E) override {
+    std::fprintf(stderr, "deopt fn=%u ir=%u bc=%u failure=%d count=%u %s\n",
+                 E.FuncIndex, E.IrIndex, E.ResumeBcPc, E.Failure,
+                 E.PriorDeoptCount, deoptReasonName(E.Reason));
+  }
+};
+
+} // namespace
+
 Engine::Engine(const EngineConfig &Config)
     : VM(std::make_unique<VMState>(Config)) {
   VM->Invoke = &Engine::dispatchInvoke;
   VM->InterpretFrom = &ccjs::interpretFrom;
   VM->CallBuiltinFn = &ccjs::callBuiltin;
-  VM->OnClassCacheInvalidation = &Engine::handleInvalidation;
+  VM->InvalidationService = &Engine::handleInvalidation;
   VM->GenericCallMethod = &Engine::genericCallMethod;
 
   // The environment is consulted once per process (deopts are hot); the
-  // result routes through the OnDeopt trace hook, which tests and the
-  // chaos harness can replace with their own capture.
+  // printer is an ordinary observer, coexisting with tracer/auditor/test
+  // captures instead of stealing a hook slot.
   static const bool DebugDeoptEnv = std::getenv("CCJS_DEBUG_DEOPT") != nullptr;
+  static DebugDeoptPrinter DebugPrinter;
   if (DebugDeoptEnv)
-    VM->OnDeopt = [](VMState &, const DeoptEvent &E) {
-      std::fprintf(stderr, "deopt fn=%u ir=%u bc=%u failure=%d count=%u\n",
-                   E.FuncIndex, E.IrIndex, E.ResumeBcPc, E.Failure,
-                   E.PriorDeoptCount);
-    };
+    VM->addObserver(&DebugPrinter);
 
   if (VM->Config.ClassCacheEnabled) {
     VM->CList.bootstrapExisting(VM->Shapes);
@@ -50,6 +61,51 @@ Engine::Engine(const EngineConfig &Config)
     });
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Engine::Options
+//===----------------------------------------------------------------------===//
+
+bool Engine::Options::validate(std::string *Err) const {
+  auto Fail = [&](const char *Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  if (Cfg.SoftwareOnlyClassCache && !Cfg.ClassCacheEnabled)
+    return Fail("software-only Class Cache requires the Class Cache");
+  // The register budget only matters when hoisting is on (the no-hoisting
+  // ablation legitimately runs with zero registers).
+  if (Cfg.HoistClassIdArray &&
+      (Cfg.NumArrayClassRegs < 1 || Cfg.NumArrayClassRegs > 8))
+    return Fail("regArrayObjectClassId register count must be in [1, 8]");
+  if (Cfg.MaxDeoptsPerFunction == 0)
+    return Fail("MaxDeoptsPerFunction must be at least 1");
+  if (Cfg.Hw.ClassCacheWays == 0 || Cfg.Hw.ClassCacheEntries == 0)
+    return Fail("Class Cache geometry must be non-zero");
+  if (Cfg.Hw.ClassCacheEntries % Cfg.Hw.ClassCacheWays != 0)
+    return Fail("Class Cache entries must be a multiple of the ways");
+  for (unsigned P = 0; P < NumFaultPoints; ++P)
+    if (Cfg.Faults.Schedule[P] < -1)
+      return Fail("fault schedules are -1 (off), 0 (derived) or a period");
+  if (Cfg.Trace.Enabled && Cfg.Trace.Capacity == 0)
+    return Fail("trace ring capacity must be non-zero");
+  if (Cfg.Trace.Enabled &&
+      (Cfg.Trace.Mask == 0 ||
+       Cfg.Trace.Mask >= (1u << NumTraceEventKinds)))
+    return Fail("trace mask selects no known event kind");
+  return true;
+}
+
+EngineConfig Engine::Options::build() const {
+  std::string Err;
+  bool Ok = validate(&Err);
+  CCJS_ASSERT(Ok, "invalid Engine::Options");
+  (void)Ok;
+  return Cfg;
+}
+
+Engine::Engine(const Options &Opts) : Engine(Opts.build()) {}
 
 /// Frees optimized code that was replaced while still potentially live on
 /// the C++ stack. Only called when no JS frames are active.
@@ -139,10 +195,16 @@ bool Engine::runTopLevel() {
 
 Value Engine::callGlobal(const std::string &Name,
                          const std::vector<Value> &Args) {
-  // A halted VM stays halted (preserving lastError()) until the next
-  // load(); calling into it is a defined no-op.
-  if (VM->Halted)
+  // A halted VM stays halted until the next load(); calling into it is a
+  // defined no-op. lastError() is refreshed to say so — previously it kept
+  // the *prior* failure verbatim, indistinguishable from this call having
+  // failed that way itself. The original error is preserved inside the
+  // message (once, not re-wrapped on repeated calls).
+  if (VM->Halted) {
+    if (VM->Error.rfind("engine halted", 0) != 0)
+      VM->Error = "engine halted (was: " + VM->Error + ")";
     return VM->Heap_.undefined();
+  }
   auto It = VM->Module.GlobalIndexOf.find(Name);
   if (It == VM->Module.GlobalIndexOf.end()) {
     VM->halt("no global named '" + Name + "'");
@@ -189,9 +251,22 @@ Value Engine::dispatchInvoke(VMState &VM, uint32_t FuncIndex, Value ThisV,
     FI.Opt = compileOptimized(VM, FuncIndex);
     FI.OptValid = FI.Opt != nullptr;
     ++VM.OptCompiles;
-    // Tier-up boundary: the compile just registered its speculations.
-    if (VM.Auditor)
-      VM.Auditor->audit(VM, "tier-up", FuncIndex);
+    TierUpEvent Ev{FuncIndex, FI.InvocationCount, FI.OptValid,
+                   FI.Opt ? FI.Opt->ChecksElidedClassCache : 0,
+                   FI.Opt ? FI.Opt->ChecksElidedClassic : 0};
+    if (VM.Metrics) {
+      ++VM.Metrics->counter("tier_ups");
+      VM.Metrics->counter("checks_elided_class_cache") +=
+          Ev.ChecksElidedClassCache;
+      VM.Metrics->counter("checks_elided_classic") += Ev.ChecksElidedClassic;
+      const std::string &Name = FI.Fn->Name;
+      VM.Metrics->counter("elided_cc.fn." +
+                          (Name.empty() ? "<toplevel>" : Name)) +=
+          Ev.ChecksElidedClassCache;
+    }
+    // Tier-up boundary: the compile just registered its speculations, so
+    // observers (auditor included) see the committed state.
+    VM.notifyTierUp(Ev);
     if (FI.OptValid)
       return runOptimized(VM, FuncIndex, ThisV, Args, Argc);
   }
@@ -223,6 +298,16 @@ void Engine::handleInvalidation(VMState &VM, uint8_t ClassId, uint8_t Line,
     // Unlike a stale-feedback deopt, the code itself was correct; it will
     // be recompiled immediately without the broken assumption.
   }
+  if (VM.Metrics) {
+    ++VM.Metrics->counter("invalidations");
+    VM.Metrics->counter("invalidation_deopts") += Deopt.size();
+    VM.Metrics->histogram("invalidation_fanout")
+        .observe(static_cast<double>(Deopt.size()));
+  }
+  VM.notifyInvalidation(
+      InvalidationEvent{ClassId, Line, Pos,
+                        static_cast<uint32_t>(Touched.size()),
+                        static_cast<uint32_t>(Deopt.size())});
 }
 
 Value Engine::genericCallMethod(VMState &VM, Value Receiver, uint32_t Name,

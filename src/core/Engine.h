@@ -3,12 +3,14 @@
 /// \file
 /// The public entry point of the library: an Engine owns the whole stack
 /// (frontend, heap, both execution tiers, hardware models) for one
-/// configuration. Typical use:
+/// configuration. Configurations are assembled with the validated
+/// Engine::Options builder:
 ///
 /// \code
-///   ccjs::EngineConfig Config;
-///   Config.ClassCacheEnabled = true;
-///   ccjs::Engine Engine(Config);
+///   ccjs::Engine Engine(ccjs::Engine::Options()
+///                           .withClassCache()
+///                           .withChaosSeed(7)
+///                           .withTrace());
 ///   if (!Engine.load(Source))
 ///     report(Engine.lastError());
 ///   Engine.runTopLevel();
@@ -16,6 +18,10 @@
 ///   Engine.callGlobal("run");
 ///   ccjs::RunStats S = Engine.stats(); // Cycles, energy, breakdowns...
 /// \endcode
+///
+/// The raw Engine(const EngineConfig &) constructor remains for one release
+/// for harness plumbing that forwards an existing config (see DESIGN.md
+/// deprecation note); new call sites use the builder.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,7 +40,97 @@ namespace ccjs {
 
 class Engine {
 public:
+  /// Validated builder for engine construction options. Each with* method
+  /// returns *this for chaining; build() asserts validity (use validate()
+  /// to get a diagnostic instead). The built EngineConfig is immutable for
+  /// the engine's lifetime.
+  class Options {
+  public:
+    /// Enables the paper's mechanism (profiling stores, Class Cache
+    /// accesses, check elision).
+    Options &withClassCache(bool On = true) {
+      Cfg.ClassCacheEnabled = On;
+      return *this;
+    }
+    /// Models the software-only implementation (§5.4); implies
+    /// withClassCache().
+    Options &withSoftwareOnlyClassCache() {
+      Cfg.ClassCacheEnabled = true;
+      Cfg.SoftwareOnlyClassCache = true;
+      return *this;
+    }
+    /// Toggles the §4.3 elision optimizations individually (ablations).
+    Options &withElision(bool CheckMaps, bool CheckSmi, bool CheckNonSmi) {
+      Cfg.ElideCheckMaps = CheckMaps;
+      Cfg.ElideCheckSmi = CheckSmi;
+      Cfg.ElideCheckNonSmi = CheckNonSmi;
+      return *this;
+    }
+    /// movClassIDArray hoisting (§4.2.1.3) and its register budget.
+    Options &withHoisting(bool Hoist, unsigned ArrayClassRegs = 4) {
+      Cfg.HoistClassIdArray = Hoist;
+      Cfg.NumArrayClassRegs = ArrayClassRegs;
+      return *this;
+    }
+    /// Tiering thresholds (invocations / back-edge trips before tier-up).
+    Options &withTiering(uint32_t HotInvocation, uint32_t HotLoop) {
+      Cfg.HotInvocationThreshold = HotInvocation;
+      Cfg.HotLoopThreshold = HotLoop;
+      return *this;
+    }
+    /// Baseline tier only: never optimize.
+    Options &withNoOpt() { return withTiering(~0u, ~0u); }
+    Options &withMaxDeoptsPerFunction(uint32_t N) {
+      Cfg.MaxDeoptsPerFunction = N;
+      return *this;
+    }
+    /// Enables deterministic fault injection with \p Seed.
+    Options &withChaosSeed(uint64_t Seed) {
+      Cfg.Faults.Enabled = true;
+      Cfg.Faults.Seed = Seed;
+      return *this;
+    }
+    /// Per-point schedule override (see FaultConfig::Schedule); implies
+    /// nothing about Enabled — combine with withChaosSeed().
+    Options &withChaosSchedule(FaultPoint P, int32_t Schedule) {
+      Cfg.Faults.Schedule[static_cast<unsigned>(P)] = Schedule;
+      return *this;
+    }
+    /// Runs the InvariantAuditor at deopt/tier-up boundaries.
+    Options &withAudit(bool On = true) {
+      Cfg.AuditInvariants = On;
+      return *this;
+    }
+    /// Enables the trace ring (observational; see TraceConfig).
+    Options &withTrace(uint32_t Mask = DefaultTraceMask,
+                       uint32_t Capacity = 1u << 16) {
+      Cfg.Trace.Enabled = true;
+      Cfg.Trace.Mask = Mask;
+      Cfg.Trace.Capacity = Capacity;
+      return *this;
+    }
+    /// Enables the named counter/histogram registry (observational).
+    Options &withMetrics(bool On = true) {
+      Cfg.MetricsEnabled = On;
+      return *this;
+    }
+    /// Replaces the hardware model parameters wholesale.
+    Options &withHw(const HwConfig &Hw) {
+      Cfg.Hw = Hw;
+      return *this;
+    }
+
+    /// Checks cross-field consistency; fills \p Err with the first problem.
+    bool validate(std::string *Err = nullptr) const;
+    /// Returns the validated config; asserts on an invalid combination.
+    EngineConfig build() const;
+
+  private:
+    EngineConfig Cfg;
+  };
+
   explicit Engine(const EngineConfig &Config);
+  explicit Engine(const Options &Opts);
   ~Engine();
 
   Engine(const Engine &) = delete;
@@ -72,6 +168,16 @@ public:
     if (VM->Auditor)
       VM->Auditor->audit(*VM, When, 0);
   }
+
+  /// Observability handles (null unless enabled in the config).
+  const TraceRecorder *trace() const { return VM->TraceRec.get(); }
+  const MetricsRegistry *metrics() const { return VM->Metrics.get(); }
+
+  /// Registers \p O for boundary-event notification (deopt, tier-up,
+  /// invalidation, fault trip), after the engine's own observers. The
+  /// caller keeps ownership; remove before destroying the observer.
+  void addObserver(EngineObserver *O) { VM->addObserver(O); }
+  void removeObserver(EngineObserver *O) { VM->removeObserver(O); }
 
   VMState &vm() { return *VM; }
   const VMState &vm() const { return *VM; }

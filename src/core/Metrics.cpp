@@ -1,0 +1,40 @@
+//===- core/Metrics.cpp ---------------------------------------------------===//
+
+#include "core/Metrics.h"
+
+#include "support/Json.h"
+#include "support/Table.h"
+
+using namespace ccjs;
+
+json::Value MetricsRegistry::toJson() const {
+  json::Value Counters = json::Value::object();
+  for (const auto &[Name, N] : this->Counters)
+    Counters.set(Name, N);
+  json::Value Histograms = json::Value::object();
+  for (const auto &[Name, H] : this->Histograms) {
+    json::Value HV = json::Value::object();
+    HV.set("count", H.Count);
+    HV.set("sum", H.Sum);
+    HV.set("mean", H.mean());
+    HV.set("min", H.Min);
+    HV.set("max", H.Max);
+    Histograms.set(Name, std::move(HV));
+  }
+  json::Value Root = json::Value::object();
+  Root.set("counters", std::move(Counters));
+  Root.set("histograms", std::move(Histograms));
+  return Root;
+}
+
+std::string MetricsRegistry::render() const {
+  Table T({"metric", "value"});
+  for (const auto &[Name, N] : Counters)
+    T.addRow({Name, std::to_string(N)});
+  for (const auto &[Name, H] : Histograms)
+    T.addRow({Name, "n=" + std::to_string(H.Count) +
+                        " mean=" + Table::fmt(H.mean(), 2) +
+                        " min=" + Table::fmt(H.Min, 0) +
+                        " max=" + Table::fmt(H.Max, 0)});
+  return T.render();
+}

@@ -1,0 +1,105 @@
+//===- core/Metrics.h - Named counters and histograms -----------*- C++ -*-===//
+///
+/// \file
+/// A small registry of named counters and histograms for rare engine
+/// events: deopt reasons, invalidation fan-out, per-function check-elision
+/// counts. Complements the trace ring: the trace answers *when/why one
+/// event* happened, the registry answers *how often* across the run, and
+/// both export into the bench harness's schema-v1 JSON reports.
+///
+/// The registry is only constructed when EngineConfig::MetricsEnabled is
+/// set; instrumentation sites test the VMState::Metrics pointer and nothing
+/// else (the FaultInjector discipline), so metrics-off runs pay one host
+/// branch per site and zero simulated events.
+///
+/// Everything the instrumentation touches is defined inline in this header:
+/// the interpreter/executor headers use it without pulling link-time
+/// dependencies on the core library (only toJson/render live in the .cpp).
+/// Names are interned on first use and iteration order is insertion order,
+/// so exports are byte-stable for deterministic runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_CORE_METRICS_H
+#define CCJS_CORE_METRICS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccjs::json {
+class Value;
+} // namespace ccjs::json
+
+namespace ccjs {
+
+/// Summary histogram: count / sum / min / max. Enough to report fan-out
+/// distributions without bucket-boundary bikeshedding.
+struct HistogramStats {
+  uint64_t Count = 0;
+  double Sum = 0;
+  double Min = 0;
+  double Max = 0;
+
+  void observe(double V) {
+    if (Count == 0) {
+      Min = Max = V;
+    } else {
+      Min = std::min(Min, V);
+      Max = std::max(Max, V);
+    }
+    ++Count;
+    Sum += V;
+  }
+  double mean() const { return Count ? Sum / double(Count) : 0; }
+};
+
+class MetricsRegistry {
+public:
+  /// Returns the counter named \p Name, creating it at zero on first use.
+  /// The reference stays valid until the registry is destroyed.
+  uint64_t &counter(std::string_view Name) {
+    for (auto &C : Counters)
+      if (C.first == Name)
+        return C.second;
+    Counters.emplace_back(std::string(Name), 0);
+    return Counters.back().second;
+  }
+
+  /// Returns the histogram named \p Name, creating it empty on first use.
+  HistogramStats &histogram(std::string_view Name) {
+    for (auto &H : Histograms)
+      if (H.first == Name)
+        return H.second;
+    Histograms.emplace_back(std::string(Name), HistogramStats());
+    return Histograms.back().second;
+  }
+
+  const std::vector<std::pair<std::string, uint64_t>> &counters() const {
+    return Counters;
+  }
+  const std::vector<std::pair<std::string, HistogramStats>> &
+  histograms() const {
+    return Histograms;
+  }
+
+  /// JSON export: {"counters": {...}, "histograms": {name: {count, sum,
+  /// mean, min, max}}}. Insertion-ordered, byte-stable.
+  json::Value toJson() const;
+
+  /// Human-readable table for ccjs --metrics.
+  std::string render() const;
+
+private:
+  // Linear-scan vectors, not maps: the site count is tens, lookups happen
+  // on rare events only, and insertion order must be preserved for
+  // byte-stable exports.
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, HistogramStats>> Histograms;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_CORE_METRICS_H

@@ -22,6 +22,7 @@
 #include "hw/HwConfig.h"
 #include "hw/MemorySystem.h"
 #include "profile/Categories.h"
+#include "support/Trace.h"
 
 namespace ccjs {
 
@@ -103,10 +104,24 @@ public:
       ++B.CcExceptions;
       B.StallCycles += Cfg.ClassCacheExceptionFlush;
     }
+    // Host-side observation only (null test when tracing is off): every
+    // Class Cache request funnels through here, so this one site covers
+    // hit/miss/exception events for both tiers.
+    if (Trace) {
+      Trace->record(R.Hit ? TraceEventKind::CcHit : TraceEventKind::CcMiss,
+                    ContainerClass, Line, Pos,
+                    R.Hit ? 0 : (R.WritebackAddr ? 1 : 0));
+      if (R.Exception)
+        Trace->record(TraceEventKind::CcException, ContainerClass, Line,
+                      Pos);
+    }
     return R;
   }
 
   ClassCache *classCache() { return CC; }
+
+  /// Attaches the trace recorder (null = tracing off, the default).
+  void setTrace(TraceRecorder *T) { Trace = T; }
 
   //===--------------------------------------------------------------------===//
   // Results
@@ -186,6 +201,7 @@ private:
   MemorySystem Mem;
   BranchPredictor Predictor;
   ClassCache *CC;
+  TraceRecorder *Trace = nullptr;
   InstrCounters Instrs;
   HwBucketCounters Buckets[2]; // [0] optimized, [1] rest.
   uint64_t RoiLo = 0, RoiHi = 0;

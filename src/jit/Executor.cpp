@@ -103,14 +103,11 @@ private:
 
   /// Deoptimizes: materializes the frame and resumes the interpreter at
   /// bytecode \p ResumeBc. \p Failure marks a broken speculation (stale
-  /// feedback), which invalidates this code.
-  Value deopt(uint32_t ResumeBc, bool Failure) {
-    // Tracing goes through the VMState hook; the engine installs a stderr
-    // printer when CCJS_DEBUG_DEOPT is set (the env var is checked once per
-    // process, not per deopt), and the chaos harness installs a capture.
-    if (VM.OnDeopt)
-      VM.OnDeopt(VM, DeoptEvent{FuncIndex, CurOpIndex, ResumeBc, Failure,
-                                FI.DeoptCount});
+  /// feedback), which invalidates this code. \p Reason records why for
+  /// observers and metrics.
+  Value deopt(uint32_t ResumeBc, bool Failure, DeoptReason Reason) {
+    DeoptEvent Ev{FuncIndex, CurOpIndex, ResumeBc, Failure, FI.DeoptCount,
+                  Reason};
     if (Failure) {
       FI.OptValid = false;
       // Let the baseline tier refresh the feedback before re-optimizing.
@@ -118,8 +115,13 @@ private:
       if (++FI.DeoptCount >= VM.Config.MaxDeoptsPerFunction)
         FI.OptDisabled = true;
     }
-    if (VM.Auditor)
-      VM.Auditor->audit(VM, "deopt", FuncIndex);
+    if (VM.Metrics) {
+      ++VM.Metrics->counter(Failure ? "deopts_failure" : "deopts_planned");
+      ++VM.Metrics->counter(std::string("deopts.") + deoptReasonName(Reason));
+    }
+    // Bookkeeping first, then notify: observers (tracer, auditor, test
+    // captures) see the post-event state the invariants describe.
+    VM.notifyDeopt(Ev);
     VM.Ctx.alu(RC, 60); // Frame reconstruction in the deoptimizer.
     std::vector<Value> Locals(Loc.size());
     for (size_t I = 0; I < Loc.size(); ++I)
@@ -302,7 +304,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       VM.Ctx.alu(Cat, 1, AOL);
       VM.Ctx.branch(Cat, site(Cur), !Pass, AOL);
       if (!Pass)
-        return deopt(O.BcPc, /*Failure=*/true);
+        return deopt(O.BcPc, /*Failure=*/true, DeoptReason::CheckMap);
       break;
     }
     case IrOpcode::CheckSmiOp: {
@@ -332,7 +334,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       VM.Ctx.alu(CH, 1, AOL);
       VM.Ctx.branch(CH, site(Cur), !Pass, AOL);
       if (!Pass)
-        return deopt(O.BcPc, /*Failure=*/true);
+        return deopt(O.BcPc, /*Failure=*/true, DeoptReason::CheckSmi);
       break;
     }
     case IrOpcode::CheckNumberOp: {
@@ -347,7 +349,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
         VM.Ctx.load(TU, V.V.asPointer(), AOL);
       VM.Ctx.branch(TU, site(Cur), !Pass, AOL);
       if (!Pass)
-        return deopt(O.BcPc, /*Failure=*/true);
+        return deopt(O.BcPc, /*Failure=*/true, DeoptReason::CheckNumber);
       break;
     }
 
@@ -370,7 +372,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       OptValue Obj = pop();
       if (Obj.Unboxed || !Obj.V.isPointer() || !H.isPlainObject(Obj.V)) {
         push(Obj);
-        return deopt(O.BcPc, true);
+        return deopt(O.BcPc, true, DeoptReason::PolyMiss);
       }
       uint64_t Addr = Obj.V.asPointer();
       ShapeId Shape = H.shapeOf(Addr);
@@ -388,7 +390,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       }
       if (!Hit) {
         push(Obj);
-        return deopt(O.BcPc, true);
+        return deopt(O.BcPc, true, DeoptReason::PolyMiss);
       }
       bool InObject = false;
       uint64_t SlotAddr = H.slotAddress(Addr, Hit->Slot, &InObject);
@@ -404,7 +406,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       Value T = materialize(Obj, TU);
       if (!T.isPointer() || !H.isPlainObject(T)) {
         push(OptValue::tagged(T));
-        return deopt(O.BcPc, true);
+        return deopt(O.BcPc, true, DeoptReason::GenericReceiver);
       }
       uint64_t Addr = T.asPointer();
       ShapeId Shape = H.shapeOf(Addr);
@@ -441,7 +443,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       }
       pushTagged(T);
       if (!FI.OptValid)
-        return deopt(O.BcNext, /*Failure=*/false);
+        return deopt(O.BcNext, /*Failure=*/false, DeoptReason::CodeInvalidated);
       break;
     }
     case IrOpcode::TransitionStorePropOp: {
@@ -469,7 +471,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       }
       pushTagged(T);
       if (!FI.OptValid)
-        return deopt(O.BcNext, false);
+        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
       break;
     }
     case IrOpcode::GenericSetPropOp: {
@@ -479,7 +481,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       if (Obj.Unboxed || !Obj.V.isPointer() || !H.isPlainObject(Obj.V)) {
         push(Obj);
         pushTagged(T);
-        return deopt(O.BcPc, true);
+        return deopt(O.BcPc, true, DeoptReason::GenericReceiver);
       }
       uint64_t Addr = Obj.V.asPointer();
       ShapeId Shape = H.shapeOf(Addr);
@@ -502,7 +504,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       profilePropertyStore(VM, RC, PostShape, Slot, T, InObject);
       pushTagged(T);
       if (!FI.OptValid)
-        return deopt(O.BcNext, false);
+        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
       break;
     }
 
@@ -527,7 +529,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
         }
         push(Obj);
         push(Idx);
-        return deopt(O.BcPc, true);
+        return deopt(O.BcPc, true, DeoptReason::ElemBounds);
       }
       VM.Ctx.load(OO, Addr + layout::ElementsPointerPos * 8);
       VM.Ctx.load(OO, H.elementAddress(Addr, static_cast<uint32_t>(I)));
@@ -545,7 +547,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
         push(Obj);
         push(Idx);
         pushTagged(T);
-        return deopt(O.BcPc, true);
+        return deopt(O.BcPc, true, DeoptReason::ElemBounds);
       }
       VM.Ctx.load(OO, Addr + layout::ElementsLengthPos * 8);
       VM.Ctx.alu(OO, 1);
@@ -569,7 +571,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       }
       pushTagged(T);
       if (!FI.OptValid)
-        return deopt(O.BcNext, false);
+        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
       break;
     }
     case IrOpcode::GenericGetElemOp: {
@@ -580,7 +582,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       if (!TO.isPointer() || !H.isPlainObject(TO)) {
         pushTagged(TO);
         pushTagged(TI);
-        return deopt(O.BcPc, true);
+        return deopt(O.BcPc, true, DeoptReason::GenericReceiver);
       }
       uint64_t Addr = TO.asPointer();
       ShapeId Shape = H.shapeOf(Addr);
@@ -617,7 +619,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
         pushTagged(TO);
         pushTagged(TI);
         pushTagged(T);
-        return deopt(O.BcPc, true);
+        return deopt(O.BcPc, true, DeoptReason::GenericReceiver);
       }
       uint64_t Addr = TO.asPointer();
       int64_t I = static_cast<int64_t>(toNumber(H, TI));
@@ -625,7 +627,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
         pushTagged(TO);
         pushTagged(TI);
         pushTagged(T);
-        return deopt(O.BcPc, true);
+        return deopt(O.BcPc, true, DeoptReason::ElemBounds);
       }
       ShapeId Shape = H.shapeOf(Addr);
       VM.Ctx.alu(OO, 2);
@@ -637,7 +639,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       profileElementsStore(VM, RC, Shape, Addr, T, false);
       pushTagged(T);
       if (!FI.OptValid)
-        return deopt(O.BcNext, false);
+        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
       break;
     }
 
@@ -761,7 +763,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
         // SMI domain, so the interpreter's operand-based feedback would
         // never learn. Force the double path for the next compile.
         FI.Feedback[O.Site].Hint = NumberHint::Double;
-        return deopt(O.BcPc, true);
+        return deopt(O.BcPc, true, DeoptReason::SmiOverflow);
       }
       pop();
       pop();
@@ -942,7 +944,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       if (A == 0 || A == INT32_MIN) {
         // -0 / overflow leave the SMI domain.
         FI.Feedback[O.Site].Hint = NumberHint::Double;
-        return deopt(O.BcPc, true);
+        return deopt(O.BcPc, true, DeoptReason::SmiOverflow);
       }
       pop();
       pushTagged(Value::makeSmi(-A));
@@ -1018,7 +1020,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       VM.Ctx.alu(OO, 3); // Cell check + frame setup + call.
       pushTagged(invoke(O.B, H.undefined(), Args, Argc));
       if (!FI.OptValid)
-        return deopt(O.BcNext, false);
+        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
       break;
     }
     case IrOpcode::CallBuiltinInlineOp: {
@@ -1101,12 +1103,12 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
         pushTagged(TR);
         for (uint32_t I = 0; I < Argc; ++I)
           pushTagged(Args[I]);
-        return deopt(O.BcPc, true);
+        return deopt(O.BcPc, true, DeoptReason::BuiltinReceiver);
       }
       VM.Ctx.alu(OO, 2);
       pushTagged(VM.CallBuiltinFn(VM, O.B, TR, Args, Argc));
       if (!FI.OptValid)
-        return deopt(O.BcNext, false);
+        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
       break;
     }
     case IrOpcode::CallMethodDirectOp: {
@@ -1116,7 +1118,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       VM.Ctx.alu(OO, 2);
       pushTagged(invoke(O.B, Recv.V, Args, Argc));
       if (!FI.OptValid)
-        return deopt(O.BcNext, false);
+        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
       break;
     }
     case IrOpcode::CallValueOp: {
@@ -1128,7 +1130,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       VM.Ctx.alu(OO, 2);
       pushTagged(invoke(H.functionIndex(Addr), H.undefined(), Args, Argc));
       if (!FI.OptValid)
-        return deopt(O.BcNext, false);
+        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
       break;
     }
     case IrOpcode::GenericCallMethodOp: {
@@ -1140,7 +1142,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       VM.Ctx.alu(RC, 15);
       pushTagged(VM.GenericCallMethod(VM, TR, O.B, Args, Argc));
       if (!FI.OptValid)
-        return deopt(O.BcNext, false);
+        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
       break;
     }
     case IrOpcode::NewObjectOp: {
@@ -1159,7 +1161,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       pushTagged(Result.isPointer() && H.isPlainObject(Result) ? Result
                                                                : Obj);
       if (!FI.OptValid)
-        return deopt(O.BcNext, false);
+        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
       break;
     }
     case IrOpcode::NewArrayOp: {
@@ -1204,7 +1206,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       OptValue &Obj = peek();
       uint64_t Addr = Obj.V.asPointer();
       if (H.shapeOf(Addr) != O.Shape)
-        return deopt(O.BcPc, true);
+        return deopt(O.BcPc, true, DeoptReason::ShapeMismatch);
       uint32_t Slot = H.addProperty(Addr, VM.Shapes.get(O.Shape2).AddedName,
                                     T);
       VM.Ctx.alu(OO, 3);
@@ -1221,7 +1223,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
                                         profilerClassOf(VM, T));
       }
       if (!FI.OptValid)
-        return deopt(O.BcNext, false);
+        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
       break;
     }
     case IrOpcode::StElemInitOp: {
@@ -1244,7 +1246,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
         }
       }
       if (!FI.OptValid)
-        return deopt(O.BcNext, false);
+        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
       break;
     }
 
@@ -1254,7 +1256,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
       return materialize(V, TU);
     }
     case IrOpcode::DeoptOp:
-      return deopt(O.BcPc, true);
+      return deopt(O.BcPc, true, DeoptReason::UnsupportedOp);
     }
   }
 }

@@ -45,6 +45,9 @@ ShapeId ShapeTable::createShape(ObjectKind Kind, ShapeId Parent,
     ++NumPlain;
   Shapes.push_back(std::move(S));
   ShapeId Id = Shapes.back().Id;
+  if (Trace)
+    Trace->record(TraceEventKind::ShapeCreated, Shapes.back().ClassId, 0, 0,
+                  Id, Parent);
   if (CreationHook)
     CreationHook(Id);
   return Id;

@@ -12,6 +12,7 @@
 #define CCJS_RUNTIME_SHAPE_H
 
 #include "support/StringInterner.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 #include <functional>
@@ -107,6 +108,10 @@ public:
     CreationHook = std::move(Hook);
   }
 
+  /// Attaches the trace recorder: every shape creation records a
+  /// ShapeCreated event (null = tracing off, the default).
+  void setTrace(TraceRecorder *T) { Trace = T; }
+
   // Well-known shapes.
   ShapeId plainRoot() const { return PlainRoot; }
   ShapeId arrayRoot() const { return ArrayRoot; }
@@ -123,6 +128,7 @@ private:
 
   std::vector<Shape> Shapes;
   std::function<void(ShapeId)> CreationHook;
+  TraceRecorder *Trace = nullptr;
   std::unordered_map<uint32_t, ShapeId> ConstructorRoots;
   std::unordered_map<uint64_t, ShapeId> ArraySiteRoots;
   uint32_t NextClassId = 0;

@@ -66,8 +66,11 @@ bool FaultInjector::fire(FaultPoint P) {
   if (St.Period == 0 || Occ % St.Period != St.Phase)
     return false;
   ++St.Fired;
+  FaultTrip Trip{P, Occ};
   if (Trips.size() < MaxRecordedTrips)
-    Trips.push_back({P, Occ});
+    Trips.push_back(Trip);
+  if (TripHook)
+    TripHook(Trip);
   return true;
 }
 

@@ -23,6 +23,7 @@
 #define CCJS_SUPPORT_FAULTINJECTOR_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -78,6 +79,13 @@ public:
   /// this occurrence trips. A trip is appended to the replayable log.
   bool fire(FaultPoint P);
 
+  /// Installs a callback invoked on every trip (even ones past the recorded
+  /// log bound). The VM uses this to forward trips to its EngineObservers,
+  /// cross-linking the trip log with trace events.
+  void setTripHook(std::function<void(const FaultTrip &)> Hook) {
+    TripHook = std::move(Hook);
+  }
+
   /// Deterministic auxiliary stream for fault *parameters* (which poison to
   /// apply, how much padding). Separate from the schedules so consuming
   /// parameters never perturbs when faults fire.
@@ -117,6 +125,7 @@ private:
   PointState Points[NumFaultPoints];
   uint64_t AuxState;
   std::vector<FaultTrip> Trips;
+  std::function<void(const FaultTrip &)> TripHook;
 };
 
 } // namespace ccjs

@@ -1,0 +1,194 @@
+//===- support/Trace.cpp --------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/Assert.h"
+#include "support/FaultInjector.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+using namespace ccjs;
+
+namespace {
+
+constexpr const char *KindNames[NumTraceEventKinds] = {
+    "tier-up",    "deopt",      "cc-hit",    "cc-miss",
+    "cc-exception", "invalidate", "shape-new", "fault-trip",
+};
+
+constexpr const char *ReasonNames[] = {
+    "check-map",     "check-smi",       "check-number", "smi-overflow",
+    "poly-miss",     "generic-receiver", "elem-bounds",  "shape-mismatch",
+    "builtin-receiver", "unsupported-op", "code-invalidated",
+};
+
+} // namespace
+
+const char *ccjs::deoptReasonName(DeoptReason R) {
+  unsigned I = static_cast<unsigned>(R);
+  CCJS_ASSERT(I < NumDeoptReasons, "invalid deopt reason");
+  return ReasonNames[I];
+}
+
+TraceRecorder::TraceRecorder(const TraceConfig &Cfg)
+    : Mask(Cfg.Mask), Capacity(Cfg.Capacity ? Cfg.Capacity : 1) {
+  Ring.reserve(std::min<size_t>(Capacity, 1u << 12));
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> Out;
+  Out.reserve(Ring.size());
+  // Once the ring wrapped, Next points at the oldest event.
+  for (size_t I = 0; I < Ring.size(); ++I)
+    Out.push_back(Ring[(Next + I) % Ring.size()]);
+  return Out;
+}
+
+json::Value TraceRecorder::toChromeJson() const {
+  json::Value Events = json::Value::array();
+  for (const TraceEvent &E : snapshot()) {
+    json::Value Ev = json::Value::object();
+    Ev.set("name", kindName(E.Kind));
+    Ev.set("ph", "i"); // Instant event.
+    Ev.set("s", "t");  // Thread-scoped.
+    Ev.set("ts", E.Ts);
+    Ev.set("pid", 1);
+    Ev.set("tid", 1);
+    json::Value Args = json::Value::object();
+    switch (E.Kind) {
+    case TraceEventKind::TierUp:
+      Args.set("fn", E.A);
+      Args.set("invocations", E.B);
+      Args.set("checks_elided_cc", E.C);
+      Args.set("ok", E.A8 != 0);
+      break;
+    case TraceEventKind::Deopt:
+      Args.set("fn", E.A);
+      Args.set("ir", E.B);
+      Args.set("resume_bc", E.C);
+      Args.set("reason", deoptReasonName(static_cast<DeoptReason>(E.A8)));
+      Args.set("failure", E.B8 != 0);
+      Args.set("prior_deopts", E.C8);
+      break;
+    case TraceEventKind::CcHit:
+    case TraceEventKind::CcException:
+      Args.set("class", E.A8);
+      Args.set("line", E.B8);
+      Args.set("pos", E.C8);
+      break;
+    case TraceEventKind::CcMiss:
+      Args.set("class", E.A8);
+      Args.set("line", E.B8);
+      Args.set("pos", E.C8);
+      Args.set("writeback", E.A != 0);
+      break;
+    case TraceEventKind::SlotInvalidation:
+      Args.set("class", E.A8);
+      Args.set("line", E.B8);
+      Args.set("pos", E.C8);
+      Args.set("touched", E.A);
+      Args.set("deopted", E.B);
+      break;
+    case TraceEventKind::ShapeCreated:
+      Args.set("shape", E.A);
+      // ~0u marks a root shape (no parent).
+      if (E.B != ~0u)
+        Args.set("parent", E.B);
+      break;
+    case TraceEventKind::FaultTrip:
+      Args.set("point",
+               FaultInjector::pointName(static_cast<FaultPoint>(E.A8)));
+      Args.set("occurrence",
+               (static_cast<uint64_t>(E.B) << 32) | E.A);
+      break;
+    }
+    Ev.set("args", std::move(Args));
+    Events.push(std::move(Ev));
+  }
+
+  json::Value TotalsJson = json::Value::object();
+  for (unsigned K = 0; K < NumTraceEventKinds; ++K)
+    TotalsJson.set(KindNames[K], Totals[K]);
+  json::Value Meta = json::Value::object();
+  Meta.set("totals", std::move(TotalsJson));
+  Meta.set("dropped", dropped());
+  Meta.set("mask", Mask);
+
+  json::Value Root = json::Value::object();
+  Root.set("traceEvents", std::move(Events));
+  Root.set("displayTimeUnit", "ns");
+  Root.set("ccjs", std::move(Meta));
+  return Root;
+}
+
+bool TraceRecorder::writeChromeJson(const std::string &Path,
+                                    std::string *Err) const {
+  std::string Text = toChromeJson().dump(2);
+  Text += '\n';
+  if (Path == "-") {
+    std::fwrite(Text.data(), 1, Text.size(), stdout);
+    return true;
+  }
+  std::ofstream Out(Path);
+  if (!Out || !(Out << Text)) {
+    if (Err)
+      *Err = "cannot write trace file '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+const char *TraceRecorder::kindName(TraceEventKind K) {
+  unsigned I = static_cast<unsigned>(K);
+  CCJS_ASSERT(I < NumTraceEventKinds, "invalid trace event kind");
+  return KindNames[I];
+}
+
+bool TraceRecorder::kindFromName(std::string_view Name, TraceEventKind &Out) {
+  for (unsigned K = 0; K < NumTraceEventKinds; ++K)
+    if (Name == KindNames[K]) {
+      Out = static_cast<TraceEventKind>(K);
+      return true;
+    }
+  return false;
+}
+
+bool TraceRecorder::parseMask(std::string_view List, uint32_t &MaskOut,
+                              std::string *Err) {
+  if (List == "all") {
+    MaskOut = (1u << NumTraceEventKinds) - 1;
+    return true;
+  }
+  uint32_t Mask = 0;
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    std::string_view Name = List.substr(
+        Pos, Comma == std::string_view::npos ? List.size() - Pos
+                                             : Comma - Pos);
+    TraceEventKind K;
+    if (!kindFromName(Name, K)) {
+      if (Err) {
+        *Err = "unknown trace event '" + std::string(Name) + "' (have: all";
+        for (unsigned I = 0; I < NumTraceEventKinds; ++I)
+          *Err += std::string(" ") + KindNames[I];
+        *Err += ")";
+      }
+      return false;
+    }
+    Mask |= traceBit(K);
+    if (Comma == std::string_view::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  if (!Mask) {
+    if (Err)
+      *Err = "empty trace event list";
+    return false;
+  }
+  MaskOut = Mask;
+  return true;
+}

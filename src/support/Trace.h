@@ -1,0 +1,194 @@
+//===- support/Trace.h - Structured engine trace events ---------*- C++ -*-===//
+///
+/// \file
+/// A fixed-capacity ring-buffer recorder for timestamped engine events:
+/// tier-ups, deopts, Class Cache hits/misses/exceptions, slot invalidations,
+/// shape creations and chaos fault trips. Timestamps are *simulated* cycles
+/// (supplied by a clock callback the VM installs), so traces are
+/// deterministic: the same program and seed produce a byte-identical trace.
+///
+/// Cost discipline matches the FaultInjector: when tracing is off no
+/// recorder exists and every instrumentation site pays only a null-pointer
+/// test on the host — zero simulated events either way. When the buffer
+/// wraps, the oldest events are overwritten but the per-kind totals keep
+/// counting, so end-of-run reconciliation against RunStats stays exact.
+///
+/// The recorder exports Chrome trace-event JSON ("chrome://tracing" /
+/// Perfetto "JSON" format): a top-level object with a "traceEvents" array
+/// of instant events plus a "ccjs" metadata object carrying the per-kind
+/// totals, the drop count and the active mask.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_SUPPORT_TRACE_H
+#define CCJS_SUPPORT_TRACE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccjs::json {
+class Value;
+} // namespace ccjs::json
+
+namespace ccjs {
+
+/// The trace event catalog. Every instrumented engine boundary records one
+/// of these kinds; the mask selects which kinds are accepted.
+enum class TraceEventKind : uint8_t {
+  /// A function crossed the hotness threshold and was (re)compiled.
+  TierUp,
+  /// Optimized code bailed out to the baseline tier.
+  Deopt,
+  /// Class Cache store request that hit (voluminous; masked by default).
+  CcHit,
+  /// Class Cache store request that missed and refilled from the List.
+  CcMiss,
+  /// Class Cache store raised the invalidation exception.
+  CcException,
+  /// The invalidation service cleared a slot and walked descendants.
+  SlotInvalidation,
+  /// A hidden class (shape) was created.
+  ShapeCreated,
+  /// The chaos engine fired a fault point.
+  FaultTrip,
+};
+
+inline constexpr unsigned NumTraceEventKinds = 8;
+
+/// Why optimized code deoptimized. Carried in DeoptEvent and in Deopt trace
+/// events; lives here (not in the jit) so the recorder can export stable
+/// reason names without depending on upper layers.
+enum class DeoptReason : uint8_t {
+  CheckMap,        ///< checkMaps guard saw an unexpected shape.
+  CheckSmi,        ///< checkSmi guard saw a non-SMI.
+  CheckNumber,     ///< checkNumber guard saw a non-number.
+  SmiOverflow,     ///< SMI arithmetic overflowed (or hit a sign corner).
+  PolyMiss,        ///< Polymorphic inline cache missed all its shapes.
+  GenericReceiver, ///< Generic op saw a receiver it cannot handle inline.
+  ElemBounds,      ///< Element access out of bounds / negative index.
+  ShapeMismatch,   ///< Transitioning store saw an unexpected source shape.
+  BuiltinReceiver, ///< Specialized builtin call saw a foreign receiver.
+  UnsupportedOp,   ///< Planned DeoptOp for bytecode the compiler skips.
+  CodeInvalidated, ///< Code was invalidated mid-invocation (not a failure).
+};
+
+inline constexpr unsigned NumDeoptReasons = 11;
+
+/// Stable name of \p R, as exported in traces and metrics.
+const char *deoptReasonName(DeoptReason R);
+
+inline constexpr uint32_t traceBit(TraceEventKind K) {
+  return 1u << static_cast<unsigned>(K);
+}
+
+/// All kinds except CcHit: hits dominate event volume (every profiled store)
+/// while carrying the least information, so they are opt-in.
+inline constexpr uint32_t DefaultTraceMask =
+    ((1u << NumTraceEventKinds) - 1) & ~traceBit(TraceEventKind::CcHit);
+
+/// Trace configuration, hung off EngineConfig. Observational only: it is
+/// excluded from the benchmark config fingerprint and never perturbs the
+/// simulation.
+struct TraceConfig {
+  bool Enabled = false;
+  /// Bitmask of accepted TraceEventKinds (see traceBit / parseTraceMask).
+  uint32_t Mask = DefaultTraceMask;
+  /// Ring capacity in events; older events are overwritten on wrap.
+  uint32_t Capacity = 1u << 16;
+};
+
+/// One recorded event. The payload fields are kind-specific (documented in
+/// TraceRecorder::toChromeJson, which names them in the exported args).
+struct TraceEvent {
+  double Ts = 0; ///< Simulated cycles at record time.
+  TraceEventKind Kind = TraceEventKind::TierUp;
+  uint8_t A8 = 0, B8 = 0, C8 = 0;
+  uint32_t A = 0, B = 0, C = 0;
+};
+
+class TraceRecorder {
+public:
+  explicit TraceRecorder(const TraceConfig &Cfg);
+
+  /// Installs the simulated-cycle clock. Unset, timestamps are 0.
+  void setClock(std::function<double()> Fn) { Clock = std::move(Fn); }
+
+  bool wants(TraceEventKind K) const { return (Mask >> unsigned(K)) & 1u; }
+  uint32_t mask() const { return Mask; }
+
+  /// Records one event when the mask accepts its kind: stamps the clock,
+  /// bumps the kind's total and appends to the ring (overwriting the oldest
+  /// event when full).
+  void record(TraceEventKind K, uint8_t A8 = 0, uint8_t B8 = 0,
+              uint8_t C8 = 0, uint32_t A = 0, uint32_t B = 0,
+              uint32_t C = 0) {
+    if (!wants(K))
+      return;
+    TraceEvent E;
+    E.Ts = Clock ? Clock() : 0;
+    E.Kind = K;
+    E.A8 = A8;
+    E.B8 = B8;
+    E.C8 = C8;
+    E.A = A;
+    E.B = B;
+    E.C = C;
+    if (Ring.size() < Capacity) {
+      Ring.push_back(E);
+    } else {
+      Ring[Next] = E;
+      Next = (Next + 1) % Capacity;
+    }
+    ++Totals[static_cast<unsigned>(K)];
+    ++Accepted;
+  }
+
+  /// Total accepted events of kind \p K, counted even after the ring
+  /// wrapped — reconciliation against RunStats uses these, never the
+  /// buffer occupancy.
+  uint64_t total(TraceEventKind K) const {
+    return Totals[static_cast<unsigned>(K)];
+  }
+  /// Accepted events across all kinds.
+  uint64_t accepted() const { return Accepted; }
+  /// Accepted events that were overwritten by the ring wrapping.
+  uint64_t dropped() const { return Accepted - Ring.size(); }
+
+  /// The buffered events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Exports the trace in Chrome trace-event JSON ("JSON Array Format"
+  /// with metadata): loadable in chrome://tracing and Perfetto.
+  json::Value toChromeJson() const;
+
+  /// Writes toChromeJson() to \p Path ('-' = stdout). Returns false and
+  /// fills \p Err on I/O failure.
+  bool writeChromeJson(const std::string &Path,
+                       std::string *Err = nullptr) const;
+
+  /// Stable event-kind name used in exports and --trace-events parsing.
+  static const char *kindName(TraceEventKind K);
+  static bool kindFromName(std::string_view Name, TraceEventKind &Out);
+
+  /// Parses a --trace-events mask: "all" or a comma-separated list of kind
+  /// names ("deopt,tier-up,fault-trip"). Returns false and fills \p Err on
+  /// an unknown name or empty list.
+  static bool parseMask(std::string_view List, uint32_t &MaskOut,
+                        std::string *Err = nullptr);
+
+private:
+  uint32_t Mask;
+  size_t Capacity;
+  std::vector<TraceEvent> Ring; ///< Ring storage; wraps at Capacity.
+  size_t Next = 0;              ///< Overwrite cursor once full.
+  uint64_t Accepted = 0;
+  uint64_t Totals[NumTraceEventKinds] = {};
+  std::function<double()> Clock;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_SUPPORT_TRACE_H

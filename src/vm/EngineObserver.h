@@ -1,0 +1,98 @@
+//===- vm/EngineObserver.h - Unified engine event observer ------*- C++ -*-===//
+///
+/// \file
+/// The one way to watch the engine: an EngineObserver receives the
+/// speculation machinery's boundary events — tier-ups, deopts, Class Cache
+/// slot invalidations and chaos fault trips — through virtual methods with
+/// no-op defaults. Observers are registered with Engine::addObserver (the
+/// engine's own tracer and invariant auditor are observers too) and are
+/// invoked synchronously at the event site, after the engine finished the
+/// event's bookkeeping, in registration order.
+///
+/// This replaces the former ad-hoc VMState::OnDeopt /
+/// OnClassCacheInvalidation callback fields: notification is an interface,
+/// not a function-pointer slot, so any number of listeners can coexist
+/// (tracer + auditor + a test capture) without stealing each other's hook.
+///
+/// Observers observe: they must not mutate VM state or run JS. Cost when
+/// nobody listens is one empty-vector test per event site — the
+/// FaultInjector discipline; no simulated events are charged either way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_VM_ENGINEOBSERVER_H
+#define CCJS_VM_ENGINEOBSERVER_H
+
+#include "support/FaultInjector.h"
+#include "support/Trace.h"
+
+#include <cstdint>
+
+namespace ccjs {
+
+struct VMState;
+
+/// One deoptimization: optimized code bailed out to the baseline tier.
+struct DeoptEvent {
+  uint32_t FuncIndex;
+  /// OptIR index of the op that deoptimized.
+  uint32_t IrIndex;
+  /// Bytecode pc execution resumes at in the baseline tier.
+  uint32_t ResumeBcPc;
+  /// True for speculation failures (counted against MaxDeoptsPerFunction),
+  /// false for planned fallbacks and invalidated-code exits.
+  bool Failure;
+  /// The function's failure-deopt count before this event.
+  uint32_t PriorDeoptCount;
+  /// Why the code bailed out.
+  DeoptReason Reason;
+};
+
+/// One tier-up: a hot function was handed to the optimizing compiler.
+struct TierUpEvent {
+  uint32_t FuncIndex;
+  /// Invocation count that crossed the threshold.
+  uint32_t InvocationCount;
+  /// False when compilation bailed (the function stays in the baseline).
+  bool Succeeded;
+  /// Checks elided in the compiled code (0 when Succeeded is false).
+  uint32_t ChecksElidedClassCache;
+  uint32_t ChecksElidedClassic;
+};
+
+/// One Class Cache slot invalidation, after the descendant walk completed.
+struct InvalidationEvent {
+  uint8_t ClassId;
+  uint8_t Line;
+  uint8_t Pos;
+  /// (class, line) entries whose memory image the walk rewrote.
+  uint32_t TouchedEntries;
+  /// Dependent optimized functions invalidated by the walk.
+  uint32_t DeoptimizedFunctions;
+};
+
+class EngineObserver {
+public:
+  virtual ~EngineObserver() = default;
+
+  virtual void onDeopt(VMState &VM, const DeoptEvent &E) {
+    (void)VM;
+    (void)E;
+  }
+  virtual void onTierUp(VMState &VM, const TierUpEvent &E) {
+    (void)VM;
+    (void)E;
+  }
+  virtual void onInvalidation(VMState &VM, const InvalidationEvent &E) {
+    (void)VM;
+    (void)E;
+  }
+  virtual void onFaultTrip(VMState &VM, const FaultTrip &Trip) {
+    (void)VM;
+    (void)Trip;
+  }
+};
+
+} // namespace ccjs
+
+#endif // CCJS_VM_ENGINEOBSERVER_H

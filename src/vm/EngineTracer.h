@@ -1,0 +1,51 @@
+//===- vm/EngineTracer.h - Observer -> trace ring adapter -------*- C++ -*-===//
+///
+/// \file
+/// The engine's own EngineObserver: translates observer events into
+/// TraceRecorder records (the recorder itself is engine-agnostic and lives
+/// in support/). Constructed by VMState when tracing is enabled and
+/// registered as the first observer, so trace events are recorded before
+/// any user observer runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_VM_ENGINETRACER_H
+#define CCJS_VM_ENGINETRACER_H
+
+#include "support/Trace.h"
+#include "vm/EngineObserver.h"
+
+namespace ccjs {
+
+class EngineTracer : public EngineObserver {
+public:
+  explicit EngineTracer(TraceRecorder &T) : T(T) {}
+
+  void onTierUp(VMState &, const TierUpEvent &E) override {
+    T.record(TraceEventKind::TierUp, E.Succeeded ? 1 : 0, 0, 0, E.FuncIndex,
+             E.InvocationCount, E.ChecksElidedClassCache);
+  }
+  void onDeopt(VMState &, const DeoptEvent &E) override {
+    T.record(TraceEventKind::Deopt, static_cast<uint8_t>(E.Reason),
+             E.Failure ? 1 : 0,
+             static_cast<uint8_t>(
+                 E.PriorDeoptCount > 0xFF ? 0xFF : E.PriorDeoptCount),
+             E.FuncIndex, E.IrIndex, E.ResumeBcPc);
+  }
+  void onInvalidation(VMState &, const InvalidationEvent &E) override {
+    T.record(TraceEventKind::SlotInvalidation, E.ClassId, E.Line, E.Pos,
+             E.TouchedEntries, E.DeoptimizedFunctions);
+  }
+  void onFaultTrip(VMState &, const FaultTrip &Trip) override {
+    T.record(TraceEventKind::FaultTrip, static_cast<uint8_t>(Trip.Point), 0,
+             0, static_cast<uint32_t>(Trip.Occurrence),
+             static_cast<uint32_t>(Trip.Occurrence >> 32));
+  }
+
+private:
+  TraceRecorder &T;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_VM_ENGINETRACER_H

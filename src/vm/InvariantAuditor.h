@@ -22,12 +22,16 @@
 ///
 /// The auditor is pure observation: it reads VM state and records failures,
 /// it never mutates the machine. It is only constructed when
-/// EngineConfig::AuditInvariants is set, so normal runs pay nothing.
+/// EngineConfig::AuditInvariants is set, so normal runs pay nothing. It is
+/// an EngineObserver — the VM registers it so the deopt and tier-up
+/// boundaries reach it through the standard notification path.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCJS_VM_INVARIANTAUDITOR_H
 #define CCJS_VM_INVARIANTAUDITOR_H
+
+#include "vm/EngineObserver.h"
 
 #include <cstdint>
 #include <string>
@@ -37,12 +41,19 @@ namespace ccjs {
 
 struct VMState;
 
-class InvariantAuditor {
+class InvariantAuditor : public EngineObserver {
 public:
   /// Runs every audit family against \p VM. \p When names the boundary
   /// ("tier-up", "deopt", "final") and \p FuncIndex the function involved;
   /// both only flavor the failure messages.
   void audit(const VMState &VM, const char *When, uint32_t FuncIndex);
+
+  void onDeopt(VMState &VM, const DeoptEvent &E) override {
+    audit(VM, "deopt", E.FuncIndex);
+  }
+  void onTierUp(VMState &VM, const TierUpEvent &E) override {
+    audit(VM, "tier-up", E.FuncIndex);
+  }
 
   uint64_t audits() const { return Audits; }
   uint64_t failureCount() const { return TotalFailures; }

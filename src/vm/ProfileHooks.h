@@ -54,15 +54,15 @@ inline void runClassCacheRequest(VMState &VM, InstrCategory Cat,
   }
   ClassCacheResult R =
       VM.Ctx.classCacheStore(Cat, ContainerClass, Line, Pos, ValueClass);
-  if (R.ValidCleared && VM.OnClassCacheInvalidation)
-    VM.OnClassCacheInvalidation(VM, ContainerClass, Line, Pos);
-  else if (VM.FaultInj && VM.OnClassCacheInvalidation &&
+  if (R.ValidCleared && VM.InvalidationService)
+    VM.InvalidationService(VM, ContainerClass, Line, Pos);
+  else if (VM.FaultInj && VM.InvalidationService &&
            VM.FaultInj->fire(FaultPoint::SpuriousInvalidation))
     // Chaos: run the full invalidation service (ValidMap clear, descendant
     // propagation, dependent deopts) for a slot that did NOT mismatch.
     // Invalidation is always a safe over-approximation — the engine only
     // loses elision opportunities — so any output change is a bug.
-    VM.OnClassCacheInvalidation(VM, ContainerClass, Line, Pos);
+    VM.InvalidationService(VM, ContainerClass, Line, Pos);
 }
 
 /// Profiles a property store. \p HolderShape is the object's shape *after*
@@ -83,8 +83,8 @@ inline void profilePropertyStore(VMState &VM, InstrCategory Cat,
     // carry no ClassID tag bytes), so the runtime conservatively
     // invalidates the slot's profile to keep elision sound.
     layout::SlotLocation Loc = layout::slotLocation(Slot);
-    if (VM.OnClassCacheInvalidation)
-      VM.OnClassCacheInvalidation(VM, S.ClassId, Loc.Line, Loc.Pos);
+    if (VM.InvalidationService)
+      VM.InvalidationService(VM, S.ClassId, Loc.Line, Loc.Pos);
     return;
   }
   emitMovClassId(VM, Cat, V);

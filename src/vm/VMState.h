@@ -5,9 +5,13 @@
 /// heap, shapes, globals, the per-function metadata (feedback, optimized
 /// code, hotness), the hardware models, and the tier-dispatch hooks.
 ///
-/// The hooks (Invoke, InterpretFrom, CallBuiltin, OnClassCacheInvalidation)
-/// are function pointers installed by the engine so the interpreter and the
+/// The hooks (Invoke, InterpretFrom, CallBuiltin, InvalidationService) are
+/// function pointers installed by the engine so the interpreter and the
 /// OptIR executor can call across tiers without a link-time cycle.
+///
+/// Event *notification* is separate from tier dispatch: boundary events
+/// (tier-up, deopt, invalidation, fault trip) fan out to the registered
+/// EngineObservers — see vm/EngineObserver.h.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +19,7 @@
 #define CCJS_VM_VMSTATE_H
 
 #include "bytecode/Bytecode.h"
+#include "core/Metrics.h"
 #include "hw/ClassCache.h"
 #include "hw/ClassList.h"
 #include "hw/ExecContext.h"
@@ -23,9 +28,13 @@
 #include "runtime/TypeProfiler.h"
 #include "support/FaultInjector.h"
 #include "support/StringInterner.h"
+#include "support/Trace.h"
+#include "vm/EngineObserver.h"
+#include "vm/EngineTracer.h"
 #include "vm/Feedback.h"
 #include "vm/InvariantAuditor.h"
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -65,6 +74,13 @@ struct EngineConfig {
   /// Run the InvariantAuditor at deopt and tier-up boundaries.
   bool AuditInvariants = false;
 
+  /// Structured trace recording (off by default). Observational: never
+  /// perturbs the simulation and is excluded from config fingerprints.
+  TraceConfig Trace;
+  /// Maintain the named counter/histogram registry (off by default;
+  /// observational, same contract as Trace).
+  bool MetricsEnabled = false;
+
   HwConfig Hw;
 };
 
@@ -84,33 +100,37 @@ struct FunctionInfo {
   bool ConstsMaterialized = false;
 };
 
-/// One deoptimization, reported through the VMState::OnDeopt trace hook.
-struct DeoptEvent {
-  uint32_t FuncIndex;
-  /// OptIR index of the op that deoptimized.
-  uint32_t IrIndex;
-  /// Bytecode pc execution resumes at in the baseline tier.
-  uint32_t ResumeBcPc;
-  /// True for speculation failures (counted against MaxDeoptsPerFunction),
-  /// false for planned DeoptOp fallbacks.
-  bool Failure;
-  /// The function's failure-deopt count before this event.
-  uint32_t PriorDeoptCount;
-};
-
 struct VMState {
   explicit VMState(const EngineConfig &Config)
       : Config(Config), Mem(1u << 22), Shapes(), Heap_(Mem, Shapes, Names),
         CList(Mem), CCache(CList, Config.Hw.ClassCacheEntries,
                            Config.Hw.ClassCacheWays),
         Ctx(this->Config.Hw, &CCache) {
+    if (this->Config.Trace.Enabled) {
+      TraceRec = std::make_unique<TraceRecorder>(this->Config.Trace);
+      // Timestamps are simulated cycles, so traces are deterministic.
+      TraceRec->setClock([this] { return Ctx.totalCycles(); });
+      Ctx.setTrace(TraceRec.get());
+      Shapes.setTrace(TraceRec.get());
+      Tracer = std::make_unique<EngineTracer>(*TraceRec);
+      Observers.push_back(Tracer.get());
+    }
+    if (this->Config.MetricsEnabled)
+      Metrics = std::make_unique<MetricsRegistry>();
     if (this->Config.Faults.Enabled) {
       FaultInj = std::make_unique<FaultInjector>(this->Config.Faults);
       CCache.setFaultInjector(FaultInj.get());
       Heap_.setFaultInjector(FaultInj.get());
+      FaultInj->setTripHook([this](const FaultTrip &Trip) {
+        if (Metrics)
+          ++Metrics->counter("fault_trips");
+        notifyFaultTrip(Trip);
+      });
     }
-    if (this->Config.AuditInvariants)
+    if (this->Config.AuditInvariants) {
       Auditor = std::make_unique<InvariantAuditor>();
+      Observers.push_back(Auditor.get());
+    }
   }
 
   EngineConfig Config;
@@ -127,8 +147,19 @@ struct VMState {
   /// pointer and nothing else, so the fault-off cost is a branch on the
   /// host — no simulated events.
   std::unique_ptr<FaultInjector> FaultInj;
-  /// Invariant auditor (null unless Config.AuditInvariants).
+  /// Invariant auditor (null unless Config.AuditInvariants); registered as
+  /// an EngineObserver so it audits at deopt and tier-up boundaries.
   std::unique_ptr<InvariantAuditor> Auditor;
+  /// Trace ring (null unless Config.Trace.Enabled) and its observer
+  /// adapter. Same zero-cost-when-off contract as the FaultInjector.
+  std::unique_ptr<TraceRecorder> TraceRec;
+  std::unique_ptr<EngineTracer> Tracer;
+  /// Metrics registry (null unless Config.MetricsEnabled).
+  std::unique_ptr<MetricsRegistry> Metrics;
+  /// Registered event observers, notified in registration order. The
+  /// engine-owned tracer and auditor come first; Engine::addObserver
+  /// appends user observers.
+  std::vector<EngineObserver *> Observers;
 
   BytecodeModule Module;
   std::vector<FunctionInfo> Funcs;
@@ -188,17 +219,44 @@ struct VMState {
   /// Runtime service invoked when a profiling store cleared a ValidMap bit:
   /// propagates the invalidation to descendant classes and deoptimizes
   /// dependent functions (the HW exception routine of section 4.2.2).
-  void (*OnClassCacheInvalidation)(VMState &, uint8_t ClassId, uint8_t Line,
-                                   uint8_t Pos) = nullptr;
+  /// A *service*, not a notification — observers watch it through
+  /// EngineObserver::onInvalidation, which the service dispatches after
+  /// the walk completes.
+  void (*InvalidationService)(VMState &, uint8_t ClassId, uint8_t Line,
+                              uint8_t Pos) = nullptr;
   /// Generic (megamorphic) method-call dispatch shared with the baseline
   /// tier's semantics.
   Value (*GenericCallMethod)(VMState &, Value Receiver, uint32_t Name,
                              const Value *Args, uint32_t Argc) = nullptr;
-  /// Deopt trace hook: invoked on every deoptimization when installed.
-  /// Replaces the per-deopt getenv("CCJS_DEBUG_DEOPT") lookup — the engine
-  /// installs a stderr printer when the env var is set (checked once per
-  /// process), and the chaos harness installs its own capture.
-  void (*OnDeopt)(VMState &, const DeoptEvent &) = nullptr;
+
+  //===--------------------------------------------------------------------===//
+  // Event notification (EngineObserver fan-out)
+  //===--------------------------------------------------------------------===//
+
+  void addObserver(EngineObserver *O) { Observers.push_back(O); }
+  void removeObserver(EngineObserver *O) {
+    Observers.erase(std::remove(Observers.begin(), Observers.end(), O),
+                    Observers.end());
+  }
+
+  // Notification sites pay one empty-vector test when nobody listens; the
+  // engine finishes the event's bookkeeping before notifying.
+  void notifyDeopt(const DeoptEvent &E) {
+    for (EngineObserver *O : Observers)
+      O->onDeopt(*this, E);
+  }
+  void notifyTierUp(const TierUpEvent &E) {
+    for (EngineObserver *O : Observers)
+      O->onTierUp(*this, E);
+  }
+  void notifyInvalidation(const InvalidationEvent &E) {
+    for (EngineObserver *O : Observers)
+      O->onInvalidation(*this, E);
+  }
+  void notifyFaultTrip(const FaultTrip &Trip) {
+    for (EngineObserver *O : Observers)
+      O->onFaultTrip(*this, Trip);
+  }
 
   void halt(std::string Msg) {
     if (Halted)

@@ -221,10 +221,16 @@ var j; for (j = 0; j < 40; j++) print(run());
   EXPECT_GE(VM.OptCompiles, TotalDeopts);
 }
 
-TEST(DeoptStormTest, DeoptTraceHookCapturesTheStorm) {
-  static std::vector<DeoptEvent> Captured;
-  Captured.clear();
+/// Collects every DeoptEvent through the EngineObserver API (the test-side
+/// replacement for the old VMState::OnDeopt hook).
+struct DeoptCapture : EngineObserver {
+  std::vector<DeoptEvent> Events;
+  void onDeopt(VMState &, const DeoptEvent &Ev) override {
+    Events.push_back(Ev);
+  }
+};
 
+TEST(DeoptStormTest, DeoptObserverCapturesTheStorm) {
   const char *Source = R"js(
 function run() { var s = 0; var i; for (i = 0; i < 40; i++) s += i; return s; }
 var j; for (j = 0; j < 20; j++) print(run());
@@ -236,20 +242,78 @@ var j; for (j = 0; j < 20; j++) print(run());
   C.Faults.Schedule[static_cast<unsigned>(FaultPoint::ForcedGuardFail)] = 1;
 
   Engine E(C);
-  E.vm().OnDeopt = [](VMState &, const DeoptEvent &Ev) {
-    Captured.push_back(Ev);
-  };
+  DeoptCapture Capture;
+  E.addObserver(&Capture);
   ASSERT_TRUE(E.load(Source));
   ASSERT_TRUE(E.runTopLevel()) << E.lastError();
 
-  ASSERT_FALSE(Captured.empty()) << "hook never fired";
+  ASSERT_FALSE(Capture.Events.empty()) << "observer never fired";
   uint32_t Failures = 0;
-  for (const DeoptEvent &Ev : Captured)
+  for (const DeoptEvent &Ev : Capture.Events)
     if (Ev.Failure)
       ++Failures;
   EXPECT_EQ(Failures, C.MaxDeoptsPerFunction);
   // Prior counts are monotone within the storm.
-  EXPECT_EQ(Captured.front().PriorDeoptCount, 0u);
+  EXPECT_EQ(Capture.Events.front().PriorDeoptCount, 0u);
+  // Forced guard failures carry a guard-check reason, never the planned or
+  // invalidated kinds.
+  for (const DeoptEvent &Ev : Capture.Events)
+    if (Ev.Failure)
+      EXPECT_NE(Ev.Reason, DeoptReason::CodeInvalidated);
+}
+
+TEST(DeoptStormTest, TracerCrossLinksTripsWithTraceEvents) {
+  // A traced chaos run: every FaultInjector trip must surface as a
+  // fault-trip trace event with the same (point, occurrence) identity, in
+  // the same order — the trip log and the trace describe one history.
+  const char *Source = R"js(
+function Pt(x) { this.x = x; }
+var ps = [];
+var i; for (i = 0; i < 30; i++) ps[i] = new Pt(i);
+function run() { var s = 0; var i; for (i = 0; i < 30; i++) s += ps[i].x; return s; }
+var j; for (j = 0; j < 40; j++) print(run());
+)js";
+  EngineConfig C = chaosConfig(5);
+  C.Trace.Enabled = true;
+
+  Engine E(C);
+  ASSERT_TRUE(E.load(Source));
+  ASSERT_TRUE(E.runTopLevel()) << E.lastError();
+
+  const FaultInjector *FI = E.faultInjector();
+  const TraceRecorder *T = E.trace();
+  ASSERT_NE(FI, nullptr);
+  ASSERT_NE(T, nullptr);
+
+  uint64_t Trips = 0;
+  for (unsigned P = 0; P < NumFaultPoints; ++P)
+    Trips += FI->tripCount(static_cast<FaultPoint>(P));
+  ASSERT_GT(Trips, 0u) << "seed 5 never fired";
+  EXPECT_EQ(T->total(TraceEventKind::FaultTrip), Trips);
+
+  // Event-by-event identity against the replayable trip log.
+  ASSERT_EQ(T->dropped(), 0u);
+  std::vector<std::pair<uint8_t, uint64_t>> FromTrace;
+  for (const TraceEvent &Ev : T->snapshot())
+    if (Ev.Kind == TraceEventKind::FaultTrip)
+      FromTrace.push_back(
+          {Ev.A8, (static_cast<uint64_t>(Ev.B) << 32) | Ev.A});
+  ASSERT_EQ(FromTrace.size(), FI->trips().size());
+  for (size_t I = 0; I < FromTrace.size(); ++I) {
+    EXPECT_EQ(FromTrace[I].first,
+              static_cast<uint8_t>(FI->trips()[I].Point));
+    EXPECT_EQ(FromTrace[I].second, FI->trips()[I].Occurrence);
+  }
+
+  // Deopt trace totals reconcile with the tier bookkeeping.
+  uint64_t FailureDeopts = 0;
+  for (const FunctionInfo &Fn : E.vm().Funcs)
+    FailureDeopts += Fn.DeoptCount;
+  uint64_t TracedFailures = 0;
+  for (const TraceEvent &Ev : T->snapshot())
+    if (Ev.Kind == TraceEventKind::Deopt && Ev.B8)
+      ++TracedFailures;
+  EXPECT_EQ(TracedFailures, FailureDeopts);
 }
 
 //===----------------------------------------------------------------------===//

@@ -47,12 +47,45 @@ TEST(EngineReuseTest, CallAfterHaltIsDefinedNoOp) {
   std::string Err = E.lastError();
   ASSERT_NE(Err, "");
 
-  // Calling into the halted VM neither crashes nor clobbers the diagnostic.
+  // Calling into the halted VM neither crashes nor loses the diagnostic:
+  // lastError() now says the engine was halted, embedding the original
+  // error instead of silently repeating it (see the regression test below).
   Value V = E.callGlobal("run");
   EXPECT_TRUE(V == E.vm().Heap_.undefined());
   EXPECT_TRUE(E.halted());
-  EXPECT_EQ(E.lastError(), Err);
+  EXPECT_NE(E.lastError().find(Err), std::string::npos);
   EXPECT_FALSE(E.runTopLevel());
+}
+
+TEST(EngineReuseTest, CallAfterHaltSetsFreshHaltedError) {
+  // Regression: callGlobal on a halted VM used to return the default Value
+  // while leaving lastError() exactly as the *previous* failure left it, so
+  // callers could not tell "this call failed that way" from "the engine was
+  // already dead". The halted call must refresh the error.
+  Engine E(test::hotConfig(false));
+  ASSERT_TRUE(E.load(HaltingProgram));
+  ASSERT_FALSE(E.runTopLevel());
+  std::string Original = E.lastError();
+  ASSERT_NE(Original, "");
+  ASSERT_EQ(Original.rfind("engine halted", 0), std::string::npos);
+
+  E.callGlobal("run");
+  EXPECT_EQ(E.lastError().rfind("engine halted", 0), 0u)
+      << "halted call left the stale error: " << E.lastError();
+  EXPECT_NE(E.lastError().find(Original), std::string::npos)
+      << "original diagnostic was dropped";
+
+  // Repeated calls must not re-wrap the message.
+  std::string Once = E.lastError();
+  E.callGlobal("run");
+  E.callGlobal("other");
+  EXPECT_EQ(E.lastError(), Once);
+
+  // load() still fully resets the latch and the error.
+  ASSERT_TRUE(E.load(GoodProgram)) << E.lastError();
+  EXPECT_EQ(E.lastError(), "");
+  ASSERT_TRUE(E.runTopLevel());
+  EXPECT_EQ(E.output(), "45\n");
 }
 
 TEST(EngineReuseTest, ReloadAfterSyntaxError) {

@@ -1,0 +1,331 @@
+//===- tests/TraceTest.cpp - Trace recorder, export and metrics -----------===//
+///
+/// Covers the observability layer end to end:
+///
+///  * TraceRecorder unit behavior: ring overflow keeps the newest events
+///    while per-kind totals keep counting, mask parsing/filtering.
+///  * Golden traced run of examples/chaos_storm.js: the exported Chrome
+///    trace-event JSON parses, has the schema every event viewer expects,
+///    and its per-kind totals reconcile *exactly* with the engine's
+///    RunStats (deopts, Class Cache misses/exceptions).
+///  * Tracing is observational: a traced run's stats, output and report
+///    JSON are identical to the untraced run, and trace dumps themselves
+///    are deterministic.
+///  * MetricsRegistry export and the bench_diff metrics gate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/BenchHarness.h"
+#include "support/Trace.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace ccjs;
+
+#ifndef CCJS_REPO_ROOT
+#error "tests/CMakeLists.txt must define CCJS_REPO_ROOT"
+#endif
+
+namespace {
+
+std::string readRepoFile(const char *RelPath) {
+  std::string Path = std::string(CCJS_REPO_ROOT) + "/" + RelPath;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+//===----------------------------------------------------------------------===//
+// TraceRecorder units
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTest, RingOverflowKeepsNewestAndTotalsKeepCounting) {
+  TraceConfig Cfg;
+  Cfg.Enabled = true;
+  Cfg.Mask = (1u << NumTraceEventKinds) - 1;
+  Cfg.Capacity = 4;
+  TraceRecorder R(Cfg);
+  double Now = 0;
+  R.setClock([&Now] { return Now; });
+  for (uint32_t I = 0; I < 10; ++I) {
+    Now = I;
+    R.record(TraceEventKind::ShapeCreated, 0, 0, 0, I, ~0u, 0);
+  }
+  EXPECT_EQ(R.accepted(), 10u);
+  EXPECT_EQ(R.dropped(), 6u);
+  EXPECT_EQ(R.total(TraceEventKind::ShapeCreated), 10u);
+  std::vector<TraceEvent> S = R.snapshot();
+  ASSERT_EQ(S.size(), 4u);
+  // Oldest-first snapshot of the newest four events.
+  for (uint32_t I = 0; I < 4; ++I) {
+    EXPECT_EQ(S[I].A, 6 + I);
+    EXPECT_EQ(S[I].Ts, 6.0 + I);
+  }
+}
+
+TEST(TraceTest, MaskFiltersKinds) {
+  TraceConfig Cfg;
+  Cfg.Enabled = true;
+  Cfg.Mask = traceBit(TraceEventKind::Deopt);
+  TraceRecorder R(Cfg);
+  EXPECT_TRUE(R.wants(TraceEventKind::Deopt));
+  EXPECT_FALSE(R.wants(TraceEventKind::CcHit));
+  R.record(TraceEventKind::CcHit, 1, 2, 3, 0, 0, 0);
+  R.record(TraceEventKind::Deopt, 0, 1, 0, 7, 8, 9);
+  EXPECT_EQ(R.accepted(), 1u);
+  EXPECT_EQ(R.total(TraceEventKind::CcHit), 0u);
+  EXPECT_EQ(R.total(TraceEventKind::Deopt), 1u);
+}
+
+TEST(TraceTest, DefaultMaskExcludesOnlyCcHits) {
+  EXPECT_FALSE(DefaultTraceMask & traceBit(TraceEventKind::CcHit));
+  for (unsigned K = 0; K < NumTraceEventKinds; ++K)
+    if (static_cast<TraceEventKind>(K) != TraceEventKind::CcHit)
+      EXPECT_TRUE(DefaultTraceMask & traceBit(static_cast<TraceEventKind>(K)))
+          << TraceRecorder::kindName(static_cast<TraceEventKind>(K));
+}
+
+TEST(TraceTest, ParseMask) {
+  uint32_t Mask = 0;
+  std::string Err;
+  EXPECT_TRUE(TraceRecorder::parseMask("all", Mask, &Err));
+  EXPECT_EQ(Mask, (1u << NumTraceEventKinds) - 1);
+
+  EXPECT_TRUE(TraceRecorder::parseMask("deopt,cc-miss", Mask, &Err));
+  EXPECT_EQ(Mask, traceBit(TraceEventKind::Deopt) |
+                      traceBit(TraceEventKind::CcMiss));
+
+  EXPECT_FALSE(TraceRecorder::parseMask("deopt,bogus", Mask, &Err));
+  EXPECT_NE(Err.find("bogus"), std::string::npos);
+  EXPECT_FALSE(TraceRecorder::parseMask("", Mask, &Err));
+}
+
+TEST(TraceTest, KindNamesRoundTrip) {
+  for (unsigned K = 0; K < NumTraceEventKinds; ++K) {
+    TraceEventKind Kind = static_cast<TraceEventKind>(K), Back;
+    ASSERT_TRUE(
+        TraceRecorder::kindFromName(TraceRecorder::kindName(Kind), Back));
+    EXPECT_EQ(Back, Kind);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Golden traced run
+//===----------------------------------------------------------------------===//
+
+/// One traced chaos-storm run with everything recorded and a ring large
+/// enough that nothing drops, so totals == events and both reconcile with
+/// RunStats.
+struct TracedStorm {
+  Engine E;
+  TracedStorm()
+      : E(Engine::Options()
+              .withClassCache()
+              .withChaosSeed(5)
+              .withTrace((1u << NumTraceEventKinds) - 1, 1u << 18)) {
+    std::string Source = readRepoFile("examples/chaos_storm.js");
+    EXPECT_TRUE(E.load(Source)) << E.lastError();
+    EXPECT_TRUE(E.runTopLevel()) << E.lastError();
+    for (int I = 0; I < 3; ++I) {
+      E.callGlobal("run");
+      EXPECT_FALSE(E.halted()) << E.lastError();
+    }
+  }
+};
+
+TEST(TraceTest, GoldenChaosStormChromeJsonIsSchemaValid) {
+  TracedStorm S;
+  ASSERT_NE(S.E.trace(), nullptr);
+  std::string Text = S.E.trace()->toChromeJson().dump(2);
+
+  std::string Err;
+  std::optional<json::Value> Doc = json::Value::parse(Text, &Err);
+  ASSERT_TRUE(Doc.has_value()) << Err;
+
+  const json::Value *Events = Doc->find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  ASSERT_GT(Events->size(), 0u);
+  double LastTs = -1;
+  for (const json::Value &Ev : Events->elements()) {
+    ASSERT_TRUE(Ev.isObject());
+    const json::Value *Name = Ev.find("name");
+    ASSERT_TRUE(Name && Name->isString());
+    TraceEventKind K;
+    EXPECT_TRUE(TraceRecorder::kindFromName(Name->asString(), K))
+        << Name->asString();
+    const json::Value *Ph = Ev.find("ph");
+    ASSERT_TRUE(Ph && Ph->isString());
+    EXPECT_EQ(Ph->asString(), "i");
+    const json::Value *Ts = Ev.find("ts");
+    ASSERT_TRUE(Ts && Ts->isNumber());
+    // Simulated-cycle timestamps are monotonically non-decreasing.
+    EXPECT_GE(Ts->asNumber(), LastTs);
+    LastTs = Ts->asNumber();
+    const json::Value *Pid = Ev.find("pid");
+    ASSERT_TRUE(Pid && Pid->isNumber());
+    const json::Value *Tid = Ev.find("tid");
+    ASSERT_TRUE(Tid && Tid->isNumber());
+    const json::Value *Args = Ev.find("args");
+    ASSERT_TRUE(Args && Args->isObject());
+  }
+
+  // The ccjs metadata object carries totals for every kind plus the drop
+  // count and the active mask.
+  const json::Value *Meta = Doc->find("ccjs");
+  ASSERT_TRUE(Meta && Meta->isObject());
+  const json::Value *Totals = Meta->find("totals");
+  ASSERT_TRUE(Totals && Totals->isObject());
+  EXPECT_EQ(Totals->members().size(), NumTraceEventKinds);
+  const json::Value *Dropped = Meta->find("dropped");
+  ASSERT_TRUE(Dropped && Dropped->isNumber());
+  EXPECT_EQ(Dropped->asNumber(), 0);
+}
+
+TEST(TraceTest, GoldenChaosStormCountsReconcileWithRunStats) {
+  TracedStorm S;
+  const TraceRecorder &T = *S.E.trace();
+  ASSERT_EQ(T.dropped(), 0u) << "ring too small for exact reconciliation";
+  RunStats Stats = S.E.stats();
+
+  // Every speculation-failure deopt the engine counted is in the trace
+  // (failure flag set), and vice versa.
+  uint64_t FailureDeopts = 0;
+  for (const TraceEvent &E : T.snapshot())
+    if (E.Kind == TraceEventKind::Deopt && E.B8 != 0)
+      ++FailureDeopts;
+  EXPECT_EQ(FailureDeopts, Stats.Deopts);
+
+  EXPECT_EQ(T.total(TraceEventKind::CcMiss), Stats.CcMisses);
+  EXPECT_EQ(T.total(TraceEventKind::CcException), Stats.CcExceptions);
+  // cc-hit + cc-miss == every Class Cache access.
+  EXPECT_EQ(T.total(TraceEventKind::CcHit) + T.total(TraceEventKind::CcMiss),
+            Stats.CcAccesses);
+}
+
+TEST(TraceTest, TracingIsObservational) {
+  std::string Source = readRepoFile("examples/chaos_storm.js");
+  auto Run = [&](bool Traced, RunStats &Stats) {
+    Engine::Options O;
+    O.withClassCache().withChaosSeed(5);
+    if (Traced)
+      O.withTrace();
+    Engine E(O);
+    EXPECT_TRUE(E.load(Source)) << E.lastError();
+    EXPECT_TRUE(E.runTopLevel()) << E.lastError();
+    for (int I = 0; I < 3; ++I)
+      E.callGlobal("run");
+    Stats = E.stats();
+    return E.output();
+  };
+  RunStats Plain, Traced;
+  std::string OutPlain = Run(false, Plain);
+  std::string OutTraced = Run(true, Traced);
+  EXPECT_EQ(OutPlain, OutTraced);
+  EXPECT_EQ(Plain.CyclesTotal, Traced.CyclesTotal);
+  EXPECT_EQ(Plain.EnergyTotal.total(), Traced.EnergyTotal.total());
+  EXPECT_EQ(Plain.Instrs.total(), Traced.Instrs.total());
+  EXPECT_EQ(Plain.Deopts, Traced.Deopts);
+  EXPECT_EQ(Plain.CcMisses, Traced.CcMisses);
+  // The fingerprint ignores observability config: traced and untraced
+  // reports stay comparable and byte-identical.
+  EngineConfig Off = Engine::Options().withClassCache().build();
+  EngineConfig On = Engine::Options().withClassCache().withTrace()
+                        .withMetrics().build();
+  EXPECT_EQ(configFingerprint(Off), configFingerprint(On));
+  EXPECT_EQ(configToJson(Off).dump(2), configToJson(On).dump(2));
+}
+
+TEST(TraceTest, TraceDumpIsDeterministic) {
+  TracedStorm A, B;
+  EXPECT_EQ(A.E.trace()->toChromeJson().dump(2),
+            B.E.trace()->toChromeJson().dump(2));
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics registry and the bench_diff metrics gate
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTest, MetricsRegistryExportIsInsertionOrdered) {
+  MetricsRegistry M;
+  M.counter("deopts_failure") = 3;
+  M.counter("tier_ups") = 7;
+  ++M.counter("deopts_failure");
+  M.histogram("invalidation_fanout").observe(2);
+  M.histogram("invalidation_fanout").observe(6);
+
+  json::Value J = M.toJson();
+  const json::Value *C = J.find("counters");
+  ASSERT_TRUE(C && C->isObject());
+  ASSERT_EQ(C->members().size(), 2u);
+  EXPECT_EQ(C->members()[0].first, "deopts_failure");
+  EXPECT_EQ(C->members()[0].second.asNumber(), 4);
+  EXPECT_EQ(C->members()[1].first, "tier_ups");
+  const json::Value *H = J.findPath("histograms.invalidation_fanout");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->find("count")->asNumber(), 2);
+  EXPECT_EQ(H->find("sum")->asNumber(), 8);
+  EXPECT_EQ(H->find("mean")->asNumber(), 4);
+  EXPECT_EQ(H->find("min")->asNumber(), 2);
+  EXPECT_EQ(H->find("max")->asNumber(), 6);
+}
+
+TEST(TraceTest, EngineCollectsMetricsWhenEnabled) {
+  Engine E(Engine::Options().withClassCache().withMetrics()
+               .withTiering(2, 50));
+  ASSERT_TRUE(E.load(R"js(
+function Pt(x) { this.x = x; }
+var ps = [];
+var i; for (i = 0; i < 20; i++) ps[i] = new Pt(i);
+function run() { var s = 0; var i; for (i = 0; i < 20; i++) s += ps[i].x; return s; }
+var j; for (j = 0; j < 10; j++) run();
+)js"));
+  ASSERT_TRUE(E.runTopLevel()) << E.lastError();
+  ASSERT_NE(E.metrics(), nullptr);
+  const json::Value *TierUps = E.metrics()->toJson().findPath(
+      "counters.tier_ups");
+  ASSERT_NE(TierUps, nullptr);
+  EXPECT_GE(TierUps->asNumber(), 1);
+}
+
+TEST(TraceTest, DiffReportsGatesDeoptCounterGrowth) {
+  auto MakeReport = [](uint64_t FailureDeopts, uint64_t TierUps) {
+    BenchReport R("ccjs_run", Engine::Options().build());
+    MetricsRegistry M;
+    M.counter("deopts_failure") = FailureDeopts;
+    M.counter("tier_ups") = TierUps;
+    R.setMetrics(M.toJson());
+    return R.toJson();
+  };
+  json::Value Old = MakeReport(4, 10);
+
+  // More failure deopts: regression.
+  DiffResult Worse = diffReports(Old, MakeReport(9, 10), 0.1);
+  ASSERT_TRUE(Worse.Comparable) << Worse.Error;
+  EXPECT_TRUE(Worse.hasRegressions());
+
+  // --ignore-metrics suppresses the section entirely.
+  DiffResult Ignored = diffReports(Old, MakeReport(9, 10), 0.1,
+                                   /*IgnoreMetrics=*/true);
+  EXPECT_FALSE(Ignored.hasRegressions());
+  EXPECT_TRUE(Ignored.Changes.empty());
+
+  // Non-gating counters move informationally, never regress.
+  DiffResult Info = diffReports(Old, MakeReport(4, 99), 0.1);
+  EXPECT_FALSE(Info.hasRegressions());
+  ASSERT_EQ(Info.Changes.size(), 1u);
+  EXPECT_EQ(Info.Changes[0].Metric, "counters.tier_ups");
+
+  // A report without the section diffs cleanly against one with it.
+  BenchReport Bare("ccjs_run", Engine::Options().build());
+  DiffResult Missing = diffReports(Old, Bare.toJson(), 0.1);
+  EXPECT_TRUE(Missing.Comparable);
+  EXPECT_FALSE(Missing.hasRegressions());
+}
+
+} // namespace

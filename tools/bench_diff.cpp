@@ -4,11 +4,15 @@
 /// binary) and flags regressions beyond a tolerance. CI runs it as a perf
 /// smoke gate against a committed baseline report:
 ///
-///   bench_diff [--tolerance=PCT] [--verbose] old.json new.json
+///   bench_diff [--tolerance=PCT] [--verbose] [--ignore-metrics]
+///              old.json new.json
 ///
 /// Tolerance semantics (see core/BenchHarness.h): percentage points for
 /// speedup / energy-reduction / hit-rate metrics, relative percent for
-/// cycle / energy / instruction totals. Default 0.1.
+/// cycle / energy / instruction totals and for engine metrics counters.
+/// Default 0.1. --ignore-metrics skips the report-level "metrics" section
+/// (engine counters) entirely, e.g. when diffing a metrics-on run against
+/// a baseline recorded without --metrics.
 ///
 /// Exit codes: 0 = no regressions; 1 = regressions found (or the reports
 /// are not comparable); 2 = usage or I/O error.
@@ -51,7 +55,7 @@ static bool loadReport(const char *Path, json::Value &Out) {
 
 int main(int Argc, char **Argv) {
   double Tolerance = 0.1;
-  bool Verbose = false;
+  bool Verbose = false, IgnoreMetrics = false;
   const char *Paths[2] = {nullptr, nullptr};
   int NumPaths = 0;
 
@@ -66,6 +70,8 @@ int main(int Argc, char **Argv) {
       }
     } else if (!std::strcmp(A, "--verbose")) {
       Verbose = true;
+    } else if (!std::strcmp(A, "--ignore-metrics")) {
+      IgnoreMetrics = true;
     } else if (A[0] == '-' && A[1] != '\0') {
       std::fprintf(stderr, "bench_diff: unknown option '%s'\n", A);
       return 2;
@@ -78,7 +84,7 @@ int main(int Argc, char **Argv) {
   }
   if (NumPaths != 2) {
     std::fprintf(stderr, "usage: bench_diff [--tolerance=PCT] [--verbose] "
-                         "old.json new.json\n");
+                         "[--ignore-metrics] old.json new.json\n");
     return 2;
   }
 
@@ -86,7 +92,7 @@ int main(int Argc, char **Argv) {
   if (!loadReport(Paths[0], Old) || !loadReport(Paths[1], New))
     return 2;
 
-  DiffResult R = diffReports(Old, New, Tolerance);
+  DiffResult R = diffReports(Old, New, Tolerance, IgnoreMetrics);
   if (!R.Comparable) {
     std::fprintf(stderr, "bench_diff: reports not comparable: %s\n",
                  R.Error.c_str());

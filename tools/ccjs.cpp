@@ -16,6 +16,16 @@
 ///     --chaos-only=a,b     restrict injection to the named fault points
 ///     --audit              run invariant audits; exit 1 on any failure
 ///     --trip-log=<path>    write the replayable fault trip log ('-' = stdout)
+///     --trace=<path>       record engine trace events and write them as
+///                          Chrome trace-event JSON ('-' = stdout)
+///     --trace-events=a,b   restrict the trace to the named event kinds
+///                          ("all" = everything, including cc-hit)
+///     --metrics            collect named counters/histograms; print them
+///                          and embed them in the --json report
+///
+/// Config assembly goes through the validated Engine::Options builder; an
+/// inconsistent flag combination exits 2 with a diagnostic before any
+/// benchmark work happens.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -78,7 +88,7 @@ static bool writeReport(const BenchReport &Report,
 /// Parses "a,b,c" into fault-point schedule overrides: every listed point
 /// keeps its derived schedule, every other point is disabled. Returns false
 /// on an unknown name.
-static bool applyChaosOnly(FaultConfig &Faults, const char *List) {
+static bool applyChaosOnly(Engine::Options &Opts, const char *List) {
   int32_t Schedule[NumFaultPoints];
   for (unsigned P = 0; P < NumFaultPoints; ++P)
     Schedule[P] = -1;
@@ -103,27 +113,28 @@ static bool applyChaosOnly(FaultConfig &Faults, const char *List) {
       break;
   }
   for (unsigned P = 0; P < NumFaultPoints; ++P)
-    Faults.Schedule[P] = Schedule[P];
+    Opts.withChaosSchedule(static_cast<FaultPoint>(P), Schedule[P]);
   return true;
 }
 
 int main(int Argc, char **Argv) {
-  EngineConfig Config;
-  bool Stats = false, Compare = false, Disassemble = false;
+  Engine::Options Opts;
+  bool Stats = false, Compare = false, Disassemble = false, Metrics = false;
+  bool ChaosEnabled = false;
   int Iterations = 0;
   const char *Path = nullptr;
-  std::string JsonPath, TripLogPath;
+  std::string JsonPath, TripLogPath, TracePath;
+  uint32_t TraceMask = DefaultTraceMask;
+  bool TraceMaskSet = false;
 
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
     if (!std::strcmp(A, "--class-cache")) {
-      Config.ClassCacheEnabled = true;
+      Opts.withClassCache();
     } else if (!std::strcmp(A, "--software-only")) {
-      Config.ClassCacheEnabled = true;
-      Config.SoftwareOnlyClassCache = true;
+      Opts.withSoftwareOnlyClassCache();
     } else if (!std::strcmp(A, "--no-opt")) {
-      Config.HotInvocationThreshold = ~0u;
-      Config.HotLoopThreshold = ~0u;
+      Opts.withNoOpt();
     } else if (!std::strncmp(A, "--iterations=", 13)) {
       Iterations = std::atoi(A + 13);
     } else if (!std::strcmp(A, "--stats")) {
@@ -139,19 +150,34 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(A, "--disassemble")) {
       Disassemble = true;
     } else if (!std::strncmp(A, "--chaos-seed=", 13)) {
-      Config.Faults.Enabled = true;
-      Config.Faults.Seed = std::strtoull(A + 13, nullptr, 10);
+      Opts.withChaosSeed(std::strtoull(A + 13, nullptr, 10));
+      ChaosEnabled = true;
     } else if (!std::strncmp(A, "--chaos-only=", 13)) {
-      if (!applyChaosOnly(Config.Faults, A + 13))
+      if (!applyChaosOnly(Opts, A + 13))
         return 2;
     } else if (!std::strcmp(A, "--audit")) {
-      Config.AuditInvariants = true;
+      Opts.withAudit();
     } else if (!std::strncmp(A, "--trip-log=", 11)) {
       TripLogPath = A + 11;
       if (TripLogPath.empty()) {
         std::fprintf(stderr, "ccjs: --trip-log needs a path (or '-')\n");
         return 2;
       }
+    } else if (!std::strncmp(A, "--trace=", 8)) {
+      TracePath = A + 8;
+      if (TracePath.empty()) {
+        std::fprintf(stderr, "ccjs: --trace needs a path (or '-')\n");
+        return 2;
+      }
+    } else if (!std::strncmp(A, "--trace-events=", 15)) {
+      std::string Err;
+      if (!TraceRecorder::parseMask(A + 15, TraceMask, &Err)) {
+        std::fprintf(stderr, "ccjs: %s\n", Err.c_str());
+        return 2;
+      }
+      TraceMaskSet = true;
+    } else if (!std::strcmp(A, "--metrics")) {
+      Metrics = true;
     } else if (A[0] == '-') {
       std::fprintf(stderr, "ccjs: unknown option '%s'\n", A);
       return 2;
@@ -165,11 +191,32 @@ int main(int Argc, char **Argv) {
                  "[--iterations=N]\n            [--stats] [--compare] "
                  "[--json=<path>] [--disassemble]\n            "
                  "[--chaos-seed=N] [--chaos-only=a,b] [--audit] "
-                 "[--trip-log=<path>] file.js\n");
+                 "[--trip-log=<path>]\n            [--trace=<path>] "
+                 "[--trace-events=a,b|all] [--metrics] file.js\n");
     return 2;
   }
-  if (!TripLogPath.empty() && !Config.Faults.Enabled) {
+  if (!TripLogPath.empty() && !ChaosEnabled) {
     std::fprintf(stderr, "ccjs: --trip-log requires --chaos-seed=N\n");
+    return 2;
+  }
+  if (TraceMaskSet && TracePath.empty()) {
+    std::fprintf(stderr, "ccjs: --trace-events requires --trace=<path>\n");
+    return 2;
+  }
+  if (Compare && (!TracePath.empty() || Metrics)) {
+    // compareConfigs builds its own engine pair internally; a trace or
+    // metrics request would be silently dropped, so refuse it instead.
+    std::fprintf(stderr,
+                 "ccjs: --trace/--metrics cannot be combined with --compare\n");
+    return 2;
+  }
+  if (!TracePath.empty())
+    Opts.withTrace(TraceMask);
+  if (Metrics)
+    Opts.withMetrics();
+  std::string OptErr;
+  if (!Opts.validate(&OptErr)) {
+    std::fprintf(stderr, "ccjs: invalid configuration: %s\n", OptErr.c_str());
     return 2;
   }
 
@@ -201,6 +248,7 @@ int main(int Argc, char **Argv) {
   }
 
   if (Compare) {
+    EngineConfig Config = Opts.build();
     Comparison C = compareConfigs(Source, Config,
                                   Iterations > 0 ? Iterations
                                                  : DefaultIterations);
@@ -231,11 +279,12 @@ int main(int Argc, char **Argv) {
     return writeReport(Report, JsonPath) ? 0 : 1;
   }
 
-  Engine E(Config);
+  Engine E(Opts);
   E.vm().EchoOutput = true;
 
-  // Always write the trip log when requested, even after a halt: the log is
-  // the repro recipe for the failure.
+  // Always write the trip log and the trace when requested, even after a
+  // halt: the log is the repro recipe for the failure and the trace is the
+  // flight recording leading up to it.
   auto WriteTripLog = [&]() -> bool {
     if (TripLogPath.empty() || !E.faultInjector())
       return true;
@@ -247,6 +296,16 @@ int main(int Argc, char **Argv) {
     std::ofstream Out(TripLogPath);
     if (!Out || !(Out << Log)) {
       std::fprintf(stderr, "ccjs: cannot write '%s'\n", TripLogPath.c_str());
+      return false;
+    }
+    return true;
+  };
+  auto WriteTrace = [&]() -> bool {
+    if (TracePath.empty() || !E.trace())
+      return true;
+    std::string Err;
+    if (!E.trace()->writeChromeJson(TracePath, &Err)) {
+      std::fprintf(stderr, "ccjs: %s\n", Err.c_str());
       return false;
     }
     return true;
@@ -267,6 +326,7 @@ int main(int Argc, char **Argv) {
   if (!E.load(Source) || !E.runTopLevel()) {
     std::fprintf(stderr, "ccjs: %s\n", E.lastError().c_str());
     WriteTripLog();
+    WriteTrace();
     ReportAudits();
     return 1;
   }
@@ -277,25 +337,30 @@ int main(int Argc, char **Argv) {
     if (E.halted()) {
       std::fprintf(stderr, "ccjs: %s\n", E.lastError().c_str());
       WriteTripLog();
+      WriteTrace();
       ReportAudits();
       return 1;
     }
   }
   int AuditRc = ReportAudits();
-  if (!WriteTripLog())
+  if (!WriteTripLog() || !WriteTrace())
     return 1;
   if (AuditRc)
     return AuditRc;
   if (Stats)
     printStats(E.stats());
+  if (Metrics && E.metrics())
+    std::printf("%s", E.metrics()->render().c_str());
   if (!JsonPath.empty()) {
-    BenchReport Report("ccjs_run", Config);
+    BenchReport Report("ccjs_run", Opts.build());
     BenchRun R;
     R.Ok = true;
     R.Steady = E.stats();
     R.Output = E.output();
     Workload W{Path, "cli", "", false};
     Report.addRun(W, R);
+    if (Metrics && E.metrics())
+      Report.setMetrics(E.metrics()->toJson());
     if (!writeReport(Report, JsonPath))
       return 1;
   }
