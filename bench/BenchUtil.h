@@ -16,6 +16,7 @@
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
+#include <chrono>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -112,6 +113,52 @@ inline void printHeader(const char *Title, const char *PaperRef) {
   std::printf("==============================================================="
               "=========\n");
 }
+
+/// Wall-clock stopwatch for the --host throughput section: construct
+/// before the sweep, ask for the HostMeasurement after.
+class HostTimer {
+public:
+  HostTimer() : Start(std::chrono::steady_clock::now()) {}
+
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+
+  /// Measurement over a comparison sweep: engine time and simulated
+  /// instructions sum over both runs of every comparison.
+  HostMeasurement measure(const std::vector<Comparison> &Results,
+                          unsigned Jobs) const {
+    HostMeasurement H;
+    H.WallSeconds = seconds();
+    H.Jobs = Jobs;
+    for (const Comparison &C : Results)
+      for (const BenchRun *R : {&C.Baseline, &C.ClassCache}) {
+        H.EngineSeconds += R->HostSeconds;
+        if (R->Ok)
+          H.SimInstructions += R->Steady.Instrs.total();
+      }
+    return H;
+  }
+
+  /// Measurement over a single-config sweep.
+  HostMeasurement measure(const std::vector<BenchRun> &Results,
+                          unsigned Jobs) const {
+    HostMeasurement H;
+    H.WallSeconds = seconds();
+    H.Jobs = Jobs;
+    for (const BenchRun &R : Results) {
+      H.EngineSeconds += R.HostSeconds;
+      if (R.Ok)
+        H.SimInstructions += R.Steady.Instrs.total();
+    }
+    return H;
+  }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
 
 /// Writes the report when --json was given. Returns false (after printing
 /// to stderr) on I/O failure so main() can exit non-zero.

@@ -57,16 +57,32 @@ int main(int Argc, char **Argv) {
   HarnessOptions Opt;
   std::string Detail;
   bool HaveDetail = false;
+  // Host-side dispatch selection (DESIGN.md 4.6): either mode must
+  // reproduce the committed baseline byte-for-byte, and the CI
+  // byte-identity gate runs both. Invalid values fail up front.
+  std::string Dispatch = "switch";
   auto Extra = [&](std::string_view A) {
     if (A.rfind("--detail=", 0) == 0) {
       Detail = A.substr(9);
       HaveDetail = true;
       return true;
     }
+    if (A.rfind("--dispatch=", 0) == 0) {
+      Dispatch = A.substr(11);
+      return true;
+    }
     return false;
   };
-  if (!Opt.parse(Argc, Argv, Extra, "[--detail=<workload>]"))
+  if (!Opt.parse(Argc, Argv, Extra,
+                 "[--detail=<workload>] [--dispatch=switch|threaded]"))
     return 2;
+  if (Dispatch != "switch" && Dispatch != "threaded") {
+    std::fprintf(stderr,
+                 "fig8_speedup: --dispatch must be 'switch' or 'threaded', "
+                 "got '%s'\n",
+                 Dispatch.c_str());
+    return 2;
+  }
   // A typo'd --detail name must fail *before* the full sweep runs.
   if (HaveDetail && !findWorkload(Detail)) {
     std::fprintf(stderr, "fig8_speedup: --detail='%s' is not a workload\n",
@@ -81,8 +97,11 @@ int main(int Argc, char **Argv) {
   std::vector<SuiteGroup> Groups = groupWorkloads(true, Opt.Filter);
   std::vector<const Workload *> Flat = flattenGroups(Groups);
   EngineConfig Base = Engine::Options().build();
+  Base.ThreadedDispatch = Dispatch == "threaded";
+  HostTimer Timer;
   std::vector<Comparison> Results =
       compareWorkloads(Flat, Base, Opt.effectiveJobs());
+  HostMeasurement HostM = Timer.measure(Results, Opt.effectiveJobs());
 
   BenchReport Report("fig8_speedup", Base);
   Table T({"benchmark", "suite", "whole application", "optimized code"});
@@ -123,6 +142,16 @@ int main(int Argc, char **Argv) {
                     json::Value(AllWhole.valueOpt()));
   Report.setSummary("speedup_optimized_avg_pct",
                     json::Value(AllOpt.valueOpt()));
+  if (Opt.Host) {
+    Report.setHost(hostToJson(HostM));
+    std::printf("\nHost throughput: %.2fs wall (%.2fs engine), %.3g "
+                "simulated instructions/s\n",
+                HostM.WallSeconds, HostM.EngineSeconds,
+                HostM.WallSeconds > 0
+                    ? static_cast<double>(HostM.SimInstructions) /
+                          HostM.WallSeconds
+                    : 0.0);
+  }
 
   if (HaveDetail && !printDetail(Detail.c_str(), Opt.effectiveJobs()))
     return 1;

@@ -20,69 +20,75 @@
 
 namespace ccjs {
 
+// The opcode list as an X-macro: the enum below, the interpreter's
+// computed-goto handler table and the disassembler all expand from this
+// single list, so they cannot fall out of order with each other.
+//
+// Field meaning per group:
+// - Constants and simple loads: A = constant pool index / SMI immediate.
+// - Locals and globals: A = slot index. StLocal/StGlobal pop.
+// - Operators: A = BinaryOp/UnaryOp enum value; BinOp carries a feedback
+//   site.
+// - Control flow: A = absolute target index. JumpLoop is a back edge and
+//   feeds on-stack-replacement hotness; JumpIf* pop the condition.
+// - Property access: B = interned property name. Stack effects:
+//     GetProp:  [obj] -> [value]          SetProp: [obj, value] -> [value]
+//     GetElem:  [obj, index] -> [value]   SetElem: [obj, index, v] -> [v]
+//     GetLength:[obj] -> [length]
+// - Literals: CreateObject: A = in-object capacity hint. CreateArray:
+//   A = initial length. AddPropLit (B = name) pops the value, keeping the
+//   object; StElemInit (A = index) pops the value, keeping the array.
+// - Calls: CallGlobal: A = global index of callee, B = argc.
+//   CallMethod: A = argc, B = method name; stack [obj, args...].
+//   CallValue: A = argc; stack [callee, args...].
+//   New: A = global index of constructor, B = argc.
+// - Return pops the result.
+#define CCJS_FOR_EACH_OPCODE(X)                                                \
+  X(LdaConst)                                                                  \
+  X(LdaSmi)                                                                    \
+  X(LdaUndefined)                                                              \
+  X(LdaNull)                                                                   \
+  X(LdaTrue)                                                                   \
+  X(LdaFalse)                                                                  \
+  X(LdaThis)                                                                   \
+  X(LdLocal)                                                                   \
+  X(StLocal)                                                                   \
+  X(LdGlobal)                                                                  \
+  X(StGlobal)                                                                  \
+  X(Pop)                                                                       \
+  X(Dup)                                                                       \
+  X(BinOp)                                                                     \
+  X(UnaOp)                                                                     \
+  X(Jump)                                                                      \
+  X(JumpLoop)                                                                  \
+  X(JumpIfFalse)                                                               \
+  X(JumpIfTrue)                                                                \
+  X(GetProp)                                                                   \
+  X(SetProp)                                                                   \
+  X(GetElem)                                                                   \
+  X(SetElem)                                                                   \
+  X(GetLength)                                                                 \
+  X(CreateObject)                                                              \
+  X(CreateArray)                                                               \
+  X(AddPropLit)                                                                \
+  X(StElemInit)                                                                \
+  X(CallGlobal)                                                                \
+  X(CallMethod)                                                                \
+  X(CallValue)                                                                 \
+  X(New)                                                                       \
+  X(Return)
+
 enum class Opcode : uint8_t {
-  // Constants and simple loads. A = constant pool index / SMI immediate.
-  LdaConst,
-  LdaSmi,
-  LdaUndefined,
-  LdaNull,
-  LdaTrue,
-  LdaFalse,
-  LdaThis,
-
-  // Locals and globals. A = slot index.
-  LdLocal,
-  StLocal, // Pops.
-  LdGlobal,
-  StGlobal, // Pops.
-
-  // Stack management.
-  Pop,
-  Dup,
-
-  // Operators. A = BinaryOp/UnaryOp enum value; BinOp carries a feedback
-  // site.
-  BinOp,
-  UnaOp,
-
-  // Control flow. A = absolute target index. JumpLoop is a back edge and
-  // feeds on-stack-replacement hotness.
-  Jump,
-  JumpLoop,
-  JumpIfFalse, // Pops the condition.
-  JumpIfTrue,  // Pops the condition.
-
-  // Property access. B = interned property name. Stack effects:
-  //   GetProp:  [obj] -> [value]
-  //   SetProp:  [obj, value] -> [value]
-  //   GetElem:  [obj, index] -> [value]
-  //   SetElem:  [obj, index, value] -> [value]
-  //   GetLength:[obj] -> [length]
-  GetProp,
-  SetProp,
-  GetElem,
-  SetElem,
-  GetLength,
-
-  // Literals. CreateObject: A = in-object capacity hint. CreateArray:
-  // A = initial length. AddPropLit (B = name) pops the value, keeping the
-  // object; StElemInit (A = index) pops the value, keeping the array.
-  CreateObject,
-  CreateArray,
-  AddPropLit,
-  StElemInit,
-
-  // Calls. CallGlobal: A = global index of callee, B = argc.
-  // CallMethod: A = argc, B = method name; stack [obj, args...].
-  // CallValue: A = argc; stack [callee, args...].
-  // New: A = global index of constructor, B = argc.
-  CallGlobal,
-  CallMethod,
-  CallValue,
-  New,
-
-  Return, // Pops the result.
+#define CCJS_OPCODE_ENUMERATOR(Name) Name,
+  CCJS_FOR_EACH_OPCODE(CCJS_OPCODE_ENUMERATOR)
+#undef CCJS_OPCODE_ENUMERATOR
 };
+
+inline constexpr unsigned NumOpcodes = 0
+#define CCJS_OPCODE_COUNT(Name) +1
+    CCJS_FOR_EACH_OPCODE(CCJS_OPCODE_COUNT)
+#undef CCJS_OPCODE_COUNT
+    ;
 
 /// One bytecode instruction. Field meaning depends on the opcode (see the
 /// Opcode comments); Site indexes the function's feedback vector.

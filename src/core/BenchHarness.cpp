@@ -52,14 +52,17 @@ bool HarnessOptions::parse(int Argc, char **Argv,
   auto Usage = [&](const char *Prog) {
     std::fprintf(stderr,
                  "usage: %s [--jobs=N] [--json=<path>|--json=-] "
-                 "[--filter=<suite|workload>]%s%s\n"
+                 "[--filter=<suite|workload>] [--host]%s%s\n"
                  "  --jobs=N    run benchmark jobs on N threads (0 = one per "
                  "hardware thread;\n              output is byte-identical "
                  "to --jobs=1)\n"
                  "  --json=P    also write a machine-readable report "
                  "(schema v%d) to P\n"
                  "  --filter=F  restrict to one suite or one workload "
-                 "(exact name)\n",
+                 "(exact name)\n"
+                 "  --host      attach a host-throughput section (wall-clock, "
+                 "simulated\n              instructions per host second) to "
+                 "the JSON report\n",
                  Prog, *ExtraUsage ? " " : "", ExtraUsage,
                  BenchReportSchemaVersion);
   };
@@ -79,6 +82,8 @@ bool HarnessOptions::parse(int Argc, char **Argv,
       }
     } else if (A.rfind("--filter=", 0) == 0) {
       Filter = A.substr(9);
+    } else if (A == "--host") {
+      Host = true;
     } else if (A == "--help" || A == "-h") {
       Usage(Argv[0]);
       return false;
@@ -201,6 +206,22 @@ json::Value ccjs::configToJson(const EngineConfig &Cfg) {
   J.set("hot_loop_threshold", Cfg.HotLoopThreshold);
   J.set("class_cache_entries", Cfg.Hw.ClassCacheEntries);
   J.set("class_cache_ways", Cfg.Hw.ClassCacheWays);
+  return J;
+}
+
+json::Value ccjs::hostToJson(const HostMeasurement &H) {
+  json::Value J = json::Value::object();
+  J.set("wall_seconds", H.WallSeconds);
+  J.set("engine_seconds", H.EngineSeconds);
+  J.set("sim_instructions", H.SimInstructions);
+  // The headline throughput figure: unmeasurable (null) when the sweep
+  // finished too fast for the clock, never a division by zero.
+  J.set("sim_instructions_per_host_second",
+        H.WallSeconds > 0
+            ? json::Value(static_cast<double>(H.SimInstructions) /
+                          H.WallSeconds)
+            : json::Value());
+  J.set("jobs", H.Jobs);
   return J;
 }
 
@@ -340,6 +361,11 @@ void BenchReport::setMetrics(json::Value V) {
   HasMetrics = true;
 }
 
+void BenchReport::setHost(json::Value V) {
+  Host = std::move(V);
+  HasHost = true;
+}
+
 json::Value BenchReport::toJson() const {
   json::Value J = json::Value::object();
   J.set("schema_version", BenchReportSchemaVersion);
@@ -351,6 +377,10 @@ json::Value BenchReport::toJson() const {
   // metrics-off runs stay byte-identical to pre-metrics reports.
   if (HasMetrics)
     J.set("metrics", Metrics);
+  // Same rule for host throughput: --host runs carry it, default runs are
+  // byte-identical to pre-host reports (the CI cmp gates rely on this).
+  if (HasHost)
+    J.set("host", Host);
   return J;
 }
 

@@ -50,6 +50,11 @@ struct HarnessOptions {
   /// When non-empty, restrict the sweep to one suite (exact suite name) or
   /// one workload (exact workload name).
   std::string Filter;
+  /// --host: attach a host-throughput section (wall-clock, simulated
+  /// instructions per host second) to the JSON report. Off by default —
+  /// host timings are machine-dependent and would break the byte-identity
+  /// gates that cmp reports across runs.
+  bool Host = false;
 
   /// Parses argv. Unknown flags are offered to \p Extra first (return true
   /// to consume); anything left over prints a usage message listing
@@ -101,6 +106,27 @@ std::string configFingerprint(const EngineConfig &Cfg);
 /// Full config serialization (fingerprint plus individual fields).
 json::Value configToJson(const EngineConfig &Cfg);
 
+/// Host-throughput measurement of one sweep: how fast the simulator
+/// itself ran, as opposed to what it simulated. Everything here is a
+/// property of the host machine and build, so it lives in its own opt-in
+/// report section ("host") that diffing ignores unless explicitly asked
+/// (tools/bench_diff --host-time).
+struct HostMeasurement {
+  /// Wall-clock seconds for the whole sweep (includes harness overhead).
+  double WallSeconds = 0;
+  /// Sum of the per-run BenchRun::HostSeconds (engine time only).
+  double EngineSeconds = 0;
+  /// Total simulated instructions executed across all measured runs.
+  uint64_t SimInstructions = 0;
+  /// Thread count the sweep ran with (throughput is only comparable
+  /// between runs at the same --jobs).
+  unsigned Jobs = 1;
+};
+
+/// Serializes a HostMeasurement, deriving the headline throughput figure
+/// (simulated instructions per host wall-clock second).
+json::Value hostToJson(const HostMeasurement &H);
+
 /// Serializes one run's RunStats: instruction breakdown by category,
 /// cycles, energy breakdown, memory-hierarchy and Class-Cache hit rates,
 /// hidden classes, heap and engine counters.
@@ -138,6 +164,11 @@ public:
   /// offered them.
   void setMetrics(json::Value V);
 
+  /// Attaches a host-throughput section (hostToJson). Opt-in exactly like
+  /// setMetrics: absent unless the binary ran with --host, so default
+  /// reports stay byte-identical across machines and runs.
+  void setHost(json::Value V);
+
   json::Value toJson() const;
 
   /// Writes the pretty-printed report to \p Path ("-" = stdout). Returns
@@ -151,6 +182,8 @@ private:
   json::Value Summary = json::Value::object();
   json::Value Metrics;
   bool HasMetrics = false;
+  json::Value Host;
+  bool HasHost = false;
 };
 
 /// Validates that \p Report has the schema-v1 required structure

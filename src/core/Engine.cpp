@@ -81,6 +81,8 @@ bool Engine::Options::validate(std::string *Err) const {
     return Fail("regArrayObjectClassId register count must be in [1, 8]");
   if (Cfg.MaxDeoptsPerFunction == 0)
     return Fail("MaxDeoptsPerFunction must be at least 1");
+  if (Cfg.Hw.IssueWidth < 1)
+    return Fail("issue width must be at least 1");
   if (Cfg.Hw.ClassCacheWays == 0 || Cfg.Hw.ClassCacheEntries == 0)
     return Fail("Class Cache geometry must be non-zero");
   if (Cfg.Hw.ClassCacheEntries % Cfg.Hw.ClassCacheWays != 0)

@@ -119,6 +119,13 @@ public:
       Cfg.Hw = Hw;
       return *this;
     }
+    /// Selects the main-loop dispatch strategy (host-side only; simulated
+    /// results are identical either way). Threading is silently
+    /// unavailable in builds without the GNU computed-goto extension.
+    Options &withThreadedDispatch(bool On = true) {
+      Cfg.ThreadedDispatch = On;
+      return *this;
+    }
 
     /// Checks cross-field consistency; fills \p Err with the first problem.
     bool validate(std::string *Err = nullptr) const;

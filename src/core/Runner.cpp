@@ -2,14 +2,22 @@
 
 #include "core/Runner.h"
 
+#include <chrono>
+
 using namespace ccjs;
 
 BenchRun ccjs::runSteadyState(const EngineConfig &Config,
                               std::string_view Source, int Iterations) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start = Clock::now();
+  auto Elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  };
   BenchRun R;
   Engine E(Config);
   if (!E.load(Source) || !E.runTopLevel()) {
     R.Error = E.lastError();
+    R.HostSeconds = Elapsed();
     return R;
   }
   for (int I = 0; I < Iterations; ++I) {
@@ -18,12 +26,14 @@ BenchRun ccjs::runSteadyState(const EngineConfig &Config,
     E.callGlobal("run");
     if (E.halted()) {
       R.Error = E.lastError();
+      R.HostSeconds = Elapsed();
       return R;
     }
   }
   R.Ok = true;
   R.Steady = E.stats();
   R.Output = E.output();
+  R.HostSeconds = Elapsed();
   return R;
 }
 

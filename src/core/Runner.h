@@ -27,6 +27,12 @@ struct BenchRun {
   RunStats Steady;
   /// print() output of all iterations (checksum verification).
   std::string Output;
+  /// Host wall-clock seconds spent in this run (engine construction
+  /// through the last iteration). A property of the simulator binary and
+  /// machine, not of the simulated program: it never enters RunStats, the
+  /// tables, or the default JSON report — only the opt-in "host" section
+  /// (see BenchReport::setHost).
+  double HostSeconds = 0;
 };
 
 inline constexpr int DefaultIterations = 10;

@@ -2,12 +2,18 @@
 ///
 /// \file
 /// AST node definitions for MiniJS. Nodes form a small class hierarchy with
-/// an explicit kind tag; ownership is expressed with std::unique_ptr.
+/// an explicit kind tag. Storage is bump-allocated from the owning
+/// Program's Arena; edge ownership is still expressed with unique_ptr, but
+/// with a no-op deleter — the Arena destroys every node (in reverse
+/// allocation order) when the Program dies, so tree teardown is one linear
+/// sweep instead of a pointer-chasing recursive delete.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCJS_FRONTEND_AST_H
 #define CCJS_FRONTEND_AST_H
+
+#include "support/Arena.h"
 
 #include <cstdint>
 #include <memory>
@@ -65,6 +71,15 @@ enum class LogicalOp : uint8_t { And, Or };
 
 enum class UnaryOp : uint8_t { Neg, Plus, Not, BitNot, Typeof };
 
+/// Deleter for arena-owned AST nodes: intentionally does nothing. The
+/// Program's Arena registered the node's destructor at allocation time
+/// and runs it when the Program is destroyed.
+struct AstArenaDeleter {
+  template <typename T> void operator()(T *) const noexcept {}
+};
+
+template <typename T> using AstPtr = std::unique_ptr<T, AstArenaDeleter>;
+
 struct Expr {
   ExprKind Kind;
   uint32_t Line = 0;
@@ -73,7 +88,7 @@ struct Expr {
   virtual ~Expr() = default;
 };
 
-using ExprPtr = std::unique_ptr<Expr>;
+using ExprPtr = AstPtr<Expr>;
 
 struct NumberLitExpr : Expr {
   double Value;
@@ -227,7 +242,7 @@ struct Stmt {
   virtual ~Stmt() = default;
 };
 
-using StmtPtr = std::unique_ptr<Stmt>;
+using StmtPtr = AstPtr<Stmt>;
 
 struct BlockStmt : Stmt {
   std::vector<StmtPtr> Body;
@@ -295,12 +310,15 @@ struct ContinueStmt : Stmt {
 struct FunctionDeclStmt : Stmt {
   std::string Name;
   std::vector<std::string> Params;
-  std::unique_ptr<BlockStmt> Body;
+  AstPtr<BlockStmt> Body;
   FunctionDeclStmt() : Stmt(StmtKind::FunctionDecl) {}
 };
 
 /// A parsed program: top-level statements, including function declarations.
+/// Owns the Arena all nodes live in; move-only. Declared before Body so it
+/// is destroyed after — the no-op deleters in Body never touch the nodes.
 struct Program {
+  Arena Nodes;
   std::vector<StmtPtr> Body;
 };
 

@@ -42,6 +42,7 @@ void Parser::fail(const std::string &Msg) {
 
 ParseResult Parser::run() {
   ParseResult Result;
+  Nodes = &Result.Prog.Nodes;
   while (!at(TokenKind::Eof) && !HasError) {
     StmtPtr S = parseStatement();
     if (HasError)
@@ -91,24 +92,24 @@ StmtPtr Parser::parseStatement() {
   case TokenKind::KwBreak:
     bump();
     eat(TokenKind::Semicolon);
-    S = std::make_unique<BreakStmt>();
+    S = make<BreakStmt>();
     break;
   case TokenKind::KwContinue:
     bump();
     eat(TokenKind::Semicolon);
-    S = std::make_unique<ContinueStmt>();
+    S = make<ContinueStmt>();
     break;
   case TokenKind::KwFunction:
     S = parseFunctionDecl();
     break;
   case TokenKind::Semicolon:
     bump();
-    S = std::make_unique<BlockStmt>(); // Empty statement.
+    S = make<BlockStmt>(); // Empty statement.
     break;
   default: {
     ExprPtr E = parseExpression();
     eat(TokenKind::Semicolon);
-    S = std::make_unique<ExprStmt>(std::move(E));
+    S = make<ExprStmt>(std::move(E));
     break;
   }
   }
@@ -119,7 +120,7 @@ StmtPtr Parser::parseStatement() {
 
 StmtPtr Parser::parseBlock() {
   expect(TokenKind::LBrace, "to open block");
-  auto Block = std::make_unique<BlockStmt>();
+  auto Block = make<BlockStmt>();
   while (!at(TokenKind::RBrace) && !at(TokenKind::Eof) && !HasError)
     Block->Body.push_back(parseStatement());
   expect(TokenKind::RBrace, "to close block");
@@ -128,7 +129,7 @@ StmtPtr Parser::parseBlock() {
 
 StmtPtr Parser::parseVarDecl() {
   expect(TokenKind::KwVar, "in variable declaration");
-  auto Decl = std::make_unique<VarDeclStmt>();
+  auto Decl = make<VarDeclStmt>();
   do {
     if (!at(TokenKind::Identifier)) {
       fail("expected identifier in var declaration");
@@ -154,7 +155,7 @@ StmtPtr Parser::parseIf() {
   StmtPtr Else;
   if (eat(TokenKind::KwElse))
     Else = parseStatement();
-  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+  return make<IfStmt>(std::move(Cond), std::move(Then),
                                   std::move(Else));
 }
 
@@ -164,7 +165,7 @@ StmtPtr Parser::parseWhile() {
   ExprPtr Cond = parseExpression();
   expect(TokenKind::RParen, "after while condition");
   StmtPtr Body = parseStatement();
-  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body));
+  return make<WhileStmt>(std::move(Cond), std::move(Body));
 }
 
 StmtPtr Parser::parseDoWhile() {
@@ -175,17 +176,17 @@ StmtPtr Parser::parseDoWhile() {
   ExprPtr Cond = parseExpression();
   expect(TokenKind::RParen, "after do-while condition");
   eat(TokenKind::Semicolon);
-  return std::make_unique<DoWhileStmt>(std::move(Body), std::move(Cond));
+  return make<DoWhileStmt>(std::move(Body), std::move(Cond));
 }
 
 StmtPtr Parser::parseFor() {
   expect(TokenKind::KwFor, "in for statement");
   expect(TokenKind::LParen, "after 'for'");
-  auto For = std::make_unique<ForStmt>();
+  auto For = make<ForStmt>();
   if (at(TokenKind::KwVar)) {
     For->Init = parseVarDecl(); // Consumes the ';'.
   } else if (!at(TokenKind::Semicolon)) {
-    For->Init = std::make_unique<ExprStmt>(parseExpression());
+    For->Init = make<ExprStmt>(parseExpression());
     expect(TokenKind::Semicolon, "after for initializer");
   } else {
     bump();
@@ -208,14 +209,14 @@ StmtPtr Parser::parseReturn() {
   if (!at(TokenKind::Semicolon) && !at(TokenKind::RBrace))
     Value = parseExpression();
   eat(TokenKind::Semicolon);
-  return std::make_unique<ReturnStmt>(std::move(Value));
+  return make<ReturnStmt>(std::move(Value));
 }
 
 StmtPtr Parser::parseFunctionDecl() {
   expect(TokenKind::KwFunction, "in function declaration");
   if (FunctionDepth > 0)
     fail("MiniJS supports function declarations only at the top level");
-  auto Fn = std::make_unique<FunctionDeclStmt>();
+  auto Fn = make<FunctionDeclStmt>();
   if (!at(TokenKind::Identifier)) {
     fail("expected function name");
     return Fn;
@@ -257,7 +258,7 @@ static bool isAssignTarget(const Expr &E) {
 
 ExprPtr Parser::parseAssignment() {
   if (HasError)
-    return std::make_unique<UndefinedLitExpr>();
+    return make<UndefinedLitExpr>();
   uint32_t Line = Cur.Line;
   ExprPtr Lhs = parseConditional();
 
@@ -284,7 +285,7 @@ ExprPtr Parser::parseAssignment() {
       fail("invalid assignment target");
     bump();
     ExprPtr Rhs = parseAssignment();
-    auto A = std::make_unique<AssignExpr>(std::move(Lhs), std::move(Rhs));
+    auto A = make<AssignExpr>(std::move(Lhs), std::move(Rhs));
     A->Line = Line;
     return A;
   }
@@ -295,7 +296,7 @@ ExprPtr Parser::parseAssignment() {
       fail("invalid assignment target");
     bump();
     ExprPtr Rhs = parseAssignment();
-    auto A = std::make_unique<AssignExpr>(std::move(Lhs), std::move(Rhs));
+    auto A = make<AssignExpr>(std::move(Lhs), std::move(Rhs));
     A->IsCompound = true;
     A->Op = C.Op;
     A->Line = Line;
@@ -311,7 +312,7 @@ ExprPtr Parser::parseConditional() {
   ExprPtr Then = parseAssignment();
   expect(TokenKind::Colon, "in conditional expression");
   ExprPtr Else = parseAssignment();
-  return std::make_unique<ConditionalExpr>(std::move(Cond), std::move(Then),
+  return make<ConditionalExpr>(std::move(Cond), std::move(Then),
                                            std::move(Else));
 }
 
@@ -366,12 +367,12 @@ ExprPtr Parser::parseBinary(int MinPrec) {
     bump();
     ExprPtr Rhs = parseBinary(Info->Prec + 1);
     if (Info->IsLogical) {
-      auto E = std::make_unique<LogicalExpr>(Info->LOp, std::move(Lhs),
+      auto E = make<LogicalExpr>(Info->LOp, std::move(Lhs),
                                              std::move(Rhs));
       E->Line = Line;
       Lhs = std::move(E);
     } else {
-      auto E = std::make_unique<BinaryExpr>(Info->Op, std::move(Lhs),
+      auto E = make<BinaryExpr>(Info->Op, std::move(Lhs),
                                             std::move(Rhs));
       E->Line = Line;
       Lhs = std::move(E);
@@ -381,7 +382,7 @@ ExprPtr Parser::parseBinary(int MinPrec) {
 
 ExprPtr Parser::parseUnary() {
   if (HasError)
-    return std::make_unique<UndefinedLitExpr>();
+    return make<UndefinedLitExpr>();
   uint32_t Line = Cur.Line;
   UnaryOp Op;
   if (eat(TokenKind::Minus))
@@ -400,7 +401,7 @@ ExprPtr Parser::parseUnary() {
     ExprPtr Target = parseUnary();
     if (!Target || !isAssignTarget(*Target))
       fail("invalid increment/decrement target");
-    auto E = std::make_unique<UpdateExpr>(std::move(Target), IsInc,
+    auto E = make<UpdateExpr>(std::move(Target), IsInc,
                                           /*IsPrefix=*/true);
     E->Line = Line;
     return E;
@@ -408,7 +409,7 @@ ExprPtr Parser::parseUnary() {
     return parsePostfix();
   }
   ExprPtr Operand = parseUnary();
-  auto E = std::make_unique<UnaryExpr>(Op, std::move(Operand));
+  auto E = make<UnaryExpr>(Op, std::move(Operand));
   E->Line = Line;
   return E;
 }
@@ -421,7 +422,7 @@ ExprPtr Parser::parsePostfix() {
     bump();
     if (!E || !isAssignTarget(*E))
       fail("invalid increment/decrement target");
-    auto U = std::make_unique<UpdateExpr>(std::move(E), IsInc,
+    auto U = make<UpdateExpr>(std::move(E), IsInc,
                                           /*IsPrefix=*/false);
     U->Line = Line;
     return U;
@@ -439,14 +440,14 @@ ExprPtr Parser::parseCallOrMember(ExprPtr Base) {
         fail("expected property name after '.'");
         return Base;
       }
-      auto M = std::make_unique<MemberExpr>(std::move(Base), Cur.Text);
+      auto M = make<MemberExpr>(std::move(Base), Cur.Text);
       M->Line = Line;
       bump();
       Base = std::move(M);
     } else if (eat(TokenKind::LBracket)) {
       ExprPtr Idx = parseExpression();
       expect(TokenKind::RBracket, "after index expression");
-      auto I = std::make_unique<IndexExpr>(std::move(Base), std::move(Idx));
+      auto I = make<IndexExpr>(std::move(Base), std::move(Idx));
       I->Line = Line;
       Base = std::move(I);
     } else if (at(TokenKind::LParen)) {
@@ -458,7 +459,7 @@ ExprPtr Parser::parseCallOrMember(ExprPtr Base) {
         } while (eat(TokenKind::Comma) && !HasError);
       }
       expect(TokenKind::RParen, "after call arguments");
-      auto C = std::make_unique<CallExpr>(std::move(Base), std::move(Args));
+      auto C = make<CallExpr>(std::move(Base), std::move(Args));
       C->Line = Line;
       Base = std::move(C);
     } else {
@@ -469,40 +470,40 @@ ExprPtr Parser::parseCallOrMember(ExprPtr Base) {
 
 ExprPtr Parser::parsePrimary() {
   if (HasError)
-    return std::make_unique<UndefinedLitExpr>();
+    return make<UndefinedLitExpr>();
   uint32_t Line = Cur.Line;
   ExprPtr E;
   switch (Cur.Kind) {
   case TokenKind::Number:
-    E = std::make_unique<NumberLitExpr>(Cur.NumValue);
+    E = make<NumberLitExpr>(Cur.NumValue);
     bump();
     break;
   case TokenKind::String:
-    E = std::make_unique<StringLitExpr>(Cur.Text);
+    E = make<StringLitExpr>(Cur.Text);
     bump();
     break;
   case TokenKind::KwTrue:
-    E = std::make_unique<BoolLitExpr>(true);
+    E = make<BoolLitExpr>(true);
     bump();
     break;
   case TokenKind::KwFalse:
-    E = std::make_unique<BoolLitExpr>(false);
+    E = make<BoolLitExpr>(false);
     bump();
     break;
   case TokenKind::KwNull:
-    E = std::make_unique<NullLitExpr>();
+    E = make<NullLitExpr>();
     bump();
     break;
   case TokenKind::KwUndefined:
-    E = std::make_unique<UndefinedLitExpr>();
+    E = make<UndefinedLitExpr>();
     bump();
     break;
   case TokenKind::KwThis:
-    E = std::make_unique<ThisExpr>();
+    E = make<ThisExpr>();
     bump();
     break;
   case TokenKind::Identifier:
-    E = std::make_unique<IdentExpr>(Cur.Text);
+    E = make<IdentExpr>(Cur.Text);
     bump();
     break;
   case TokenKind::LParen: {
@@ -515,9 +516,9 @@ ExprPtr Parser::parsePrimary() {
     bump();
     if (!at(TokenKind::Identifier)) {
       fail("expected constructor name after 'new'");
-      return std::make_unique<UndefinedLitExpr>();
+      return make<UndefinedLitExpr>();
     }
-    ExprPtr Callee = std::make_unique<IdentExpr>(Cur.Text);
+    ExprPtr Callee = make<IdentExpr>(Cur.Text);
     bump();
     std::vector<ExprPtr> Args;
     if (eat(TokenKind::LParen)) {
@@ -528,14 +529,14 @@ ExprPtr Parser::parsePrimary() {
       }
       expect(TokenKind::RParen, "after constructor arguments");
     }
-    auto N = std::make_unique<NewExpr>(std::move(Callee), std::move(Args));
+    auto N = make<NewExpr>(std::move(Callee), std::move(Args));
     // A 'new' expression may be followed by member/index/call accesses.
     N->Line = Line;
     return parseCallOrMember(std::move(N));
   }
   case TokenKind::LBrace: {
     bump();
-    auto Obj = std::make_unique<ObjectLitExpr>();
+    auto Obj = make<ObjectLitExpr>();
     if (!at(TokenKind::RBrace)) {
       do {
         if (at(TokenKind::RBrace))
@@ -561,7 +562,7 @@ ExprPtr Parser::parsePrimary() {
   }
   case TokenKind::LBracket: {
     bump();
-    auto Arr = std::make_unique<ArrayLitExpr>();
+    auto Arr = make<ArrayLitExpr>();
     if (!at(TokenKind::RBracket)) {
       do {
         if (at(TokenKind::RBracket))
@@ -575,7 +576,7 @@ ExprPtr Parser::parsePrimary() {
   }
   default:
     fail(std::string("unexpected token ") + tokenKindName(Cur.Kind));
-    return std::make_unique<UndefinedLitExpr>();
+    return make<UndefinedLitExpr>();
   }
   if (E)
     E->Line = Line;

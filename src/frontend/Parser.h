@@ -35,6 +35,13 @@ public:
   ParseResult run();
 
 private:
+  /// Bump-allocates an AST node in the result Program's arena. The arena
+  /// (set by run()) owns the node; the returned pointer's deleter is a
+  /// no-op.
+  template <typename T, typename... Args> AstPtr<T> make(Args &&...A) {
+    return AstPtr<T>(Nodes->make<T>(std::forward<Args>(A)...));
+  }
+
   // Token plumbing.
   void bump();
   bool at(TokenKind Kind) const { return Cur.Kind == Kind; }
@@ -65,6 +72,7 @@ private:
 
   Lexer Lex;
   Token Cur;
+  Arena *Nodes = nullptr;
   bool HasError = false;
   std::string ErrorMsg;
   uint32_t ErrorLine = 0;

@@ -30,21 +30,29 @@ public:
 
   /// Predicts and updates for a branch at \p Site with outcome \p Taken.
   /// Returns true when the prediction was correct.
+  ///
+  /// The update is written branch-free on purpose: the natural if-chain
+  /// branches on the *simulated* outcome, which is data-dependent and
+  /// poorly predictable by the *host* CPU, so the model itself pays a
+  /// host mispredict per hard-to-predict simulated branch. The clamped
+  /// arithmetic below computes the exact same saturating transition
+  /// (+1 toward 3 when taken, -1 toward 0 when not; no-op when already
+  /// saturated in the outcome's direction) but compiles to cmov/min/max,
+  /// leaving every counter value, Branches and Mispredicts tally
+  /// bit-identical to the branching form.
   bool predict(uint32_t Site, bool Taken) {
     ++Branches;
     // Fibonacci hash spreads site ids across the table.
     unsigned Index = (Site * 2654435761u >> 16) & TableMask;
-    uint8_t &C = Counters[Index];
+    uint8_t C = Counters[Index];
     bool Predicted = C >= 2;
-    if (Taken && C < 3)
-      ++C;
-    else if (!Taken && C > 0)
-      --C;
-    if (Predicted != Taken) {
-      ++Mispredicts;
-      return false;
-    }
-    return true;
+    int Next = int(C) + (Taken ? 1 : -1);
+    Next = Next < 0 ? 0 : Next;
+    Next = Next > 3 ? 3 : Next;
+    Counters[Index] = static_cast<uint8_t>(Next);
+    bool Correct = Predicted == Taken;
+    Mispredicts += !Correct;
+    return Correct;
   }
 
   uint64_t branches() const { return Branches; }

@@ -11,6 +11,7 @@
 
 #include "support/Assert.h"
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -22,6 +23,7 @@ public:
   /// (or page) size. All must be powers of two except Ways.
   CacheSim(unsigned NumSets, unsigned Ways, unsigned BlockBytes)
       : NumSets(NumSets), Ways(Ways), BlockBytes(BlockBytes),
+        BlockShift(static_cast<unsigned>(std::countr_zero(BlockBytes))),
         Lines(size_t(NumSets) * Ways, InvalidTag) {
     // NumSets == 0 would pass the power-of-two check (0 & -1 == 0) and then
     // `Block & (NumSets - 1)` masks with all-ones, indexing Lines out of
@@ -51,12 +53,31 @@ public:
   /// updates LRU order.
   bool access(uint64_t Addr) {
     ++Accesses;
-    uint64_t Block = Addr / BlockBytes;
+    // BlockBytes is asserted to be a power of two, so the shift divides
+    // exactly — and unlike `Addr / BlockBytes` with a runtime divisor it
+    // costs no hardware divide on the hottest path of the simulation.
+    uint64_t Block = Addr >> BlockShift;
+    // One-entry memo: whatever block the previous access touched sits at
+    // the MRU position of its set afterwards (hit or miss), so a repeat
+    // of that block is a guaranteed way-0 hit and the move-to-front loop
+    // is a no-op. Returning early is observably identical to the full
+    // probe — same counters, same replacement state — and for the DTLB
+    // (page-granularity blocks) it also catches runs of accesses to
+    // *different* cache lines on the same page, which the caller-side
+    // same-line memo cannot. Invalidated only by flush().
+    if (Block == LastBlock)
+      return true;
+    LastBlock = Block;
     unsigned Set = static_cast<unsigned>(Block & (NumSets - 1));
     uint64_t Tag = Block; // Full block number as the tag.
     uint64_t *Base = &Lines[size_t(Set) * Ways];
+    // MRU short-circuit: a hit in way 0 makes the move-to-front loop a
+    // no-op, so returning early is observably identical to the full
+    // search — same counters, same replacement state.
+    if (Base[0] == Tag)
+      return true;
     // Way 0 is MRU; search and move-to-front.
-    for (unsigned W = 0; W < Ways; ++W) {
+    for (unsigned W = 1; W < Ways; ++W) {
       if (Base[W] == Tag) {
         for (unsigned I = W; I > 0; --I)
           Base[I] = Base[I - 1];
@@ -71,6 +92,11 @@ public:
     return false;
   }
 
+  /// Counts a hit the caller has proven without consulting the tag
+  /// arrays (an immediately repeated access to the MRU block). Identical
+  /// to access() on a way-0 hit: one more access, no replacement change.
+  void countRepeatHit() { ++Accesses; }
+
   uint64_t accesses() const { return Accesses; }
   uint64_t misses() const { return Misses; }
   double hitRate() const {
@@ -79,13 +105,18 @@ public:
   }
 
   void resetStats() { Accesses = Misses = 0; }
-  void flush() { std::fill(Lines.begin(), Lines.end(), InvalidTag); }
+  void flush() {
+    std::fill(Lines.begin(), Lines.end(), InvalidTag);
+    LastBlock = InvalidTag;
+  }
 
 private:
   static constexpr uint64_t InvalidTag = ~uint64_t(0);
 
   unsigned NumSets, Ways, BlockBytes;
+  unsigned BlockShift;
   std::vector<uint64_t> Lines;
+  uint64_t LastBlock = InvalidTag;
   uint64_t Accesses = 0;
   uint64_t Misses = 0;
 };

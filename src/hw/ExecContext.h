@@ -22,7 +22,10 @@
 #include "hw/HwConfig.h"
 #include "hw/MemorySystem.h"
 #include "profile/Categories.h"
+#include "support/Assert.h"
 #include "support/Trace.h"
+
+#include <bit>
 
 namespace ccjs {
 
@@ -44,7 +47,22 @@ struct HwBucketCounters {
 class ExecContext {
 public:
   explicit ExecContext(const HwConfig &Cfg, ClassCache *CC = nullptr)
-      : Cfg(Cfg), Mem(Cfg), CC(CC) {}
+      : Cfg(Cfg), Mem(Cfg), CC(CC), InvIssueWidth(1.0 / Cfg.IssueWidth),
+        LineShift(static_cast<unsigned>(std::countr_zero(Cfg.LineBytes))) {
+    // A zero width would silently yield infinite cycles; the reciprocal
+    // is exact for the power-of-two widths in use, so multiplying in
+    // cyclesFor is bit-identical to the old per-call division.
+    CCJS_ASSERT(Cfg.IssueWidth >= 1, "issue width must be at least 1");
+    // The category->bucket map never changes; resolving it to pointers
+    // once removes a compare from every event primitive. Buckets has
+    // stable addresses for the ExecContext's lifetime (resetStats
+    // reassigns contents, not storage).
+    for (unsigned I = 0; I < NumInstrCategories; ++I)
+      BucketOf[I] = &Buckets[static_cast<InstrCategory>(I) ==
+                                     InstrCategory::RestOfCode
+                                 ? 1
+                                 : 0];
+  }
 
   //===--------------------------------------------------------------------===//
   // Event primitives
@@ -173,10 +191,24 @@ public:
 
 private:
   HwBucketCounters &bucket(InstrCategory C) {
-    return Buckets[C == InstrCategory::RestOfCode ? 1 : 0];
+    return *BucketOf[static_cast<unsigned>(C)];
   }
 
   void memAccess(HwBucketCounters &B, uint64_t Addr) {
+    // One-entry memo: an access to the same DL1 line as the previous
+    // access is a guaranteed DTLB + DL1 MRU hit (every data access of
+    // both tiers and the Class Cache refills funnel through here, and
+    // nothing flushes these caches), so no miss counter can move and
+    // ExtraLatency is zero. Only the access tallies and the ROI access
+    // count advance — bit-identical to the full lookup.
+    uint64_t Line = Addr >> LineShift;
+    if (Line == LastLine) {
+      Mem.repeatAccess();
+      if (Addr >= RoiLo && Addr < RoiHi)
+        ++RoiAccesses;
+      return;
+    }
+    LastLine = Line;
     MemAccessResult R = Mem.access(Addr);
     if (Addr >= RoiLo && Addr < RoiHi) {
       ++RoiAccesses;
@@ -194,7 +226,7 @@ private:
   }
 
   double cyclesFor(uint64_t InstrCount, const HwBucketCounters &B) const {
-    return static_cast<double>(InstrCount) / Cfg.IssueWidth + B.StallCycles;
+    return static_cast<double>(InstrCount) * InvIssueWidth + B.StallCycles;
   }
 
   const HwConfig &Cfg;
@@ -204,6 +236,11 @@ private:
   TraceRecorder *Trace = nullptr;
   InstrCounters Instrs;
   HwBucketCounters Buckets[2]; // [0] optimized, [1] rest.
+  HwBucketCounters *BucketOf[NumInstrCategories];
+  double InvIssueWidth;
+  unsigned LineShift;
+  // Sentinel: no address shifted right by LineShift produces all-ones.
+  uint64_t LastLine = ~uint64_t(0);
   uint64_t RoiLo = 0, RoiHi = 0;
   uint64_t RoiAccesses = 0, RoiMisses = 0;
 };

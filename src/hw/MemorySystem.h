@@ -32,7 +32,11 @@ public:
                                    Cfg.LineBytes)),
         L2(CacheSim::fromCapacity(Cfg.L2SizeKB * 1024, Cfg.L2Ways,
                                   Cfg.LineBytes)),
-        Dtlb(Cfg.DtlbEntries / Cfg.DtlbWays, Cfg.DtlbWays, Cfg.PageBytes) {}
+        Dtlb(Cfg.DtlbEntries / Cfg.DtlbWays, Cfg.DtlbWays, Cfg.PageBytes) {
+    // repeatAccess() relies on "same cache line => same page".
+    CCJS_ASSERT(Cfg.LineBytes <= Cfg.PageBytes,
+                "cache lines must not span pages");
+  }
 
   MemAccessResult access(uint64_t Addr) {
     MemAccessResult R;
@@ -45,6 +49,20 @@ public:
       R.ExtraLatency += (R.L2Hit ? Cfg.L2Latency : Cfg.MemLatency) -
                         Cfg.L1LoadLatency;
     }
+    return R;
+  }
+
+  /// Accounts an access the caller has proven to target the same DL1
+  /// line as the immediately preceding access. That line sat at MRU in
+  /// the DL1 since then, and (lines never span pages) its page sat at
+  /// MRU in the DTLB, so this is exactly what access() would compute —
+  /// a DTLB hit plus a DL1 hit with zero extra latency and no
+  /// replacement-state change — minus the tag searches.
+  MemAccessResult repeatAccess() {
+    Dtlb.countRepeatHit();
+    Dl1.countRepeatHit();
+    MemAccessResult R;
+    R.L1Hit = true;
     return R;
   }
 

@@ -44,6 +44,14 @@ public:
             uint32_t Pc);
 
 private:
+  // The dispatch loop exists in two host-side variants expanded from
+  // interp/InterpreterLoop.inc; they run identical handler code and emit
+  // identical simulated events (see support/Dispatch.h).
+  Value runSwitch(size_t PC);
+#if CCJS_THREADED_DISPATCH
+  Value runThreaded(size_t PC);
+#endif
+
   Value pop() {
     assert(!Stack.empty() && "operand stack underflow");
     Value V = Stack.back();
@@ -579,165 +587,26 @@ Value Frame::run(std::vector<Value> &&LocalsIn, std::vector<Value> &&StackIn,
   Locals.resize(F.NumLocals, H.undefined());
   Stack = std::move(StackIn);
   Stack.reserve(32);
-  size_t PC = Pc;
-
-  for (;;) {
-    if (VM.Halted)
-      return H.undefined();
-    assert(PC < F.Code.size() && "bytecode pc out of range");
-    const Instr &In = F.Code[PC];
-    size_t Cur = PC;
-    ++PC;
-
-    switch (In.Op) {
-    case Opcode::LdaConst:
-      VM.Ctx.alu(RC, 1);
-      push(FI.ConstPool[In.A]);
-      break;
-    case Opcode::LdaSmi:
-      VM.Ctx.alu(RC, 1);
-      push(Value::makeSmi(In.A));
-      break;
-    case Opcode::LdaUndefined:
-      VM.Ctx.alu(RC, 1);
-      push(H.undefined());
-      break;
-    case Opcode::LdaNull:
-      VM.Ctx.alu(RC, 1);
-      push(H.null());
-      break;
-    case Opcode::LdaTrue:
-      VM.Ctx.alu(RC, 1);
-      push(H.trueValue());
-      break;
-    case Opcode::LdaFalse:
-      VM.Ctx.alu(RC, 1);
-      push(H.falseValue());
-      break;
-    case Opcode::LdaThis:
-      VM.Ctx.alu(RC, 1);
-      push(ThisV);
-      break;
-    case Opcode::LdLocal:
-      VM.Ctx.alu(RC, 1);
-      push(Locals[In.A]);
-      break;
-    case Opcode::StLocal:
-      VM.Ctx.alu(RC, 1);
-      Locals[In.A] = pop();
-      break;
-    case Opcode::LdGlobal:
-      VM.Ctx.load(RC, VM.globalAddr(static_cast<uint32_t>(In.A)));
-      push(VM.readGlobal(static_cast<uint32_t>(In.A)));
-      break;
-    case Opcode::StGlobal:
-      VM.Ctx.store(RC, VM.globalAddr(static_cast<uint32_t>(In.A)));
-      VM.writeGlobal(static_cast<uint32_t>(In.A), pop());
-      break;
-    case Opcode::Pop:
-      VM.Ctx.alu(RC, 1);
-      pop();
-      break;
-    case Opcode::Dup:
-      VM.Ctx.alu(RC, 1);
-      push(peek());
-      break;
-    case Opcode::BinOp:
-      doBinOp(In, Cur);
-      break;
-    case Opcode::UnaOp:
-      VM.Ctx.alu(RC, 3);
-      push(genericUnary(H, static_cast<UnaryOp>(In.A), pop()));
-      break;
-    case Opcode::Jump:
-      VM.Ctx.alu(RC, 1);
-      PC = static_cast<size_t>(In.A);
-      break;
-    case Opcode::JumpLoop:
-      ++FI.BackEdgeTrips;
-      VM.Ctx.branch(RC, branchSite(FuncIndex, Cur), true);
-      PC = static_cast<size_t>(In.A);
-      break;
-    case Opcode::JumpIfFalse: {
-      bool Cond = toBoolean(H, pop());
-      VM.Ctx.alu(RC, 2);
-      VM.Ctx.branch(RC, branchSite(FuncIndex, Cur), !Cond);
-      if (!Cond)
-        PC = static_cast<size_t>(In.A);
-      break;
-    }
-    case Opcode::JumpIfTrue: {
-      bool Cond = toBoolean(H, pop());
-      VM.Ctx.alu(RC, 2);
-      VM.Ctx.branch(RC, branchSite(FuncIndex, Cur), Cond);
-      if (Cond)
-        PC = static_cast<size_t>(In.A);
-      break;
-    }
-    case Opcode::GetProp:
-      doGetProp(In);
-      break;
-    case Opcode::SetProp:
-      doSetProp(In);
-      break;
-    case Opcode::GetElem:
-      doGetElem(In);
-      break;
-    case Opcode::SetElem:
-      doSetElem(In);
-      break;
-    case Opcode::GetLength:
-      doGetLength(In);
-      break;
-    case Opcode::CreateObject: {
-      VM.Ctx.alu(RC, 15);
-      Value Obj =
-          H.allocObject(VM.Shapes.plainRoot(),
-                        static_cast<uint32_t>(std::max<int32_t>(In.A, 0)));
-      VM.Ctx.store(RC, Obj.asPointer());
-      push(Obj);
-      break;
-    }
-    case Opcode::CreateArray: {
-      VM.Ctx.alu(RC, 20 + static_cast<uint32_t>(In.A) / 16);
-      uint64_t Site = (uint64_t(FuncIndex) << 32) | Cur;
-      Value Arr = H.allocArray(static_cast<uint32_t>(In.A),
-                               VM.Shapes.rootForArraySite(Site));
-      VM.Ctx.store(RC, Arr.asPointer());
-      push(Arr);
-      break;
-    }
-    case Opcode::AddPropLit:
-      doAddPropLit(In);
-      break;
-    case Opcode::StElemInit: {
-      Value V = pop();
-      Value Arr = peek();
-      uint64_t Addr = Arr.asPointer();
-      H.setElement(Addr, In.A, V);
-      VM.Ctx.store(RC, H.elementAddress(Addr, static_cast<uint32_t>(In.A)));
-      profileElementsStore(VM, RC, H.shapeOf(Addr), Addr, V,
-                           /*ArrayClassIdLoaded=*/false);
-      break;
-    }
-    case Opcode::CallGlobal:
-      doCallGlobal(In);
-      break;
-    case Opcode::CallMethod:
-      doCallMethod(In);
-      break;
-    case Opcode::CallValue:
-      doCallValue(In);
-      break;
-    case Opcode::New:
-      doNew(In);
-      break;
-    case Opcode::Return:
-      VM.Ctx.alu(RC, 2);
-      return pop();
-    }
-  }
+#if CCJS_THREADED_DISPATCH
+  if (VM.Config.ThreadedDispatch)
+    return runThreaded(Pc);
+#endif
+  return runSwitch(Pc);
 }
+
+Value Frame::runSwitch(size_t PC) {
+#define CCJS_DISPATCH_THREADED 0
+#include "interp/InterpreterLoop.inc"
+#undef CCJS_DISPATCH_THREADED
+}
+
+#if CCJS_THREADED_DISPATCH
+Value Frame::runThreaded(size_t PC) {
+#define CCJS_DISPATCH_THREADED 1
+#include "interp/InterpreterLoop.inc"
+#undef CCJS_DISPATCH_THREADED
+}
+#endif
 
 //===----------------------------------------------------------------------===//
 // Entry points

@@ -15,11 +15,13 @@
 #include "runtime/Layout.h"
 #include "runtime/Operations.h"
 #include "support/Assert.h"
+#include "support/Dispatch.h"
 #include "vm/Builtins.h"
 #include "vm/ProfileHooks.h"
 
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 
 using namespace ccjs;
 
@@ -50,15 +52,63 @@ struct OptValue {
   }
 };
 
+/// Reusable operand-stack and locals storage for one executor frame.
+/// Optimized calls are frequent and short-lived; recycling the vectors'
+/// capacity across invocations removes two heap allocations per call. A
+/// free-list (rather than one static buffer) keeps nested invocations —
+/// optimized code calling back into optimized code — on distinct buffers,
+/// and thread_local keeps bench-harness jobs independent. Host-only
+/// storage reuse: the simulated events are untouched.
+struct FrameBufs {
+  std::vector<OptValue> St, Loc;
+};
+
+class FrameBufPool {
+public:
+  std::unique_ptr<FrameBufs> acquire() {
+    if (Free.empty())
+      return std::make_unique<FrameBufs>();
+    std::unique_ptr<FrameBufs> B = std::move(Free.back());
+    Free.pop_back();
+    return B;
+  }
+  void release(std::unique_ptr<FrameBufs> B) {
+    B->St.clear();
+    B->Loc.clear();
+    Free.push_back(std::move(B));
+  }
+
+private:
+  std::vector<std::unique_ptr<FrameBufs>> Free;
+};
+
+FrameBufPool &frameBufPool() {
+  static thread_local FrameBufPool Pool;
+  return Pool;
+}
+
 class OptExecutor {
 public:
   OptExecutor(VMState &VM, uint32_t FuncIndex, Value ThisV)
       : VM(VM), H(VM.Heap_), FI(VM.Funcs[FuncIndex]), C(*FI.Opt),
-        FuncIndex(FuncIndex), ThisV(ThisV) {}
+        FuncIndex(FuncIndex), ThisV(ThisV), Bufs(frameBufPool().acquire()),
+        St(Bufs->St), Loc(Bufs->Loc) {}
+  ~OptExecutor() { frameBufPool().release(std::move(Bufs)); }
 
   Value run(const Value *Args, uint32_t Argc);
 
 private:
+  /// The main loop, stamped out twice from jit/ExecutorLoop.inc: a
+  /// portable switch (the differential-test oracle) and a computed-goto
+  /// threaded variant. Identical handler text, identical simulated events.
+  Value runSwitch();
+#if CCJS_THREADED_DISPATCH
+  Value runThreaded();
+#endif
+  /// Hoisted movClassIDArray loads for a loop header reached by entry or
+  /// fall-through (not via its own back edge).
+  void runLoopPreloads(uint32_t Cur);
+
   OptValue pop() {
     OptValue V = St.back();
     St.pop_back();
@@ -171,8 +221,9 @@ private:
   OptCode &C;
   uint32_t FuncIndex;
   Value ThisV;
-  std::vector<OptValue> St;
-  std::vector<OptValue> Loc;
+  std::unique_ptr<FrameBufs> Bufs; // Pooled; must precede the St/Loc refs.
+  std::vector<OptValue> &St;
+  std::vector<OptValue> &Loc;
   uint32_t CurOpIndex = 0;
 
   static constexpr uint32_t MaxArgs = 16;
@@ -181,1085 +232,55 @@ private:
 
 } // namespace
 
+void OptExecutor::runLoopPreloads(uint32_t Cur) {
+  // Hoisted movClassIDArray loads fire on loop entry (not per back edge).
+  auto It = C.LoopPreloads.find(Cur);
+  if (It == C.LoopPreloads.end())
+    return;
+  for (uint32_t Key : It->second) {
+    Value V;
+    if (Key & (1u << 31)) {
+      uint32_t G = Key & ~(1u << 31);
+      VM.Ctx.load(OO, VM.globalAddr(G));
+      V = VM.readGlobal(G);
+    } else {
+      OptValue &LV = Loc[Key];
+      if (LV.Unboxed)
+        continue;
+      V = LV.V;
+    }
+    if (V.isPointer())
+      VM.Ctx.load(OO, V.asPointer()); // movClassIDArray header load.
+  }
+}
+
 Value OptExecutor::run(const Value *Args, uint32_t Argc) {
   const BytecodeFunction &F = *FI.Fn;
   Loc.assign(F.NumLocals, OptValue::tagged(H.undefined()));
   for (uint32_t I = 0; I < Argc && I < F.NumParams; ++I)
     Loc[I] = OptValue::tagged(Args[I]);
-  St.reserve(16);
+  St.reserve(C.MaxStack > 16 ? C.MaxStack : 16);
 
-  uint32_t PC = 0;
-  bool FromBackedge = false;
-
-  for (;;) {
-    if (VM.Halted)
-      return H.undefined();
-    assert(PC < C.Ops.size() && "OptIR pc out of range");
-    const OptIrOp &O = C.Ops[PC];
-    uint32_t Cur = PC;
-    CurOpIndex = Cur;
-    ++PC;
-
-    // Hoisted movClassIDArray loads fire on loop entry (not per back edge).
-    if (!C.LoopPreloads.empty() && !FromBackedge) {
-      auto It = C.LoopPreloads.find(Cur);
-      if (It != C.LoopPreloads.end()) {
-        for (uint32_t Key : It->second) {
-          Value V;
-          if (Key & (1u << 31)) {
-            uint32_t G = Key & ~(1u << 31);
-            VM.Ctx.load(OO, VM.globalAddr(G));
-            V = VM.readGlobal(G);
-          } else {
-            OptValue &LV = Loc[Key];
-            if (LV.Unboxed)
-              continue;
-            V = LV.V;
-          }
-          if (V.isPointer())
-            VM.Ctx.load(OO, V.asPointer()); // movClassIDArray header load.
-        }
-      }
-    }
-    if (O.Op != IrOpcode::JumpLoopOp)
-      FromBackedge = false;
-
-    switch (O.Op) {
-    case IrOpcode::Const:
-      VM.Ctx.alu(OO, 1);
-      pushTagged(FI.ConstPool[O.A]);
-      break;
-    case IrOpcode::LdaSmiOp:
-      VM.Ctx.alu(OO, 1);
-      pushTagged(Value::makeSmi(O.A));
-      break;
-    case IrOpcode::LdaUndef:
-      VM.Ctx.alu(OO, 1);
-      pushTagged(H.undefined());
-      break;
-    case IrOpcode::LdaNull:
-      VM.Ctx.alu(OO, 1);
-      pushTagged(H.null());
-      break;
-    case IrOpcode::LdaTrue:
-      VM.Ctx.alu(OO, 1);
-      pushTagged(H.trueValue());
-      break;
-    case IrOpcode::LdaFalse:
-      VM.Ctx.alu(OO, 1);
-      pushTagged(H.falseValue());
-      break;
-    case IrOpcode::LdaThisOp:
-      VM.Ctx.alu(OO, 1);
-      pushTagged(ThisV);
-      break;
-    case IrOpcode::LdLocalOp:
-      VM.Ctx.alu(OO, 1);
-      push(Loc[O.A]);
-      break;
-    case IrOpcode::StLocalOp:
-      VM.Ctx.alu(OO, 1);
-      Loc[O.A] = pop();
-      break;
-    case IrOpcode::LdGlobalOp:
-      VM.Ctx.load(OO, VM.globalAddr(static_cast<uint32_t>(O.A)));
-      pushTagged(VM.readGlobal(static_cast<uint32_t>(O.A)));
-      break;
-    case IrOpcode::StGlobalOp: {
-      OptValue V = pop();
-      Value T = materialize(V, TU);
-      VM.Ctx.store(OO, VM.globalAddr(static_cast<uint32_t>(O.A)));
-      VM.writeGlobal(static_cast<uint32_t>(O.A), T);
-      break;
-    }
-    case IrOpcode::PopOp:
-      VM.Ctx.alu(OO, 1);
-      pop();
-      break;
-    case IrOpcode::DupOp:
-      VM.Ctx.alu(OO, 1);
-      push(peek());
-      break;
-
-    //===------------------------------------------------------------------===//
-    // Checks
-    //===------------------------------------------------------------------===//
-
-    case IrOpcode::CheckMapOp: {
-      InstrCategory Cat = (O.Flags & IrFlagPreUntag) ? TU : CH;
-      bool AOL = (O.Flags & IrFlagAfterObjectLoad) != 0;
-      OptValue &V = peek(O.Depth);
-      // An unboxed double satisfies a HeapNumber map check by
-      // representation (no materialization needed until a tagged use).
-      bool Pass = V.Unboxed
-                      ? O.Shape == VM.Shapes.heapNumberShape()
-                      : V.V.isPointer() && H.shapeOfValue(V.V) == O.Shape;
-      // Chaos: pretend the check failed; the deopt path must recover.
-      if (Pass && VM.FaultInj && VM.FaultInj->fire(FaultPoint::ForcedGuardFail))
-        Pass = false;
-      if (Pass && !V.Unboxed)
-        VM.Ctx.load(Cat, V.V.asPointer(), AOL);
-      else
-        VM.Ctx.alu(Cat, 1, AOL);
-      VM.Ctx.alu(Cat, 1, AOL);
-      VM.Ctx.branch(Cat, site(Cur), !Pass, AOL);
-      if (!Pass)
-        return deopt(O.BcPc, /*Failure=*/true, DeoptReason::CheckMap);
-      break;
-    }
-    case IrOpcode::CheckSmiOp: {
-      bool AOL = (O.Flags & IrFlagAfterObjectLoad) != 0;
-      OptValue &V = peek(O.Depth);
-      bool Pass;
-      if (V.Unboxed) {
-        // Representation change: an unboxed double that holds an exact
-        // SMI value converts in place (cvttsd2si); otherwise deopt.
-        int32_t I = static_cast<int32_t>(V.D);
-        if (static_cast<double>(I) == V.D &&
-            !(V.D == 0 && std::signbit(V.D))) {
-          VM.Ctx.alu(TU, 1, AOL);
-          V.Unboxed = false;
-          V.V = Value::makeSmi(I);
-          Pass = true;
-        } else {
-          Pass = false;
-        }
-      } else {
-        Pass = V.V.isSmi();
-      }
-      // Chaos: a forced failure after the in-place conversion is still
-      // transparent — the interpreter re-executes on the tagged SMI.
-      if (Pass && VM.FaultInj && VM.FaultInj->fire(FaultPoint::ForcedGuardFail))
-        Pass = false;
-      VM.Ctx.alu(CH, 1, AOL);
-      VM.Ctx.branch(CH, site(Cur), !Pass, AOL);
-      if (!Pass)
-        return deopt(O.BcPc, /*Failure=*/true, DeoptReason::CheckSmi);
-      break;
-    }
-    case IrOpcode::CheckNumberOp: {
-      bool AOL = (O.Flags & IrFlagAfterObjectLoad) != 0;
-      OptValue &V = peek(O.Depth);
-      bool Pass = V.Unboxed || V.V.isSmi() ||
-                  (V.V.isPointer() && H.isHeapNumber(V.V));
-      if (Pass && VM.FaultInj && VM.FaultInj->fire(FaultPoint::ForcedGuardFail))
-        Pass = false;
-      VM.Ctx.alu(TU, 1, AOL);
-      if (!V.Unboxed && V.V.isPointer())
-        VM.Ctx.load(TU, V.V.asPointer(), AOL);
-      VM.Ctx.branch(TU, site(Cur), !Pass, AOL);
-      if (!Pass)
-        return deopt(O.BcPc, /*Failure=*/true, DeoptReason::CheckNumber);
-      break;
-    }
-
-    //===------------------------------------------------------------------===//
-    // Named properties
-    //===------------------------------------------------------------------===//
-
-    case IrOpcode::LoadPropOp: {
-      OptValue Obj = pop();
-      uint64_t Addr = Obj.V.asPointer();
-      bool InObject = false;
-      uint64_t SlotAddr = H.slotAddress(Addr, O.B, &InObject);
-      VM.Ctx.load(OO, SlotAddr);
-      VM.Profiler.recordPropertyLoad(
-          O.Shape, O.B, InObject && layout::slotLocation(O.B).Line == 0);
-      pushTagged(H.getSlot(Addr, O.B));
-      break;
-    }
-    case IrOpcode::PolyLoadPropOp: {
-      OptValue Obj = pop();
-      if (Obj.Unboxed || !Obj.V.isPointer() || !H.isPlainObject(Obj.V)) {
-        push(Obj);
-        return deopt(O.BcPc, true, DeoptReason::PolyMiss);
-      }
-      uint64_t Addr = Obj.V.asPointer();
-      ShapeId Shape = H.shapeOf(Addr);
-      const std::vector<PropEntry> &Table = C.PolyTables[O.Aux];
-      VM.Ctx.load(CH, Addr);
-      const PropEntry *Hit = nullptr;
-      for (size_t K = 0; K < Table.size(); ++K) {
-        VM.Ctx.alu(CH, 1);
-        VM.Ctx.branch(CH, site(Cur) + static_cast<uint32_t>(K),
-                      Table[K].Shape != Shape);
-        if (Table[K].Shape == Shape) {
-          Hit = &Table[K];
-          break;
-        }
-      }
-      if (!Hit) {
-        push(Obj);
-        return deopt(O.BcPc, true, DeoptReason::PolyMiss);
-      }
-      bool InObject = false;
-      uint64_t SlotAddr = H.slotAddress(Addr, Hit->Slot, &InObject);
-      VM.Ctx.load(OO, SlotAddr);
-      VM.Profiler.recordPropertyLoad(
-          Shape, Hit->Slot,
-          InObject && layout::slotLocation(Hit->Slot).Line == 0);
-      pushTagged(H.getSlot(Addr, Hit->Slot));
-      break;
-    }
-    case IrOpcode::GenericGetPropOp: {
-      OptValue Obj = pop();
-      Value T = materialize(Obj, TU);
-      if (!T.isPointer() || !H.isPlainObject(T)) {
-        push(OptValue::tagged(T));
-        return deopt(O.BcPc, true, DeoptReason::GenericReceiver);
-      }
-      uint64_t Addr = T.asPointer();
-      ShapeId Shape = H.shapeOf(Addr);
-      VM.Ctx.alu(OO, 2);
-      VM.Ctx.alu(RC, 10);
-      VM.Ctx.load(RC, Addr);
-      std::optional<uint32_t> Found = VM.Shapes.lookup(Shape, O.B);
-      if (!Found) {
-        pushTagged(H.undefined());
-        break;
-      }
-      bool InObject = false;
-      uint64_t SlotAddr = H.slotAddress(Addr, *Found, &InObject);
-      VM.Ctx.load(RC, SlotAddr);
-      VM.Profiler.recordPropertyLoad(
-          Shape, *Found, InObject && layout::slotLocation(*Found).Line == 0);
-      pushTagged(H.getSlot(Addr, *Found));
-      break;
-    }
-    case IrOpcode::StorePropOp: {
-      OptValue V = pop();
-      OptValue Obj = pop();
-      Value T = materialize(V, TU);
-      uint64_t Addr = Obj.V.asPointer();
-      bool InObject = false;
-      uint64_t SlotAddr = H.slotAddress(Addr, O.B, &InObject);
-      H.setSlot(Addr, O.B, T);
-      VM.Ctx.store(OO, SlotAddr);
-      if (O.Flags & IrFlagCcStore) {
-        profilePropertyStore(VM, OO, O.Shape, O.B, T, InObject);
-      } else {
-        VM.Profiler.recordPropertyStore(O.Shape, O.B,
-                                        profilerClassOf(VM, T));
-      }
-      pushTagged(T);
-      if (!FI.OptValid)
-        return deopt(O.BcNext, /*Failure=*/false, DeoptReason::CodeInvalidated);
-      break;
-    }
-    case IrOpcode::TransitionStorePropOp: {
-      OptValue V = pop();
-      OptValue Obj = pop();
-      Value T = materialize(V, TU);
-      uint64_t Addr = Obj.V.asPointer();
-      uint32_t Slot = H.addProperty(Addr, VM.Shapes.get(O.Shape2).AddedName,
-                                    T);
-      assert(Slot == O.B && "transition produced an unexpected slot");
-      assert(H.shapeOf(Addr) == O.Shape2 &&
-             "transition produced an unexpected shape");
-      VM.Ctx.alu(OO, 3);
-      VM.Ctx.store(OO, Addr); // Header rewrite.
-      bool InObject = false;
-      uint64_t SlotAddr = H.slotAddress(Addr, Slot, &InObject);
-      VM.Ctx.store(OO, SlotAddr);
-      if (!InObject)
-        VM.Ctx.alu(RC, 40); // Overflow-properties slow path.
-      if (O.Flags & IrFlagCcStore) {
-        profilePropertyStore(VM, OO, O.Shape2, Slot, T, InObject);
-      } else {
-        VM.Profiler.recordPropertyStore(O.Shape2, Slot,
-                                        profilerClassOf(VM, T));
-      }
-      pushTagged(T);
-      if (!FI.OptValid)
-        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
-      break;
-    }
-    case IrOpcode::GenericSetPropOp: {
-      OptValue V = pop();
-      OptValue Obj = pop();
-      Value T = materialize(V, TU);
-      if (Obj.Unboxed || !Obj.V.isPointer() || !H.isPlainObject(Obj.V)) {
-        push(Obj);
-        pushTagged(T);
-        return deopt(O.BcPc, true, DeoptReason::GenericReceiver);
-      }
-      uint64_t Addr = Obj.V.asPointer();
-      ShapeId Shape = H.shapeOf(Addr);
-      VM.Ctx.alu(OO, 2);
-      VM.Ctx.alu(RC, 12);
-      std::optional<uint32_t> Found = VM.Shapes.lookup(Shape, O.B);
-      uint32_t Slot;
-      ShapeId PostShape = Shape;
-      if (Found) {
-        Slot = *Found;
-        H.setSlot(Addr, Slot, T);
-      } else {
-        Slot = H.addProperty(Addr, O.B, T);
-        PostShape = H.shapeOf(Addr);
-        VM.Ctx.alu(RC, 20);
-      }
-      bool InObject = false;
-      uint64_t SlotAddr = H.slotAddress(Addr, Slot, &InObject);
-      VM.Ctx.store(RC, SlotAddr);
-      profilePropertyStore(VM, RC, PostShape, Slot, T, InObject);
-      pushTagged(T);
-      if (!FI.OptValid)
-        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
-      break;
-    }
-
-    //===------------------------------------------------------------------===//
-    // Elements
-    //===------------------------------------------------------------------===//
-
-    case IrOpcode::LoadElemOp: {
-      OptValue Idx = pop();
-      OptValue Obj = pop();
-      uint64_t Addr = Obj.V.asPointer();
-      int64_t I = Idx.V.asSmi();
-      VM.Ctx.load(OO, Addr + layout::ElementsLengthPos * 8);
-      VM.Ctx.alu(OO, 1);
-      VM.Ctx.branch(OO, site(Cur), false);
-      VM.Profiler.recordElementLoad(O.Shape);
-      if (I < 0 || I >= H.elementsLength(Addr)) {
-        if (O.Flags & IrFlagSafeElem) {
-          VM.Ctx.alu(OO, 1);
-          pushTagged(H.undefined());
-          break;
-        }
-        push(Obj);
-        push(Idx);
-        return deopt(O.BcPc, true, DeoptReason::ElemBounds);
-      }
-      VM.Ctx.load(OO, Addr + layout::ElementsPointerPos * 8);
-      VM.Ctx.load(OO, H.elementAddress(Addr, static_cast<uint32_t>(I)));
-      pushTagged(H.getElement(Addr, I));
-      break;
-    }
-    case IrOpcode::StoreElemOp: {
-      OptValue V = pop();
-      OptValue Idx = pop();
-      OptValue Obj = pop();
-      Value T = materialize(V, TU);
-      uint64_t Addr = Obj.V.asPointer();
-      int64_t I = Idx.V.asSmi();
-      if (I < 0) {
-        push(Obj);
-        push(Idx);
-        pushTagged(T);
-        return deopt(O.BcPc, true, DeoptReason::ElemBounds);
-      }
-      VM.Ctx.load(OO, Addr + layout::ElementsLengthPos * 8);
-      VM.Ctx.alu(OO, 1);
-      VM.Ctx.branch(OO, site(Cur), false);
-      VM.Ctx.load(OO, Addr + layout::ElementsPointerPos * 8);
-      bool Slow = H.setElement(Addr, I, T);
-      if (Slow)
-        VM.Ctx.alu(RC, 40);
-      VM.Ctx.store(OO, H.elementAddress(Addr, static_cast<uint32_t>(I)));
-      VM.Profiler.recordElementStore(O.Shape, profilerClassOf(VM, T));
-      if ((O.Flags & IrFlagCcStore) && VM.Config.ClassCacheEnabled) {
-        const Shape &S = VM.Shapes.get(O.Shape);
-        if (S.ClassId < UntrackedClassId) {
-          if (!(O.Flags & IrFlagHoistedClassId))
-            VM.Ctx.load(OO, Addr); // movClassIDArray.
-          emitMovClassId(VM, OO, T);
-          runClassCacheRequest(VM, OO, S.ClassId, 0,
-                               layout::ElementsPointerPos,
-                               H.classIdOfValue(T));
-        }
-      }
-      pushTagged(T);
-      if (!FI.OptValid)
-        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
-      break;
-    }
-    case IrOpcode::GenericGetElemOp: {
-      OptValue Idx = pop();
-      OptValue Obj = pop();
-      Value TI = materialize(Idx, TU);
-      Value TO = materialize(Obj, TU);
-      if (!TO.isPointer() || !H.isPlainObject(TO)) {
-        pushTagged(TO);
-        pushTagged(TI);
-        return deopt(O.BcPc, true, DeoptReason::GenericReceiver);
-      }
-      uint64_t Addr = TO.asPointer();
-      ShapeId Shape = H.shapeOf(Addr);
-      VM.Ctx.alu(OO, 2);
-      VM.Ctx.alu(RC, 15);
-      if (TI.isPointer() && H.isString(TI)) {
-        InternedString Name =
-            VM.Names.intern(H.stringContents(TI.asPointer()));
-        std::optional<uint32_t> Found = VM.Shapes.lookup(Shape, Name);
-        pushTagged(Found ? H.getSlot(Addr, *Found) : H.undefined());
-        break;
-      }
-      double DI = toNumber(H, TI);
-      int64_t I = static_cast<int64_t>(DI);
-      VM.Profiler.recordElementLoad(Shape);
-      if (DI != static_cast<double>(I) || I < 0 ||
-          I >= H.elementsLength(Addr)) {
-        pushTagged(H.undefined());
-        break;
-      }
-      VM.Ctx.load(RC, H.elementAddress(Addr, static_cast<uint32_t>(I)));
-      pushTagged(H.getElement(Addr, I));
-      break;
-    }
-    case IrOpcode::GenericSetElemOp: {
-      OptValue V = pop();
-      OptValue Idx = pop();
-      OptValue Obj = pop();
-      Value T = materialize(V, TU);
-      Value TI = materialize(Idx, TU);
-      Value TO = materialize(Obj, TU);
-      if (!TO.isPointer() || !H.isPlainObject(TO) ||
-          !(TI.isSmi() || H.isHeapNumber(TI))) {
-        pushTagged(TO);
-        pushTagged(TI);
-        pushTagged(T);
-        return deopt(O.BcPc, true, DeoptReason::GenericReceiver);
-      }
-      uint64_t Addr = TO.asPointer();
-      int64_t I = static_cast<int64_t>(toNumber(H, TI));
-      if (I < 0) {
-        pushTagged(TO);
-        pushTagged(TI);
-        pushTagged(T);
-        return deopt(O.BcPc, true, DeoptReason::ElemBounds);
-      }
-      ShapeId Shape = H.shapeOf(Addr);
-      VM.Ctx.alu(OO, 2);
-      VM.Ctx.alu(RC, 15);
-      bool Slow = H.setElement(Addr, I, T);
-      if (Slow)
-        VM.Ctx.alu(RC, 40);
-      VM.Ctx.store(RC, H.elementAddress(Addr, static_cast<uint32_t>(I)));
-      profileElementsStore(VM, RC, Shape, Addr, T, false);
-      pushTagged(T);
-      if (!FI.OptValid)
-        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
-      break;
-    }
-
-    //===------------------------------------------------------------------===//
-    // Lengths
-    //===------------------------------------------------------------------===//
-
-    case IrOpcode::LoadElemsLengthOp: {
-      OptValue Obj = pop();
-      uint64_t Addr = Obj.V.asPointer();
-      VM.Ctx.load(OO, Addr + layout::ElementsLengthPos * 8);
-      int64_t Len = H.elementsLength(Addr);
-      pushTagged(Value::fitsSmi(Len) ? Value::makeSmi(int32_t(Len))
-                                     : H.number(double(Len)));
-      break;
-    }
-    case IrOpcode::LoadStrLengthOp: {
-      OptValue Obj = pop();
-      VM.Ctx.load(OO, Obj.V.asPointer() + 8);
-      pushTagged(Value::makeSmi(
-          static_cast<int32_t>(H.stringLength(Obj.V.asPointer()))));
-      break;
-    }
-    case IrOpcode::LoadNamedLengthOp: {
-      OptValue Obj = pop();
-      uint64_t Addr = Obj.V.asPointer();
-      VM.Ctx.load(OO, H.slotAddress(Addr, O.B, nullptr));
-      pushTagged(H.getSlot(Addr, O.B));
-      break;
-    }
-
-    //===------------------------------------------------------------------===//
-    // Arithmetic
-    //===------------------------------------------------------------------===//
-
-    case IrOpcode::SmiBinOpOp: {
-      int64_t B = peek(0).V.asSmi();
-      int64_t A = peek(1).V.asSmi();
-      BinaryOp Op = static_cast<BinaryOp>(O.A);
-      int64_t R = 0;
-      bool Deopt = false;
-      bool PushDouble = false;
-      double RD = 0;
-      switch (Op) {
-      case BinaryOp::Add:
-        R = A + B;
-        VM.Ctx.alu(OO, 1);
-        VM.Ctx.alu(TU, 1);
-        VM.Ctx.branch(MA, site(Cur), false);
-        Deopt = !Value::fitsSmi(R);
-        break;
-      case BinaryOp::Sub:
-        R = A - B;
-        VM.Ctx.alu(OO, 1);
-        VM.Ctx.alu(TU, 1);
-        VM.Ctx.branch(MA, site(Cur), false);
-        Deopt = !Value::fitsSmi(R);
-        break;
-      case BinaryOp::Mul:
-        R = A * B;
-        VM.Ctx.alu(OO, 1);
-        VM.Ctx.alu(TU, 2);
-        VM.Ctx.branch(MA, site(Cur), false);
-        // -0 results also bail out of the SMI representation.
-        Deopt = !Value::fitsSmi(R) || (R == 0 && (A < 0 || B < 0));
-        break;
-      case BinaryOp::Mod:
-        VM.Ctx.alu(OO, 2);
-        VM.Ctx.alu(MA, 2);
-        if (B == 0 || (A < 0 && A % B == 0)) {
-          Deopt = true;
-        } else {
-          R = A % B;
-        }
-        break;
-      case BinaryOp::BitAnd:
-        R = A & B;
-        VM.Ctx.alu(OO, 1);
-        VM.Ctx.alu(TU, 1);
-        break;
-      case BinaryOp::BitOr:
-        R = A | B;
-        VM.Ctx.alu(OO, 1);
-        VM.Ctx.alu(TU, 1);
-        break;
-      case BinaryOp::BitXor:
-        R = A ^ B;
-        VM.Ctx.alu(OO, 1);
-        VM.Ctx.alu(TU, 1);
-        break;
-      case BinaryOp::Shl:
-        R = static_cast<int32_t>(static_cast<uint32_t>(A)
-                                 << (static_cast<uint32_t>(B) & 31));
-        VM.Ctx.alu(OO, 1);
-        VM.Ctx.alu(TU, 2);
-        break;
-      case BinaryOp::Sar:
-        R = static_cast<int32_t>(A) >> (static_cast<uint32_t>(B) & 31);
-        VM.Ctx.alu(OO, 1);
-        VM.Ctx.alu(TU, 2);
-        break;
-      case BinaryOp::Shr: {
-        uint32_t U = static_cast<uint32_t>(static_cast<int32_t>(A)) >>
-                     (static_cast<uint32_t>(B) & 31);
-        VM.Ctx.alu(OO, 1);
-        VM.Ctx.alu(TU, 2);
-        VM.Ctx.branch(MA, site(Cur), U > uint32_t(INT32_MAX));
-        if (U > uint32_t(INT32_MAX)) {
-          PushDouble = true;
-          RD = static_cast<double>(U);
-        } else {
-          R = static_cast<int32_t>(U);
-        }
-        break;
-      }
-      default:
-        CCJS_UNREACHABLE("non-arithmetic op in SmiBinOp");
-      }
-      if (Deopt) {
-        // Record the reason: operands were SMIs but the result left the
-        // SMI domain, so the interpreter's operand-based feedback would
-        // never learn. Force the double path for the next compile.
-        FI.Feedback[O.Site].Hint = NumberHint::Double;
-        return deopt(O.BcPc, true, DeoptReason::SmiOverflow);
-      }
-      pop();
-      pop();
-      if (PushDouble)
-        push(OptValue::unboxed(RD));
-      else
-        pushTagged(Value::makeSmi(static_cast<int32_t>(R)));
-      break;
-    }
-    case IrOpcode::SmiCompareOp: {
-      OptValue B = pop();
-      OptValue A = pop();
-      int32_t X = A.V.asSmi(), Y = B.V.asSmi();
-      VM.Ctx.alu(OO, 1);
-      bool R = false;
-      switch (static_cast<BinaryOp>(O.A)) {
-      case BinaryOp::Lt:
-        R = X < Y;
-        break;
-      case BinaryOp::Le:
-        R = X <= Y;
-        break;
-      case BinaryOp::Gt:
-        R = X > Y;
-        break;
-      case BinaryOp::Ge:
-        R = X >= Y;
-        break;
-      case BinaryOp::Eq:
-      case BinaryOp::StrictEq:
-        R = X == Y;
-        break;
-      case BinaryOp::Ne:
-      case BinaryOp::StrictNe:
-        R = X != Y;
-        break;
-      default:
-        CCJS_UNREACHABLE("non-compare op in SmiCompare");
-      }
-      pushTagged(H.boolean(R));
-      break;
-    }
-    case IrOpcode::DoubleBinOpOp: {
-      OptValue B = pop();
-      OptValue A = pop();
-      double X = untagNumber(A, TU);
-      double Y = untagNumber(B, TU);
-      double R = 0;
-      switch (static_cast<BinaryOp>(O.A)) {
-      case BinaryOp::Add:
-        VM.Ctx.alu(OO, 1);
-        R = X + Y;
-        break;
-      case BinaryOp::Sub:
-        VM.Ctx.alu(OO, 1);
-        R = X - Y;
-        break;
-      case BinaryOp::Mul:
-        VM.Ctx.alu(OO, 1);
-        R = X * Y;
-        break;
-      case BinaryOp::Div:
-        VM.Ctx.alu(OO, 10);
-        R = X / Y;
-        break;
-      case BinaryOp::Mod:
-        VM.Ctx.alu(OO, 14);
-        R = std::fmod(X, Y);
-        break;
-      case BinaryOp::BitAnd:
-      case BinaryOp::BitOr:
-      case BinaryOp::BitXor:
-      case BinaryOp::Shl:
-      case BinaryOp::Sar: {
-        VM.Ctx.alu(OO, 3);
-        int32_t XI = toInt32(X), YI = toInt32(Y);
-        int32_t RI = 0;
-        switch (static_cast<BinaryOp>(O.A)) {
-        case BinaryOp::BitAnd:
-          RI = XI & YI;
-          break;
-        case BinaryOp::BitOr:
-          RI = XI | YI;
-          break;
-        case BinaryOp::BitXor:
-          RI = XI ^ YI;
-          break;
-        case BinaryOp::Shl:
-          RI = static_cast<int32_t>(static_cast<uint32_t>(XI)
-                                    << (static_cast<uint32_t>(YI) & 31));
-          break;
-        default:
-          RI = XI >> (static_cast<uint32_t>(YI) & 31);
-          break;
-        }
-        pushTagged(Value::makeSmi(RI));
-        goto DoubleBinDone;
-      }
-      case BinaryOp::Shr: {
-        VM.Ctx.alu(OO, 3);
-        uint32_t U = static_cast<uint32_t>(toInt32(X)) >>
-                     (static_cast<uint32_t>(toInt32(Y)) & 31);
-        push(OptValue::unboxed(static_cast<double>(U)));
-        goto DoubleBinDone;
-      }
-      default:
-        CCJS_UNREACHABLE("non-arithmetic op in DoubleBinOp");
-      }
-      push(OptValue::unboxed(R));
-    DoubleBinDone:
-      break;
-    }
-    case IrOpcode::DoubleCompareOp: {
-      OptValue B = pop();
-      OptValue A = pop();
-      double X = untagNumber(A, TU);
-      double Y = untagNumber(B, TU);
-      VM.Ctx.alu(OO, 1);
-      bool R = false;
-      switch (static_cast<BinaryOp>(O.A)) {
-      case BinaryOp::Lt:
-        R = X < Y;
-        break;
-      case BinaryOp::Le:
-        R = X <= Y;
-        break;
-      case BinaryOp::Gt:
-        R = X > Y;
-        break;
-      case BinaryOp::Ge:
-        R = X >= Y;
-        break;
-      case BinaryOp::Eq:
-      case BinaryOp::StrictEq:
-        R = X == Y;
-        break;
-      case BinaryOp::Ne:
-      case BinaryOp::StrictNe:
-        R = X != Y;
-        break;
-      default:
-        CCJS_UNREACHABLE("non-compare op in DoubleCompare");
-      }
-      pushTagged(H.boolean(R));
-      break;
-    }
-    case IrOpcode::StringAddOp: {
-      OptValue B = pop();
-      OptValue A = pop();
-      Value TA = materialize(A, TU);
-      Value TB = materialize(B, TU);
-      uint32_t La = H.isString(TA) ? H.stringLength(TA.asPointer()) : 8;
-      uint32_t Lb = H.isString(TB) ? H.stringLength(TB.asPointer()) : 8;
-      VM.Ctx.alu(OO, 2);
-      VM.Ctx.alu(RC, 10 + (La + Lb) / 4);
-      pushTagged(genericBinary(H, BinaryOp::Add, TA, TB));
-      break;
-    }
-    case IrOpcode::GenericBinOpOp: {
-      OptValue B = pop();
-      OptValue A = pop();
-      Value TA = materialize(A, TU);
-      Value TB = materialize(B, TU);
-      VM.Ctx.alu(OO, 2);
-      VM.Ctx.alu(RC, 8);
-      pushTagged(genericBinary(H, static_cast<BinaryOp>(O.A), TA, TB));
-      break;
-    }
-
-    //===------------------------------------------------------------------===//
-    // Unary
-    //===------------------------------------------------------------------===//
-
-    case IrOpcode::SmiNegOp: {
-      int32_t A = peek().V.asSmi();
-      VM.Ctx.alu(OO, 1);
-      VM.Ctx.alu(MA, 1);
-      if (A == 0 || A == INT32_MIN) {
-        // -0 / overflow leave the SMI domain.
-        FI.Feedback[O.Site].Hint = NumberHint::Double;
-        return deopt(O.BcPc, true, DeoptReason::SmiOverflow);
-      }
-      pop();
-      pushTagged(Value::makeSmi(-A));
-      break;
-    }
-    case IrOpcode::DoubleNegOp: {
-      OptValue A = pop();
-      double X = untagNumber(A, TU);
-      VM.Ctx.alu(OO, 1);
-      push(OptValue::unboxed(-X));
-      break;
-    }
-    case IrOpcode::NotOp: {
-      OptValue A = pop();
-      VM.Ctx.alu(OO, 2);
-      pushTagged(H.boolean(!truthy(A)));
-      break;
-    }
-    case IrOpcode::BitNotOp: {
-      OptValue A = pop();
-      VM.Ctx.alu(OO, 2);
-      pushTagged(Value::makeSmi(~A.V.asSmi()));
-      break;
-    }
-    case IrOpcode::GenericUnaOpOp: {
-      OptValue A = pop();
-      Value T = materialize(A, TU);
-      VM.Ctx.alu(OO, 1);
-      VM.Ctx.alu(RC, 6);
-      pushTagged(genericUnary(H, static_cast<UnaryOp>(O.A), T));
-      break;
-    }
-
-    //===------------------------------------------------------------------===//
-    // Control flow
-    //===------------------------------------------------------------------===//
-
-    case IrOpcode::JumpOp:
-      VM.Ctx.alu(OO, 1);
-      PC = static_cast<uint32_t>(O.A);
-      break;
-    case IrOpcode::JumpLoopOp:
-      VM.Ctx.branch(OO, site(Cur), true);
-      PC = static_cast<uint32_t>(O.A);
-      FromBackedge = true;
-      break;
-    case IrOpcode::JumpIfFalseOp: {
-      OptValue Cond = pop();
-      bool T = truthy(Cond);
-      VM.Ctx.alu(OO, 1);
-      VM.Ctx.branch(OO, site(Cur), !T);
-      if (!T)
-        PC = static_cast<uint32_t>(O.A);
-      break;
-    }
-    case IrOpcode::JumpIfTrueOp: {
-      OptValue Cond = pop();
-      bool T = truthy(Cond);
-      VM.Ctx.alu(OO, 1);
-      VM.Ctx.branch(OO, site(Cur), T);
-      if (T)
-        PC = static_cast<uint32_t>(O.A);
-      break;
-    }
-
-    //===------------------------------------------------------------------===//
-    // Calls
-    //===------------------------------------------------------------------===//
-
-    case IrOpcode::CallDirectOp: {
-      uint32_t Argc = static_cast<uint32_t>(O.A);
-      const Value *Args = popArgs(Argc);
-      VM.Ctx.alu(OO, 3); // Cell check + frame setup + call.
-      pushTagged(invoke(O.B, H.undefined(), Args, Argc));
-      if (!FI.OptValid)
-        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
-      break;
-    }
-    case IrOpcode::CallBuiltinInlineOp: {
-      uint32_t Argc = static_cast<uint32_t>(O.A);
-      const Value *Args = popArgs(Argc);
-      if (O.Flags & IrFlagInObject)
-        pop(); // Method-style inline call: drop the receiver (e.g. Math).
-      BuiltinId Id = builtinFromIndex(O.B);
-      double R = 0;
-      switch (Id) {
-      case BuiltinId::MathFloor:
-        VM.Ctx.alu(OO, 2);
-        R = std::floor(argOrNaN(Args, Argc, 0));
-        break;
-      case BuiltinId::MathCeil:
-        VM.Ctx.alu(OO, 2);
-        R = std::ceil(argOrNaN(Args, Argc, 0));
-        break;
-      case BuiltinId::MathRound:
-        VM.Ctx.alu(OO, 3);
-        R = std::floor(argOrNaN(Args, Argc, 0) + 0.5);
-        break;
-      case BuiltinId::MathSqrt:
-        VM.Ctx.alu(OO, 5);
-        R = std::sqrt(argOrNaN(Args, Argc, 0));
-        break;
-      case BuiltinId::MathAbs:
-        VM.Ctx.alu(OO, 2);
-        R = std::fabs(argOrNaN(Args, Argc, 0));
-        break;
-      case BuiltinId::MathMin:
-        VM.Ctx.alu(OO, 2);
-        R = std::fmin(argOrNaN(Args, Argc, 0), argOrNaN(Args, Argc, 1));
-        break;
-      case BuiltinId::MathMax:
-        VM.Ctx.alu(OO, 2);
-        R = std::fmax(argOrNaN(Args, Argc, 0), argOrNaN(Args, Argc, 1));
-        break;
-      case BuiltinId::MathSin:
-        VM.Ctx.alu(OO, 15);
-        R = std::sin(argOrNaN(Args, Argc, 0));
-        break;
-      case BuiltinId::MathCos:
-        VM.Ctx.alu(OO, 15);
-        R = std::cos(argOrNaN(Args, Argc, 0));
-        break;
-      case BuiltinId::MathPow:
-        VM.Ctx.alu(OO, 20);
-        R = std::pow(argOrNaN(Args, Argc, 0), argOrNaN(Args, Argc, 1));
-        break;
-      case BuiltinId::MathExp:
-        VM.Ctx.alu(OO, 15);
-        R = std::exp(argOrNaN(Args, Argc, 0));
-        break;
-      case BuiltinId::MathLog:
-        VM.Ctx.alu(OO, 15);
-        R = std::log(argOrNaN(Args, Argc, 0));
-        break;
-      case BuiltinId::MathRandom:
-        VM.Ctx.alu(OO, 8);
-        R = VM.nextRandom();
-        break;
-      default:
-        CCJS_UNREACHABLE("non-inlinable builtin");
-      }
-      push(OptValue::unboxed(R));
-      break;
-    }
-    case IrOpcode::CallBuiltinMethodOp: {
-      uint32_t Argc = static_cast<uint32_t>(O.A);
-      const Value *Args = popArgs(Argc);
-      OptValue Recv = pop();
-      Value TR = materialize(Recv, TU);
-      BuiltinId Id = builtinFromIndex(O.B);
-      bool NeedsString =
-          Id >= BuiltinId::StrCharCodeAt && Id <= BuiltinId::StrToLowerCase;
-      bool NeedsObject = Id >= BuiltinId::ArrPush && Id <= BuiltinId::ArrIndexOf;
-      if ((NeedsString && !(TR.isPointer() && H.isString(TR))) ||
-          (NeedsObject && !(TR.isPointer() && H.isPlainObject(TR)))) {
-        pushTagged(TR);
-        for (uint32_t I = 0; I < Argc; ++I)
-          pushTagged(Args[I]);
-        return deopt(O.BcPc, true, DeoptReason::BuiltinReceiver);
-      }
-      VM.Ctx.alu(OO, 2);
-      pushTagged(VM.CallBuiltinFn(VM, O.B, TR, Args, Argc));
-      if (!FI.OptValid)
-        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
-      break;
-    }
-    case IrOpcode::CallMethodDirectOp: {
-      uint32_t Argc = static_cast<uint32_t>(O.A);
-      const Value *Args = popArgs(Argc);
-      OptValue Recv = pop();
-      VM.Ctx.alu(OO, 2);
-      pushTagged(invoke(O.B, Recv.V, Args, Argc));
-      if (!FI.OptValid)
-        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
-      break;
-    }
-    case IrOpcode::CallValueOp: {
-      uint32_t Argc = static_cast<uint32_t>(O.A);
-      const Value *Args = popArgs(Argc);
-      OptValue Callee = pop();
-      uint64_t Addr = Callee.V.asPointer();
-      VM.Ctx.load(OO, Addr + 8);
-      VM.Ctx.alu(OO, 2);
-      pushTagged(invoke(H.functionIndex(Addr), H.undefined(), Args, Argc));
-      if (!FI.OptValid)
-        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
-      break;
-    }
-    case IrOpcode::GenericCallMethodOp: {
-      uint32_t Argc = static_cast<uint32_t>(O.A);
-      const Value *Args = popArgs(Argc);
-      OptValue Recv = pop();
-      Value TR = materialize(Recv, TU);
-      VM.Ctx.alu(OO, 2);
-      VM.Ctx.alu(RC, 15);
-      pushTagged(VM.GenericCallMethod(VM, TR, O.B, Args, Argc));
-      if (!FI.OptValid)
-        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
-      break;
-    }
-    case IrOpcode::NewObjectOp: {
-      uint32_t Argc = static_cast<uint32_t>(O.A);
-      const Value *Args = popArgs(Argc);
-      ShapeId Root = VM.Shapes.rootForConstructor(O.B);
-      Value Obj = H.allocObject(Root, H.constructorCapacityHint(O.B));
-      uint64_t Addr = Obj.asPointer();
-      uint32_t Lines = layout::linesForSlots(H.capacityOf(Addr));
-      VM.Ctx.alu(OO, 8);
-      for (uint32_t L = 0; L < Lines; ++L)
-        VM.Ctx.store(OO, Addr + L * layout::CacheLineBytes);
-      VM.Ctx.alu(OO, 2);
-      Value Result = invoke(O.B, Obj, Args, Argc);
-      H.observeConstructed(O.B, VM.Shapes.get(H.shapeOf(Addr)).NumSlots);
-      pushTagged(Result.isPointer() && H.isPlainObject(Result) ? Result
-                                                               : Obj);
-      if (!FI.OptValid)
-        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
-      break;
-    }
-    case IrOpcode::NewArrayOp: {
-      uint32_t Argc = static_cast<uint32_t>(O.A);
-      const Value *Args = popArgs(Argc);
-      uint32_t N = Argc >= 1 && Args[0].isSmi() && Args[0].asSmi() >= 0
-                       ? static_cast<uint32_t>(Args[0].asSmi())
-                       : 0;
-      VM.Ctx.alu(OO, 10 + N / 16);
-      uint64_t Site = (uint64_t(FuncIndex) << 32) | O.BcPc;
-      Value Arr = H.allocArray(N, VM.Shapes.rootForArraySite(Site));
-      VM.Ctx.store(OO, Arr.asPointer());
-      pushTagged(Arr);
-      break;
-    }
-
-    //===------------------------------------------------------------------===//
-    // Literals
-    //===------------------------------------------------------------------===//
-
-    case IrOpcode::CreateObjectOp: {
-      VM.Ctx.alu(OO, 6);
-      Value Obj = H.allocObject(
-          VM.Shapes.plainRoot(),
-          static_cast<uint32_t>(std::max<int32_t>(O.A, 0)));
-      VM.Ctx.store(OO, Obj.asPointer());
-      pushTagged(Obj);
-      break;
-    }
-    case IrOpcode::CreateArrayOp: {
-      VM.Ctx.alu(OO, 8 + static_cast<uint32_t>(O.A) / 16);
-      uint64_t Site = (uint64_t(FuncIndex) << 32) | O.BcPc;
-      Value Arr = H.allocArray(static_cast<uint32_t>(O.A),
-                               VM.Shapes.rootForArraySite(Site));
-      VM.Ctx.store(OO, Arr.asPointer());
-      pushTagged(Arr);
-      break;
-    }
-    case IrOpcode::AddPropTransitionOp: {
-      OptValue V = pop();
-      Value T = materialize(V, TU);
-      OptValue &Obj = peek();
-      uint64_t Addr = Obj.V.asPointer();
-      if (H.shapeOf(Addr) != O.Shape)
-        return deopt(O.BcPc, true, DeoptReason::ShapeMismatch);
-      uint32_t Slot = H.addProperty(Addr, VM.Shapes.get(O.Shape2).AddedName,
-                                    T);
-      VM.Ctx.alu(OO, 3);
-      VM.Ctx.store(OO, Addr);
-      bool InObject = false;
-      uint64_t SlotAddr = H.slotAddress(Addr, Slot, &InObject);
-      VM.Ctx.store(OO, SlotAddr);
-      if (!InObject)
-        VM.Ctx.alu(RC, 40);
-      if (O.Flags & IrFlagCcStore) {
-        profilePropertyStore(VM, OO, O.Shape2, Slot, T, InObject);
-      } else {
-        VM.Profiler.recordPropertyStore(O.Shape2, Slot,
-                                        profilerClassOf(VM, T));
-      }
-      if (!FI.OptValid)
-        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
-      break;
-    }
-    case IrOpcode::StElemInitOp: {
-      OptValue V = pop();
-      Value T = materialize(V, TU);
-      OptValue &Arr = peek();
-      uint64_t Addr = Arr.V.asPointer();
-      H.setElement(Addr, O.A, T);
-      VM.Ctx.store(OO, H.elementAddress(Addr, static_cast<uint32_t>(O.A)));
-      ShapeId ArrShape = H.shapeOf(Addr);
-      VM.Profiler.recordElementStore(ArrShape, profilerClassOf(VM, T));
-      if ((O.Flags & IrFlagCcStore) && VM.Config.ClassCacheEnabled) {
-        const Shape &S = VM.Shapes.get(ArrShape);
-        if (S.ClassId < UntrackedClassId) {
-          VM.Ctx.load(OO, Addr);
-          emitMovClassId(VM, OO, T);
-          runClassCacheRequest(VM, OO, S.ClassId, 0,
-                               layout::ElementsPointerPos,
-                               H.classIdOfValue(T));
-        }
-      }
-      if (!FI.OptValid)
-        return deopt(O.BcNext, false, DeoptReason::CodeInvalidated);
-      break;
-    }
-
-    case IrOpcode::ReturnOp: {
-      OptValue V = pop();
-      VM.Ctx.alu(OO, 2);
-      return materialize(V, TU);
-    }
-    case IrOpcode::DeoptOp:
-      return deopt(O.BcPc, true, DeoptReason::UnsupportedOp);
-    }
-  }
+#if CCJS_THREADED_DISPATCH
+  if (VM.Config.ThreadedDispatch)
+    return runThreaded();
+#endif
+  return runSwitch();
 }
+
+Value OptExecutor::runSwitch() {
+#define CCJS_DISPATCH_THREADED 0
+#include "jit/ExecutorLoop.inc"
+#undef CCJS_DISPATCH_THREADED
+}
+
+#if CCJS_THREADED_DISPATCH
+Value OptExecutor::runThreaded() {
+#define CCJS_DISPATCH_THREADED 1
+#include "jit/ExecutorLoop.inc"
+#undef CCJS_DISPATCH_THREADED
+}
+#endif
 
 Value ccjs::runOptimized(VMState &VM, uint32_t FuncIndex, Value ThisV,
                          const Value *Args, uint32_t Argc) {

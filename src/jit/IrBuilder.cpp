@@ -128,11 +128,24 @@ private:
     St.pop_back();
     return V;
   }
-  void push(AbsVal V) { St.push_back(std::move(V)); }
+  void push(AbsVal V) {
+    St.push_back(std::move(V));
+    noteDepth();
+  }
   void push(AbsVal::KindTy K) {
     AbsVal V;
     V.K = K;
     St.push_back(V);
+    noteDepth();
+  }
+
+  /// Tracks the peak abstract operand-stack depth. The abstract stack
+  /// mirrors the runtime stack op-for-op, so the peak bounds the runtime
+  /// depth; the executor pre-reserves it (a hint — push_back still grows
+  /// correctly if the bound were ever short).
+  void noteDepth() {
+    if (St.size() > MaxDepth)
+      MaxDepth = St.size();
   }
 
   void clearAbstractState() {
@@ -376,6 +389,7 @@ private:
   OptCode *Code = nullptr;
 
   std::vector<AbsVal> St;
+  size_t MaxDepth = 0;
   std::vector<AbsVal> Loc;
   AbsVal AbsThis;
   /// Known abstract values of global bindings within the current
@@ -1146,6 +1160,10 @@ void IrBuilder::hoistClassIdLoads() {
 OptCode *IrBuilder::build() {
   Code = new OptCode();
   Code->FuncIndex = FuncIndex;
+  // OptIR expands each bytecode into a handful of ops (checks, untags,
+  // the operation itself); 4x covers virtually every function, so the op
+  // stream grows without repeated reallocation-and-copy cycles.
+  Code->Ops.reserve(F.Code.size() * 4);
   scanControlFlow();
   Facts.assign(F.NumLocals, LocalProvFact());
   Loc.assign(F.NumLocals, AbsVal());
@@ -1183,6 +1201,7 @@ OptCode *IrBuilder::build() {
       }
       int32_t D = DepthAtTarget[I] >= 0 ? DepthAtTarget[I] : 0;
       St.assign(static_cast<size_t>(D), AbsVal());
+      noteDepth();
       clearAbstractState();
       Reachable = true;
     } else if (PredCount[I] > 1 || IsBackedgeTarget[I]) {
@@ -1211,6 +1230,16 @@ OptCode *IrBuilder::build() {
   }
 
   hoistClassIdLoads();
+
+  // Dense executor-side index of LoopPreloads: the dispatch prologue
+  // tests one byte per op instead of probing the hash map (which it
+  // otherwise does for every op of any function containing a loop).
+  Code->PreloadAt.assign(Code->Ops.size(), 0);
+  for (const auto &KV : Code->LoopPreloads)
+    Code->PreloadAt[KV.first] = 1;
+
+  Code->MaxStack = static_cast<uint32_t>(MaxDepth);
+
   return Code;
 }
 

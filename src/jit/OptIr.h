@@ -27,86 +27,94 @@
 
 namespace ccjs {
 
+// The OptIR opcode list as an X-macro: the enum and the executor's
+// computed-goto handler table both expand from this single list, so they
+// cannot fall out of order with each other.
+//
+// Operand meaning (abridged; see the executor for exact semantics):
+// - Checks peek at Depth, have no stack effect and deopt on failure.
+// - LoadPropOp: B = slot. PolyLoadPropOp: Aux = poly table.
+//   Generic{Get,Set}PropOp: B = name. {Transition,}StorePropOp: B = slot,
+//   Shape = holder (Shape2 = post-transition shape).
+// - StoreElemOp: A = receiver local or -1.
+// - Arithmetic / unary: A = BinaryOp / UnaryOp.
+// - Control flow: A = target ir index.
+// - Calls: A = argc; B = callee function index / builtin id / name.
+// - CreateObjectOp: A = capacity hint. CreateArrayOp: A = initial length.
+//   AddPropTransitionOp: B = slot, Shape = old, Shape2 = new;
+//   [obj, v] -> [obj]. StElemInitOp: A = index; [arr, v] -> [arr].
+// - DeoptOp: unconditional bailout (unsupported situation).
+#define CCJS_FOR_EACH_IR_OPCODE(X)                                             \
+  X(Const)                                                                     \
+  X(LdaSmiOp)                                                                  \
+  X(LdaUndef)                                                                  \
+  X(LdaNull)                                                                   \
+  X(LdaTrue)                                                                   \
+  X(LdaFalse)                                                                  \
+  X(LdaThisOp)                                                                 \
+  X(LdLocalOp)                                                                 \
+  X(StLocalOp)                                                                 \
+  X(LdGlobalOp)                                                                \
+  X(StGlobalOp)                                                                \
+  X(PopOp)                                                                     \
+  X(DupOp)                                                                     \
+  X(CheckMapOp)                                                                \
+  X(CheckSmiOp)                                                                \
+  X(CheckNumberOp)                                                             \
+  X(LoadPropOp)                                                                \
+  X(PolyLoadPropOp)                                                            \
+  X(GenericGetPropOp)                                                          \
+  X(StorePropOp)                                                               \
+  X(TransitionStorePropOp)                                                     \
+  X(GenericSetPropOp)                                                          \
+  X(LoadElemOp)                                                                \
+  X(StoreElemOp)                                                               \
+  X(GenericGetElemOp)                                                          \
+  X(GenericSetElemOp)                                                          \
+  X(LoadElemsLengthOp)                                                         \
+  X(LoadStrLengthOp)                                                           \
+  X(LoadNamedLengthOp)                                                         \
+  X(SmiBinOpOp)                                                                \
+  X(DoubleBinOpOp)                                                             \
+  X(SmiCompareOp)                                                              \
+  X(DoubleCompareOp)                                                           \
+  X(StringAddOp)                                                               \
+  X(GenericBinOpOp)                                                            \
+  X(SmiNegOp)                                                                  \
+  X(DoubleNegOp)                                                               \
+  X(NotOp)                                                                     \
+  X(BitNotOp)                                                                  \
+  X(GenericUnaOpOp)                                                            \
+  X(JumpOp)                                                                    \
+  X(JumpLoopOp)                                                                \
+  X(JumpIfFalseOp)                                                             \
+  X(JumpIfTrueOp)                                                              \
+  X(CallDirectOp)                                                              \
+  X(CallBuiltinInlineOp)                                                       \
+  X(CallBuiltinMethodOp)                                                       \
+  X(CallMethodDirectOp)                                                        \
+  X(CallValueOp)                                                               \
+  X(GenericCallMethodOp)                                                       \
+  X(NewObjectOp)                                                               \
+  X(NewArrayOp)                                                                \
+  X(CreateObjectOp)                                                            \
+  X(CreateArrayOp)                                                             \
+  X(AddPropTransitionOp)                                                       \
+  X(StElemInitOp)                                                              \
+  X(ReturnOp)                                                                  \
+  X(DeoptOp)
+
 enum class IrOpcode : uint8_t {
-  // Constants, locals, globals.
-  Const,
-  LdaSmiOp,
-  LdaUndef,
-  LdaNull,
-  LdaTrue,
-  LdaFalse,
-  LdaThisOp,
-  LdLocalOp,
-  StLocalOp,
-  LdGlobalOp,
-  StGlobalOp,
-  PopOp,
-  DupOp,
-
-  // Checks (peek at Depth; no stack effect; deopt on failure).
-  CheckMapOp,    ///< Value must be a pointer with the expected shape.
-  CheckSmiOp,    ///< Value must be a SMI.
-  CheckNumberOp, ///< Value must be a SMI or a HeapNumber (pre-untag check).
-
-  // Named properties.
-  LoadPropOp,           ///< B = slot. [obj] -> [value].
-  PolyLoadPropOp,       ///< Aux = poly table. [obj] -> [value].
-  GenericGetPropOp,     ///< B = name.
-  StorePropOp,          ///< B = slot, Shape = holder. [obj, v] -> [v].
-  TransitionStorePropOp,///< B = slot, Shape = old, Shape2 = new.
-  GenericSetPropOp,     ///< B = name.
-
-  // Elements.
-  LoadElemOp,        ///< [obj, idx] -> [value].
-  StoreElemOp,       ///< [obj, idx, v] -> [v]. A = receiver local or -1.
-  GenericGetElemOp,
-  GenericSetElemOp,
-
-  // Lengths.
-  LoadElemsLengthOp,
-  LoadStrLengthOp,
-  LoadNamedLengthOp, ///< B = slot.
-
-  // Arithmetic (A = BinaryOp).
-  SmiBinOpOp,
-  DoubleBinOpOp,
-  SmiCompareOp,
-  DoubleCompareOp,
-  StringAddOp,
-  GenericBinOpOp,
-
-  // Unary.
-  SmiNegOp,
-  DoubleNegOp,
-  NotOp,
-  BitNotOp,
-  GenericUnaOpOp, ///< A = UnaryOp.
-
-  // Control flow (A = target ir index).
-  JumpOp,
-  JumpLoopOp,
-  JumpIfFalseOp,
-  JumpIfTrueOp,
-
-  // Calls.
-  CallDirectOp,        ///< A = argc, B = callee function index.
-  CallBuiltinInlineOp, ///< A = argc, B = builtin id (inlined Math ops).
-  CallBuiltinMethodOp, ///< A = argc, B = builtin id; receiver under args.
-  CallMethodDirectOp,  ///< A = argc, B = target; receiver under args.
-  CallValueOp,         ///< A = argc; callee under args.
-  GenericCallMethodOp, ///< A = argc, B = name; receiver under args.
-  NewObjectOp,         ///< A = argc, B = constructor function index.
-  NewArrayOp,          ///< A = argc (Array built-in constructor).
-
-  // Literals.
-  CreateObjectOp,      ///< A = capacity hint.
-  CreateArrayOp,       ///< A = initial length.
-  AddPropTransitionOp, ///< B = slot, Shape = old, Shape2 = new. [obj,v]->[obj].
-  StElemInitOp,        ///< A = index. [arr, v] -> [arr].
-
-  ReturnOp,
-  DeoptOp, ///< Unconditional bailout (unsupported situation).
+#define CCJS_IR_OPCODE_ENUMERATOR(Name) Name,
+  CCJS_FOR_EACH_IR_OPCODE(CCJS_IR_OPCODE_ENUMERATOR)
+#undef CCJS_IR_OPCODE_ENUMERATOR
 };
+
+inline constexpr unsigned NumIrOpcodes = 0
+#define CCJS_IR_OPCODE_COUNT(Name) +1
+    CCJS_FOR_EACH_IR_OPCODE(CCJS_IR_OPCODE_COUNT)
+#undef CCJS_IR_OPCODE_COUNT
+    ;
 
 /// Flag bits for OptIrOp::Flags.
 enum : uint16_t {
@@ -141,6 +149,13 @@ struct OptCode {
   /// Loop-preheader movClassIDArray loads: ir index of the loop head ->
   /// locals whose ClassID is loaded into regArrayObjectClassId registers.
   std::unordered_map<uint32_t, std::vector<uint32_t>> LoopPreloads;
+  /// PreloadAt[I] != 0 iff LoopPreloads contains I. Host-side dispatch
+  /// accelerator only; derived from LoopPreloads at the end of build().
+  std::vector<uint8_t> PreloadAt;
+  /// Peak abstract operand-stack depth observed while building. The
+  /// executor pre-reserves this, so the operand stack never reallocates
+  /// mid-run (host-side sizing hint; never affects simulated events).
+  uint32_t MaxStack = 0;
 
   // Compile-time statistics (for the ablation benches).
   uint32_t ChecksEmitted = 0;

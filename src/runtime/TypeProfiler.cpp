@@ -8,16 +8,15 @@ ObjectLoadCounters TypeProfiler::summarize() const {
   ObjectLoadCounters Out;
   Out.FirstLineLoads = FirstLineLoads;
   Out.TotalPropertyLoads = TotalPropertyLoads;
-  for (const auto &[Key, Count] : Loads) {
+  Loads.forEach([&](uint64_t Key, uint64_t Count) {
     bool IsElements = (Key >> 63) != 0;
-    auto It = Profiles.find(Key);
-    bool Mono = It != Profiles.end() && It->second.Initialized &&
-                !It->second.Polymorphic;
+    const LocProfile *P = Profiles.find(Key);
+    bool Mono = P && P->Initialized && !P->Polymorphic;
     if (IsElements) {
       (Mono ? Out.MonomorphicElements : Out.NonMonomorphicElements) += Count;
     } else {
       (Mono ? Out.MonomorphicProperty : Out.NonMonomorphicProperty) += Count;
     }
-  }
+  });
   return Out;
 }

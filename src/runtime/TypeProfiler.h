@@ -18,9 +18,9 @@
 
 #include "profile/Categories.h"
 #include "runtime/Shape.h"
+#include "support/FlatMap.h"
 
 #include <cstdint>
-#include <unordered_map>
 
 namespace ccjs {
 
@@ -31,32 +31,30 @@ public:
 
   void recordPropertyStore(ShapeId Holder, uint32_t Slot,
                            uint32_t ValueClass) {
-    record(Profiles[propKey(Holder, Slot)], ValueClass);
+    record(profileFor(propKey(Holder, Slot)), ValueClass);
   }
 
   void recordElementStore(ShapeId Holder, uint32_t ValueClass) {
-    record(Profiles[elemKey(Holder)], ValueClass);
+    record(profileFor(elemKey(Holder)), ValueClass);
   }
 
   void recordPropertyLoad(ShapeId Holder, uint32_t Slot, bool FirstLine) {
-    ++Loads[propKey(Holder, Slot)];
+    bumpLoad(propKey(Holder, Slot));
     ++TotalPropertyLoads;
     if (FirstLine)
       ++FirstLineLoads;
   }
 
-  void recordElementLoad(ShapeId Holder) { ++Loads[elemKey(Holder)]; }
+  void recordElementLoad(ShapeId Holder) { bumpLoad(elemKey(Holder)); }
 
   /// True when the location has seen stores of exactly one value class.
   bool isPropertyMonomorphic(ShapeId Holder, uint32_t Slot) const {
-    auto It = Profiles.find(propKey(Holder, Slot));
-    return It != Profiles.end() && It->second.Initialized &&
-           !It->second.Polymorphic;
+    const LocProfile *P = Profiles.find(propKey(Holder, Slot));
+    return P && P->Initialized && !P->Polymorphic;
   }
   bool isElementsMonomorphic(ShapeId Holder) const {
-    auto It = Profiles.find(elemKey(Holder));
-    return It != Profiles.end() && It->second.Initialized &&
-           !It->second.Polymorphic;
+    const LocProfile *P = Profiles.find(elemKey(Holder));
+    return P && P->Initialized && !P->Polymorphic;
   }
 
   /// Classifies every recorded load against the final monomorphism state
@@ -95,8 +93,41 @@ private:
     return (uint64_t(1) << 63) | Holder;
   }
 
-  std::unordered_map<uint64_t, LocProfile> Profiles;
-  std::unordered_map<uint64_t, uint64_t> Loads;
+  // One-entry memos over the maps: long monomorphic runs hit the same
+  // key >85% of the time, and the memo turns those into one compare and
+  // one increment with no hashing and no probe into a possibly
+  // cache-cold table. FlatMap64 value pointers move on rehash/clear, so
+  // each memo revalidates against the map's generation counter.
+  uint64_t &bumpLoad(uint64_t Key) {
+    if (Key == LastLoadKey && LoadsGen == Loads.generation())
+      return ++*LastLoad;
+    LastLoad = &Loads[Key];
+    LastLoadKey = Key;
+    LoadsGen = Loads.generation();
+    return ++*LastLoad;
+  }
+
+  LocProfile &profileFor(uint64_t Key) {
+    if (Key == LastProfileKey && ProfilesGen == Profiles.generation())
+      return *LastProfile;
+    LastProfile = &Profiles[Key];
+    LastProfileKey = Key;
+    ProfilesGen = Profiles.generation();
+    return *LastProfile;
+  }
+
+  // Flat open-addressing maps: these tallies take >100M operations per
+  // fig8 sweep, where std::unordered_map's bucket-chain walk dominated.
+  // propKey never produces the FlatMap64 sentinel (~0): the shape id in
+  // the top 40 bits would have to be 2^40-1, far beyond any real run.
+  FlatMap64<LocProfile> Profiles;
+  FlatMap64<uint64_t> Loads;
+  uint64_t *LastLoad = nullptr;
+  uint64_t LastLoadKey = FlatMap64<uint64_t>::EmptyKey;
+  uint64_t LoadsGen = ~uint64_t(0);
+  LocProfile *LastProfile = nullptr;
+  uint64_t LastProfileKey = FlatMap64<LocProfile>::EmptyKey;
+  uint64_t ProfilesGen = ~uint64_t(0);
   uint64_t FirstLineLoads = 0;
   uint64_t TotalPropertyLoads = 0;
 };

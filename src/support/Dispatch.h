@@ -1,0 +1,29 @@
+//===- support/Dispatch.h - Threaded-dispatch feature macro ----*- C++ -*-===//
+///
+/// \file
+/// CCJS_THREADED_DISPATCH gates the computed-goto (token-threaded)
+/// variants of the interpreter and OptIR executor main loops. It defaults
+/// to on for compilers with the GNU `&&label` extension and can be forced
+/// either way with -DCCJS_THREADED_DISPATCH=0/1.
+///
+/// This is a *host-side* knob: both dispatch strategies execute the same
+/// handler code and emit identical simulated machine events, so it is
+/// deliberately excluded from config fingerprints (reports from either
+/// mode diff cleanly against each other). The runtime selection lives in
+/// EngineConfig::ThreadedDispatch; tests/DispatchEquivalenceTest.cpp holds
+/// the two modes byte-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_SUPPORT_DISPATCH_H
+#define CCJS_SUPPORT_DISPATCH_H
+
+#ifndef CCJS_THREADED_DISPATCH
+#if defined(__GNUC__) || defined(__clang__)
+#define CCJS_THREADED_DISPATCH 1
+#else
+#define CCJS_THREADED_DISPATCH 0
+#endif
+#endif
+
+#endif // CCJS_SUPPORT_DISPATCH_H

@@ -1,0 +1,115 @@
+//===- support/FlatMap.h - Open-addressing u64 hash map ---------*- C++ -*-===//
+///
+/// \file
+/// A minimal linear-probing hash map with 64-bit keys and POD-ish values,
+/// for host-side instrumentation tallies on the simulator's hottest paths
+/// (TypeProfiler records every property/elements load and store). A
+/// single flat array probe replaces std::unordered_map's bucket-chain
+/// walk; the map is a pure host data structure, so swapping it in cannot
+/// perturb any simulated statistic (aggregations over it are
+/// order-independent sums and point lookups).
+///
+/// Constraints, chosen for the instrumentation use case: keys must never
+/// equal the reserved EmptyKey sentinel (~0), entries cannot be erased
+/// individually, and value references are invalidated by any insertion
+/// (the table rehashes in place by doubling).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_SUPPORT_FLATMAP_H
+#define CCJS_SUPPORT_FLATMAP_H
+
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ccjs {
+
+template <typename V> class FlatMap64 {
+public:
+  static constexpr uint64_t EmptyKey = ~uint64_t(0);
+
+  /// Returns the value for \p Key, default-constructing it on first use.
+  /// May rehash: references returned earlier are invalidated.
+  V &operator[](uint64_t Key) {
+    CCJS_ASSERT(Key != EmptyKey, "FlatMap64 key collides with the sentinel");
+    // Load factor cap 1/2: linear probing degrades sharply past ~2/3.
+    if ((Count + 1) * 2 > Keys.size())
+      grow();
+    size_t I = probe(Key);
+    if (Keys[I] != Key) {
+      Keys[I] = Key;
+      Vals[I] = V();
+      ++Count;
+    }
+    return Vals[I];
+  }
+
+  const V *find(uint64_t Key) const {
+    if (Count == 0)
+      return nullptr;
+    size_t I = probe(Key);
+    return Keys[I] == Key ? &Vals[I] : nullptr;
+  }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// Bumped every time the table rehashes or clears; callers caching a
+  /// value pointer must revalidate against this before dereferencing.
+  uint64_t generation() const { return Generation; }
+
+  /// Drops all entries but keeps the table storage.
+  void clear() {
+    std::fill(Keys.begin(), Keys.end(), EmptyKey);
+    Count = 0;
+    ++Generation;
+  }
+
+  /// Calls \p Fn(key, value) for every entry, in unspecified order.
+  template <typename F> void forEach(F &&Fn) const {
+    for (size_t I = 0; I < Keys.size(); ++I)
+      if (Keys[I] != EmptyKey)
+        Fn(Keys[I], Vals[I]);
+  }
+
+private:
+  size_t probe(uint64_t Key) const {
+    // Fibonacci mixing spreads the packed (shape, slot) keys, which
+    // differ mostly in their low bits, across the whole table.
+    size_t Mask = Keys.size() - 1;
+    size_t I = static_cast<size_t>((Key * 0x9E3779B97F4A7C15ull) >> 32) & Mask;
+    while (Keys[I] != EmptyKey && Keys[I] != Key)
+      I = (I + 1) & Mask;
+    return I;
+  }
+
+  void grow() {
+    ++Generation;
+    size_t NewCap = Keys.empty() ? 64 : Keys.size() * 2;
+    std::vector<uint64_t> OldKeys = std::move(Keys);
+    std::vector<V> OldVals = std::move(Vals);
+    Keys.assign(NewCap, EmptyKey);
+    Vals.assign(NewCap, V());
+    for (size_t I = 0; I < OldKeys.size(); ++I) {
+      if (OldKeys[I] == EmptyKey)
+        continue;
+      size_t J = probe(OldKeys[I]);
+      Keys[J] = OldKeys[I];
+      Vals[J] = std::move(OldVals[I]);
+    }
+  }
+
+  std::vector<uint64_t> Keys;
+  std::vector<V> Vals;
+  size_t Count = 0;
+  uint64_t Generation = 0;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_SUPPORT_FLATMAP_H

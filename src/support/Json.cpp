@@ -164,8 +164,44 @@ void Value::dumpTo(std::string &Out, unsigned Indent, unsigned Depth) const {
   }
 }
 
+/// Close upper estimate of the rendered size of \p V, so dump() can
+/// reserve once instead of growing the output string through repeated
+/// reallocation (full bench reports run to hundreds of kilobytes of
+/// small appends).
+static size_t estimateDumpSize(const Value &V, unsigned Indent,
+                               unsigned Depth) {
+  switch (V.kind()) {
+  case Value::Kind::Null:
+    return 4;
+  case Value::Kind::Boolean:
+    return 5;
+  case Value::Kind::Number:
+    return 24; // Shortest round-trip double is at most 24 chars.
+  case Value::Kind::String:
+    return V.asString().size() + 8; // Quotes plus a few escapes.
+  case Value::Kind::Array: {
+    // Per element: separator plus newline-and-indent (pretty mode).
+    size_t PerElem = 1 + (Indent ? 1 + size_t(Indent) * (Depth + 1) : 0);
+    size_t N = 2 + (Indent ? 1 + size_t(Indent) * Depth : 0);
+    for (const Value &E : V.elements())
+      N += PerElem + estimateDumpSize(E, Indent, Depth + 1);
+    return N;
+  }
+  case Value::Kind::Object: {
+    size_t PerMember = 4 + (Indent ? 1 + size_t(Indent) * (Depth + 1) : 0);
+    size_t N = 2 + (Indent ? 1 + size_t(Indent) * Depth : 0);
+    for (const auto &[Key, Member] : V.members())
+      N += PerMember + Key.size() + estimateDumpSize(Member, Indent,
+                                                     Depth + 1);
+    return N;
+  }
+  }
+  return 0;
+}
+
 std::string Value::dump(unsigned Indent) const {
   std::string Out;
+  Out.reserve(estimateDumpSize(*this, Indent, 0) + 2);
   dumpTo(Out, Indent, 0);
   if (Indent)
     Out += '\n';

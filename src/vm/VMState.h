@@ -26,6 +26,7 @@
 #include "hw/HwConfig.h"
 #include "runtime/Heap.h"
 #include "runtime/TypeProfiler.h"
+#include "support/Dispatch.h"
 #include "support/FaultInjector.h"
 #include "support/StringInterner.h"
 #include "support/Trace.h"
@@ -80,6 +81,17 @@ struct EngineConfig {
   /// Maintain the named counter/histogram registry (off by default;
   /// observational, same contract as Trace).
   bool MetricsEnabled = false;
+
+  /// Host-side dispatch strategy for the interpreter and OptIR executor
+  /// main loops: computed-goto token-threading (available when the build
+  /// supports it) or the portable switch. Both strategies run the same
+  /// handler code and emit identical simulated events (held so by
+  /// tests/DispatchEquivalenceTest.cpp), so this knob is excluded from
+  /// config fingerprints — like Trace, it can never perturb a measurement.
+  /// Off by default: on current deep-indirect-predictor hosts the single
+  /// switch dispatch measures faster than replicated computed gotos (see
+  /// DESIGN.md §4.6); flip per-engine where the threaded loop wins.
+  bool ThreadedDispatch = false;
 
   HwConfig Hw;
 };

@@ -1,0 +1,253 @@
+//===- tests/DispatchEquivalenceTest.cpp - Threaded vs switch oracle ------===//
+///
+/// The host-throughput work must be invisible to the simulation. Two
+/// families of oracles enforce that:
+///
+///  * Dispatch: the computed-goto (token-threaded) interpreter/executor
+///    loops and the portable switch loops are stamped from the same
+///    handler text (jit/ExecutorLoop.inc, interp/InterpreterLoop.inc) and
+///    must produce byte-identical observable behaviour — print output,
+///    serialized RunStats, engine metrics and fault trip logs — for every
+///    differential program, including under chaos fault injection.
+///
+///  * Memory model: CacheSim's MRU short-circuit and one-entry repeat-block
+///    memo are checked access-for-access against a naive true-LRU reference
+///    model on randomized address streams.
+///
+//===----------------------------------------------------------------------===//
+
+#include "DiffPrograms.h"
+#include "TestUtil.h"
+
+#include "core/BenchHarness.h"
+#include "core/Metrics.h"
+#include "hw/CacheSim.h"
+#include "support/Dispatch.h"
+#include "support/FaultInjector.h"
+
+#include <random>
+#include <vector>
+
+using namespace ccjs;
+
+namespace {
+
+using test::DiffProgram;
+using test::Programs;
+
+constexpr uint64_t NumDispatchSeeds = 16;
+
+/// Everything observable about one engine run, rendered to strings so the
+/// comparison is a byte-identity check rather than a field-by-field one.
+struct RunImage {
+  bool Ok = false;
+  std::string Error;
+  std::string Output;
+  std::string Stats;
+  std::string Metrics;
+  std::string TripLog;
+};
+
+RunImage runImage(const char *Source, EngineConfig Config, bool Threaded) {
+  Config.ThreadedDispatch = Threaded;
+  RunImage R;
+  Engine E(Config);
+  if (!E.load(Source) || !E.runTopLevel()) {
+    R.Error = E.lastError();
+    return R;
+  }
+  R.Ok = true;
+  R.Output = E.output();
+  R.Stats = statsToJson(E.stats()).dump(2);
+  if (const MetricsRegistry *M = E.metrics())
+    R.Metrics = M->render();
+  if (const FaultInjector *FI = E.faultInjector())
+    R.TripLog = FI->renderTripLog();
+  return R;
+}
+
+void expectIdentical(const RunImage &Switch, const RunImage &Threaded,
+                     const char *What) {
+  ASSERT_EQ(Switch.Ok, Threaded.Ok)
+      << What << ": one mode halted (" << Switch.Error << Threaded.Error
+      << ")";
+  ASSERT_TRUE(Switch.Ok) << What << ": " << Switch.Error;
+  EXPECT_EQ(Switch.Output, Threaded.Output) << What << ": output diverged";
+  EXPECT_EQ(Switch.Stats, Threaded.Stats) << What << ": RunStats diverged";
+  EXPECT_EQ(Switch.Metrics, Threaded.Metrics) << What << ": metrics diverged";
+  EXPECT_EQ(Switch.TripLog, Threaded.TripLog)
+      << What << ": fault trip log diverged";
+}
+
+class DispatchEquivalenceTest : public ::testing::TestWithParam<DiffProgram> {
+protected:
+  void SetUp() override {
+#if !CCJS_THREADED_DISPATCH
+    GTEST_SKIP() << "threaded dispatch not compiled in";
+#endif
+  }
+};
+
+/// Fault-free byte identity, with metrics on, under both the baseline and
+/// the Class Cache configuration (both tiers get exercised either way:
+/// functions run interpreted before tiering up).
+TEST_P(DispatchEquivalenceTest, StatsAndMetricsIdentical) {
+  const DiffProgram &P = GetParam();
+  for (bool ClassCache : {false, true}) {
+    EngineConfig C = test::hotConfig(ClassCache);
+    C.MetricsEnabled = true;
+    RunImage Sw = runImage(P.Source, C, /*Threaded=*/false);
+    RunImage Th = runImage(P.Source, C, /*Threaded=*/true);
+    expectIdentical(Sw, Th, ClassCache ? "class-cache" : "baseline");
+  }
+}
+
+/// Chaos sweep: under deterministic fault injection (deopts, invalidation
+/// storms...) every seed must still be byte-identical between the two
+/// dispatch modes — the fault schedule itself is part of the identity.
+TEST_P(DispatchEquivalenceTest, ChaosSeedsIdentical) {
+  const DiffProgram &P = GetParam();
+  for (uint64_t Seed = 1; Seed <= NumDispatchSeeds; ++Seed) {
+    EngineConfig C = test::hotConfig(/*ClassCache=*/true);
+    C.Faults.Enabled = true;
+    C.Faults.Seed = Seed;
+    C.AuditInvariants = true;
+    C.MetricsEnabled = true;
+    RunImage Sw = runImage(P.Source, C, /*Threaded=*/false);
+    RunImage Th = runImage(P.Source, C, /*Threaded=*/true);
+    expectIdentical(Sw, Th,
+                    (std::string("chaos seed ") + std::to_string(Seed))
+                        .c_str());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, DispatchEquivalenceTest,
+                         ::testing::ValuesIn(Programs),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+//===----------------------------------------------------------------------===//
+// CacheSim fast paths vs a naive reference model
+//===----------------------------------------------------------------------===//
+
+/// Textbook true-LRU set-associative cache: each set is an MRU-first list.
+/// No short-circuits, no memos — the specification CacheSim optimizes.
+class RefCache {
+public:
+  RefCache(unsigned NumSets, unsigned Ways, unsigned BlockBytes)
+      : NumSets(NumSets), Ways(Ways), BlockBytes(BlockBytes),
+        Sets(NumSets) {}
+
+  bool access(uint64_t Addr) {
+    ++Accesses;
+    uint64_t Block = Addr / BlockBytes;
+    std::vector<uint64_t> &S = Sets[Block & (NumSets - 1)];
+    for (size_t I = 0; I < S.size(); ++I) {
+      if (S[I] == Block) {
+        S.erase(S.begin() + I);
+        S.insert(S.begin(), Block);
+        return true;
+      }
+    }
+    ++Misses;
+    S.insert(S.begin(), Block);
+    if (S.size() > Ways)
+      S.pop_back();
+    return false;
+  }
+
+  void flush() {
+    for (std::vector<uint64_t> &S : Sets)
+      S.clear();
+  }
+
+  uint64_t accesses() const { return Accesses; }
+  uint64_t misses() const { return Misses; }
+
+private:
+  unsigned NumSets, Ways, BlockBytes;
+  std::vector<std::vector<uint64_t>> Sets;
+  uint64_t Accesses = 0;
+  uint64_t Misses = 0;
+};
+
+/// Randomized address stream with the locality patterns the fast paths
+/// target: immediate repeats (repeat-block memo), same-page/other-line
+/// runs (DTLB memo), strides and uniform randoms, plus occasional flushes.
+void checkGeometry(unsigned NumSets, unsigned Ways, unsigned BlockBytes,
+                   uint64_t Seed) {
+  CacheSim Sim(NumSets, Ways, BlockBytes);
+  RefCache Ref(NumSets, Ways, BlockBytes);
+  std::mt19937_64 Rng(Seed);
+  uint64_t Addr = 0;
+  for (int I = 0; I < 20000; ++I) {
+    switch (Rng() % 10) {
+    case 0:
+    case 1:
+    case 2:
+      break; // Repeat the previous address exactly.
+    case 3:
+    case 4:
+      Addr += 8; // Sequential walk within / across blocks.
+      break;
+    case 5:
+      Addr += BlockBytes; // Next block, same set neighborhood.
+      break;
+    case 6:
+      // Same block, different offset (DTLB: same page, other line).
+      Addr = (Addr / BlockBytes) * BlockBytes + Rng() % BlockBytes;
+      break;
+    default:
+      Addr = Rng() % (uint64_t(NumSets) * Ways * BlockBytes * 8);
+      break;
+    }
+    if (Rng() % 4096 == 0) {
+      Sim.flush();
+      Ref.flush();
+    }
+    bool SimHit = Sim.access(Addr);
+    bool RefHit = Ref.access(Addr);
+    ASSERT_EQ(SimHit, RefHit)
+        << "access " << I << " addr " << Addr << " diverged (geometry "
+        << NumSets << "x" << Ways << "x" << BlockBytes << ", seed " << Seed
+        << ")";
+  }
+  EXPECT_EQ(Sim.accesses(), Ref.accesses());
+  EXPECT_EQ(Sim.misses(), Ref.misses());
+}
+
+TEST(CacheSimEquivalenceTest, RandomStreamsMatchReferenceModel) {
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    checkGeometry(64, 4, 64, Seed);    // DL1-like.
+    checkGeometry(512, 8, 64, Seed);   // L2-like.
+    checkGeometry(16, 4, 4096, Seed);  // DTLB-like (page "lines").
+    checkGeometry(8, 1, 64, Seed);     // Direct-mapped edge case.
+    checkGeometry(1, 2, 64, Seed);     // Single-set edge case.
+  }
+}
+
+/// countRepeatHit must be exactly "access() that is a guaranteed way-0
+/// hit": same counters, no replacement-state change.
+TEST(CacheSimEquivalenceTest, CountRepeatHitMatchesAccess) {
+  CacheSim A(16, 4, 64), B(16, 4, 64);
+  for (uint64_t Addr : {0x40ull, 0x80ull, 0x40ull}) {
+    A.access(Addr);
+    B.access(Addr);
+  }
+  // A repeat of the last address: real access vs the caller-proven count.
+  A.access(0x44);
+  B.countRepeatHit();
+  EXPECT_EQ(A.accesses(), B.accesses());
+  EXPECT_EQ(A.misses(), B.misses());
+  // Subsequent behaviour must stay in lockstep.
+  std::mt19937_64 Rng(3);
+  for (int I = 0; I < 2000; ++I) {
+    uint64_t Addr = Rng() % (16 * 4 * 64 * 8);
+    EXPECT_EQ(A.access(Addr), B.access(Addr));
+  }
+  EXPECT_EQ(A.accesses(), B.accesses());
+  EXPECT_EQ(A.misses(), B.misses());
+}
+
+} // namespace

@@ -5,7 +5,7 @@
 /// smoke gate against a committed baseline report:
 ///
 ///   bench_diff [--tolerance=PCT] [--verbose] [--ignore-metrics]
-///              old.json new.json
+///              [--host-time=PCT] old.json new.json
 ///
 /// Tolerance semantics (see core/BenchHarness.h): percentage points for
 /// speedup / energy-reduction / hit-rate metrics, relative percent for
@@ -13,6 +13,12 @@
 /// Default 0.1. --ignore-metrics skips the report-level "metrics" section
 /// (engine counters) entirely, e.g. when diffing a metrics-on run against
 /// a baseline recorded without --metrics.
+///
+/// --host-time=PCT additionally compares the opt-in "host" sections
+/// (reports produced with --host): a wall-clock slowdown beyond PCT
+/// relative percent is flagged as a host-time regression. Host timings
+/// are machine- and load-dependent, so the section is otherwise ignored
+/// and CI runs this comparison informationally (non-blocking).
 ///
 /// Exit codes: 0 = no regressions; 1 = regressions found (or the reports
 /// are not comparable); 2 = usage or I/O error.
@@ -55,6 +61,7 @@ static bool loadReport(const char *Path, json::Value &Out) {
 
 int main(int Argc, char **Argv) {
   double Tolerance = 0.1;
+  double HostTimePct = -1; // < 0: host sections not compared.
   bool Verbose = false, IgnoreMetrics = false;
   const char *Paths[2] = {nullptr, nullptr};
   int NumPaths = 0;
@@ -66,6 +73,13 @@ int main(int Argc, char **Argv) {
       Tolerance = std::strtod(A + 12, &End);
       if (!End || *End || Tolerance < 0) {
         std::fprintf(stderr, "bench_diff: invalid tolerance '%s'\n", A + 12);
+        return 2;
+      }
+    } else if (!std::strncmp(A, "--host-time=", 12)) {
+      char *End = nullptr;
+      HostTimePct = std::strtod(A + 12, &End);
+      if (!End || *End || HostTimePct < 0) {
+        std::fprintf(stderr, "bench_diff: invalid --host-time '%s'\n", A + 12);
         return 2;
       }
     } else if (!std::strcmp(A, "--verbose")) {
@@ -84,7 +98,8 @@ int main(int Argc, char **Argv) {
   }
   if (NumPaths != 2) {
     std::fprintf(stderr, "usage: bench_diff [--tolerance=PCT] [--verbose] "
-                         "[--ignore-metrics] old.json new.json\n");
+                         "[--ignore-metrics] [--host-time=PCT] "
+                         "old.json new.json\n");
     return 2;
   }
 
@@ -123,5 +138,36 @@ int main(int Argc, char **Argv) {
   std::printf("%zu metrics compared, %zu improved, %zu regressed "
               "(tolerance %.3g)\n",
               R.MetricsCompared, Improvements, Regressions, Tolerance);
+
+  // Host-throughput comparison, only on request: wall-clock depends on the
+  // machine and its load, so this never runs as part of the default diff.
+  if (HostTimePct >= 0) {
+    const json::Value *OldH = Old.findPath("host.wall_seconds");
+    const json::Value *NewH = New.findPath("host.wall_seconds");
+    if (!OldH || !NewH || !OldH->isNumber() || !NewH->isNumber()) {
+      std::printf("host time: not compared (section missing from %s report)\n",
+                  !OldH || !OldH->isNumber() ? "old" : "new");
+    } else {
+      double OldS = OldH->asNumber(), NewS = NewH->asNumber();
+      double ChangePct = OldS > 0 ? (NewS / OldS - 1.0) * 100.0 : 0.0;
+      bool Slower = ChangePct > HostTimePct;
+      std::printf("host time: %.3fs -> %.3fs (%+.1f%%, budget +%.1f%%)%s\n",
+                  OldS, NewS, ChangePct, HostTimePct,
+                  Slower ? " HOST-TIME REGRESSION" : "");
+      const json::Value *OldT =
+          Old.findPath("host.sim_instructions_per_host_second");
+      const json::Value *NewT =
+          New.findPath("host.sim_instructions_per_host_second");
+      if (OldT && NewT && OldT->isNumber() && NewT->isNumber())
+        std::printf("host throughput: %.3g -> %.3g simulated instr/s "
+                    "(%+.1f%%)\n",
+                    OldT->asNumber(), NewT->asNumber(),
+                    OldT->asNumber() > 0
+                        ? (NewT->asNumber() / OldT->asNumber() - 1.0) * 100.0
+                        : 0.0);
+      if (Slower)
+        ++Regressions;
+    }
+  }
   return Regressions ? 1 : 0;
 }
