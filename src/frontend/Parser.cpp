@@ -65,6 +65,9 @@ ParseResult Parser::run() {
 StmtPtr Parser::parseStatement() {
   if (HasError)
     return nullptr;
+  NestingGuard Guard(*this);
+  if (!Guard)
+    return nullptr;
   uint32_t Line = Cur.Line;
   StmtPtr S;
   switch (Cur.Kind) {
@@ -259,6 +262,9 @@ static bool isAssignTarget(const Expr &E) {
 ExprPtr Parser::parseAssignment() {
   if (HasError)
     return make<UndefinedLitExpr>();
+  NestingGuard Guard(*this);
+  if (!Guard)
+    return make<UndefinedLitExpr>();
   uint32_t Line = Cur.Line;
   ExprPtr Lhs = parseConditional();
 
@@ -382,6 +388,9 @@ ExprPtr Parser::parseBinary(int MinPrec) {
 
 ExprPtr Parser::parseUnary() {
   if (HasError)
+    return make<UndefinedLitExpr>();
+  NestingGuard Guard(*this);
+  if (!Guard)
     return make<UndefinedLitExpr>();
   uint32_t Line = Cur.Line;
   UnaryOp Op;

@@ -34,7 +34,29 @@ public:
 
   ParseResult run();
 
+  /// Maximum statement/expression nesting depth. A recursive-descent
+  /// parser consumes native stack per nesting level, so unbounded input
+  /// (e.g. thousands of nested parentheses) would overflow the host stack;
+  /// past this depth the parse fails with a clean error instead.
+  static constexpr int MaxNestingDepth = 200;
+
 private:
+  /// RAII guard for the recursion paths (statements, assignment chains,
+  /// unary chains). Entering past MaxNestingDepth fails the parse; the
+  /// caller checks the guard and unwinds without recursing further.
+  struct NestingGuard {
+    explicit NestingGuard(Parser &P) : P(P) {
+      if (++P.NestingDepth > MaxNestingDepth)
+        P.fail("nesting too deep (limit " +
+               std::to_string(MaxNestingDepth) + ")");
+    }
+    ~NestingGuard() { --P.NestingDepth; }
+    explicit operator bool() const {
+      return P.NestingDepth <= MaxNestingDepth && !P.HasError;
+    }
+    Parser &P;
+  };
+
   /// Bump-allocates an AST node in the result Program's arena. The arena
   /// (set by run()) owns the node; the returned pointer's deleter is a
   /// no-op.
@@ -77,6 +99,7 @@ private:
   std::string ErrorMsg;
   uint32_t ErrorLine = 0;
   int FunctionDepth = 0;
+  int NestingDepth = 0;
 };
 
 } // namespace ccjs

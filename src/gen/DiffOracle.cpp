@@ -1,0 +1,206 @@
+//===- gen/DiffOracle.cpp - Cross-tier differential oracle ----------------===//
+
+#include "gen/DiffOracle.h"
+
+#include "core/BenchHarness.h"
+#include "core/Engine.h"
+#include "core/Metrics.h"
+#include "core/Stats.h"
+#include "support/Dispatch.h"
+#include "support/FaultInjector.h"
+#include "support/Json.h"
+#include "vm/InvariantAuditor.h"
+
+#include <cstddef>
+
+using namespace ccjs;
+using namespace ccjs::gen;
+
+namespace {
+
+/// Hot tiering thresholds shared with the test suite's hotConfig(): low
+/// enough that generated programs tier up mid-run.
+constexpr uint32_t HotInvocations = 2;
+constexpr uint32_t HotLoopTrips = 50;
+
+/// Everything observable about one engine run.
+struct TierRun {
+  bool Loaded = false;
+  bool Ok = false;
+  std::string Error;
+  std::string Output;
+  uint64_t Shapes = 0;
+  uint64_t AuditFailures = 0;
+  std::string FirstAuditMsg;
+  // Byte-image fields, only filled when requested (dispatch comparison).
+  std::string Stats;
+  std::string Metrics;
+  std::string TripLog;
+};
+
+TierRun runTier(const std::string &Source, const Engine::Options &Opts,
+                bool WantImage) {
+  Engine E(Opts);
+  TierRun R;
+  if (!E.load(Source)) {
+    R.Error = E.lastError();
+    return R;
+  }
+  R.Loaded = true;
+  R.Ok = E.runTopLevel();
+  if (!R.Ok)
+    R.Error = E.lastError();
+  E.auditNow("final");
+  R.Output = E.output();
+  R.Shapes = E.stats().NumHiddenClasses;
+  if (WantImage) {
+    R.Stats = statsToJson(E.stats()).dump(2);
+    if (const MetricsRegistry *M = E.metrics())
+      R.Metrics = M->render();
+    if (const FaultInjector *FI = E.faultInjector())
+      R.TripLog = FI->renderTripLog();
+  }
+  if (const InvariantAuditor *A = E.auditor()) {
+    R.AuditFailures = A->failureCount();
+    if (!A->failures().empty())
+      R.FirstAuditMsg = A->failures().front();
+  }
+  return R;
+}
+
+/// Excerpt around the first differing byte of two strings.
+std::string firstDiff(const std::string &A, const std::string &B) {
+  size_t I = 0;
+  while (I < A.size() && I < B.size() && A[I] == B[I])
+    ++I;
+  size_t Lo = I > 40 ? I - 40 : 0;
+  auto Cut = [&](const std::string &S) {
+    return S.substr(Lo, std::min<size_t>(80, S.size() - Lo));
+  };
+  return "at byte " + std::to_string(I) + ": \"..." + Cut(A) +
+         "\" vs \"..." + Cut(B) + "\"";
+}
+
+class Comparator {
+public:
+  explicit Comparator(const TierRun &Ref) : Ref(Ref) {}
+
+  /// Semantic equivalence: halt status, error, output, hidden classes.
+  void semantics(const TierRun &T, const std::string &Name) {
+    if (!T.Loaded) {
+      issue(Name + ": failed to load: " + T.Error);
+      return;
+    }
+    if (T.Ok != Ref.Ok || T.Error != Ref.Error)
+      issue(Name + ": status diverged (reference " +
+            (Ref.Ok ? "ok" : "halt \"" + Ref.Error + "\"") + ", " + Name +
+            " " + (T.Ok ? "ok" : "halt \"" + T.Error + "\"") + ")");
+    if (T.Output != Ref.Output)
+      issue(Name + ": output diverged " + firstDiff(Ref.Output, T.Output));
+    if (T.Shapes != Ref.Shapes)
+      issue(Name + ": hidden-class count diverged (reference " +
+            std::to_string(Ref.Shapes) + ", " + Name + " " +
+            std::to_string(T.Shapes) + ")");
+    audits(T, Name);
+  }
+
+  /// Byte identity between two runs of the same configuration.
+  void image(const TierRun &A, const TierRun &B, const std::string &Name) {
+    if (A.Output != B.Output)
+      issue(Name + ": output diverged " + firstDiff(A.Output, B.Output));
+    if (A.Stats != B.Stats)
+      issue(Name + ": RunStats diverged " + firstDiff(A.Stats, B.Stats));
+    if (A.Metrics != B.Metrics)
+      issue(Name + ": metrics diverged " + firstDiff(A.Metrics, B.Metrics));
+    if (A.TripLog != B.TripLog)
+      issue(Name + ": fault trip log diverged " +
+            firstDiff(A.TripLog, B.TripLog));
+    if (A.Ok != B.Ok || A.Error != B.Error)
+      issue(Name + ": status diverged (\"" + A.Error + "\" vs \"" +
+            B.Error + "\")");
+  }
+
+  void audits(const TierRun &T, const std::string &Name) {
+    if (T.AuditFailures)
+      issue(Name + ": " + std::to_string(T.AuditFailures) +
+            " invariant-audit failure(s), first: " + T.FirstAuditMsg);
+  }
+
+  void issue(const std::string &Msg) {
+    ++Issues;
+    if (Issues <= MaxReported) {
+      Report += Msg;
+      Report += '\n';
+    }
+  }
+
+  const TierRun &Ref;
+  unsigned Issues = 0;
+  std::string Report;
+  static constexpr unsigned MaxReported = 8;
+};
+
+} // namespace
+
+OracleResult ccjs::gen::runOracle(const std::string &Source,
+                                  const OracleOptions &Opts) {
+  OracleResult Result;
+
+  // Reference: the pure baseline interpreter, no speculation machinery.
+  TierRun Ref = runTier(Source, Engine::Options().withNoOpt(), false);
+  if (!Ref.Loaded) {
+    Result.LoadFailed = true;
+    Result.Report = "load failed: " + Ref.Error;
+    return Result;
+  }
+
+  Comparator Cmp(Ref);
+
+  // Tiered executor, Class Cache off (the state-of-the-art baseline).
+  Cmp.semantics(runTier(Source,
+                        Engine::Options()
+                            .withTiering(HotInvocations, HotLoopTrips)
+                            .withAudit(),
+                        false),
+                "tiered");
+
+  // Tiered executor with the Class Cache mechanism and check elision.
+  Engine::Options CcOpts = Engine::Options()
+                               .withClassCache()
+                               .withTiering(HotInvocations, HotLoopTrips)
+                               .withAudit();
+  Cmp.semantics(runTier(Source, CcOpts, false), "cc");
+
+#if CCJS_THREADED_DISPATCH
+  if (Opts.CheckDispatch) {
+    Engine::Options ImgOpts = CcOpts;
+    ImgOpts.withMetrics();
+    TierRun Sw = runTier(Source, ImgOpts, true);
+    TierRun Th =
+        runTier(Source, Engine::Options(ImgOpts).withThreadedDispatch(),
+                true);
+    Cmp.semantics(Sw, "cc+metrics(switch)");
+    Cmp.image(Sw, Th, "dispatch");
+  }
+#endif
+
+  // Chaos sweep: deterministic fault injection must stay transparent.
+  for (uint64_t Seed = 1; Seed <= Opts.ChaosSeeds; ++Seed) {
+    TierRun Chaos = runTier(Source,
+                            Engine::Options()
+                                .withClassCache()
+                                .withTiering(HotInvocations, HotLoopTrips)
+                                .withChaosSeed(Seed)
+                                .withAudit(),
+                            false);
+    Cmp.semantics(Chaos, "chaos seed " + std::to_string(Seed));
+  }
+
+  if (Cmp.Issues > Comparator::MaxReported)
+    Cmp.Report += "... and " +
+                  std::to_string(Cmp.Issues - Comparator::MaxReported) +
+                  " more\n";
+  Result.Ok = Cmp.Issues == 0;
+  Result.Report = Cmp.Report;
+  return Result;
+}

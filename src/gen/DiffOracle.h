@@ -1,0 +1,62 @@
+//===- gen/DiffOracle.h - Cross-tier differential oracle -------*- C++ -*-===//
+///
+/// \file
+/// Runs one MiniJS program through every execution regime the engine has
+/// and checks they are observationally equivalent:
+///
+///   * reference: the pure baseline interpreter (tier-up disabled),
+///   * tiered: hot thresholds, Class Cache off (state-of-the-art config),
+///   * cc: hot thresholds with the Class Cache mechanism and elisions,
+///   * dispatch: cc under switch vs computed-goto dispatch — byte-identical
+///     output, serialized RunStats, metrics, and fault trip logs,
+///   * chaos: cc under a small sweep of fault-injection seeds, with the
+///     InvariantAuditor armed.
+///
+/// Semantic equivalence across tiers means: same halt/ok status, same
+/// error message, same print() output, and the same number of hidden
+/// classes (shape transitions are program semantics, not an optimization
+/// artifact). Full RunStats/metrics byte-identity is only required between
+/// dispatch modes of the *same* configuration, where the host-side loop is
+/// the only variable.
+///
+/// Any disagreement, and any auditor failure, is a soundness bug in the
+/// tier-up/deopt/invalidation machinery — the oracle renders a report
+/// naming the tier, the seed configuration, and the first differing bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_GEN_DIFFORACLE_H
+#define CCJS_GEN_DIFFORACLE_H
+
+#include <cstdint>
+#include <string>
+
+namespace ccjs {
+namespace gen {
+
+struct OracleOptions {
+  /// Chaos seeds 1..ChaosSeeds are swept (0 disables the chaos tier).
+  unsigned ChaosSeeds = 3;
+  /// Compare switch vs computed-goto dispatch byte-for-byte (skipped
+  /// automatically in builds without computed-goto support).
+  bool CheckDispatch = true;
+};
+
+struct OracleResult {
+  /// True when every tier agreed and every audit came back clean.
+  bool Ok = false;
+  /// True when the program failed to parse/compile — a generator bug
+  /// rather than an engine divergence (still a failure for the sweep).
+  bool LoadFailed = false;
+  /// Human-readable description of the first few disagreements.
+  std::string Report;
+};
+
+/// Runs the full cross-tier comparison on \p Source.
+OracleResult runOracle(const std::string &Source,
+                       const OracleOptions &Opts = OracleOptions());
+
+} // namespace gen
+} // namespace ccjs
+
+#endif // CCJS_GEN_DIFFORACLE_H

@@ -1,0 +1,510 @@
+//===- gen/ProgramGen.cpp - Seeded MiniJS program generator ---------------===//
+///
+/// Emission strategy: the program is a property graph rendered to source.
+/// PolymorphismDegree constructor families share a suffix of property
+/// names (s0..s{depth-1}) behind family-specific dummy prefixes (d0..),
+/// so the shared names land in different slots of different hidden
+/// classes — the polymorphism is structural, not cosmetic. A pool of
+/// instances round-robins the families through every hot site; helper
+/// functions form a DAG sized by CallGraphFanOut; element stores churn
+/// kinds per ElementsKindChurn; and an edge-case pool injects the
+/// deterministic nasties (NaN, negative zero, fractional indices,
+/// mid-run shape breaks) that differential testing exists to catch.
+///
+/// Everything is derived from SplitMix64 draws in a fixed order, so the
+/// same GenConfig emits byte-identical source on every platform.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/ProgramGen.h"
+
+#include <vector>
+
+using namespace ccjs;
+using namespace ccjs::gen;
+
+namespace {
+
+constexpr unsigned PoolSize = 16; // Objects in the instance pool (mask 15).
+constexpr unsigned ArrSize = 32;  // Elements in arr/arr2 (mask 31).
+
+class Emitter {
+public:
+  explicit Emitter(const GenConfig &C)
+      : C(C), R(C.Seed ^ 0xA3C59AC2F1E9D7B5ull),
+        Degree(C.PolymorphismDegree ? C.PolymorphismDegree : 1),
+        Depth(C.ShapeTransitionDepth ? C.ShapeTransitionDepth : 1),
+        NumFns(C.NumFunctions ? C.NumFunctions : 1) {}
+
+  std::string run();
+
+private:
+  /// Per-function emission context.
+  struct FnCtx {
+    std::vector<std::string> Locals; ///< Assignable numeric temps.
+    std::string IntParam;            ///< Known-integer parameter ("i"/"m").
+    bool HasObjParam = false;        ///< Parameter `o` holds a pool object.
+    bool InMain = false;
+    bool InLoop = false;  ///< Loop variable `i` is live (main's hot loop).
+    unsigned FnIndex = 0; ///< Helper index (for call targets).
+    unsigned BlockDepth = 0;
+    bool UsedInnerLoop = false; ///< At most one nested loop per function.
+  };
+
+  void line(const std::string &S) {
+    Out += S;
+    Out += '\n';
+  }
+
+  std::string num(unsigned N) { return std::to_string(N); }
+
+  /// Known-integer atom (safe as a masking operand).
+  std::string intAtom(const FnCtx &F) {
+    switch (R.range(3)) {
+    case 0:
+      return F.InLoop ? "i" : F.IntParam;
+    case 1:
+      return num(1 + R.range(16));
+    default:
+      return "(" + (F.InLoop ? std::string("i") : F.IntParam) + " + " +
+             num(R.range(9)) + ")";
+    }
+  }
+
+  /// Guaranteed in-bounds, non-negative element index.
+  std::string idxExpr(const FnCtx &F, unsigned Mask) {
+    std::string A = intAtom(F);
+    if (R.chance(50)) {
+      static const char *Ops[] = {" + ", " * ", " ^ "};
+      A = "(" + A + Ops[R.range(3)] + intAtom(F) + ")";
+    }
+    return "((" + A + ") & " + num(Mask) + ")";
+  }
+
+  std::string poolRecv(const FnCtx &F) {
+    return "pool[" + idxExpr(F, PoolSize - 1) + "]";
+  }
+
+  std::string sharedField() { return "s" + num(R.range(Depth)); }
+
+  /// Receiver for a property access: the object parameter in helpers, a
+  /// pool element in main.
+  std::string objExpr(const FnCtx &F) {
+    if (F.HasObjParam && !R.chance(25))
+      return "o";
+    return poolRecv(F);
+  }
+
+  /// Numeric-ish expression of bounded depth. May evaluate to a double,
+  /// NaN, or (rarely, via churned fields) a string — all deterministic.
+  std::string numExpr(const FnCtx &F, unsigned D) {
+    if (D == 0 || R.chance(30)) {
+      switch (R.range(6)) {
+      case 0:
+        return F.Locals[R.range(static_cast<uint32_t>(F.Locals.size()))];
+      case 1:
+        return F.InLoop ? "i" : F.IntParam;
+      case 2:
+        return num(R.range(64));
+      case 3: {
+        static const char *Doubles[] = {"0.5", "1.5", "2.25", "1.003",
+                                        "0.125"};
+        return Doubles[R.range(5)];
+      }
+      case 4:
+        return objExpr(F) + "." + sharedField();
+      default:
+        return "arr[" + idxExpr(F, ArrSize - 1) + "]";
+      }
+    }
+    switch (R.range(9)) {
+    case 0:
+      return "(" + numExpr(F, D - 1) + " + " + numExpr(F, D - 1) + ")";
+    case 1:
+      return "(" + numExpr(F, D - 1) + " - " + numExpr(F, D - 1) + ")";
+    case 2:
+      return "(" + numExpr(F, D - 1) + " * " + numExpr(F, D - 1) + ")";
+    case 3:
+      return "(" + numExpr(F, D - 1) + " % (" + num(1 + R.range(16)) + "))";
+    case 4: {
+      static const char *Bits[] = {" & ", " | ", " ^ "};
+      return "(" + numExpr(F, D - 1) + Bits[R.range(3)] +
+             numExpr(F, D - 1) + ")";
+    }
+    case 5: {
+      static const char *Shifts[] = {" << ", " >> ", " >>> "};
+      return "(" + numExpr(F, D - 1) + Shifts[R.range(3)] + "(" +
+             num(R.range(5)) + "))";
+    }
+    case 6:
+      return "(" + numExpr(F, D - 1) + " < " + numExpr(F, D - 1) + " ? " +
+             numExpr(F, D - 1) + " : " + numExpr(F, D - 1) + ")";
+    case 7: {
+      static const char *Fns[] = {"Math.floor", "Math.abs", "Math.round"};
+      return Fns[R.range(3)] + std::string("(") + numExpr(F, D - 1) + ")";
+    }
+    default:
+      return "Math." + std::string(R.chance(50) ? "min" : "max") + "(" +
+             numExpr(F, D - 1) + ", " + numExpr(F, D - 1) + ")";
+    }
+  }
+
+  /// Value for an element/field store, honoring the churn knob.
+  std::string storeValue(const FnCtx &F) {
+    if (R.chance(C.ElementsKindChurn)) {
+      if (R.chance(30))
+        return "('x' + " + idxExpr(F, 7) + ")"; // Tagged (string) kind.
+      return "(" + numExpr(F, 1) + " * 0.5)";   // Double kind.
+    }
+    return "(" + numExpr(F, 1) + " & 255)"; // Stays SMI.
+  }
+
+  std::string localVar(const FnCtx &F) {
+    return F.Locals[R.range(static_cast<uint32_t>(F.Locals.size()))];
+  }
+
+  /// One statement from the deterministic edge-case pool. Cases 10/11 need
+  /// main's invocation counter `m` to flip an index's type only after the
+  /// hot loop has tiered up — the regime where an executor fast path can
+  /// silently disagree with what the baseline interpreter rejects.
+  void emitEdgeStmt(FnCtx &F) {
+    std::string T = localVar(F);
+    switch (R.range(F.InMain && F.InLoop ? 12 : 10)) {
+    case 0: // Fractional element index: reads as undefined.
+      line(T + " = arr[" + idxExpr(F, ArrSize - 1) + " + 0.5];");
+      break;
+    case 1: // Negative zero through the double-negate path.
+      line(T + " = (" + T + " - " + T + ") * (0 - 0.5);");
+      break;
+    case 2: // NaN never compares equal to itself.
+      line(T + " = (0 / 0) == (0 / 0) ? 3 : 7;");
+      break;
+    case 3: // Division: doubles, infinities at a deterministic point.
+      line(T + " = 1 / ((" + intAtom(F) + " & 3) - 1);");
+      break;
+    case 4: // Number -> string -> length round trip.
+      line(T + " = ('' + " + numExpr(F, 1) + ").length;");
+      break;
+    case 5: // Loose string/number comparison.
+      line(T + " = ('' + " + intAtom(F) + ") == " + intAtom(F) +
+           " ? 1 : 0;");
+      break;
+    case 6: // SMI-range overflow into doubles.
+      line(T + " = " + T + " * 100003 + " + intAtom(F) + " * 31337;");
+      break;
+    case 7: // Polymorphic element receiver (SMI vs double elements).
+      line(T + " = (" + intAtom(F) + " % 2 == 0 ? arr : arr2)[" +
+           idxExpr(F, ArrSize - 1) + "];");
+      break;
+    case 8: // typeof result feeding a string comparison.
+      line(T + " = typeof " + objExpr(F) + "." + sharedField() +
+           " == 'number' ? 1 : 2;");
+      break;
+    case 9: // Bitwise ops force toInt32 on possibly-double values.
+      line(T + " = ~(" + T + " / 2) ^ (" + T + " >>> 1);");
+      break;
+    case 10: { // Megamorphic elem site (string + smi keys) whose index
+               // turns boolean once tiered up: baseline halts on it.
+      std::string W = num(3 + R.range(3));
+      line(T + " = ((i & 1) == 0 ? pool[(i & " + num(PoolSize - 1) +
+           ")] : arr)[((i & 1) == 0 ? 's" + num(R.range(Depth)) +
+           "' : (m < " + W + " ? (i & " + num(ArrSize - 1) +
+           ") : (i >= 0)))];");
+      break;
+    }
+    default: { // NaN/Infinity element index once tiered up: index
+               // truncation must be range-checked, not cast blindly.
+      std::string W = num(3 + R.range(3));
+      std::string Bad = R.chance(50) ? "(0 / 0)" : "(1 / 0)";
+      line(T + " = arr[(m < " + W + " ? (i & " + num(ArrSize - 1) +
+           ") : " + Bad + ")];");
+      break;
+    }
+    }
+  }
+
+  /// One body statement; recurses one level into if/for blocks.
+  void emitStmt(FnCtx &F) {
+    if (R.chance(C.EdgeCaseRate)) {
+      emitEdgeStmt(F);
+      return;
+    }
+    uint32_t Kind = R.range(F.BlockDepth == 0 ? 10 : 7);
+    switch (Kind) {
+    case 0:
+      line(localVar(F) + " = " + numExpr(F, 2) + ";");
+      break;
+    case 1:
+      line(localVar(F) + " += " + numExpr(F, 1) + ";");
+      break;
+    case 2: // Global update, masked so the accumulator stays a SMI.
+      line("G0 = ((G0 + " + numExpr(F, 1) + ") & 65535);");
+      break;
+    case 3: // Property store (may transition or churn a field's type).
+      line(objExpr(F) + "." + sharedField() + " = " + storeValue(F) + ";");
+      break;
+    case 4: // Element store, churn per knob.
+      line("arr[" + idxExpr(F, ArrSize - 1) + "] = " + storeValue(F) +
+           ";");
+      break;
+    case 5: // Property load chain.
+      line(localVar(F) + " = " + objExpr(F) + "." + sharedField() +
+           " + arr[" + idxExpr(F, ArrSize - 1) + "];");
+      break;
+    case 6: { // Call a helper further down the DAG (if any).
+      unsigned Lo = F.InMain ? 0 : F.FnIndex + 1;
+      if (Lo < NumFns && C.CallGraphFanOut > 0) {
+        unsigned Target = Lo + R.range(NumFns - Lo);
+        std::string Recv = F.HasObjParam ? std::string("o") : poolRecv(F);
+        line(localVar(F) + " = f" + num(Target) + "(" + Recv + ", (" +
+             intAtom(F) + " & 255));");
+      } else {
+        line(localVar(F) + " = " + numExpr(F, 2) + ";");
+      }
+      break;
+    }
+    case 7: { // if/else block.
+      line("if (" + numExpr(F, 1) + " < " + numExpr(F, 1) + ") {");
+      ++F.BlockDepth;
+      emitStmt(F);
+      if (R.chance(50))
+        emitStmt(F);
+      --F.BlockDepth;
+      line("}");
+      if (R.chance(50)) {
+        line("else {");
+        ++F.BlockDepth;
+        emitStmt(F);
+        --F.BlockDepth;
+        line("}");
+      }
+      break;
+    }
+    case 8: { // Bounded inner loop over a dedicated counter.
+      if (F.UsedInnerLoop) {
+        line("G1 = ((G1 ^ " + numExpr(F, 1) + ") & 65535);");
+        break;
+      }
+      F.UsedInnerLoop = true;
+      line("for (w = 0; w < " + num(2 + R.range(4)) + "; w++) {");
+      ++F.BlockDepth;
+      emitStmt(F);
+      --F.BlockDepth;
+      line("}");
+      break;
+    }
+    default: // Length reads keep the GetLength sites hot.
+      line(localVar(F) + " = arr.length + " + numExpr(F, 1) + ";");
+      break;
+    }
+  }
+
+  void emitConstructor(unsigned Family) {
+    line("function K" + num(Family) + "(i) {");
+    // Family-specific dummy prefix: shared names land in distinct slots.
+    for (unsigned D = 0; D < Family; ++D)
+      line("this.d" + num(D) + " = " + num(R.range(8)) + ";");
+    for (unsigned S = 0; S < Depth; ++S) {
+      // A family may initialize a shared field as a double (field-type
+      // churn decided at generation time, deterministic at runtime).
+      if (R.chance(C.ElementsKindChurn / 2))
+        line("this.s" + num(S) + " = (i * 0.5 + " + num(S) + ");");
+      else
+        line("this.s" + num(S) + " = (i + " + num(S * 3) + ");");
+    }
+    line("}");
+  }
+
+  void emitHelper(unsigned Index) {
+    FnCtx F;
+    F.FnIndex = Index;
+    F.HasObjParam = true;
+    F.IntParam = "i";
+    line("function f" + num(Index) + "(o, i) {");
+    unsigned NumLocals = 2 + R.range(2);
+    for (unsigned L = 0; L < NumLocals; ++L) {
+      F.Locals.push_back("t" + num(L));
+      line("var t" + num(L) + " = " + num(R.range(16)) + ";");
+    }
+    line("var w = 0;");
+    unsigned NumStmts = 3 + R.range(4);
+    for (unsigned S = 0; S < NumStmts; ++S)
+      emitStmt(F);
+    std::string Ret = F.Locals[0];
+    for (size_t L = 1; L < F.Locals.size(); ++L)
+      Ret += " + " + F.Locals[L];
+    line("return (" + Ret + ");");
+    line("}");
+  }
+
+  void emitMethodsAndRecursion() {
+    if (C.CallGraphFanOut >= 2) {
+      line("function meth0(a) {");
+      line("return this.s0 + (a & 7);");
+      line("}");
+    }
+    if (C.CallGraphFanOut >= 3) {
+      line("function rec(n) {");
+      line("if (n < 2) {");
+      line("return n;");
+      line("}");
+      line("return rec(n - 1) + (rec(n - 2) & 3);");
+      line("}");
+    }
+  }
+
+  void emitSetup() {
+    line("var pool = [];");
+    line("var arr = [];");
+    line("var arr2 = [];");
+    line("var i;");
+    line("for (i = 0; i < " + num(PoolSize) + "; i++) {");
+    for (unsigned Fam = 0; Fam < Degree; ++Fam) {
+      std::string Cond = "(i % " + num(Degree) + ") == " + num(Fam);
+      if (Fam == 0)
+        line("if (" + Cond + ") {");
+      else if (Fam + 1 < Degree)
+        line("else if (" + Cond + ") {");
+      else
+        line("else {");
+      line("pool[i] = new K" + num(Fam) + "(i);");
+      line("}");
+    }
+    line("}");
+    line("for (i = 0; i < " + num(ArrSize) + "; i++) {");
+    line("arr[i] = ((i * 7) % 23);");
+    line("}");
+    line("for (i = 0; i < " + num(ArrSize) + "; i++) {");
+    line("arr2[i] = (i + 0.5);");
+    line("}");
+    if (C.CallGraphFanOut >= 2) {
+      line("for (i = 0; i < " + num(PoolSize) + "; i++) {");
+      line("pool[i].m0 = meth0;");
+      line("}");
+    }
+    if (C.CallGraphFanOut >= 1)
+      line("var fv = f0;");
+  }
+
+  void emitMain() {
+    FnCtx F;
+    F.InMain = true;
+    F.IntParam = "m";
+    line("function main(m) {");
+    line("var s = 0;");
+    for (unsigned L = 0; L < 3; ++L) {
+      F.Locals.push_back("t" + num(L));
+      line("var t" + num(L) + " = " + num(R.range(16)) + ";");
+    }
+    line("var w = 0;");
+    line("var i;");
+
+    // Mid-run perturbations: break a shape or an elements kind once, at a
+    // deterministic invocation after the hot loop has tiered up.
+    unsigned NumPerturb = R.range(3);
+    for (unsigned P = 0; P < NumPerturb; ++P) {
+      unsigned When = 3 + R.range(C.TopLevelRepeats > 4
+                                      ? C.TopLevelRepeats - 4
+                                      : 1);
+      line("if (m == " + num(When) + ") {");
+      if (R.chance(50))
+        line("pool[" + num(R.range(PoolSize)) + "]." + sharedField() +
+             " = " + (R.chance(50) ? std::string("0.5")
+                                   : "('b' + " + num(R.range(8)) + ")") +
+             ";");
+      else
+        line("arr[" + num(R.range(ArrSize)) + "] = " +
+             (R.chance(50) ? std::string("2.5") : std::string("'z'")) +
+             ";");
+      line("}");
+    }
+
+    line("for (i = 0; i < " + num(C.LoopIterations) + "; i++) {");
+    F.InLoop = true;
+    ++F.BlockDepth;
+    if (C.CallGraphFanOut > 0 && NumFns > 0)
+      line("s = ((s + f0(" + poolRecv(F) + ", (i & 255))) & 1048575);");
+    line("s = ((s + " + poolRecv(F) + "." + sharedField() +
+         ") & 1048575);");
+    if (C.CallGraphFanOut >= 2)
+      line("s = ((s + pool[(i & " + num(PoolSize - 1) + ")].m0((i & 7))) & " +
+           "1048575);");
+    unsigned NumStmts = 2 + R.range(4);
+    for (unsigned S = 0; S < NumStmts; ++S)
+      emitStmt(F);
+    line("s += " + numExpr(F, 1) + ";");
+    --F.BlockDepth;
+    F.InLoop = false;
+    line("}");
+    if (C.CallGraphFanOut >= 3)
+      line("s += rec(8 + (m & 3));");
+    if (C.CallGraphFanOut >= 1)
+      line("s = ((s + fv(pool[(m & " + num(PoolSize - 1) +
+           ")], (m & 255))) & 1048575);");
+    line("return s + t0 + t1 + t2;");
+    line("}");
+  }
+
+  void emitDriverAndDump() {
+    line("var j;");
+    line("for (j = 0; j < " + num(C.TopLevelRepeats) + "; j++) {");
+    line("print(main(j));");
+    line("}");
+    line("print(G0);");
+    line("print(G1);");
+    line("print(arr.join(','));");
+    line("print(arr2[5]);");
+    line("print(pool[" + num(R.range(PoolSize)) + "].s0);");
+    if (Depth > 1)
+      line("print(pool[" + num(R.range(PoolSize)) + "].s" +
+           num(Depth - 1) + ");");
+  }
+
+  const GenConfig &C;
+  SplitMix64 R;
+  unsigned Degree, Depth, NumFns;
+  std::string Out;
+};
+
+std::string Emitter::run() {
+  line("// ccjs-gen seed=" + std::to_string(C.Seed) +
+       " poly=" + num(Degree) + " depth=" + num(Depth) +
+       " churn=" + num(C.ElementsKindChurn) +
+       " fanout=" + num(C.CallGraphFanOut) + " fns=" + num(NumFns) +
+       " iters=" + num(C.LoopIterations) +
+       " repeats=" + num(C.TopLevelRepeats) +
+       " edge=" + num(C.EdgeCaseRate));
+  line("var G0 = 0;");
+  line("var G1 = 0;");
+  for (unsigned Fam = 0; Fam < Degree; ++Fam)
+    emitConstructor(Fam);
+  emitMethodsAndRecursion();
+  for (unsigned Fn = 0; Fn < NumFns; ++Fn)
+    emitHelper(Fn);
+  emitSetup();
+  emitMain();
+  emitDriverAndDump();
+  return std::move(Out);
+}
+
+} // namespace
+
+GenConfig GenConfig::fromSeed(uint64_t Seed) {
+  SplitMix64 R(Seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  GenConfig C;
+  C.Seed = Seed;
+  C.PolymorphismDegree = 1 + R.range(6);
+  C.ShapeTransitionDepth = 1 + R.range(8);
+  C.ElementsKindChurn = R.range(60);
+  C.CallGraphFanOut = R.range(4);
+  C.NumFunctions = 2 + R.range(4);
+  C.LoopIterations = 40 + R.range(80);
+  C.TopLevelRepeats = 6 + R.range(6);
+  C.EdgeCaseRate = R.range(25);
+  return C;
+}
+
+std::string ccjs::gen::generateProgram(const GenConfig &Config) {
+  Emitter E(Config);
+  return E.run();
+}

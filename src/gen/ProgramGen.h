@@ -1,0 +1,107 @@
+//===- gen/ProgramGen.h - Seeded MiniJS program generator ------*- C++ -*-===//
+///
+/// \file
+/// A deterministic, property-graph-driven MiniJS program generator. One
+/// 64-bit seed fully determines the emitted program; a handful of knobs
+/// steer which engine regimes the program exercises:
+///
+///   * PolymorphismDegree — number of distinct constructors (hidden-class
+///     families) flowing into the hot property sites. Degrees beyond the
+///     inline-cache capacity drive sites megamorphic (the Poirier et al.
+///     "false lead" regime).
+///   * ShapeTransitionDepth — properties added per constructor, i.e. the
+///     length of each family's shape-transition chain. Deep chains reach
+///     the overflow-property (dictionary-mode-like) storage path.
+///   * ElementsKindChurn — percentage of element stores whose value breaks
+///     the array's elements kind (SMI -> double -> tagged).
+///   * CallGraphFanOut — callees per generated helper function, plus
+///     method-call and recursion coverage at higher settings.
+///
+/// Generated programs are valid by construction: every variable is
+/// declared before use, all loops are bounded, there is no Math.random,
+/// and every receiver of a property access is an object. "Edge" statements
+/// (fractional indices, NaN/negative-zero arithmetic, mid-run shape and
+/// elements-kind breaks) are deterministic too, so each program has
+/// exactly one correct output — the substrate of the cross-tier
+/// differential oracle (see gen/DiffOracle.h).
+///
+/// Emission is one statement per line with braces on their own lines,
+/// which is what the greedy line/block-deletion reducer (gen/Reducer.h)
+/// operates on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_GEN_PROGRAMGEN_H
+#define CCJS_GEN_PROGRAMGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace ccjs {
+namespace gen {
+
+/// SplitMix64: the canonical 64-bit seed expander. Deterministic,
+/// platform-independent, and stateful only through one word — the whole
+/// generator derives from it.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : S(Seed) {}
+
+  uint64_t next() {
+    S += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = S;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform-enough draw in [0, N); N == 0 returns 0.
+  uint32_t range(uint32_t N) {
+    return N ? static_cast<uint32_t>(next() % N) : 0;
+  }
+
+  /// True with probability Percent/100.
+  bool chance(uint32_t Percent) { return range(100) < Percent; }
+
+private:
+  uint64_t S;
+};
+
+/// Generation knobs. Every field has a sensible explicit default;
+/// fromSeed() derives a diverse configuration from the seed itself (what
+/// the corpus sweep uses).
+struct GenConfig {
+  uint64_t Seed = 1;
+  /// Distinct constructors feeding the hot property sites (>= 1).
+  unsigned PolymorphismDegree = 3;
+  /// Properties added per constructor (shape-transition chain length,
+  /// >= 1; values above ~8 reach the overflow-property storage).
+  unsigned ShapeTransitionDepth = 3;
+  /// Percent of element stores that break the elements kind (0..100).
+  unsigned ElementsKindChurn = 25;
+  /// Call-graph breadth: callees per helper; >= 2 adds method calls,
+  /// >= 3 adds bounded recursion.
+  unsigned CallGraphFanOut = 2;
+  /// Number of generated helper functions (>= 1).
+  unsigned NumFunctions = 4;
+  /// Hot-loop trip count inside main().
+  unsigned LoopIterations = 80;
+  /// Invocations of main() (drives tier-up mid-run at hot thresholds).
+  unsigned TopLevelRepeats = 8;
+  /// Percent of statements drawn from the edge-case pool (NaN, negative
+  /// zero, fractional indices, mixed string/number comparisons).
+  unsigned EdgeCaseRate = 10;
+
+  /// Derives all knobs from \p Seed (used by the corpus sweep so each
+  /// seed explores a different parameter point).
+  static GenConfig fromSeed(uint64_t Seed);
+};
+
+/// Emits the deterministic MiniJS program for \p Config. Same config
+/// (including seed) -> byte-identical source.
+std::string generateProgram(const GenConfig &Config);
+
+} // namespace gen
+} // namespace ccjs
+
+#endif // CCJS_GEN_PROGRAMGEN_H

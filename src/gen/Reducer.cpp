@@ -1,0 +1,136 @@
+//===- gen/Reducer.cpp - Greedy divergence minimizer ----------------------===//
+
+#include "gen/Reducer.h"
+
+#include <vector>
+
+using namespace ccjs;
+using namespace ccjs::gen;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Nl = S.find('\n', Pos);
+    if (Nl == std::string::npos) {
+      if (Pos < S.size())
+        Lines.push_back(S.substr(Pos));
+      break;
+    }
+    Lines.push_back(S.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  return Lines;
+}
+
+std::string joinLive(const std::vector<std::string> &Lines,
+                     const std::vector<bool> &Live) {
+  std::string Out;
+  for (size_t I = 0; I < Lines.size(); ++I)
+    if (Live[I]) {
+      Out += Lines[I];
+      Out += '\n';
+    }
+  return Out;
+}
+
+/// Net brace balance of a line, ignoring brace characters inside string
+/// literals (generated strings never contain escapes).
+int braceDelta(const std::string &Line) {
+  int Delta = 0;
+  char Quote = 0;
+  for (char C : Line) {
+    if (Quote) {
+      if (C == Quote)
+        Quote = 0;
+      continue;
+    }
+    if (C == '\'' || C == '"')
+      Quote = C;
+    else if (C == '{')
+      ++Delta;
+    else if (C == '}')
+      --Delta;
+  }
+  return Delta;
+}
+
+/// For a line opening a block, the index of the line whose closing brace
+/// rebalances it; npos when the line opens nothing or is unbalanced.
+size_t blockEnd(const std::vector<std::string> &Lines,
+                const std::vector<bool> &Live, size_t Start) {
+  int Depth = braceDelta(Lines[Start]);
+  if (Depth <= 0)
+    return std::string::npos;
+  for (size_t I = Start + 1; I < Lines.size(); ++I) {
+    if (!Live[I])
+      continue;
+    Depth += braceDelta(Lines[I]);
+    if (Depth <= 0)
+      return I;
+  }
+  return std::string::npos;
+}
+
+} // namespace
+
+std::string ccjs::gen::reduceProgram(const std::string &Source,
+                                     const ReducePredicate &Keep,
+                                     ReduceStats *OutStats) {
+  ReduceStats Stats;
+  std::vector<std::string> Lines = splitLines(Source);
+  std::vector<bool> Live(Lines.size(), true);
+  Stats.LinesBefore = static_cast<unsigned>(Lines.size());
+
+  ++Stats.PredicateCalls;
+  if (!Keep(Source)) {
+    // The predicate does not hold on the input; nothing to minimize.
+    Stats.LinesAfter = Stats.LinesBefore;
+    if (OutStats)
+      *OutStats = Stats;
+    return Source;
+  }
+
+  auto tryErase = [&](size_t Lo, size_t Hi) {
+    std::vector<bool> Trial = Live;
+    for (size_t I = Lo; I <= Hi; ++I)
+      Trial[I] = false;
+    ++Stats.PredicateCalls;
+    if (Keep(joinLive(Lines, Trial))) {
+      Live = std::move(Trial);
+      return true;
+    }
+    return false;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    ++Stats.Rounds;
+    // Pass 1: whole brace-matched blocks (header line through closer).
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      if (!Live[I])
+        continue;
+      size_t End = blockEnd(Lines, Live, I);
+      if (End != std::string::npos && tryErase(I, End))
+        Changed = true;
+    }
+    // Pass 2: individual lines (skips block headers/closers — deleting
+    // either alone would unbalance braces and trivially fail to parse).
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      if (!Live[I] || braceDelta(Lines[I]) != 0)
+        continue;
+      if (tryErase(I, I))
+        Changed = true;
+    }
+  }
+
+  std::string Result = joinLive(Lines, Live);
+  for (bool L : Live)
+    Stats.LinesAfter += L ? 1u : 0u;
+  if (OutStats)
+    *OutStats = Stats;
+  return Result;
+}

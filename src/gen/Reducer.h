@@ -1,0 +1,50 @@
+//===- gen/Reducer.h - Greedy divergence minimizer -------------*- C++ -*-===//
+///
+/// \file
+/// Shrinks a MiniJS program while preserving an arbitrary predicate —
+/// typically "the differential oracle still reports a divergence". The
+/// generator emits one statement per line with braces on their own lines,
+/// so a greedy pass over deletable units converges quickly:
+///
+///   1. block deletion: a line together with its brace-matched extent
+///      (an `if (...) {` line through its closing `}`), largest first,
+///   2. single-line deletion,
+///
+/// repeated to a fixpoint. Every candidate is accepted only if the
+/// predicate still holds on the shrunk source, so the result is sound by
+/// construction: it ends in the smallest line-subset this greedy order
+/// can reach, still exhibiting the original failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_GEN_REDUCER_H
+#define CCJS_GEN_REDUCER_H
+
+#include <functional>
+#include <string>
+
+namespace ccjs {
+namespace gen {
+
+/// Returns true when \p Source still exhibits the behavior being chased.
+/// The reducer only keeps deletions under which this stays true.
+using ReducePredicate = std::function<bool(const std::string &)>;
+
+struct ReduceStats {
+  unsigned Rounds = 0;
+  unsigned LinesBefore = 0;
+  unsigned LinesAfter = 0;
+  unsigned PredicateCalls = 0;
+};
+
+/// Greedily deletes blocks and lines from \p Source while \p Keep holds.
+/// \p Keep must be true of \p Source itself (otherwise Source is returned
+/// unchanged). \p OutStats, when non-null, receives reduction telemetry.
+std::string reduceProgram(const std::string &Source,
+                          const ReducePredicate &Keep,
+                          ReduceStats *OutStats = nullptr);
+
+} // namespace gen
+} // namespace ccjs
+
+#endif // CCJS_GEN_REDUCER_H

@@ -231,7 +231,13 @@ void Frame::doGetElem(const Instr &In) {
   if (Idx.isSmi()) {
     I = Idx.asSmi();
   } else if (H.isHeapNumber(Idx)) {
+    // NaN, infinities, and magnitudes >= 2^63 have no defined int64 cast;
+    // like fractional indices they read as undefined.
     double D = H.heapNumberValue(Idx.asPointer());
+    if (!doubleIndexInCastRange(D)) {
+      push(H.undefined());
+      return;
+    }
     I = static_cast<int64_t>(D);
     if (D != static_cast<double>(I)) {
       push(H.undefined());
@@ -279,7 +285,15 @@ void Frame::doSetElem(const Instr &In) {
   if (Idx.isSmi()) {
     I = Idx.asSmi();
   } else if (Idx.isPointer() && H.isHeapNumber(Idx)) {
-    I = static_cast<int64_t>(H.heapNumberValue(Idx.asPointer()));
+    // Stores truncate fractional indices, but NaN/infinite/out-of-range
+    // doubles have no defined int64 cast — treat them as non-numeric.
+    double D = H.heapNumberValue(Idx.asPointer());
+    if (!doubleIndexInCastRange(D)) {
+      VM.halt("baseline: non-numeric array index in store");
+      push(V);
+      return;
+    }
+    I = static_cast<int64_t>(D);
   } else {
     VM.halt("baseline: non-numeric array index in store");
     push(V);

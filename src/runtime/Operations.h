@@ -28,6 +28,24 @@ double toNumber(const Heap &H, Value V);
 /// ToInt32 for bitwise operators.
 int32_t toInt32(double D);
 
+/// Exact double -> element-index conversion. Returns false for NaN,
+/// infinities, negatives, fractional values, and magnitudes beyond 2^53
+/// (where `static_cast<int64_t>` would be undefined behavior). On success
+/// \p I holds the exact integer value of \p D.
+inline bool doubleToElementIndex(double D, int64_t &I) {
+  if (!(D >= 0 && D < 9007199254740992.0)) // 2^53; NaN fails the compare.
+    return false;
+  I = static_cast<int64_t>(D);
+  return static_cast<double>(I) == D;
+}
+
+/// Range guard for truncating element-store indices: true when
+/// `static_cast<int64_t>(D)` is defined (finite, |D| < 2^63). Stores
+/// truncate fractional indices, so exactness is not required here.
+inline bool doubleIndexInCastRange(double D) {
+  return D >= -9223372036854774784.0 && D <= 9223372036854774784.0;
+}
+
 /// Formats a number the way JS does for integers and common doubles.
 std::string numberToString(double D);
 

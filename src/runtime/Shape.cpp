@@ -48,6 +48,11 @@ ShapeId ShapeTable::createShape(ObjectKind Kind, ShapeId Parent,
   if (Trace)
     Trace->record(TraceEventKind::ShapeCreated, Shapes.back().ClassId, 0, 0,
                   Id, Parent);
+  if (Metrics) {
+    ++Metrics->counter("shapes_created");
+    if (Kind == ObjectKind::Plain)
+      ++Metrics->counter("shapes_created_plain");
+  }
   if (CreationHook)
     CreationHook(Id);
   return Id;

@@ -11,6 +11,7 @@
 #ifndef CCJS_RUNTIME_SHAPE_H
 #define CCJS_RUNTIME_SHAPE_H
 
+#include "core/Metrics.h"
 #include "support/StringInterner.h"
 #include "support/Trace.h"
 
@@ -112,6 +113,13 @@ public:
   /// ShapeCreated event (null = tracing off, the default).
   void setTrace(TraceRecorder *T) { Trace = T; }
 
+  /// Attaches the metrics registry: shape creations bump the
+  /// "shapes_created" (and, for Plain shapes, "shapes_created_plain")
+  /// counters (null = metrics off, the default). Wired after construction,
+  /// so the table's nine well-known shapes are not counted — the counters
+  /// measure program-driven hidden-class growth only.
+  void setMetrics(MetricsRegistry *M) { Metrics = M; }
+
   // Well-known shapes.
   ShapeId plainRoot() const { return PlainRoot; }
   ShapeId arrayRoot() const { return ArrayRoot; }
@@ -129,6 +137,7 @@ private:
   std::vector<Shape> Shapes;
   std::function<void(ShapeId)> CreationHook;
   TraceRecorder *Trace = nullptr;
+  MetricsRegistry *Metrics = nullptr;
   std::unordered_map<uint32_t, ShapeId> ConstructorRoots;
   std::unordered_map<uint64_t, ShapeId> ArraySiteRoots;
   uint32_t NextClassId = 0;

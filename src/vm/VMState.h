@@ -127,8 +127,10 @@ struct VMState {
       Tracer = std::make_unique<EngineTracer>(*TraceRec);
       Observers.push_back(Tracer.get());
     }
-    if (this->Config.MetricsEnabled)
+    if (this->Config.MetricsEnabled) {
       Metrics = std::make_unique<MetricsRegistry>();
+      Shapes.setMetrics(Metrics.get());
+    }
     if (this->Config.Faults.Enabled) {
       FaultInj = std::make_unique<FaultInjector>(this->Config.Faults);
       CCache.setFaultInjector(FaultInj.get());

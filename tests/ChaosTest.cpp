@@ -11,8 +11,11 @@
 #include "DiffPrograms.h"
 #include "TestUtil.h"
 
+#include "core/BenchHarness.h"
 #include "support/FaultInjector.h"
 #include "vm/InvariantAuditor.h"
+
+#include <thread>
 
 using namespace ccjs;
 
@@ -72,14 +75,25 @@ std::string interpreterReference(const char *Source) {
 
 class ChaosDifferentialTest : public ::testing::TestWithParam<DiffProgram> {};
 
-/// The tentpole oracle: 64-seed sweep per program.
+/// Sweep jobs: engines are fully instance-owned, so seeds are
+/// embarrassingly parallel.
+unsigned sweepJobs() {
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? std::min(HW, 8u) : 2u;
+}
+
+/// The tentpole oracle: 64-seed sweep per program, run across the
+/// runIndexed thread pool (each seed owns its Engine and result slot).
 TEST_P(ChaosDifferentialTest, OutputMatchesReferenceAcrossSeeds) {
   const DiffProgram &P = GetParam();
   const std::string Ref = interpreterReference(P.Source);
   ASSERT_NE(Ref, "<runtime error>");
+  std::vector<ChaosRun> Runs(NumSweepSeeds);
+  runIndexed(NumSweepSeeds, sweepJobs(),
+             [&](size_t I) { Runs[I] = runChaos(P.Source, chaosConfig(I + 1)); });
   uint64_t TripsSeen = 0;
   for (uint64_t Seed = 1; Seed <= NumSweepSeeds; ++Seed) {
-    ChaosRun R = runChaos(P.Source, chaosConfig(Seed));
+    const ChaosRun &R = Runs[Seed - 1];
     ASSERT_TRUE(R.Ok) << "seed " << Seed << " halted: " << R.Error;
     EXPECT_EQ(R.Output, Ref) << "seed " << Seed
                              << " changed observable behaviour; trip log:\n"
@@ -92,6 +106,28 @@ TEST_P(ChaosDifferentialTest, OutputMatchesReferenceAcrossSeeds) {
   }
   // The sweep must actually have injected faults, or the oracle is vacuous.
   EXPECT_GT(TripsSeen, 0u) << "no fault ever fired across the sweep";
+}
+
+/// The parallel sweep is only trustworthy if threading is invisible: every
+/// seed's full observable record must be byte-identical to a serial run.
+TEST(ChaosParallelSweepTest, ParallelSweepIdenticalToSerial) {
+  const DiffProgram &P = Programs[4]; // mid_run_shape_break
+  std::vector<ChaosRun> Serial(NumSweepSeeds);
+  for (uint64_t Seed = 1; Seed <= NumSweepSeeds; ++Seed)
+    Serial[Seed - 1] = runChaos(P.Source, chaosConfig(Seed));
+  std::vector<ChaosRun> Parallel(NumSweepSeeds);
+  runIndexed(NumSweepSeeds, sweepJobs(), [&](size_t I) {
+    Parallel[I] = runChaos(P.Source, chaosConfig(I + 1));
+  });
+  for (size_t I = 0; I < NumSweepSeeds; ++I) {
+    EXPECT_EQ(Serial[I].Ok, Parallel[I].Ok) << "seed " << I + 1;
+    EXPECT_EQ(Serial[I].Output, Parallel[I].Output) << "seed " << I + 1;
+    EXPECT_EQ(Serial[I].TripLog, Parallel[I].TripLog) << "seed " << I + 1;
+    EXPECT_EQ(Serial[I].AuditFailures, Parallel[I].AuditFailures)
+        << "seed " << I + 1;
+    EXPECT_EQ(Serial[I].TotalTrips, Parallel[I].TotalTrips)
+        << "seed " << I + 1;
+  }
 }
 
 /// Replay: the same seed must produce a byte-identical trip log.

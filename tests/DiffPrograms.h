@@ -179,6 +179,76 @@ function run() {
 }
 var j; for (j = 0; j < 12; j++) print(run());
 )js"},
+
+    // Regression for ccjs-gen seed 78 (and the generator's NaN-index edge
+    // case): NaN/Infinity element indices used to hit an undefined int64
+    // cast in both tiers' element paths; they must read as undefined, in
+    // every tier, without tripping UBSan.
+    {"elem_index_nan_inf", R"js(
+var arr = []; var i;
+for (i = 0; i < 32; i++) arr[i] = i * 3;
+function run(m) {
+  var s = 0; var i;
+  for (i = 0; i < 60; i++) {
+    var x = arr[m < 3 ? (i & 31) : (0 / 0)];
+    var y = arr[m < 3 ? (i & 31) : (1 / 0)];
+    var z = arr[m < 3 ? (i & 31) : (0 - 1) / 0];
+    s = (s + (x == undefined ? 1 : x) + (y == undefined ? 1 : y)
+         + (z == undefined ? 1 : z)) & 65535;
+  }
+  return s;
+}
+var j; for (j = 0; j < 8; j++) print(run(j));
+)js"},
+};
+
+/// Programs whose reference behavior includes a deliberate baseline halt.
+/// runProgram() treats halts as failures, so these are exercised through
+/// the cross-tier oracle (GeneratedDifferentialTest) instead: every tier
+/// must halt at the same point with the same error and output prefix.
+const DiffProgram SoundnessPrograms[] = {
+    // Minimized by ccjs-gen --seed=63 --minimize: a megamorphic element
+    // site (string keys on pool objects, smi keys on the array) whose
+    // index turns boolean after tier-up. The baseline interpreter halts
+    // on the boolean index; GenericGetElemOp used to coerce it through
+    // toNumber (true -> arr[1]) and run to completion.
+    {"gen_seed63_bool_index", R"js(
+function K0(i) {
+}
+var pool = []; var arr = []; var i;
+for (i = 0; i < 16; i++) {
+if ((i % 2) == 0) {
+pool[i] = new K0(i);
+}
+}
+function main(m) {
+var t1; var i;
+for (i = 0; i < 62; i++) {
+t1 = ((i & 1) == 0 ? pool[(i & 15)] : arr)[((i & 1) == 0 ? 's0' : (m < 4 ? (i & 31) : (i >= 0)))];
+}
+}
+var j;
+for (j = 0; j < 6; j++) {
+print(main(j));
+}
+)js"},
+
+    // Companion store-side case: a NaN element index in a store is
+    // non-numeric in the baseline ("baseline: non-numeric array index in
+    // store"); the generic store must deopt rather than cast it.
+    {"elem_store_nan_index", R"js(
+var arr = []; var i;
+for (i = 0; i < 32; i++) arr[i] = i;
+function run(m) {
+  var s = 0; var i;
+  for (i = 0; i < 60; i++) {
+    arr[m < 3 ? (i & 31) : (0 / 0)] = (i & 255);
+    s = (s + arr[(i & 31)]) & 65535;
+  }
+  return s;
+}
+var j; for (j = 0; j < 8; j++) print(run(j));
+)js"},
 };
 
 } // namespace test

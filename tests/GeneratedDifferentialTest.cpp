@@ -1,0 +1,89 @@
+//===- tests/GeneratedDifferentialTest.cpp - Seeded corpus vs the oracle --===//
+///
+/// The generated arm of differential testing: 200 seeded ProgramGen
+/// programs, each pushed through the full cross-tier oracle (pure
+/// interpreter reference, tiered executor with and without the Class
+/// Cache, switch vs computed-goto dispatch byte-identity, and a chaos-seed
+/// sweep with the InvariantAuditor armed). Any divergence is a soundness
+/// bug; reproduce and shrink it with:
+///
+///   ccjs-gen --seed=N --minimize
+///
+/// The SoundnessPrograms corpus (tests/DiffPrograms.h) holds the minimized
+/// reproducers of bugs this oracle has already flushed out; they halt in
+/// the baseline by design, so they are checked here through the oracle
+/// rather than through runProgram().
+///
+//===----------------------------------------------------------------------===//
+
+#include "DiffPrograms.h"
+
+#include "core/Engine.h"
+#include "gen/DiffOracle.h"
+#include "gen/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccjs;
+using namespace ccjs::gen;
+
+namespace {
+
+constexpr uint64_t SeedsPerChunk = 10;
+constexpr uint64_t NumChunks = 20; // 200 seeds total.
+
+/// One chunk of the corpus sweep (chunked so failures name a small seed
+/// range and the suite parallelizes under ctest).
+class GeneratedCorpusTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratedCorpusTest, AllTiersAgree) {
+  uint64_t First = GetParam() * SeedsPerChunk + 1;
+  for (uint64_t Seed = First; Seed < First + SeedsPerChunk; ++Seed) {
+    std::string Source = generateProgram(GenConfig::fromSeed(Seed));
+    OracleResult R = runOracle(Source);
+    EXPECT_FALSE(R.LoadFailed)
+        << "seed " << Seed << " generated an invalid program:\n" << R.Report;
+    EXPECT_TRUE(R.Ok) << "seed " << Seed
+                      << " diverged (ccjs-gen --seed=" << Seed
+                      << " --minimize):\n"
+                      << R.Report;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, GeneratedCorpusTest,
+                         ::testing::Range<uint64_t>(0, NumChunks),
+                         [](const auto &Info) {
+                           uint64_t First = Info.param * SeedsPerChunk + 1;
+                           return "Seeds" + std::to_string(First) + "to" +
+                                  std::to_string(First + SeedsPerChunk - 1);
+                         });
+
+/// Minimized regression reproducers: each once split the tiers; all tiers
+/// must now agree on them (including agreeing on the baseline's halt).
+class SoundnessRegressionTest
+    : public ::testing::TestWithParam<test::DiffProgram> {};
+
+TEST_P(SoundnessRegressionTest, AllTiersAgree) {
+  OracleResult R = runOracle(GetParam().Source);
+  EXPECT_FALSE(R.LoadFailed) << R.Report;
+  EXPECT_TRUE(R.Ok) << R.Report;
+}
+
+/// The reproducers must still reach the interesting path: the baseline
+/// halts on the very index coercion the optimized tiers once skipped.
+TEST_P(SoundnessRegressionTest, BaselineStillHalts) {
+  Engine E(Engine::Options().withNoOpt());
+  ASSERT_TRUE(E.load(GetParam().Source)) << E.lastError();
+  EXPECT_FALSE(E.runTopLevel())
+      << "reproducer no longer halts; it lost its regression value";
+  EXPECT_NE(E.lastError().find("array index"), std::string::npos)
+      << "halted for an unrelated reason: " << E.lastError();
+}
+
+INSTANTIATE_TEST_SUITE_P(Reproducers, SoundnessRegressionTest,
+                         ::testing::ValuesIn(test::SoundnessPrograms),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+} // namespace

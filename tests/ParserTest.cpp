@@ -184,4 +184,46 @@ TEST(ParserTest, ErrorReportsLine) {
   EXPECT_EQ(R.ErrorLine, 2u);
 }
 
+/// Pathologically nested input must produce a clean "nesting too deep"
+/// error, not a native stack overflow (each nesting level consumes several
+/// recursive-descent frames).
+TEST(ParserTest, DeepParenNestingFailsCleanly) {
+  std::string Src = "var x = ";
+  for (int I = 0; I < 50000; ++I)
+    Src += '(';
+  Src += '1';
+  for (int I = 0; I < 50000; ++I)
+    Src += ')';
+  Src += ';';
+  EXPECT_NE(parseErr(Src).find("nesting too deep"), std::string::npos);
+}
+
+TEST(ParserTest, DeepUnaryNestingFailsCleanly) {
+  std::string Src = "var x = ";
+  Src += std::string(50000, '~');
+  Src += "1;";
+  EXPECT_NE(parseErr(Src).find("nesting too deep"), std::string::npos);
+}
+
+TEST(ParserTest, DeepStatementNestingFailsCleanly) {
+  std::string Src;
+  for (int I = 0; I < 50000; ++I)
+    Src += "if (1) ";
+  Src += "x = 1;";
+  EXPECT_NE(parseErr(Src).find("nesting too deep"), std::string::npos);
+}
+
+TEST(ParserTest, NestingAtLimitStillParses) {
+  // Well below the limit (each paren level costs a few recursion frames):
+  // nesting depth must not affect normal programs.
+  std::string Src = "var x = ";
+  for (int I = 0; I < 50; ++I)
+    Src += '(';
+  Src += '1';
+  for (int I = 0; I < 50; ++I)
+    Src += ')';
+  Src += ';';
+  parseOk(Src);
+}
+
 } // namespace

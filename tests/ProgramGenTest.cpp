@@ -1,0 +1,167 @@
+//===- tests/ProgramGenTest.cpp - Generator and reducer self-tests --------===//
+///
+/// The workload generator is itself test infrastructure, so it gets its
+/// own contract tests: seed determinism, knob monotonicity (a degree-N
+/// config must actually create >= N hidden-class families, measured
+/// through the MetricsRegistry's shape counters, not trusted from the
+/// emitter), and soundness of the greedy reducer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "DiffPrograms.h"
+
+#include "core/Engine.h"
+#include "core/Metrics.h"
+#include "frontend/Parser.h"
+#include "gen/ProgramGen.h"
+#include "gen/Reducer.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccjs;
+using namespace ccjs::gen;
+
+namespace {
+
+uint64_t counterValue(const MetricsRegistry *M, std::string_view Name) {
+  if (!M)
+    return 0;
+  for (const auto &C : M->counters())
+    if (C.first == Name)
+      return C.second;
+  return 0;
+}
+
+/// Runs \p Source on the pure interpreter with metrics on; returns the
+/// number of Plain-object shapes created (the shape-transition footprint).
+uint64_t plainShapesCreated(const std::string &Source) {
+  Engine E(Engine::Options().withNoOpt().withMetrics());
+  EXPECT_TRUE(E.load(Source)) << E.lastError();
+  EXPECT_TRUE(E.runTopLevel()) << E.lastError();
+  return counterValue(E.metrics(), "shapes_created_plain");
+}
+
+GenConfig baseConfig(uint64_t Seed) {
+  GenConfig C;
+  C.Seed = Seed;
+  C.PolymorphismDegree = 2;
+  C.ShapeTransitionDepth = 3;
+  C.ElementsKindChurn = 20;
+  C.CallGraphFanOut = 2;
+  C.NumFunctions = 3;
+  C.LoopIterations = 50;
+  C.TopLevelRepeats = 6;
+  C.EdgeCaseRate = 10;
+  return C;
+}
+
+TEST(ProgramGenTest, SameSeedSameProgram) {
+  for (uint64_t Seed : {1ull, 42ull, 1234567ull}) {
+    GenConfig C = GenConfig::fromSeed(Seed);
+    EXPECT_EQ(generateProgram(C), generateProgram(C))
+        << "seed " << Seed << " is not deterministic";
+  }
+}
+
+TEST(ProgramGenTest, DifferentSeedsDifferentPrograms) {
+  EXPECT_NE(generateProgram(GenConfig::fromSeed(1)),
+            generateProgram(GenConfig::fromSeed(2)));
+}
+
+TEST(ProgramGenTest, EveryDerivedConfigParses) {
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    std::string Source = generateProgram(GenConfig::fromSeed(Seed));
+    ParseResult R = parseProgram(Source);
+    EXPECT_TRUE(R.Ok) << "seed " << Seed << ": " << R.Error << " at line "
+                      << R.ErrorLine;
+  }
+}
+
+TEST(ProgramGenTest, PolymorphismDegreeCreatesThatManyFamilies) {
+  uint64_t Prev = 0;
+  for (unsigned Degree : {1u, 2u, 4u, 6u}) {
+    GenConfig C = baseConfig(/*Seed=*/7);
+    C.PolymorphismDegree = Degree;
+    uint64_t Shapes = plainShapesCreated(generateProgram(C));
+    // Every constructor family builds its own transition chain, so at
+    // least Degree distinct Plain shapes must be created.
+    EXPECT_GE(Shapes, Degree) << "degree " << Degree;
+    EXPECT_GE(Shapes, Prev) << "degree " << Degree
+                            << " created fewer shapes than a lower degree";
+    Prev = Shapes;
+  }
+}
+
+TEST(ProgramGenTest, ShapeDepthLengthensTransitionChains) {
+  uint64_t Prev = 0;
+  for (unsigned Depth : {1u, 3u, 6u, 8u}) {
+    GenConfig C = baseConfig(/*Seed=*/11);
+    C.ShapeTransitionDepth = Depth;
+    uint64_t Shapes = plainShapesCreated(generateProgram(C));
+    EXPECT_GE(Shapes, static_cast<uint64_t>(Depth)) << "depth " << Depth;
+    EXPECT_GE(Shapes, Prev) << "depth " << Depth
+                            << " created fewer shapes than a lower depth";
+    Prev = Shapes;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reducer
+//===----------------------------------------------------------------------===//
+
+unsigned countLines(const std::string &S) {
+  unsigned N = 0;
+  for (char C : S)
+    N += C == '\n';
+  return N;
+}
+
+TEST(ReducerTest, PreservesPredicateAndShrinks) {
+  std::string Source = generateProgram(GenConfig::fromSeed(3));
+  // Keep any program that still parses and still touches global G0.
+  auto Keep = [](const std::string &S) {
+    return parseProgram(S).Ok && S.find("G0") != std::string::npos;
+  };
+  ReduceStats Stats;
+  std::string Reduced = reduceProgram(Source, Keep, &Stats);
+  EXPECT_TRUE(Keep(Reduced));
+  EXPECT_LT(countLines(Reduced), countLines(Source));
+  EXPECT_EQ(Stats.LinesBefore, countLines(Source));
+  EXPECT_EQ(Stats.LinesAfter, countLines(Reduced));
+  EXPECT_GT(Stats.PredicateCalls, 1u);
+}
+
+TEST(ReducerTest, ReducedProgramStillParses) {
+  std::string Source = generateProgram(GenConfig::fromSeed(9));
+  auto Keep = [](const std::string &S) { return parseProgram(S).Ok; };
+  std::string Reduced = reduceProgram(Source, Keep);
+  EXPECT_TRUE(parseProgram(Reduced).Ok);
+}
+
+TEST(ReducerTest, FalsePredicateReturnsInputUnchanged) {
+  std::string Source = generateProgram(GenConfig::fromSeed(5));
+  ReduceStats Stats;
+  std::string Out = reduceProgram(
+      Source, [](const std::string &) { return false; }, &Stats);
+  EXPECT_EQ(Out, Source);
+  EXPECT_EQ(Stats.PredicateCalls, 1u);
+}
+
+/// End-to-end: shrinking a committed reproducer around a semantic
+/// predicate (the baseline's halt) keeps the halt and loses lines.
+TEST(ReducerTest, ShrinksAroundBaselineHalt) {
+  auto HaltsOnBadIndex = [](const std::string &S) {
+    Engine E(Engine::Options().withNoOpt());
+    if (!E.load(S))
+      return false;
+    return !E.runTopLevel() &&
+           E.lastError().find("array index") != std::string::npos;
+  };
+  std::string Source = test::SoundnessPrograms[0].Source;
+  ASSERT_TRUE(HaltsOnBadIndex(Source));
+  std::string Reduced = reduceProgram(Source, HaltsOnBadIndex);
+  EXPECT_TRUE(HaltsOnBadIndex(Reduced));
+  EXPECT_LE(countLines(Reduced), countLines(Source));
+}
+
+} // namespace
