@@ -136,6 +136,8 @@ public:
     for (const Comparison &C : Results)
       for (const BenchRun *R : {&C.Baseline, &C.ClassCache}) {
         H.EngineSeconds += R->HostSeconds;
+        H.Dispatches += R->HostDispatches;
+        H.FusedSavedDispatches += R->HostFusedSaved;
         if (R->Ok)
           H.SimInstructions += R->Steady.Instrs.total();
       }
@@ -150,6 +152,8 @@ public:
     H.Jobs = Jobs;
     for (const BenchRun &R : Results) {
       H.EngineSeconds += R.HostSeconds;
+      H.Dispatches += R.HostDispatches;
+      H.FusedSavedDispatches += R.HostFusedSaved;
       if (R.Ok)
         H.SimInstructions += R.Steady.Instrs.total();
     }

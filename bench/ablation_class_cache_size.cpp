@@ -39,6 +39,7 @@ int main(int Argc, char **Argv) {
     Hw.ClassCacheEntries = G.Entries;
     Hw.ClassCacheWays = G.Ways;
     EngineConfig Cfg = Engine::Options().withClassCache().withHw(Hw).build();
+    Opt.applyDispatch(Cfg);
     std::vector<Comparison> Results =
         compareWorkloads(Set, Cfg, Opt.effectiveJobs());
     Avg Hit, Speed;

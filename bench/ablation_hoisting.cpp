@@ -43,6 +43,7 @@ int main(int Argc, char **Argv) {
   for (const Mode &M : Modes) {
     EngineConfig Cfg =
         Engine::Options().withHoisting(M.Hoist, M.Regs).build();
+    Opt.applyDispatch(Cfg);
     std::vector<Comparison> Results =
         compareWorkloads(Set, Cfg, Opt.effectiveJobs());
     Avg OptAvg;

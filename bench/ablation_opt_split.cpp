@@ -44,6 +44,7 @@ int main(int Argc, char **Argv) {
   for (const Mode &M : Modes) {
     EngineConfig Cfg =
         Engine::Options().withElision(M.Maps, M.Smi, M.NonSmi).build();
+    Opt.applyDispatch(Cfg);
     std::vector<Comparison> Results =
         compareWorkloads(Set, Cfg, Opt.effectiveJobs());
     Avg OptAvg, Whole;

@@ -29,6 +29,8 @@ int main(int Argc, char **Argv) {
 
   EngineConfig HwCfg = Engine::Options().build();
   EngineConfig SwCfg = Engine::Options().withSoftwareOnlyClassCache().build();
+  Opt.applyDispatch(HwCfg);
+  Opt.applyDispatch(SwCfg);
   std::vector<Comparison> HwResults =
       compareWorkloads(Set, HwCfg, Opt.effectiveJobs());
   std::vector<Comparison> SwResults =

@@ -57,32 +57,19 @@ int main(int Argc, char **Argv) {
   HarnessOptions Opt;
   std::string Detail;
   bool HaveDetail = false;
-  // Host-side dispatch selection (DESIGN.md 4.6): either mode must
-  // reproduce the committed baseline byte-for-byte, and the CI
-  // byte-identity gate runs both. Invalid values fail up front.
-  std::string Dispatch = "switch";
   auto Extra = [&](std::string_view A) {
     if (A.rfind("--detail=", 0) == 0) {
       Detail = A.substr(9);
       HaveDetail = true;
       return true;
     }
-    if (A.rfind("--dispatch=", 0) == 0) {
-      Dispatch = A.substr(11);
-      return true;
-    }
     return false;
   };
-  if (!Opt.parse(Argc, Argv, Extra,
-                 "[--detail=<workload>] [--dispatch=switch|threaded]"))
+  // Dispatch selection (--dispatch, --fused-mask) is the shared harness
+  // flag (DESIGN.md 4.6/4.8): every mode must reproduce the committed
+  // baseline byte-for-byte, and the CI byte-identity gate runs all three.
+  if (!Opt.parse(Argc, Argv, Extra, "[--detail=<workload>]"))
     return 2;
-  if (Dispatch != "switch" && Dispatch != "threaded") {
-    std::fprintf(stderr,
-                 "fig8_speedup: --dispatch must be 'switch' or 'threaded', "
-                 "got '%s'\n",
-                 Dispatch.c_str());
-    return 2;
-  }
   // A typo'd --detail name must fail *before* the full sweep runs.
   if (HaveDetail && !findWorkload(Detail)) {
     std::fprintf(stderr, "fig8_speedup: --detail='%s' is not a workload\n",
@@ -97,11 +84,12 @@ int main(int Argc, char **Argv) {
   std::vector<SuiteGroup> Groups = groupWorkloads(true, Opt.Filter);
   std::vector<const Workload *> Flat = flattenGroups(Groups);
   EngineConfig Base = Engine::Options().build();
-  Base.ThreadedDispatch = Dispatch == "threaded";
+  Opt.applyDispatch(Base);
   HostTimer Timer;
   std::vector<Comparison> Results =
       compareWorkloads(Flat, Base, Opt.effectiveJobs());
   HostMeasurement HostM = Timer.measure(Results, Opt.effectiveJobs());
+  HostM.Dispatch = Opt.Dispatch;
 
   BenchReport Report("fig8_speedup", Base);
   Table T({"benchmark", "suite", "whole application", "optimized code"});
@@ -151,6 +139,11 @@ int main(int Argc, char **Argv) {
                     ? static_cast<double>(HostM.SimInstructions) /
                           HostM.WallSeconds
                     : 0.0);
+    std::printf("Dispatch (%s): %llu executor dispatches, %llu absorbed by "
+                "fusion\n",
+                dispatchModeName(HostM.Dispatch),
+                static_cast<unsigned long long>(HostM.Dispatches),
+                static_cast<unsigned long long>(HostM.FusedSavedDispatches));
   }
 
   if (HaveDetail && !printDetail(Detail.c_str(), Opt.effectiveJobs()))

@@ -23,6 +23,7 @@ int main(int Argc, char **Argv) {
   std::vector<SuiteGroup> Groups = groupWorkloads(true, Opt.Filter);
   std::vector<const Workload *> Flat = flattenGroups(Groups);
   EngineConfig Base = Engine::Options().build();
+  Opt.applyDispatch(Base);
   std::vector<Comparison> Results =
       compareWorkloads(Flat, Base, Opt.effectiveJobs());
 

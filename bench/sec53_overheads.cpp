@@ -20,6 +20,7 @@ int main(int Argc, char **Argv) {
   printHeader("Section 5.3: Incurred overheads", "section 5.3");
 
   EngineConfig Cfg = Engine::Options().withClassCache().build();
+  Opt.applyDispatch(Cfg);
   std::vector<SuiteGroup> Groups = groupWorkloads(true, Opt.Filter);
   std::vector<const Workload *> Flat = flattenGroups(Groups);
   std::vector<BenchRun> Results =

@@ -22,6 +22,7 @@ int main(int Argc, char **Argv) {
               "section 5.4");
 
   EngineConfig Cfg = Engine::Options().withClassCache().build();
+  Opt.applyDispatch(Cfg);
   Engine E(Cfg);
   const Workload *W = findWorkload("ai-astar");
   if (!E.load(W->Source) || !E.runTopLevel()) {

@@ -67,6 +67,7 @@ int main(int Argc, char **Argv) {
   if (!Opt.parse(Argc, Argv))
     return 2;
   EngineConfig Cfg = Engine::Options().withClassCache().build();
+  Opt.applyDispatch(Cfg);
   Engine E(Cfg);
   if (!E.load(Source) || !E.runTopLevel()) {
     std::fprintf(stderr, "error: %s\n", E.lastError().c_str());

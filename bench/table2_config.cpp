@@ -50,6 +50,7 @@ int main(int Argc, char **Argv) {
   std::printf("%s", T.render().c_str());
 
   EngineConfig EngineCfg = Engine::Options().withHw(Cfg).build();
+  Opt.applyDispatch(EngineCfg);
   BenchReport Report("table2_config", EngineCfg);
   json::Value Data = json::Value::object();
   Data.set("issue_width", Cfg.IssueWidth);

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -46,13 +47,30 @@ static bool parseUnsigned(std::string_view Text, unsigned &Out) {
   return true;
 }
 
+/// Accepts decimal or 0x-prefixed hex (the natural spelling for a bitmask).
+static bool parseMask(std::string_view Text, uint32_t &Out) {
+  if (Text.empty() || Text.size() >= 16)
+    return false;
+  char Buf[16];
+  std::memcpy(Buf, Text.data(), Text.size());
+  Buf[Text.size()] = '\0';
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Buf, &End, 0);
+  if (End != Buf + Text.size() || V > 0xffffffffUL)
+    return false;
+  Out = static_cast<uint32_t>(V);
+  return true;
+}
+
 bool HarnessOptions::parse(int Argc, char **Argv,
                            const std::function<bool(std::string_view)> &Extra,
                            const char *ExtraUsage) {
   auto Usage = [&](const char *Prog) {
     std::fprintf(stderr,
                  "usage: %s [--jobs=N] [--json=<path>|--json=-] "
-                 "[--filter=<suite|workload>] [--host]%s%s\n"
+                 "[--filter=<suite|workload>] [--host]\n"
+                 "          [--dispatch=switch|threaded|fused] "
+                 "[--fused-mask=M]%s%s\n"
                  "  --jobs=N    run benchmark jobs on N threads (0 = one per "
                  "hardware thread;\n              output is byte-identical "
                  "to --jobs=1)\n"
@@ -62,10 +80,16 @@ bool HarnessOptions::parse(int Argc, char **Argv,
                  "(exact name)\n"
                  "  --host      attach a host-throughput section (wall-clock, "
                  "simulated\n              instructions per host second) to "
-                 "the JSON report\n",
+                 "the JSON report\n"
+                 "  --dispatch=M  host-side executor dispatch strategy "
+                 "(simulated results are\n              byte-identical "
+                 "across modes)\n"
+                 "  --fused-mask=M  fusion-pattern ablation bitmask (decimal "
+                 "or 0x hex;\n              requires --dispatch=fused)\n",
                  Prog, *ExtraUsage ? " " : "", ExtraUsage,
                  BenchReportSchemaVersion);
   };
+  bool FusedMaskSet = false;
   for (int I = 1; I < Argc; ++I) {
     std::string_view A = Argv[I];
     if (A.rfind("--jobs=", 0) == 0) {
@@ -84,6 +108,21 @@ bool HarnessOptions::parse(int Argc, char **Argv,
       Filter = A.substr(9);
     } else if (A == "--host") {
       Host = true;
+    } else if (A.rfind("--dispatch=", 0) == 0) {
+      if (!dispatchModeFromName(std::string(A.substr(11)), Dispatch)) {
+        std::fprintf(stderr,
+                     "%s: --dispatch must be 'switch', 'threaded' or "
+                     "'fused', got '%s'\n",
+                     Argv[0], Argv[I] + 11);
+        return false;
+      }
+    } else if (A.rfind("--fused-mask=", 0) == 0) {
+      if (!parseMask(A.substr(13), FusedMask)) {
+        std::fprintf(stderr, "%s: invalid --fused-mask value '%s'\n",
+                     Argv[0], Argv[I] + 13);
+        return false;
+      }
+      FusedMaskSet = true;
     } else if (A == "--help" || A == "-h") {
       Usage(Argv[0]);
       return false;
@@ -94,6 +133,13 @@ bool HarnessOptions::parse(int Argc, char **Argv,
       Usage(Argv[0]);
       return false;
     }
+  }
+  // A mask without fused dispatch would be silently inert; refuse it so an
+  // ablation sweep cannot accidentally measure the switch loop.
+  if (FusedMaskSet && Dispatch != DispatchMode::Fused) {
+    std::fprintf(stderr, "%s: --fused-mask requires --dispatch=fused\n",
+                 Argv[0]);
+    return false;
   }
   // Validate the filter against the registry *now*: a typo must fail before
   // any benchmark work is spent (satellite fix for the old --detail bug).
@@ -222,6 +268,9 @@ json::Value ccjs::hostToJson(const HostMeasurement &H) {
                           H.WallSeconds)
             : json::Value());
   J.set("jobs", H.Jobs);
+  J.set("dispatch", dispatchModeName(H.Dispatch));
+  J.set("executor_dispatches", H.Dispatches);
+  J.set("fused_saved_dispatches", H.FusedSavedDispatches);
   return J;
 }
 

@@ -55,6 +55,22 @@ struct HarnessOptions {
   /// host timings are machine-dependent and would break the byte-identity
   /// gates that cmp reports across runs.
   bool Host = false;
+  /// --dispatch=switch|threaded|fused: host-side executor dispatch
+  /// strategy for every engine the binary constructs (see applyDispatch).
+  /// Host-only: simulated results are byte-identical across modes, which
+  /// the CI byte-identity gate enforces by running all of them.
+  DispatchMode Dispatch = DispatchMode::Switch;
+  /// --fused-mask=M: restricts superinstruction fusion to the patterns
+  /// whose table bit is set (per-pattern ablation). Only meaningful — and
+  /// only accepted — together with --dispatch=fused.
+  uint32_t FusedMask = ~0u;
+
+  /// Copies the dispatch selection into an engine config. Bench binaries
+  /// call this on every config they build so the flag has uniform effect.
+  void applyDispatch(EngineConfig &Cfg) const {
+    Cfg.Dispatch = Dispatch;
+    Cfg.FusedPatternMask = FusedMask;
+  }
 
   /// Parses argv. Unknown flags are offered to \p Extra first (return true
   /// to consume); anything left over prints a usage message listing
@@ -121,6 +137,13 @@ struct HostMeasurement {
   /// Thread count the sweep ran with (throughput is only comparable
   /// between runs at the same --jobs).
   unsigned Jobs = 1;
+  /// Dispatch strategy the sweep ran with, and its executor dispatch
+  /// accounting summed over the measured iterations (see
+  /// Engine::hostDispatches): how many main-loop dispatches actually
+  /// happened and how many superinstruction fusion absorbed.
+  DispatchMode Dispatch = DispatchMode::Switch;
+  uint64_t Dispatches = 0;
+  uint64_t FusedSavedDispatches = 0;
 };
 
 /// Serializes a HostMeasurement, deriving the headline throughput figure

@@ -5,7 +5,9 @@
 #include "bytecode/Compiler.h"
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
+#include "jit/FusionPass.h"
 #include "jit/Jit.h"
+#include "jit/OptIr.h"
 #include "runtime/Operations.h"
 #include "support/Assert.h"
 #include "vm/Builtins.h"
@@ -44,6 +46,11 @@ Engine::Engine(const EngineConfig &Config)
   static DebugDeoptPrinter DebugPrinter;
   if (DebugDeoptEnv)
     VM->addObserver(&DebugPrinter);
+
+  // The opcode-adjacency histogram is sized by the IR opcode space, which
+  // the vm layer cannot see; the engine (which links the jit) constructs it.
+  if (VM->Config.OpHistEnabled)
+    VM->OpHist = std::make_unique<PairHistogram>(NumIrOpcodes);
 
   if (VM->Config.ClassCacheEnabled) {
     VM->CList.bootstrapExisting(VM->Shapes);
@@ -372,6 +379,26 @@ Value Engine::genericCallMethod(VMState &VM, Value Receiver, uint32_t Name,
 void Engine::resetStats() {
   VM->Ctx.resetStats();
   VM->Profiler.resetLoadCounts();
+  // Host-side observation resets with the simulated counters so a
+  // warm-up/measure split reports dispatch counts for the measured
+  // iteration only.
+  VM->HostDispatches = 0;
+  VM->HostFusedSaved = 0;
+  if (VM->OpHist)
+    VM->OpHist->reset();
+}
+
+void Engine::flushHostMetrics() {
+  if (!VM->Metrics)
+    return;
+  // `host.` counters are excluded from default metric exports (see
+  // MetricsRegistry::isHostMetric), so flushing them never perturbs the
+  // cross-mode equivalence images; surfaces that want them pass
+  // IncludeHost=true when rendering.
+  VM->Metrics->counter("host.dispatch.executor") = VM->HostDispatches;
+  VM->Metrics->counter("host.dispatch.fused_saved") = VM->HostFusedSaved;
+  if (VM->OpHist)
+    exportOpPairHistogram(*VM->OpHist, *VM->Metrics, 32);
 }
 
 RunStats Engine::stats() const {

@@ -120,10 +120,27 @@ public:
       return *this;
     }
     /// Selects the main-loop dispatch strategy (host-side only; simulated
-    /// results are identical either way). Threading is silently
+    /// results are identical across modes). Threading is silently
     /// unavailable in builds without the GNU computed-goto extension.
+    Options &withDispatch(DispatchMode M) {
+      Cfg.Dispatch = M;
+      return *this;
+    }
+    /// Legacy spelling of withDispatch(Threaded/Switch).
     Options &withThreadedDispatch(bool On = true) {
-      Cfg.ThreadedDispatch = On;
+      Cfg.Dispatch = On ? DispatchMode::Threaded : DispatchMode::Switch;
+      return *this;
+    }
+    /// Restricts superinstruction fusion to the patterns whose table bit
+    /// is set (ablation support; all patterns by default).
+    Options &withFusedPatternMask(uint32_t Mask) {
+      Cfg.FusedPatternMask = Mask;
+      return *this;
+    }
+    /// Records the dynamic opcode-adjacency histogram (host-side
+    /// observation; feeds `ccjs --op-hist`).
+    Options &withOpHist(bool On = true) {
+      Cfg.OpHistEnabled = On;
       return *this;
     }
 
@@ -166,6 +183,17 @@ public:
 
   /// Collects the current measurement counters into a report.
   RunStats stats() const;
+
+  /// Host-side dispatch accounting (executor main-loop dispatches
+  /// performed, and dispatches superinstruction fusion absorbed). These
+  /// describe the host, not the simulated machine: byte-identical across
+  /// dispatch modes is NOT expected here, by design.
+  uint64_t hostDispatches() const { return VM->HostDispatches; }
+  uint64_t hostFusedSaved() const { return VM->HostFusedSaved; }
+  /// Publishes the host-side counters (and the op-pair histogram when
+  /// enabled) into the metrics registry under the `host.` prefix, which
+  /// default metric exports omit. No-op without withMetrics().
+  void flushHostMetrics();
 
   /// Chaos engine handles (null unless enabled in the config).
   const FaultInjector *faultInjector() const { return VM->FaultInj.get(); }

@@ -7,10 +7,13 @@
 
 using namespace ccjs;
 
-json::Value MetricsRegistry::toJson() const {
+json::Value MetricsRegistry::toJson(bool IncludeHost) const {
   json::Value Counters = json::Value::object();
-  for (const auto &[Name, N] : this->Counters)
+  for (const auto &[Name, N] : this->Counters) {
+    if (!IncludeHost && isHostMetric(Name))
+      continue;
     Counters.set(Name, N);
+  }
   json::Value Histograms = json::Value::object();
   for (const auto &[Name, H] : this->Histograms) {
     json::Value HV = json::Value::object();
@@ -27,10 +30,13 @@ json::Value MetricsRegistry::toJson() const {
   return Root;
 }
 
-std::string MetricsRegistry::render() const {
+std::string MetricsRegistry::render(bool IncludeHost) const {
   Table T({"metric", "value"});
-  for (const auto &[Name, N] : Counters)
+  for (const auto &[Name, N] : Counters) {
+    if (!IncludeHost && isHostMetric(Name))
+      continue;
     T.addRow({Name, std::to_string(N)});
+  }
   for (const auto &[Name, H] : Histograms)
     T.addRow({Name, "n=" + std::to_string(H.Count) +
                         " mean=" + Table::fmt(H.mean(), 2) +

@@ -85,12 +85,22 @@ public:
     return Histograms;
   }
 
-  /// JSON export: {"counters": {...}, "histograms": {name: {count, sum,
-  /// mean, min, max}}}. Insertion-ordered, byte-stable.
-  json::Value toJson() const;
+  /// True for counters in the `host.` namespace: host-side measurements
+  /// (dispatch counts, fusion savings, op-pair histogram) that legally
+  /// differ between dispatch modes. Excluded from default exports so the
+  /// equivalence oracles can byte-compare metric images across modes;
+  /// measurement surfaces (ccjs, bench host blocks) opt in.
+  static bool isHostMetric(std::string_view Name) {
+    return Name.rfind("host.", 0) == 0;
+  }
 
-  /// Human-readable table for ccjs --metrics.
-  std::string render() const;
+  /// JSON export: {"counters": {...}, "histograms": {name: {count, sum,
+  /// mean, min, max}}}. Insertion-ordered, byte-stable. `host.` counters
+  /// are omitted unless \p IncludeHost.
+  json::Value toJson(bool IncludeHost = false) const;
+
+  /// Human-readable table for ccjs --metrics; same IncludeHost contract.
+  std::string render(bool IncludeHost = false) const;
 
 private:
   // Linear-scan vectors, not maps: the site count is tens, lookups happen

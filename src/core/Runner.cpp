@@ -34,6 +34,10 @@ BenchRun ccjs::runSteadyState(const EngineConfig &Config,
   R.Steady = E.stats();
   R.Output = E.output();
   R.HostSeconds = Elapsed();
+  // resetStats() before the last iteration zeroed these too, so they cover
+  // exactly the measured iteration.
+  R.HostDispatches = E.hostDispatches();
+  R.HostFusedSaved = E.hostFusedSaved();
   return R;
 }
 

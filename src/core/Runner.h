@@ -33,6 +33,12 @@ struct BenchRun {
   /// tables, or the default JSON report — only the opt-in "host" section
   /// (see BenchReport::setHost).
   double HostSeconds = 0;
+  /// Executor main-loop dispatches of the measured iteration, and how many
+  /// of them superinstruction fusion absorbed. Host-side like HostSeconds:
+  /// these legally differ between dispatch modes and stay out of RunStats
+  /// and the default report.
+  uint64_t HostDispatches = 0;
+  uint64_t HostFusedSaved = 0;
 };
 
 inline constexpr int DefaultIterations = 10;

@@ -171,18 +171,32 @@ OracleResult ccjs::gen::runOracle(const std::string &Source,
                                .withAudit();
   Cmp.semantics(runTier(Source, CcOpts, false), "cc");
 
+  // Dispatch-mode byte identity: the switch image is the reference for the
+  // threaded leg (computed-goto builds only) and for the fused leg (always
+  // available — fusion rewrites OptIR but executes on the switch loop).
+  bool WantThreaded = false;
 #if CCJS_THREADED_DISPATCH
-  if (Opts.CheckDispatch) {
+  WantThreaded = Opts.CheckDispatch;
+#endif
+  if (WantThreaded || Opts.CheckFused) {
     Engine::Options ImgOpts = CcOpts;
     ImgOpts.withMetrics();
     TierRun Sw = runTier(Source, ImgOpts, true);
-    TierRun Th =
-        runTier(Source, Engine::Options(ImgOpts).withThreadedDispatch(),
-                true);
     Cmp.semantics(Sw, "cc+metrics(switch)");
-    Cmp.image(Sw, Th, "dispatch");
+    if (WantThreaded) {
+      TierRun Th = runTier(
+          Source,
+          Engine::Options(ImgOpts).withDispatch(DispatchMode::Threaded),
+          true);
+      Cmp.image(Sw, Th, "dispatch-threaded");
+    }
+    if (Opts.CheckFused) {
+      TierRun Fu = runTier(
+          Source,
+          Engine::Options(ImgOpts).withDispatch(DispatchMode::Fused), true);
+      Cmp.image(Sw, Fu, "dispatch-fused");
+    }
   }
-#endif
 
   // Chaos sweep: deterministic fault injection must stay transparent.
   for (uint64_t Seed = 1; Seed <= Opts.ChaosSeeds; ++Seed) {

@@ -7,8 +7,9 @@
 ///   * reference: the pure baseline interpreter (tier-up disabled),
 ///   * tiered: hot thresholds, Class Cache off (state-of-the-art config),
 ///   * cc: hot thresholds with the Class Cache mechanism and elisions,
-///   * dispatch: cc under switch vs computed-goto dispatch — byte-identical
-///     output, serialized RunStats, metrics, and fault trip logs,
+///   * dispatch: cc under switch vs computed-goto and vs the
+///     superinstruction-fused executor — byte-identical output, serialized
+///     RunStats, metrics, and fault trip logs,
 ///   * chaos: cc under a small sweep of fault-injection seeds, with the
 ///     InvariantAuditor armed.
 ///
@@ -40,6 +41,10 @@ struct OracleOptions {
   /// Compare switch vs computed-goto dispatch byte-for-byte (skipped
   /// automatically in builds without computed-goto support).
   bool CheckDispatch = true;
+  /// Compare switch vs the superinstruction-fused executor byte-for-byte.
+  /// Unlike CheckDispatch this never depends on a build feature: fused
+  /// code runs on the portable switch loop.
+  bool CheckFused = true;
 };
 
 struct OracleResult {

@@ -1,0 +1,80 @@
+//===- hw/EventBatch.h - Precomputed machine-event templates ----*- C++ -*-===//
+///
+/// \file
+/// A superinstruction charges its simulated cost as one replay of a
+/// precomputed event template instead of a run of individual ExecContext
+/// calls. The template fixes everything that is static per compiled
+/// instruction — event kind and order, instruction category, the
+/// after-object-load attribution bit, coalesced ALU counts — while the
+/// dynamic operands (memory addresses, branch sites and outcomes) are
+/// supplied at execution time, in template order.
+///
+/// The replay contract (ExecContext::chargeBatch) is byte-identity: the
+/// caches, TLB, branch predictor and instruction counters observe exactly
+/// the event stream the unfused op sequence would have produced. The only
+/// transformation templates are allowed to bake in is coalescing *adjacent*
+/// ALU events of the same category and attribution into one event with a
+/// summed count — provably identical because InstrCounters::add is a pair
+/// of `+= N` accumulations and ALU events touch no other machine state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_HW_EVENTBATCH_H
+#define CCJS_HW_EVENTBATCH_H
+
+#include "profile/Categories.h"
+
+#include <cstdint>
+
+namespace ccjs {
+
+enum class BatchEvKind : uint8_t {
+  Alu,    ///< N non-memory instructions; consumes no operand.
+  Load,   ///< One load; consumes an address operand.
+  Store,  ///< One store; consumes an address operand.
+  Branch, ///< One branch; consumes a site+taken operand.
+};
+
+/// One event of a template. Alu events carry a (possibly coalesced)
+/// instruction count; Load/Store/Branch events always count one
+/// instruction and take their dynamic half from the operand stream.
+struct BatchEvent {
+  BatchEvKind Kind = BatchEvKind::Alu;
+  InstrCategory Cat = InstrCategory::OtherOptimized;
+  bool AfterObjLoad = false;
+  uint16_t N = 1;
+};
+
+/// Dynamic operand for one Load/Store/Branch event: the address, or the
+/// branch-predictor site id plus the taken outcome.
+struct BatchOperand {
+  uint64_t AddrOrSite = 0;
+  bool Taken = false;
+};
+
+/// A per-superinstruction template: at most the events of a fused triple.
+/// Stored by value in OptCode's side table and indexed via the fused op's
+/// Aux field, so replay is one indexed load away from the handler.
+struct EventBatch {
+  static constexpr unsigned MaxEvents = 6;
+  BatchEvent Evs[MaxEvents] = {};
+  uint8_t NumEvs = 0;
+
+  /// Appends an event, coalescing adjacent same-category/same-attribution
+  /// ALU events (the only rewrite the byte-identity argument permits).
+  void append(BatchEvent E) {
+    if (E.Kind == BatchEvKind::Alu && NumEvs > 0) {
+      BatchEvent &Last = Evs[NumEvs - 1];
+      if (Last.Kind == BatchEvKind::Alu && Last.Cat == E.Cat &&
+          Last.AfterObjLoad == E.AfterObjLoad) {
+        Last.N = static_cast<uint16_t>(Last.N + E.N);
+        return;
+      }
+    }
+    Evs[NumEvs++] = E;
+  }
+};
+
+} // namespace ccjs
+
+#endif // CCJS_HW_EVENTBATCH_H

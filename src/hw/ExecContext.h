@@ -19,6 +19,7 @@
 
 #include "hw/BranchPredictor.h"
 #include "hw/ClassCache.h"
+#include "hw/EventBatch.h"
 #include "hw/HwConfig.h"
 #include "hw/MemorySystem.h"
 #include "profile/Categories.h"
@@ -134,6 +135,42 @@ public:
                       Pos);
     }
     return R;
+  }
+
+  /// Replays a precomputed superinstruction event template through the
+  /// primitives above, in template order. Load/Store/Branch events consume
+  /// one entry of \p Operands each (addresses, or branch site + outcome);
+  /// Alu events consume none. Because every event funnels through the same
+  /// code paths as unfused execution, the caches, TLB, branch predictor and
+  /// instruction counters observe a byte-identical stream — the template
+  /// only elides the per-op dispatch that produced the calls.
+  void chargeBatch(const BatchEvent *Evs, unsigned NumEvs,
+                   const BatchOperand *Operands) {
+    for (unsigned I = 0; I < NumEvs; ++I) {
+      const BatchEvent &E = Evs[I];
+      switch (E.Kind) {
+      case BatchEvKind::Alu:
+        alu(E.Cat, E.N, E.AfterObjLoad);
+        break;
+      case BatchEvKind::Load:
+        load(E.Cat, Operands->AddrOrSite, E.AfterObjLoad);
+        ++Operands;
+        break;
+      case BatchEvKind::Store:
+        store(E.Cat, Operands->AddrOrSite, E.AfterObjLoad);
+        ++Operands;
+        break;
+      case BatchEvKind::Branch:
+        branch(E.Cat, static_cast<uint32_t>(Operands->AddrOrSite),
+               Operands->Taken, E.AfterObjLoad);
+        ++Operands;
+        break;
+      }
+    }
+  }
+
+  void chargeBatch(const EventBatch &B, const BatchOperand *Operands) {
+    chargeBatch(B.Evs, B.NumEvs, Operands);
   }
 
   ClassCache *classCache() { return CC; }

@@ -602,7 +602,9 @@ Value Frame::run(std::vector<Value> &&LocalsIn, std::vector<Value> &&StackIn,
   Stack = std::move(StackIn);
   Stack.reserve(32);
 #if CCJS_THREADED_DISPATCH
-  if (VM.Config.ThreadedDispatch)
+  // Fused mode only changes the OptIR executor; the baseline tier runs
+  // its normal switch loop (OptIR fusion has no bytecode analogue).
+  if (VM.Config.Dispatch == DispatchMode::Threaded)
     return runThreaded(Pc);
 #endif
   return runSwitch(Pc);

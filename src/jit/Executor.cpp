@@ -93,7 +93,13 @@ public:
       : VM(VM), H(VM.Heap_), FI(VM.Funcs[FuncIndex]), C(*FI.Opt),
         FuncIndex(FuncIndex), ThisV(ThisV), Bufs(frameBufPool().acquire()),
         St(Bufs->St), Loc(Bufs->Loc) {}
-  ~OptExecutor() { frameBufPool().release(std::move(Bufs)); }
+  ~OptExecutor() {
+    // Host-side dispatch accounting drains on frame exit (normal return
+    // and deopt paths alike); Engine::resetStats zeroes the VM totals.
+    VM.HostDispatches += Dispatches;
+    VM.HostFusedSaved += FusedSaved;
+    frameBufPool().release(std::move(Bufs));
+  }
 
   Value run(const Value *Args, uint32_t Argc);
 
@@ -226,6 +232,13 @@ private:
   std::vector<OptValue> &Loc;
   uint32_t CurOpIndex = 0;
 
+  // Host-side observation (see CCJS_EXEC_OBSERVE in ExecutorLoop.inc):
+  // dispatches performed, dispatches a superinstruction absorbed, and the
+  // previous opcode for the adjacency histogram (sentinel = none yet).
+  uint64_t Dispatches = 0;
+  uint64_t FusedSaved = 0;
+  unsigned PrevOp = NumIrOpcodes;
+
   static constexpr uint32_t MaxArgs = 16;
   Value ArgBuf[MaxArgs];
 };
@@ -262,9 +275,12 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
   St.reserve(C.MaxStack > 16 ? C.MaxStack : 16);
 
 #if CCJS_THREADED_DISPATCH
-  if (VM.Config.ThreadedDispatch)
+  if (VM.Config.Dispatch == DispatchMode::Threaded)
     return runThreaded();
 #endif
+  // Fused code runs on the switch loop: superinstruction handlers exist
+  // in both expansions (the X-macro keeps the threaded label table in
+  // sync), but fusion only rewrites OptIR when Dispatch == Fused.
   return runSwitch();
 }
 

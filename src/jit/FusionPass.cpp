@@ -1,0 +1,172 @@
+//===- jit/FusionPass.cpp - Superinstruction fusion over OptIR ------------===//
+
+#include "jit/FusionPass.h"
+
+#include "core/Metrics.h"
+#include "support/PairHistogram.h"
+#include "vm/VMState.h"
+
+#include <cstdio>
+
+using namespace ccjs;
+
+// Triples precede the pairs they extend so the greedy scan prefers the
+// longer match; order is otherwise the mined hotness order (EXPERIMENTS.md
+// "Mining fusion candidates").
+static const FusionPattern Patterns[] = {
+    {"ldloc+ldloc+smibinop",
+     IrOpcode::FusedLdLocalLdLocalSmiBinOpOp,
+     3,
+     {IrOpcode::LdLocalOp, IrOpcode::LdLocalOp, IrOpcode::SmiBinOpOp}},
+    {"ldloc+ldasmi+smibinop",
+     IrOpcode::FusedLdLocalLdaSmiSmiBinOpOp,
+     3,
+     {IrOpcode::LdLocalOp, IrOpcode::LdaSmiOp, IrOpcode::SmiBinOpOp}},
+    {"ldloc+ldloc",
+     IrOpcode::FusedLdLocalLdLocalOp,
+     2,
+     {IrOpcode::LdLocalOp, IrOpcode::LdLocalOp, IrOpcode::Const}},
+    {"ldloc+ldasmi",
+     IrOpcode::FusedLdLocalLdaSmiOp,
+     2,
+     {IrOpcode::LdLocalOp, IrOpcode::LdaSmiOp, IrOpcode::Const}},
+    {"checkmap+loadprop",
+     IrOpcode::FusedCheckMapLoadPropOp,
+     2,
+     {IrOpcode::CheckMapOp, IrOpcode::LoadPropOp, IrOpcode::Const}},
+    {"checksmi+checksmi",
+     IrOpcode::FusedCheckSmiCheckSmiOp,
+     2,
+     {IrOpcode::CheckSmiOp, IrOpcode::CheckSmiOp, IrOpcode::Const}},
+    {"smicompare+jumpiffalse",
+     IrOpcode::FusedSmiCompareJumpIfFalseOp,
+     2,
+     {IrOpcode::SmiCompareOp, IrOpcode::JumpIfFalseOp, IrOpcode::Const}},
+};
+
+const FusionPattern *ccjs::fusionPatterns() { return Patterns; }
+const unsigned ccjs::NumFusionPatterns =
+    sizeof(Patterns) / sizeof(Patterns[0]);
+
+namespace {
+
+/// Guard+load fusion is only sound when the fused handler's single Pass
+/// computation is equivalent to CheckMapOp's two-representation test and
+/// the checked value is the object LoadPropOp pops:
+/// - no PreUntag: the check targets an object map (Cat is Checks), and
+///   the guarded shape cannot be HeapNumber's, so an unboxed double can
+///   never pass — the fused `!Unboxed && isPointer && shapeOf == Shape`
+///   test matches the unfused one exactly;
+/// - Depth 0: CheckMap peeks at what LoadProp pops.
+bool checkMapLoadPropFusable(const OptIrOp &Check, const VMState &VM) {
+  return !(Check.Flags & IrFlagPreUntag) && Check.Depth == 0 &&
+         Check.Shape != VM.Shapes.heapNumberShape();
+}
+
+} // namespace
+
+unsigned ccjs::fuseSuperinstructions(OptCode &C, const VMState &VM) {
+  const size_t N = C.Ops.size();
+
+  // Any op a jump can land on must keep its original opcode: fusion may
+  // only swallow an op as a non-first component when control can never
+  // enter the sequence in the middle.
+  std::vector<uint8_t> JumpTarget(N, 0);
+  for (const OptIrOp &Op : C.Ops) {
+    switch (Op.Op) {
+    case IrOpcode::JumpOp:
+    case IrOpcode::JumpLoopOp:
+    case IrOpcode::JumpIfFalseOp:
+    case IrOpcode::JumpIfTrueOp:
+      if (Op.A >= 0 && static_cast<size_t>(Op.A) < N)
+        JumpTarget[static_cast<size_t>(Op.A)] = 1;
+      break;
+    default:
+      break;
+    }
+  }
+
+  const uint32_t Mask = VM.Config.FusedPatternMask;
+  unsigned Fused = 0;
+  size_t I = 0;
+  while (I < N) {
+    size_t Advance = 1;
+    for (unsigned P = 0; P < NumFusionPatterns; ++P) {
+      if (!(Mask & (1u << P)))
+        continue;
+      const FusionPattern &Pat = Patterns[P];
+      if (I + Pat.Len > N)
+        continue;
+      bool Match = true;
+      for (unsigned K = 0; K < Pat.Len && Match; ++K) {
+        if (C.Ops[I + K].Op != Pat.Seq[K])
+          Match = false;
+        // Non-first components must be unreachable from anywhere but the
+        // fall-through, and must not carry loop-preheader work (the fused
+        // handler skips the component prologues; a first-slot preload is
+        // fine because the fused op runs the normal prologue).
+        if (K > 0 && (JumpTarget[I + K] || C.PreloadAt[I + K]))
+          Match = false;
+      }
+      if (Match && Pat.Fused == IrOpcode::FusedCheckMapLoadPropOp &&
+          !checkMapLoadPropFusable(C.Ops[I], VM))
+        Match = false;
+      if (!Match)
+        continue;
+
+      if (Pat.Fused == IrOpcode::FusedCheckMapLoadPropOp) {
+        // Pass-path template: CheckMap's map load + compare + branch,
+        // then LoadProp's slot load. Addresses, the branch site and the
+        // (never-taken) outcome arrive as operands at execution time.
+        const OptIrOp &Check = C.Ops[I];
+        const bool AOL = (Check.Flags & IrFlagAfterObjectLoad) != 0;
+        EventBatch B;
+        B.append({BatchEvKind::Load, InstrCategory::Checks, AOL, 1});
+        B.append({BatchEvKind::Alu, InstrCategory::Checks, AOL, 1});
+        B.append({BatchEvKind::Branch, InstrCategory::Checks, AOL, 1});
+        B.append({BatchEvKind::Load, InstrCategory::OtherOptimized, false,
+                  1});
+        C.Ops[I].Aux = static_cast<int32_t>(C.Batches.size());
+        C.Batches.push_back(B);
+      }
+      C.Ops[I].Op = Pat.Fused;
+      ++Fused;
+      Advance = Pat.Len;
+      break;
+    }
+    I += Advance;
+  }
+  return Fused;
+}
+
+std::string ccjs::renderOpPairHistogram(const PairHistogram &Hist,
+                                        size_t TopN) {
+  std::string Out = "op-pair histogram (dynamic adjacencies, hottest "
+                    "first)\n";
+  uint64_t Total = Hist.total();
+  char Line[160];
+  std::snprintf(Line, sizeof(Line), "total adjacencies: %llu\n",
+                static_cast<unsigned long long>(Total));
+  Out += Line;
+  for (const PairHistogram::Entry &E : Hist.top(TopN)) {
+    std::snprintf(Line, sizeof(Line), "%12llu  %5.1f%%  %s -> %s\n",
+                  static_cast<unsigned long long>(E.Count),
+                  Total ? 100.0 * static_cast<double>(E.Count) /
+                              static_cast<double>(Total)
+                        : 0.0,
+                  irOpcodeName(static_cast<IrOpcode>(E.Prev)),
+                  irOpcodeName(static_cast<IrOpcode>(E.Cur)));
+    Out += Line;
+  }
+  return Out;
+}
+
+void ccjs::exportOpPairHistogram(const PairHistogram &Hist,
+                                 MetricsRegistry &M, size_t TopN) {
+  for (const PairHistogram::Entry &E : Hist.top(TopN)) {
+    std::string Name = std::string("host.op_pair.") +
+                       irOpcodeName(static_cast<IrOpcode>(E.Prev)) + "+" +
+                       irOpcodeName(static_cast<IrOpcode>(E.Cur));
+    M.counter(Name) = E.Count;
+  }
+}

@@ -1,0 +1,66 @@
+//===- jit/FusionPass.h - Superinstruction fusion over OptIR ----*- C++ -*-===//
+///
+/// \file
+/// The superinstruction dispatch tier (DESIGN.md §4.8): a post-build pass
+/// that rewrites hot op pairs/triples into fused opcodes, trading host
+/// dispatches for longer handlers while keeping the simulated event
+/// stream byte-identical to unfused switch dispatch.
+///
+/// Fusion is *slot-preserving*: only the first op of a matched sequence
+/// changes opcode; the following slots keep their original ops so jumps
+/// into the middle of a sequence still land on valid handlers. The fused
+/// handler reads component operands from Ops[Cur+1] / Ops[Cur+2] and
+/// skips the intermediate fetches.
+///
+/// The pattern table is mined from the dynamic opcode-adjacency histogram
+/// (`ccjs --op-hist`, EXPERIMENTS.md); EngineConfig::FusedPatternMask
+/// ablates individual patterns by table index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_JIT_FUSIONPASS_H
+#define CCJS_JIT_FUSIONPASS_H
+
+#include "jit/OptIr.h"
+
+#include <string>
+
+namespace ccjs {
+
+class MetricsRegistry;
+class PairHistogram;
+struct VMState;
+
+/// One fusable opcode sequence. Patterns are tried in table order at each
+/// position, so longer sequences must precede their prefixes.
+struct FusionPattern {
+  const char *Name; ///< Stable ablation name (EXPERIMENTS.md recipes).
+  IrOpcode Fused;   ///< Superinstruction opcode written into slot 0.
+  uint8_t Len;      ///< Number of component ops (2 or 3).
+  IrOpcode Seq[3];  ///< Component opcodes, in order.
+};
+
+/// The pattern table; \p NumFusionPatterns entries. Bit I of
+/// EngineConfig::FusedPatternMask enables fusionPatterns()[I].
+const FusionPattern *fusionPatterns();
+extern const unsigned NumFusionPatterns;
+
+/// Rewrites fusable sequences of \p C into superinstructions, honoring
+/// VM.Config.FusedPatternMask, and fills C.Batches with the per-instance
+/// event templates. Returns the number of sequences fused. Never changes
+/// Ops.size() or any op's position, operands, or Site.
+unsigned fuseSuperinstructions(OptCode &C, const VMState &VM);
+
+/// Renders the top \p TopN cells of the opcode-adjacency histogram as a
+/// table (hottest first), for `ccjs --op-hist`.
+std::string renderOpPairHistogram(const PairHistogram &Hist, size_t TopN);
+
+/// Exports the top \p TopN cells as `host.op_pair.<prev>+<cur>` counters
+/// (host-prefixed: excluded from default metric renderings, so recording
+/// the histogram never perturbs equivalence images).
+void exportOpPairHistogram(const PairHistogram &Hist, MetricsRegistry &M,
+                           size_t TopN);
+
+} // namespace ccjs
+
+#endif // CCJS_JIT_FUSIONPASS_H

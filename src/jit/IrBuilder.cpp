@@ -20,6 +20,7 @@
 #include "jit/Jit.h"
 
 #include "frontend/Ast.h"
+#include "jit/FusionPass.h"
 #include "runtime/Layout.h"
 #include "support/Assert.h"
 #include "vm/Builtins.h"
@@ -1252,6 +1253,13 @@ OptCode *ccjs::compileOptimized(VMState &VM, uint32_t FuncIndex) {
   std::vector<LocalProvFact> Facts = Pass1.takeFacts();
   IrBuilder Pass2(VM, FuncIndex, &Facts);
   OptCode *Code = Pass2.build();
+  // Superinstruction fusion (host-side: changes neither Ops.size() nor
+  // any simulated event, see DESIGN.md §4.8).
+  if (VM.Config.Dispatch == DispatchMode::Fused) {
+    unsigned Fused = fuseSuperinstructions(*Code, VM);
+    if (VM.Metrics)
+      VM.Metrics->counter("host.fusion.sequences") += Fused;
+  }
   // Crankshaft-style compilation cost, charged to the runtime bucket.
   VM.Ctx.alu(InstrCategory::RestOfCode,
              300 + 60 * static_cast<unsigned>(Code->Ops.size()));

@@ -18,6 +18,7 @@
 #ifndef CCJS_JIT_OPTIR_H
 #define CCJS_JIT_OPTIR_H
 
+#include "hw/EventBatch.h"
 #include "runtime/Shape.h"
 #include "vm/Feedback.h"
 
@@ -102,7 +103,24 @@ namespace ccjs {
   X(AddPropTransitionOp)                                                       \
   X(StElemInitOp)                                                              \
   X(ReturnOp)                                                                  \
-  X(DeoptOp)
+  X(DeoptOp)                                                                   \
+  CCJS_FOR_EACH_FUSED_IR_OPCODE(X)
+
+// Superinstruction opcodes appended by the fusion pass (src/jit/FusionPass)
+// when EngineConfig::Dispatch == Fused. Fusion is *slot-preserving*: the
+// fused opcode overwrites the first op of the matched sequence while the
+// remaining slots keep their original ops (still reachable by jumps into
+// the middle), and the fused handler reads the component operands from
+// Ops[Cur+1] / Ops[Cur+2]. Appending at the end keeps every existing
+// opcode's enum value stable.
+#define CCJS_FOR_EACH_FUSED_IR_OPCODE(X)                                       \
+  X(FusedLdLocalLdLocalSmiBinOpOp)                                             \
+  X(FusedLdLocalLdaSmiSmiBinOpOp)                                              \
+  X(FusedLdLocalLdLocalOp)                                                     \
+  X(FusedLdLocalLdaSmiOp)                                                      \
+  X(FusedCheckMapLoadPropOp)                                                   \
+  X(FusedCheckSmiCheckSmiOp)                                                   \
+  X(FusedSmiCompareJumpIfFalseOp)
 
 enum class IrOpcode : uint8_t {
 #define CCJS_IR_OPCODE_ENUMERATOR(Name) Name,
@@ -115,6 +133,17 @@ inline constexpr unsigned NumIrOpcodes = 0
     CCJS_FOR_EACH_IR_OPCODE(CCJS_IR_OPCODE_COUNT)
 #undef CCJS_IR_OPCODE_COUNT
     ;
+
+inline const char *irOpcodeName(IrOpcode Op) {
+  switch (Op) {
+#define CCJS_IR_OPCODE_NAME(Name)                                              \
+  case IrOpcode::Name:                                                         \
+    return #Name;
+    CCJS_FOR_EACH_IR_OPCODE(CCJS_IR_OPCODE_NAME)
+#undef CCJS_IR_OPCODE_NAME
+  }
+  return "?";
+}
 
 /// Flag bits for OptIrOp::Flags.
 enum : uint16_t {
@@ -156,6 +185,10 @@ struct OptCode {
   /// executor pre-reserves this, so the operand stack never reallocates
   /// mid-run (host-side sizing hint; never affects simulated events).
   uint32_t MaxStack = 0;
+  /// Precomputed machine-event templates for superinstructions whose
+  /// event mix depends on per-instance operands (a fused op's Aux indexes
+  /// this table). Filled by the fusion pass; empty in unfused code.
+  std::vector<EventBatch> Batches;
 
   // Compile-time statistics (for the ablation benches).
   uint32_t ChecksEmitted = 0;

@@ -6,12 +6,12 @@
 /// to on for compilers with the GNU `&&label` extension and can be forced
 /// either way with -DCCJS_THREADED_DISPATCH=0/1.
 ///
-/// This is a *host-side* knob: both dispatch strategies execute the same
+/// This is a *host-side* knob: all dispatch strategies execute the same
 /// handler code and emit identical simulated machine events, so it is
-/// deliberately excluded from config fingerprints (reports from either
-/// mode diff cleanly against each other). The runtime selection lives in
-/// EngineConfig::ThreadedDispatch; tests/DispatchEquivalenceTest.cpp holds
-/// the two modes byte-identical.
+/// deliberately excluded from config fingerprints (reports from any mode
+/// diff cleanly against each other). The runtime selection lives in
+/// EngineConfig::Dispatch (switch / threaded / fused);
+/// tests/DispatchEquivalenceTest.cpp holds the modes byte-identical.
 ///
 //===----------------------------------------------------------------------===//
 

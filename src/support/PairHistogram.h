@@ -1,0 +1,77 @@
+//===- support/PairHistogram.h - Dense adjacency histogram ------*- C++ -*-===//
+///
+/// \file
+/// Dense NxN counter matrix for dynamic opcode-adjacency profiling: cell
+/// (Prev, Cur) counts how often opcode Cur executed immediately after
+/// opcode Prev in the optimized executor. Fusion candidates are mined from
+/// the hottest cells (`tools/ccjs --op-hist`) instead of hand-picked.
+///
+/// Header-only and IR-agnostic — the jit layer instantiates it with
+/// NumIrOpcodes and owns the opcode-name rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_SUPPORT_PAIRHISTOGRAM_H
+#define CCJS_SUPPORT_PAIRHISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ccjs {
+
+class PairHistogram {
+public:
+  explicit PairHistogram(unsigned NumSymbols)
+      : N(NumSymbols), Cells(size_t(NumSymbols) * NumSymbols, 0) {}
+
+  void record(unsigned Prev, unsigned Cur) { ++Cells[size_t(Prev) * N + Cur]; }
+
+  uint64_t count(unsigned Prev, unsigned Cur) const {
+    return Cells[size_t(Prev) * N + Cur];
+  }
+
+  unsigned numSymbols() const { return N; }
+
+  uint64_t total() const {
+    uint64_t Sum = 0;
+    for (uint64_t C : Cells)
+      Sum += C;
+    return Sum;
+  }
+
+  /// The (Prev, Cur, Count) cells with nonzero counts, hottest first; ties
+  /// broken by (Prev, Cur) so the order is deterministic.
+  struct Entry {
+    unsigned Prev = 0;
+    unsigned Cur = 0;
+    uint64_t Count = 0;
+  };
+  std::vector<Entry> top(size_t MaxEntries) const {
+    std::vector<Entry> All;
+    for (unsigned P = 0; P < N; ++P)
+      for (unsigned C = 0; C < N; ++C)
+        if (uint64_t K = count(P, C))
+          All.push_back({P, C, K});
+    for (size_t I = 0; I < All.size(); ++I) {
+      size_t Best = I;
+      for (size_t J = I + 1; J < All.size(); ++J)
+        if (All[J].Count > All[Best].Count)
+          Best = J;
+      if (Best != I)
+        std::swap(All[I], All[Best]);
+    }
+    if (All.size() > MaxEntries)
+      All.resize(MaxEntries);
+    return All;
+  }
+
+  void reset() { Cells.assign(Cells.size(), 0); }
+
+private:
+  unsigned N;
+  std::vector<uint64_t> Cells;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_SUPPORT_PAIRHISTOGRAM_H

@@ -28,6 +28,7 @@
 #include "runtime/TypeProfiler.h"
 #include "support/Dispatch.h"
 #include "support/FaultInjector.h"
+#include "support/PairHistogram.h"
 #include "support/StringInterner.h"
 #include "support/Trace.h"
 #include "vm/EngineObserver.h"
@@ -43,6 +44,52 @@
 namespace ccjs {
 
 struct OptCode; // Defined by the jit library; owned by the engine.
+
+/// Host-side dispatch strategy for the interpreter and OptIR executor main
+/// loops. All strategies run the same handler code and emit identical
+/// simulated events (held so by tests/DispatchEquivalenceTest.cpp and the
+/// generated-corpus oracle), so the knob is excluded from config
+/// fingerprints — like Trace, it can never perturb a measurement.
+enum class DispatchMode : uint8_t {
+  /// Portable hot switch (the default; fastest on current hosts, see
+  /// DESIGN.md §4.6).
+  Switch,
+  /// Computed-goto token threading, available when the build supports it.
+  Threaded,
+  /// Switch dispatch over superinstruction-fused OptIR: hot op pairs and
+  /// triples collapse into one dispatch with batched event charging (see
+  /// DESIGN.md §4.8).
+  Fused,
+};
+
+inline const char *dispatchModeName(DispatchMode M) {
+  switch (M) {
+  case DispatchMode::Switch:
+    return "switch";
+  case DispatchMode::Threaded:
+    return "threaded";
+  case DispatchMode::Fused:
+    return "fused";
+  }
+  return "switch";
+}
+
+/// Parses a --dispatch= flag value; returns false on an unknown name.
+inline bool dispatchModeFromName(const std::string &Name, DispatchMode &Out) {
+  if (Name == "switch") {
+    Out = DispatchMode::Switch;
+    return true;
+  }
+  if (Name == "threaded") {
+    Out = DispatchMode::Threaded;
+    return true;
+  }
+  if (Name == "fused") {
+    Out = DispatchMode::Fused;
+    return true;
+  }
+  return false;
+}
 
 /// Engine configuration: which parts of the paper's mechanism are active.
 struct EngineConfig {
@@ -82,16 +129,17 @@ struct EngineConfig {
   /// observational, same contract as Trace).
   bool MetricsEnabled = false;
 
-  /// Host-side dispatch strategy for the interpreter and OptIR executor
-  /// main loops: computed-goto token-threading (available when the build
-  /// supports it) or the portable switch. Both strategies run the same
-  /// handler code and emit identical simulated events (held so by
-  /// tests/DispatchEquivalenceTest.cpp), so this knob is excluded from
-  /// config fingerprints — like Trace, it can never perturb a measurement.
-  /// Off by default: on current deep-indirect-predictor hosts the single
-  /// switch dispatch measures faster than replicated computed gotos (see
-  /// DESIGN.md §4.6); flip per-engine where the threaded loop wins.
-  bool ThreadedDispatch = false;
+  /// Host-side dispatch strategy (see DispatchMode above). Switch by
+  /// default: on current deep-indirect-predictor hosts the single switch
+  /// dispatch measures faster than replicated computed gotos (DESIGN.md
+  /// §4.6); Fused trades dispatches for superinstructions (§4.8).
+  DispatchMode Dispatch = DispatchMode::Switch;
+  /// Ablation mask over the fusion pattern table (bit i enables pattern i,
+  /// see src/jit/FusionPass.h). Only consulted in Fused mode.
+  uint32_t FusedPatternMask = ~0u;
+  /// Record the dynamic opcode-adjacency histogram in the OptIR executor
+  /// (host-side observation feeding `ccjs --op-hist`; off by default).
+  bool OpHistEnabled = false;
 
   HwConfig Hw;
 };
@@ -170,6 +218,18 @@ struct VMState {
   std::unique_ptr<EngineTracer> Tracer;
   /// Metrics registry (null unless Config.MetricsEnabled).
   std::unique_ptr<MetricsRegistry> Metrics;
+  /// Dynamic opcode-adjacency histogram for the OptIR executor (null
+  /// unless Config.OpHistEnabled; constructed by the engine, which knows
+  /// the opcode count). Host-side observation only — recording it emits
+  /// no simulated events.
+  std::unique_ptr<PairHistogram> OpHist;
+  /// Host-side dispatch accounting for the OptIR executor: dispatches
+  /// actually performed, and dispatches a superinstruction absorbed
+  /// (flushed by each executor on frame exit; zeroed by
+  /// Engine::resetStats). Reported through `host.`-prefixed metrics and
+  /// the bench host-measurement block, never through simulated stats.
+  uint64_t HostDispatches = 0;
+  uint64_t HostFusedSaved = 0;
   /// Registered event observers, notified in registration order. The
   /// engine-owned tracer and auditor come first; Engine::addObserver
   /// appends user observers.
@@ -209,6 +269,11 @@ struct VMState {
 #endif
 #ifdef CCJS_ASAN_ENABLED
   static constexpr uint32_t MaxCallDepth = 800;
+#elif !defined(__OPTIMIZE__)
+  // -O0 interpreter/executor frames measure ~4-5 KB each (vs ~1 KB
+  // optimized): 4000 of them need ~16 MB and blow the default 8 MB
+  // thread stack before the guard trips.
+  static constexpr uint32_t MaxCallDepth = 1200;
 #else
   static constexpr uint32_t MaxCallDepth = 4000;
 #endif

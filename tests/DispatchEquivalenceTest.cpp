@@ -1,14 +1,18 @@
-//===- tests/DispatchEquivalenceTest.cpp - Threaded vs switch oracle ------===//
+//===- tests/DispatchEquivalenceTest.cpp - Dispatch-mode oracle -----------===//
 ///
 /// The host-throughput work must be invisible to the simulation. Two
 /// families of oracles enforce that:
 ///
-///  * Dispatch: the computed-goto (token-threaded) interpreter/executor
-///    loops and the portable switch loops are stamped from the same
-///    handler text (jit/ExecutorLoop.inc, interp/InterpreterLoop.inc) and
-///    must produce byte-identical observable behaviour — print output,
-///    serialized RunStats, engine metrics and fault trip logs — for every
-///    differential program, including under chaos fault injection.
+///  * Dispatch: the portable switch loop is the reference; the
+///    computed-goto (token-threaded) loops stamped from the same handler
+///    text (jit/ExecutorLoop.inc, interp/InterpreterLoop.inc) and the
+///    superinstruction-fused executor (FusionPass rewrites plus batched
+///    event charging, DESIGN.md 4.8) must produce byte-identical
+///    observable behaviour — print output, serialized RunStats, engine
+///    metrics and fault trip logs — for every differential program,
+///    including under chaos fault injection. The fused leg always runs;
+///    the threaded legs are skipped in builds without the computed-goto
+///    extension.
 ///
 ///  * Memory model: CacheSim's MRU short-circuit and one-entry repeat-block
 ///    memo are checked access-for-access against a naive true-LRU reference
@@ -48,8 +52,8 @@ struct RunImage {
   std::string TripLog;
 };
 
-RunImage runImage(const char *Source, EngineConfig Config, bool Threaded) {
-  Config.ThreadedDispatch = Threaded;
+RunImage runImage(const char *Source, EngineConfig Config, DispatchMode Mode) {
+  Config.Dispatch = Mode;
   RunImage R;
   Engine E(Config);
   if (!E.load(Source) || !E.runTopLevel()) {
@@ -66,26 +70,34 @@ RunImage runImage(const char *Source, EngineConfig Config, bool Threaded) {
   return R;
 }
 
-void expectIdentical(const RunImage &Switch, const RunImage &Threaded,
-                     const char *What) {
-  ASSERT_EQ(Switch.Ok, Threaded.Ok)
-      << What << ": one mode halted (" << Switch.Error << Threaded.Error
+void expectIdentical(const RunImage &Switch, const RunImage &Other,
+                     const std::string &What) {
+  ASSERT_EQ(Switch.Ok, Other.Ok)
+      << What << ": one mode halted (" << Switch.Error << Other.Error
       << ")";
   ASSERT_TRUE(Switch.Ok) << What << ": " << Switch.Error;
-  EXPECT_EQ(Switch.Output, Threaded.Output) << What << ": output diverged";
-  EXPECT_EQ(Switch.Stats, Threaded.Stats) << What << ": RunStats diverged";
-  EXPECT_EQ(Switch.Metrics, Threaded.Metrics) << What << ": metrics diverged";
-  EXPECT_EQ(Switch.TripLog, Threaded.TripLog)
+  EXPECT_EQ(Switch.Output, Other.Output) << What << ": output diverged";
+  EXPECT_EQ(Switch.Stats, Other.Stats) << What << ": RunStats diverged";
+  EXPECT_EQ(Switch.Metrics, Other.Metrics) << What << ": metrics diverged";
+  EXPECT_EQ(Switch.TripLog, Other.TripLog)
       << What << ": fault trip log diverged";
 }
 
-class DispatchEquivalenceTest : public ::testing::TestWithParam<DiffProgram> {
-protected:
-  void SetUp() override {
-#if !CCJS_THREADED_DISPATCH
-    GTEST_SKIP() << "threaded dispatch not compiled in";
+/// Compares every non-reference dispatch mode against the switch image.
+/// Fused always runs (it rides the switch loop); threaded only exists in
+/// computed-goto builds.
+void expectAllModesIdentical(const char *Source, const EngineConfig &C,
+                             const std::string &What) {
+  RunImage Sw = runImage(Source, C, DispatchMode::Switch);
+  RunImage Fu = runImage(Source, C, DispatchMode::Fused);
+  expectIdentical(Sw, Fu, What + " [fused]");
+#if CCJS_THREADED_DISPATCH
+  RunImage Th = runImage(Source, C, DispatchMode::Threaded);
+  expectIdentical(Sw, Th, What + " [threaded]");
 #endif
-  }
+}
+
+class DispatchEquivalenceTest : public ::testing::TestWithParam<DiffProgram> {
 };
 
 /// Fault-free byte identity, with metrics on, under both the baseline and
@@ -96,15 +108,16 @@ TEST_P(DispatchEquivalenceTest, StatsAndMetricsIdentical) {
   for (bool ClassCache : {false, true}) {
     EngineConfig C = test::hotConfig(ClassCache);
     C.MetricsEnabled = true;
-    RunImage Sw = runImage(P.Source, C, /*Threaded=*/false);
-    RunImage Th = runImage(P.Source, C, /*Threaded=*/true);
-    expectIdentical(Sw, Th, ClassCache ? "class-cache" : "baseline");
+    expectAllModesIdentical(P.Source, C,
+                            ClassCache ? "class-cache" : "baseline");
   }
 }
 
 /// Chaos sweep: under deterministic fault injection (deopts, invalidation
-/// storms...) every seed must still be byte-identical between the two
-/// dispatch modes — the fault schedule itself is part of the identity.
+/// storms...) every seed must still be byte-identical across the dispatch
+/// modes — the fault schedule itself is part of the identity, so a fused
+/// handler that consulted the injector in a different order (or a
+/// different number of times) than the component ops would diverge here.
 TEST_P(DispatchEquivalenceTest, ChaosSeedsIdentical) {
   const DiffProgram &P = GetParam();
   for (uint64_t Seed = 1; Seed <= NumDispatchSeeds; ++Seed) {
@@ -113,11 +126,8 @@ TEST_P(DispatchEquivalenceTest, ChaosSeedsIdentical) {
     C.Faults.Seed = Seed;
     C.AuditInvariants = true;
     C.MetricsEnabled = true;
-    RunImage Sw = runImage(P.Source, C, /*Threaded=*/false);
-    RunImage Th = runImage(P.Source, C, /*Threaded=*/true);
-    expectIdentical(Sw, Th,
-                    (std::string("chaos seed ") + std::to_string(Seed))
-                        .c_str());
+    expectAllModesIdentical(P.Source, C,
+                            "chaos seed " + std::to_string(Seed));
   }
 }
 

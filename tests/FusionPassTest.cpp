@@ -1,0 +1,291 @@
+//===- tests/FusionPassTest.cpp - Superinstruction fusion unit tests ------===//
+///
+/// White-box tests for the fusion pass (jit/FusionPass) and the batched
+/// event-charging machinery it relies on (hw/EventBatch, ExecContext::
+/// chargeBatch). The DispatchEquivalenceTest / generated-corpus oracles
+/// prove end-to-end byte identity; these tests pin the individual
+/// guarantees that argument rests on:
+///
+///  * fusion is slot-preserving — only slot 0's opcode (and Aux) change,
+///    never Ops.size(), positions, operands or Site fields;
+///  * the greedy scan prefers triples over their pair prefixes, and
+///    FusedPatternMask ablates patterns by table index;
+///  * a non-first component that is a jump target or carries a loop
+///    preload is never swallowed (a first-slot preload is fine);
+///  * the CheckMap+LoadProp guard predicate (no PreUntag, depth 0, not the
+///    HeapNumber shape) and the event template it emits;
+///  * EventBatch::append coalesces only adjacent same-category,
+///    same-attribution ALU events; and
+///  * chargeBatch replays a template through the same primitives as
+///    unfused execution — identical counters, cache state and cycles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "hw/ExecContext.h"
+#include "jit/FusionPass.h"
+#include "vm/VMState.h"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+
+using namespace ccjs;
+
+namespace {
+
+OptIrOp makeOp(IrOpcode Op, int32_t A = 0) {
+  OptIrOp O;
+  O.Op = Op;
+  O.A = A;
+  return O;
+}
+
+/// Handcrafted OptCode: just the ops, with PreloadAt sized to match (the
+/// builder derives it from LoopPreloads; here it starts all-clear).
+OptCode makeCode(std::initializer_list<OptIrOp> Ops) {
+  OptCode C;
+  C.Ops = Ops;
+  C.PreloadAt.assign(C.Ops.size(), 0);
+  return C;
+}
+
+/// VMState with every pattern enabled (the fusion pass only consults
+/// Config.FusedPatternMask and Shapes.heapNumberShape()).
+struct FusionFixture {
+  FusionFixture(uint32_t Mask = ~0u) : Cfg(), VM((Cfg.FusedPatternMask = Mask,
+                                                  Cfg)) {}
+  EngineConfig Cfg;
+  VMState VM;
+};
+
+TEST(FusionPassTest, PairRewriteIsSlotPreserving) {
+  OptCode C = makeCode({makeOp(IrOpcode::LdLocalOp, 2),
+                        makeOp(IrOpcode::LdaSmiOp, 7),
+                        makeOp(IrOpcode::ReturnOp)});
+  FusionFixture F;
+  EXPECT_EQ(fuseSuperinstructions(C, F.VM), 1u);
+  ASSERT_EQ(C.Ops.size(), 3u);
+  // Slot 0: opcode swapped, operands untouched.
+  EXPECT_EQ(C.Ops[0].Op, IrOpcode::FusedLdLocalLdaSmiOp);
+  EXPECT_EQ(C.Ops[0].A, 2);
+  // Slot 1 keeps its original op verbatim: jumps into the middle of the
+  // sequence must still land on a valid handler.
+  EXPECT_EQ(C.Ops[1].Op, IrOpcode::LdaSmiOp);
+  EXPECT_EQ(C.Ops[1].A, 7);
+  EXPECT_EQ(C.Ops[2].Op, IrOpcode::ReturnOp);
+  // No batch template for operand-independent patterns.
+  EXPECT_EQ(C.Ops[0].Aux, -1);
+  EXPECT_TRUE(C.Batches.empty());
+}
+
+TEST(FusionPassTest, TriplePreferredOverPairPrefix) {
+  OptCode C = makeCode({makeOp(IrOpcode::LdLocalOp, 0),
+                        makeOp(IrOpcode::LdLocalOp, 1),
+                        makeOp(IrOpcode::SmiBinOpOp, 3)});
+  FusionFixture F;
+  EXPECT_EQ(fuseSuperinstructions(C, F.VM), 1u);
+  EXPECT_EQ(C.Ops[0].Op, IrOpcode::FusedLdLocalLdLocalSmiBinOpOp);
+  EXPECT_EQ(C.Ops[1].Op, IrOpcode::LdLocalOp);
+  EXPECT_EQ(C.Ops[2].Op, IrOpcode::SmiBinOpOp);
+}
+
+TEST(FusionPassTest, MaskAblatesByTableIndex) {
+  // With the ldloc+ldloc+smibinop triple (table index 0) masked off, the
+  // ldloc+ldloc pair (index 2) fuses instead and the SmiBinOp survives.
+  OptCode C = makeCode({makeOp(IrOpcode::LdLocalOp, 0),
+                        makeOp(IrOpcode::LdLocalOp, 1),
+                        makeOp(IrOpcode::SmiBinOpOp, 3)});
+  FusionFixture F(~0u & ~(1u << 0));
+  EXPECT_EQ(fuseSuperinstructions(C, F.VM), 1u);
+  EXPECT_EQ(C.Ops[0].Op, IrOpcode::FusedLdLocalLdLocalOp);
+  EXPECT_EQ(C.Ops[2].Op, IrOpcode::SmiBinOpOp);
+
+  // All patterns masked off: the pass is a no-op.
+  OptCode C2 = makeCode({makeOp(IrOpcode::LdLocalOp, 0),
+                         makeOp(IrOpcode::LdLocalOp, 1),
+                         makeOp(IrOpcode::SmiBinOpOp, 3)});
+  FusionFixture None(0);
+  EXPECT_EQ(fuseSuperinstructions(C2, None.VM), 0u);
+  EXPECT_EQ(C2.Ops[0].Op, IrOpcode::LdLocalOp);
+}
+
+TEST(FusionPassTest, JumpTargetBlocksNonFirstComponent) {
+  // The jump lands on the second LdLocal: swallowing it would leave the
+  // jump pointing into the middle of a fused handler's operands.
+  OptCode Blocked = makeCode({makeOp(IrOpcode::LdLocalOp, 0),
+                              makeOp(IrOpcode::LdLocalOp, 1),
+                              makeOp(IrOpcode::JumpOp, 1)});
+  FusionFixture F;
+  EXPECT_EQ(fuseSuperinstructions(Blocked, F.VM), 0u);
+  EXPECT_EQ(Blocked.Ops[0].Op, IrOpcode::LdLocalOp);
+  EXPECT_EQ(Blocked.Ops[1].Op, IrOpcode::LdLocalOp);
+
+  // A jump to the *first* component is fine: it enters the fused handler
+  // at its normal entry point.
+  OptCode Ok = makeCode({makeOp(IrOpcode::LdLocalOp, 0),
+                         makeOp(IrOpcode::LdLocalOp, 1),
+                         makeOp(IrOpcode::JumpOp, 0)});
+  EXPECT_EQ(fuseSuperinstructions(Ok, F.VM), 1u);
+  EXPECT_EQ(Ok.Ops[0].Op, IrOpcode::FusedLdLocalLdLocalOp);
+}
+
+TEST(FusionPassTest, LoopPreloadBlocksNonFirstComponent) {
+  FusionFixture F;
+  // Preload at the second component: the fused handler skips that op's
+  // prologue, so fusing would drop the preheader work.
+  OptCode Blocked = makeCode({makeOp(IrOpcode::LdLocalOp, 0),
+                              makeOp(IrOpcode::LdaSmiOp, 5)});
+  Blocked.PreloadAt[1] = 1;
+  EXPECT_EQ(fuseSuperinstructions(Blocked, F.VM), 0u);
+  EXPECT_EQ(Blocked.Ops[0].Op, IrOpcode::LdLocalOp);
+
+  // Preload at the first slot is fine: the fused op runs the normal
+  // prologue for its own position.
+  OptCode Ok = makeCode({makeOp(IrOpcode::LdLocalOp, 0),
+                         makeOp(IrOpcode::LdaSmiOp, 5)});
+  Ok.PreloadAt[0] = 1;
+  EXPECT_EQ(fuseSuperinstructions(Ok, F.VM), 1u);
+  EXPECT_EQ(Ok.Ops[0].Op, IrOpcode::FusedLdLocalLdaSmiOp);
+}
+
+TEST(FusionPassTest, CheckMapLoadPropGuardPredicate) {
+  FusionFixture F;
+  const ShapeId PlainShape = F.VM.Shapes.heapNumberShape() + 1;
+
+  auto Seq = [&](uint16_t Flags, uint8_t Depth, ShapeId Shape) {
+    OptIrOp Check = makeOp(IrOpcode::CheckMapOp);
+    Check.Flags = Flags;
+    Check.Depth = Depth;
+    Check.Shape = Shape;
+    OptIrOp LoadProp = makeOp(IrOpcode::LoadPropOp);
+    LoadProp.B = 1;
+    return makeCode({Check, LoadProp});
+  };
+
+  // The PreUntag variant checks a number representation, not an object
+  // map — the fused single-shape test would not be equivalent.
+  OptCode PreUntag = Seq(IrFlagPreUntag, 0, PlainShape);
+  EXPECT_EQ(fuseSuperinstructions(PreUntag, F.VM), 0u);
+
+  // Depth != 0: the check guards a value other than the one LoadProp pops.
+  OptCode Deep = Seq(0, 1, PlainShape);
+  EXPECT_EQ(fuseSuperinstructions(Deep, F.VM), 0u);
+
+  // Guarding the HeapNumber shape: an unboxed double could pass the
+  // unfused check but not the fused pointer-shape test.
+  OptCode HeapNum = Seq(0, 0, F.VM.Shapes.heapNumberShape());
+  EXPECT_EQ(fuseSuperinstructions(HeapNum, F.VM), 0u);
+
+  // The fusable case gets an event-batch template.
+  OptCode Fusable = Seq(IrFlagAfterObjectLoad, 0, PlainShape);
+  EXPECT_EQ(fuseSuperinstructions(Fusable, F.VM), 1u);
+  EXPECT_EQ(Fusable.Ops[0].Op, IrOpcode::FusedCheckMapLoadPropOp);
+  ASSERT_EQ(Fusable.Ops[0].Aux, 0);
+  ASSERT_EQ(Fusable.Batches.size(), 1u);
+
+  // Pass-path template: CheckMap's map load + compare + (not-taken)
+  // branch, then LoadProp's slot load, with the check's after-object-load
+  // attribution carried onto the check events only.
+  const EventBatch &B = Fusable.Batches[0];
+  ASSERT_EQ(B.NumEvs, 4u);
+  EXPECT_EQ(B.Evs[0].Kind, BatchEvKind::Load);
+  EXPECT_EQ(B.Evs[0].Cat, InstrCategory::Checks);
+  EXPECT_TRUE(B.Evs[0].AfterObjLoad);
+  EXPECT_EQ(B.Evs[1].Kind, BatchEvKind::Alu);
+  EXPECT_EQ(B.Evs[1].Cat, InstrCategory::Checks);
+  EXPECT_TRUE(B.Evs[1].AfterObjLoad);
+  EXPECT_EQ(B.Evs[1].N, 1u);
+  EXPECT_EQ(B.Evs[2].Kind, BatchEvKind::Branch);
+  EXPECT_EQ(B.Evs[2].Cat, InstrCategory::Checks);
+  EXPECT_TRUE(B.Evs[2].AfterObjLoad);
+  EXPECT_EQ(B.Evs[3].Kind, BatchEvKind::Load);
+  EXPECT_EQ(B.Evs[3].Cat, InstrCategory::OtherOptimized);
+  EXPECT_FALSE(B.Evs[3].AfterObjLoad);
+}
+
+TEST(EventBatchTest, AppendCoalescesOnlyAdjacentMatchingAlu) {
+  EventBatch B;
+  B.append({BatchEvKind::Alu, InstrCategory::OtherOptimized, false, 1});
+  B.append({BatchEvKind::Alu, InstrCategory::OtherOptimized, false, 1});
+  ASSERT_EQ(B.NumEvs, 1u);
+  EXPECT_EQ(B.Evs[0].N, 2u);
+
+  // A different category does not coalesce.
+  B.append({BatchEvKind::Alu, InstrCategory::Checks, false, 1});
+  ASSERT_EQ(B.NumEvs, 2u);
+  EXPECT_EQ(B.Evs[1].N, 1u);
+
+  // A different attribution bit does not coalesce.
+  B.append({BatchEvKind::Alu, InstrCategory::Checks, true, 1});
+  ASSERT_EQ(B.NumEvs, 3u);
+
+  // A memory event breaks adjacency: the next matching ALU starts fresh.
+  B.append({BatchEvKind::Load, InstrCategory::Checks, true, 1});
+  B.append({BatchEvKind::Alu, InstrCategory::Checks, true, 1});
+  ASSERT_EQ(B.NumEvs, 5u);
+  EXPECT_EQ(B.Evs[2].N, 1u);
+  EXPECT_EQ(B.Evs[4].N, 1u);
+}
+
+/// chargeBatch must be observationally identical to issuing the component
+/// primitives one by one — including when two of the ALU events were
+/// coalesced into a single N=2 event in the template.
+TEST(EventBatchTest, ChargeBatchMatchesIndividualPrimitives) {
+  HwConfig Cfg;
+  ExecContext Unfused(Cfg), Batched(Cfg);
+
+  // What an unfused CheckMap+LoadProp plus some arithmetic would charge.
+  Unfused.alu(InstrCategory::OtherOptimized);
+  Unfused.alu(InstrCategory::OtherOptimized);
+  Unfused.load(InstrCategory::Checks, 0x1000, /*AfterObjLoad=*/true);
+  Unfused.alu(InstrCategory::Checks, 1, /*AfterObjLoad=*/true);
+  Unfused.branch(InstrCategory::Checks, /*Site=*/7, /*Taken=*/false,
+                 /*AfterObjLoad=*/true);
+  Unfused.load(InstrCategory::OtherOptimized, 0x2040);
+  Unfused.store(InstrCategory::TagsUntags, 0x1000);
+
+  // The same stream as a template (the leading ALU pair coalesces).
+  EventBatch B;
+  B.append({BatchEvKind::Alu, InstrCategory::OtherOptimized, false, 1});
+  B.append({BatchEvKind::Alu, InstrCategory::OtherOptimized, false, 1});
+  B.append({BatchEvKind::Load, InstrCategory::Checks, true, 1});
+  B.append({BatchEvKind::Alu, InstrCategory::Checks, true, 1});
+  B.append({BatchEvKind::Branch, InstrCategory::Checks, true, 1});
+  B.append({BatchEvKind::Load, InstrCategory::OtherOptimized, false, 1});
+  B.append({BatchEvKind::Store, InstrCategory::TagsUntags, false, 1});
+  ASSERT_EQ(B.NumEvs, 6u); // ALU pair coalesced.
+  const BatchOperand Operands[] = {
+      {0x1000, false}, {7, false}, {0x2040, false}, {0x1000, false}};
+  Batched.chargeBatch(B, Operands);
+
+  // Instruction counters, per category and attribution subset.
+  for (unsigned C = 0; C < NumInstrCategories; ++C) {
+    EXPECT_EQ(Unfused.instrs().PerCategory[C],
+              Batched.instrs().PerCategory[C])
+        << "category " << C;
+    EXPECT_EQ(Unfused.instrs().ChecksAfterObjectLoad[C],
+              Batched.instrs().ChecksAfterObjectLoad[C])
+        << "category " << C;
+  }
+  // Memory hierarchy state (the store to 0x1000 hits the line the check
+  // load brought in — a divergence here would catch reordering).
+  EXPECT_EQ(Unfused.memory().dl1().accesses(),
+            Batched.memory().dl1().accesses());
+  EXPECT_EQ(Unfused.memory().dl1().misses(),
+            Batched.memory().dl1().misses());
+  EXPECT_EQ(Unfused.memory().l2().accesses(),
+            Batched.memory().l2().accesses());
+  EXPECT_EQ(Unfused.memory().dtlb().misses(),
+            Batched.memory().dtlb().misses());
+  // Bucket counters and the derived cycle model.
+  EXPECT_EQ(Unfused.optimizedBucket().Loads, Batched.optimizedBucket().Loads);
+  EXPECT_EQ(Unfused.optimizedBucket().Stores,
+            Batched.optimizedBucket().Stores);
+  EXPECT_EQ(Unfused.optimizedBucket().Branches,
+            Batched.optimizedBucket().Branches);
+  EXPECT_EQ(Unfused.optimizedBucket().Mispredicts,
+            Batched.optimizedBucket().Mispredicts);
+  EXPECT_DOUBLE_EQ(Unfused.totalCycles(), Batched.totalCycles());
+}
+
+} // namespace

@@ -22,6 +22,14 @@
 ///                          ("all" = everything, including cc-hit)
 ///     --metrics            collect named counters/histograms; print them
 ///                          and embed them in the --json report
+///     --dispatch=M         host-side executor dispatch strategy (switch,
+///                          threaded or fused); simulated results are
+///                          byte-identical across modes
+///     --fused-mask=M       fusion-pattern ablation bitmask (requires
+///                          --dispatch=fused)
+///     --op-hist            record the dynamic opcode-adjacency histogram
+///                          and print the hottest pairs (the fusion
+///                          candidate-mining tool, EXPERIMENTS.md)
 ///
 /// Config assembly goes through the validated Engine::Options builder; an
 /// inconsistent flag combination exits 2 with a diagnostic before any
@@ -33,6 +41,7 @@
 #include "core/BenchHarness.h"
 #include "core/Runner.h"
 #include "frontend/Parser.h"
+#include "jit/FusionPass.h"
 #include "support/FaultInjector.h"
 #include "support/Table.h"
 #include "vm/InvariantAuditor.h"
@@ -120,6 +129,8 @@ static bool applyChaosOnly(Engine::Options &Opts, const char *List) {
 int main(int Argc, char **Argv) {
   Engine::Options Opts;
   bool Stats = false, Compare = false, Disassemble = false, Metrics = false;
+  bool OpHist = false, FusedMaskSet = false;
+  DispatchMode Dispatch = DispatchMode::Switch;
   bool ChaosEnabled = false;
   int Iterations = 0;
   const char *Path = nullptr;
@@ -178,6 +189,28 @@ int main(int Argc, char **Argv) {
       TraceMaskSet = true;
     } else if (!std::strcmp(A, "--metrics")) {
       Metrics = true;
+    } else if (!std::strncmp(A, "--dispatch=", 11)) {
+      if (!dispatchModeFromName(A + 11, Dispatch)) {
+        std::fprintf(stderr,
+                     "ccjs: --dispatch must be 'switch', 'threaded' or "
+                     "'fused', got '%s'\n",
+                     A + 11);
+        return 2;
+      }
+      Opts.withDispatch(Dispatch);
+    } else if (!std::strncmp(A, "--fused-mask=", 13)) {
+      char *End = nullptr;
+      unsigned long Mask = std::strtoul(A + 13, &End, 0);
+      if (End == A + 13 || *End || Mask > 0xffffffffUL) {
+        std::fprintf(stderr, "ccjs: invalid --fused-mask value '%s'\n",
+                     A + 13);
+        return 2;
+      }
+      Opts.withFusedPatternMask(static_cast<uint32_t>(Mask));
+      FusedMaskSet = true;
+    } else if (!std::strcmp(A, "--op-hist")) {
+      OpHist = true;
+      Opts.withOpHist();
     } else if (A[0] == '-') {
       std::fprintf(stderr, "ccjs: unknown option '%s'\n", A);
       return 2;
@@ -192,7 +225,9 @@ int main(int Argc, char **Argv) {
                  "[--json=<path>] [--disassemble]\n            "
                  "[--chaos-seed=N] [--chaos-only=a,b] [--audit] "
                  "[--trip-log=<path>]\n            [--trace=<path>] "
-                 "[--trace-events=a,b|all] [--metrics] file.js\n");
+                 "[--trace-events=a,b|all] [--metrics]\n            "
+                 "[--dispatch=switch|threaded|fused] [--fused-mask=M] "
+                 "[--op-hist] file.js\n");
     return 2;
   }
   if (!TripLogPath.empty() && !ChaosEnabled) {
@@ -201,6 +236,10 @@ int main(int Argc, char **Argv) {
   }
   if (TraceMaskSet && TracePath.empty()) {
     std::fprintf(stderr, "ccjs: --trace-events requires --trace=<path>\n");
+    return 2;
+  }
+  if (FusedMaskSet && Dispatch != DispatchMode::Fused) {
+    std::fprintf(stderr, "ccjs: --fused-mask requires --dispatch=fused\n");
     return 2;
   }
   if (Compare && (!TracePath.empty() || Metrics)) {
@@ -349,8 +388,14 @@ int main(int Argc, char **Argv) {
     return AuditRc;
   if (Stats)
     printStats(E.stats());
+  // ccjs is a measurement surface: it shows the host.-prefixed counters
+  // (dispatch accounting, fusion savings, op-pair histogram) that default
+  // metric exports omit to keep equivalence images mode-independent.
+  E.flushHostMetrics();
   if (Metrics && E.metrics())
-    std::printf("%s", E.metrics()->render().c_str());
+    std::printf("%s", E.metrics()->render(/*IncludeHost=*/true).c_str());
+  if (OpHist && E.vm().OpHist)
+    std::printf("%s", renderOpPairHistogram(*E.vm().OpHist, 32).c_str());
   if (!JsonPath.empty()) {
     BenchReport Report("ccjs_run", Opts.build());
     BenchRun R;
@@ -360,7 +405,7 @@ int main(int Argc, char **Argv) {
     Workload W{Path, "cli", "", false};
     Report.addRun(W, R);
     if (Metrics && E.metrics())
-      Report.setMetrics(E.metrics()->toJson());
+      Report.setMetrics(E.metrics()->toJson(/*IncludeHost=*/true));
     if (!writeReport(Report, JsonPath))
       return 1;
   }

@@ -13,7 +13,8 @@
 /// --repeats/--edge) pin individual GenConfig fields instead of deriving
 /// them from the seed. --chaos-seeds=K sets the fault-injection sweep
 /// width (default 3, 0 disables); --no-dispatch skips the switch vs
-/// computed-goto byte comparison.
+/// computed-goto byte comparison; --no-fused skips the switch vs
+/// superinstruction-fused byte comparison.
 ///
 /// Exit code: 0 all seeds clean, 1 at least one divergence or generator
 /// failure, 2 usage error.
@@ -47,7 +48,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: ccjs-gen (--seed=N | --seeds=LO..HI) [--dump] [--minimize]\n"
-      "                [--chaos-seeds=K] [--no-dispatch]\n"
+      "                [--chaos-seeds=K] [--no-dispatch] [--no-fused]\n"
       "                [--poly=N] [--depth=N] [--churn=PCT] [--fanout=N]\n"
       "                [--fns=N] [--iters=N] [--repeats=N] [--edge=PCT]\n");
   return 2;
@@ -94,6 +95,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.Minimize = true;
     } else if (Arg == "--no-dispatch") {
       Cli.Oracle.CheckDispatch = false;
+    } else if (Arg == "--no-fused") {
+      Cli.Oracle.CheckFused = false;
     } else if (auto V = matchArg(Arg, "--chaos-seeds")) {
       uint64_t K;
       if (!parseU64(*V, K))
