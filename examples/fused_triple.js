@@ -1,0 +1,31 @@
+// fused_triple.js - committed regression workload for the
+// ldloc+ldloc+smibinop fused triple (fusion table pattern 0, mask bit 1):
+//
+//   ccjs --dispatch=fused --fused-mask=1 --metrics examples/fused_triple.js
+//
+// The triple only fires when *both* CheckSmis between the local loads and
+// the binop are classically elided, which requires the IR builder's
+// abstract interpretation to already know both locals are Smis. The first
+// `a + b` below proves that (its operands flow through ensureSmi); the
+// second `a + b` then compiles to the bare LdLocal/LdLocal/SmiBinOp
+// sequence the pattern matches. A simpler `s + a` shape never fuses: its
+// first read is check-guarded on entry. This program pins the pattern as
+// dynamically live — if a builder change re-inserts a check between the
+// loads, the fused-dispatch saving drops to zero and FusionPassTest's
+// TripleWorkloadKeepsPatternDynamicallyLive fails.
+
+function run(n) {
+  var s = 0;
+  var a = 3;
+  var b = 4;
+  var i;
+  for (i = 0; i < n; i++) {
+    s = (a + b) + (a + b) + s;
+  }
+  return s;
+}
+
+var j;
+for (j = 0; j < 10; j++) {
+  print(run(500));
+}

@@ -1,0 +1,17 @@
+// recursion_depth.js - a deep self-recursion for exercising the call-depth
+// budget (service-mode resource governance, DESIGN.md 4.9):
+//
+//   ccjs --serve --budget-depth=30 examples/recursion_depth.js   # exit 3
+//   ccjs --budget-depth=30 examples/recursion_depth.js
+//
+// With no budget armed the program completes normally (100 frames is well
+// inside the engine's own recursion limit); with --budget-depth=N for
+// N < 100 it halts with "BudgetExceeded: call-depth used=N+1 limit=N
+// (safepoint=call-entry)" and the engine stays reusable.
+
+function down(n, acc) {
+  if (n <= 0) { return acc; }
+  return down(n - 1, acc + n);
+}
+
+print(down(100, 0));

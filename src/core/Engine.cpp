@@ -103,6 +103,12 @@ bool Engine::Options::validate(std::string *Err) const {
       (Cfg.Trace.Mask == 0 ||
        Cfg.Trace.Mask >= (1u << NumTraceEventKinds)))
     return Fail("trace mask selects no known event kind");
+  // A call-depth budget at or above the engine's hard recursion guard
+  // could never trip before the guard's "stack overflow" halt, which is
+  // not the clean reusable BudgetExceeded stop the caller asked for.
+  if (Cfg.Budget.MaxCallDepth &&
+      Cfg.Budget.MaxCallDepth >= VMState::MaxCallDepth)
+    return Fail("call-depth budget must be below the engine recursion limit");
   return true;
 }
 
@@ -190,7 +196,28 @@ bool Engine::load(std::string_view Source) {
 
   for (FunctionInfo &FI : VM->Funcs)
     FI.Feedback.assign(FI.Fn->NumSites, SiteFeedback());
+  // Budgets meter each loaded program from its own start line, not from
+  // engine construction — a pooled engine's accumulated counters must not
+  // charge earlier requests' work to this one.
+  VM->rebaseBudget();
   return true;
+}
+
+void Engine::beginServiceRequest() {
+  // Measurement counters (simulated and host-side) restart at zero, so the
+  // request's stats() describe only its own execution.
+  resetStats();
+  // The fault stream keeps rolling (occurrence counters and schedules are
+  // warm-profile state) but the trip log and fired totals restart: a
+  // request's quarantine decision must attribute only its own trips.
+  if (VM->FaultInj)
+    VM->FaultInj->clearTrips();
+  // Metric exports restart byte-identical to a fresh engine's.
+  if (VM->Metrics)
+    VM->Metrics->reset();
+  VM->rebaseBudget();
+  // Degradation pins are per-request; the pool re-pins under pressure.
+  VM->TierPinned = false;
 }
 
 bool Engine::runTopLevel() {
@@ -239,6 +266,14 @@ Value Engine::callGlobal(const std::string &Name,
 Value Engine::dispatchInvoke(VMState &VM, uint32_t FuncIndex, Value ThisV,
                              const Value *Args, uint32_t Argc) {
   FunctionInfo &FI = VM.Funcs[FuncIndex];
+  // Graceful degradation (service mode): a tier-pinned engine neither
+  // enters existing optimized code nor tiers up — every call runs in the
+  // baseline interpreter. Hotness counters still accumulate, so the
+  // function tiers up normally once the pin is lifted.
+  if (VM.TierPinned) {
+    ++FI.InvocationCount;
+    return interpretCall(VM, FuncIndex, ThisV, Args, Argc);
+  }
   if (FI.Opt && FI.OptValid)
     return runOptimized(VM, FuncIndex, ThisV, Args, Argc);
 
@@ -246,6 +281,11 @@ Value Engine::dispatchInvoke(VMState &VM, uint32_t FuncIndex, Value ThisV,
   bool Hot = FI.InvocationCount > VM.Config.HotInvocationThreshold ||
              FI.BackEdgeTrips > VM.Config.HotLoopThreshold;
   if (Hot && !FI.OptDisabled) {
+    // Budget safepoint at the tier-up boundary: optimizing compiles are
+    // the most expensive host-side step a request can trigger, so the
+    // budgets get one more look before committing to one.
+    if (VM.BudgetArmed && VM.checkBudgetAt(BudgetSafepoint::TierUp))
+      return VM.Heap_.undefined();
     // Chaos: let recorded feedback go stale right before the compiler
     // consumes it. The poisons only drop or over-generalize facts, so the
     // compiled code may speculate wrongly but its guards must catch it.

@@ -143,6 +143,28 @@ public:
       Cfg.OpHistEnabled = On;
       return *this;
     }
+    /// Per-request resource budgets (service mode). Zero = unlimited.
+    /// Checked at safepoints off already-maintained counters, so runs that
+    /// never trip are byte-identical to budgets-off runs.
+    Options &withBudget(uint64_t MaxInstructions, uint64_t MaxHeapBytes = 0,
+                        uint32_t MaxCallDepth = 0) {
+      Cfg.Budget.MaxInstructions = MaxInstructions;
+      Cfg.Budget.MaxHeapBytes = MaxHeapBytes;
+      Cfg.Budget.MaxCallDepth = MaxCallDepth;
+      return *this;
+    }
+    Options &withInstructionBudget(uint64_t N) {
+      Cfg.Budget.MaxInstructions = N;
+      return *this;
+    }
+    Options &withHeapBudget(uint64_t Bytes) {
+      Cfg.Budget.MaxHeapBytes = Bytes;
+      return *this;
+    }
+    Options &withCallDepthBudget(uint32_t Depth) {
+      Cfg.Budget.MaxCallDepth = Depth;
+      return *this;
+    }
 
     /// Checks cross-field consistency; fills \p Err with the first problem.
     bool validate(std::string *Err = nullptr) const;
@@ -174,6 +196,41 @@ public:
 
   const std::string &lastError() const { return VM->Error; }
   bool halted() const { return VM->Halted; }
+  /// True when the current halt was a per-request budget trip (a clean,
+  /// recoverable stop: the engine stays reusable, load() starts fresh).
+  bool budgetExceeded() const { return VM->BudgetTripped; }
+  /// Which budget tripped; meaningful only while budgetExceeded().
+  BudgetKind budgetExceededKind() const { return VM->BudgetTrippedKind; }
+
+  /// Service-mode graceful degradation: while pinned, calls neither tier
+  /// up nor enter existing optimized code — everything runs in the
+  /// baseline interpreter. Host-side knob (the pool flips it per request
+  /// under pressure); deliberately changes simulated behaviour for the
+  /// pinned request, never recorded in EngineConfig or fingerprints.
+  void pinBaselineTier(bool On = true) { VM->TierPinned = On; }
+  bool tierPinned() const { return VM->TierPinned; }
+
+  /// Applies per-request budgets on a pooled engine. The budget block is
+  /// the one EngineConfig field that is per-request service state rather
+  /// than profiled configuration (it is excluded from fingerprints and
+  /// never influences simulated events); every other config field stays
+  /// immutable for the engine's lifetime.
+  void setRequestBudget(const BudgetConfig &B) {
+    VM->Config.Budget = B;
+    VM->BudgetArmed = B.any();
+    VM->rebaseBudget();
+  }
+  const BudgetConfig &requestBudget() const { return VM->Config.Budget; }
+
+  /// Prepares a pooled engine for the next independent service request:
+  /// clears every piece of per-request observation that load() leaves
+  /// alone — measurement counters (resetStats), the fault-injector trip
+  /// log, the metrics registry, host dispatch counters — and rebases the
+  /// resource budgets. Warm profile state (shapes, Class List images,
+  /// caches, fault schedules' occurrence counters) persists: that is the
+  /// point of pooling. Extends the EngineReuseTest contract to request
+  /// sequences.
+  void beginServiceRequest();
 
   /// Accumulated print() output.
   const std::string &output() const { return VM->Output; }

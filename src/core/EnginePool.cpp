@@ -1,0 +1,375 @@
+//===- core/EnginePool.cpp - Warmed-engine service pool -------------------===//
+///
+/// See EnginePool.h for the three-stage batch model. Implementation notes:
+///
+///  - Determinism: admission and recovery are serial; execution touches
+///    only slot-owned state per worker, and pool-level metrics are
+///    aggregated serially from the result vector afterwards. serve() is
+///    therefore byte-identical across Jobs values (asserted by tests).
+///  - Quarantine happens *inside* the slot's serial drain so a tripped
+///    engine never serves the next queued request; the records it produces
+///    are buffered per-slot and merged in arrival order afterwards.
+///  - Backoff on retries is recorded, not slept: the pool is a simulated
+///    service and its tests must not depend on wall-clock time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/EnginePool.h"
+
+#include "core/BenchHarness.h"
+#include "support/Assert.h"
+#include "vm/InvariantAuditor.h"
+
+#include <algorithm>
+
+using namespace ccjs;
+
+const char *ccjs::requestStatusName(RequestStatus S) {
+  switch (S) {
+  case RequestStatus::Ok:
+    return "ok";
+  case RequestStatus::Error:
+    return "error";
+  case RequestStatus::BudgetExceeded:
+    return "budget-exceeded";
+  case RequestStatus::ShedQueueFull:
+    return "shed-queue-full";
+  case RequestStatus::ShedTenantCap:
+    return "shed-tenant-cap";
+  case RequestStatus::ShedNoEngine:
+    return "shed-no-engine";
+  }
+  return "unknown";
+}
+
+EnginePool::EnginePool(const PoolConfig &Cfg) : Cfg(Cfg) {
+  CCJS_ASSERT(Cfg.Engines >= 1, "pool needs at least one engine slot");
+  Slots.resize(Cfg.Engines);
+}
+
+EnginePool::~EnginePool() = default;
+
+int EnginePool::slotOf(const std::string &Tenant) const {
+  for (size_t I = 0; I < Slots.size(); ++I)
+    if (!Slots[I].Tenant.empty() && Slots[I].Tenant == Tenant)
+      return static_cast<int>(I);
+  return -1;
+}
+
+Engine *EnginePool::tenantEngine(const std::string &Tenant) {
+  int S = slotOf(Tenant);
+  return S < 0 ? nullptr : Slots[S].E.get();
+}
+
+void EnginePool::removeObserver(PoolObserver *O) {
+  Observers.erase(std::remove(Observers.begin(), Observers.end(), O),
+                  Observers.end());
+}
+
+void EnginePool::warmSlot(unsigned SlotIndex) {
+  Slot &S = Slots[SlotIndex];
+  EngineConfig EC = Cfg.Base;
+  if (Cfg.Chaos) {
+    EC.Faults.Enabled = true;
+    // Distinct deterministic stream per slot and per warm generation: a
+    // replacement engine does not replay its predecessor's fault sequence
+    // (retrying into the identical trip would defeat recovery), but the
+    // same pool configuration always produces the same sequences.
+    EC.Faults.Seed =
+        Cfg.ChaosSeed + SlotIndex * 0x9E3779B9u + S.Warmed * 7919u;
+  }
+  S.E = std::make_unique<Engine>(EC);
+  S.Generation = S.Warmed;
+  ++S.Warmed;
+  S.WarmupFailed = false;
+  if (!Cfg.WarmupSource.empty()) {
+    if (!S.E->load(Cfg.WarmupSource) || !S.E->runTopLevel())
+      S.WarmupFailed = true; // Engine still serves; the next load() resets.
+  }
+}
+
+bool EnginePool::runOn(unsigned SlotIndex, const ServiceRequest &R,
+                       bool Degraded, size_t RequestIndex,
+                       ServiceResult &Out) {
+  Slot &S = Slots[SlotIndex];
+  Engine &E = *S.E;
+
+  E.beginServiceRequest();
+  E.setRequestBudget(R.Budget.any() ? R.Budget : Cfg.Base.Budget);
+  if (Degraded)
+    E.pinBaselineTier(true);
+
+  const uint64_t AuditBefore =
+      E.auditor() ? E.auditor()->failureCount() : 0;
+
+  bool Ok = E.load(R.Source) && E.runTopLevel();
+  if (Ok && !R.EntryPoint.empty()) {
+    E.callGlobal(R.EntryPoint);
+    Ok = !E.halted();
+  }
+  // A final audit catches coherence damage the request caused even when no
+  // further deopt/tier-up boundary would have looked.
+  E.auditNow("request-final");
+
+  Out.Output = E.output();
+  Out.Slot = static_cast<int>(SlotIndex);
+  Out.Degraded = Degraded;
+  Out.FaultTrips =
+      E.faultInjector() ? E.faultInjector()->trips().size() : 0;
+  ++Out.Attempts;
+
+  const bool Budgeted = E.budgetExceeded();
+  if (Ok) {
+    Out.Status = RequestStatus::Ok;
+    Out.Error.clear();
+  } else if (Budgeted) {
+    Out.Status = RequestStatus::BudgetExceeded;
+    Out.BudgetTripped = E.budgetExceededKind();
+    Out.Error = E.lastError();
+  } else {
+    Out.Status = RequestStatus::Error;
+    Out.Error = E.lastError();
+  }
+
+  const uint64_t AuditDelta =
+      (E.auditor() ? E.auditor()->failureCount() : 0) - AuditBefore;
+  // Fault-attributed: the request failed (not by budget — a budget stop is
+  // a deliberate, clean halt) while injected faults fired during it. The
+  // transparency contract says faults alone never change output, so this
+  // combination means either a genuine program error that happened to
+  // coincide with chaos (retry confirms cheaply) or escaped fault damage
+  // (retry on a fresh engine recovers).
+  const bool FaultAttributed =
+      !Ok && !Budgeted && Out.FaultTrips > 0;
+  const bool Quarantine = AuditDelta > 0 || FaultAttributed;
+
+  if (Quarantine) {
+    QuarantineRecord Rec;
+    Rec.Slot = SlotIndex;
+    Rec.Generation = S.Generation;
+    Rec.Tenant = S.Tenant;
+    Rec.RequestIndex = RequestIndex;
+    Rec.Reason = AuditDelta > 0 ? "invariant-audit" : "fault-attributed-halt";
+    if (E.faultInjector())
+      Rec.TripLog = E.faultInjector()->renderTripLog();
+    if (E.auditor()) {
+      const std::vector<std::string> &Fails = E.auditor()->failures();
+      for (size_t I = Fails.size() >= AuditDelta ? Fails.size() - AuditDelta
+                                                 : 0;
+           I < Fails.size(); ++I)
+        Rec.AuditFailures.push_back(Fails[I]);
+    }
+    S.PendingQuarantines.push_back(std::move(Rec));
+    Out.Quarantined = true;
+    // Pull from rotation now: the next queued request on this slot must
+    // not run on a tripped engine.
+    warmSlot(SlotIndex);
+  }
+
+  for (PoolObserver *O : Observers)
+    O->onComplete(RequestIndex, Out);
+  return FaultAttributed;
+}
+
+std::vector<ServiceResult>
+EnginePool::serve(const std::vector<ServiceRequest> &Requests, unsigned Jobs) {
+  std::vector<ServiceResult> Results(Requests.size());
+
+  //===--------------------------------------------------------------------===//
+  // Stage 1: admission (serial, arrival order).
+  //===--------------------------------------------------------------------===//
+  for (Slot &S : Slots)
+    S.Queue.clear();
+
+  std::vector<int> AdmittedSlot(Requests.size(), -1);
+  std::vector<char> DegradedFlag(Requests.size(), 0);
+  unsigned Admitted = 0;
+  std::vector<std::pair<std::string, unsigned>> TenantCounts;
+  auto tenantCount = [&](const std::string &T) -> unsigned & {
+    for (auto &TC : TenantCounts)
+      if (TC.first == T)
+        return TC.second;
+    TenantCounts.emplace_back(T, 0);
+    return TenantCounts.back().second;
+  };
+
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    const ServiceRequest &R = Requests[I];
+    auto shed = [&](RequestStatus Why) {
+      Results[I].Status = Why;
+      ++Metrics.counter(std::string("host.pool.shed.") +
+                        requestStatusName(Why));
+      for (PoolObserver *O : Observers)
+        O->onShed(I, Why);
+    };
+
+    if (Admitted >= Cfg.QueueCapacity) {
+      shed(RequestStatus::ShedQueueFull);
+      continue;
+    }
+    unsigned &TC = tenantCount(R.Tenant);
+    if (TC >= Cfg.MaxQueuedPerTenant) {
+      shed(RequestStatus::ShedTenantCap);
+      continue;
+    }
+    int SlotIndex = slotOf(R.Tenant);
+    if (SlotIndex < 0) {
+      // Bind the first free slot; warm an engine into it.
+      for (size_t SI = 0; SI < Slots.size(); ++SI)
+        if (Slots[SI].Tenant.empty()) {
+          SlotIndex = static_cast<int>(SI);
+          Slots[SI].Tenant = R.Tenant;
+          warmSlot(static_cast<unsigned>(SI));
+          break;
+        }
+      if (SlotIndex < 0) {
+        shed(RequestStatus::ShedNoEngine);
+        continue;
+      }
+    }
+
+    ++Admitted;
+    ++TC;
+    // Degradation band: above the threshold but under capacity, serve in
+    // the baseline tier rather than shedding.
+    bool Degraded = Admitted > Cfg.DegradeThreshold;
+    AdmittedSlot[I] = SlotIndex;
+    DegradedFlag[I] = Degraded ? 1 : 0;
+    Slots[SlotIndex].Queue.push_back(I);
+    for (PoolObserver *O : Observers)
+      O->onAdmit(I, static_cast<unsigned>(SlotIndex), Degraded);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Stage 2: execution (parallel across slots, serial within each slot).
+  //===--------------------------------------------------------------------===//
+  std::vector<char> RetryEligible(Requests.size(), 0);
+  unsigned EffJobs = std::min<unsigned>(std::max(Jobs, 1u),
+                                        static_cast<unsigned>(Slots.size()));
+  runIndexed(Slots.size(), EffJobs, [&](size_t SI) {
+    Slot &S = Slots[SI];
+    if (!S.E)
+      return;
+    for (size_t ReqIdx : S.Queue)
+      RetryEligible[ReqIdx] =
+          runOn(static_cast<unsigned>(SI), Requests[ReqIdx],
+                DegradedFlag[ReqIdx] != 0, ReqIdx, Results[ReqIdx])
+              ? 1
+              : 0;
+  });
+
+  //===--------------------------------------------------------------------===//
+  // Stage 3: recovery (serial, arrival order).
+  //===--------------------------------------------------------------------===//
+  // Merge per-slot quarantine buffers in triggering-request order so the
+  // pool log is deterministic regardless of worker interleaving.
+  {
+    std::vector<QuarantineRecord> Merged;
+    for (Slot &S : Slots) {
+      for (QuarantineRecord &R : S.PendingQuarantines)
+        Merged.push_back(std::move(R));
+      S.PendingQuarantines.clear();
+    }
+    std::sort(Merged.begin(), Merged.end(),
+              [](const QuarantineRecord &A, const QuarantineRecord &B) {
+                return A.RequestIndex < B.RequestIndex;
+              });
+    for (QuarantineRecord &R : Merged) {
+      for (PoolObserver *O : Observers)
+        O->onQuarantine(R);
+      Quarantines.push_back(std::move(R));
+    }
+  }
+
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    if (!RetryEligible[I])
+      continue;
+    int SlotIndex = AdmittedSlot[I];
+    for (unsigned Attempt = 1;
+         Attempt <= Cfg.MaxRetries &&
+         Results[I].Status == RequestStatus::Error && Results[I].Quarantined;
+         ++Attempt) {
+      Results[I].BackoffSteps += Attempt; // Recorded 1+2+... backoff.
+      ++Metrics.counter("host.pool.retries");
+      for (PoolObserver *O : Observers)
+        O->onRetry(I, Attempt, static_cast<unsigned>(SlotIndex));
+      ServiceResult Retry;
+      Retry.Attempts = Results[I].Attempts;
+      Retry.BackoffSteps = Results[I].BackoffSteps;
+      bool StillFaulty = runOn(static_cast<unsigned>(SlotIndex), Requests[I],
+                               DegradedFlag[I] != 0, I, Retry);
+      Retry.Degraded = DegradedFlag[I] != 0;
+      Results[I] = std::move(Retry);
+      // Retry-pass quarantines land in the pool log immediately (we are
+      // already serial here).
+      Slot &S = Slots[SlotIndex];
+      for (QuarantineRecord &R : S.PendingQuarantines) {
+        for (PoolObserver *O : Observers)
+          O->onQuarantine(R);
+        Quarantines.push_back(std::move(R));
+      }
+      S.PendingQuarantines.clear();
+      if (!StillFaulty)
+        break;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Metrics aggregation (serial; deterministic regardless of Jobs).
+  //===--------------------------------------------------------------------===//
+  Metrics.counter("host.pool.requests") += Requests.size();
+  Metrics.counter("host.pool.admitted") += Admitted;
+  for (const ServiceResult &R : Results) {
+    switch (R.Status) {
+    case RequestStatus::Ok:
+      ++Metrics.counter("host.pool.ok");
+      break;
+    case RequestStatus::Error:
+      ++Metrics.counter("host.pool.error");
+      break;
+    case RequestStatus::BudgetExceeded:
+      ++Metrics.counter("host.pool.budget_exceeded");
+      ++Metrics.counter(std::string("host.pool.budget.") +
+                        budgetKindName(R.BudgetTripped));
+      break;
+    default:
+      break; // Shed counters were charged at admission.
+    }
+    if (R.Degraded && R.Slot >= 0)
+      ++Metrics.counter("host.pool.degraded");
+  }
+  unsigned Warmed = 0;
+  for (const Slot &S : Slots)
+    Warmed += S.Warmed;
+  TotalWarmed = Warmed;
+  Metrics.counter("host.pool.engines_warmed") = TotalWarmed;
+  Metrics.counter("host.pool.quarantines") = Quarantines.size();
+
+  return Results;
+}
+
+void EnginePool::quarantineTenantEngine(const std::string &Tenant,
+                                        const char *Reason) {
+  int SlotIndex = slotOf(Tenant);
+  if (SlotIndex < 0)
+    return;
+  Slot &S = Slots[SlotIndex];
+  QuarantineRecord Rec;
+  Rec.Slot = static_cast<unsigned>(SlotIndex);
+  Rec.Generation = S.Generation;
+  Rec.Tenant = Tenant;
+  Rec.RequestIndex = 0;
+  Rec.Reason = Reason;
+  if (S.E && S.E->faultInjector())
+    Rec.TripLog = S.E->faultInjector()->renderTripLog();
+  for (PoolObserver *O : Observers)
+    O->onQuarantine(Rec);
+  Quarantines.push_back(std::move(Rec));
+  warmSlot(static_cast<unsigned>(SlotIndex));
+  unsigned Warmed = 0;
+  for (const Slot &SS : Slots)
+    Warmed += SS.Warmed;
+  TotalWarmed = Warmed;
+  Metrics.counter("host.pool.engines_warmed") = TotalWarmed;
+  Metrics.counter("host.pool.quarantines") = Quarantines.size();
+}

@@ -1,0 +1,248 @@
+//===- core/EnginePool.h - Warmed-engine service pool -----------*- C++ -*-===//
+///
+/// \file
+/// Service mode: a pool of N warmed engines dispatching script-execution
+/// requests with per-tenant isolation. Each pool slot holds one Engine that
+/// is permanently bound to the first tenant it serves — heaps, ShapeTables,
+/// Class List images and metrics registries are engine-owned, so binding an
+/// engine to exactly one tenant is what makes cross-tenant contamination
+/// structurally impossible rather than merely audited.
+///
+/// A batch of requests flows through three deterministic stages:
+///
+///   1. Admission (serial, arrival order): each request is bound to its
+///      tenant's engine (warming one into a free slot on first contact),
+///      then checked against the bounded queue, the per-tenant cap, and the
+///      degradation threshold. Sheds are decided here, before any engine
+///      runs, so the set of shed requests is identical for any Jobs count.
+///   2. Execution (parallel across slots, serial within a slot): slots are
+///      fanned out over the existing runIndexed thread pool; each slot
+///      drains its queue in admission order against exclusively-owned
+///      state. A slot whose engine trips quarantine (invariant-audit
+///      failure, or a halt with fault trips attributed to the request)
+///      pulls the engine from rotation, captures its trip log for replay,
+///      and warms a fresh engine in place before the next queued request.
+///   3. Recovery (serial, arrival order): fault-attributed failures are
+///      retried on the slot's fresh engine with a capped, recorded backoff.
+///
+/// Because every mutable byte is either slot-owned or written in the serial
+/// stages, serve() returns byte-identical results for any Jobs value; tests
+/// assert this directly.
+///
+/// Resource governance rides on the engines' budget machinery (see
+/// BudgetConfig): per-request budgets are applied before each request and
+/// checked at safepoints inside the dispatch loops. Graceful degradation
+/// pins over-threshold requests to the baseline tier (Engine::
+/// pinBaselineTier) instead of shedding them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_CORE_ENGINEPOOL_H
+#define CCJS_CORE_ENGINEPOOL_H
+
+#include "core/Engine.h"
+#include "core/Metrics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccjs {
+
+/// Pool-level configuration. Engine-level knobs (Class Cache, dispatch
+/// mode, hardware model, default budgets) live in Base; the pool derives
+/// each engine's fault seed from ChaosSeed so sibling engines see distinct
+/// but individually deterministic fault streams.
+struct PoolConfig {
+  /// Number of engine slots; also the maximum number of distinct tenants
+  /// the pool can serve (engines are tenant-bound, never shared).
+  unsigned Engines = 4;
+  /// Total requests admitted per batch; arrivals beyond it shed.
+  unsigned QueueCapacity = 64;
+  /// Queue depth above which admitted requests run pinned to the baseline
+  /// tier (graceful degradation) instead of being shed.
+  unsigned DegradeThreshold = 48;
+  /// Per-tenant admission cap per batch (in-flight bound).
+  unsigned MaxQueuedPerTenant = 16;
+  /// Retries (on a freshly warmed engine) for fault-attributed failures.
+  unsigned MaxRetries = 2;
+  /// Per-engine configuration; Base.Budget is the default request budget.
+  EngineConfig Base;
+  /// Enables per-engine fault injection with seeds derived from ChaosSeed,
+  /// the slot index and the slot's warm generation (so a replacement
+  /// engine replays a different, but deterministic, fault stream).
+  bool Chaos = false;
+  uint64_t ChaosSeed = 1;
+  /// Script executed once per warmed engine (profile warm-up); empty =
+  /// engines enter rotation cold.
+  std::string WarmupSource;
+};
+
+enum class RequestStatus : uint8_t {
+  Ok,
+  /// Program halted with a runtime error (after retries, if any).
+  Error,
+  /// Halted cleanly on a resource budget; engine stays in rotation.
+  BudgetExceeded,
+  /// Shed: batch queue was at QueueCapacity.
+  ShedQueueFull,
+  /// Shed: tenant reached MaxQueuedPerTenant.
+  ShedTenantCap,
+  /// Shed: a new tenant arrived with every slot already tenant-bound.
+  ShedNoEngine,
+};
+
+const char *requestStatusName(RequestStatus S);
+
+/// One script-execution request. Tenant identity is just a name: requests
+/// naming the same tenant share (and only they share) one warmed engine.
+struct ServiceRequest {
+  std::string Tenant;
+  std::string Source;
+  /// Optional global function invoked after the top level runs.
+  std::string EntryPoint;
+  /// Per-request budget override; all-zero means "use PoolConfig::
+  /// Base.Budget".
+  BudgetConfig Budget;
+};
+
+struct ServiceResult {
+  RequestStatus Status = RequestStatus::Ok;
+  /// Accumulated print() output of the final attempt (empty for sheds).
+  std::string Output;
+  /// lastError() for Error/BudgetExceeded outcomes.
+  std::string Error;
+  /// Which budget tripped (meaningful when Status == BudgetExceeded).
+  BudgetKind BudgetTripped = BudgetKind::Instructions;
+  /// Execution attempts; 0 for sheds, >1 when fault-attributed retries ran.
+  unsigned Attempts = 0;
+  /// Recorded (not slept) backoff steps across retries: 1+2+...; a drill
+  /// can assert the cap without the host actually waiting.
+  unsigned BackoffSteps = 0;
+  /// Ran pinned to the baseline tier (degradation band).
+  bool Degraded = false;
+  /// The serving engine was quarantined while (or after) running this.
+  bool Quarantined = false;
+  /// Slot that served the final attempt; -1 for sheds.
+  int Slot = -1;
+  /// Fault trips attributed to the final attempt.
+  uint64_t FaultTrips = 0;
+};
+
+/// Captured when an engine is pulled from rotation; enough to replay the
+/// failure (seed + schedules are in the config, the trip log pins the
+/// occurrence indices).
+struct QuarantineRecord {
+  unsigned Slot = 0;
+  /// Warm generation of the quarantined engine within its slot.
+  unsigned Generation = 0;
+  std::string Tenant;
+  /// Index into the serve() batch of the triggering request.
+  size_t RequestIndex = 0;
+  /// "invariant-audit" or "fault-attributed-halt".
+  std::string Reason;
+  /// FaultInjector::renderTripLog() at the moment of the pull.
+  std::string TripLog;
+  /// Invariant-audit failure messages new since the request started.
+  std::vector<std::string> AuditFailures;
+};
+
+/// Boundary notifications for the pool itself (admission, shedding,
+/// quarantine). Engine-level events still flow through EngineObserver on
+/// the pooled engines. All callbacks fire on the serve() caller's thread
+/// except onComplete, which fires on the slot's worker thread.
+class PoolObserver {
+public:
+  virtual ~PoolObserver() = default;
+  virtual void onAdmit(size_t RequestIndex, unsigned Slot, bool Degraded) {
+    (void)RequestIndex;
+    (void)Slot;
+    (void)Degraded;
+  }
+  virtual void onShed(size_t RequestIndex, RequestStatus Why) {
+    (void)RequestIndex;
+    (void)Why;
+  }
+  virtual void onQuarantine(const QuarantineRecord &R) { (void)R; }
+  virtual void onRetry(size_t RequestIndex, unsigned Attempt, unsigned Slot) {
+    (void)RequestIndex;
+    (void)Attempt;
+    (void)Slot;
+  }
+  virtual void onComplete(size_t RequestIndex, const ServiceResult &R) {
+    (void)RequestIndex;
+    (void)R;
+  }
+};
+
+class EnginePool {
+public:
+  explicit EnginePool(const PoolConfig &Cfg);
+  ~EnginePool();
+
+  EnginePool(const EnginePool &) = delete;
+  EnginePool &operator=(const EnginePool &) = delete;
+
+  /// Serves one batch: admission in arrival order, execution fanned out
+  /// over \p Jobs threads (capped at the slot count), then the serial
+  /// recovery pass. Results are indexed exactly like \p Requests and are
+  /// byte-identical for any \p Jobs value.
+  std::vector<ServiceResult> serve(const std::vector<ServiceRequest> &Requests,
+                                   unsigned Jobs = 1);
+
+  /// Manually pulls a tenant's engine from rotation (fault drills); a
+  /// fresh engine is warmed in its place immediately. No-op for unknown
+  /// tenants.
+  void quarantineTenantEngine(const std::string &Tenant, const char *Reason);
+
+  /// Pool-level counters under the `host.pool.` prefix (host-side by
+  /// definition; the simulated machines know nothing of the pool).
+  const MetricsRegistry &metrics() const { return Metrics; }
+
+  const std::vector<QuarantineRecord> &quarantineLog() const {
+    return Quarantines;
+  }
+
+  /// Engines warmed since construction (initial binds + replacements).
+  unsigned enginesWarmed() const { return TotalWarmed; }
+
+  /// The engine currently bound to \p Tenant, or null. Exposed for tests
+  /// and drills; the pool keeps ownership.
+  Engine *tenantEngine(const std::string &Tenant);
+
+  void addObserver(PoolObserver *O) { Observers.push_back(O); }
+  void removeObserver(PoolObserver *O);
+
+private:
+  struct Slot {
+    std::unique_ptr<Engine> E;
+    std::string Tenant; // Empty until first bound.
+    unsigned Generation = 0;
+    unsigned Warmed = 0; // Engines warmed in this slot (any thread-safety
+                         // aggregation happens serially after execution).
+    bool WarmupFailed = false;
+    std::vector<size_t> Queue; // Request indices, admission order.
+    // Written by the slot's worker thread, merged serially afterwards.
+    std::vector<QuarantineRecord> PendingQuarantines;
+  };
+
+  /// Warms a fresh engine into \p S (seed derived from slot index and
+  /// generation) and runs the warm-up script.
+  void warmSlot(unsigned SlotIndex);
+  /// Runs one admitted request on its slot's engine; fills \p Out and
+  /// returns true when the failure is fault-attributed (retry-eligible).
+  bool runOn(unsigned SlotIndex, const ServiceRequest &R, bool Degraded,
+             size_t RequestIndex, ServiceResult &Out);
+  int slotOf(const std::string &Tenant) const;
+
+  PoolConfig Cfg;
+  std::vector<Slot> Slots;
+  MetricsRegistry Metrics;
+  std::vector<QuarantineRecord> Quarantines;
+  std::vector<PoolObserver *> Observers;
+  unsigned TotalWarmed = 0;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_CORE_ENGINEPOOL_H

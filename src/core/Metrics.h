@@ -59,7 +59,9 @@ struct HistogramStats {
 class MetricsRegistry {
 public:
   /// Returns the counter named \p Name, creating it at zero on first use.
-  /// The reference stays valid until the registry is destroyed.
+  /// The reference stays valid until the registry is destroyed or reset();
+  /// instrumentation sites re-fetch by name rather than caching across
+  /// events, so reset() between service requests is safe.
   uint64_t &counter(std::string_view Name) {
     for (auto &C : Counters)
       if (C.first == Name)
@@ -101,6 +103,16 @@ public:
 
   /// Human-readable table for ccjs --metrics; same IncludeHost contract.
   std::string render(bool IncludeHost = false) const;
+
+  /// Forgets every counter and histogram (names included), returning the
+  /// registry to its freshly-constructed state. Exports after reset() are
+  /// byte-identical to a new engine's, which is what the pooled service
+  /// path needs between requests. Invalidates references previously
+  /// returned by counter()/histogram().
+  void reset() {
+    Counters.clear();
+    Histograms.clear();
+  }
 
 private:
   // Linear-scan vectors, not maps: the site count is tens, lookups happen

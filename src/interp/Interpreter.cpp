@@ -637,6 +637,13 @@ Value ccjs::interpretCall(VMState &VM, uint32_t FuncIndex, Value ThisV,
     --VM.CallDepth;
     return VM.Heap_.undefined();
   }
+  // Budget safepoint (service mode): call entry is where the depth budget
+  // can trip below the hard stack guard; instruction/heap budgets are
+  // re-tested here too so loop-free call storms cannot dodge them.
+  if (VM.BudgetArmed && VM.checkBudgetAt(BudgetSafepoint::CallEntry)) {
+    --VM.CallDepth;
+    return VM.Heap_.undefined();
+  }
   std::vector<Value> Locals(FI.Fn->NumLocals, VM.Heap_.undefined());
   for (uint32_t I = 0; I < Argc && I < FI.Fn->NumParams; ++I)
     Locals[I] = Args[I];

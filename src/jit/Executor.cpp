@@ -307,6 +307,12 @@ Value ccjs::runOptimized(VMState &VM, uint32_t FuncIndex, Value ThisV,
     --VM.CallDepth;
     return VM.Heap_.undefined();
   }
+  // Budget safepoint (service mode), mirroring interpretCall: the depth
+  // budget must trip no matter which tier the recursion runs in.
+  if (VM.BudgetArmed && VM.checkBudgetAt(BudgetSafepoint::CallEntry)) {
+    --VM.CallDepth;
+    return VM.Heap_.undefined();
+  }
   OptExecutor Ex(VM, FuncIndex, ThisV);
   Value R = Ex.run(Args, Argc);
   --VM.CallDepth;

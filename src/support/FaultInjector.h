@@ -105,6 +105,16 @@ public:
   /// over a deterministic execution.
   std::string renderTripLog() const;
 
+  /// Clears the recorded trip log and the per-point Fired totals while
+  /// leaving the occurrence counters and schedules untouched, so the fault
+  /// *stream* continues deterministically across pooled service requests
+  /// but each request's log attributes only its own trips.
+  void clearTrips() {
+    Trips.clear();
+    for (PointState &P : Points)
+      P.Fired = 0;
+  }
+
   static const char *pointName(FaultPoint P);
   /// Parses a --chaos-only style name; returns false on unknown names.
   static bool pointFromName(const std::string &Name, FaultPoint &Out);

@@ -71,6 +71,51 @@ struct InvalidationEvent {
   uint32_t DeoptimizedFunctions;
 };
 
+/// Which per-request resource budget a service-mode engine exhausted.
+enum class BudgetKind : uint8_t { Instructions, HeapBytes, CallDepth };
+
+inline const char *budgetKindName(BudgetKind K) {
+  switch (K) {
+  case BudgetKind::Instructions:
+    return "instructions";
+  case BudgetKind::HeapBytes:
+    return "heap-bytes";
+  case BudgetKind::CallDepth:
+    return "call-depth";
+  }
+  return "?";
+}
+
+/// Where a budget check runs. Safepoints sit on boundaries the engine
+/// already instruments, so the checks read maintained counters instead of
+/// adding new accounting.
+enum class BudgetSafepoint : uint8_t { LoopBackEdge, TierUp, CallEntry };
+
+inline const char *budgetSafepointName(BudgetSafepoint S) {
+  switch (S) {
+  case BudgetSafepoint::LoopBackEdge:
+    return "loop-backedge";
+  case BudgetSafepoint::TierUp:
+    return "tier-up";
+  case BudgetSafepoint::CallEntry:
+    return "call-entry";
+  }
+  return "?";
+}
+
+/// One budget exhaustion: a safepoint found a per-request resource budget
+/// exceeded and halted the VM with a BudgetExceeded error. The engine
+/// stays reusable (the EngineReuseTest contract): the next load() starts
+/// a clean program on the warm profile state.
+struct BudgetEvent {
+  BudgetKind Kind;
+  BudgetSafepoint Safepoint;
+  /// Amount consumed since the budget was last rebased.
+  uint64_t Used;
+  /// The configured limit the consumption exceeded.
+  uint64_t Limit;
+};
+
 class EngineObserver {
 public:
   virtual ~EngineObserver() = default;
@@ -90,6 +135,10 @@ public:
   virtual void onFaultTrip(VMState &VM, const FaultTrip &Trip) {
     (void)VM;
     (void)Trip;
+  }
+  virtual void onBudgetExceeded(VMState &VM, const BudgetEvent &E) {
+    (void)VM;
+    (void)E;
   }
 };
 

@@ -91,6 +91,29 @@ inline bool dispatchModeFromName(const std::string &Name, DispatchMode &Out) {
   return false;
 }
 
+/// Per-request resource budgets for service mode (EnginePool / ccjsd).
+/// A zero limit means unlimited; with every limit zero the engine never
+/// arms the budget machinery and the hot paths pay exactly one host-side
+/// bool test per safepoint — budgets-off runs are byte-identical to a
+/// build without the feature (no simulated events are charged by the
+/// checks either way; tripping halts through the ordinary error path).
+///
+/// Budgets are checked at safepoints (loop back-edges, call entries,
+/// tier-up boundaries) against counters the engine already maintains:
+/// the ExecContext instruction total, the SimMemory allocation watermark
+/// and the call-depth guard.
+struct BudgetConfig {
+  /// Simulated instructions one request may execute.
+  uint64_t MaxInstructions = 0;
+  /// Simulated heap bytes one request may allocate.
+  uint64_t MaxHeapBytes = 0;
+  /// JS call depth one request may reach (must sit below the engine's
+  /// hard stack guard to be meaningful; validated by Engine::Options).
+  uint32_t MaxCallDepth = 0;
+
+  bool any() const { return MaxInstructions || MaxHeapBytes || MaxCallDepth; }
+};
+
 /// Engine configuration: which parts of the paper's mechanism are active.
 struct EngineConfig {
   /// Master switch for the proposed mechanism (profiling stores, Class
@@ -116,6 +139,11 @@ struct EngineConfig {
   uint32_t HotLoopThreshold = 1000;
   /// Deopts of one function before optimization is disabled for it.
   uint32_t MaxDeoptsPerFunction = 8;
+
+  /// Per-request resource budgets (service mode; all-zero = off).
+  /// Excluded from config fingerprints like Trace: with no limit hit a
+  /// budgeted run emits a byte-identical event stream.
+  BudgetConfig Budget;
 
   /// Chaos engine: deterministic fault injection (off by default).
   FaultConfig Faults;
@@ -193,6 +221,7 @@ struct VMState {
       Auditor = std::make_unique<InvariantAuditor>();
       Observers.push_back(Auditor.get());
     }
+    BudgetArmed = this->Config.Budget.any();
   }
 
   EngineConfig Config;
@@ -251,6 +280,26 @@ struct VMState {
   /// Runtime error handling: execution unwinds when Halted.
   bool Halted = false;
   std::string Error;
+
+  /// True when any per-request budget limit is configured (cached so the
+  /// safepoints pay one bool test when budgets are off — the FaultInjector
+  /// discipline). Set once in the constructor; Config is immutable.
+  bool BudgetArmed = false;
+  /// Latched when a budget trips, so callers can tell a BudgetExceeded
+  /// halt from an ordinary runtime error without parsing the message.
+  bool BudgetTripped = false;
+  BudgetKind BudgetTrippedKind = BudgetKind::Instructions;
+  /// Consumption baselines: budgets meter usage since the last rebase
+  /// (request start), not since engine construction, so a pooled engine's
+  /// warm history never counts against the current request.
+  uint64_t BudgetBaseInstrs = 0;
+  uint64_t BudgetBaseHeapBytes = 0;
+
+  /// Service-mode graceful degradation: while pinned, dispatch neither
+  /// tiers up nor enters existing optimized code — every call runs in the
+  /// baseline interpreter (cheap, predictable). Host-side knob owned by
+  /// the pool; not part of EngineConfig or fingerprints.
+  bool TierPinned = false;
 
   /// print() output (benchmarks verify checksums through it).
   std::string Output;
@@ -336,12 +385,81 @@ struct VMState {
     for (EngineObserver *O : Observers)
       O->onFaultTrip(*this, Trip);
   }
+  void notifyBudgetExceeded(const BudgetEvent &E) {
+    for (EngineObserver *O : Observers)
+      O->onBudgetExceeded(*this, E);
+  }
 
   void halt(std::string Msg) {
     if (Halted)
       return;
     Halted = true;
     Error = std::move(Msg);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Per-request resource budgets (service mode)
+  //===--------------------------------------------------------------------===//
+
+  /// Error-message prefix of every budget halt; callers that cannot see
+  /// BudgetTripped (CLI exit paths) match on it.
+  static constexpr const char *BudgetErrorPrefix = "BudgetExceeded";
+
+  uint64_t budgetInstrsUsed() const {
+    uint64_t T = Ctx.instrs().total();
+    // resetStats() may zero the counters under a live baseline; meter
+    // from zero then rather than wrapping.
+    return T >= BudgetBaseInstrs ? T - BudgetBaseInstrs : T;
+  }
+  uint64_t budgetHeapBytesUsed() const {
+    uint64_t B = Mem.bytesAllocated();
+    return B >= BudgetBaseHeapBytes ? B - BudgetBaseHeapBytes : B;
+  }
+
+  /// Restarts budget metering from the current counters and clears the
+  /// trip latch. Called at engine construction, load() and request start.
+  void rebaseBudget() {
+    BudgetBaseInstrs = Ctx.instrs().total();
+    BudgetBaseHeapBytes = Mem.bytesAllocated();
+    BudgetTripped = false;
+  }
+
+  /// Safepoint body: tests every configured limit and halts with a
+  /// BudgetExceeded error on the first one exceeded. Returns true when it
+  /// tripped (execution must unwind). Host-side only: charges no simulated
+  /// events, so a budgeted run that never trips is byte-identical to a
+  /// budgets-off run. Callers gate on BudgetArmed so budgets-off pays one
+  /// bool test.
+  bool checkBudgetAt(BudgetSafepoint SP) {
+    const BudgetConfig &B = Config.Budget;
+    BudgetKind Kind;
+    uint64_t Used, Limit;
+    if (B.MaxInstructions && budgetInstrsUsed() > B.MaxInstructions) {
+      Kind = BudgetKind::Instructions;
+      Used = budgetInstrsUsed();
+      Limit = B.MaxInstructions;
+    } else if (B.MaxHeapBytes && budgetHeapBytesUsed() > B.MaxHeapBytes) {
+      Kind = BudgetKind::HeapBytes;
+      Used = budgetHeapBytesUsed();
+      Limit = B.MaxHeapBytes;
+    } else if (B.MaxCallDepth && CallDepth > B.MaxCallDepth) {
+      Kind = BudgetKind::CallDepth;
+      Used = CallDepth;
+      Limit = B.MaxCallDepth;
+    } else {
+      return false;
+    }
+    BudgetTripped = true;
+    BudgetTrippedKind = Kind;
+    halt(std::string(BudgetErrorPrefix) + ": " + budgetKindName(Kind) +
+         " used=" + std::to_string(Used) + " limit=" + std::to_string(Limit) +
+         " (safepoint=" + budgetSafepointName(SP) + ")");
+    if (Metrics) {
+      ++Metrics->counter("budget_exceeded");
+      ++Metrics->counter(std::string("budget.") + budgetKindName(Kind));
+    }
+    notifyBudgetExceeded(BudgetEvent{Kind, SP, Used, Limit});
+    return true;
   }
 
   /// Reads/writes a global variable's tagged value.

@@ -1,0 +1,370 @@
+//===- tests/EnginePoolTest.cpp - Service-mode engine pool ----------------===//
+///
+/// The EnginePool contract (DESIGN.md 4.9): tenant-bound engines, bounded
+/// deterministic admission, graceful degradation, budget governance,
+/// quarantine-and-recovery, and — the property everything else serves —
+/// per-tenant isolation with byte-identical results regardless of the
+/// worker count. The chaos soak at the bottom is the in-tree version of
+/// the CI drill: ≥200 requests, 4 tenants, faults enabled, every failure
+/// retried or contained, and a faults-off budgets-off control producing
+/// byte-identical outputs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/EnginePool.h"
+#include "support/FaultInjector.h"
+#include "vm/InvariantAuditor.h"
+
+#include <string>
+#include <vector>
+
+using namespace ccjs;
+
+namespace {
+
+/// A deterministic per-tenant program: output depends on the tenant
+/// parameter, so any cross-tenant engine mixup changes bytes.
+std::string tenantProgram(unsigned T, unsigned R) {
+  return "function k(n) {\n"
+         "  var a = 0; var i;\n"
+         "  for (i = 0; i < n; i++) { a = (a + i * " +
+         std::to_string(3 + T) +
+         ") % 99991; }\n"
+         "  return a;\n"
+         "}\n"
+         "print(\"t" +
+         std::to_string(T) + " r" + std::to_string(R) + " \" + k(" +
+         std::to_string(300 + T * 13) + "));\n";
+}
+
+const char *HaltingSource = "print(1);\nvar broken = {};\nbroken.boom();\n";
+
+PoolConfig basePool(unsigned Engines = 4) {
+  PoolConfig PC;
+  PC.Engines = Engines;
+  PC.Base = test::hotConfig(true);
+  return PC;
+}
+
+std::vector<ServiceRequest> tenantBatch(unsigned Tenants, unsigned Requests) {
+  std::vector<ServiceRequest> Reqs(Requests);
+  for (unsigned I = 0; I < Requests; ++I) {
+    unsigned T = I % Tenants;
+    Reqs[I].Tenant = "t" + std::to_string(T);
+    Reqs[I].Source = tenantProgram(T, I);
+  }
+  return Reqs;
+}
+
+//===----------------------------------------------------------------------===//
+// Admission and backpressure
+//===----------------------------------------------------------------------===//
+
+TEST(EnginePoolTest, AdmitsAndServesMultipleTenants) {
+  EnginePool Pool(basePool());
+  std::vector<ServiceResult> Rs = Pool.serve(tenantBatch(4, 12));
+  ASSERT_EQ(Rs.size(), 12u);
+  for (size_t I = 0; I < Rs.size(); ++I) {
+    EXPECT_EQ(Rs[I].Status, RequestStatus::Ok) << "r" << I;
+    // Outputs carry the tenant tag of the request, not of a neighbour.
+    EXPECT_EQ(Rs[I].Output.rfind("t" + std::to_string(I % 4) + " ", 0), 0u)
+        << "r" << I << " output: " << Rs[I].Output;
+  }
+  EXPECT_EQ(Pool.enginesWarmed(), 4u);
+}
+
+TEST(EnginePoolTest, ShedsDeterministicallyOnOverload) {
+  PoolConfig PC = basePool();
+  PC.QueueCapacity = 6;
+  PC.DegradeThreshold = 6;
+  EnginePool Pool(PC);
+  std::vector<ServiceResult> Rs = Pool.serve(tenantBatch(4, 10));
+  // Arrival order admission: the first 6 get in, the rest shed.
+  for (size_t I = 0; I < 6; ++I)
+    EXPECT_EQ(Rs[I].Status, RequestStatus::Ok) << "r" << I;
+  for (size_t I = 6; I < 10; ++I)
+    EXPECT_EQ(Rs[I].Status, RequestStatus::ShedQueueFull) << "r" << I;
+}
+
+TEST(EnginePoolTest, PerTenantCapSheds) {
+  PoolConfig PC = basePool();
+  PC.MaxQueuedPerTenant = 2;
+  EnginePool Pool(PC);
+  // One tenant floods; a second tenant's requests must still be admitted.
+  std::vector<ServiceRequest> Reqs(6);
+  for (unsigned I = 0; I < 5; ++I) {
+    Reqs[I].Tenant = "hog";
+    Reqs[I].Source = tenantProgram(0, I);
+  }
+  Reqs[5].Tenant = "quiet";
+  Reqs[5].Source = tenantProgram(1, 5);
+  std::vector<ServiceResult> Rs = Pool.serve(Reqs);
+  EXPECT_EQ(Rs[0].Status, RequestStatus::Ok);
+  EXPECT_EQ(Rs[1].Status, RequestStatus::Ok);
+  for (size_t I = 2; I < 5; ++I)
+    EXPECT_EQ(Rs[I].Status, RequestStatus::ShedTenantCap) << "r" << I;
+  EXPECT_EQ(Rs[5].Status, RequestStatus::Ok);
+}
+
+TEST(EnginePoolTest, NewTenantShedsWhenAllSlotsBound) {
+  EnginePool Pool(basePool(/*Engines=*/2));
+  std::vector<ServiceRequest> Reqs(3);
+  for (unsigned I = 0; I < 3; ++I) {
+    Reqs[I].Tenant = "t" + std::to_string(I);
+    Reqs[I].Source = tenantProgram(I, I);
+  }
+  std::vector<ServiceResult> Rs = Pool.serve(Reqs);
+  EXPECT_EQ(Rs[0].Status, RequestStatus::Ok);
+  EXPECT_EQ(Rs[1].Status, RequestStatus::Ok);
+  EXPECT_EQ(Rs[2].Status, RequestStatus::ShedNoEngine);
+}
+
+//===----------------------------------------------------------------------===//
+// Graceful degradation
+//===----------------------------------------------------------------------===//
+
+TEST(EnginePoolTest, DegradesInsteadOfSheddingAboveThreshold) {
+  PoolConfig PC = basePool(1);
+  PC.QueueCapacity = 8;
+  PC.DegradeThreshold = 4;
+  EnginePool Pool(PC);
+  std::vector<ServiceRequest> Reqs(8);
+  for (unsigned I = 0; I < 8; ++I) {
+    Reqs[I].Tenant = "t0";
+    Reqs[I].Source = tenantProgram(0, I);
+  }
+  std::vector<ServiceResult> Rs = Pool.serve(Reqs);
+  std::string Reference;
+  for (size_t I = 0; I < 8; ++I) {
+    EXPECT_EQ(Rs[I].Status, RequestStatus::Ok) << "r" << I;
+    EXPECT_EQ(Rs[I].Degraded, I >= 4) << "r" << I;
+  }
+  // Tier transparency: the baseline-pinned requests compute the same value
+  // the optimized ones do for the same program (only the request tag in
+  // the output differs).
+  EXPECT_EQ(Rs[0].Output.substr(Rs[0].Output.rfind(' ')),
+            Rs[4].Output.substr(Rs[4].Output.rfind(' ')));
+}
+
+TEST(EnginePoolTest, TierPinKeepsEngineInBaseline) {
+  // Directly: a pinned engine never runs optimized code; hotness still
+  // accumulates so the pin is purely host-side throttling. The program
+  // calls its kernel repeatedly so it would tier up when unpinned.
+  Engine E(test::hotConfig(true));
+  E.pinBaselineTier(true);
+  std::string Src = "function k(n) {\n"
+                    "  var a = 0; var i;\n"
+                    "  for (i = 0; i < n; i++) { a = (a + i * 3) % 99991; }\n"
+                    "  return a;\n"
+                    "}\n"
+                    "var j; for (j = 0; j < 8; j++) print(k(120));\n";
+  ASSERT_TRUE(E.load(Src) && E.runTopLevel()) << E.lastError();
+  EXPECT_EQ(E.stats().OptCompiles, 0u);
+  std::string PinnedOut = E.output();
+
+  E.pinBaselineTier(false);
+  ASSERT_TRUE(E.load(Src) && E.runTopLevel()) << E.lastError();
+  EXPECT_GT(E.stats().OptCompiles, 0u);
+  EXPECT_EQ(E.output(), PinnedOut) << "tier transparency violated";
+}
+
+//===----------------------------------------------------------------------===//
+// Budgets through the pool
+//===----------------------------------------------------------------------===//
+
+TEST(EnginePoolTest, PerRequestBudgetOverridesPoolDefault) {
+  PoolConfig PC = basePool(1);
+  PC.Base.Budget.MaxInstructions = ~0ull; // Pool default: effectively off.
+  EnginePool Pool(PC);
+  std::vector<ServiceRequest> Reqs(3);
+  for (unsigned I = 0; I < 3; ++I) {
+    Reqs[I].Tenant = "t0";
+    Reqs[I].Source = tenantProgram(0, I);
+  }
+  Reqs[1].Budget.MaxInstructions = 500; // Tight override on the middle one.
+  std::vector<ServiceResult> Rs = Pool.serve(Reqs);
+  EXPECT_EQ(Rs[0].Status, RequestStatus::Ok);
+  EXPECT_EQ(Rs[1].Status, RequestStatus::BudgetExceeded);
+  EXPECT_EQ(Rs[1].BudgetTripped, BudgetKind::Instructions);
+  // The engine survives the trip and serves the next request normally.
+  EXPECT_EQ(Rs[2].Status, RequestStatus::Ok);
+  EXPECT_EQ(Rs[2].Output.rfind("t0 r2 ", 0), 0u) << Rs[2].Output;
+}
+
+//===----------------------------------------------------------------------===//
+// Quarantine and recovery
+//===----------------------------------------------------------------------===//
+
+TEST(EnginePoolTest, FaultAttributedHaltQuarantinesAndRetries) {
+  PoolConfig PC = basePool(1);
+  PC.Chaos = true;
+  PC.ChaosSeed = 7;
+  // Fire every fault point on every occurrence so the halting request is
+  // guaranteed to have trips attributed to it.
+  for (unsigned P = 0; P < NumFaultPoints; ++P)
+    PC.Base.Faults.Schedule[P] = 1;
+  PC.MaxRetries = 2;
+  EnginePool Pool(PC);
+  std::vector<ServiceRequest> Reqs(2);
+  Reqs[0].Tenant = "t0";
+  Reqs[0].Source = HaltingSource;
+  Reqs[1].Tenant = "t0";
+  Reqs[1].Source = tenantProgram(0, 1);
+  std::vector<ServiceResult> Rs = Pool.serve(Reqs);
+
+  // The halt is a genuine program error, so retries exhaust the cap; each
+  // attempt quarantines its engine and the next runs on a fresh one.
+  EXPECT_EQ(Rs[0].Status, RequestStatus::Error);
+  EXPECT_EQ(Rs[0].Attempts, 1u + PC.MaxRetries);
+  EXPECT_TRUE(Rs[0].Quarantined);
+  EXPECT_EQ(Rs[0].BackoffSteps, 1u + 2u); // Recorded 1+2 backoff.
+  ASSERT_EQ(Pool.quarantineLog().size(), 1u + PC.MaxRetries);
+  for (const QuarantineRecord &Q : Pool.quarantineLog()) {
+    EXPECT_EQ(Q.Reason, "fault-attributed-halt");
+    EXPECT_FALSE(Q.TripLog.empty()) << "trip log not captured for replay";
+  }
+  // Distinct warm generations: every retry ran on a replacement engine.
+  EXPECT_EQ(Pool.enginesWarmed(), 1u + (1u + PC.MaxRetries));
+
+  // The tenant's follow-up request is served by the recovered slot, and
+  // its partial output shows no residue of the failing request.
+  EXPECT_EQ(Rs[1].Status, RequestStatus::Ok);
+  EXPECT_EQ(Rs[1].Output.rfind("t0 r1 ", 0), 0u) << Rs[1].Output;
+}
+
+TEST(EnginePoolTest, CleanErrorWithoutFaultsDoesNotQuarantine) {
+  EnginePool Pool(basePool(1)); // No chaos: a halt is just a halt.
+  std::vector<ServiceRequest> Reqs(2);
+  Reqs[0].Tenant = "t0";
+  Reqs[0].Source = HaltingSource;
+  Reqs[1].Tenant = "t0";
+  Reqs[1].Source = tenantProgram(0, 1);
+  std::vector<ServiceResult> Rs = Pool.serve(Reqs);
+  EXPECT_EQ(Rs[0].Status, RequestStatus::Error);
+  EXPECT_EQ(Rs[0].Attempts, 1u);
+  EXPECT_FALSE(Rs[0].Quarantined);
+  EXPECT_TRUE(Pool.quarantineLog().empty());
+  EXPECT_EQ(Rs[1].Status, RequestStatus::Ok);
+  EXPECT_EQ(Pool.enginesWarmed(), 1u);
+}
+
+TEST(EnginePoolTest, ManualQuarantineReplacesEngine) {
+  PoolConfig PC = basePool(2);
+  EnginePool Pool(PC);
+  std::vector<ServiceResult> Rs = Pool.serve(tenantBatch(2, 4));
+  for (const ServiceResult &R : Rs)
+    ASSERT_EQ(R.Status, RequestStatus::Ok);
+  Engine *Before = Pool.tenantEngine("t0");
+  ASSERT_NE(Before, nullptr);
+  Pool.quarantineTenantEngine("t0", "drill");
+  Engine *After = Pool.tenantEngine("t0");
+  ASSERT_NE(After, nullptr);
+  EXPECT_NE(Before, After) << "engine not replaced";
+  ASSERT_EQ(Pool.quarantineLog().size(), 1u);
+  EXPECT_EQ(Pool.quarantineLog()[0].Reason, "drill");
+
+  // The fresh engine serves the tenant's next batch.
+  std::vector<ServiceResult> Rs2 = Pool.serve(tenantBatch(2, 4));
+  for (const ServiceResult &R : Rs2)
+    EXPECT_EQ(R.Status, RequestStatus::Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism and the chaos soak
+//===----------------------------------------------------------------------===//
+
+/// One soak's worth of observable bytes, for cross-run comparison.
+std::string soakImage(const std::vector<ServiceResult> &Rs) {
+  std::string S;
+  for (const ServiceResult &R : Rs) {
+    S += requestStatusName(R.Status);
+    S += '|';
+    S += R.Output;
+    S += '|';
+    S += R.Error;
+    S += '\n';
+  }
+  return S;
+}
+
+std::vector<ServiceRequest> soakBatch(unsigned Requests) {
+  // 4 tenants, mixed shapes, every 23rd request a genuine runtime error
+  // (the quarantine/retry fodder under chaos).
+  std::vector<ServiceRequest> Reqs(Requests);
+  for (unsigned I = 0; I < Requests; ++I) {
+    unsigned T = I % 4;
+    Reqs[I].Tenant = "t" + std::to_string(T);
+    Reqs[I].Source =
+        I % 23 == 22 ? HaltingSource : tenantProgram(T, I);
+  }
+  return Reqs;
+}
+
+TEST(EnginePoolTest, ServeIsByteIdenticalAcrossJobsCounts) {
+  std::vector<ServiceRequest> Reqs = soakBatch(60);
+  PoolConfig PC = basePool();
+  PC.Chaos = true;
+  PC.ChaosSeed = 11;
+  PC.Base.AuditInvariants = true;
+  EnginePool P1(PC), P4(PC);
+  std::string I1 = soakImage(P1.serve(Reqs, /*Jobs=*/1));
+  std::string I4 = soakImage(P4.serve(Reqs, /*Jobs=*/4));
+  EXPECT_EQ(I1, I4) << "serve() must not depend on worker interleaving";
+  EXPECT_EQ(P1.quarantineLog().size(), P4.quarantineLog().size());
+}
+
+TEST(EnginePoolTest, ChaosSoakTwoHundredRequestsFourTenants) {
+  const unsigned N = 200;
+  std::vector<ServiceRequest> Reqs = soakBatch(N);
+
+  PoolConfig PC = basePool();
+  PC.QueueCapacity = N; // Soak admits everything: shed paths have their
+  PC.DegradeThreshold = N; // own tests; here every request must complete.
+  PC.MaxQueuedPerTenant = N;
+  PC.Chaos = true;
+  PC.ChaosSeed = 7;
+  PC.Base.AuditInvariants = true;
+  PC.MaxRetries = 2;
+  EnginePool Pool(PC);
+  std::vector<ServiceResult> Rs = Pool.serve(Reqs, /*Jobs=*/4);
+
+  // Control: the same programs on fresh standalone engines, faults and
+  // budgets off. Chaos transparency + tenant isolation = byte identity
+  // for every completed request (errors included: the halt point and the
+  // output prefix are properties of the program, not of the pool).
+  for (size_t I = 0; I < Rs.size(); ++I) {
+    ASSERT_TRUE(Rs[I].Status == RequestStatus::Ok ||
+                Rs[I].Status == RequestStatus::Error)
+        << "r" << I << ": " << requestStatusName(Rs[I].Status);
+    Engine Control(test::hotConfig(true));
+    bool ControlOk = Control.load(Reqs[I].Source) && Control.runTopLevel();
+    EXPECT_EQ(Rs[I].Status == RequestStatus::Ok, ControlOk) << "r" << I;
+    EXPECT_EQ(Rs[I].Output, Control.output())
+        << "r" << I << ": pooled output diverged from the standalone "
+        << "control — isolation or transparency violation";
+  }
+
+  // Every genuine error is one of the injected halting programs, and each
+  // fault-attributed failure was retried to the cap or contained.
+  for (size_t I = 0; I < Rs.size(); ++I) {
+    if (Rs[I].Status != RequestStatus::Error)
+      continue;
+    EXPECT_EQ(I % 23, 22u) << "unexpected error at r" << I;
+    if (Rs[I].FaultTrips > 0)
+      EXPECT_EQ(Rs[I].Attempts, 1u + PC.MaxRetries) << "r" << I;
+  }
+
+  // No invariant failure escaped quarantine: every engine still in
+  // rotation is clean (tripped engines were replaced on the spot).
+  for (unsigned T = 0; T < 4; ++T) {
+    Engine *E = Pool.tenantEngine("t" + std::to_string(T));
+    ASSERT_NE(E, nullptr);
+    ASSERT_NE(E->auditor(), nullptr);
+    EXPECT_EQ(E->auditor()->failureCount(), 0u)
+        << "tenant t" << T << ": audit failure escaped quarantine";
+  }
+}
+
+} // namespace

@@ -110,6 +110,79 @@ TEST(EngineReuseTest, ReloadDiscardsPreviousOutputAndGlobals) {
   EXPECT_EQ(E.output(), "undefined\n");
 }
 
+//===----------------------------------------------------------------------===//
+// Service-request sequences (the pooled-engine contract)
+//===----------------------------------------------------------------------===//
+
+TEST(EngineReuseTest, BeginServiceRequestClearsObservationResidue) {
+  // A pooled engine serving sequential requests must not leak per-request
+  // observation across them: fault trip logs, metrics, host dispatch
+  // counters and measurement stats all belong to exactly one request.
+  EngineConfig C = test::hotConfig(true);
+  C.Faults.Enabled = true;
+  C.Faults.Seed = 7;
+  for (unsigned P = 0; P < NumFaultPoints; ++P)
+    C.Faults.Schedule[P] = 1; // Fire every occurrence: trips guaranteed.
+  C.MetricsEnabled = true;
+  Engine E(C);
+
+  const char *Hot = R"js(
+function run() { var s = 0; var i; for (i = 0; i < 60; i++) s += i; return s; }
+var j; for (j = 0; j < 8; j++) print(run());
+)js";
+  E.beginServiceRequest();
+  ASSERT_TRUE(E.load(Hot) && E.runTopLevel()) << E.lastError();
+  ASSERT_NE(E.faultInjector(), nullptr);
+  ASSERT_FALSE(E.faultInjector()->trips().empty())
+      << "test premise: request 1 must fire faults";
+  ASSERT_FALSE(E.metrics()->counters().empty());
+  ASSERT_GT(E.hostDispatches() + E.stats().Instrs.total(), 0u);
+  uint64_t OccAfterFirst =
+      E.faultInjector()->occurrences(FaultPoint::AllocPressure);
+
+  // Next request: the logs restart, but the fault *stream* continues (the
+  // occurrence counters are warm-profile state, not residue).
+  E.beginServiceRequest();
+  EXPECT_TRUE(E.faultInjector()->trips().empty());
+  EXPECT_EQ(E.faultInjector()->tripCount(FaultPoint::AllocPressure), 0u);
+  EXPECT_GE(E.faultInjector()->occurrences(FaultPoint::AllocPressure),
+            OccAfterFirst);
+  EXPECT_TRUE(E.metrics()->counters().empty());
+  EXPECT_TRUE(E.metrics()->histograms().empty());
+  EXPECT_EQ(E.hostDispatches(), 0u);
+  EXPECT_EQ(E.hostFusedSaved(), 0u);
+  EXPECT_EQ(E.stats().Instrs.total(), 0u);
+  EXPECT_FALSE(E.budgetExceeded());
+
+  ASSERT_TRUE(E.load(Hot) && E.runTopLevel()) << E.lastError();
+  // The second request's trip log attributes only its own trips.
+  for (const FaultTrip &T : E.faultInjector()->trips())
+    EXPECT_GT(T.Occurrence, 0u);
+}
+
+TEST(EngineReuseTest, SequentialServiceRequestsProduceIdenticalOutput) {
+  // Three pooled requests running the same program must print the same
+  // bytes each time — warm profile state (shapes, Class List, caches) may
+  // make later requests *faster*, never *different*.
+  Engine E(test::hotConfig(true));
+  const char *Prog = R"js(
+function Pt(x) { this.x = x; }
+var ps = []; var i; for (i = 0; i < 16; i++) ps[i] = new Pt(i * 2);
+function run() { var s = 0; var i; for (i = 0; i < 16; i++) s += ps[i].x; return s; }
+var j; for (j = 0; j < 6; j++) print(run());
+)js";
+  std::string First;
+  for (int Req = 0; Req < 3; ++Req) {
+    E.beginServiceRequest();
+    ASSERT_TRUE(E.load(Prog) && E.runTopLevel())
+        << "request " << Req << ": " << E.lastError();
+    if (Req == 0)
+      First = E.output();
+    else
+      EXPECT_EQ(E.output(), First) << "request " << Req;
+  }
+}
+
 TEST(EngineReuseTest, ReloadThenReTierUp) {
   // A program that tiers up and speculates, reloaded and re-run: the stale
   // speculation dependencies of the first module (whose function indices

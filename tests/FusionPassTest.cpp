@@ -21,13 +21,16 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/Engine.h"
 #include "hw/ExecContext.h"
 #include "jit/FusionPass.h"
 #include "vm/VMState.h"
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <initializer_list>
+#include <sstream>
 
 using namespace ccjs;
 
@@ -286,6 +289,47 @@ TEST(EventBatchTest, ChargeBatchMatchesIndividualPrimitives) {
   EXPECT_EQ(Unfused.optimizedBucket().Mispredicts,
             Batched.optimizedBucket().Mispredicts);
   EXPECT_DOUBLE_EQ(Unfused.totalCycles(), Batched.totalCycles());
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic liveness regression
+//===----------------------------------------------------------------------===//
+
+/// ROADMAP leftover resolution: the ldloc+ldloc+smibinop triple (pattern
+/// 0) only matches when both CheckSmis between the loads and the binop are
+/// classically elided, which most programs never produce — leaving the
+/// opcode at risk of being dynamically dead. examples/fused_triple.js is
+/// the committed workload that keeps it live: the repeated `(a + b)`
+/// reads are known-Smi by abstract interpretation, so the second compiles
+/// to the bare three-op sequence. This test runs the workload with every
+/// pattern BUT the triple masked off and asserts fused dispatch actually
+/// saved dispatches — if an IR-builder change re-inserts a check between
+/// the loads, the saving drops to zero and this fails.
+TEST(FusionPassTest, TripleWorkloadKeepsPatternDynamicallyLive) {
+  std::ifstream In(CCJS_REPO_ROOT "/examples/fused_triple.js");
+  ASSERT_TRUE(In) << "examples/fused_triple.js missing";
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+
+  EngineConfig C;
+  C.HotInvocationThreshold = 2;
+  C.HotLoopThreshold = 50;
+  C.Dispatch = DispatchMode::Fused;
+  C.FusedPatternMask = 1u; // Pattern 0 (the triple) alone.
+  Engine Fused(C);
+  ASSERT_TRUE(Fused.load(Source) && Fused.runTopLevel())
+      << Fused.lastError();
+  EXPECT_GT(Fused.hostFusedSaved(), 0u)
+      << "ldloc+ldloc+smibinop never fused: the triple has gone "
+         "dynamically dead (or the workload regressed)";
+
+  // And the usual transparency half: fusing changes host dispatch counts
+  // only, never the printed bytes.
+  C.Dispatch = DispatchMode::Switch;
+  Engine Ref(C);
+  ASSERT_TRUE(Ref.load(Source) && Ref.runTopLevel()) << Ref.lastError();
+  EXPECT_EQ(Fused.output(), Ref.output());
 }
 
 } // namespace

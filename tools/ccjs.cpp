@@ -30,6 +30,13 @@
 ///     --op-hist            record the dynamic opcode-adjacency histogram
 ///                          and print the hottest pairs (the fusion
 ///                          candidate-mining tool, EXPERIMENTS.md)
+///     --serve              run the file as service requests through a
+///                          one-engine pool (the ccjsd machinery): one
+///                          request per iteration (at least one), with
+///                          budgets, quarantine and pool metrics active
+///     --budget-instr=N     per-request simulated-instruction budget
+///     --budget-heap=N      per-request simulated-heap-bytes budget
+///     --budget-depth=N     per-request call-depth budget
 ///
 /// Config assembly goes through the validated Engine::Options builder; an
 /// inconsistent flag combination exits 2 with a diagnostic before any
@@ -39,6 +46,7 @@
 
 #include "bytecode/Compiler.h"
 #include "core/BenchHarness.h"
+#include "core/EnginePool.h"
 #include "core/Runner.h"
 #include "frontend/Parser.h"
 #include "jit/FusionPass.h"
@@ -129,7 +137,7 @@ static bool applyChaosOnly(Engine::Options &Opts, const char *List) {
 int main(int Argc, char **Argv) {
   Engine::Options Opts;
   bool Stats = false, Compare = false, Disassemble = false, Metrics = false;
-  bool OpHist = false, FusedMaskSet = false;
+  bool OpHist = false, FusedMaskSet = false, Serve = false;
   DispatchMode Dispatch = DispatchMode::Switch;
   bool ChaosEnabled = false;
   int Iterations = 0;
@@ -211,6 +219,15 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(A, "--op-hist")) {
       OpHist = true;
       Opts.withOpHist();
+    } else if (!std::strcmp(A, "--serve")) {
+      Serve = true;
+    } else if (!std::strncmp(A, "--budget-instr=", 15)) {
+      Opts.withInstructionBudget(std::strtoull(A + 15, nullptr, 10));
+    } else if (!std::strncmp(A, "--budget-heap=", 14)) {
+      Opts.withHeapBudget(std::strtoull(A + 14, nullptr, 10));
+    } else if (!std::strncmp(A, "--budget-depth=", 15)) {
+      Opts.withCallDepthBudget(
+          static_cast<uint32_t>(std::strtoul(A + 15, nullptr, 10)));
     } else if (A[0] == '-') {
       std::fprintf(stderr, "ccjs: unknown option '%s'\n", A);
       return 2;
@@ -227,7 +244,14 @@ int main(int Argc, char **Argv) {
                  "[--trip-log=<path>]\n            [--trace=<path>] "
                  "[--trace-events=a,b|all] [--metrics]\n            "
                  "[--dispatch=switch|threaded|fused] [--fused-mask=M] "
-                 "[--op-hist] file.js\n");
+                 "[--op-hist]\n            [--serve] [--budget-instr=N] "
+                 "[--budget-heap=N] [--budget-depth=N] file.js\n");
+    return 2;
+  }
+  if (Serve && (Compare || Disassemble)) {
+    std::fprintf(stderr,
+                 "ccjs: --serve cannot be combined with --compare or "
+                 "--disassemble\n");
     return 2;
   }
   if (!TripLogPath.empty() && !ChaosEnabled) {
@@ -284,6 +308,42 @@ int main(int Argc, char **Argv) {
     for (const BytecodeFunction &F : C.Module.Functions)
       std::printf("%s\n", disassemble(F, Names).c_str());
     return 0;
+  }
+
+  if (Serve) {
+    // One-engine pool: the same admission/budget/quarantine machinery
+    // ccjsd runs, scoped to a single tenant. Each iteration is one
+    // independent service request on the warmed engine.
+    PoolConfig PC;
+    PC.Engines = 1;
+    PC.Base = Opts.build();
+    EnginePool Pool(PC);
+    unsigned N = Iterations > 0 ? static_cast<unsigned>(Iterations) : 1;
+    std::vector<ServiceRequest> Reqs(N);
+    for (ServiceRequest &R : Reqs) {
+      R.Tenant = "cli";
+      R.Source = Source;
+    }
+    std::vector<ServiceResult> Rs = Pool.serve(Reqs);
+    int Rc = 0;
+    for (size_t I = 0; I < Rs.size(); ++I) {
+      const ServiceResult &R = Rs[I];
+      std::printf("%s", R.Output.c_str());
+      std::fprintf(stderr, "ccjs: request %zu: %s%s%s\n", I,
+                   requestStatusName(R.Status), R.Error.empty() ? "" : ": ",
+                   R.Error.c_str());
+      if (R.Status == RequestStatus::BudgetExceeded)
+        Rc = Rc ? Rc : 3;
+      else if (R.Status != RequestStatus::Ok)
+        Rc = 1;
+    }
+    for (const QuarantineRecord &Q : Pool.quarantineLog())
+      std::fprintf(stderr,
+                   "ccjs: quarantine slot=%u gen=%u reason=%s\n%s", Q.Slot,
+                   Q.Generation, Q.Reason.c_str(), Q.TripLog.c_str());
+    if (Metrics)
+      std::printf("%s", Pool.metrics().render(/*IncludeHost=*/true).c_str());
+    return Rc;
   }
 
   if (Compare) {

@@ -1,0 +1,410 @@
+//===- tools/ccjsd.cpp - Engine-pool service daemon (batch driver) --------===//
+///
+/// Drives the EnginePool service mode against a synthetic multi-tenant
+/// request mix — the soak/fault-drill surface used by CI and EXPERIMENTS.md:
+///
+///   ccjsd [options]
+///     --requests=N       batch size (default 200)
+///     --tenants=N        distinct tenants in the mix (default 4)
+///     --engines=N        pool slots (default: tenants)
+///     --jobs=N           worker threads for the execution stage (default 1;
+///                        results are byte-identical for any value)
+///     --chaos-seed=N     per-engine deterministic fault injection
+///     --audit            run invariant audits on the pooled engines
+///     --class-cache      enable the paper's mechanism on the engines
+///     --dispatch=M       switch | threaded | fused
+///     --budget-instr=N   default per-request instruction budget
+///     --budget-heap=N    default per-request heap-bytes budget
+///     --budget-depth=N   default per-request call-depth budget
+///     --queue-cap=N      admission capacity per batch (default: requests,
+///                        i.e. nothing sheds; lower it to exercise shedding)
+///     --degrade-at=N     queue depth where graceful degradation starts
+///                        (default: queue-cap, i.e. no degradation)
+///     --tenant-cap=N     per-tenant admission cap (default: queue-cap)
+///     --retries=N        fault-attributed retry cap (default 2)
+///     --with-errors      mix in programs with runtime errors (every 23rd
+///                        request), exercising retry/quarantine paths
+///     --verify           re-run every completed request on a standalone
+///                        budgets-off faults-off control engine and
+///                        byte-compare outputs (tenant isolation + chaos
+///                        transparency gate); also require that no
+///                        invariant-audit failure escaped quarantine.
+///                        Exits 1 on any violation.
+///     --outputs=<path>   write per-request outputs ('-' = stdout),
+///                        byte-stable across jobs counts
+///     --json=<path>      write a JSON summary ('-' = stdout)
+///     --metrics          print the pool metrics table
+///     --quiet            suppress the per-request status lines
+///
+/// The request mix is generated deterministically from (tenant, index):
+/// six program shapes covering smi/double kernels, shape polymorphism with
+/// a mid-run transition break, array growth, recursion (call-depth budget
+/// fodder), string building, and allocation pressure (heap budget fodder).
+/// Every program prints tenant-tagged deterministic output, so any
+/// cross-tenant contamination or transparency violation is a byte diff.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/EnginePool.h"
+#include "support/Json.h"
+#include "vm/InvariantAuditor.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace ccjs;
+
+/// Deterministic per-(tenant, request) program. \p Tag flows into every
+/// print so outputs are attributable: "t<tenant> r<request> ...".
+static std::string makeProgram(unsigned Tenant, unsigned Req, bool WithError) {
+  std::string Tag = "t" + std::to_string(Tenant) + " r" + std::to_string(Req);
+  // Hash the pair and select on the *high* bits: with round-robin tenant
+  // arrival, any parity-preserving form (linear combinations, XOR of
+  // low bits) hits only the even kinds.
+  unsigned Kind = (((Req * 2654435761u) ^ (Tenant * 2246822519u)) >> 7) % 6;
+  // Per-tenant parameter skew: sibling tenants run the same shapes with
+  // different constants, so identical outputs across tenants are
+  // impossible and any engine cross-talk shows up as a mismatch.
+  unsigned P = 100 + Tenant * 17 + (Req % 5) * 3;
+  std::string S;
+  auto Num = [](unsigned N) { return std::to_string(N); };
+  switch (Kind) {
+  case 0: // Smi kernel: tiers up, CheckSmi elision in play.
+    S = "function k(n) {\n"
+        "  var a = 0; var i;\n"
+        "  for (i = 0; i < n; i++) { a = (a + i * 7) % 100003; }\n"
+        "  return a;\n"
+        "}\n"
+        "print(\"" + Tag + " smi=\" + k(" + Num(P * 4) + "));\n";
+    break;
+  case 1: // Shape polymorphism with a mid-run transition break.
+    S = "function Pt(x, y) { this.x = x; this.y = y; }\n"
+        "function sum(ps, n) {\n"
+        "  var s = 0; var i;\n"
+        "  for (i = 0; i < n; i++) { s = s + ps[i].x * 3 + ps[i].y; }\n"
+        "  return s;\n"
+        "}\n"
+        "var ps = []; var i;\n"
+        "for (i = 0; i < " + Num(32 + Tenant) + "; i++) {\n"
+        "  ps[i] = new Pt(i, i * 2 + " + Num(Tenant) + ");\n"
+        "}\n"
+        "var a = 0;\n"
+        "for (i = 0; i < " + Num(P) + "; i++) { a = a + sum(ps, " +
+        Num(32 + Tenant) + "); }\n"
+        "for (i = 0; i < " + Num(32 + Tenant) + "; i++) {\n"
+        "  if (i % 3 == 0) { ps[i].tag = i; }\n"
+        "}\n"
+        "print(\"" + Tag + " poly=\" + (a + sum(ps, " + Num(32 + Tenant) +
+        ")));\n";
+    break;
+  case 2: // Array growth and element traffic.
+    S = "function fill(n) {\n"
+        "  var a = []; var i;\n"
+        "  for (i = 0; i < n; i++) { a[i] = i * 2 + 1; }\n"
+        "  return a;\n"
+        "}\n"
+        "function total(a, n) {\n"
+        "  var s = 0; var i;\n"
+        "  for (i = 0; i < n; i++) { s = s + a[i]; }\n"
+        "  return s;\n"
+        "}\n"
+        "var a = fill(" + Num(P) + ");\n"
+        "var s = 0; var i;\n"
+        "for (i = 0; i < 40; i++) { s = s + total(a, " + Num(P) + "); }\n"
+        "print(\"" + Tag + " arr=\" + s);\n";
+    break;
+  case 3: // Recursion: call-depth budget fodder.
+    S = "function down(n, acc) {\n"
+        "  if (n <= 0) { return acc; }\n"
+        "  return down(n - 1, acc + n);\n"
+        "}\n"
+        "print(\"" + Tag + " rec=\" + down(" + Num(40 + Tenant * 5) +
+        ", 0));\n";
+    break;
+  case 4: // String building.
+    S = "function describe(k) {\n"
+        "  var s = \"\"; var i;\n"
+        "  for (i = 0; i < k; i++) { s = s + \"x\" + i; }\n"
+        "  return s;\n"
+        "}\n"
+        "print(\"" + Tag + " str=\" + describe(" + Num(8 + Tenant) + "));\n";
+    break;
+  default: // Allocation pressure: heap budget fodder.
+    S = "function Box(v) { this.v = v; }\n"
+        "function churn(n) {\n"
+        "  var s = 0; var i;\n"
+        "  for (i = 0; i < n; i++) { s = s + new Box(i).v; }\n"
+        "  return s;\n"
+        "}\n"
+        "print(\"" + Tag + " alloc=\" + churn(" + Num(P * 2) + "));\n";
+    break;
+  }
+  if (WithError)
+    S += "var broken = {}; broken.boom();\n";
+  return S;
+}
+
+static bool writeText(const std::string &Path, const std::string &Text,
+                      const char *What) {
+  if (Path == "-") {
+    std::printf("%s", Text.c_str());
+    return true;
+  }
+  std::ofstream Out(Path);
+  if (!Out || !(Out << Text)) {
+    std::fprintf(stderr, "ccjsd: cannot write %s to '%s'\n", What,
+                 Path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int main(int Argc, char **Argv) {
+  unsigned Requests = 200, Tenants = 4, Engines = 0, Jobs = 1, Retries = 2;
+  unsigned QueueCap = 0, DegradeAt = 0, TenantCap = 0;
+  uint64_t ChaosSeed = 0;
+  bool Chaos = false, Audit = false, ClassCache = false, WithErrors = false;
+  bool Verify = false, Metrics = false, Quiet = false;
+  BudgetConfig Budget;
+  DispatchMode Dispatch = DispatchMode::Switch;
+  std::string OutputsPath, JsonPath;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    auto num = [&](size_t Prefix) {
+      return std::strtoull(A + Prefix, nullptr, 10);
+    };
+    if (!std::strncmp(A, "--requests=", 11)) {
+      Requests = static_cast<unsigned>(num(11));
+    } else if (!std::strncmp(A, "--tenants=", 10)) {
+      Tenants = static_cast<unsigned>(num(10));
+    } else if (!std::strncmp(A, "--engines=", 10)) {
+      Engines = static_cast<unsigned>(num(10));
+    } else if (!std::strncmp(A, "--jobs=", 7)) {
+      Jobs = static_cast<unsigned>(num(7));
+    } else if (!std::strncmp(A, "--chaos-seed=", 13)) {
+      Chaos = true;
+      ChaosSeed = num(13);
+    } else if (!std::strcmp(A, "--audit")) {
+      Audit = true;
+    } else if (!std::strcmp(A, "--class-cache")) {
+      ClassCache = true;
+    } else if (!std::strncmp(A, "--dispatch=", 11)) {
+      if (!dispatchModeFromName(A + 11, Dispatch)) {
+        std::fprintf(stderr, "ccjsd: unknown dispatch mode '%s'\n", A + 11);
+        return 2;
+      }
+    } else if (!std::strncmp(A, "--budget-instr=", 15)) {
+      Budget.MaxInstructions = num(15);
+    } else if (!std::strncmp(A, "--budget-heap=", 14)) {
+      Budget.MaxHeapBytes = num(14);
+    } else if (!std::strncmp(A, "--budget-depth=", 15)) {
+      Budget.MaxCallDepth = static_cast<uint32_t>(num(15));
+    } else if (!std::strncmp(A, "--queue-cap=", 12)) {
+      QueueCap = static_cast<unsigned>(num(12));
+    } else if (!std::strncmp(A, "--degrade-at=", 13)) {
+      DegradeAt = static_cast<unsigned>(num(13));
+    } else if (!std::strncmp(A, "--tenant-cap=", 13)) {
+      TenantCap = static_cast<unsigned>(num(13));
+    } else if (!std::strncmp(A, "--retries=", 10)) {
+      Retries = static_cast<unsigned>(num(10));
+    } else if (!std::strcmp(A, "--with-errors")) {
+      WithErrors = true;
+    } else if (!std::strcmp(A, "--verify")) {
+      Verify = true;
+    } else if (!std::strncmp(A, "--outputs=", 10)) {
+      OutputsPath = A + 10;
+    } else if (!std::strncmp(A, "--json=", 7)) {
+      JsonPath = A + 7;
+    } else if (!std::strcmp(A, "--metrics")) {
+      Metrics = true;
+    } else if (!std::strcmp(A, "--quiet")) {
+      Quiet = true;
+    } else {
+      std::fprintf(stderr, "ccjsd: unknown option '%s'\n", A);
+      return 2;
+    }
+  }
+  if (Tenants == 0 || Requests == 0) {
+    std::fprintf(stderr, "ccjsd: --tenants and --requests must be >= 1\n");
+    return 2;
+  }
+  if (Engines == 0)
+    Engines = Tenants;
+  if (QueueCap == 0)
+    QueueCap = Requests;
+  if (DegradeAt == 0)
+    DegradeAt = QueueCap;
+  if (TenantCap == 0)
+    TenantCap = QueueCap;
+
+  Engine::Options Base;
+  if (ClassCache)
+    Base.withClassCache();
+  Base.withDispatch(Dispatch);
+  if (Audit)
+    Base.withAudit();
+  std::string OptErr;
+  if (!Base.validate(&OptErr)) {
+    std::fprintf(stderr, "ccjsd: invalid configuration: %s\n", OptErr.c_str());
+    return 2;
+  }
+
+  PoolConfig PC;
+  PC.Engines = Engines;
+  PC.QueueCapacity = QueueCap;
+  PC.DegradeThreshold = DegradeAt;
+  PC.MaxQueuedPerTenant = TenantCap;
+  PC.MaxRetries = Retries;
+  PC.Base = Base.build();
+  PC.Base.Budget = Budget; // Default per-request budget.
+  PC.Chaos = Chaos;
+  PC.ChaosSeed = ChaosSeed;
+
+  // Round-robin tenant arrival; every 23rd request (when enabled) carries a
+  // runtime error so the retry/quarantine paths get real traffic.
+  std::vector<ServiceRequest> Reqs(Requests);
+  for (unsigned I = 0; I < Requests; ++I) {
+    unsigned T = I % Tenants;
+    Reqs[I].Tenant = "tenant" + std::to_string(T);
+    Reqs[I].Source =
+        makeProgram(T, I, WithErrors && I % 23 == 22);
+  }
+
+  EnginePool Pool(PC);
+  std::vector<ServiceResult> Results = Pool.serve(Reqs, Jobs);
+
+  unsigned Ok = 0, Err = 0, Budgeted = 0, Shed = 0, Degraded = 0, Retried = 0;
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const ServiceResult &R = Results[I];
+    switch (R.Status) {
+    case RequestStatus::Ok:
+      ++Ok;
+      break;
+    case RequestStatus::Error:
+      ++Err;
+      break;
+    case RequestStatus::BudgetExceeded:
+      ++Budgeted;
+      break;
+    default:
+      ++Shed;
+      break;
+    }
+    if (R.Degraded)
+      ++Degraded;
+    if (R.Attempts > 1)
+      ++Retried;
+    if (!Quiet)
+      std::fprintf(stderr, "ccjsd: r%zu %s %s slot=%d attempts=%u%s%s%s\n", I,
+                   Reqs[I].Tenant.c_str(), requestStatusName(R.Status),
+                   R.Slot, R.Attempts, R.Degraded ? " degraded" : "",
+                   R.Quarantined ? " quarantined" : "",
+                   R.Error.empty() ? "" : (": " + R.Error).c_str());
+  }
+
+  std::fprintf(stderr,
+               "ccjsd: %u requests: %u ok, %u error, %u budget-exceeded, "
+               "%u shed; %u degraded, %u retried, %zu quarantines, "
+               "%u engines warmed\n",
+               Requests, Ok, Err, Budgeted, Shed, Degraded, Retried,
+               Pool.quarantineLog().size(), Pool.enginesWarmed());
+  for (const QuarantineRecord &Q : Pool.quarantineLog())
+    std::fprintf(stderr, "ccjsd: quarantine slot=%u gen=%u %s req=%zu %s\n",
+                 Q.Slot, Q.Generation, Q.Tenant.c_str(), Q.RequestIndex,
+                 Q.Reason.c_str());
+
+  if (!OutputsPath.empty()) {
+    std::string Text;
+    for (size_t I = 0; I < Results.size(); ++I) {
+      Text += "=== request " + std::to_string(I) + " " + Reqs[I].Tenant +
+              " " + requestStatusName(Results[I].Status) + "\n";
+      Text += Results[I].Output;
+    }
+    if (!writeText(OutputsPath, Text, "outputs"))
+      return 1;
+  }
+
+  int Rc = 0;
+  if (Verify) {
+    // Control: the same programs on fresh standalone engines with faults
+    // and budgets off. Tenant isolation, chaos transparency and graceful
+    // degradation all promise byte-identical output; any diff fails.
+    unsigned Mismatches = 0, Compared = 0;
+    EngineConfig Control = PC.Base;
+    Control.Faults = FaultConfig();
+    Control.Budget = BudgetConfig();
+    for (size_t I = 0; I < Results.size(); ++I) {
+      const ServiceResult &R = Results[I];
+      if (R.Status != RequestStatus::Ok && R.Status != RequestStatus::Error)
+        continue; // Sheds ran nothing; budget stops are legitimately partial.
+      Engine Ref(Control);
+      bool RefOk = Ref.load(Reqs[I].Source) && Ref.runTopLevel();
+      (void)RefOk;
+      ++Compared;
+      if (Ref.output() != R.Output) {
+        ++Mismatches;
+        std::fprintf(stderr,
+                     "ccjsd: VERIFY MISMATCH r%zu %s: pooled output "
+                     "differs from control\n",
+                     I, Reqs[I].Tenant.c_str());
+      }
+    }
+    // No invariant-audit failure may escape quarantine: every engine still
+    // in rotation must be clean (tripped ones were replaced), and every
+    // audit-reasoned record must carry its failures.
+    unsigned Escaped = 0;
+    for (unsigned T = 0; T < Tenants; ++T) {
+      Engine *E = Pool.tenantEngine("tenant" + std::to_string(T));
+      if (E && E->auditor() && E->auditor()->failureCount() > 0)
+        ++Escaped;
+    }
+    for (const QuarantineRecord &Q : Pool.quarantineLog())
+      if (Q.Reason == "invariant-audit" && Q.AuditFailures.empty())
+        ++Escaped;
+    std::fprintf(stderr,
+                 "ccjsd: verify: %u compared, %u mismatches, %u escaped "
+                 "audit failures\n",
+                 Compared, Mismatches, Escaped);
+    if (Mismatches || Escaped)
+      Rc = 1;
+  }
+
+  if (Metrics)
+    std::printf("%s", Pool.metrics().render(/*IncludeHost=*/true).c_str());
+
+  if (!JsonPath.empty()) {
+    json::Value J = json::Value::object();
+    J.set("requests", Requests);
+    J.set("tenants", Tenants);
+    J.set("engines", Engines);
+    J.set("jobs", Jobs);
+    J.set("chaos", Chaos);
+    J.set("ok", Ok);
+    J.set("error", Err);
+    J.set("budget_exceeded", Budgeted);
+    J.set("shed", Shed);
+    J.set("degraded", Degraded);
+    J.set("retried", Retried);
+    J.set("quarantines", (unsigned long long)Pool.quarantineLog().size());
+    J.set("engines_warmed", Pool.enginesWarmed());
+    json::Value QL = json::Value::array();
+    for (const QuarantineRecord &Q : Pool.quarantineLog()) {
+      json::Value E = json::Value::object();
+      E.set("slot", Q.Slot);
+      E.set("generation", Q.Generation);
+      E.set("tenant", Q.Tenant);
+      E.set("request", (unsigned long long)Q.RequestIndex);
+      E.set("reason", Q.Reason);
+      QL.push(std::move(E));
+    }
+    J.set("quarantine_log", std::move(QL));
+    if (!writeText(JsonPath, J.dump(2) + "\n", "json"))
+      return 1;
+  }
+
+  return Rc;
+}
