@@ -40,6 +40,7 @@ int main(int Argc, char **Argv) {
     Hw.ClassCacheWays = G.Ways;
     EngineConfig Cfg = Engine::Options().withClassCache().withHw(Hw).build();
     Opt.applyDispatch(Cfg);
+    Opt.applyCheckRemoval(Cfg);
     std::vector<Comparison> Results =
         compareWorkloads(Set, Cfg, Opt.effectiveJobs());
     Avg Hit, Speed;

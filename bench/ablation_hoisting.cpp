@@ -44,6 +44,7 @@ int main(int Argc, char **Argv) {
     EngineConfig Cfg =
         Engine::Options().withHoisting(M.Hoist, M.Regs).build();
     Opt.applyDispatch(Cfg);
+    Opt.applyCheckRemoval(Cfg);
     std::vector<Comparison> Results =
         compareWorkloads(Set, Cfg, Opt.effectiveJobs());
     Avg OptAvg;

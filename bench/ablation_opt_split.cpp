@@ -45,6 +45,7 @@ int main(int Argc, char **Argv) {
     EngineConfig Cfg =
         Engine::Options().withElision(M.Maps, M.Smi, M.NonSmi).build();
     Opt.applyDispatch(Cfg);
+    Opt.applyCheckRemoval(Cfg);
     std::vector<Comparison> Results =
         compareWorkloads(Set, Cfg, Opt.effectiveJobs());
     Avg OptAvg, Whole;

@@ -30,7 +30,9 @@ int main(int Argc, char **Argv) {
   EngineConfig HwCfg = Engine::Options().build();
   EngineConfig SwCfg = Engine::Options().withSoftwareOnlyClassCache().build();
   Opt.applyDispatch(HwCfg);
+  Opt.applyCheckRemoval(HwCfg);
   Opt.applyDispatch(SwCfg);
+  Opt.applyCheckRemoval(SwCfg);
   std::vector<Comparison> HwResults =
       compareWorkloads(Set, HwCfg, Opt.effectiveJobs());
   std::vector<Comparison> SwResults =

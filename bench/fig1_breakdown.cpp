@@ -25,6 +25,7 @@ int main(int Argc, char **Argv) {
   std::vector<const Workload *> Flat = flattenGroups(Groups);
   EngineConfig Cfg = Engine::Options().build();
   Opt.applyDispatch(Cfg);
+  Opt.applyCheckRemoval(Cfg);
   std::vector<BenchRun> Results =
       runWorkloadsSteadyState(Flat, Cfg, Opt.effectiveJobs());
 

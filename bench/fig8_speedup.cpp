@@ -85,6 +85,7 @@ int main(int Argc, char **Argv) {
   std::vector<const Workload *> Flat = flattenGroups(Groups);
   EngineConfig Base = Engine::Options().build();
   Opt.applyDispatch(Base);
+  Opt.applyCheckRemoval(Base);
   HostTimer Timer;
   std::vector<Comparison> Results =
       compareWorkloads(Flat, Base, Opt.effectiveJobs());

@@ -21,6 +21,7 @@ int main(int Argc, char **Argv) {
 
   EngineConfig Cfg = Engine::Options().withClassCache().build();
   Opt.applyDispatch(Cfg);
+  Opt.applyCheckRemoval(Cfg);
   std::vector<SuiteGroup> Groups = groupWorkloads(true, Opt.Filter);
   std::vector<const Workload *> Flat = flattenGroups(Groups);
   std::vector<BenchRun> Results =

@@ -23,6 +23,7 @@ int main(int Argc, char **Argv) {
 
   EngineConfig Cfg = Engine::Options().withClassCache().build();
   Opt.applyDispatch(Cfg);
+  Opt.applyCheckRemoval(Cfg);
   Engine E(Cfg);
   const Workload *W = findWorkload("ai-astar");
   if (!E.load(W->Source) || !E.runTopLevel()) {

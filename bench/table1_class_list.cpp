@@ -68,6 +68,7 @@ int main(int Argc, char **Argv) {
     return 2;
   EngineConfig Cfg = Engine::Options().withClassCache().build();
   Opt.applyDispatch(Cfg);
+  Opt.applyCheckRemoval(Cfg);
   Engine E(Cfg);
   if (!E.load(Source) || !E.runTopLevel()) {
     std::fprintf(stderr, "error: %s\n", E.lastError().c_str());

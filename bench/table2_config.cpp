@@ -51,6 +51,7 @@ int main(int Argc, char **Argv) {
 
   EngineConfig EngineCfg = Engine::Options().withHw(Cfg).build();
   Opt.applyDispatch(EngineCfg);
+  Opt.applyCheckRemoval(EngineCfg);
   BenchReport Report("table2_config", EngineCfg);
   json::Value Data = json::Value::object();
   Data.set("issue_width", Cfg.IssueWidth);

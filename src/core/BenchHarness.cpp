@@ -70,7 +70,7 @@ bool HarnessOptions::parse(int Argc, char **Argv,
                  "usage: %s [--jobs=N] [--json=<path>|--json=-] "
                  "[--filter=<suite|workload>] [--host]\n"
                  "          [--dispatch=switch|threaded|fused] "
-                 "[--fused-mask=M]%s%s\n"
+                 "[--fused-mask=M] [--check-removal=B]%s%s\n"
                  "  --jobs=N    run benchmark jobs on N threads (0 = one per "
                  "hardware thread;\n              output is byte-identical "
                  "to --jobs=1)\n"
@@ -85,7 +85,10 @@ bool HarnessOptions::parse(int Argc, char **Argv,
                  "(simulated results are\n              byte-identical "
                  "across modes)\n"
                  "  --fused-mask=M  fusion-pattern ablation bitmask (decimal "
-                 "or 0x hex;\n              requires --dispatch=fused)\n",
+                 "or 0x hex;\n              requires --dispatch=fused)\n"
+                 "  --check-removal=B  check-removal backend for mechanism "
+                 "configs:\n              none|classcache|bbv|both (default: "
+                 "each binary's recipe)\n",
                  Prog, *ExtraUsage ? " " : "", ExtraUsage,
                  BenchReportSchemaVersion);
   };
@@ -123,6 +126,16 @@ bool HarnessOptions::parse(int Argc, char **Argv,
         return false;
       }
       FusedMaskSet = true;
+    } else if (A.rfind("--check-removal=", 0) == 0) {
+      if (!checkRemovalBackendFromName(std::string(A.substr(16)),
+                                       CheckRemoval)) {
+        std::fprintf(stderr,
+                     "%s: --check-removal must be 'none', 'classcache', "
+                     "'bbv' or 'both', got '%s'\n",
+                     Argv[0], Argv[I] + 16);
+        return false;
+      }
+      CheckRemovalSet = true;
     } else if (A == "--help" || A == "-h") {
       Usage(Argv[0]);
       return false;

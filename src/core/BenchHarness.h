@@ -64,12 +64,31 @@ struct HarnessOptions {
   /// whose table bit is set (per-pattern ablation). Only meaningful — and
   /// only accepted — together with --dispatch=fused.
   uint32_t FusedMask = ~0u;
+  /// --check-removal=none|classcache|bbv|both: overrides the check-removal
+  /// backend of every *mechanism* config the binary builds (baseline legs
+  /// keep their binary-defined configuration). Unset by default so each
+  /// binary's published recipe is untouched unless the sweep asks.
+  CheckRemovalBackend CheckRemoval = CheckRemovalBackend::ClassCache;
+  bool CheckRemovalSet = false;
 
   /// Copies the dispatch selection into an engine config. Bench binaries
   /// call this on every config they build so the flag has uniform effect.
   void applyDispatch(EngineConfig &Cfg) const {
     Cfg.Dispatch = Dispatch;
     Cfg.FusedPatternMask = FusedMask;
+  }
+
+  /// Applies an explicit --check-removal selection to a mechanism config;
+  /// no-op when the flag was not passed, so default runs are byte-identical
+  /// to the pre-flag harness. Mirrors Engine::Options::withCheckRemoval.
+  void applyCheckRemoval(EngineConfig &Cfg) const {
+    if (!CheckRemovalSet)
+      return;
+    Cfg.CheckRemoval = CheckRemoval;
+    Cfg.ClassCacheEnabled = CheckRemoval == CheckRemovalBackend::ClassCache ||
+                            CheckRemoval == CheckRemovalBackend::Both;
+    if (!Cfg.ClassCacheEnabled)
+      Cfg.SoftwareOnlyClassCache = false;
   }
 
   /// Parses argv. Unknown flags are offered to \p Extra first (return true

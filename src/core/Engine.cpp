@@ -81,6 +81,8 @@ bool Engine::Options::validate(std::string *Err) const {
   };
   if (Cfg.SoftwareOnlyClassCache && !Cfg.ClassCacheEnabled)
     return Fail("software-only Class Cache requires the Class Cache");
+  if (Cfg.bbvOn() && Cfg.BbvMaxVersions == 0)
+    return Fail("BBV version cap must be at least 1");
   // The register budget only matters when hoisting is on (the no-hoisting
   // ablation legitimately runs with zero registers).
   if (Cfg.HoistClassIdArray &&

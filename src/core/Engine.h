@@ -46,16 +46,40 @@ public:
   /// the engine's lifetime.
   class Options {
   public:
-    /// Enables the paper's mechanism (profiling stores, Class Cache
-    /// accesses, check elision).
-    Options &withClassCache(bool On = true) {
-      Cfg.ClassCacheEnabled = On;
+    /// Selects the check-removal backend: the paper's ClassCache
+    /// mechanism, lazy basic-block versioning, both composed, or neither
+    /// (DESIGN.md §4.10). This is the one knob that replaces the boolean
+    /// sprawl below; withClassCache()/withSoftwareOnlyClassCache() remain
+    /// as deprecated shims over it.
+    Options &withCheckRemoval(CheckRemovalBackend B) {
+      Cfg.CheckRemoval = B;
+      Cfg.ClassCacheEnabled = B == CheckRemovalBackend::ClassCache ||
+                              B == CheckRemovalBackend::Both;
+      if (!Cfg.ClassCacheEnabled)
+        Cfg.SoftwareOnlyClassCache = false;
       return *this;
     }
-    /// Models the software-only implementation (§5.4); implies
-    /// withClassCache().
+    /// Lazy-BBV version cap: entry contexts beyond the cap share the
+    /// generic (no-elision) version of the block.
+    Options &withBbvMaxVersions(unsigned N) {
+      Cfg.BbvMaxVersions = N;
+      return *this;
+    }
+    /// Deprecated shim (see withCheckRemoval): toggles the ClassCache
+    /// component while preserving a BBV selection.
+    Options &withClassCache(bool On = true) {
+      Cfg.ClassCacheEnabled = On;
+      Cfg.CheckRemoval =
+          On ? (Cfg.bbvOn() ? CheckRemovalBackend::Both
+                            : CheckRemovalBackend::ClassCache)
+             : (Cfg.bbvOn() ? CheckRemovalBackend::Bbv
+                            : CheckRemovalBackend::None);
+      return *this;
+    }
+    /// Deprecated shim (see withCheckRemoval): models the software-only
+    /// implementation (§5.4); implies the ClassCache backend.
     Options &withSoftwareOnlyClassCache() {
-      Cfg.ClassCacheEnabled = true;
+      withClassCache();
       Cfg.SoftwareOnlyClassCache = true;
       return *this;
     }
@@ -141,6 +165,19 @@ public:
     /// observation; feeds `ccjs --op-hist`).
     Options &withOpHist(bool On = true) {
       Cfg.OpHistEnabled = On;
+      return *this;
+    }
+    /// Enables optimizer pipeline passes by mask (bit i = pass i in
+    /// registration order, see src/jit/passes/PassManager.h). 0 (the
+    /// default) emits byte-identical OptIR to the bare IrBuilder.
+    Options &withOptPasses(uint32_t Mask) {
+      Cfg.OptPassMask = Mask;
+      return *this;
+    }
+    /// Dumps pass-by-pass OptIR to stderr at compile time (ccjs
+    /// --ir-dump). Host-side observation only.
+    Options &withIrDump(bool On = true) {
+      Cfg.IrDump = On;
       return *this;
     }
     /// Per-request resource budgets (service mode). Zero = unlimited.

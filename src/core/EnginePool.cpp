@@ -345,7 +345,37 @@ EnginePool::serve(const std::vector<ServiceRequest> &Requests, unsigned Jobs) {
   Metrics.counter("host.pool.engines_warmed") = TotalWarmed;
   Metrics.counter("host.pool.quarantines") = Quarantines.size();
 
+  // Trace export (serial, slot order). Guarded by the config so a
+  // tracing-off pool never touches the hook and serves byte-identically
+  // to a pool built before traces existed.
+  if (Cfg.Base.Trace.Enabled && !Observers.empty())
+    for (const TenantTraceSummary &S : traceSummaries())
+      for (PoolObserver *O : Observers)
+        O->onTraceExport(S);
+
   return Results;
+}
+
+std::vector<TenantTraceSummary> EnginePool::traceSummaries() const {
+  std::vector<TenantTraceSummary> Out;
+  for (size_t SI = 0; SI < Slots.size(); ++SI) {
+    const Slot &S = Slots[SI];
+    if (!S.E || S.Tenant.empty())
+      continue;
+    const TraceRecorder *T = S.E->trace();
+    if (!T)
+      continue;
+    TenantTraceSummary Sum;
+    Sum.Slot = static_cast<unsigned>(SI);
+    Sum.Generation = S.Generation;
+    Sum.Tenant = S.Tenant;
+    Sum.Accepted = T->accepted();
+    Sum.Dropped = T->dropped();
+    for (unsigned K = 0; K < NumTraceEventKinds; ++K)
+      Sum.Totals[K] = T->total(static_cast<TraceEventKind>(K));
+    Out.push_back(std::move(Sum));
+  }
+  return Out;
 }
 
 void EnginePool::quarantineTenantEngine(const std::string &Tenant,

@@ -42,6 +42,7 @@
 
 #include "core/Engine.h"
 #include "core/Metrics.h"
+#include "support/Trace.h"
 
 #include <memory>
 #include <string>
@@ -147,6 +148,25 @@ struct QuarantineRecord {
   std::vector<std::string> AuditFailures;
 };
 
+/// Aggregated TraceRecorder export of one slot's engine. Slots are
+/// tenant-bound, so this is also the per-tenant view. Only the wrap-proof
+/// totals are aggregated (the ring contents stay engine-owned and can be
+/// exported per engine when needed); summaries exist only when the pool's
+/// base config enables tracing, so tracing-off batches are byte-identical
+/// to a pool that never heard of traces.
+struct TenantTraceSummary {
+  unsigned Slot = 0;
+  /// Warm generation of the exporting engine within its slot.
+  unsigned Generation = 0;
+  std::string Tenant;
+  /// Accepted events across all kinds (counted even after ring wrap).
+  uint64_t Accepted = 0;
+  /// Accepted events the ring overwrote.
+  uint64_t Dropped = 0;
+  /// Per-kind accepted totals, indexed by TraceEventKind.
+  uint64_t Totals[NumTraceEventKinds] = {};
+};
+
 /// Boundary notifications for the pool itself (admission, shedding,
 /// quarantine). Engine-level events still flow through EngineObserver on
 /// the pooled engines. All callbacks fire on the serve() caller's thread
@@ -173,6 +193,10 @@ public:
     (void)RequestIndex;
     (void)R;
   }
+  /// Fired serially at the end of serve(), once per tenant-bound slot, in
+  /// slot order — but only when the base config enables tracing (never
+  /// called otherwise, keeping tracing-off behaviour byte-identical).
+  virtual void onTraceExport(const TenantTraceSummary &S) { (void)S; }
 };
 
 class EnginePool {
@@ -209,6 +233,13 @@ public:
   /// The engine currently bound to \p Tenant, or null. Exposed for tests
   /// and drills; the pool keeps ownership.
   Engine *tenantEngine(const std::string &Tenant);
+
+  /// Per-tenant trace aggregation: one summary per tenant-bound slot, in
+  /// slot order. Empty unless the base config enables tracing (each pooled
+  /// engine then owns a TraceRecorder ring; this collects their wrap-proof
+  /// totals). Current engines only — a quarantined engine's trace dies
+  /// with it, its replacement starts a fresh ring at a higher Generation.
+  std::vector<TenantTraceSummary> traceSummaries() const;
 
   void addObserver(PoolObserver *O) { Observers.push_back(O); }
   void removeObserver(PoolObserver *O);

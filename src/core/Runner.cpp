@@ -45,13 +45,25 @@ Comparison ccjs::compareConfigs(std::string_view Source,
                                 const EngineConfig &Base, int Iterations) {
   Comparison C;
 
+  // Baseline leg: no check-removal backend at all.
   EngineConfig BaselineCfg = Base;
+  BaselineCfg.CheckRemoval = CheckRemovalBackend::None;
   BaselineCfg.ClassCacheEnabled = false;
   C.Baseline = runSteadyState(BaselineCfg, Source, Iterations);
 
-  EngineConfig CcCfg = Base;
-  CcCfg.ClassCacheEnabled = true;
-  C.ClassCache = runSteadyState(CcCfg, Source, Iterations);
+  // Mechanism leg: the backend \p Base requests. A config that predates
+  // the CheckRemovalBackend enum (CheckRemoval unset and the Class Cache
+  // toggled by bool) resolves through effectiveCheckRemoval; a fully
+  // default Base measures the paper's ClassCache mechanism, exactly as
+  // before the redesign.
+  EngineConfig MechCfg = Base;
+  CheckRemovalBackend Backend = Base.effectiveCheckRemoval();
+  if (Backend == CheckRemovalBackend::None)
+    Backend = CheckRemovalBackend::ClassCache;
+  MechCfg.CheckRemoval = Backend;
+  MechCfg.ClassCacheEnabled = Backend == CheckRemovalBackend::ClassCache ||
+                              Backend == CheckRemovalBackend::Both;
+  C.ClassCache = runSteadyState(MechCfg, Source, Iterations);
 
   if (!C.Baseline.Ok || !C.ClassCache.Ok)
     return C;

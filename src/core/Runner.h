@@ -57,6 +57,10 @@ BenchRun runSteadyState(const EngineConfig &Config, std::string_view Source,
 /// distinctly ("n/a" in tables, null in JSON) instead of a silent "0%".
 struct Comparison {
   BenchRun Baseline;
+  /// The mechanism leg: whichever check-removal backend the comparison's
+  /// Base config selected (ClassCache by default; BBV/Both when the sweep
+  /// ran with --check-removal). Named for the historical default — the
+  /// JSON key derived from it is part of the report schema.
   BenchRun ClassCache;
   /// Speedup percentages ((base/cc - 1) * 100); nullopt when unmeasurable.
   std::optional<double> SpeedupWhole;
@@ -73,8 +77,10 @@ struct Comparison {
   bool valid() const { return Baseline.Ok && ClassCache.Ok; }
 };
 
-/// Runs \p Source under the baseline and the Class Cache configuration
-/// (both derived from \p Base) and reports speedups and energy savings.
+/// Runs \p Source under a no-check-removal baseline and under the
+/// check-removal backend \p Base selects (both legs otherwise derived
+/// from \p Base; a default Base measures the Class Cache) and reports
+/// speedups and energy savings.
 Comparison compareConfigs(std::string_view Source, const EngineConfig &Base,
                           int Iterations = DefaultIterations);
 

@@ -171,6 +171,23 @@ OracleResult ccjs::gen::runOracle(const std::string &Source,
                                .withAudit();
   Cmp.semantics(runTier(Source, CcOpts, false), "cc");
 
+  // Lazy basic-block versioning, alone and stacked on the Class Cache:
+  // every check-removal regime must agree with the reference interpreter.
+  Engine::Options BbvOpts = Engine::Options()
+                                .withCheckRemoval(CheckRemovalBackend::Bbv)
+                                .withTiering(HotInvocations, HotLoopTrips)
+                                .withAudit();
+  if (Opts.CheckBbv) {
+    Cmp.semantics(runTier(Source, BbvOpts, false), "bbv");
+    Cmp.semantics(runTier(Source,
+                          Engine::Options()
+                              .withCheckRemoval(CheckRemovalBackend::Both)
+                              .withTiering(HotInvocations, HotLoopTrips)
+                              .withAudit(),
+                          false),
+                  "cc+bbv");
+  }
+
   // Dispatch-mode byte identity: the switch image is the reference for the
   // threaded leg (computed-goto builds only) and for the fused leg (always
   // available — fusion rewrites OptIR but executes on the switch loop).
@@ -195,6 +212,26 @@ OracleResult ccjs::gen::runOracle(const std::string &Source,
           Source,
           Engine::Options(ImgOpts).withDispatch(DispatchMode::Fused), true);
       Cmp.image(Sw, Fu, "dispatch-fused");
+    }
+    // The BBV backend must be dispatch-invariant too: the fused executor
+    // replays the same per-version elide masks the switch loop consults.
+    if (Opts.CheckBbv) {
+      Engine::Options BbvImg = Engine::Options(BbvOpts).withMetrics();
+      TierRun BSw = runTier(Source, BbvImg, true);
+      Cmp.semantics(BSw, "bbv+metrics(switch)");
+      if (WantThreaded) {
+        TierRun BTh = runTier(
+            Source,
+            Engine::Options(BbvImg).withDispatch(DispatchMode::Threaded),
+            true);
+        Cmp.image(BSw, BTh, "bbv-dispatch-threaded");
+      }
+      if (Opts.CheckFused) {
+        TierRun BFu = runTier(
+            Source,
+            Engine::Options(BbvImg).withDispatch(DispatchMode::Fused), true);
+        Cmp.image(BSw, BFu, "bbv-dispatch-fused");
+      }
     }
   }
 

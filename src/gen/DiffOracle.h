@@ -7,7 +7,9 @@
 ///   * reference: the pure baseline interpreter (tier-up disabled),
 ///   * tiered: hot thresholds, Class Cache off (state-of-the-art config),
 ///   * cc: hot thresholds with the Class Cache mechanism and elisions,
-///   * dispatch: cc under switch vs computed-goto and vs the
+///   * bbv: hot thresholds with the lazy basic-block-versioning backend
+///     (--check-removal=bbv), and cc+bbv with both backends stacked,
+///   * dispatch: cc (and bbv) under switch vs computed-goto and vs the
 ///     superinstruction-fused executor — byte-identical output, serialized
 ///     RunStats, metrics, and fault trip logs,
 ///   * chaos: cc under a small sweep of fault-injection seeds, with the
@@ -45,6 +47,9 @@ struct OracleOptions {
   /// Unlike CheckDispatch this never depends on a build feature: fused
   /// code runs on the portable switch loop.
   bool CheckFused = true;
+  /// Run the lazy-BBV legs: bbv and cc+bbv semantic equivalence against
+  /// the reference interpreter, plus a bbv dispatch-image comparison.
+  bool CheckBbv = true;
 };
 
 struct OracleResult {

@@ -173,6 +173,15 @@ public:
     chargeBatch(B.Evs, B.NumEvs, Operands);
   }
 
+  /// Lazy-BBV block-version materialization cost: tag projection plus one
+  /// abstract walk over the block's \p BlockOps ops (a generic fallback
+  /// skips the walk). Charged to the runtime bucket like compilation —
+  /// deterministic in its inputs, so BBV stats/cycles reproduce exactly
+  /// across runs and dispatch modes.
+  void chargeBbvSpecialization(bool Generic, unsigned BlockOps) {
+    alu(InstrCategory::RestOfCode, Generic ? 20 : 40 + 6 * BlockOps);
+  }
+
   ClassCache *classCache() { return CC; }
 
   /// Attaches the trace recorder (null = tracing off, the default).

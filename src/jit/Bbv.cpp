@@ -1,0 +1,217 @@
+//===- jit/Bbv.cpp - Lazy basic-block versioning backend ------------------===//
+
+#include "jit/Bbv.h"
+
+#include "jit/passes/Pass.h"
+#include "vm/VMState.h"
+
+#include <algorithm>
+
+using namespace ccjs;
+
+namespace {
+
+bool isJump(IrOpcode Op) {
+  return Op == IrOpcode::JumpOp || Op == IrOpcode::JumpLoopOp ||
+         Op == IrOpcode::JumpIfFalseOp || Op == IrOpcode::JumpIfTrueOp;
+}
+
+bool isCheck(IrOpcode Op) {
+  return Op == IrOpcode::CheckMapOp || Op == IrOpcode::CheckSmiOp ||
+         Op == IrOpcode::CheckNumberOp;
+}
+
+/// Superinstruction fusion rewrites a head CheckSmi's *opcode* in place
+/// (every operand field is untouched) after bbvPrepare ran. The runtime
+/// walk must see through the rewrite, or fused code would mint weaker
+/// versions than the switch executor and break cross-dispatch event
+/// identity. FusedCheckMapLoadPropOp needs no case: it never forms under
+/// a BBV backend (see checkMapLoadPropFusable).
+IrOpcode effectiveOp(IrOpcode Op) {
+  return Op == IrOpcode::FusedCheckSmiCheckSmiOp ? IrOpcode::CheckSmiOp : Op;
+}
+
+/// True when entry tag \p T of the checked local proves the check with
+/// effective opcode \p Op and operands \p O. Mirrors the executor's
+/// runtime predicates exactly (ExecutorLoop.inc): an elided check can
+/// never be one the full check would have failed.
+bool tagProvesCheck(IrOpcode Op, const OptIrOp &O, uint32_t T,
+                    ShapeId HeapNum) {
+  switch (Op) {
+  case IrOpcode::CheckSmiOp:
+    // Strictly tagged SMI only: an unboxed integral double tags as
+    // TagHeapNum, so the in-place conversion (and its Tags/Untags
+    // charge) is never skipped.
+    return T == BbvInfo::TagSmi;
+  case IrOpcode::CheckNumberOp:
+    return T == BbvInfo::TagSmi || T == BbvInfo::TagHeapNum ||
+           T == BbvInfo::TagShapeBase + HeapNum;
+  case IrOpcode::CheckMapOp:
+    // An unboxed double (TagHeapNum) passes CheckMap(heapNumberShape).
+    return T == BbvInfo::TagShapeBase + O.Shape ||
+           (O.Shape == HeapNum && T == BbvInfo::TagHeapNum);
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+void ccjs::bbvPrepare(OptCode &C, VMState &VM) {
+  (void)VM;
+  const size_t N = C.Ops.size();
+  if (N == 0)
+    return;
+
+  // Leaders: op 0, every jump target, and the op after any control
+  // transfer (including conditional fall-through — the two successors of
+  // a branch must version independently).
+  std::vector<uint8_t> Leader(N, 0);
+  Leader[0] = 1;
+  for (size_t I = 0; I < N; ++I) {
+    const OptIrOp &O = C.Ops[I];
+    if (isJump(O.Op) && O.A >= 0 && static_cast<size_t>(O.A) < N)
+      Leader[O.A] = 1;
+    if ((isJump(O.Op) || O.Op == IrOpcode::ReturnOp ||
+         O.Op == IrOpcode::DeoptOp) &&
+        I + 1 < N)
+      Leader[I + 1] = 1;
+  }
+
+  auto Info = std::make_unique<BbvInfo>();
+  Info->BlockAt.assign(N, 0);
+  Info->BlockIndexAt.assign(N, 0);
+
+  size_t Start = 0;
+  for (size_t I = 1; I <= N; ++I) {
+    if (I < N && !Leader[I])
+      continue;
+    // Block [Start, I). Register it only when it contains at least one
+    // elidable check: a Check* whose Aux carries a generation-validated
+    // origin local (set by the IrBuilder, or a hoisted OperandLocal
+    // guard from check motion).
+    BbvInfo::Block B;
+    B.Start = static_cast<uint32_t>(Start);
+    B.End = static_cast<uint32_t>(I);
+    for (size_t J = Start; J < I; ++J) {
+      const OptIrOp &O = C.Ops[J];
+      if (isCheck(O.Op) && O.Aux >= 0)
+        B.RelevantLocals.push_back(static_cast<uint32_t>(O.Aux));
+    }
+    if (!B.RelevantLocals.empty()) {
+      std::sort(B.RelevantLocals.begin(), B.RelevantLocals.end());
+      B.RelevantLocals.erase(
+          std::unique(B.RelevantLocals.begin(), B.RelevantLocals.end()),
+          B.RelevantLocals.end());
+      Info->BlockAt[Start] = 1;
+      Info->BlockIndexAt[Start] = static_cast<uint32_t>(Info->Blocks.size());
+      Info->Blocks.push_back(std::move(B));
+    }
+    Start = I;
+  }
+
+  if (!Info->Blocks.empty())
+    C.Bbv = std::move(Info);
+}
+
+const uint8_t *ccjs::bbvSelectVersion(VMState &VM, OptCode &C,
+                                      uint32_t BlockIdx,
+                                      const std::vector<uint32_t> &Tags) {
+  BbvInfo &Info = *C.Bbv;
+  BbvInfo::Block &B = Info.Blocks[BlockIdx];
+
+  // Reuse: linear scan — the cap keeps version counts tiny.
+  for (BbvInfo::Version &V : B.Versions)
+    if (V.EntryTags == Tags)
+      return V.Generic ? nullptr : V.Elide.data();
+
+  const uint32_t Cap = VM.Config.BbvMaxVersions;
+  BbvInfo::Version V;
+  V.EntryTags = Tags;
+  V.Generic = B.Versions.size() >= Cap;
+
+  if (!V.Generic) {
+    // Abstract walk over the block: project each relevant local's tag
+    // forward from the measured entry context and flip the Elide bit of
+    // every check the current tag proves. The walk's kill rules mirror
+    // the optimizer's (shared irOpKillsShapeFacts), so a stale tag can
+    // never survive past an op that could invalidate it.
+    const ShapeId HeapNum = VM.Shapes.heapNumberShape();
+    const ShapeId Str = VM.Shapes.stringShape();
+    V.Elide.assign(C.Ops.size(), 0);
+    std::vector<uint32_t> Cur = Tags;
+    auto TagOf = [&](int32_t L) -> uint32_t * {
+      auto It = std::lower_bound(B.RelevantLocals.begin(),
+                                 B.RelevantLocals.end(),
+                                 static_cast<uint32_t>(L));
+      if (It == B.RelevantLocals.end() ||
+          *It != static_cast<uint32_t>(L))
+        return nullptr;
+      return &Cur[static_cast<size_t>(It - B.RelevantLocals.begin())];
+    };
+    for (uint32_t J = B.Start; J < B.End; ++J) {
+      const OptIrOp &O = C.Ops[J];
+      const IrOpcode Op = effectiveOp(O.Op);
+      if (Op == IrOpcode::StLocalOp) {
+        if (uint32_t *T = TagOf(O.A))
+          *T = BbvInfo::TagUnknown;
+        continue;
+      }
+      if (irOpKillsShapeFacts(Op)) {
+        // Mutable shape tags die; value tags (SMI, unboxed double) and
+        // the immutable HeapNumber/string shapes survive.
+        for (uint32_t &T : Cur)
+          if (T >= BbvInfo::TagShapeBase &&
+              T != BbvInfo::TagShapeBase + HeapNum &&
+              T != BbvInfo::TagShapeBase + Str)
+            T = BbvInfo::TagUnknown;
+        continue;
+      }
+      if (!isCheck(Op) || O.Aux < 0)
+        continue;
+      uint32_t *T = TagOf(O.Aux);
+      if (!T)
+        continue;
+      if (tagProvesCheck(Op, O, *T, HeapNum)) {
+        V.Elide[J] = 1;
+        ++V.ChecksElided;
+        continue;
+      }
+      // The check runs and passes (or deopts, ending this code's
+      // execution) — refine the tag with what a pass proves.
+      if (Op == IrOpcode::CheckSmiOp && (O.Flags & IrFlagOperandLocal)) {
+        // An OperandLocal CheckSmi normalizes Loc[L] itself in place.
+        *T = BbvInfo::TagSmi;
+      } else if (Op == IrOpcode::CheckMapOp && O.Shape != HeapNum) {
+        // Passing CheckMap(S) for S != HeapNumber pins a pointer with
+        // shape S (the HeapNumber case is ambiguous with an unboxed
+        // double, which must keep TagHeapNum).
+        *T = BbvInfo::TagShapeBase + O.Shape;
+      }
+    }
+  } else {
+    ++Info.GenericFallbacks;
+  }
+
+  VM.Ctx.chargeBbvSpecialization(V.Generic, B.End - B.Start);
+  if (!V.Generic) {
+    ++Info.VersionsCreated;
+    Info.ChecksElidedTotal += V.ChecksElided;
+  }
+  if (VM.Metrics) {
+    ++VM.Metrics->counter(V.Generic ? "bbv.generic_fallbacks"
+                                    : "bbv.versions");
+    VM.Metrics->counter("bbv.checks_elided") += V.ChecksElided;
+  }
+  BbvSpecializeEvent E;
+  E.FuncIndex = C.FuncIndex;
+  E.BlockStart = B.Start;
+  E.VersionIndex = static_cast<uint32_t>(B.Versions.size());
+  E.ChecksElided = V.ChecksElided;
+  E.Generic = V.Generic;
+  VM.notifyBbvSpecialize(E);
+
+  B.Versions.push_back(std::move(V));
+  BbvInfo::Version &Stored = B.Versions.back();
+  return Stored.Generic ? nullptr : Stored.Elide.data();
+}

@@ -1,0 +1,53 @@
+//===- jit/Bbv.h - Lazy basic-block versioning backend ----------*- C++ -*-===//
+///
+/// \file
+/// Lazy basic-block versioning (Chevalier-Boisvert & Feeley, ECOOP 2015)
+/// as an alternative check-removal backend: instead of consuming
+/// monomorphic profiles at compile time (the Class Cache mechanism),
+/// blocks are specialized *at execution time* on the type context that
+/// actually arrives. bbvPrepare partitions a function's OptIR into basic
+/// blocks at compile time; the executor calls bbvSelectVersion at each
+/// registered block entry, which lazily materializes (or reuses) a
+/// version keyed on the entry tags of the block's relevant locals and
+/// returns that version's check-elision mask.
+///
+/// Version cap: at most EngineConfig::BbvMaxVersions per block; past the
+/// cap the block falls back to a shared generic version that elides
+/// nothing. Elided checks never re-validate — soundness comes from the
+/// entry tags being ground truth (read from the live frame, not a
+/// profile), so a BBV-elided check can never deopt where the full check
+/// would have; mis-speculation is impossible by construction and the
+/// existing DeoptReason sites cover every remaining check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_JIT_BBV_H
+#define CCJS_JIT_BBV_H
+
+#include "jit/OptIr.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ccjs {
+
+struct VMState;
+
+/// Compile-time half: partitions \p C into blocks, records per-block
+/// elidable checks (generation-validated Aux annotations) and their
+/// relevant locals, and fills C.Bbv. Leaves C.Bbv null when no block has
+/// an elidable check (the executor then skips all BBV work).
+void bbvPrepare(OptCode &C, VMState &VM);
+
+/// Execution-time half: returns the elision mask (Ops-sized, indexed by
+/// op index) of the version of block \p BlockIdx matching \p Tags — the
+/// entry tags of the block's RelevantLocals, in order, as projected by
+/// the executor from the live frame. Materializes the version on first
+/// encounter (charging the specialization cost); returns nullptr for the
+/// generic fallback once the block's version cap is hit.
+const uint8_t *bbvSelectVersion(VMState &VM, OptCode &C, uint32_t BlockIdx,
+                                const std::vector<uint32_t> &Tags);
+
+} // namespace ccjs
+
+#endif // CCJS_JIT_BBV_H

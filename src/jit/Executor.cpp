@@ -12,6 +12,7 @@
 
 #include "jit/Jit.h"
 
+#include "jit/Bbv.h"
 #include "runtime/Layout.h"
 #include "runtime/Operations.h"
 #include "support/Assert.h"
@@ -114,6 +115,31 @@ private:
   /// Hoisted movClassIDArray loads for a loop header reached by entry or
   /// fall-through (not via its own back edge).
   void runLoopPreloads(uint32_t Cur);
+
+  /// BBV backend: ground-truth entry tag of one live slot, mirroring the
+  /// check handlers' runtime predicates exactly (an elided check is one
+  /// the full check would provably have passed).
+  uint32_t bbvTag(const OptValue &V) const {
+    if (V.Unboxed)
+      return BbvInfo::TagHeapNum;
+    if (V.V.isSmi())
+      return BbvInfo::TagSmi;
+    if (V.V.isPointer())
+      return BbvInfo::TagShapeBase + H.shapeOfValue(V.V);
+    return BbvInfo::TagOtherHeap;
+  }
+
+  /// Entered a registered BBV block: project the relevant locals' entry
+  /// tags from the live frame and install the matching version's elision
+  /// mask (materializing the version on first encounter).
+  void bbvEnterBlock(uint32_t Cur) {
+    const BbvInfo::Block &B = C.Bbv->Blocks[C.Bbv->BlockIndexAt[Cur]];
+    TagScratch.clear();
+    for (uint32_t L : B.RelevantLocals)
+      TagScratch.push_back(L < Loc.size() ? bbvTag(Loc[L])
+                                          : BbvInfo::TagUnknown);
+    BbvElide = bbvSelectVersion(VM, C, C.Bbv->BlockIndexAt[Cur], TagScratch);
+  }
 
   OptValue pop() {
     OptValue V = St.back();
@@ -232,6 +258,17 @@ private:
   std::vector<OptValue> &Loc;
   uint32_t CurOpIndex = 0;
 
+  // BBV backend state. BbvBlockAt is the dense leader test (null when the
+  // BBV backend is off or this function has no registered block); the
+  // prologue consults one byte per dispatch. BbvElide is the current
+  // version's elision mask — bits outside the block that installed it are
+  // zero, so a stale mask carried across an unregistered block boundary
+  // can never elide anything. The mask's heap buffer is owned by a
+  // BbvInfo::Version whose storage is stable across Versions growth.
+  const uint8_t *BbvBlockAt = nullptr;
+  const uint8_t *BbvElide = nullptr;
+  std::vector<uint32_t> TagScratch;
+
   // Host-side observation (see CCJS_EXEC_OBSERVE in ExecutorLoop.inc):
   // dispatches performed, dispatches a superinstruction absorbed, and the
   // previous opcode for the adjacency histogram (sentinel = none yet).
@@ -273,6 +310,7 @@ Value OptExecutor::run(const Value *Args, uint32_t Argc) {
   for (uint32_t I = 0; I < Argc && I < F.NumParams; ++I)
     Loc[I] = OptValue::tagged(Args[I]);
   St.reserve(C.MaxStack > 16 ? C.MaxStack : 16);
+  BbvBlockAt = C.Bbv ? C.Bbv->BlockAt.data() : nullptr;
 
 #if CCJS_THREADED_DISPATCH
   if (VM.Config.Dispatch == DispatchMode::Threaded)

@@ -57,10 +57,15 @@ namespace {
 ///   the guarded shape cannot be HeapNumber's, so an unboxed double can
 ///   never pass — the fused `!Unboxed && isPointer && shapeOf == Shape`
 ///   test matches the unfused one exactly;
-/// - Depth 0: CheckMap peeks at what LoadProp pops.
+/// - Depth 0: CheckMap peeks at what LoadProp pops (a hoisted
+///   IrFlagOperandLocal guard reads a local instead, so it never fuses);
+/// - no BBV: the fused op repurposes Aux as the event-batch index, which
+///   would clobber the origin-local annotation the BBV specializer keys
+///   on, and the fused handler cannot consult a version's elision mask.
 bool checkMapLoadPropFusable(const OptIrOp &Check, const VMState &VM) {
-  return !(Check.Flags & IrFlagPreUntag) && Check.Depth == 0 &&
-         Check.Shape != VM.Shapes.heapNumberShape();
+  return !(Check.Flags & IrFlagPreUntag) &&
+         !(Check.Flags & IrFlagOperandLocal) && Check.Depth == 0 &&
+         Check.Shape != VM.Shapes.heapNumberShape() && !VM.Config.bbvOn();
 }
 
 } // namespace

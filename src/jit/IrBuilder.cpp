@@ -20,7 +20,6 @@
 #include "jit/Jit.h"
 
 #include "frontend/Ast.h"
-#include "jit/FusionPass.h"
 #include "runtime/Layout.h"
 #include "support/Assert.h"
 #include "vm/Builtins.h"
@@ -54,7 +53,17 @@ struct AbsVal {
   int OriginLocal = -1;
   /// Which global the value came from unmodified (-1 none).
   int OriginGlobal = -1;
+  /// Store generation of OriginLocal at the load. Assignments are
+  /// expressions in MiniJS, so a stack copy can outlive a later StLocal
+  /// to the same local within a fall-through region; the copy is a live,
+  /// bitwise copy of the local only while the generations still match.
+  uint32_t OriginGen = 0;
 };
+
+/// OriginGen value that can never match a real store generation: stamps a
+/// copy whose representation may have diverged from its origin local (an
+/// emitted CheckSmi retags the checked copy in place, not the local).
+inline constexpr uint32_t StaleOriginGen = ~0u;
 
 /// Encoding of hoisted movClassIDArray sources in OptCode::LoopPreloads:
 /// locals are stored directly; globals carry this bit plus their index.
@@ -252,6 +261,18 @@ private:
     return true;
   }
 
+  /// Stamps an emitted check with its generation-validated origin local:
+  /// Aux = L records that the checked slot is a live, bitwise copy of
+  /// Loc[L] at the check. The pass pipeline (redundant-guard elimination,
+  /// check motion) and the lazy-BBV specializer key their elision proofs
+  /// on this annotation; a check without it is never touched by them.
+  void noteCheckOrigin(OptIrOp &O, const AbsVal &V) {
+    if (V.OriginLocal >= 0 &&
+        static_cast<size_t>(V.OriginLocal) < StoreGen.size() &&
+        V.OriginGen == StoreGen[V.OriginLocal])
+      O.Aux = V.OriginLocal;
+  }
+
   /// Ensures the value at \p Depth has shape \p S (Check Map).
   void ensureShape(unsigned Depth, ShapeId S, bool PreUntag = false) {
     AbsVal &V = tos(Depth);
@@ -278,6 +299,7 @@ private:
       O.Flags |= IrFlagAfterObjectLoad;
     if (PreUntag)
       O.Flags |= IrFlagPreUntag;
+    noteCheckOrigin(O, V);
     ++Code->ChecksEmitted;
     V.K = AbsVal::Obj;
     V.Shape = S;
@@ -300,8 +322,12 @@ private:
     O.Depth = static_cast<uint8_t>(Depth);
     if (V.HasProv)
       O.Flags |= IrFlagAfterObjectLoad;
+    noteCheckOrigin(O, V);
     ++Code->ChecksEmitted;
     V.K = AbsVal::Smi;
+    // The executed check retags an unboxed-integral copy in place; the
+    // copy is no longer guaranteed bitwise-equal to its origin local.
+    V.OriginGen = StaleOriginGen;
     noteRefined(V);
   }
 
@@ -327,6 +353,7 @@ private:
     O.Flags |= IrFlagPreUntag;
     if (V.HasProv)
       O.Flags |= IrFlagAfterObjectLoad;
+    noteCheckOrigin(O, V);
     ++Code->ChecksEmitted;
     V.K = AbsVal::Number;
     noteRefined(V);
@@ -404,6 +431,9 @@ private:
   std::vector<int32_t> BcToIr;
   /// Number of StLocal sites per local (index capped at 64).
   std::vector<uint32_t> StLocalCount;
+  /// Store generation per local, bumped at each translated StLocal; pairs
+  /// with AbsVal::OriginGen to validate origin-local check annotations.
+  std::vector<uint32_t> StoreGen;
   /// Definite-assignment bitmask (locals 0..63) at each bytecode index.
   std::vector<uint64_t> DefAssigned;
 
@@ -926,6 +956,7 @@ void IrBuilder::translate(const Instr &In) {
     O.A = In.A;
     AbsVal V = Loc[In.A];
     V.OriginLocal = In.A;
+    V.OriginGen = StoreGen[In.A];
     push(std::move(V));
     return;
   }
@@ -935,7 +966,9 @@ void IrBuilder::translate(const Instr &In) {
     AbsVal V = pop();
     if (static_cast<size_t>(In.A) < Facts.size())
       Facts[In.A].meet(V);
+    ++StoreGen[In.A];
     V.OriginLocal = In.A;
+    V.OriginGen = StoreGen[In.A];
     Loc[In.A] = std::move(V);
     return;
   }
@@ -1167,6 +1200,7 @@ OptCode *IrBuilder::build() {
   Code->Ops.reserve(F.Code.size() * 4);
   scanControlFlow();
   Facts.assign(F.NumLocals, LocalProvFact());
+  StoreGen.assign(F.NumLocals, 0);
   Loc.assign(F.NumLocals, AbsVal());
   AbsThis.OriginLocal = -2;
 
@@ -1244,24 +1278,15 @@ OptCode *IrBuilder::build() {
   return Code;
 }
 
-OptCode *ccjs::compileOptimized(VMState &VM, uint32_t FuncIndex) {
+OptCode *ccjs::buildOptIr(VMState &VM, uint32_t FuncIndex) {
   // Two passes: the first collects per-local provenance facts; the second
   // uses them to keep multi-assignment locals' provenance across merges.
+  // This is the entry stage of the compile pipeline; the pass pipeline,
+  // fusion and the compile-cost charge live in jit/passes/PassManager.cpp.
   IrBuilder Pass1(VM, FuncIndex);
   OptCode *Scratch = Pass1.build();
   delete Scratch;
   std::vector<LocalProvFact> Facts = Pass1.takeFacts();
   IrBuilder Pass2(VM, FuncIndex, &Facts);
-  OptCode *Code = Pass2.build();
-  // Superinstruction fusion (host-side: changes neither Ops.size() nor
-  // any simulated event, see DESIGN.md §4.8).
-  if (VM.Config.Dispatch == DispatchMode::Fused) {
-    unsigned Fused = fuseSuperinstructions(*Code, VM);
-    if (VM.Metrics)
-      VM.Metrics->counter("host.fusion.sequences") += Fused;
-  }
-  // Crankshaft-style compilation cost, charged to the runtime bucket.
-  VM.Ctx.alu(InstrCategory::RestOfCode,
-             300 + 60 * static_cast<unsigned>(Code->Ops.size()));
-  return Code;
+  return Pass2.build();
 }

@@ -22,6 +22,13 @@ namespace ccjs {
 /// Returns nullptr when the function cannot be optimized.
 OptCode *compileOptimized(VMState &VM, uint32_t FuncIndex);
 
+/// The compile pipeline's entry stage: the two-pass IrBuilder emission
+/// (facts pass + precise pass), with no optimizer passes, no fusion and no
+/// compile-cost charge. compileOptimized (jit/passes/PassManager.cpp) runs
+/// this, then the enabled OptIR passes, then the backend stages; with
+/// every pass disabled its output is byte-identical to this function's.
+OptCode *buildOptIr(VMState &VM, uint32_t FuncIndex);
+
 /// Executes a function's optimized code. Deoptimization (check failure,
 /// SMI overflow, Class Cache exception) transparently resumes in the
 /// interpreter; the returned value is always the completed call's result.

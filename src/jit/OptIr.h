@@ -23,6 +23,7 @@
 #include "vm/Feedback.h"
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -153,6 +154,8 @@ enum : uint16_t {
   IrFlagHoistedClassId = 1 << 3,  ///< movClassIDArray was hoisted.
   IrFlagSafeElem = 1 << 4,        ///< Element access tolerates out-of-bounds.
   IrFlagPreUntag = 1 << 5,        ///< Check precedes an untag (Tags/Untags).
+  IrFlagOperandLocal = 1 << 6,    ///< Check reads Loc[Aux], not the stack
+                                  ///< (hoisted loop guards; no stack effect).
 };
 
 struct OptIrOp {
@@ -167,6 +170,65 @@ struct OptIrOp {
   int32_t Aux = -1;
   uint32_t BcPc = 0;   ///< Bytecode index to resume at (pre-effect deopt).
   uint32_t BcNext = 0; ///< Bytecode index after this op's bytecode.
+};
+
+/// Lazy basic-block versioning state for one function's OptIR (null unless
+/// the BBV backend is selected). Built by the BbvPrep pass (block
+/// partition, per-block relevant locals); versions are materialized lazily
+/// at block entry by the executor (see jit/Bbv.h).
+///
+/// A check op is BBV-elidable when its Aux carries a generation-validated
+/// origin local (the checked stack slot is a live copy of Loc[Aux]); the
+/// specializer proves such checks from the entry context's ground-truth
+/// tags and flips their Elide bit for that version.
+struct BbvInfo {
+  /// Entry-context tag per local: a small lattice over the value actually
+  /// held at block entry. Smi is *strictly tagged* smi — an unboxed
+  /// integral double tags as HeapNum so CheckSmi's in-place conversion
+  /// (and its Tags/Untags charge) is never skipped.
+  enum Tag : uint32_t {
+    TagUnknown = 0,
+    TagSmi = 1,
+    TagHeapNum = 2,
+    TagOtherHeap = 3,
+    /// Shape tags: TagShapeBase + ShapeId of a plain object.
+    TagShapeBase = 8,
+  };
+
+  /// One materialized version of one block.
+  struct Version {
+    /// Projected entry tags for this block's relevant locals (same order
+    /// as Block::RelevantLocals).
+    std::vector<uint32_t> EntryTags;
+    /// Elide[I] != 0 => the check at op index I is proven by this
+    /// version's entry context (full Ops-sized mask so the executor
+    /// indexes it with Cur directly). Null/empty for the generic version.
+    std::vector<uint8_t> Elide;
+    uint32_t ChecksElided = 0;
+    bool Generic = false;
+  };
+
+  struct Block {
+    uint32_t Start = 0; ///< Op index of the leader.
+    uint32_t End = 0;   ///< One past the last op of the block.
+    /// Locals whose entry tags this block's elidable checks depend on
+    /// (sorted). Versions are keyed on these only, so irrelevant-local
+    /// churn cannot multiply versions.
+    std::vector<uint32_t> RelevantLocals;
+    std::vector<Version> Versions;
+  };
+
+  /// BlockAt[I] != 0 iff op I is the leader of a block with at least one
+  /// elidable check (dense, Ops-sized — the executor's per-dispatch test
+  /// is one byte load); BlockIndexAt[I] is then the index into Blocks.
+  std::vector<uint8_t> BlockAt;
+  std::vector<uint32_t> BlockIndexAt;
+  std::vector<Block> Blocks;
+
+  // Runtime statistics (surface through bbv.* metrics).
+  uint32_t VersionsCreated = 0;
+  uint32_t GenericFallbacks = 0;
+  uint32_t ChecksElidedTotal = 0;
 };
 
 /// Compiled optimized code for one function.
@@ -190,12 +252,20 @@ struct OptCode {
   /// this table). Filled by the fusion pass; empty in unfused code.
   std::vector<EventBatch> Batches;
 
+  /// Lazy-BBV versioning state (null unless EngineConfig::bbvOn()).
+  /// Owned by the OptCode; mutated lazily at block entry.
+  std::unique_ptr<BbvInfo> Bbv;
+
   // Compile-time statistics (for the ablation benches).
   uint32_t ChecksEmitted = 0;
   uint32_t ChecksElidedClassic = 0;
   uint32_t ChecksElidedClassCache = 0;
   uint32_t CcStores = 0;
   uint32_t HoistedStores = 0;
+  /// Checks removed by the optimizer pass pipeline (redundant-guard
+  /// elimination) and loop-invariant guards hoisted by check motion.
+  uint32_t ChecksElidedPass = 0;
+  uint32_t ChecksHoisted = 0;
 };
 
 } // namespace ccjs

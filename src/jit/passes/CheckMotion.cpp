@@ -1,0 +1,286 @@
+//===- jit/passes/CheckMotion.cpp - hoist loop-invariant checks -----------===//
+///
+/// \file
+/// Check motion: hoists loop-invariant guards out of innermost loops.
+/// A check on local L inside loop body [Head..Backedge] is invariant when
+/// L is never stored in the body; the body's checks are then replaced by
+/// one guard per (local, predicate) at the loop head, executed once per
+/// loop *entry* instead of once per *iteration*.
+///
+/// Hoisted guards read Loc[Aux] directly (IrFlagOperandLocal: no stack
+/// effect) and deopt to the loop head's bytecode — the operand stack at
+/// the head position already matches that resume point, so a failing
+/// guard simply runs the whole loop in the interpreter.
+///
+/// Safety:
+///   - Innermost loops only (no other JumpLoop in the body), so a guard
+///     verified on entry stays verified: the body cannot store L.
+///   - CheckMap additionally requires a transition/call-free body
+///     (irOpKillsShapeFacts) — an aliased shape change between
+///     iterations would outdate the hoisted shape proof — and a single
+///     agreed shape across the body's CheckMaps on L.
+///   - No jump from outside the loop may target the middle of the body;
+///     entry jumps to Head are redirected to the guards, while inside
+///     jumps to Head (the backedge, `continue`) skip them.
+///
+/// Hoisting strengthens conditionally-executed checks (the guard runs on
+/// every entry); a failing guard deopts where the original might not
+/// have executed, which is semantically transparent — the interpreter
+/// computes the same result — and only costs simulated cycles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jit/passes/Pass.h"
+#include "jit/passes/PassManager.h"
+#include "vm/VMState.h"
+
+#include <algorithm>
+
+namespace ccjs {
+
+namespace {
+
+class CheckMotion final : public Pass {
+public:
+  const char *name() const override { return "checkmotion"; }
+  uint32_t maskBit() const override { return OptPassCheckMotion; }
+  bool run(OptCode &C, VMState &VM) override;
+
+private:
+  /// Transforms the innermost loop whose backedge is at \p BackIdx.
+  /// Returns true when guards were hoisted (indices change; re-scan).
+  bool hoistLoop(OptCode &C, VMState &VM, uint32_t BackIdx);
+};
+
+bool isJump(IrOpcode Op) {
+  return Op == IrOpcode::JumpOp || Op == IrOpcode::JumpLoopOp ||
+         Op == IrOpcode::JumpIfFalseOp || Op == IrOpcode::JumpIfTrueOp;
+}
+
+bool isCheck(IrOpcode Op) {
+  return Op == IrOpcode::CheckMapOp || Op == IrOpcode::CheckSmiOp ||
+         Op == IrOpcode::CheckNumberOp;
+}
+
+/// Per-local summary of the loop body's hoistable checks.
+struct LocalPlan {
+  bool HasSmi = false;
+  bool HasNumber = false;
+  bool HasMap = false;
+  bool MapMixed = false; ///< CheckMaps on this local disagree on shape.
+  ShapeId MapShape = InvalidShape;
+  uint16_t FirstSite = 0;
+  uint16_t KeepFlags = 0; ///< PreUntag union of the source checks.
+};
+
+bool CheckMotion::run(OptCode &C, VMState &VM) {
+  bool Changed = false;
+  // Each hoist rewrites indices, so re-scan from scratch after every
+  // transformation; a transformed loop yields no further candidates
+  // (its body checks are gone), so this terminates.
+  bool Again = true;
+  while (Again) {
+    Again = false;
+    // Descending backedge order: inner/later loops first.
+    for (uint32_t I = static_cast<uint32_t>(C.Ops.size()); I-- > 0;) {
+      if (C.Ops[I].Op != IrOpcode::JumpLoopOp)
+        continue;
+      if (hoistLoop(C, VM, I)) {
+        Changed = true;
+        Again = true;
+        break;
+      }
+    }
+  }
+  return Changed;
+}
+
+bool CheckMotion::hoistLoop(OptCode &C, VMState &VM, uint32_t BackIdx) {
+  const size_t N = C.Ops.size();
+  const uint32_t NumLocals =
+      C.FuncIndex < VM.Module.Functions.size()
+          ? VM.Module.Functions[C.FuncIndex].NumLocals
+          : 0;
+  const int32_t HeadA = C.Ops[BackIdx].A;
+  if (NumLocals == 0 || HeadA < 0 || static_cast<uint32_t>(HeadA) >= BackIdx)
+    return false;
+  const uint32_t Head = static_cast<uint32_t>(HeadA);
+
+  // Innermost only: no other loop backedge inside the body.
+  for (uint32_t J = Head; J < BackIdx; ++J)
+    if (C.Ops[J].Op == IrOpcode::JumpLoopOp)
+      return false;
+
+  // No jump from outside the loop may target the middle of the body
+  // (such an edge would bypass the guards).
+  for (uint32_t J = 0; J < N; ++J) {
+    if (J >= Head && J <= BackIdx)
+      continue;
+    const OptIrOp &O = C.Ops[J];
+    if (isJump(O.Op) && O.A > static_cast<int32_t>(Head) &&
+        O.A <= static_cast<int32_t>(BackIdx))
+      return false;
+  }
+
+  // Summarize the body: stored locals, shape-fact killers, candidate
+  // checks per local.
+  std::vector<uint8_t> Stored(NumLocals, 0);
+  bool BodyKillsShapes = false;
+  std::vector<LocalPlan> Plans(NumLocals);
+  for (uint32_t J = Head; J <= BackIdx; ++J) {
+    const OptIrOp &O = C.Ops[J];
+    if (O.Op == IrOpcode::StLocalOp && O.A >= 0 &&
+        static_cast<uint32_t>(O.A) < NumLocals)
+      Stored[O.A] = 1;
+    if (irOpKillsShapeFacts(O.Op))
+      BodyKillsShapes = true;
+    if (!isCheck(O.Op) || (O.Flags & IrFlagOperandLocal) || O.Aux < 0 ||
+        static_cast<uint32_t>(O.Aux) >= NumLocals)
+      continue;
+    LocalPlan &P = Plans[O.Aux];
+    if (!P.HasSmi && !P.HasNumber && !P.HasMap)
+      P.FirstSite = O.Site;
+    P.KeepFlags |= O.Flags & IrFlagPreUntag;
+    if (O.Op == IrOpcode::CheckSmiOp)
+      P.HasSmi = true;
+    else if (O.Op == IrOpcode::CheckNumberOp)
+      P.HasNumber = true;
+    else {
+      if (P.HasMap && P.MapShape != O.Shape)
+        P.MapMixed = true;
+      P.HasMap = true;
+      P.MapShape = O.Shape;
+    }
+  }
+
+  // Build the guard list (ascending local order: deterministic layout).
+  struct Guard {
+    IrOpcode Op;
+    uint32_t Local;
+    ShapeId Shape;
+    uint16_t Site;
+    uint16_t Flags;
+  };
+  std::vector<Guard> Guards;
+  std::vector<uint8_t> DropSmi(NumLocals, 0), DropNumber(NumLocals, 0);
+  std::vector<ShapeId> DropMap(NumLocals, InvalidShape);
+  for (uint32_t L = 0; L < NumLocals; ++L) {
+    const LocalPlan &P = Plans[L];
+    if (Stored[L])
+      continue;
+    uint16_t GF = static_cast<uint16_t>(IrFlagOperandLocal | P.KeepFlags);
+    if (P.HasSmi) {
+      Guards.push_back({IrOpcode::CheckSmiOp, L, InvalidShape, P.FirstSite, GF});
+      DropSmi[L] = 1;
+      DropNumber[L] = 1; // SMI implies number.
+    } else if (P.HasNumber) {
+      Guards.push_back(
+          {IrOpcode::CheckNumberOp, L, InvalidShape, P.FirstSite, GF});
+      DropNumber[L] = 1;
+    }
+    if (P.HasMap && !P.MapMixed && !BodyKillsShapes) {
+      Guards.push_back({IrOpcode::CheckMapOp, L, P.MapShape, P.FirstSite, GF});
+      DropMap[L] = P.MapShape;
+    }
+  }
+  if (Guards.empty())
+    return false;
+  const uint32_t K = static_cast<uint32_t>(Guards.size());
+
+  // Mark the body checks the guards replace.
+  std::vector<uint8_t> Dead(N, 0);
+  uint32_t NumDead = 0;
+  for (uint32_t J = Head; J <= BackIdx; ++J) {
+    const OptIrOp &O = C.Ops[J];
+    if (!isCheck(O.Op) || (O.Flags & IrFlagOperandLocal) || O.Aux < 0 ||
+        static_cast<uint32_t>(O.Aux) >= NumLocals)
+      continue;
+    const uint32_t L = static_cast<uint32_t>(O.Aux);
+    bool Drop = (O.Op == IrOpcode::CheckSmiOp && DropSmi[L]) ||
+                (O.Op == IrOpcode::CheckNumberOp && DropNumber[L]) ||
+                (O.Op == IrOpcode::CheckMapOp && DropMap[L] == O.Shape &&
+                 DropMap[L] != InvalidShape);
+    if (Drop) {
+      Dead[J] = 1;
+      ++NumDead;
+    }
+  }
+
+  // New index of each old op: guards occupy [Head .. Head+K).
+  std::vector<uint32_t> NewIndex(N + 1, 0);
+  uint32_t Out = 0;
+  for (uint32_t J = 0; J < Head; ++J)
+    NewIndex[J] = J;
+  Out = Head + K;
+  for (uint32_t J = Head; J < N; ++J) {
+    NewIndex[J] = Out;
+    if (!Dead[J])
+      ++Out;
+  }
+  NewIndex[N] = Out;
+
+  std::vector<OptIrOp> NewOps;
+  NewOps.reserve(Out);
+  for (uint32_t J = 0; J < Head; ++J)
+    NewOps.push_back(C.Ops[J]);
+  for (const Guard &G : Guards) {
+    OptIrOp O;
+    O.Op = G.Op;
+    O.Shape = G.Shape;
+    O.Flags = G.Flags;
+    O.Site = G.Site;
+    O.Aux = static_cast<int32_t>(G.Local);
+    // A failing guard resumes the interpreter at the loop head; the
+    // operand stack at this position is exactly the head's.
+    O.BcPc = C.Ops[Head].BcPc;
+    O.BcNext = C.Ops[Head].BcPc;
+    NewOps.push_back(O);
+  }
+  for (uint32_t J = Head; J < N; ++J)
+    if (!Dead[J])
+      NewOps.push_back(C.Ops[J]);
+
+  // Remap jumps. An entry edge to Head from outside the loop lands on the
+  // guards; the backedge and inside jumps to Head (`continue`) skip them.
+  for (uint32_t J = 0; J < N; ++J) {
+    if (!isJump(C.Ops[J].Op))
+      continue;
+    const int32_t T = C.Ops[J].A;
+    uint32_t NewA;
+    if (T == static_cast<int32_t>(Head) &&
+        (J < Head || J > BackIdx))
+      NewA = Head;
+    else
+      NewA = NewIndex[std::min<size_t>(static_cast<size_t>(T), N)];
+    NewOps[NewIndex[J]].A = static_cast<int32_t>(NewA);
+  }
+  C.Ops = std::move(NewOps);
+
+  if (!C.LoopPreloads.empty()) {
+    std::unordered_map<uint32_t, std::vector<uint32_t>> NewPreloads;
+    for (auto &KV : C.LoopPreloads)
+      NewPreloads[NewIndex[std::min<size_t>(KV.first, N)]] =
+          std::move(KV.second);
+    C.LoopPreloads = std::move(NewPreloads);
+  }
+  C.PreloadAt.assign(C.Ops.size(), 0);
+  for (const auto &KV : C.LoopPreloads)
+    if (KV.first < C.PreloadAt.size())
+      C.PreloadAt[KV.first] = 1;
+
+  C.ChecksHoisted += K;
+  C.ChecksElidedPass += NumDead;
+  if (VM.Metrics) {
+    VM.Metrics->counter("passes.checkmotion.hoisted") += K;
+    VM.Metrics->counter("passes.checkmotion.deleted") += NumDead;
+  }
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<Pass> createCheckMotionPass() {
+  return std::make_unique<CheckMotion>();
+}
+
+} // namespace ccjs

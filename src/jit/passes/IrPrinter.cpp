@@ -1,0 +1,77 @@
+//===- jit/passes/IrPrinter.cpp - OptIR textual dump ----------------------===//
+
+#include "jit/passes/IrPrinter.h"
+
+#include "jit/OptIr.h"
+#include "vm/VMState.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace ccjs {
+
+std::string renderOptIr(const OptCode &C) {
+  std::string Out;
+  Out.reserve(C.Ops.size() * 48);
+  char Line[192];
+  for (size_t I = 0; I < C.Ops.size(); ++I) {
+    const OptIrOp &O = C.Ops[I];
+    int N = std::snprintf(Line, sizeof(Line), "  %4zu: %-28s", I,
+                          irOpcodeName(O.Op));
+    Out.append(Line, static_cast<size_t>(N));
+    // Print only the fields that differ from their defaults so the common
+    // ops stay one short line and diffs between stages are readable.
+    auto Field = [&](const char *Fmt, auto V) {
+      int M = std::snprintf(Line, sizeof(Line), Fmt, V);
+      Out.append(Line, static_cast<size_t>(M));
+    };
+    if (O.A != 0)
+      Field(" A=%" PRId32, O.A);
+    if (O.B != 0)
+      Field(" B=%" PRIu32, O.B);
+    if (O.Shape != InvalidShape)
+      Field(" shape=%u", static_cast<unsigned>(O.Shape));
+    if (O.Shape2 != InvalidShape)
+      Field(" shape2=%u", static_cast<unsigned>(O.Shape2));
+    if (O.Depth != 0)
+      Field(" depth=%u", static_cast<unsigned>(O.Depth));
+    if (O.Flags != 0)
+      Field(" flags=0x%x", static_cast<unsigned>(O.Flags));
+    if (O.Aux != -1)
+      Field(" aux=%" PRId32, O.Aux);
+    Field(" @bc=%" PRIu32, O.BcPc);
+    Out.push_back('\n');
+  }
+  if (!C.LoopPreloads.empty()) {
+    // Deterministic order: scan by op index, not by hash-map order.
+    Out += "  preloads:";
+    for (size_t I = 0; I < C.Ops.size(); ++I) {
+      auto It = C.LoopPreloads.find(static_cast<uint32_t>(I));
+      if (It == C.LoopPreloads.end())
+        continue;
+      int N = std::snprintf(Line, sizeof(Line), " [%zu:", I);
+      Out.append(Line, static_cast<size_t>(N));
+      for (uint32_t L : It->second) {
+        N = std::snprintf(Line, sizeof(Line), " L%" PRIu32, L);
+        Out.append(Line, static_cast<size_t>(N));
+      }
+      Out += " ]";
+    }
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
+void dumpOptIrStage(const VMState &VM, const OptCode &C, const char *Stage) {
+  if (!VM.Config.IrDump)
+    return;
+  const char *Name = "?";
+  if (C.FuncIndex < VM.Module.Functions.size())
+    Name = VM.Module.Functions[C.FuncIndex].Name.c_str();
+  std::fprintf(stderr, "; ir-dump %s (func %" PRIu32 ") after %s — %zu ops\n",
+               Name, C.FuncIndex, Stage, C.Ops.size());
+  std::string Text = renderOptIr(C);
+  std::fwrite(Text.data(), 1, Text.size(), stderr);
+}
+
+} // namespace ccjs

@@ -1,0 +1,31 @@
+//===- jit/passes/IrPrinter.h - OptIR textual dump --------------*- C++ -*-===//
+///
+/// \file
+/// Renders one function's OptIR as stable, diffable text: one line per op
+/// with its index, opcode name and the operand fields that are set. Used
+/// by the --ir-dump pass-by-pass printer (stderr, so stdout comparisons
+/// between runs stay clean) and by tests that assert pipeline identity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_JIT_PASSES_IRPRINTER_H
+#define CCJS_JIT_PASSES_IRPRINTER_H
+
+#include <string>
+
+namespace ccjs {
+
+struct OptCode;
+struct VMState;
+
+/// Renders \p C as text with stable op-index numbering. Deterministic:
+/// depends only on the IR, never on host pointers or iteration order.
+std::string renderOptIr(const OptCode &C);
+
+/// Prints a stage header ("; ir-dump <func> after <stage>") plus the
+/// rendered IR to stderr. No-op unless EngineConfig::IrDump is set.
+void dumpOptIrStage(const VMState &VM, const OptCode &C, const char *Stage);
+
+} // namespace ccjs
+
+#endif // CCJS_JIT_PASSES_IRPRINTER_H

@@ -1,0 +1,77 @@
+//===- jit/passes/Pass.h - OptIR pass interface -----------------*- C++ -*-===//
+///
+/// \file
+/// The OptIR pass framework (cinderx-HIR style): a Pass transforms one
+/// function's OptCode in place, the PassManager owns the pipeline and the
+/// per-pass enable mask (EngineConfig::OptPassMask), and `--ir-dump`
+/// prints the IR after every stage.
+///
+/// Contract: with every pass disabled, compileOptimized's output is
+/// byte-identical to the raw IrBuilder emission (buildOptIr), so the
+/// simulated event stream of the seed configuration is preserved exactly.
+/// An enabled pass may change the event stream (that is its purpose) but
+/// must preserve program semantics; the DiffOracle and PassPipelineTest
+/// cross-check both properties.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_JIT_PASSES_PASS_H
+#define CCJS_JIT_PASSES_PASS_H
+
+#include "jit/OptIr.h"
+
+#include <cstdint>
+
+namespace ccjs {
+
+struct VMState;
+
+/// Bits of EngineConfig::OptPassMask, one per registered pass.
+enum : uint32_t {
+  OptPassRedundantGuardElim = 1u << 0,
+  OptPassCheckMotion = 1u << 1,
+  OptPassAll = OptPassRedundantGuardElim | OptPassCheckMotion,
+};
+
+class Pass {
+public:
+  virtual ~Pass() = default;
+
+  /// Stable pass name (used by --ir-dump headers and --opt-passes specs).
+  virtual const char *name() const = 0;
+
+  /// The OptPassMask bit that enables this pass.
+  virtual uint32_t maskBit() const = 0;
+
+  /// Transforms \p C in place. Returns true when the IR changed (gates
+  /// the --ir-dump print for this stage).
+  virtual bool run(OptCode &C, VMState &VM) = 0;
+};
+
+/// True for ops after which a previously proven object-shape fact may no
+/// longer hold: ops that can run user code or transition an object's
+/// shape through an alias. Value-immutable facts (tagged SMI, number,
+/// HeapNumber/string shape) survive these. Shared by the redundant-guard
+/// pass, check motion and the BBV specializer so the three provers can
+/// never disagree about what invalidates a shape.
+inline bool irOpKillsShapeFacts(IrOpcode Op) {
+  switch (Op) {
+  case IrOpcode::CallDirectOp:
+  case IrOpcode::CallBuiltinMethodOp:
+  case IrOpcode::CallMethodDirectOp:
+  case IrOpcode::CallValueOp:
+  case IrOpcode::GenericCallMethodOp:
+  case IrOpcode::NewObjectOp:
+  case IrOpcode::TransitionStorePropOp:
+  case IrOpcode::AddPropTransitionOp:
+  case IrOpcode::GenericSetPropOp:
+  case IrOpcode::GenericSetElemOp:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace ccjs
+
+#endif // CCJS_JIT_PASSES_PASS_H

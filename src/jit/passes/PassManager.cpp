@@ -1,0 +1,91 @@
+//===- jit/passes/PassManager.cpp - OptIR pass pipeline -------------------===//
+
+#include "jit/passes/PassManager.h"
+
+#include "jit/Bbv.h"
+#include "jit/FusionPass.h"
+#include "jit/Jit.h"
+#include "jit/passes/IrPrinter.h"
+#include "vm/VMState.h"
+
+namespace ccjs {
+
+PassManager::PassManager() {
+  Passes.push_back(createRedundantGuardElimPass());
+  Passes.push_back(createCheckMotionPass());
+}
+
+void PassManager::run(OptCode &C, VMState &VM) const {
+  for (const std::unique_ptr<Pass> &P : Passes) {
+    if (!(VM.Config.OptPassMask & P->maskBit()))
+      continue;
+    if (P->run(C, VM))
+      dumpOptIrStage(VM, C, P->name());
+  }
+}
+
+bool optPassMaskFromSpec(const std::string &Spec, uint32_t &Mask) {
+  if (Spec == "none") {
+    Mask = 0;
+    return true;
+  }
+  if (Spec == "all") {
+    Mask = OptPassAll;
+    return true;
+  }
+  uint32_t M = 0;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Name = Spec.substr(Pos, Comma - Pos);
+    if (Name == "rge")
+      M |= OptPassRedundantGuardElim;
+    else if (Name == "checkmotion")
+      M |= OptPassCheckMotion;
+    else
+      return false;
+    Pos = Comma + 1;
+  }
+  Mask = M;
+  return true;
+}
+
+OptCode *compileOptimized(VMState &VM, uint32_t FuncIndex) {
+  OptCode *Code = buildOptIr(VM, FuncIndex);
+  dumpOptIrStage(VM, *Code, "entry");
+
+  // Optimizer passes (all off by default: with OptPassMask == 0 the IR —
+  // and therefore the simulated event stream — is byte-identical to the
+  // raw IrBuilder emission).
+  static const PassManager PM;
+  PM.run(*Code, VM);
+
+  // Backend: lazy basic-block versioning. Preparation only partitions the
+  // code and records per-block elidable checks; versions materialize at
+  // block entry during execution (jit/Bbv.cpp).
+  if (VM.Config.bbvOn()) {
+    bbvPrepare(*Code, VM);
+    if (Code->Bbv)
+      // Versioning bookkeeping is part of the compile, charged like the
+      // rest of the compile below (deterministic in the block count).
+      VM.Ctx.alu(InstrCategory::RestOfCode,
+                 20 + 8 * static_cast<unsigned>(Code->Bbv->Blocks.size()));
+    dumpOptIrStage(VM, *Code, "bbv-prep");
+  }
+
+  // Superinstruction fusion (host-side: changes neither Ops.size() nor
+  // any simulated event, see DESIGN.md §4.8).
+  if (VM.Config.Dispatch == DispatchMode::Fused) {
+    unsigned Fused = fuseSuperinstructions(*Code, VM);
+    if (VM.Metrics)
+      VM.Metrics->counter("host.fusion.sequences") += Fused;
+  }
+  // Crankshaft-style compilation cost, charged to the runtime bucket.
+  VM.Ctx.alu(InstrCategory::RestOfCode,
+             300 + 60 * static_cast<unsigned>(Code->Ops.size()));
+  return Code;
+}
+
+} // namespace ccjs

@@ -1,0 +1,52 @@
+//===- jit/passes/PassManager.h - OptIR pass pipeline -----------*- C++ -*-===//
+///
+/// \file
+/// The compile pipeline: IrBuilder entry stage, then the registered OptIR
+/// passes gated by EngineConfig::OptPassMask, then the backend stages
+/// (BBV block preparation, superinstruction fusion) and the compile-cost
+/// charge. compileOptimized (Jit.h) is a thin wrapper over PassManager.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_JIT_PASSES_PASSMANAGER_H
+#define CCJS_JIT_PASSES_PASSMANAGER_H
+
+#include "jit/passes/Pass.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccjs {
+
+struct VMState;
+
+class PassManager {
+public:
+  /// Registers the standard pipeline (redundant-guard elimination, then
+  /// check motion) in its fixed run order.
+  PassManager();
+
+  /// Runs every registered pass whose maskBit is set in
+  /// VM.Config.OptPassMask over \p C, printing the IR after each pass
+  /// that changed it when --ir-dump is on.
+  void run(OptCode &C, VMState &VM) const;
+
+  const std::vector<std::unique_ptr<Pass>> &passes() const { return Passes; }
+
+private:
+  std::vector<std::unique_ptr<Pass>> Passes;
+};
+
+/// Factories for the registered passes (defined alongside each pass).
+std::unique_ptr<Pass> createRedundantGuardElimPass();
+std::unique_ptr<Pass> createCheckMotionPass();
+
+/// Parses an --opt-passes spec into an OptPassMask: "none", "all", or a
+/// comma-separated list of pass names ("rge", "checkmotion"). Returns
+/// false (mask untouched) on an unknown name.
+bool optPassMaskFromSpec(const std::string &Spec, uint32_t &Mask);
+
+} // namespace ccjs
+
+#endif // CCJS_JIT_PASSES_PASSMANAGER_H

@@ -1,0 +1,254 @@
+//===- jit/passes/RedundantGuardElim.cpp - delete re-proven checks --------===//
+///
+/// \file
+/// Redundant-guard elimination: deletes a check whose predicate is already
+/// proven by an earlier *passed* check (or a statically known store) on
+/// the same local within the same extended basic block.
+///
+/// The pass reasons over the generation-validated origin annotations the
+/// IrBuilder leaves in Check*.Aux: Aux = L means the checked stack slot is
+/// a live copy of Loc[L], so a fact proven about Loc[L] transfers to it.
+/// Facts are per-local:
+///   - ShapeFact(S): a passed CheckMap(S) proved Loc[L]'s shape.
+///   - NumberFact:   a passed CheckSmi/CheckNumber proved Loc[L] numeric.
+///   - TaggedSmi:    Loc[L] was stored from a statically tagged-SMI
+///                   producer (LdaSmi, SMI arithmetic, a depth-0 passed
+///                   CheckSmi's normalized top-of-stack).
+///
+/// Deletion rules mirror the executor's predicates exactly:
+///   - CheckMap(S)  deletable iff ShapeFact == S.
+///   - CheckNumber  deletable iff NumberFact or TaggedSmi.
+///   - CheckSmi     deletable iff TaggedSmi. A passed CheckSmi only proves
+///     *integral number* — the value may still be an unboxed double whose
+///     in-place tagging (and Tags/Untags charge) a later CheckSmi must
+///     perform — so NumberFact alone never deletes a CheckSmi.
+///
+/// Facts are killed by StLocal of the same local; shape facts (except the
+/// immutable HeapNumber/string shapes) additionally die at any op that can
+/// run user code or transition a shape (irOpKillsShapeFacts). All facts
+/// reset at extended-block boundaries: any jump target, and the op after
+/// an unconditional transfer (Jump/JumpLoop/Return/Deopt). Conditional
+/// fall-through keeps facts — the checks were passed on every path that
+/// reaches the fall-through op.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Ast.h"
+#include "jit/passes/Pass.h"
+#include "jit/passes/PassManager.h"
+#include "vm/VMState.h"
+
+#include <algorithm>
+
+namespace ccjs {
+
+namespace {
+
+class RedundantGuardElim final : public Pass {
+public:
+  const char *name() const override { return "rge"; }
+  uint32_t maskBit() const override { return OptPassRedundantGuardElim; }
+  bool run(OptCode &C, VMState &VM) override;
+};
+
+struct LocalFacts {
+  std::vector<uint8_t> TaggedSmi;
+  std::vector<uint8_t> IsNumber;
+  std::vector<ShapeId> KnownShape;
+
+  explicit LocalFacts(size_t NumLocals)
+      : TaggedSmi(NumLocals, 0), IsNumber(NumLocals, 0),
+        KnownShape(NumLocals, InvalidShape) {}
+
+  void reset() {
+    std::fill(TaggedSmi.begin(), TaggedSmi.end(), 0);
+    std::fill(IsNumber.begin(), IsNumber.end(), 0);
+    std::fill(KnownShape.begin(), KnownShape.end(), InvalidShape);
+  }
+
+  void killLocal(uint32_t L) {
+    TaggedSmi[L] = 0;
+    IsNumber[L] = 0;
+    KnownShape[L] = InvalidShape;
+  }
+
+  void killMutableShapes(ShapeId HeapNum, ShapeId Str) {
+    for (ShapeId &S : KnownShape)
+      if (S != InvalidShape && S != HeapNum && S != Str)
+        S = InvalidShape;
+  }
+};
+
+bool isJump(IrOpcode Op) {
+  return Op == IrOpcode::JumpOp || Op == IrOpcode::JumpLoopOp ||
+         Op == IrOpcode::JumpIfFalseOp || Op == IrOpcode::JumpIfTrueOp;
+}
+
+bool endsRegion(IrOpcode Op) {
+  return Op == IrOpcode::JumpOp || Op == IrOpcode::JumpLoopOp ||
+         Op == IrOpcode::ReturnOp || Op == IrOpcode::DeoptOp;
+}
+
+bool RedundantGuardElim::run(OptCode &C, VMState &VM) {
+  const size_t N = C.Ops.size();
+  const uint32_t NumLocals =
+      C.FuncIndex < VM.Module.Functions.size()
+          ? VM.Module.Functions[C.FuncIndex].NumLocals
+          : 0;
+  if (N == 0 || NumLocals == 0)
+    return false;
+
+  std::vector<uint8_t> IsTarget(N + 1, 0);
+  for (const OptIrOp &O : C.Ops)
+    if (isJump(O.Op) && O.A >= 0 && static_cast<size_t>(O.A) <= N)
+      IsTarget[O.A] = 1;
+
+  const ShapeId HeapNum = VM.Shapes.heapNumberShape();
+  const ShapeId Str = VM.Shapes.stringShape();
+
+  LocalFacts Facts(NumLocals);
+  std::vector<uint8_t> Dead(N, 0);
+  uint32_t NumDead = 0;
+  // True while the current top-of-stack value is known to be a tagged SMI
+  // (set by a static producer, preserved across stack-neutral checks and
+  // Dup, consumed by StLocal to seed the TaggedSmi fact).
+  bool TosTaggedSmi = false;
+
+  for (size_t I = 0; I < N; ++I) {
+    if (IsTarget[I] || (I > 0 && endsRegion(C.Ops[I - 1].Op))) {
+      Facts.reset();
+      TosTaggedSmi = false;
+    }
+    OptIrOp &O = C.Ops[I];
+    const int32_t L = O.Aux;
+    const bool Annotated =
+        L >= 0 && static_cast<uint32_t>(L) < NumLocals &&
+        (O.Op == IrOpcode::CheckMapOp || O.Op == IrOpcode::CheckSmiOp ||
+         O.Op == IrOpcode::CheckNumberOp);
+
+    switch (O.Op) {
+    case IrOpcode::CheckMapOp:
+      if (Annotated) {
+        if (Facts.KnownShape[L] == O.Shape) {
+          Dead[I] = 1;
+          ++NumDead;
+        } else {
+          Facts.KnownShape[L] = O.Shape;
+        }
+      }
+      break;
+    case IrOpcode::CheckNumberOp:
+      if (Annotated) {
+        if (Facts.IsNumber[L] || Facts.TaggedSmi[L]) {
+          Dead[I] = 1;
+          ++NumDead;
+        } else {
+          Facts.IsNumber[L] = 1;
+        }
+      }
+      break;
+    case IrOpcode::CheckSmiOp:
+      if (Annotated) {
+        if (Facts.TaggedSmi[L]) {
+          Dead[I] = 1;
+          ++NumDead;
+        } else {
+          Facts.IsNumber[L] = 1;
+        }
+      }
+      // A surviving depth-0 CheckSmi normalizes the top of stack to a
+      // tagged SMI; a deleted one required TaggedSmi, which already
+      // implies it.
+      if (O.Depth == 0 && !(O.Flags & IrFlagOperandLocal))
+        TosTaggedSmi = true;
+      break;
+    case IrOpcode::StLocalOp:
+      if (O.A >= 0 && static_cast<uint32_t>(O.A) < NumLocals) {
+        Facts.killLocal(O.A);
+        if (TosTaggedSmi) {
+          Facts.TaggedSmi[O.A] = 1;
+          Facts.IsNumber[O.A] = 1;
+        }
+      }
+      TosTaggedSmi = false; // StLocal pops the known value.
+      break;
+    default:
+      if (irOpKillsShapeFacts(O.Op))
+        Facts.killMutableShapes(HeapNum, Str);
+      break;
+    }
+
+    // Track the statically tagged-SMI top of stack for the next op.
+    switch (O.Op) {
+    case IrOpcode::LdaSmiOp:
+    case IrOpcode::SmiNegOp:
+    case IrOpcode::BitNotOp:
+      TosTaggedSmi = true;
+      break;
+    case IrOpcode::SmiBinOpOp:
+      // Shr can exceed SMI range and pushes a plain number.
+      TosTaggedSmi = O.A != static_cast<int32_t>(BinaryOp::Shr);
+      break;
+    case IrOpcode::CheckMapOp:
+    case IrOpcode::CheckNumberOp:
+    case IrOpcode::CheckSmiOp: // handled above; both are stack-neutral
+    case IrOpcode::DupOp:      // duplicates the known value
+    case IrOpcode::StLocalOp:  // handled above
+      break;
+    default:
+      TosTaggedSmi = false;
+      break;
+    }
+  }
+
+  if (NumDead == 0)
+    return false;
+
+  // Compact the op vector; NewIndex[I] = new index of the first surviving
+  // op at or after old index I (jump targets are never deleted ops' only
+  // landing sites — a deleted check at a leader is impossible since facts
+  // reset there — but mapping to the next survivor is safe regardless).
+  std::vector<uint32_t> NewIndex(N + 1, 0);
+  uint32_t Out = 0;
+  for (size_t I = 0; I < N; ++I) {
+    NewIndex[I] = Out;
+    if (!Dead[I])
+      ++Out;
+  }
+  NewIndex[N] = Out;
+
+  std::vector<OptIrOp> NewOps;
+  NewOps.reserve(Out);
+  for (size_t I = 0; I < N; ++I)
+    if (!Dead[I])
+      NewOps.push_back(C.Ops[I]);
+  for (OptIrOp &O : NewOps)
+    if (isJump(O.Op) && O.A >= 0 && static_cast<size_t>(O.A) <= N)
+      O.A = static_cast<int32_t>(NewIndex[O.A]);
+  C.Ops = std::move(NewOps);
+
+  if (!C.LoopPreloads.empty()) {
+    std::unordered_map<uint32_t, std::vector<uint32_t>> NewPreloads;
+    for (auto &KV : C.LoopPreloads)
+      NewPreloads[NewIndex[std::min<size_t>(KV.first, N)]] =
+          std::move(KV.second);
+    C.LoopPreloads = std::move(NewPreloads);
+  }
+  C.PreloadAt.assign(C.Ops.size(), 0);
+  for (const auto &KV : C.LoopPreloads)
+    if (KV.first < C.PreloadAt.size())
+      C.PreloadAt[KV.first] = 1;
+
+  C.ChecksElidedPass += NumDead;
+  if (VM.Metrics)
+    VM.Metrics->counter("passes.rge.deleted") += NumDead;
+  return true;
+}
+
+} // namespace
+
+std::unique_ptr<Pass> createRedundantGuardElimPass() {
+  return std::make_unique<RedundantGuardElim>();
+}
+
+} // namespace ccjs

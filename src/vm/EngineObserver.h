@@ -116,6 +116,22 @@ struct BudgetEvent {
   uint64_t Limit;
 };
 
+/// One lazy-BBV block specialization: an OptIR block was entered with a
+/// type context it had no version for, and a new version (or the generic
+/// fallback, once the cap is hit) was materialized.
+struct BbvSpecializeEvent {
+  uint32_t FuncIndex;
+  /// OptIR index of the block leader.
+  uint32_t BlockStart;
+  /// Version ordinal within the block (0-based), or the cap when the
+  /// generic fallback was taken.
+  uint32_t VersionIndex;
+  /// Checks this version's entry context proved away.
+  uint32_t ChecksElided;
+  /// True when the version cap forced the generic (no-elision) version.
+  bool Generic;
+};
+
 class EngineObserver {
 public:
   virtual ~EngineObserver() = default;
@@ -137,6 +153,10 @@ public:
     (void)Trip;
   }
   virtual void onBudgetExceeded(VMState &VM, const BudgetEvent &E) {
+    (void)VM;
+    (void)E;
+  }
+  virtual void onBbvSpecialize(VMState &VM, const BbvSpecializeEvent &E) {
     (void)VM;
     (void)E;
   }

@@ -91,6 +91,62 @@ inline bool dispatchModeFromName(const std::string &Name, DispatchMode &Out) {
   return false;
 }
 
+/// Which check-removal mechanism the optimizing tier runs. The paper's
+/// mechanism (ClassCache) and lazy basic-block versioning (Bbv, after
+/// Chevalier-Boisvert & Feeley, ECOOP 2015) are independent: one elides
+/// checks at compile time from monomorphic profiles, the other at run
+/// time from proven block-entry type contexts, so Both composes them.
+/// Selection replaces the old boolean knob sprawl (withClassCache /
+/// withSoftwareOnlyClassCache remain as deprecated shims, DESIGN.md
+/// §4.10).
+enum class CheckRemovalBackend : uint8_t {
+  /// State-of-the-art baseline: every check executes.
+  None,
+  /// The paper's profile-guided mechanism (the previous default-on path).
+  ClassCache,
+  /// Lazy basic-block versioning: specialize block versions on the
+  /// observed entry type context.
+  Bbv,
+  /// Both mechanisms composed.
+  Both,
+};
+
+inline const char *checkRemovalBackendName(CheckRemovalBackend B) {
+  switch (B) {
+  case CheckRemovalBackend::None:
+    return "none";
+  case CheckRemovalBackend::ClassCache:
+    return "classcache";
+  case CheckRemovalBackend::Bbv:
+    return "bbv";
+  case CheckRemovalBackend::Both:
+    return "both";
+  }
+  return "none";
+}
+
+/// Parses a --check-removal= flag value; returns false on an unknown name.
+inline bool checkRemovalBackendFromName(const std::string &Name,
+                                        CheckRemovalBackend &Out) {
+  if (Name == "none") {
+    Out = CheckRemovalBackend::None;
+    return true;
+  }
+  if (Name == "classcache") {
+    Out = CheckRemovalBackend::ClassCache;
+    return true;
+  }
+  if (Name == "bbv") {
+    Out = CheckRemovalBackend::Bbv;
+    return true;
+  }
+  if (Name == "both") {
+    Out = CheckRemovalBackend::Both;
+    return true;
+  }
+  return false;
+}
+
 /// Per-request resource budgets for service mode (EnginePool / ccjsd).
 /// A zero limit means unlimited; with every limit zero the engine never
 /// arms the budget machinery and the hot paths pay exactly one host-side
@@ -133,6 +189,41 @@ struct EngineConfig {
   /// Model a software-only implementation (section 5.4): every profiling
   /// store pays a software lookup instead of the parallel HW access.
   bool SoftwareOnlyClassCache = false;
+
+  /// Requested check-removal backend (see CheckRemovalBackend). The
+  /// ClassCache component is still carried by ClassCacheEnabled above so
+  /// legacy direct writes and the existing config fingerprints stay
+  /// coherent; this field carries the BBV request and is excluded from
+  /// fingerprints — a BBV run's simulated stream is compared against the
+  /// matching ClassCacheEnabled setting, not a distinct configuration.
+  CheckRemovalBackend CheckRemoval = CheckRemovalBackend::None;
+  /// Lazy-BBV: specialized versions one block may grow before new entry
+  /// contexts fall back to the generic (no-elision) version.
+  unsigned BbvMaxVersions = 4;
+
+  /// Optimizer pass-pipeline enable mask (bit i enables pass i in
+  /// PassManager registration order; see src/jit/passes/). 0 = pipeline
+  /// structurally off: the emitted OptIR is byte-identical to the bare
+  /// IrBuilder output, which PassPipelineTest pins.
+  uint32_t OptPassMask = 0;
+  /// Dump pass-by-pass OptIR to stderr at compile time (ccjs --ir-dump).
+  /// Host-side observation only; stdout byte-compare gates are unaffected.
+  bool IrDump = false;
+
+  /// True when lazy basic-block versioning runs (Bbv or Both).
+  bool bbvOn() const {
+    return CheckRemoval == CheckRemovalBackend::Bbv ||
+           CheckRemoval == CheckRemovalBackend::Both;
+  }
+  /// The backend actually in effect, reconciling the legacy
+  /// ClassCacheEnabled bool with the CheckRemoval request (a direct bool
+  /// write composes with a BBV request the same way withClassCache does).
+  CheckRemovalBackend effectiveCheckRemoval() const {
+    if (ClassCacheEnabled)
+      return bbvOn() ? CheckRemovalBackend::Both
+                     : CheckRemovalBackend::ClassCache;
+    return bbvOn() ? CheckRemovalBackend::Bbv : CheckRemovalBackend::None;
+  }
 
   /// Tiering thresholds.
   uint32_t HotInvocationThreshold = 6;
@@ -388,6 +479,10 @@ struct VMState {
   void notifyBudgetExceeded(const BudgetEvent &E) {
     for (EngineObserver *O : Observers)
       O->onBudgetExceeded(*this, E);
+  }
+  void notifyBbvSpecialize(const BbvSpecializeEvent &E) {
+    for (EngineObserver *O : Observers)
+      O->onBbvSpecialize(*this, E);
   }
 
   void halt(std::string Msg) {

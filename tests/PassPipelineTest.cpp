@@ -1,0 +1,277 @@
+//===- tests/PassPipelineTest.cpp - OptIR pass pipeline & BBV backend -----===//
+///
+/// The pass-framework contracts of DESIGN.md §4.10:
+///
+///  * with every pass disabled (OptPassMask == 0, the default) the compile
+///    pipeline's output is byte-identical to the seed IrBuilder emission,
+///    across the differential corpus and a chaos-seed sweep;
+///  * each pass can be enabled independently, never changes program
+///    output, and only ever removes (or hoists) checks;
+///  * the redesigned check-removal API: --check-removal=classcache is
+///    byte-identical to the historical ClassCacheEnabled default, and the
+///    BBV backend agrees with every other backend on program semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "DiffPrograms.h"
+#include "TestUtil.h"
+
+#include "core/BenchHarness.h"
+#include "jit/Jit.h"
+#include "jit/passes/IrPrinter.h"
+#include "jit/passes/Pass.h"
+#include "jit/passes/PassManager.h"
+#include "support/Dispatch.h"
+
+using namespace ccjs;
+using ccjs::test::DiffProgram;
+using ccjs::test::hotConfig;
+using ccjs::test::Programs;
+
+namespace {
+
+constexpr size_t NumPrograms = sizeof(Programs) / sizeof(Programs[0]);
+
+/// Renders the seed IrBuilder emission and the full pipeline's output for
+/// every function the engine optimized, back to back on the engine's
+/// settled state, and expects byte identity. Returns how many functions
+/// were compared. The freshly built OptCodes are retired into the VM so
+/// the engine destructor reclaims them.
+unsigned expectPipelineMatchesSeed(Engine &E, const char *Tag) {
+  VMState &VM = E.vm();
+  unsigned Compared = 0;
+  for (uint32_t F = 0; F < VM.Funcs.size(); ++F) {
+    if (!VM.Funcs[F].Opt)
+      continue;
+    OptCode *Seed = buildOptIr(VM, F);
+    OptCode *Piped = compileOptimized(VM, F);
+    if (Seed)
+      VM.RetiredOpt.push_back(Seed);
+    if (Piped)
+      VM.RetiredOpt.push_back(Piped);
+    if (!Seed || !Piped) {
+      ADD_FAILURE() << Tag << " func " << F << ": compile returned null";
+      continue;
+    }
+    EXPECT_EQ(renderOptIr(*Seed), renderOptIr(*Piped))
+        << Tag << " func " << F
+        << ": all-passes-off pipeline diverged from the seed emission";
+    ++Compared;
+  }
+  return Compared;
+}
+
+EngineConfig maskedConfig(uint32_t Mask) {
+  EngineConfig Cfg = hotConfig(true);
+  Cfg.OptPassMask = Mask;
+  return Cfg;
+}
+
+std::string runToOutput(const EngineConfig &Cfg, const char *Source,
+                        const char *Tag) {
+  Engine E(Cfg);
+  EXPECT_TRUE(E.load(Source) && E.runTopLevel()) << Tag << ": "
+                                                 << E.lastError();
+  return E.output();
+}
+
+} // namespace
+
+// With OptPassMask == 0 (the default) the pipeline is the seed IrBuilder:
+// same ops, same operands, same flags, same preload plan, byte for byte.
+TEST(PassPipelineTest, AllPassesOffIsByteIdenticalToSeedEmission) {
+  unsigned TotalCompared = 0;
+  for (size_t P = 0; P < NumPrograms; ++P) {
+    Engine E(hotConfig(true));
+    ASSERT_TRUE(E.load(Programs[P].Source) && E.runTopLevel())
+        << Programs[P].Name << ": " << E.lastError();
+    TotalCompared += expectPipelineMatchesSeed(E, Programs[P].Name);
+  }
+  // The corpus must actually exercise the pipeline.
+  EXPECT_GT(TotalCompared, 10u);
+}
+
+// The same byte-identity must hold while the chaos engine is poisoning
+// feedback and tripping faults: the pipeline stages add no hidden
+// dependence on injector state.
+TEST(PassPipelineTest, AllPassesOffByteIdentityUnderChaosSweep) {
+  for (uint64_t Seed = 1; Seed <= 16; ++Seed) {
+    for (size_t P = 0; P < NumPrograms; ++P) {
+      EngineConfig Cfg = hotConfig(true);
+      Cfg.Faults.Enabled = true;
+      Cfg.Faults.Seed = Seed;
+      Engine E(Cfg);
+      std::string Tag = std::string(Programs[P].Name) + " chaos-seed " +
+                        std::to_string(Seed);
+      ASSERT_TRUE(E.load(Programs[P].Source)) << Tag << ": "
+                                              << E.lastError();
+      // Chaos runs may legitimately halt; the settled engine state is
+      // still a valid compilation input either way.
+      E.runTopLevel();
+      expectPipelineMatchesSeed(E, Tag.c_str());
+    }
+  }
+}
+
+// Per-pass ablation: any mask combination preserves program output, and
+// the full mask never *adds* simulated check work.
+TEST(PassPipelineTest, PassMasksPreserveOutputAndOnlyRemoveChecks) {
+  const uint32_t Masks[] = {0, OptPassRedundantGuardElim, OptPassCheckMotion,
+                            OptPassAll};
+  for (size_t P = 0; P < NumPrograms; ++P) {
+    uint64_t BaseChecks = 0;
+    std::string BaseOutput;
+    for (size_t M = 0; M < 4; ++M) {
+      EngineConfig Cfg = maskedConfig(Masks[M]);
+      Engine E(Cfg);
+      std::string Tag = std::string(Programs[P].Name) + " mask " +
+                        std::to_string(Masks[M]);
+      ASSERT_TRUE(E.load(Programs[P].Source) && E.runTopLevel())
+          << Tag << ": " << E.lastError();
+      uint64_t Checks =
+          E.stats().Instrs.PerCategory[unsigned(InstrCategory::Checks)];
+      if (M == 0) {
+        BaseOutput = E.output();
+        BaseChecks = Checks;
+        continue;
+      }
+      EXPECT_EQ(E.output(), BaseOutput) << Tag;
+      EXPECT_LE(Checks, BaseChecks) << Tag;
+    }
+  }
+}
+
+// The passes must actually fire somewhere in the corpus, and record their
+// work in the OptCode counters and metrics.
+TEST(PassPipelineTest, PassesFireOnTheCorpus) {
+  uint64_t Deleted = 0, Hoisted = 0;
+  for (size_t P = 0; P < NumPrograms; ++P) {
+    EngineConfig Cfg = maskedConfig(OptPassAll);
+    Cfg.MetricsEnabled = true;
+    Engine E(Cfg);
+    ASSERT_TRUE(E.load(Programs[P].Source) && E.runTopLevel())
+        << Programs[P].Name << ": " << E.lastError();
+    Deleted += E.vm().Metrics->counter("passes.rge.deleted") +
+               E.vm().Metrics->counter("passes.checkmotion.deleted");
+    Hoisted += E.vm().Metrics->counter("passes.checkmotion.hoisted");
+  }
+  EXPECT_GT(Deleted, 0u);
+  EXPECT_GT(Hoisted, 0u);
+}
+
+TEST(PassPipelineTest, OptPassMaskSpecParsing) {
+  uint32_t Mask = 0xdead;
+  EXPECT_TRUE(optPassMaskFromSpec("none", Mask));
+  EXPECT_EQ(Mask, 0u);
+  EXPECT_TRUE(optPassMaskFromSpec("all", Mask));
+  EXPECT_EQ(Mask, OptPassAll);
+  EXPECT_TRUE(optPassMaskFromSpec("rge", Mask));
+  EXPECT_EQ(Mask, OptPassRedundantGuardElim);
+  EXPECT_TRUE(optPassMaskFromSpec("checkmotion,rge", Mask));
+  EXPECT_EQ(Mask, OptPassAll);
+  EXPECT_FALSE(optPassMaskFromSpec("licm", Mask));
+  EXPECT_FALSE(optPassMaskFromSpec("", Mask));
+}
+
+// The IR printer is deterministic and numbers every op: the same OptCode
+// renders to the same bytes, one "%N:" line per op, so --ir-dump diffs
+// are stable across runs.
+TEST(PassPipelineTest, IrPrinterIsDeterministicWithStableSlotNumbers) {
+  Engine E(hotConfig(true));
+  ASSERT_TRUE(E.load(Programs[0].Source) && E.runTopLevel())
+      << E.lastError();
+  VMState &VM = E.vm();
+  for (uint32_t F = 0; F < VM.Funcs.size(); ++F) {
+    if (!VM.Funcs[F].Opt)
+      continue;
+    const OptCode &C = *VM.Funcs[F].Opt;
+    std::string A = renderOptIr(C);
+    EXPECT_EQ(A, renderOptIr(C));
+    for (size_t I = 0; I < C.Ops.size(); ++I) {
+      char Slot[16];
+      std::snprintf(Slot, sizeof(Slot), "%4zu: ", I);
+      EXPECT_NE(A.find(Slot), std::string::npos)
+          << "op " << I << " missing from the dump";
+    }
+  }
+}
+
+// --check-removal=classcache is the historical default, bit for bit: same
+// config fingerprint, same output, same serialized RunStats, under every
+// dispatch mode.
+TEST(PassPipelineTest, CheckRemovalClasscacheMatchesLegacyDefault) {
+  DispatchMode Modes[] = {DispatchMode::Switch, DispatchMode::Fused,
+                          DispatchMode::Threaded};
+  for (DispatchMode Mode : Modes) {
+#if !CCJS_THREADED_DISPATCH
+    if (Mode == DispatchMode::Threaded)
+      continue;
+#endif
+    for (size_t P = 0; P < NumPrograms; ++P) {
+      EngineConfig Legacy = hotConfig(true);
+      Legacy.Dispatch = Mode;
+      EngineConfig Redesigned = hotConfig(false);
+      Redesigned.CheckRemoval = CheckRemovalBackend::ClassCache;
+      Redesigned.ClassCacheEnabled = true;
+      Redesigned.Dispatch = Mode;
+      EXPECT_EQ(configFingerprint(Legacy), configFingerprint(Redesigned));
+      Engine A(Legacy), B(Redesigned);
+      ASSERT_TRUE(A.load(Programs[P].Source) && A.runTopLevel())
+          << Programs[P].Name << ": " << A.lastError();
+      ASSERT_TRUE(B.load(Programs[P].Source) && B.runTopLevel())
+          << Programs[P].Name << ": " << B.lastError();
+      EXPECT_EQ(A.output(), B.output()) << Programs[P].Name;
+      EXPECT_EQ(statsToJson(A.stats()).dump(2), statsToJson(B.stats()).dump(2))
+          << Programs[P].Name;
+    }
+  }
+}
+
+// Every check-removal backend computes the same programs: interp (none) vs
+// classcache vs bbv vs both.
+TEST(PassPipelineTest, CheckRemovalBackendsAgreeOnSemantics) {
+  const CheckRemovalBackend Backends[] = {
+      CheckRemovalBackend::None, CheckRemovalBackend::ClassCache,
+      CheckRemovalBackend::Bbv, CheckRemovalBackend::Both};
+  for (size_t P = 0; P < NumPrograms; ++P) {
+    std::string Ref;
+    for (size_t B = 0; B < 4; ++B) {
+      EngineConfig Cfg = hotConfig(false);
+      Cfg.CheckRemoval = Backends[B];
+      Cfg.ClassCacheEnabled = Backends[B] == CheckRemovalBackend::ClassCache ||
+                              Backends[B] == CheckRemovalBackend::Both;
+      std::string Tag = std::string(Programs[P].Name) + " backend " +
+                        checkRemovalBackendName(Backends[B]);
+      std::string Out = runToOutput(Cfg, Programs[P].Source, Tag.c_str());
+      if (B == 0)
+        Ref = Out;
+      else
+        EXPECT_EQ(Out, Ref) << Tag;
+    }
+  }
+}
+
+// The BBV backend actually specializes: versions get minted and checks get
+// elided somewhere in the corpus, and the version cap holds per block.
+TEST(PassPipelineTest, BbvMintsVersionsAndElidesChecks) {
+  uint64_t Versions = 0, Elided = 0;
+  for (size_t P = 0; P < NumPrograms; ++P) {
+    EngineConfig Cfg = hotConfig(false);
+    Cfg.CheckRemoval = CheckRemovalBackend::Bbv;
+    Cfg.MetricsEnabled = true;
+    Engine E(Cfg);
+    ASSERT_TRUE(E.load(Programs[P].Source) && E.runTopLevel())
+        << Programs[P].Name << ": " << E.lastError();
+    Versions += E.vm().Metrics->counter("bbv.versions");
+    Elided += E.vm().Metrics->counter("bbv.checks_elided");
+    for (const FunctionInfo &FI : E.vm().Funcs) {
+      if (!FI.Opt || !FI.Opt->Bbv)
+        continue;
+      for (const auto &Blk : FI.Opt->Bbv->Blocks)
+        EXPECT_LE(Blk.Versions.size(), size_t(Cfg.BbvMaxVersions) + 1)
+            << Programs[P].Name;
+    }
+  }
+  EXPECT_GT(Versions, 0u);
+  EXPECT_GT(Elided, 0u);
+}

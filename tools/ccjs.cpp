@@ -3,8 +3,17 @@
 /// Runs a MiniJS file under the simulated engine:
 ///
 ///   ccjs [options] file.js
-///     --class-cache        enable the paper's mechanism
+///     --check-removal=B    select the check-removal backend: none,
+///                          classcache (the paper's mechanism), bbv (lazy
+///                          basic-block versioning) or both
+///     --class-cache        deprecated alias for --check-removal=classcache
 ///     --software-only      model the software-only Class Cache (§5.4)
+///     --opt-passes=S       enable optimizer pipeline passes: 'all', 'none'
+///                          or a comma list of pass names (rge,checkmotion)
+///     --bbv-max-versions=N lazy-BBV per-block version cap (default 4)
+///     --ir-dump            print pass-by-pass OptIR to stderr at compile
+///                          time (requires a compiling tier, i.e. not
+///                          --no-opt)
 ///     --no-opt             baseline tier only (never optimize)
 ///     --iterations=N       call run() N times after the top level
 ///     --stats              print the measurement report
@@ -50,6 +59,7 @@
 #include "core/Runner.h"
 #include "frontend/Parser.h"
 #include "jit/FusionPass.h"
+#include "jit/passes/PassManager.h"
 #include "support/FaultInjector.h"
 #include "support/Table.h"
 #include "vm/InvariantAuditor.h"
@@ -138,6 +148,8 @@ int main(int Argc, char **Argv) {
   Engine::Options Opts;
   bool Stats = false, Compare = false, Disassemble = false, Metrics = false;
   bool OpHist = false, FusedMaskSet = false, Serve = false;
+  bool CheckRemovalSet = false, ClassCacheFlag = false;
+  bool SoftwareOnlyFlag = false, IrDump = false, NoOpt = false;
   DispatchMode Dispatch = DispatchMode::Switch;
   bool ChaosEnabled = false;
   int Iterations = 0;
@@ -150,10 +162,46 @@ int main(int Argc, char **Argv) {
     const char *A = Argv[I];
     if (!std::strcmp(A, "--class-cache")) {
       Opts.withClassCache();
+      ClassCacheFlag = true;
     } else if (!std::strcmp(A, "--software-only")) {
       Opts.withSoftwareOnlyClassCache();
+      SoftwareOnlyFlag = true;
+    } else if (!std::strncmp(A, "--check-removal=", 16)) {
+      CheckRemovalBackend B;
+      if (!checkRemovalBackendFromName(A + 16, B)) {
+        std::fprintf(stderr,
+                     "ccjs: --check-removal must be 'none', 'classcache', "
+                     "'bbv' or 'both', got '%s'\n",
+                     A + 16);
+        return 2;
+      }
+      Opts.withCheckRemoval(B);
+      CheckRemovalSet = true;
+    } else if (!std::strncmp(A, "--opt-passes=", 13)) {
+      uint32_t Mask;
+      if (!optPassMaskFromSpec(A + 13, Mask)) {
+        std::fprintf(stderr,
+                     "ccjs: --opt-passes must be 'all', 'none' or a comma "
+                     "list of rge,checkmotion, got '%s'\n",
+                     A + 13);
+        return 2;
+      }
+      Opts.withOptPasses(Mask);
+    } else if (!std::strncmp(A, "--bbv-max-versions=", 19)) {
+      char *End = nullptr;
+      unsigned long N = std::strtoul(A + 19, &End, 10);
+      if (End == A + 19 || *End) {
+        std::fprintf(stderr, "ccjs: invalid --bbv-max-versions value '%s'\n",
+                     A + 19);
+        return 2;
+      }
+      Opts.withBbvMaxVersions(static_cast<unsigned>(N));
+    } else if (!std::strcmp(A, "--ir-dump")) {
+      Opts.withIrDump();
+      IrDump = true;
     } else if (!std::strcmp(A, "--no-opt")) {
       Opts.withNoOpt();
+      NoOpt = true;
     } else if (!std::strncmp(A, "--iterations=", 13)) {
       Iterations = std::atoi(A + 13);
     } else if (!std::strcmp(A, "--stats")) {
@@ -237,7 +285,10 @@ int main(int Argc, char **Argv) {
   }
   if (!Path) {
     std::fprintf(stderr,
-                 "usage: ccjs [--class-cache] [--software-only] [--no-opt] "
+                 "usage: ccjs [--check-removal=none|classcache|bbv|both] "
+                 "[--class-cache]\n            [--software-only] "
+                 "[--opt-passes=all|none|rge,checkmotion]\n            "
+                 "[--bbv-max-versions=N] [--ir-dump] [--no-opt] "
                  "[--iterations=N]\n            [--stats] [--compare] "
                  "[--json=<path>] [--disassemble]\n            "
                  "[--chaos-seed=N] [--chaos-only=a,b] [--audit] "
@@ -246,6 +297,20 @@ int main(int Argc, char **Argv) {
                  "[--dispatch=switch|threaded|fused] [--fused-mask=M] "
                  "[--op-hist]\n            [--serve] [--budget-instr=N] "
                  "[--budget-heap=N] [--budget-depth=N] file.js\n");
+    return 2;
+  }
+  if (CheckRemovalSet && (ClassCacheFlag || SoftwareOnlyFlag)) {
+    std::fprintf(stderr,
+                 "ccjs: --check-removal cannot be combined with the "
+                 "deprecated --class-cache/--software-only flags\n");
+    return 2;
+  }
+  if (IrDump && NoOpt) {
+    // --ir-dump prints the optimizer pipeline's pass-by-pass OptIR; with
+    // --no-opt no function ever compiles, so there is nothing to dump.
+    std::fprintf(stderr,
+                 "ccjs: --ir-dump requires a compiling tier; it cannot be "
+                 "combined with --no-opt\n");
     return 2;
   }
   if (Serve && (Compare || Disassemble)) {

@@ -14,7 +14,8 @@
 /// them from the seed. --chaos-seeds=K sets the fault-injection sweep
 /// width (default 3, 0 disables); --no-dispatch skips the switch vs
 /// computed-goto byte comparison; --no-fused skips the switch vs
-/// superinstruction-fused byte comparison.
+/// superinstruction-fused byte comparison; --no-bbv skips the
+/// lazy-basic-block-versioning legs (bbv, cc+bbv, bbv dispatch images).
 ///
 /// Exit code: 0 all seeds clean, 1 at least one divergence or generator
 /// failure, 2 usage error.
@@ -48,7 +49,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: ccjs-gen (--seed=N | --seeds=LO..HI) [--dump] [--minimize]\n"
-      "                [--chaos-seeds=K] [--no-dispatch] [--no-fused]\n"
+      "                [--chaos-seeds=K] [--no-dispatch] [--no-fused] "
+      "[--no-bbv]\n"
       "                [--poly=N] [--depth=N] [--churn=PCT] [--fanout=N]\n"
       "                [--fns=N] [--iters=N] [--repeats=N] [--edge=PCT]\n");
   return 2;
@@ -97,6 +99,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.Oracle.CheckDispatch = false;
     } else if (Arg == "--no-fused") {
       Cli.Oracle.CheckFused = false;
+    } else if (Arg == "--no-bbv") {
+      Cli.Oracle.CheckBbv = false;
     } else if (auto V = matchArg(Arg, "--chaos-seeds")) {
       uint64_t K;
       if (!parseU64(*V, K))

@@ -12,6 +12,11 @@
 ///     --chaos-seed=N     per-engine deterministic fault injection
 ///     --audit            run invariant audits on the pooled engines
 ///     --class-cache      enable the paper's mechanism on the engines
+///     --check-removal=B  check-removal backend on the engines: none,
+///                        classcache, bbv or both (replaces --class-cache)
+///     --trace            arm per-engine TraceRecorder rings; the JSON
+///                        summary gains a per-tenant "traces" section with
+///                        the wrap-proof per-kind totals
 ///     --dispatch=M       switch | threaded | fused
 ///     --budget-instr=N   default per-request instruction budget
 ///     --budget-heap=N    default per-request heap-bytes budget
@@ -167,7 +172,9 @@ int main(int Argc, char **Argv) {
   unsigned QueueCap = 0, DegradeAt = 0, TenantCap = 0;
   uint64_t ChaosSeed = 0;
   bool Chaos = false, Audit = false, ClassCache = false, WithErrors = false;
-  bool Verify = false, Metrics = false, Quiet = false;
+  bool Verify = false, Metrics = false, Quiet = false, Trace = false;
+  CheckRemovalBackend CheckRemoval = CheckRemovalBackend::ClassCache;
+  bool CheckRemovalSet = false;
   BudgetConfig Budget;
   DispatchMode Dispatch = DispatchMode::Switch;
   std::string OutputsPath, JsonPath;
@@ -192,6 +199,17 @@ int main(int Argc, char **Argv) {
       Audit = true;
     } else if (!std::strcmp(A, "--class-cache")) {
       ClassCache = true;
+    } else if (!std::strncmp(A, "--check-removal=", 16)) {
+      if (!checkRemovalBackendFromName(A + 16, CheckRemoval)) {
+        std::fprintf(stderr,
+                     "ccjsd: --check-removal must be 'none', 'classcache', "
+                     "'bbv' or 'both', got '%s'\n",
+                     A + 16);
+        return 2;
+      }
+      CheckRemovalSet = true;
+    } else if (!std::strcmp(A, "--trace")) {
+      Trace = true;
     } else if (!std::strncmp(A, "--dispatch=", 11)) {
       if (!dispatchModeFromName(A + 11, Dispatch)) {
         std::fprintf(stderr, "ccjsd: unknown dispatch mode '%s'\n", A + 11);
@@ -232,6 +250,12 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "ccjsd: --tenants and --requests must be >= 1\n");
     return 2;
   }
+  if (CheckRemovalSet && ClassCache) {
+    std::fprintf(stderr,
+                 "ccjsd: --check-removal cannot be combined with the "
+                 "deprecated --class-cache flag\n");
+    return 2;
+  }
   if (Engines == 0)
     Engines = Tenants;
   if (QueueCap == 0)
@@ -244,6 +268,10 @@ int main(int Argc, char **Argv) {
   Engine::Options Base;
   if (ClassCache)
     Base.withClassCache();
+  if (CheckRemovalSet)
+    Base.withCheckRemoval(CheckRemoval);
+  if (Trace)
+    Base.withTrace();
   Base.withDispatch(Dispatch);
   if (Audit)
     Base.withAudit();
@@ -402,6 +430,27 @@ int main(int Argc, char **Argv) {
       QL.push(std::move(E));
     }
     J.set("quarantine_log", std::move(QL));
+    if (Trace) {
+      // Per-tenant trace aggregation (slot order, wrap-proof totals).
+      // Keyed off the flag, not off non-empty summaries, so the section's
+      // presence is configuration-determined and the report is diffable.
+      json::Value TR = json::Value::array();
+      for (const TenantTraceSummary &S : Pool.traceSummaries()) {
+        json::Value E = json::Value::object();
+        E.set("tenant", S.Tenant);
+        E.set("slot", S.Slot);
+        E.set("generation", S.Generation);
+        E.set("accepted", (unsigned long long)S.Accepted);
+        E.set("dropped", (unsigned long long)S.Dropped);
+        json::Value K = json::Value::object();
+        for (unsigned KI = 0; KI < NumTraceEventKinds; ++KI)
+          K.set(TraceRecorder::kindName(static_cast<TraceEventKind>(KI)),
+                (unsigned long long)S.Totals[KI]);
+        E.set("totals", std::move(K));
+        TR.push(std::move(E));
+      }
+      J.set("traces", std::move(TR));
+    }
     if (!writeText(JsonPath, J.dump(2) + "\n", "json"))
       return 1;
   }
