@@ -138,6 +138,11 @@ public:
         H.EngineSeconds += R->HostSeconds;
         H.Dispatches += R->HostDispatches;
         H.FusedSavedDispatches += R->HostFusedSaved;
+        if (R->TieredUp) {
+          ++H.RunsTieredUp;
+          H.WarmupInstructions += R->FirstTierUpInstr;
+          H.WarmupCycles += R->FirstTierUpCycles;
+        }
         if (R->Ok)
           H.SimInstructions += R->Steady.Instrs.total();
       }
@@ -154,6 +159,11 @@ public:
       H.EngineSeconds += R.HostSeconds;
       H.Dispatches += R.HostDispatches;
       H.FusedSavedDispatches += R.HostFusedSaved;
+      if (R.TieredUp) {
+        ++H.RunsTieredUp;
+        H.WarmupInstructions += R.FirstTierUpInstr;
+        H.WarmupCycles += R.FirstTierUpCycles;
+      }
       if (R.Ok)
         H.SimInstructions += R.Steady.Instrs.total();
     }

@@ -11,12 +11,40 @@
 /// emits the structured report; --filter restricts the sweep. All flags —
 /// including --detail — are validated before any benchmark work runs.
 ///
+/// --warm-start (requires --host) appends the profile-snapshot warm-start
+/// measurement: each workload runs cold and again from a fresh engine
+/// restoring the cold run's captured profile snapshot, and the host
+/// section gains a "warm_start" object comparing time-to-peak-tier (the
+/// simulated instruction position of the first successful tier-up) across
+/// the two. The warmup counts are simulated quantities — deterministic,
+/// unlike the wall-clock fields around them.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
 using namespace ccjs;
 using namespace ccjs::bench;
+
+namespace {
+
+/// Warms one engine to steady state and captures its profile snapshot
+/// (empty on failure). The same protocol runSteadyState measures, so the
+/// snapshot holds exactly the profile a continuously-warmed engine owns.
+std::vector<uint8_t> trainSnapshot(const EngineConfig &Cfg,
+                                   std::string_view Source) {
+  Engine E(Cfg);
+  if (!E.load(Source) || !E.runTopLevel())
+    return {};
+  for (int I = 0; I < DefaultIterations; ++I) {
+    E.callGlobal("run");
+    if (E.halted())
+      return {};
+  }
+  return E.snapshotProfile();
+}
+
+} // namespace
 
 static bool printDetail(const char *Name, unsigned Jobs) {
   const Workload *W = findWorkload(Name);
@@ -56,11 +84,15 @@ static bool printDetail(const char *Name, unsigned Jobs) {
 int main(int Argc, char **Argv) {
   HarnessOptions Opt;
   std::string Detail;
-  bool HaveDetail = false;
+  bool HaveDetail = false, WarmStart = false;
   auto Extra = [&](std::string_view A) {
     if (A.rfind("--detail=", 0) == 0) {
       Detail = A.substr(9);
       HaveDetail = true;
+      return true;
+    }
+    if (A == "--warm-start") {
+      WarmStart = true;
       return true;
     }
     return false;
@@ -68,12 +100,18 @@ int main(int Argc, char **Argv) {
   // Dispatch selection (--dispatch, --fused-mask) is the shared harness
   // flag (DESIGN.md 4.6/4.8): every mode must reproduce the committed
   // baseline byte-for-byte, and the CI byte-identity gate runs all three.
-  if (!Opt.parse(Argc, Argv, Extra, "[--detail=<workload>]"))
+  if (!Opt.parse(Argc, Argv, Extra, "[--detail=<workload>] [--warm-start]"))
     return 2;
   // A typo'd --detail name must fail *before* the full sweep runs.
   if (HaveDetail && !findWorkload(Detail)) {
     std::fprintf(stderr, "fig8_speedup: --detail='%s' is not a workload\n",
                  Detail.c_str());
+    return 2;
+  }
+  if (WarmStart && !Opt.Host) {
+    // The measurement lands in the host section; without --host it would
+    // silently run and report nowhere.
+    std::fprintf(stderr, "fig8_speedup: --warm-start requires --host\n");
     return 2;
   }
 
@@ -132,7 +170,7 @@ int main(int Argc, char **Argv) {
   Report.setSummary("speedup_optimized_avg_pct",
                     json::Value(AllOpt.valueOpt()));
   if (Opt.Host) {
-    Report.setHost(hostToJson(HostM));
+    json::Value HostJson = hostToJson(HostM);
     std::printf("\nHost throughput: %.2fs wall (%.2fs engine), %.3g "
                 "simulated instructions/s\n",
                 HostM.WallSeconds, HostM.EngineSeconds,
@@ -145,6 +183,81 @@ int main(int Argc, char **Argv) {
                 dispatchModeName(HostM.Dispatch),
                 static_cast<unsigned long long>(HostM.Dispatches),
                 static_cast<unsigned long long>(HostM.FusedSavedDispatches));
+    if (WarmStart) {
+      // Cold vs warm time-to-peak-tier: every workload once from a cold
+      // engine and once from a fresh engine restoring the cold engine's
+      // captured profile snapshot. Identical config on both legs (the
+      // mechanism leg's backend, profile persistence on) — only the
+      // starting profile differs, so the instruction-position delta is
+      // exactly the warmup tax the snapshot skips.
+      EngineConfig WarmBase = Base;
+      CheckRemovalBackend Backend = Base.effectiveCheckRemoval();
+      if (Backend == CheckRemovalBackend::None)
+        Backend = CheckRemovalBackend::ClassCache;
+      WarmBase.CheckRemoval = Backend;
+      WarmBase.ClassCacheEnabled =
+          Backend == CheckRemovalBackend::ClassCache ||
+          Backend == CheckRemovalBackend::Both;
+      WarmBase.ProfilePersistence = true;
+      unsigned ColdTiered = 0, WarmTiered = 0, Failed = 0;
+      uint64_t ColdInstr = 0, WarmInstr = 0;
+      double ColdCycles = 0, WarmCycles = 0;
+      for (const Workload *W : Flat) {
+        BenchRun Cold = runSteadyState(WarmBase, W->Source);
+        std::vector<uint8_t> Snap = trainSnapshot(WarmBase, W->Source);
+        if (!Cold.Ok || Snap.empty()) {
+          ++Failed;
+          continue;
+        }
+        EngineConfig WarmCfg = WarmBase;
+        WarmCfg.ProfileSnapshot =
+            std::make_shared<const std::vector<uint8_t>>(std::move(Snap));
+        BenchRun Warm = runSteadyState(WarmCfg, W->Source);
+        if (!Warm.Ok || Warm.Output != Cold.Output) {
+          ++Failed;
+          continue;
+        }
+        if (Cold.TieredUp) {
+          ++ColdTiered;
+          ColdInstr += Cold.FirstTierUpInstr;
+          ColdCycles += Cold.FirstTierUpCycles;
+        }
+        if (Warm.TieredUp) {
+          ++WarmTiered;
+          WarmInstr += Warm.FirstTierUpInstr;
+          WarmCycles += Warm.FirstTierUpCycles;
+        }
+      }
+      json::Value WS = json::Value::object();
+      WS.set("workloads", static_cast<unsigned>(Flat.size()));
+      WS.set("failed", Failed);
+      WS.set("cold_runs_tiered_up", ColdTiered);
+      WS.set("cold_warmup_instructions", ColdInstr);
+      WS.set("cold_warmup_cycles", ColdCycles);
+      WS.set("warm_runs_tiered_up", WarmTiered);
+      WS.set("warm_warmup_instructions", WarmInstr);
+      WS.set("warm_warmup_cycles", WarmCycles);
+      WS.set("warmup_instructions_skipped_pct",
+             ColdInstr > 0
+                 ? json::Value((1.0 - static_cast<double>(WarmInstr) /
+                                          static_cast<double>(ColdInstr)) *
+                               100.0)
+                 : json::Value());
+      HostJson.set("warm_start", std::move(WS));
+      double ColdAvg = ColdTiered ? double(ColdInstr) / ColdTiered : 0;
+      double WarmAvg = WarmTiered ? double(WarmInstr) / WarmTiered : 0;
+      std::printf("Warm start: first tier-up after %.0f simulated "
+                  "instructions cold (avg of %u)\n            vs %.0f warm "
+                  "(avg of %u) — %.1f%% of the warmup tax skipped\n",
+                  ColdAvg, ColdTiered, WarmAvg, WarmTiered,
+                  ColdInstr ? (1.0 - double(WarmInstr) / double(ColdInstr)) *
+                                  100.0
+                            : 0.0);
+      if (Failed)
+        std::printf("Warm start: %u workload(s) failed the round trip\n",
+                    Failed);
+    }
+    Report.setHost(std::move(HostJson));
   }
 
   if (HaveDetail && !printDetail(Detail.c_str(), Opt.effectiveJobs()))

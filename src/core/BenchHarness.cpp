@@ -284,6 +284,9 @@ json::Value ccjs::hostToJson(const HostMeasurement &H) {
   J.set("dispatch", dispatchModeName(H.Dispatch));
   J.set("executor_dispatches", H.Dispatches);
   J.set("fused_saved_dispatches", H.FusedSavedDispatches);
+  J.set("runs_tiered_up", H.RunsTieredUp);
+  J.set("warmup_instructions", H.WarmupInstructions);
+  J.set("warmup_cycles", H.WarmupCycles);
   return J;
 }
 

@@ -163,6 +163,14 @@ struct HostMeasurement {
   DispatchMode Dispatch = DispatchMode::Switch;
   uint64_t Dispatches = 0;
   uint64_t FusedSavedDispatches = 0;
+  /// Time-to-peak-tier aggregation (warmup tax): how many measured runs
+  /// reached the optimizing tier at all, and the summed simulated
+  /// instruction/cycle positions of each run's first successful tier-up
+  /// (BenchRun::FirstTierUpInstr). Dividing the sums by RunsTieredUp
+  /// gives the average warmup a snapshot warm-start would skip.
+  unsigned RunsTieredUp = 0;
+  uint64_t WarmupInstructions = 0;
+  double WarmupCycles = 0;
 };
 
 /// Serializes a HostMeasurement, deriving the headline throughput figure

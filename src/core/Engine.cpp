@@ -3,6 +3,7 @@
 #include "core/Engine.h"
 
 #include "bytecode/Compiler.h"
+#include "core/ProfileSnapshot.h"
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
 #include "jit/FusionPass.h"
@@ -66,6 +67,17 @@ Engine::Engine(const EngineConfig &Config)
         CC->writebackClass(ST->get(Parent).ClassId);
       CL->onShapeCreated(*ST, Id);
     });
+  }
+
+  // Warm start: restore a profile snapshot into the freshly constructed
+  // state. Runs last so everything it touches (shapes, Class List, memory,
+  // machine models) is fully assembled. Rejection is a clean cold start:
+  // restore validates the whole payload before applying anything.
+  if (VM->Config.ProfileSnapshot) {
+    if (!restoreProfileSnapshot(*VM, *VM->Config.ProfileSnapshot,
+                                SnapshotRestoreErr))
+      CCJS_ASSERT(!SnapshotRestoreErr.empty(),
+                  "snapshot rejection must carry a reason");
   }
 }
 
@@ -147,6 +159,27 @@ bool Engine::load(std::string_view Source) {
   // caches) persists — except speculation dependencies, which record
   // function indices of the old module and would deoptimize (or index out
   // of bounds in) the new function table.
+  // Warm-replica contract: under ProfilePersistence, the outgoing module's
+  // per-function profile (feedback, hotness, deopt bookkeeping, BBV seeds)
+  // is parked keyed by the module's structural hash, and reinstalled below
+  // if the incoming module hashes identically. OptIR is never parked — it
+  // is recompiled deterministically from the profile at the next hot call.
+  if (VM->Config.ProfilePersistence && !VM->Funcs.empty()) {
+    VMState::ModuleProfile Park;
+    Park.ModuleHash = moduleProfileHash(VM->Module);
+    Park.PerFunction.resize(VM->Funcs.size());
+    for (size_t I = 0; I < VM->Funcs.size(); ++I) {
+      FunctionInfo &FI = VM->Funcs[I];
+      VMState::FunctionProfile &P = Park.PerFunction[I];
+      P.Feedback = FI.Feedback;
+      P.InvocationCount = FI.InvocationCount;
+      P.BackEdgeTrips = FI.BackEdgeTrips;
+      P.DeoptCount = FI.DeoptCount;
+      P.OptDisabled = FI.OptDisabled;
+      P.BbvSeeds = FI.BbvSeeds;
+    }
+    VM->PendingProfile = std::move(Park);
+  }
   for (FunctionInfo &FI : VM->Funcs)
     delete FI.Opt;
   reclaimRetiredOpt(*VM);
@@ -198,6 +231,27 @@ bool Engine::load(std::string_view Source) {
 
   for (FunctionInfo &FI : VM->Funcs)
     FI.Feedback.assign(FI.Fn->NumSites, SiteFeedback());
+
+  // Reinstall the parked profile when the incoming module matches it
+  // structurally (same hash, same function count). A mismatch is a cold
+  // start for this program — sound, just unwarmed. The parked profile is
+  // kept either way: it may match a later load.
+  if (VM->Config.ProfilePersistence && VM->PendingProfile.ModuleHash != 0 &&
+      VM->PendingProfile.ModuleHash == moduleProfileHash(VM->Module) &&
+      VM->PendingProfile.PerFunction.size() == VM->Funcs.size()) {
+    for (size_t I = 0; I < VM->Funcs.size(); ++I) {
+      const VMState::FunctionProfile &P = VM->PendingProfile.PerFunction[I];
+      FunctionInfo &FI = VM->Funcs[I];
+      if (P.Feedback.size() != FI.Fn->NumSites)
+        continue;
+      FI.Feedback = P.Feedback;
+      FI.InvocationCount = P.InvocationCount;
+      FI.BackEdgeTrips = P.BackEdgeTrips;
+      FI.DeoptCount = P.DeoptCount;
+      FI.OptDisabled = P.OptDisabled;
+      FI.BbvSeeds = P.BbvSeeds;
+    }
+  }
   // Budgets meter each loaded program from its own start line, not from
   // engine construction — a pooled engine's accumulated counters must not
   // charge earlier requests' work to this one.
@@ -318,8 +372,15 @@ Value Engine::dispatchInvoke(VMState &VM, uint32_t FuncIndex, Value ThisV,
     // Tier-up boundary: the compile just registered its speculations, so
     // observers (auditor included) see the committed state.
     VM.notifyTierUp(Ev);
-    if (FI.OptValid)
+    if (FI.OptValid) {
+      // A warm-started function (hotness restored by profile persistence
+      // or a snapshot) can reach the optimizing tier on its very first
+      // call — the baseline tier, which materializes the constant pool
+      // lazily, may never have run it. No-op on cold paths: tier-up
+      // otherwise only follows interpreted calls.
+      materializeConsts(VM, FI);
       return runOptimized(VM, FuncIndex, ThisV, Args, Argc);
+    }
   }
   return interpretCall(VM, FuncIndex, ThisV, Args, Argc);
 }
@@ -412,6 +473,10 @@ Value Engine::genericCallMethod(VMState &VM, Value Receiver, uint32_t Name,
       return callBuiltin(VM, indexOfBuiltin(Id), Receiver, Args, Argc);
   VM.halt("call of missing method '" + std::string(NameText) + "'");
   return H.undefined();
+}
+
+std::vector<uint8_t> Engine::snapshotProfile() const {
+  return captureProfileSnapshot(*VM);
 }
 
 //===----------------------------------------------------------------------===//

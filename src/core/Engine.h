@@ -202,6 +202,32 @@ public:
       Cfg.Budget.MaxCallDepth = Depth;
       return *this;
     }
+    /// Restores a warm profile snapshot (Engine::snapshotProfile) at
+    /// construction, so the first request compiles at peak tier instead of
+    /// paying the warmup tax. Implies withProfilePersistence(): the
+    /// restored per-function profile must survive the load() that follows.
+    /// The snapshot embeds the fingerprint of the configuration it was
+    /// taken under; restore validates it and falls back to a cold start
+    /// (see Engine::snapshotRestoreError) on any mismatch or corruption.
+    Options &withProfileSnapshot(
+        std::shared_ptr<const std::vector<uint8_t>> Snapshot) {
+      Cfg.ProfileSnapshot = std::move(Snapshot);
+      Cfg.ProfilePersistence = true;
+      return *this;
+    }
+    /// Convenience overload: copies the bytes into a shared buffer.
+    Options &withProfileSnapshot(std::vector<uint8_t> Snapshot) {
+      return withProfileSnapshot(
+          std::make_shared<const std::vector<uint8_t>>(std::move(Snapshot)));
+    }
+    /// Carries per-function profiles (feedback, hotness, BBV seeds) across
+    /// load() boundaries when the module hashes identically — the
+    /// warm-replica contract (DESIGN.md §4.11). Off by default; both sides
+    /// of an equivalence comparison must agree on it.
+    Options &withProfilePersistence(bool On = true) {
+      Cfg.ProfilePersistence = On;
+      return *this;
+    }
 
     /// Checks cross-field consistency; fills \p Err with the first problem.
     bool validate(std::string *Err = nullptr) const;
@@ -269,6 +295,20 @@ public:
   /// sequences.
   void beginServiceRequest();
 
+  /// Serializes the engine's warm profile state (shapes, memory image,
+  /// type feedback, hotness, BBV seeds, warmed machine state — see
+  /// core/ProfileSnapshot.h) for Options::withProfileSnapshot. Capture is
+  /// canonical: the same state always yields byte-identical snapshots.
+  std::vector<uint8_t> snapshotProfile() const;
+
+  /// Empty when construction-time snapshot restore succeeded (or none was
+  /// requested); otherwise the one-line rejection reason. A rejected
+  /// snapshot never half-restores: the engine is in its ordinary
+  /// cold-start state and fully usable.
+  const std::string &snapshotRestoreError() const {
+    return SnapshotRestoreErr;
+  }
+
   /// Accumulated print() output.
   const std::string &output() const { return VM->Output; }
 
@@ -320,6 +360,7 @@ private:
                                  const Value *Args, uint32_t Argc);
 
   std::unique_ptr<VMState> VM;
+  std::string SnapshotRestoreErr;
 };
 
 } // namespace ccjs

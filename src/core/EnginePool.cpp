@@ -78,7 +78,29 @@ void EnginePool::warmSlot(unsigned SlotIndex) {
     EC.Faults.Seed =
         Cfg.ChaosSeed + SlotIndex * 0x9E3779B9u + S.Warmed * 7919u;
   }
+  // Warm start: a tenant returning to the pool resumes from its parked
+  // snapshot; otherwise the pool-wide snapshot (if any) stands in. Either
+  // way the engine skips the warmup tax — its first request compiles at
+  // peak tier from the restored profiles.
+  std::shared_ptr<const std::vector<uint8_t>> Snap;
+  auto Parked = TenantSnapshots.find(S.Tenant);
+  if (Parked != TenantSnapshots.end())
+    Snap = Parked->second;
+  else if (Cfg.WarmStartSnapshot)
+    Snap = Cfg.WarmStartSnapshot;
+  if (Snap) {
+    EC.ProfileSnapshot = Snap;
+    EC.ProfilePersistence = true;
+  }
   S.E = std::make_unique<Engine>(EC);
+  if (Snap) {
+    if (S.E->snapshotRestoreError().empty()) {
+      ++Metrics.counter("host.pool.warm_starts");
+    } else {
+      // Rejected snapshots cold-start cleanly; record it for operators.
+      ++Metrics.counter("host.pool.warm_start_rejected");
+    }
+  }
   S.Generation = S.Warmed;
   ++S.Warmed;
   S.WarmupFailed = false;
@@ -223,13 +245,40 @@ EnginePool::serve(const std::vector<ServiceRequest> &Requests, unsigned Jobs) {
           break;
         }
       if (SlotIndex < 0) {
-        shed(RequestStatus::ShedNoEngine);
-        continue;
+        // No free slot: recycle the least-recently-served slot that is
+        // idle this batch. The outgoing tenant's warm profile is parked
+        // as a snapshot (it resumes warm on return) and a *fresh* engine
+        // is constructed for the new tenant — isolation holds because no
+        // engine ever serves two tenants. All serial, so the eviction
+        // choice is identical for any Jobs count.
+        uint64_t Oldest = ~uint64_t(0);
+        for (size_t SI = 0; SI < Slots.size(); ++SI) {
+          const Slot &S = Slots[SI];
+          if (!S.Queue.empty())
+            continue; // Serving another tenant in this very batch.
+          if (S.LastServedSeq < Oldest) {
+            Oldest = S.LastServedSeq;
+            SlotIndex = static_cast<int>(SI);
+          }
+        }
+        if (SlotIndex < 0) {
+          shed(RequestStatus::ShedNoEngine);
+          continue;
+        }
+        Slot &Victim = Slots[SlotIndex];
+        if (Victim.E)
+          TenantSnapshots[Victim.Tenant] =
+              std::make_shared<const std::vector<uint8_t>>(
+                  Victim.E->snapshotProfile());
+        ++Metrics.counter("host.pool.recycles");
+        Victim.Tenant = R.Tenant;
+        warmSlot(static_cast<unsigned>(SlotIndex));
       }
     }
 
     ++Admitted;
     ++TC;
+    Slots[SlotIndex].LastServedSeq = ++AdmissionSeq;
     // Degradation band: above the threshold but under capacity, serve in
     // the baseline tier rather than shedding.
     bool Degraded = Admitted > Cfg.DegradeThreshold;

@@ -2,11 +2,21 @@
 ///
 /// \file
 /// Service mode: a pool of N warmed engines dispatching script-execution
-/// requests with per-tenant isolation. Each pool slot holds one Engine that
-/// is permanently bound to the first tenant it serves — heaps, ShapeTables,
-/// Class List images and metrics registries are engine-owned, so binding an
-/// engine to exactly one tenant is what makes cross-tenant contamination
-/// structurally impossible rather than merely audited.
+/// requests with per-tenant isolation. Each pool slot holds one Engine
+/// bound to exactly one tenant at a time — heaps, ShapeTables, Class List
+/// images and metrics registries are engine-owned, so the one-tenant-per-
+/// engine rule is what makes cross-tenant contamination structurally
+/// impossible rather than merely audited.
+///
+/// Bindings are no longer permanent (the old model shed every new tenant
+/// once all slots were bound): when a new tenant arrives with no free slot,
+/// the least-recently-served idle slot is recycled — the outgoing tenant's
+/// warm profile is parked as a snapshot (Engine::snapshotProfile), the slot
+/// rebinds, and a *fresh* engine is constructed for the new tenant
+/// (optionally warm-started from a parked or pool-wide snapshot). The
+/// evicted tenant resumes warm from its parked snapshot on return.
+/// Isolation is preserved because recycling always constructs a fresh
+/// engine — no engine ever serves two tenants.
 ///
 /// A batch of requests flows through three deterministic stages:
 ///
@@ -46,6 +56,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace ccjs {
@@ -77,6 +88,11 @@ struct PoolConfig {
   /// Script executed once per warmed engine (profile warm-up); empty =
   /// engines enter rotation cold.
   std::string WarmupSource;
+  /// Pool-wide warm-start snapshot (Engine::snapshotProfile bytes): every
+  /// newly warmed engine restores it at construction unless the tenant has
+  /// a parked snapshot of its own. Null = engines warm from WarmupSource
+  /// (or cold). Shared immutable bytes — all replicas read the same buffer.
+  std::shared_ptr<const std::vector<uint8_t>> WarmStartSnapshot;
 };
 
 enum class RequestStatus : uint8_t {
@@ -89,7 +105,9 @@ enum class RequestStatus : uint8_t {
   ShedQueueFull,
   /// Shed: tenant reached MaxQueuedPerTenant.
   ShedTenantCap,
-  /// Shed: a new tenant arrived with every slot already tenant-bound.
+  /// Shed: a new tenant arrived while every slot was serving other
+  /// tenants *in this batch* (an idle bound slot would have been recycled
+  /// instead — see the slot-recycling notes above).
   ShedNoEngine,
 };
 
@@ -230,6 +248,13 @@ public:
   /// Engines warmed since construction (initial binds + replacements).
   unsigned enginesWarmed() const { return TotalWarmed; }
 
+  /// True when \p Tenant's warm profile is parked (its slot was recycled
+  /// for another tenant); it will warm-start from the parked snapshot on
+  /// its next request.
+  bool hasParkedSnapshot(const std::string &Tenant) const {
+    return TenantSnapshots.count(Tenant) != 0;
+  }
+
   /// The engine currently bound to \p Tenant, or null. Exposed for tests
   /// and drills; the pool keeps ownership.
   Engine *tenantEngine(const std::string &Tenant);
@@ -252,6 +277,11 @@ private:
     unsigned Warmed = 0; // Engines warmed in this slot (any thread-safety
                          // aggregation happens serially after execution).
     bool WarmupFailed = false;
+    /// Admission sequence number of the slot's most recent request; the
+    /// recycling victim is the idle slot with the lowest value. Written
+    /// only in the serial admission stage, so eviction order is identical
+    /// for any Jobs count.
+    uint64_t LastServedSeq = 0;
     std::vector<size_t> Queue; // Request indices, admission order.
     // Written by the slot's worker thread, merged serially afterwards.
     std::vector<QuarantineRecord> PendingQuarantines;
@@ -272,6 +302,14 @@ private:
   std::vector<QuarantineRecord> Quarantines;
   std::vector<PoolObserver *> Observers;
   unsigned TotalWarmed = 0;
+  /// Parked per-tenant warm profiles: filled when a tenant's slot is
+  /// recycled, consumed (read, kept) when the tenant is rebound. Touched
+  /// only in the serial admission stage.
+  std::unordered_map<std::string,
+                     std::shared_ptr<const std::vector<uint8_t>>>
+      TenantSnapshots;
+  /// Monotone admission counter feeding Slot::LastServedSeq.
+  uint64_t AdmissionSeq = 0;
 };
 
 } // namespace ccjs

@@ -1,0 +1,695 @@
+//===- core/ProfileSnapshot.cpp -------------------------------------------===//
+
+#include "core/ProfileSnapshot.h"
+
+#include "bytecode/Bytecode.h"
+#include "support/Snapshot.h"
+#include "vm/VMState.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+using namespace ccjs;
+
+namespace {
+
+/// Payload section ids, in serialization order.
+enum SectionId : uint32_t {
+  SecNames = 1,
+  SecShapes = 2,
+  SecClassList = 3,
+  SecMemory = 4,
+  SecProfiler = 5,
+  SecHeap = 6,
+  SecMachine = 7,
+  SecModule = 8,
+};
+
+/// The ShapeTable constructor creates nine well-known shapes; snapshots
+/// serialize only the program-driven shapes after them, relying on every
+/// engine minting the same nine roots.
+constexpr uint32_t NumWellKnownShapes = 9;
+
+void fnvMix(uint64_t &H, const void *Data, size_t Len) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+}
+
+void fnvMixU64(uint64_t &H, uint64_t V) { fnvMix(H, &V, sizeof(V)); }
+
+template <typename K, typename V>
+std::vector<std::pair<K, V>> sortedPairs(const std::unordered_map<K, V> &M) {
+  std::vector<std::pair<K, V>> Out(M.begin(), M.end());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+void writeSiteFeedback(SnapshotWriter &W, const SiteFeedback &FB) {
+  for (unsigned E = 0; E < SiteFeedback::MaxEntries; ++E) {
+    W.u32(FB.Entries[E].Shape);
+    W.u16(FB.Entries[E].Slot);
+    W.u32(FB.Entries[E].NewShape);
+  }
+  W.u8(FB.NumEntries);
+  W.u8(FB.Megamorphic ? 1 : 0);
+  W.u8(static_cast<uint8_t>(FB.Hint));
+  W.u32(FB.CallTarget);
+  W.u8(FB.PolymorphicCall ? 1 : 0);
+  W.u8(static_cast<uint8_t>(FB.Length));
+  W.u16(FB.LengthSlot);
+  W.u8(FB.SawOutOfBounds ? 1 : 0);
+}
+
+bool readSiteFeedback(SnapshotReader &R, SiteFeedback &FB) {
+  uint8_t B;
+  for (unsigned E = 0; E < SiteFeedback::MaxEntries; ++E) {
+    if (!R.u32(FB.Entries[E].Shape) || !R.u16(FB.Entries[E].Slot) ||
+        !R.u32(FB.Entries[E].NewShape))
+      return false;
+  }
+  if (!R.u8(FB.NumEntries) || FB.NumEntries > SiteFeedback::MaxEntries)
+    return false;
+  if (!R.u8(B))
+    return false;
+  FB.Megamorphic = B != 0;
+  if (!R.u8(B) || B > static_cast<uint8_t>(NumberHint::Generic))
+    return false;
+  FB.Hint = static_cast<NumberHint>(B);
+  if (!R.u32(FB.CallTarget))
+    return false;
+  if (!R.u8(B))
+    return false;
+  FB.PolymorphicCall = B != 0;
+  if (!R.u8(B) || B > static_cast<uint8_t>(LengthKind::Mixed))
+    return false;
+  FB.Length = static_cast<LengthKind>(B);
+  if (!R.u16(FB.LengthSlot))
+    return false;
+  if (!R.u8(B))
+    return false;
+  FB.SawOutOfBounds = B != 0;
+  return true;
+}
+
+void writeCache(SnapshotWriter &W, const CacheSim &C) {
+  W.u64(C.lastBlock());
+  W.u64(C.lines().size());
+  for (uint64_t L : C.lines())
+    W.u64(L);
+}
+
+struct CacheImage {
+  std::vector<uint64_t> Lines;
+  uint64_t LastBlock = ~uint64_t(0);
+};
+
+bool readCache(SnapshotReader &R, CacheImage &Img) {
+  uint64_t N;
+  if (!R.u64(Img.LastBlock) || !R.u64(N))
+    return false;
+  Img.Lines.clear();
+  for (uint64_t I = 0; I < N; ++I) {
+    uint64_t L;
+    if (!R.u64(L))
+      return false;
+    Img.Lines.push_back(L);
+  }
+  return true;
+}
+
+/// Fully parsed and validated snapshot contents, staged host-side before
+/// anything is applied to the VM.
+struct StagedSnapshot {
+  std::vector<std::string> Names; // ids 1..N-1 in id order.
+  /// Outgoing transitions of the nine well-known shapes (rebuilt by the
+  /// ShapeTable constructor, so only their edges travel), in id order.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> RootTransitions;
+  std::vector<Shape> Shapes;      // ids NumWellKnownShapes.. in id order.
+  uint32_t NumShapesTotal = 0;
+  uint32_t NextClassId = 0;
+  std::vector<std::pair<uint32_t, ShapeId>> CtorRoots;
+  std::vector<std::pair<uint64_t, ShapeId>> ArrayRoots;
+  bool HadClassList = false;
+  std::vector<std::vector<ShapeId>> ClassShapes;
+  std::vector<uint8_t> MemImage;
+  std::vector<TypeProfiler::SavedProfile> Profiles;
+  HeapStats HStats;
+  std::vector<std::pair<uint32_t, uint32_t>> SlotHints;
+  uint64_t RandomState = 0;
+  uint64_t OptCompiles = 0;
+  uint64_t LastLine = ~uint64_t(0);
+  std::vector<uint8_t> Predictor;
+  CacheImage Dl1, L2, Dtlb;
+  VMState::ModuleProfile Module;
+};
+
+} // namespace
+
+std::string ccjs::snapshotFingerprint(const EngineConfig &Cfg) {
+  const HwConfig &Hw = Cfg.Hw;
+  char Buf[768];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "snap-v%u:hotinv=%u,hotloop=%u,maxdeopt=%u,"
+      "core=%u/%u/%u/%u,line=%u,dl1=%u/%u,il1=%u/%u,l2=%u/%u,"
+      "tlb=%u/%u/%u,page=%u,lat=%u/%u/%u/%u/%u,ov=%.4f,cc=%u/%u/%u/%u,"
+      "pj=%.3f/%.3f/%.3f/%.3f/%.3f/%.3f/%.3f/%.3f",
+      ProfileSnapshotVersion, Cfg.HotInvocationThreshold,
+      Cfg.HotLoopThreshold, Cfg.MaxDeoptsPerFunction, Hw.IssueWidth,
+      Hw.InstrQueue, Hw.WindowSize, Hw.OutstandingLoadStores, Hw.LineBytes,
+      Hw.Dl1SizeKB, Hw.Dl1Ways, Hw.Il1SizeKB, Hw.Il1Ways, Hw.L2SizeKB,
+      Hw.L2Ways, Hw.ItlbEntries, Hw.DtlbEntries, Hw.DtlbWays, Hw.PageBytes,
+      Hw.L1LoadLatency, Hw.L2Latency, Hw.MemLatency, Hw.TlbMissPenalty,
+      Hw.BranchMispredictPenalty, Hw.StallOverlap, Hw.ClassCacheEntries,
+      Hw.ClassCacheWays, Hw.ClassCacheExceptionCost,
+      Hw.ClassCacheExceptionFlush, Hw.AluOpPJ, Hw.L1AccessPJ, Hw.L2AccessPJ,
+      Hw.MemAccessPJ, Hw.TlbAccessPJ, Hw.BranchPJ, Hw.ClassCachePJ,
+      Hw.LeakagePJPerCycle);
+  return Buf;
+}
+
+uint64_t ccjs::moduleProfileHash(const BytecodeModule &M) {
+  uint64_t H = 14695981039346656037ull; // FNV-1a offset basis.
+  fnvMixU64(H, M.Functions.size());
+  for (const BytecodeFunction &F : M.Functions) {
+    fnvMix(H, F.Name.data(), F.Name.size());
+    fnvMixU64(H, F.NumParams);
+    fnvMixU64(H, F.NumLocals);
+    fnvMixU64(H, F.NumSites);
+    fnvMixU64(H, F.Code.size());
+    for (const Instr &I : F.Code) {
+      fnvMixU64(H, static_cast<uint64_t>(I.Op));
+      fnvMixU64(H, static_cast<uint64_t>(static_cast<uint32_t>(I.A)));
+      fnvMixU64(H, I.B);
+      fnvMixU64(H, I.Site);
+    }
+    fnvMixU64(H, F.Consts.size());
+    for (const ConstEntry &C : F.Consts) {
+      fnvMixU64(H, static_cast<uint64_t>(C.Kind));
+      uint64_t Bits;
+      static_assert(sizeof(Bits) == sizeof(C.Num));
+      std::memcpy(&Bits, &C.Num, sizeof(Bits));
+      fnvMixU64(H, Bits);
+      fnvMix(H, C.Str.data(), C.Str.size());
+    }
+  }
+  fnvMixU64(H, M.GlobalNames.size());
+  for (const std::string &G : M.GlobalNames)
+    fnvMix(H, G.data(), G.size());
+  // 0 means "no profile pending"; remap the (astronomically unlikely)
+  // real hash 0 so it can never masquerade as that.
+  return H == 0 ? 1 : H;
+}
+
+std::vector<uint8_t> ccjs::captureProfileSnapshot(const VMState &VM) {
+  SnapshotWriter W;
+  W.str(snapshotFingerprint(VM.Config));
+
+  // Interned names, ids 1..N-1 in id order (id 0 is the empty string every
+  // interner starts with).
+  size_t Sec = W.beginSection(SecNames);
+  W.u32(static_cast<uint32_t>(VM.Names.size()));
+  for (uint32_t Id = 1; Id < VM.Names.size(); ++Id)
+    W.str(VM.Names.text(Id));
+  W.endSection(Sec);
+
+  // The hidden-class graph: every program-driven shape record in creation
+  // order, plus the root maps and the ClassID counter. Map contents are
+  // emitted sorted by key — canonical bytes for the determinism gate.
+  Sec = W.beginSection(SecShapes);
+  W.u32(static_cast<uint32_t>(VM.Shapes.size()));
+  // The nine well-known shapes are rebuilt deterministically by the
+  // ShapeTable constructor (ids, ClassIds, slot maps), but their
+  // *outgoing* transitions are program state — the first property added
+  // to a plain object transitions out of plainRoot. Serialize just those
+  // edges; losing them would make a warm replica re-mint whole transition
+  // chains its donor already owns.
+  for (ShapeId Id = 0; Id < NumWellKnownShapes; ++Id) {
+    auto RootTrans = sortedPairs(VM.Shapes.get(Id).Transitions);
+    W.u32(static_cast<uint32_t>(RootTrans.size()));
+    for (const auto &[Name, Child] : RootTrans) {
+      W.u32(Name);
+      W.u32(Child);
+    }
+  }
+  for (ShapeId Id = NumWellKnownShapes; Id < VM.Shapes.size(); ++Id) {
+    const Shape &S = VM.Shapes.get(Id);
+    W.u8(static_cast<uint8_t>(S.Kind));
+    W.u8(S.ClassId);
+    W.u32(S.Parent);
+    W.u32(S.AddedName);
+    W.u32(S.NumSlots);
+    auto Slots = sortedPairs(S.SlotOf);
+    W.u32(static_cast<uint32_t>(Slots.size()));
+    for (const auto &[Name, Slot] : Slots) {
+      W.u32(Name);
+      W.u32(Slot);
+    }
+    auto Trans = sortedPairs(S.Transitions);
+    W.u32(static_cast<uint32_t>(Trans.size()));
+    for (const auto &[Name, Child] : Trans) {
+      W.u32(Name);
+      W.u32(Child);
+    }
+  }
+  W.u32(VM.Shapes.nextClassId());
+  auto Ctors = sortedPairs(VM.Shapes.constructorRoots());
+  W.u32(static_cast<uint32_t>(Ctors.size()));
+  for (const auto &[Fn, Root] : Ctors) {
+    W.u32(Fn);
+    W.u32(Root);
+  }
+  auto Arrays = sortedPairs(VM.Shapes.arraySiteRoots());
+  W.u32(static_cast<uint32_t>(Arrays.size()));
+  for (const auto &[Site, Root] : Arrays) {
+    W.u64(Site);
+    W.u32(Root);
+  }
+  W.endSection(Sec);
+
+  // Class List host-side index. The entry *images* live in simulated
+  // memory and travel with the SecMemory image; HadClassList records
+  // whether those images were ever maintained (ClassCache active), so a
+  // cross-backend restore knows to rebuild them instead.
+  Sec = W.beginSection(SecClassList);
+  W.u8(VM.Config.ClassCacheEnabled ? 1 : 0);
+  const auto &CS = VM.CList.classShapes();
+  W.u32(static_cast<uint32_t>(CS.size()));
+  for (const std::vector<ShapeId> &Ids : CS) {
+    W.u32(static_cast<uint32_t>(Ids.size()));
+    for (ShapeId Id : Ids)
+      W.u32(Id);
+  }
+  W.endSection(Sec);
+
+  // The whole simulated address space, wholesale. Selective capture would
+  // *break* byte-identity: a continuously-warmed engine carries the dead
+  // bytes of earlier runs, and heap layout (hence cache behaviour) depends
+  // on every allocation that ever happened.
+  // Dirty resident Class Cache entries are overlaid onto the *copy*: they
+  // are logically part of the Class List (the next reload would flush them
+  // before invalidating the cache, so a continuously-warmed engine keeps
+  // this profiling), but capture must not flush for real — clearing Dirty
+  // bits would change the engine's later writeback charges.
+  Sec = W.beginSection(SecMemory);
+  std::vector<uint8_t> MemImage = VM.Mem.raw();
+  VM.CCache.forEachDirty(
+      [&](uint8_t ClassId, uint8_t Line, const ClassListEntry &E) {
+        uint64_t Off = VM.CList.entryAddr(ClassId, Line) - SimMemory::BaseAddr;
+        ClassList::encodeEntry(E, &MemImage[static_cast<size_t>(Off)]);
+      });
+  W.blob(MemImage.data(), MemImage.size());
+  W.endSection(Sec);
+
+  Sec = W.beginSection(SecProfiler);
+  auto Profiles = VM.Profiler.captureProfiles();
+  W.u64(Profiles.size());
+  for (const TypeProfiler::SavedProfile &P : Profiles) {
+    W.u64(P.Key);
+    W.u8(P.Initialized);
+    W.u8(P.Polymorphic);
+    W.u32(P.FirstClass);
+  }
+  W.endSection(Sec);
+
+  // Heap: cumulative allocation stats (in RunStats, never reset) and the
+  // constructor slack-tracking hints (they size future allocations).
+  Sec = W.beginSection(SecHeap);
+  const HeapStats &HS = VM.Heap_.stats();
+  W.u64(HS.ObjectsAllocated);
+  W.u64(HS.MultiLineObjects);
+  W.u64(HS.ObjectBytes);
+  W.u64(HS.ExtraHeaderBytes);
+  W.u64(HS.HeapNumbersAllocated);
+  W.u64(HS.StringsAllocated);
+  auto Hints = sortedPairs(VM.Heap_.constructorSlotHints());
+  W.u32(static_cast<uint32_t>(Hints.size()));
+  for (const auto &[Fn, Slots] : Hints) {
+    W.u32(Fn);
+    W.u32(Slots);
+  }
+  W.endSection(Sec);
+
+  // Warmed machine plane: deterministic-random state, the cumulative
+  // compile counter, cache tag/LRU images, the same-line memo and the
+  // branch-predictor counters. Per-request *stats* (accesses, misses,
+  // instruction counters) are excluded — beginServiceRequest resets them
+  // on both sides of any comparison.
+  Sec = W.beginSection(SecMachine);
+  W.u64(VM.RandomState);
+  W.u64(VM.OptCompiles);
+  W.u64(VM.Ctx.lastLine());
+  const auto &Counters = VM.Ctx.predictor().counters();
+  W.blob(Counters.data(), Counters.size());
+  writeCache(W, VM.Ctx.memory().dl1());
+  writeCache(W, VM.Ctx.memory().l2());
+  writeCache(W, VM.Ctx.memory().dtlb());
+  W.endSection(Sec);
+
+  // Per-function module profile: the state load() resets but profile
+  // persistence carries across — type feedback, hotness/tier-up counters,
+  // deopt bookkeeping and the BBV version-context seed log. Captured from
+  // the live module when one is loaded, else from the pending store a
+  // previous restore seeded.
+  Sec = W.beginSection(SecModule);
+  if (!VM.Funcs.empty()) {
+    W.u64(moduleProfileHash(VM.Module));
+    W.u32(static_cast<uint32_t>(VM.Funcs.size()));
+    for (const FunctionInfo &FI : VM.Funcs) {
+      W.u32(static_cast<uint32_t>(FI.Feedback.size()));
+      for (const SiteFeedback &FB : FI.Feedback)
+        writeSiteFeedback(W, FB);
+      W.u32(FI.InvocationCount);
+      W.u32(FI.BackEdgeTrips);
+      W.u32(FI.DeoptCount);
+      W.u8(FI.OptDisabled ? 1 : 0);
+      W.u32(static_cast<uint32_t>(FI.BbvSeeds.size()));
+      for (const BbvSeed &S : FI.BbvSeeds) {
+        W.u32(S.BlockIdx);
+        W.u32(static_cast<uint32_t>(S.EntryTags.size()));
+        for (uint32_t T : S.EntryTags)
+          W.u32(T);
+      }
+    }
+  } else {
+    W.u64(VM.PendingProfile.ModuleHash);
+    W.u32(static_cast<uint32_t>(VM.PendingProfile.PerFunction.size()));
+    for (const VMState::FunctionProfile &P : VM.PendingProfile.PerFunction) {
+      W.u32(static_cast<uint32_t>(P.Feedback.size()));
+      for (const SiteFeedback &FB : P.Feedback)
+        writeSiteFeedback(W, FB);
+      W.u32(P.InvocationCount);
+      W.u32(P.BackEdgeTrips);
+      W.u32(P.DeoptCount);
+      W.u8(P.OptDisabled ? 1 : 0);
+      W.u32(static_cast<uint32_t>(P.BbvSeeds.size()));
+      for (const BbvSeed &S : P.BbvSeeds) {
+        W.u32(S.BlockIdx);
+        W.u32(static_cast<uint32_t>(S.EntryTags.size()));
+        for (uint32_t T : S.EntryTags)
+          W.u32(T);
+      }
+    }
+  }
+  W.endSection(Sec);
+
+  return W.finish(ProfileSnapshotVersion);
+}
+
+bool ccjs::restoreProfileSnapshot(VMState &VM,
+                                  const std::vector<uint8_t> &Bytes,
+                                  std::string &Err) {
+  // Restore composes with a fresh engine only: construction-time state
+  // (nine well-known shapes, the empty interned string, the Class List
+  // region allocation) must sit exactly where the capturing engine's did.
+  if (VM.Names.size() != 1 || VM.Shapes.size() != NumWellKnownShapes ||
+      !VM.Funcs.empty()) {
+    Err = "snapshot restore requires a freshly constructed engine";
+    return false;
+  }
+
+  SnapshotReader R;
+  if (!R.open(Bytes, ProfileSnapshotVersion, Err))
+    return false;
+
+  auto Malformed = [&Err](const char *What) {
+    Err = std::string("snapshot rejected: malformed ") + What + " section";
+    return false;
+  };
+
+  std::string Fingerprint;
+  if (!R.str(Fingerprint))
+    return Malformed("header");
+  std::string Want = snapshotFingerprint(VM.Config);
+  if (Fingerprint != Want) {
+    Err = "snapshot rejected: config fingerprint mismatch (snapshot '" +
+          Fingerprint + "' vs engine '" + Want + "')";
+    return false;
+  }
+
+  StagedSnapshot St;
+
+  // --- Parse everything into staging; nothing touches the VM yet. ---
+  if (!R.enterSection(SecNames))
+    return Malformed("names");
+  uint32_t NumNames;
+  if (!R.u32(NumNames) || NumNames < 1)
+    return Malformed("names");
+  for (uint32_t Id = 1; Id < NumNames; ++Id) {
+    std::string Text;
+    if (!R.str(Text))
+      return Malformed("names");
+    St.Names.push_back(std::move(Text));
+  }
+
+  if (!R.enterSection(SecShapes))
+    return Malformed("shapes");
+  if (!R.u32(St.NumShapesTotal) || St.NumShapesTotal < NumWellKnownShapes)
+    return Malformed("shapes");
+  St.RootTransitions.resize(NumWellKnownShapes);
+  for (uint32_t Id = 0; Id < NumWellKnownShapes; ++Id) {
+    uint32_t NumTrans;
+    if (!R.u32(NumTrans))
+      return Malformed("shapes");
+    for (uint32_t I = 0; I < NumTrans; ++I) {
+      uint32_t Name, Child;
+      if (!R.u32(Name) || !R.u32(Child))
+        return Malformed("shapes");
+      // Well-known shapes only transition to program-created children.
+      if (Child < NumWellKnownShapes || Child >= St.NumShapesTotal)
+        return Malformed("shapes");
+      St.RootTransitions[Id].emplace_back(Name, Child);
+    }
+  }
+  for (uint32_t Id = NumWellKnownShapes; Id < St.NumShapesTotal; ++Id) {
+    Shape S;
+    S.Id = Id;
+    uint8_t Kind;
+    if (!R.u8(Kind) || Kind > static_cast<uint8_t>(ObjectKind::Oddball))
+      return Malformed("shapes");
+    S.Kind = static_cast<ObjectKind>(Kind);
+    uint32_t NumSlots, NumTrans;
+    if (!R.u8(S.ClassId) || !R.u32(S.Parent) || !R.u32(S.AddedName) ||
+        !R.u32(S.NumSlots))
+      return Malformed("shapes");
+    if (S.Parent != InvalidShape && S.Parent >= Id)
+      return Malformed("shapes"); // Parents precede children.
+    if (!R.u32(NumSlots))
+      return Malformed("shapes");
+    for (uint32_t I = 0; I < NumSlots; ++I) {
+      uint32_t Name, Slot;
+      if (!R.u32(Name) || !R.u32(Slot))
+        return Malformed("shapes");
+      S.SlotOf.emplace(Name, Slot);
+    }
+    if (!R.u32(NumTrans))
+      return Malformed("shapes");
+    for (uint32_t I = 0; I < NumTrans; ++I) {
+      uint32_t Name, Child;
+      if (!R.u32(Name) || !R.u32(Child))
+        return Malformed("shapes");
+      if (Child >= St.NumShapesTotal)
+        return Malformed("shapes");
+      S.Transitions.emplace(Name, Child);
+    }
+    St.Shapes.push_back(std::move(S));
+  }
+  uint32_t NumCtors, NumArrays;
+  if (!R.u32(St.NextClassId) || !R.u32(NumCtors))
+    return Malformed("shapes");
+  for (uint32_t I = 0; I < NumCtors; ++I) {
+    uint32_t Fn, Root;
+    if (!R.u32(Fn) || !R.u32(Root) || Root >= St.NumShapesTotal)
+      return Malformed("shapes");
+    St.CtorRoots.emplace_back(Fn, Root);
+  }
+  if (!R.u32(NumArrays))
+    return Malformed("shapes");
+  for (uint32_t I = 0; I < NumArrays; ++I) {
+    uint64_t Site;
+    uint32_t Root;
+    if (!R.u64(Site) || !R.u32(Root) || Root >= St.NumShapesTotal)
+      return Malformed("shapes");
+    St.ArrayRoots.emplace_back(Site, Root);
+  }
+
+  if (!R.enterSection(SecClassList))
+    return Malformed("class-list");
+  uint8_t HadCl;
+  uint32_t NumClasses;
+  if (!R.u8(HadCl) || !R.u32(NumClasses) || NumClasses != 256)
+    return Malformed("class-list");
+  St.HadClassList = HadCl != 0;
+  St.ClassShapes.resize(NumClasses);
+  for (uint32_t C = 0; C < NumClasses; ++C) {
+    uint32_t N;
+    if (!R.u32(N))
+      return Malformed("class-list");
+    for (uint32_t I = 0; I < N; ++I) {
+      uint32_t Id;
+      if (!R.u32(Id) || Id >= St.NumShapesTotal)
+        return Malformed("class-list");
+      St.ClassShapes[C].push_back(Id);
+    }
+  }
+
+  if (!R.enterSection(SecMemory) || !R.blob(St.MemImage))
+    return Malformed("memory");
+  if (St.MemImage.size() < VM.Mem.bytesAllocated()) {
+    Err = "snapshot rejected: memory image smaller than the fresh engine's";
+    return false;
+  }
+
+  if (!R.enterSection(SecProfiler))
+    return Malformed("profiler");
+  uint64_t NumProfiles;
+  if (!R.u64(NumProfiles))
+    return Malformed("profiler");
+  for (uint64_t I = 0; I < NumProfiles; ++I) {
+    TypeProfiler::SavedProfile P;
+    if (!R.u64(P.Key) || !R.u8(P.Initialized) || !R.u8(P.Polymorphic) ||
+        !R.u32(P.FirstClass))
+      return Malformed("profiler");
+    St.Profiles.push_back(P);
+  }
+
+  if (!R.enterSection(SecHeap))
+    return Malformed("heap");
+  if (!R.u64(St.HStats.ObjectsAllocated) ||
+      !R.u64(St.HStats.MultiLineObjects) || !R.u64(St.HStats.ObjectBytes) ||
+      !R.u64(St.HStats.ExtraHeaderBytes) ||
+      !R.u64(St.HStats.HeapNumbersAllocated) ||
+      !R.u64(St.HStats.StringsAllocated))
+    return Malformed("heap");
+  uint32_t NumHints;
+  if (!R.u32(NumHints))
+    return Malformed("heap");
+  for (uint32_t I = 0; I < NumHints; ++I) {
+    uint32_t Fn, Slots;
+    if (!R.u32(Fn) || !R.u32(Slots))
+      return Malformed("heap");
+    St.SlotHints.emplace_back(Fn, Slots);
+  }
+
+  if (!R.enterSection(SecMachine))
+    return Malformed("machine");
+  if (!R.u64(St.RandomState) || !R.u64(St.OptCompiles) ||
+      !R.u64(St.LastLine) || !R.blob(St.Predictor))
+    return Malformed("machine");
+  if (!readCache(R, St.Dl1) || !readCache(R, St.L2) ||
+      !readCache(R, St.Dtlb))
+    return Malformed("machine");
+  // Geometry must agree with this engine's hardware model. The fingerprint
+  // already pins HwConfig, so a mismatch here means a corrupted payload
+  // that still passed CRC — reject rather than crash.
+  if (St.Predictor.size() != VM.Ctx.predictor().counters().size() ||
+      St.Dl1.Lines.size() != VM.Ctx.memory().dl1().lines().size() ||
+      St.L2.Lines.size() != VM.Ctx.memory().l2().lines().size() ||
+      St.Dtlb.Lines.size() != VM.Ctx.memory().dtlb().lines().size()) {
+    Err = "snapshot rejected: machine geometry mismatch";
+    return false;
+  }
+
+  if (!R.enterSection(SecModule))
+    return Malformed("module-profile");
+  uint32_t NumFuncs;
+  if (!R.u64(St.Module.ModuleHash) || !R.u32(NumFuncs))
+    return Malformed("module-profile");
+  for (uint32_t F = 0; F < NumFuncs; ++F) {
+    VMState::FunctionProfile P;
+    uint32_t NumSites;
+    if (!R.u32(NumSites))
+      return Malformed("module-profile");
+    for (uint32_t I = 0; I < NumSites; ++I) {
+      SiteFeedback FB;
+      if (!readSiteFeedback(R, FB))
+        return Malformed("module-profile");
+      P.Feedback.push_back(FB);
+    }
+    uint8_t Disabled;
+    if (!R.u32(P.InvocationCount) || !R.u32(P.BackEdgeTrips) ||
+        !R.u32(P.DeoptCount) || !R.u8(Disabled))
+      return Malformed("module-profile");
+    P.OptDisabled = Disabled != 0;
+    uint32_t NumSeeds;
+    if (!R.u32(NumSeeds))
+      return Malformed("module-profile");
+    for (uint32_t I = 0; I < NumSeeds; ++I) {
+      BbvSeed Seed;
+      uint32_t NumTags;
+      if (!R.u32(Seed.BlockIdx) || !R.u32(NumTags))
+        return Malformed("module-profile");
+      for (uint32_t T = 0; T < NumTags; ++T) {
+        uint32_t Tag;
+        if (!R.u32(Tag))
+          return Malformed("module-profile");
+        Seed.EntryTags.push_back(Tag);
+      }
+      P.BbvSeeds.push_back(std::move(Seed));
+    }
+    St.Module.PerFunction.push_back(std::move(P));
+  }
+
+  if (!R.done()) {
+    Err = "snapshot rejected: trailing bytes after the last section";
+    return false;
+  }
+
+  // --- Everything validated; apply. No step below can fail. ---
+  for (const std::string &Text : St.Names)
+    VM.Names.intern(Text);
+  for (Shape &S : St.Shapes)
+    VM.Shapes.restoreShape(std::move(S));
+  for (uint32_t Id = 0; Id < NumWellKnownShapes; ++Id)
+    for (const auto &[Name, Child] : St.RootTransitions[Id])
+      VM.Shapes.restoreTransition(Id, Name, Child);
+  VM.Shapes.restoreNextClassId(St.NextClassId);
+  for (const auto &[Fn, Root] : St.CtorRoots)
+    VM.Shapes.restoreConstructorRoot(Fn, Root);
+  for (const auto &[Site, Root] : St.ArrayRoots)
+    VM.Shapes.restoreArraySiteRoot(Site, Root);
+
+  VM.Mem.restoreRaw(St.MemImage);
+
+  if (VM.Config.ClassCacheEnabled) {
+    if (St.HadClassList) {
+      // The restored memory already holds the maintained entry images;
+      // reattach the host-side index over them.
+      VM.CList.restoreClassShapes(std::move(St.ClassShapes));
+    } else {
+      // Cross-backend restore (snapshot taken without the ClassCache): the
+      // restored region holds no entry images. Rebuild them by replaying
+      // registration over the whole shape graph in creation order —
+      // profile inheritance then sees freshly initialized parents, which
+      // is sound (worst case: fewer elisions; the exception mechanism
+      // guards anything the replayed profile gets wrong).
+      VM.CList.restoreClassShapes(
+          std::vector<std::vector<ShapeId>>(St.ClassShapes.size()));
+      for (ShapeId Id = 0; Id < VM.Shapes.size(); ++Id)
+        VM.CList.onShapeCreated(VM.Shapes, Id);
+    }
+  }
+
+  VM.Profiler.restoreProfiles(St.Profiles);
+
+  VM.Heap_.restoreStats(St.HStats);
+  for (const auto &[Fn, Slots] : St.SlotHints)
+    VM.Heap_.restoreConstructorSlotHint(Fn, Slots);
+
+  VM.RandomState = St.RandomState;
+  VM.OptCompiles = St.OptCompiles;
+  VM.Ctx.setLastLine(St.LastLine);
+  VM.Ctx.predictor().restoreCounters(St.Predictor);
+  VM.Ctx.memory().dl1().restoreLines(St.Dl1.Lines, St.Dl1.LastBlock);
+  VM.Ctx.memory().l2().restoreLines(St.L2.Lines, St.L2.LastBlock);
+  VM.Ctx.memory().dtlb().restoreLines(St.Dtlb.Lines, St.Dtlb.LastBlock);
+
+  VM.PendingProfile = std::move(St.Module);
+  VM.rebaseBudget();
+  return true;
+}

@@ -1,0 +1,72 @@
+//===- core/ProfileSnapshot.h - Warm profile capture/restore ----*- C++ -*-===//
+///
+/// \file
+/// Serialization of an engine's warmed profile state — the cheap-to-collect,
+/// expensive-to-rebuild data the paper's check removal feeds on — so fleet
+/// replicas can skip the warmup tax (DESIGN.md §4.11):
+///
+///   * the interned-name table and the full hidden-class transition graph,
+///   * the Class List shape index (entry images travel with the memory),
+///   * the whole simulated memory image (heap, globals, Class List region),
+///   * TypeProfiler store profiles and heap allocation-sizing hints,
+///   * warmed machine state (cache tags/LRU, TLB, branch-predictor
+///     counters, the same-line memo) and cumulative run counters,
+///   * the pending per-function module profile: type feedback, hotness,
+///     deopt bookkeeping and BBV version-context seeds.
+///
+/// OptIR is deliberately NOT serialized: it is recompiled deterministically
+/// from the restored profiles, which keeps the format small and the
+/// byte-identity story tractable.
+///
+/// Restore is staged: the snapshot is parsed and validated *completely*
+/// (magic, version, CRC, config fingerprint, geometry) into host-side
+/// staging before anything touches the VM, so a rejected snapshot leaves
+/// the engine in its ordinary cold-start state — usable, never torn.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_CORE_PROFILESNAPSHOT_H
+#define CCJS_CORE_PROFILESNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccjs {
+
+struct EngineConfig;
+struct VMState;
+
+/// Current snapshot format version.
+inline constexpr uint32_t ProfileSnapshotVersion = 1;
+
+/// Fingerprint of the *profiled* configuration: everything that shapes the
+/// captured state (tiering thresholds, the full hardware geometry and
+/// timing/energy model). Knobs that provably do not change what a profile
+/// means — dispatch mode, check-removal backend, elision/hoisting
+/// ablations, pass masks, budgets, trace/metrics/audit, fault schedules —
+/// are excluded on purpose: a snapshot must restore across them
+/// (ISSUE satellite: backend and dispatch must NOT invalidate).
+std::string snapshotFingerprint(const EngineConfig &Cfg);
+
+/// FNV-1a hash over a module's structure (function names, site counts,
+/// bytecode). A persisted per-function profile is only installed into a
+/// module that hashes identically.
+uint64_t moduleProfileHash(const struct BytecodeModule &M);
+
+/// Serializes \p VM's warm profile state. Deterministic and canonical:
+/// every map-backed section is emitted sorted by key, so capturing the
+/// same state twice yields byte-identical snapshots (the CI round-trip
+/// determinism gate relies on this).
+std::vector<uint8_t> captureProfileSnapshot(const VMState &VM);
+
+/// Restores a snapshot into a freshly constructed \p VM (no module loaded,
+/// nothing executed). On any validation failure — truncation, bad magic,
+/// bad CRC, future version, fingerprint or geometry mismatch — returns
+/// false with a one-line reason in \p Err and leaves \p VM untouched.
+bool restoreProfileSnapshot(VMState &VM, const std::vector<uint8_t> &Bytes,
+                            std::string &Err);
+
+} // namespace ccjs
+
+#endif // CCJS_CORE_PROFILESNAPSHOT_H

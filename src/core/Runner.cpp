@@ -2,9 +2,31 @@
 
 #include "core/Runner.h"
 
+#include "vm/EngineObserver.h"
+#include "vm/VMState.h"
+
 #include <chrono>
 
 using namespace ccjs;
+
+namespace {
+
+/// Pins the simulated position of the run's first successful tier-up —
+/// the moment the engine reaches peak tier (time-to-peak, BenchRun docs).
+struct TierUpWatcher final : public EngineObserver {
+  bool Seen = false;
+  uint64_t Instr = 0;
+  double Cycles = 0;
+  void onTierUp(VMState &VM, const TierUpEvent &E) override {
+    if (Seen || !E.Succeeded)
+      return;
+    Seen = true;
+    Instr = VM.Ctx.instrs().total();
+    Cycles = VM.Ctx.totalCycles();
+  }
+};
+
+} // namespace
 
 BenchRun ccjs::runSteadyState(const EngineConfig &Config,
                               std::string_view Source, int Iterations) {
@@ -14,10 +36,18 @@ BenchRun ccjs::runSteadyState(const EngineConfig &Config,
     return std::chrono::duration<double>(Clock::now() - Start).count();
   };
   BenchRun R;
+  TierUpWatcher Watch;
   Engine E(Config);
+  E.addObserver(&Watch);
+  auto Finish = [&] {
+    R.HostSeconds = Elapsed();
+    R.TieredUp = Watch.Seen;
+    R.FirstTierUpInstr = Watch.Instr;
+    R.FirstTierUpCycles = Watch.Cycles;
+  };
   if (!E.load(Source) || !E.runTopLevel()) {
     R.Error = E.lastError();
-    R.HostSeconds = Elapsed();
+    Finish();
     return R;
   }
   for (int I = 0; I < Iterations; ++I) {
@@ -26,14 +56,14 @@ BenchRun ccjs::runSteadyState(const EngineConfig &Config,
     E.callGlobal("run");
     if (E.halted()) {
       R.Error = E.lastError();
-      R.HostSeconds = Elapsed();
+      Finish();
       return R;
     }
   }
   R.Ok = true;
   R.Steady = E.stats();
   R.Output = E.output();
-  R.HostSeconds = Elapsed();
+  Finish();
   // resetStats() before the last iteration zeroed these too, so they cover
   // exactly the measured iteration.
   R.HostDispatches = E.hostDispatches();

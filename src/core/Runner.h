@@ -39,6 +39,17 @@ struct BenchRun {
   /// and the default report.
   uint64_t HostDispatches = 0;
   uint64_t HostFusedSaved = 0;
+  /// Time-to-peak-tier: the simulated instruction/cycle position of the
+  /// run's first *successful* tier-up, counted from engine start. This is
+  /// the warmup tax a warm-started replica skips — a profile-snapshot
+  /// restore moves it from thousands of interpreted instructions to the
+  /// first call. TieredUp is false (positions zero) when nothing ever
+  /// reached the optimizing tier. Deterministic simulated quantities, but
+  /// reported only through the opt-in "host" section: the measurement is
+  /// about engine warmup, not about the program under test.
+  bool TieredUp = false;
+  uint64_t FirstTierUpInstr = 0;
+  double FirstTierUpCycles = 0;
 };
 
 inline constexpr int DefaultIterations = 10;

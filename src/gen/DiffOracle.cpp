@@ -12,6 +12,8 @@
 #include "vm/InvariantAuditor.h"
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 using namespace ccjs;
 using namespace ccjs::gen;
@@ -140,6 +142,74 @@ public:
   static constexpr unsigned MaxReported = 8;
 };
 
+/// Warm-start round trip (DESIGN.md §4.11): run the program once to warm
+/// the engine, park its profile snapshot, then run the program again on
+/// (a) the same engine and (b) a fresh engine restored from the parked
+/// snapshot. The two second runs — output, serialized RunStats, metrics,
+/// halt status, and the snapshots re-captured afterwards — must be
+/// byte-identical: restore must be semantically invisible, differing from
+/// process continuity in nothing but the warmup it skipped.
+void snapshotLeg(Comparator &Cmp, const std::string &Source,
+                 const Engine::Options &Config, const std::string &Name) {
+  Engine::Options Base(Config);
+  Base.withProfilePersistence().withMetrics();
+
+  auto SecondRun = [&](Engine &E, TierRun &R, std::vector<uint8_t> &Resnap) {
+    if (!E.load(Source)) {
+      R.Error = E.lastError();
+      return;
+    }
+    E.beginServiceRequest();
+    R.Loaded = true;
+    R.Ok = E.runTopLevel();
+    if (!R.Ok)
+      R.Error = E.lastError();
+    E.auditNow("final");
+    R.Output = E.output();
+    R.Shapes = E.stats().NumHiddenClasses;
+    R.Stats = statsToJson(E.stats()).dump(2);
+    if (const MetricsRegistry *M = E.metrics())
+      R.Metrics = M->render();
+    if (const InvariantAuditor *A = E.auditor()) {
+      R.AuditFailures = A->failureCount();
+      if (!A->failures().empty())
+        R.FirstAuditMsg = A->failures().front();
+    }
+    Resnap = E.snapshotProfile();
+  };
+
+  Engine Cont(Base);
+  if (!Cont.load(Source))
+    return; // Parse failures are already reported by the semantic legs.
+  Cont.runTopLevel(); // Warmup run; a halt is fine (the replica sees the
+                      // profile state the halt left behind).
+  std::vector<uint8_t> Snap = Cont.snapshotProfile();
+
+  Engine Warm(Engine::Options(Base).withProfileSnapshot(Snap));
+  if (!Warm.snapshotRestoreError().empty()) {
+    Cmp.issue(Name + ": restore rejected its own capture: " +
+              Warm.snapshotRestoreError());
+    return;
+  }
+
+  TierRun ContRun, WarmRun;
+  std::vector<uint8_t> ContSnap, WarmSnap;
+  SecondRun(Cont, ContRun, ContSnap);
+  SecondRun(Warm, WarmRun, WarmSnap);
+
+  if (!ContRun.Loaded || !WarmRun.Loaded) {
+    Cmp.issue(Name + ": reload failed (continuous \"" + ContRun.Error +
+              "\", warm \"" + WarmRun.Error + "\")");
+    return;
+  }
+  Cmp.image(ContRun, WarmRun, Name);
+  Cmp.audits(WarmRun, Name + "(warm)");
+  if (ContSnap != WarmSnap)
+    Cmp.issue(Name + ": re-captured snapshots diverged (" +
+              std::to_string(ContSnap.size()) + " vs " +
+              std::to_string(WarmSnap.size()) + " bytes)");
+}
+
 } // namespace
 
 OracleResult ccjs::gen::runOracle(const std::string &Source,
@@ -233,6 +303,21 @@ OracleResult ccjs::gen::runOracle(const std::string &Source,
         Cmp.image(BSw, BFu, "bbv-dispatch-fused");
       }
     }
+  }
+
+  // Warm-start round trip: a replica restored from a parked snapshot must
+  // be byte-indistinguishable from the continuous engine on its next run.
+  // Chaos stays off here — the legs assert byte identity, and distinct
+  // engines would see distinct fault streams.
+  if (Opts.CheckSnapshot) {
+    snapshotLeg(Cmp, Source, CcOpts, "snapshot-cc");
+    if (Opts.CheckBbv)
+      snapshotLeg(Cmp, Source,
+                  Engine::Options()
+                      .withCheckRemoval(CheckRemovalBackend::Both)
+                      .withTiering(HotInvocations, HotLoopTrips)
+                      .withAudit(),
+                  "snapshot-cc+bbv");
   }
 
   // Chaos sweep: deterministic fault injection must stay transparent.

@@ -13,7 +13,11 @@
 ///     superinstruction-fused executor — byte-identical output, serialized
 ///     RunStats, metrics, and fault trip logs,
 ///   * chaos: cc under a small sweep of fault-injection seeds, with the
-///     InvariantAuditor armed.
+///     InvariantAuditor armed,
+///   * snapshot: warm-start round trip — a fresh engine restored from a
+///     parked profile snapshot (Engine::snapshotProfile) must replay the
+///     next run byte-identically to the continuous engine it was cloned
+///     from, and re-emit a byte-identical snapshot afterwards.
 ///
 /// Semantic equivalence across tiers means: same halt/ok status, same
 /// error message, same print() output, and the same number of hidden
@@ -50,6 +54,13 @@ struct OracleOptions {
   /// Run the lazy-BBV legs: bbv and cc+bbv semantic equivalence against
   /// the reference interpreter, plus a bbv dispatch-image comparison.
   bool CheckBbv = true;
+  /// Run the warm-start round-trip legs: park a warmed profile snapshot
+  /// (Engine::snapshotProfile), restore it into a fresh engine, and require
+  /// the replica's next run to be byte-identical — output, serialized
+  /// RunStats, metrics, and its own re-captured snapshot — to the
+  /// continuous engine's. Runs for cc always and for cc+bbv when CheckBbv
+  /// is on (the snapshot carries BBV version-context seeds).
+  bool CheckSnapshot = true;
 };
 
 struct OracleResult {

@@ -61,6 +61,17 @@ public:
   /// Clears counters; predictor state (history, counters) persists.
   void resetStats() { Branches = Mispredicts = 0; }
 
+  /// Warm-state capture for profile snapshots: the saturating-counter
+  /// table only (Branches/Mispredicts are per-request stats).
+  const std::vector<uint8_t> &counters() const { return Counters; }
+  /// Restores a captured table; rejects a size mismatch untouched.
+  bool restoreCounters(const std::vector<uint8_t> &NewCounters) {
+    if (NewCounters.size() != Counters.size())
+      return false;
+    Counters = NewCounters;
+    return true;
+  }
+
 private:
   unsigned TableMask;
   std::vector<uint8_t> Counters;

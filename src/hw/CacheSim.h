@@ -110,6 +110,22 @@ public:
     LastBlock = InvalidTag;
   }
 
+  /// Warm-state capture for profile snapshots: the full tag/LRU image plus
+  /// the one-entry memo. Accesses/Misses are stats, reset per request, and
+  /// deliberately excluded.
+  const std::vector<uint64_t> &lines() const { return Lines; }
+  uint64_t lastBlock() const { return LastBlock; }
+  /// Restores a captured image. Rejects (returns false, state untouched)
+  /// when \p NewLines does not match this cache's geometry.
+  bool restoreLines(const std::vector<uint64_t> &NewLines,
+                    uint64_t NewLastBlock) {
+    if (NewLines.size() != Lines.size())
+      return false;
+    Lines = NewLines;
+    LastBlock = NewLastBlock;
+    return true;
+  }
+
 private:
   static constexpr uint64_t InvalidTag = ~uint64_t(0);
 

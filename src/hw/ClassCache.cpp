@@ -190,6 +190,15 @@ void ClassCache::invalidateAll() {
     E.ValidEntry = false;
 }
 
+void ClassCache::forEachDirty(
+    const std::function<void(uint8_t, uint8_t, const ClassListEntry &)> &Fn)
+    const {
+  for (const CacheEntry &E : Entries)
+    if (E.ValidEntry && E.Dirty)
+      Fn(static_cast<uint8_t>(E.Tag >> 8), static_cast<uint8_t>(E.Tag & 0xFF),
+         E.Data);
+}
+
 bool ClassCache::peekEntry(uint8_t ClassId, uint8_t Line, ClassListEntry &Out,
                            bool *DirtyOut) const {
   uint16_t Tag = uint16_t(ClassId) << 8 | Line;

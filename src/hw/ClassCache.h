@@ -21,6 +21,7 @@
 #include "hw/ClassList.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,15 @@ public:
   /// touching LRU order or statistics. Returns false when not resident.
   bool peekEntry(uint8_t ClassId, uint8_t Line, ClassListEntry &Out,
                  bool *DirtyOut = nullptr) const;
+
+  /// Profile-snapshot capture: invokes \p Fn for every resident dirty
+  /// entry (cache ahead of the Class List memory image). Read-only — the
+  /// capture overlays the would-be writebacks onto its *copy* of simulated
+  /// memory, because flushing for real would clear Dirty bits and change
+  /// the engine's later writeback charges.
+  void forEachDirty(
+      const std::function<void(uint8_t ClassId, uint8_t Line,
+                               const ClassListEntry &E)> &Fn) const;
 
   /// Invariant audit: checks every resident entry against the Class List
   /// memory image (clean entries must match exactly; dirty entries may only

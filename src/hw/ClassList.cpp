@@ -31,6 +31,14 @@ void ClassList::write(uint8_t ClassId, uint8_t Line, const ClassListEntry &E) {
     Mem.write8(A + 4 + I, E.Props[I]);
 }
 
+void ClassList::encodeEntry(const ClassListEntry &E, uint8_t *Out) {
+  Out[0] = E.InitMap;
+  Out[1] = E.ValidMap;
+  Out[2] = E.SpeculateMap;
+  for (unsigned I = 0; I < 7; ++I)
+    Out[4 + I] = E.Props[I];
+}
+
 void ClassList::bootstrapExisting(const ShapeTable &Shapes) {
   for (ShapeId Id = 0; Id < Shapes.size(); ++Id)
     onShapeCreated(Shapes, Id);

@@ -121,6 +121,23 @@ public:
   /// Class List was attached (the well-known root shapes).
   void bootstrapExisting(const ShapeTable &Shapes);
 
+  /// Encodes \p E into \p Out (EntryBytes bytes) with the exact byte
+  /// layout read()/write() use against simulated memory; bytes the
+  /// protocol never writes (3, 11..15) are left untouched. Used by the
+  /// profile-snapshot capture to overlay dirty Class Cache entries onto
+  /// its copy of the memory image.
+  static void encodeEntry(const ClassListEntry &E, uint8_t *Out);
+
+  /// Profile-snapshot access: the ClassID -> registered-shapes index.
+  /// Entry *images* live in simulated memory and travel with the SimMemory
+  /// capture; this host-side index must be restored alongside them.
+  const std::vector<std::vector<ShapeId>> &classShapes() const {
+    return ClassShapes;
+  }
+  void restoreClassShapes(std::vector<std::vector<ShapeId>> Shapes) {
+    ClassShapes = std::move(Shapes);
+  }
+
   /// Pretty-prints the entries of \p ClassId for the paper's Table 1.
   /// \p ClassNamer and \p FuncNamer map ids to display names.
   std::string

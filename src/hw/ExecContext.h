@@ -195,6 +195,13 @@ public:
   MemorySystem &memory() { return Mem; }
   const MemorySystem &memory() const { return Mem; }
   const BranchPredictor &predictor() const { return Predictor; }
+  /// Mutable access for profile-snapshot restore only.
+  BranchPredictor &predictor() { return Predictor; }
+
+  /// Warm-state capture for profile snapshots: the one-entry same-line
+  /// memo that fronts the memory hierarchy.
+  uint64_t lastLine() const { return LastLine; }
+  void setLastLine(uint64_t Line) { LastLine = Line; }
 
   const HwBucketCounters &optimizedBucket() const { return Buckets[0]; }
   const HwBucketCounters &restBucket() const { return Buckets[1]; }

@@ -70,6 +70,11 @@ public:
   const CacheSim &l2() const { return L2; }
   const CacheSim &dtlb() const { return Dtlb; }
 
+  /// Mutable access for profile-snapshot restore only.
+  CacheSim &dl1() { return Dl1; }
+  CacheSim &l2() { return L2; }
+  CacheSim &dtlb() { return Dtlb; }
+
   void resetStats() {
     Dl1.resetStats();
     L2.resetStats();

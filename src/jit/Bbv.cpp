@@ -203,6 +203,13 @@ const uint8_t *ccjs::bbvSelectVersion(VMState &VM, OptCode &C,
                                     : "bbv.versions");
     VM.Metrics->counter("bbv.checks_elided") += V.ChecksElided;
   }
+  // Warm-replica support: log the materialized entry context so a later
+  // compile of this function (after reload or snapshot restore) can replay
+  // the same versions at compile time. Suppressed during replay itself —
+  // the replayed selection must not append duplicates.
+  if (VM.Config.ProfilePersistence && !VM.BbvReplaying)
+    VM.Funcs[C.FuncIndex].BbvSeeds.push_back({BlockIdx, Tags});
+
   BbvSpecializeEvent E;
   E.FuncIndex = C.FuncIndex;
   E.BlockStart = B.Start;

@@ -85,6 +85,28 @@ OptCode *compileOptimized(VMState &VM, uint32_t FuncIndex) {
   // Crankshaft-style compilation cost, charged to the runtime bucket.
   VM.Ctx.alu(InstrCategory::RestOfCode,
              300 + 60 * static_cast<unsigned>(Code->Ops.size()));
+
+  // Warm-replica support: replay the BBV version contexts recorded by
+  // earlier compiles of this function (profile persistence / snapshot
+  // restore), so the new code materializes the same versions — with the
+  // same specialization charges — that lazy execution minted before.
+  // Replay goes through bbvSelectVersion itself: a context that no longer
+  // fits (block partition changed, tags mismatched) is skipped, and a
+  // context selected again during execution hits the charge-free reuse
+  // scan, so replay composes idempotently with lazy materialization.
+  if (VM.Config.ProfilePersistence && Code->Bbv &&
+      !VM.Funcs[FuncIndex].BbvSeeds.empty()) {
+    VM.BbvReplaying = true;
+    for (const BbvSeed &S : VM.Funcs[FuncIndex].BbvSeeds) {
+      if (S.BlockIdx >= Code->Bbv->Blocks.size())
+        continue;
+      if (S.EntryTags.size() !=
+          Code->Bbv->Blocks[S.BlockIdx].RelevantLocals.size())
+        continue;
+      bbvSelectVersion(VM, *Code, S.BlockIdx, S.EntryTags);
+    }
+    VM.BbvReplaying = false;
+  }
   return Code;
 }
 

@@ -217,6 +217,21 @@ public:
   /// Records the final slot count of a freshly constructed instance.
   void observeConstructed(uint32_t FuncIndex, uint32_t Slots);
 
+  //===--------------------------------------------------------------------===//
+  // Profile-snapshot capture/restore
+  //===--------------------------------------------------------------------===//
+
+  /// Slack-tracking hints (allocation sizing feedback) and the cumulative
+  /// allocation statistics; both survive resetStats, so a warm-started
+  /// engine must restore them to match a continuously-warmed one.
+  const std::unordered_map<uint32_t, uint32_t> &constructorSlotHints() const {
+    return ConstructorSlotHints;
+  }
+  void restoreConstructorSlotHint(uint32_t FuncIndex, uint32_t Slots) {
+    ConstructorSlotHints.emplace(FuncIndex, Slots);
+  }
+  void restoreStats(const HeapStats &S) { Stats = S; }
+
 private:
   /// Rewrites the header word of every line (shape transitions change the
   /// ClassID the Class Cache hardware reads from the line).

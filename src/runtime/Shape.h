@@ -120,6 +120,40 @@ public:
   /// measure program-driven hidden-class growth only.
   void setMetrics(MetricsRegistry *M) { Metrics = M; }
 
+  /// Profile-snapshot access: root maps and the ClassID counter.
+  const std::unordered_map<uint32_t, ShapeId> &constructorRoots() const {
+    return ConstructorRoots;
+  }
+  const std::unordered_map<uint64_t, ShapeId> &arraySiteRoots() const {
+    return ArraySiteRoots;
+  }
+  uint32_t nextClassId() const { return NextClassId; }
+
+  /// Appends a fully materialized shape record during snapshot restore.
+  /// Bypasses createShape on purpose: no creation hook, no trace event,
+  /// no metrics bump — a restored engine must match a continuously-warmed
+  /// one, whose shape counters were reset after these shapes were made.
+  /// \p S.Id must equal size() (records restore in creation order).
+  void restoreShape(Shape S) {
+    if (S.Kind == ObjectKind::Plain)
+      ++NumPlain;
+    Shapes.push_back(std::move(S));
+  }
+  /// Re-links a property transition out of an already existing shape.
+  /// Snapshot restore uses this for the nine well-known shapes: they are
+  /// rebuilt by the constructor, but their outgoing transitions (e.g.
+  /// plainRoot -> first property) are program state.
+  void restoreTransition(ShapeId From, InternedString Name, ShapeId To) {
+    Shapes[From].Transitions.emplace(Name, To);
+  }
+  void restoreConstructorRoot(uint32_t FuncIndex, ShapeId Root) {
+    ConstructorRoots.emplace(FuncIndex, Root);
+  }
+  void restoreArraySiteRoot(uint64_t SiteKey, ShapeId Root) {
+    ArraySiteRoots.emplace(SiteKey, Root);
+  }
+  void restoreNextClassId(uint32_t Next) { NextClassId = Next; }
+
   // Well-known shapes.
   ShapeId plainRoot() const { return PlainRoot; }
   ShapeId arrayRoot() const { return ArrayRoot; }

@@ -67,6 +67,15 @@ public:
     return Addr >= BaseAddr && Addr < BaseAddr + Data.size();
   }
 
+  /// Whole-image capture for profile snapshots. The full byte vector is
+  /// serialized (a continuously-warmed engine carries the same dead
+  /// run-1 bytes, so selective capture would *break* byte-identity).
+  const std::vector<uint8_t> &raw() const { return Data; }
+  /// Replaces the simulated address space with a captured image. Only
+  /// valid during engine construction, before any object references
+  /// simulated addresses beyond the image.
+  void restoreRaw(const std::vector<uint8_t> &Image) { Data = Image; }
+
 private:
   uint8_t *slot(uint64_t Addr, size_t Size) {
     if (!(Addr >= BaseAddr && Addr + Size <= BaseAddr + Data.size()))

@@ -20,7 +20,9 @@
 #include "runtime/Shape.h"
 #include "support/FlatMap.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 namespace ccjs {
 
@@ -67,6 +69,42 @@ public:
     Loads.clear();
     FirstLineLoads = 0;
     TotalPropertyLoads = 0;
+  }
+
+  /// One store-profile record, for profile snapshots.
+  struct SavedProfile {
+    uint64_t Key = 0;
+    uint8_t Initialized = 0;
+    uint8_t Polymorphic = 0;
+    uint32_t FirstClass = 0;
+  };
+
+  /// Captures every store profile, sorted by key so the serialized form
+  /// is canonical (FlatMap64 iteration order depends on insertion order).
+  std::vector<SavedProfile> captureProfiles() const {
+    std::vector<SavedProfile> Out;
+    Out.reserve(Profiles.size());
+    Profiles.forEach([&Out](uint64_t Key, const LocProfile &P) {
+      Out.push_back({Key, static_cast<uint8_t>(P.Initialized),
+                     static_cast<uint8_t>(P.Polymorphic), P.FirstClass});
+    });
+    std::sort(Out.begin(), Out.end(),
+              [](const SavedProfile &A, const SavedProfile &B) {
+                return A.Key < B.Key;
+              });
+    return Out;
+  }
+
+  /// Seeds the store-profile table from a snapshot. Only valid on a fresh
+  /// profiler; preallocates to the serialized size (no rehash churn).
+  void restoreProfiles(const std::vector<SavedProfile> &Saved) {
+    Profiles.reserve(Saved.size());
+    for (const SavedProfile &S : Saved) {
+      LocProfile &P = Profiles[S.Key];
+      P.Initialized = S.Initialized != 0;
+      P.Polymorphic = S.Polymorphic != 0;
+      P.FirstClass = S.FirstClass;
+    }
   }
 
 private:

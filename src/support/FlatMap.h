@@ -63,6 +63,31 @@ public:
   /// value pointer must revalidate against this before dereferencing.
   uint64_t generation() const { return Generation; }
 
+  /// Grows the table so \p N entries fit without further rehashing
+  /// (capacity is the next power of two keeping the load factor under
+  /// 1/2). Existing entries are rehashed at most once; no-op when the
+  /// table is already large enough.
+  void reserve(size_t N) {
+    size_t Need = std::max<size_t>(64, 2 * N);
+    if (Need <= Keys.size())
+      return;
+    size_t NewCap = 64;
+    while (NewCap < Need)
+      NewCap *= 2;
+    ++Generation;
+    std::vector<uint64_t> OldKeys = std::move(Keys);
+    std::vector<V> OldVals = std::move(Vals);
+    Keys.assign(NewCap, EmptyKey);
+    Vals.assign(NewCap, V());
+    for (size_t I = 0; I < OldKeys.size(); ++I) {
+      if (OldKeys[I] == EmptyKey)
+        continue;
+      size_t J = probe(OldKeys[I]);
+      Keys[J] = OldKeys[I];
+      Vals[J] = std::move(OldVals[I]);
+    }
+  }
+
   /// Drops all entries but keeps the table storage.
   void clear() {
     std::fill(Keys.begin(), Keys.end(), EmptyKey);

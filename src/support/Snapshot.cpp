@@ -1,0 +1,163 @@
+//===- support/Snapshot.cpp -----------------------------------------------===//
+
+#include "support/Snapshot.h"
+
+#include <array>
+#include <cstring>
+
+using namespace ccjs;
+
+namespace {
+
+constexpr std::array<uint8_t, 8> SnapshotMagic = {'C', 'C', 'J', 'S',
+                                                  'S', 'N', 'A', 'P'};
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> T{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    T[I] = C;
+  }
+  return T;
+}
+
+uint64_t readLe(const uint8_t *P, unsigned Bytes) {
+  uint64_t V = 0;
+  for (unsigned I = 0; I < Bytes; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+} // namespace
+
+uint32_t ccjs::snapshotCrc32(const uint8_t *Data, size_t Len) {
+  static const std::array<uint32_t, 256> Table = makeCrcTable();
+  uint32_t C = 0xFFFFFFFFu;
+  for (size_t I = 0; I < Len; ++I)
+    C = Table[(C ^ Data[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+std::vector<uint8_t> SnapshotWriter::finish(uint32_t Version) const {
+  std::vector<uint8_t> Out;
+  Out.reserve(SnapshotMagic.size() + 16 + Buf.size());
+  Out.insert(Out.end(), SnapshotMagic.begin(), SnapshotMagic.end());
+  auto Le = [&Out](uint64_t V, unsigned Bytes) {
+    for (unsigned I = 0; I < Bytes; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  };
+  Le(Version, 4);
+  Le(Buf.size(), 8);
+  Le(snapshotCrc32(Buf.data(), Buf.size()), 4);
+  Out.insert(Out.end(), Buf.begin(), Buf.end());
+  return Out;
+}
+
+bool SnapshotReader::open(const std::vector<uint8_t> &Data,
+                          uint32_t MaxVersion, std::string &Err) {
+  Failed = true;
+  constexpr size_t HeaderLen = 8 + 4 + 8 + 4;
+  if (Data.size() < HeaderLen) {
+    Err = "snapshot truncated: shorter than header";
+    return false;
+  }
+  if (std::memcmp(Data.data(), SnapshotMagic.data(), SnapshotMagic.size()) !=
+      0) {
+    Err = "snapshot rejected: bad magic";
+    return false;
+  }
+  uint32_t V = static_cast<uint32_t>(readLe(Data.data() + 8, 4));
+  if (V == 0 || V > MaxVersion) {
+    Err = "snapshot rejected: unsupported format version " +
+          std::to_string(V);
+    return false;
+  }
+  uint64_t PayloadLen = readLe(Data.data() + 12, 8);
+  if (PayloadLen != Data.size() - HeaderLen) {
+    Err = "snapshot truncated: payload length mismatch";
+    return false;
+  }
+  uint32_t Crc = static_cast<uint32_t>(readLe(Data.data() + 20, 4));
+  if (Crc != snapshotCrc32(Data.data() + HeaderLen, PayloadLen)) {
+    Err = "snapshot rejected: payload CRC mismatch";
+    return false;
+  }
+  Base = Data.data() + HeaderLen;
+  Pos = 0;
+  End = PayloadLen;
+  Version = V;
+  Failed = false;
+  return true;
+}
+
+bool SnapshotReader::take(void *Out, size_t Len) {
+  if (Failed || Len > End - Pos) {
+    Failed = true;
+    return false;
+  }
+  std::memcpy(Out, Base + Pos, Len);
+  Pos += Len;
+  return true;
+}
+
+bool SnapshotReader::u8(uint8_t &V) { return take(&V, 1); }
+
+bool SnapshotReader::u16(uint16_t &V) {
+  uint8_t B[2];
+  if (!take(B, 2))
+    return false;
+  V = static_cast<uint16_t>(readLe(B, 2));
+  return true;
+}
+
+bool SnapshotReader::u32(uint32_t &V) {
+  uint8_t B[4];
+  if (!take(B, 4))
+    return false;
+  V = static_cast<uint32_t>(readLe(B, 4));
+  return true;
+}
+
+bool SnapshotReader::u64(uint64_t &V) {
+  uint8_t B[8];
+  if (!take(B, 8))
+    return false;
+  V = readLe(B, 8);
+  return true;
+}
+
+bool SnapshotReader::str(std::string &S) {
+  uint32_t Len;
+  if (!u32(Len) || Len > End - Pos) {
+    Failed = true;
+    return false;
+  }
+  S.assign(reinterpret_cast<const char *>(Base + Pos), Len);
+  Pos += Len;
+  return true;
+}
+
+bool SnapshotReader::blob(std::vector<uint8_t> &B) {
+  uint64_t Len;
+  if (!u64(Len) || Len > End - Pos) {
+    Failed = true;
+    return false;
+  }
+  B.assign(Base + Pos, Base + Pos + Len);
+  Pos += Len;
+  return true;
+}
+
+bool SnapshotReader::enterSection(uint32_t ExpectedId) {
+  uint32_t Id;
+  uint64_t Len;
+  if (!u32(Id) || !u64(Len))
+    return false;
+  if (Id != ExpectedId || Len > End - Pos) {
+    Failed = true;
+    return false;
+  }
+  return true;
+}

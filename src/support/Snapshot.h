@@ -1,0 +1,110 @@
+//===- support/Snapshot.h - Versioned binary snapshot codec ---------------===//
+//
+// Length-prefixed, CRC-guarded container for profile snapshots. The codec
+// knows nothing about engine state: it provides little-endian scalar
+// primitives, strings, raw blobs, and numbered sections. Readers validate
+// the magic, version, declared payload length, and a CRC32 over the payload
+// before any field is handed out, so a consumer either sees a fully intact
+// payload or a clean failure — never a torn one.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CCJS_SUPPORT_SNAPSHOT_H
+#define CCJS_SUPPORT_SNAPSHOT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccjs {
+
+/// CRC32 (reflected, polynomial 0xEDB88320) over \p Data.
+uint32_t snapshotCrc32(const uint8_t *Data, size_t Len);
+
+/// Appends scalars, strings, blobs, and numbered sections to a payload
+/// buffer; finish() wraps the payload in the magic/version/CRC envelope.
+class SnapshotWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u16(uint16_t V) { le(V, 2); }
+  void u32(uint32_t V) { le(V, 4); }
+  void u64(uint64_t V) { le(V, 8); }
+  void str(std::string_view S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Buf.insert(Buf.end(), S.begin(), S.end());
+  }
+  void blob(const uint8_t *Data, size_t Len) {
+    u64(Len);
+    Buf.insert(Buf.end(), Data, Data + Len);
+  }
+
+  /// Opens a numbered section: writes the id and reserves a u64 length
+  /// slot. Returns a token for endSection().
+  size_t beginSection(uint32_t Id) {
+    u32(Id);
+    size_t Patch = Buf.size();
+    u64(0);
+    return Patch;
+  }
+  /// Backpatches the section length reserved by beginSection().
+  void endSection(size_t Patch) {
+    uint64_t Len = Buf.size() - (Patch + 8);
+    for (unsigned I = 0; I < 8; ++I)
+      Buf[Patch + I] = static_cast<uint8_t>(Len >> (8 * I));
+  }
+
+  /// Returns the complete snapshot: magic, format version, payload length,
+  /// payload CRC32, payload bytes.
+  std::vector<uint8_t> finish(uint32_t Version) const;
+
+private:
+  void le(uint64_t V, unsigned Bytes) {
+    for (unsigned I = 0; I < Bytes; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  std::vector<uint8_t> Buf;
+};
+
+/// Bounds-checked reader over a snapshot produced by SnapshotWriter.
+/// open() validates the envelope (magic, version, length, CRC) up front;
+/// every accessor returns false on underflow instead of reading past the
+/// payload, and a failed accessor leaves the reader permanently failed.
+class SnapshotReader {
+public:
+  /// Validates the envelope of \p Data. On failure returns false and sets
+  /// \p Err to a one-line reason; the reader must not be used. Snapshots
+  /// with a version newer than \p MaxVersion are rejected (future format).
+  bool open(const std::vector<uint8_t> &Data, uint32_t MaxVersion,
+            std::string &Err);
+
+  uint32_t version() const { return Version; }
+
+  bool u8(uint8_t &V);
+  bool u16(uint16_t &V);
+  bool u32(uint32_t &V);
+  bool u64(uint64_t &V);
+  bool str(std::string &S);
+  bool blob(std::vector<uint8_t> &B);
+
+  /// Reads a section header and checks it carries \p ExpectedId and a
+  /// length that fits in the remaining payload.
+  bool enterSection(uint32_t ExpectedId);
+
+  /// True when the whole payload has been consumed without failure.
+  bool done() const { return !Failed && Pos == End; }
+  bool failed() const { return Failed; }
+
+private:
+  bool take(void *Out, size_t Len);
+  const uint8_t *Base = nullptr;
+  size_t Pos = 0;
+  size_t End = 0;
+  uint32_t Version = 0;
+  bool Failed = true;
+};
+
+} // namespace ccjs
+
+#endif // CCJS_SUPPORT_SNAPSHOT_H

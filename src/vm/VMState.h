@@ -248,6 +248,21 @@ struct EngineConfig {
   /// observational, same contract as Trace).
   bool MetricsEnabled = false;
 
+  /// Warm profile state captured by Engine::snapshotProfile() to restore
+  /// at construction (null = cold start). Shared, immutable bytes: a pool
+  /// hands the same snapshot to many replicas. Excluded from config
+  /// fingerprints — the snapshot itself embeds the fingerprint it was
+  /// taken under and restore validates it.
+  std::shared_ptr<const std::vector<uint8_t>> ProfileSnapshot;
+
+  /// Carry per-function profiles (type feedback, hotness, BBV seeds)
+  /// across load() boundaries when the next module hashes identically —
+  /// the warm-replica contract (off by default: a plain engine's reload
+  /// behaviour is unchanged). Snapshot capture/restore implies it; both
+  /// sides of an equivalence comparison must agree on it, so it is
+  /// excluded from fingerprints like Trace.
+  bool ProfilePersistence = false;
+
   /// Host-side dispatch strategy (see DispatchMode above). Switch by
   /// default: on current deep-indirect-predictor hosts the single switch
   /// dispatch measures faster than replicated computed gotos (DESIGN.md
@@ -263,6 +278,14 @@ struct EngineConfig {
   HwConfig Hw;
 };
 
+/// One recorded BBV block-version materialization: enough to replay
+/// bbvSelectVersion deterministically after a recompile (profile
+/// persistence / warm start). See DESIGN.md §4.11.
+struct BbvSeed {
+  uint32_t BlockIdx = 0;
+  std::vector<uint32_t> EntryTags;
+};
+
 /// Per-function runtime metadata.
 struct FunctionInfo {
   const BytecodeFunction *Fn = nullptr;
@@ -271,6 +294,10 @@ struct FunctionInfo {
   uint32_t BackEdgeTrips = 0;
   uint32_t DeoptCount = 0;
   bool OptDisabled = false;
+  /// Entry contexts whose block versions materialized in this function's
+  /// current optimized code, in materialization order. Only maintained
+  /// under Config.ProfilePersistence; replayed after each compile.
+  std::vector<BbvSeed> BbvSeeds;
   /// Optimized code, owned by the engine; valid only while OptValid.
   OptCode *Opt = nullptr;
   bool OptValid = false;
@@ -391,6 +418,30 @@ struct VMState {
   /// baseline interpreter (cheap, predictable). Host-side knob owned by
   /// the pool; not part of EngineConfig or fingerprints.
   bool TierPinned = false;
+
+  /// True while compileOptimized replays recorded BBV seeds; suppresses
+  /// re-recording them (the replayed selection must not append duplicates).
+  bool BbvReplaying = false;
+
+  /// One function's persisted profile (Config.ProfilePersistence): the
+  /// state load() would otherwise reset. OptIR is deliberately absent —
+  /// it is recompiled deterministically from this.
+  struct FunctionProfile {
+    std::vector<SiteFeedback> Feedback;
+    uint32_t InvocationCount = 0;
+    uint32_t BackEdgeTrips = 0;
+    uint32_t DeoptCount = 0;
+    bool OptDisabled = false;
+    std::vector<BbvSeed> BbvSeeds;
+  };
+  /// Module-keyed pending profile: captured from the outgoing module at
+  /// load() (or seeded by snapshot restore) and installed into the next
+  /// module's FunctionInfos when its hash matches.
+  struct ModuleProfile {
+    uint64_t ModuleHash = 0;
+    std::vector<FunctionProfile> PerFunction; // Indexed by function index.
+  };
+  ModuleProfile PendingProfile;
 
   /// print() output (benchmarks verify checksums through it).
   std::string Output;

@@ -367,4 +367,140 @@ TEST(EnginePoolTest, ChaosSoakTwoHundredRequestsFourTenants) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Warm start and slot recycling (profile snapshots)
+//===----------------------------------------------------------------------===//
+
+/// Reads a pool counter by name (0 when the counter never fired).
+uint64_t poolCounter(const EnginePool &Pool, std::string_view Name) {
+  for (const auto &C : Pool.metrics().counters())
+    if (C.first == Name)
+      return C.second;
+  return 0;
+}
+
+TEST(EnginePoolTest, RecyclesIdleSlotAcrossBatchesAndParksSnapshot) {
+  // Two engines, both bound in batch 1. In batch 2 a third tenant arrives
+  // alone: the least-recently-served slot is recycled (not shed — shed is
+  // only for slots busy in the same batch), and the victim's warm profile
+  // is parked for its return.
+  EnginePool Pool(basePool(/*Engines=*/2));
+  std::vector<ServiceRequest> B1(2);
+  for (unsigned I = 0; I < 2; ++I) {
+    B1[I].Tenant = "t" + std::to_string(I);
+    B1[I].Source = tenantProgram(I, I);
+  }
+  for (const ServiceResult &R : Pool.serve(B1))
+    ASSERT_EQ(R.Status, RequestStatus::Ok);
+
+  std::vector<ServiceRequest> B2(1);
+  B2[0].Tenant = "t2";
+  B2[0].Source = tenantProgram(2, 2);
+  std::vector<ServiceResult> Rs = Pool.serve(B2);
+  EXPECT_EQ(Rs[0].Status, RequestStatus::Ok);
+  EXPECT_EQ(Rs[0].Output.rfind("t2 r2 ", 0), 0u) << Rs[0].Output;
+  EXPECT_EQ(poolCounter(Pool, "host.pool.recycles"), 1u);
+  // t0 was served first, so its slot is the least-recently-served victim.
+  EXPECT_TRUE(Pool.hasParkedSnapshot("t0"));
+  EXPECT_FALSE(Pool.hasParkedSnapshot("t1"));
+
+  // No residue: the recycled slot serves the new tenant's follow-up with
+  // output identical to a standalone engine's.
+  Engine Control(test::hotConfig(true));
+  ASSERT_TRUE(Control.load(B2[0].Source) && Control.runTopLevel());
+  EXPECT_EQ(Rs[0].Output, Control.output());
+}
+
+TEST(EnginePoolTest, EvictedTenantResumesWarmFromParkedSnapshot) {
+  EnginePool Pool(basePool(/*Engines=*/1));
+  auto ServeOne = [&](unsigned T, unsigned R) {
+    std::vector<ServiceRequest> Reqs(1);
+    Reqs[0].Tenant = "t" + std::to_string(T);
+    Reqs[0].Source = tenantProgram(T, R);
+    std::vector<ServiceResult> Rs = Pool.serve(Reqs);
+    EXPECT_EQ(Rs[0].Status, RequestStatus::Ok) << "t" << T << " r" << R;
+    return Rs[0].Output;
+  };
+  std::string First = ServeOne(0, 0); // t0 warms the only slot.
+  ServeOne(1, 1);                     // t1 evicts t0; t0's profile parks.
+  ASSERT_TRUE(Pool.hasParkedSnapshot("t0"));
+  std::string Again = ServeOne(0, 0); // t0 returns, warm-started.
+  EXPECT_EQ(Again, First) << "warm-started rerun must be byte-identical";
+  EXPECT_EQ(poolCounter(Pool, "host.pool.recycles"), 2u);
+  EXPECT_GE(poolCounter(Pool, "host.pool.warm_starts"), 1u);
+  EXPECT_EQ(poolCounter(Pool, "host.pool.warm_start_rejected"), 0u);
+}
+
+TEST(EnginePoolTest, PoolWideWarmStartSnapshotIsOutputTransparent) {
+  // Train a snapshot on the tenant-0 program, hand it to the pool, and
+  // serve a mixed batch: every engine warm-starts from it, counters say
+  // so, and the outputs are byte-identical to an unwarmed pool's.
+  PoolConfig PC = basePool();
+  EngineConfig TC = PC.Base;
+  TC.ProfilePersistence = true;
+  Engine Trainer(TC);
+  std::string Train = tenantProgram(0, 0);
+  ASSERT_TRUE(Trainer.load(Train) && Trainer.runTopLevel())
+      << Trainer.lastError();
+  PC.WarmStartSnapshot = std::make_shared<const std::vector<uint8_t>>(
+      Trainer.snapshotProfile());
+
+  std::vector<ServiceRequest> Reqs = tenantBatch(4, 12);
+  EnginePool Warm(PC), Cold(basePool());
+  std::string WarmImage = soakImage(Warm.serve(Reqs));
+  std::string ColdImage = soakImage(Cold.serve(Reqs));
+  EXPECT_EQ(WarmImage, ColdImage)
+      << "warm start must be output-transparent";
+  EXPECT_EQ(poolCounter(Warm, "host.pool.warm_starts"), 4u);
+  EXPECT_EQ(poolCounter(Warm, "host.pool.warm_start_rejected"), 0u);
+  EXPECT_EQ(poolCounter(Cold, "host.pool.warm_starts"), 0u);
+}
+
+TEST(EnginePoolTest, IncompatibleWarmStartSnapshotIsRejectedNotFatal) {
+  // A snapshot trained under different tiering thresholds fails the config
+  // fingerprint; the pool must count the rejection and serve cold.
+  EngineConfig TC = test::hotConfig(true);
+  TC.HotInvocationThreshold += 5;
+  TC.ProfilePersistence = true;
+  Engine Trainer(TC);
+  ASSERT_TRUE(Trainer.load(tenantProgram(0, 0)) && Trainer.runTopLevel());
+
+  PoolConfig PC = basePool(/*Engines=*/2);
+  PC.WarmStartSnapshot = std::make_shared<const std::vector<uint8_t>>(
+      Trainer.snapshotProfile());
+  EnginePool Pool(PC);
+  std::vector<ServiceResult> Rs = Pool.serve(tenantBatch(2, 4));
+  for (size_t I = 0; I < Rs.size(); ++I)
+    EXPECT_EQ(Rs[I].Status, RequestStatus::Ok) << "r" << I;
+  EXPECT_EQ(poolCounter(Pool, "host.pool.warm_starts"), 0u);
+  EXPECT_EQ(poolCounter(Pool, "host.pool.warm_start_rejected"), 2u);
+  // Cold fallback is the ordinary engine: outputs match a plain pool's.
+  EnginePool Plain(basePool(/*Engines=*/2));
+  EXPECT_EQ(soakImage(Rs), soakImage(Plain.serve(tenantBatch(2, 4))));
+}
+
+TEST(EnginePoolTest, RecyclingIsByteIdenticalAcrossJobsCounts) {
+  // Multi-batch churn with more tenants than engines: recycling decisions
+  // (victim choice, parked snapshots, warm resumes) must not depend on the
+  // worker count.
+  PoolConfig PC = basePool(/*Engines=*/2);
+  EnginePool P1(PC), P4(PC);
+  std::string I1, I4;
+  for (unsigned Batch = 0; Batch < 6; ++Batch) {
+    std::vector<ServiceRequest> Reqs(2);
+    for (unsigned I = 0; I < 2; ++I) {
+      unsigned T = (Batch * 2 + I) % 5; // 5 tenants over 2 slots.
+      Reqs[I].Tenant = "t" + std::to_string(T);
+      Reqs[I].Source = tenantProgram(T, Batch);
+    }
+    I1 += soakImage(P1.serve(Reqs, /*Jobs=*/1));
+    I4 += soakImage(P4.serve(Reqs, /*Jobs=*/4));
+  }
+  EXPECT_EQ(I1, I4) << "recycling must not depend on worker interleaving";
+  EXPECT_EQ(poolCounter(P1, "host.pool.recycles"),
+            poolCounter(P4, "host.pool.recycles"));
+  EXPECT_EQ(poolCounter(P1, "host.pool.warm_starts"),
+            poolCounter(P4, "host.pool.warm_starts"));
+}
+
 } // namespace

@@ -1,0 +1,282 @@
+//===- tests/SnapshotTest.cpp - Profile snapshot & warm-start -------------===//
+///
+/// The profile-snapshot contract (DESIGN.md 4.11):
+///   * capture is canonical (same state -> same bytes) and restoring a
+///     snapshot then immediately recapturing reproduces it byte-for-byte;
+///   * a warm-started engine converges to the same outputs, stats image
+///     and metrics image as the continuously-warmed engine it came from —
+///     across every dispatch mode and check-removal backend;
+///   * corruption of any kind (truncation, bad magic, future version,
+///     payload damage) is rejected with a one-line reason, never a crash
+///     and never a half-restore: the engine cold-starts fully usable;
+///   * the config fingerprint gates restore on the knobs that shape
+///     profile state (tiering thresholds, hardware model) and on nothing
+///     else — switching dispatch mode or check-removal backend must NOT
+///     invalidate a snapshot.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/BenchHarness.h"
+#include "core/Metrics.h"
+#include "core/ProfileSnapshot.h"
+#include "vm/InvariantAuditor.h"
+#include "vm/VMState.h"
+
+#include "DiffPrograms.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace ccjs;
+
+namespace {
+
+/// A small program that tiers up quickly under hotConfig thresholds and
+/// exercises shapes, feedback and (when enabled) the Class Cache.
+const char *WarmSource = R"js(
+function Pt(x, y) { this.x = x; this.y = y; }
+function sum(ps, n) {
+  var s = 0; var i;
+  for (i = 0; i < n; i++) { s = s + ps[i].x * 3 + ps[i].y; }
+  return s;
+}
+var ps = []; var i;
+for (i = 0; i < 24; i++) { ps[i] = new Pt(i, i * 2); }
+var a = 0;
+for (i = 0; i < 40; i++) { a = a + sum(ps, 24); }
+print(a);
+)js";
+
+EngineConfig warmConfig(CheckRemovalBackend B = CheckRemovalBackend::Both) {
+  EngineConfig C = test::hotConfig();
+  C.CheckRemoval = B;
+  C.ClassCacheEnabled = B == CheckRemovalBackend::ClassCache ||
+                        B == CheckRemovalBackend::Both;
+  C.ProfilePersistence = true;
+  return C;
+}
+
+/// Warms an engine on \p Source and returns its profile snapshot.
+std::vector<uint8_t> warmSnapshot(const EngineConfig &Cfg,
+                                  const char *Source = WarmSource) {
+  Engine E(Cfg);
+  EXPECT_TRUE(E.load(Source) && E.runTopLevel()) << E.lastError();
+  return E.snapshotProfile();
+}
+
+/// Constructs an engine restoring \p Snap and expects the restore to be
+/// rejected with \p ExpectErr; the engine must still run programs cleanly.
+void expectRejected(const EngineConfig &Cfg, std::vector<uint8_t> Snap,
+                    const std::string &ExpectErr) {
+  EngineConfig C = Cfg;
+  C.ProfileSnapshot =
+      std::make_shared<const std::vector<uint8_t>>(std::move(Snap));
+  Engine E(C);
+  EXPECT_EQ(E.snapshotRestoreError(), ExpectErr);
+  // Never a half-restore: the engine is in its ordinary cold-start state.
+  ASSERT_TRUE(E.load("print(2 + 3);") && E.runTopLevel()) << E.lastError();
+  EXPECT_EQ(E.output(), "5\n");
+}
+
+/// The reload protocol both sides of an equivalence comparison follow: a
+/// second service request for the same program on an already-warm engine.
+struct Image {
+  bool Ok = false;
+  std::string Output, Stats, Metrics;
+  uint64_t AuditFailures = 0;
+};
+
+Image secondRun(Engine &E, const char *Source) {
+  Image I;
+  EXPECT_TRUE(E.load(Source)) << E.lastError();
+  E.beginServiceRequest();
+  I.Ok = E.runTopLevel();
+  E.auditNow("final");
+  I.Output = E.output();
+  I.Stats = statsToJson(E.stats()).dump(2);
+  if (const MetricsRegistry *M = E.metrics())
+    I.Metrics = M->render();
+  if (const InvariantAuditor *A = E.auditor())
+    I.AuditFailures = A->failureCount();
+  return I;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Determinism and the restore fixpoint
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotTest, CaptureIsCanonical) {
+  std::vector<uint8_t> A = warmSnapshot(warmConfig());
+  std::vector<uint8_t> B = warmSnapshot(warmConfig());
+  EXPECT_EQ(A, B) << "identical runs must capture byte-identical snapshots";
+}
+
+TEST(SnapshotTest, RestoreThenRecaptureIsByteIdentical) {
+  std::vector<uint8_t> Snap = warmSnapshot(warmConfig());
+  EngineConfig C = warmConfig();
+  C.ProfileSnapshot = std::make_shared<const std::vector<uint8_t>>(Snap);
+  Engine E(C);
+  ASSERT_TRUE(E.snapshotRestoreError().empty()) << E.snapshotRestoreError();
+  EXPECT_EQ(E.snapshotProfile(), Snap)
+      << "restore -> immediate recapture must be a fixpoint";
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption matrix: every damage mode rejects cleanly
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotTest, RejectsTruncatedHeader) {
+  std::vector<uint8_t> Snap = warmSnapshot(warmConfig());
+  Snap.resize(10);
+  expectRejected(warmConfig(), std::move(Snap),
+                 "snapshot truncated: shorter than header");
+}
+
+TEST(SnapshotTest, RejectsEmptyBuffer) {
+  expectRejected(warmConfig(), {},
+                 "snapshot truncated: shorter than header");
+}
+
+TEST(SnapshotTest, RejectsBadMagic) {
+  std::vector<uint8_t> Snap = warmSnapshot(warmConfig());
+  Snap[0] ^= 0xFF;
+  expectRejected(warmConfig(), std::move(Snap),
+                 "snapshot rejected: bad magic");
+}
+
+TEST(SnapshotTest, RejectsFutureVersion) {
+  std::vector<uint8_t> Snap = warmSnapshot(warmConfig());
+  // Version is the little-endian u32 right after the 8-byte magic.
+  uint32_t Future = ProfileSnapshotVersion + 1;
+  for (unsigned I = 0; I < 4; ++I)
+    Snap[8 + I] = static_cast<uint8_t>(Future >> (8 * I));
+  expectRejected(warmConfig(), std::move(Snap),
+                 "snapshot rejected: unsupported format version " +
+                     std::to_string(Future));
+}
+
+TEST(SnapshotTest, RejectsTruncatedPayload) {
+  std::vector<uint8_t> Snap = warmSnapshot(warmConfig());
+  Snap.resize(Snap.size() - 7);
+  expectRejected(warmConfig(), std::move(Snap),
+                 "snapshot truncated: payload length mismatch");
+}
+
+TEST(SnapshotTest, RejectsPayloadBitFlip) {
+  std::vector<uint8_t> Snap = warmSnapshot(warmConfig());
+  // Flip one bit in the middle of the payload; the CRC must catch it long
+  // before any section parser could be confused by it.
+  Snap[Snap.size() / 2] ^= 0x10;
+  expectRejected(warmConfig(), std::move(Snap),
+                 "snapshot rejected: payload CRC mismatch");
+}
+
+//===----------------------------------------------------------------------===//
+// Config fingerprint: what invalidates and what must not
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotTest, RejectsTieringThresholdMismatch) {
+  std::vector<uint8_t> Snap = warmSnapshot(warmConfig());
+  EngineConfig Other = warmConfig();
+  Other.HotInvocationThreshold += 1;
+  Other.ProfileSnapshot =
+      std::make_shared<const std::vector<uint8_t>>(std::move(Snap));
+  Engine E(Other);
+  EXPECT_NE(E.snapshotRestoreError().find("config fingerprint mismatch"),
+            std::string::npos)
+      << E.snapshotRestoreError();
+  ASSERT_TRUE(E.load("print(1);") && E.runTopLevel());
+}
+
+TEST(SnapshotTest, DispatchModeDoesNotInvalidate) {
+  std::vector<uint8_t> Snap = warmSnapshot(warmConfig());
+  for (DispatchMode M : {DispatchMode::Switch, DispatchMode::Threaded,
+                         DispatchMode::Fused}) {
+    EngineConfig C = warmConfig();
+    C.Dispatch = M;
+    C.ProfileSnapshot = std::make_shared<const std::vector<uint8_t>>(Snap);
+    Engine E(C);
+    EXPECT_TRUE(E.snapshotRestoreError().empty())
+        << "dispatch=" << dispatchModeName(M) << ": "
+        << E.snapshotRestoreError();
+  }
+}
+
+TEST(SnapshotTest, CheckRemovalBackendDoesNotInvalidate) {
+  // A snapshot taken under one backend restores under every other; the
+  // cross-backend Class List rebuild handles the ClassCache-off donor.
+  for (CheckRemovalBackend From :
+       {CheckRemovalBackend::None, CheckRemovalBackend::Both}) {
+    std::vector<uint8_t> Snap = warmSnapshot(warmConfig(From));
+    for (CheckRemovalBackend To :
+         {CheckRemovalBackend::None, CheckRemovalBackend::ClassCache,
+          CheckRemovalBackend::Bbv, CheckRemovalBackend::Both}) {
+      EngineConfig C = warmConfig(To);
+      C.ProfileSnapshot = std::make_shared<const std::vector<uint8_t>>(Snap);
+      Engine E(C);
+      EXPECT_TRUE(E.snapshotRestoreError().empty())
+          << "from=" << static_cast<int>(From)
+          << " to=" << static_cast<int>(To) << ": "
+          << E.snapshotRestoreError();
+      ASSERT_TRUE(E.load(WarmSource) && E.runTopLevel()) << E.lastError();
+    }
+  }
+}
+
+
+//===----------------------------------------------------------------------===//
+// Warm/continuous convergence across dispatch modes and backends
+//===----------------------------------------------------------------------===//
+
+TEST(SnapshotTest, WarmEngineConvergesAcrossModesAndBackends) {
+  // The headline invariant, over a corpus subset small enough for a unit
+  // test (ccjs-gen's snapshot leg sweeps the generated corpus): for every
+  // dispatch mode x check-removal backend, a snapshot/restore run's second
+  // request produces the same output, stats image, metrics image and
+  // re-captured snapshot as the continuous engine's.
+  const DispatchMode Modes[] = {DispatchMode::Switch, DispatchMode::Threaded,
+                                DispatchMode::Fused};
+  const CheckRemovalBackend Backends[] = {
+      CheckRemovalBackend::None, CheckRemovalBackend::ClassCache,
+      CheckRemovalBackend::Bbv, CheckRemovalBackend::Both};
+  for (unsigned P = 0; P < 6; ++P) {
+    const test::DiffProgram &Prog = test::Programs[P];
+    for (DispatchMode M : Modes)
+      for (CheckRemovalBackend B : Backends) {
+        EngineConfig Base = warmConfig(B);
+        Base.Dispatch = M;
+        Base.MetricsEnabled = true;
+        Base.AuditInvariants = true;
+
+        Engine Cont(Base);
+        ASSERT_TRUE(Cont.load(Prog.Source)) << Prog.Name;
+        Cont.runTopLevel();
+        std::vector<uint8_t> Snap = Cont.snapshotProfile();
+
+        EngineConfig WarmCfg = Base;
+        WarmCfg.ProfileSnapshot =
+            std::make_shared<const std::vector<uint8_t>>(std::move(Snap));
+        Engine Warm(WarmCfg);
+        ASSERT_TRUE(Warm.snapshotRestoreError().empty())
+            << Prog.Name << ": " << Warm.snapshotRestoreError();
+
+        Image CI = secondRun(Cont, Prog.Source);
+        Image WI = secondRun(Warm, Prog.Source);
+        std::string Tag = std::string(Prog.Name) + " dispatch=" +
+                          dispatchModeName(M) + " backend=" +
+                          std::to_string(static_cast<int>(B));
+        EXPECT_EQ(CI.Ok, WI.Ok) << Tag;
+        EXPECT_EQ(CI.Output, WI.Output) << Tag;
+        EXPECT_EQ(CI.Stats, WI.Stats) << Tag;
+        EXPECT_EQ(CI.Metrics, WI.Metrics) << Tag;
+        EXPECT_EQ(WI.AuditFailures, 0u) << Tag;
+        EXPECT_EQ(Cont.snapshotProfile(), Warm.snapshotProfile())
+            << Tag << ": re-captured snapshots diverged";
+      }
+  }
+}

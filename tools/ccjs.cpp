@@ -46,6 +46,13 @@
 ///     --budget-instr=N     per-request simulated-instruction budget
 ///     --budget-heap=N      per-request simulated-heap-bytes budget
 ///     --budget-depth=N     per-request call-depth budget
+///     --snapshot-save=F    after the run, serialize the warmed profile
+///                          state (shapes, type feedback, hotness, BBV
+///                          seeds) to F; implies profile persistence
+///     --snapshot-load=F    restore a profile snapshot before loading the
+///                          program, skipping the warmup tax; a rejected
+///                          snapshot (corruption, config mismatch) is a
+///                          hard error, never a silent cold start
 ///
 /// Config assembly goes through the validated Engine::Options builder; an
 /// inconsistent flag combination exits 2 with a diagnostic before any
@@ -67,8 +74,10 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <sstream>
+#include <vector>
 
 using namespace ccjs;
 
@@ -155,6 +164,7 @@ int main(int Argc, char **Argv) {
   int Iterations = 0;
   const char *Path = nullptr;
   std::string JsonPath, TripLogPath, TracePath;
+  std::string SnapshotSavePath, SnapshotLoadPath;
   uint32_t TraceMask = DefaultTraceMask;
   bool TraceMaskSet = false;
 
@@ -276,6 +286,18 @@ int main(int Argc, char **Argv) {
     } else if (!std::strncmp(A, "--budget-depth=", 15)) {
       Opts.withCallDepthBudget(
           static_cast<uint32_t>(std::strtoul(A + 15, nullptr, 10)));
+    } else if (!std::strncmp(A, "--snapshot-save=", 16)) {
+      SnapshotSavePath = A + 16;
+      if (SnapshotSavePath.empty()) {
+        std::fprintf(stderr, "ccjs: --snapshot-save needs a path\n");
+        return 2;
+      }
+    } else if (!std::strncmp(A, "--snapshot-load=", 16)) {
+      SnapshotLoadPath = A + 16;
+      if (SnapshotLoadPath.empty()) {
+        std::fprintf(stderr, "ccjs: --snapshot-load needs a path\n");
+        return 2;
+      }
     } else if (A[0] == '-') {
       std::fprintf(stderr, "ccjs: unknown option '%s'\n", A);
       return 2;
@@ -296,7 +318,9 @@ int main(int Argc, char **Argv) {
                  "[--trace-events=a,b|all] [--metrics]\n            "
                  "[--dispatch=switch|threaded|fused] [--fused-mask=M] "
                  "[--op-hist]\n            [--serve] [--budget-instr=N] "
-                 "[--budget-heap=N] [--budget-depth=N] file.js\n");
+                 "[--budget-heap=N] [--budget-depth=N]\n            "
+                 "[--snapshot-save=<path>] [--snapshot-load=<path>] "
+                 "file.js\n");
     return 2;
   }
   if (CheckRemovalSet && (ClassCacheFlag || SoftwareOnlyFlag)) {
@@ -317,6 +341,16 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "ccjs: --serve cannot be combined with --compare or "
                  "--disassemble\n");
+    return 2;
+  }
+  if ((!SnapshotSavePath.empty() || !SnapshotLoadPath.empty()) &&
+      (Compare || Disassemble || Serve)) {
+    // The snapshot flags operate on the single direct-run engine; --compare
+    // and --serve build their own engines internally and --disassemble
+    // never runs one.
+    std::fprintf(stderr,
+                 "ccjs: --snapshot-save/--snapshot-load cannot be combined "
+                 "with --compare, --disassemble or --serve\n");
     return 2;
   }
   if (!TripLogPath.empty() && !ChaosEnabled) {
@@ -443,7 +477,28 @@ int main(int Argc, char **Argv) {
     return writeReport(Report, JsonPath) ? 0 : 1;
   }
 
+  if (!SnapshotSavePath.empty())
+    // Capture is only meaningful with persistence on: BBV seed recording
+    // and the reload-reinstall path are both gated on it, and the restoring
+    // engine runs with it anyway (withProfileSnapshot implies it).
+    Opts.withProfilePersistence();
+  if (!SnapshotLoadPath.empty()) {
+    std::ifstream SnapIn(SnapshotLoadPath, std::ios::binary);
+    if (!SnapIn) {
+      std::fprintf(stderr, "ccjs: cannot open snapshot '%s'\n",
+                   SnapshotLoadPath.c_str());
+      return 1;
+    }
+    std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(SnapIn)),
+                               std::istreambuf_iterator<char>());
+    Opts.withProfileSnapshot(std::move(Bytes));
+  }
+
   Engine E(Opts);
+  if (!E.snapshotRestoreError().empty()) {
+    std::fprintf(stderr, "ccjs: %s\n", E.snapshotRestoreError().c_str());
+    return 1;
+  }
   E.vm().EchoOutput = true;
 
   // Always write the trip log and the trace when requested, even after a
@@ -511,6 +566,17 @@ int main(int Argc, char **Argv) {
     return 1;
   if (AuditRc)
     return AuditRc;
+  if (!SnapshotSavePath.empty()) {
+    std::vector<uint8_t> Snap = E.snapshotProfile();
+    std::ofstream SnapOut(SnapshotSavePath, std::ios::binary);
+    if (!SnapOut ||
+        !SnapOut.write(reinterpret_cast<const char *>(Snap.data()),
+                       static_cast<std::streamsize>(Snap.size()))) {
+      std::fprintf(stderr, "ccjs: cannot write snapshot '%s'\n",
+                   SnapshotSavePath.c_str());
+      return 1;
+    }
+  }
   if (Stats)
     printStats(E.stats());
   // ccjs is a measurement surface: it shows the host.-prefixed counters

@@ -15,7 +15,9 @@
 /// width (default 3, 0 disables); --no-dispatch skips the switch vs
 /// computed-goto byte comparison; --no-fused skips the switch vs
 /// superinstruction-fused byte comparison; --no-bbv skips the
-/// lazy-basic-block-versioning legs (bbv, cc+bbv, bbv dispatch images).
+/// lazy-basic-block-versioning legs (bbv, cc+bbv, bbv dispatch images);
+/// --no-snapshot skips the warm-start round-trip legs (snapshot restore
+/// vs continuous-engine byte comparison).
 ///
 /// Exit code: 0 all seeds clean, 1 at least one divergence or generator
 /// failure, 2 usage error.
@@ -51,6 +53,7 @@ int usage() {
       "usage: ccjs-gen (--seed=N | --seeds=LO..HI) [--dump] [--minimize]\n"
       "                [--chaos-seeds=K] [--no-dispatch] [--no-fused] "
       "[--no-bbv]\n"
+      "                [--no-snapshot]\n"
       "                [--poly=N] [--depth=N] [--churn=PCT] [--fanout=N]\n"
       "                [--fns=N] [--iters=N] [--repeats=N] [--edge=PCT]\n");
   return 2;
@@ -101,6 +104,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.Oracle.CheckFused = false;
     } else if (Arg == "--no-bbv") {
       Cli.Oracle.CheckBbv = false;
+    } else if (Arg == "--no-snapshot") {
+      Cli.Oracle.CheckSnapshot = false;
     } else if (auto V = matchArg(Arg, "--chaos-seeds")) {
       uint64_t K;
       if (!parseU64(*V, K))

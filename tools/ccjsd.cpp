@@ -29,6 +29,18 @@
 ///     --retries=N        fault-attributed retry cap (default 2)
 ///     --with-errors      mix in programs with runtime errors (every 23rd
 ///                        request), exercising retry/quarantine paths
+///     --warm-start       pre-train a standalone engine on each tenant's
+///                        first program and hand the pool the resulting
+///                        profile snapshot: every newly warmed replica
+///                        restores it instead of paying the warmup tax
+///     --batches=N        split the request mix into N sequential serve()
+///                        calls (default 1); slots go batch-idle between
+///                        calls, which is what lets recycling fire
+///     --tenant-blocks=K  tenants arrive in blocks of K consecutive
+///                        requests instead of round-robin, so later
+///                        batches introduce new tenants while earlier
+///                        ones idle — the slot-recycling drill (evicted
+///                        tenants resume warm from parked snapshots)
 ///     --verify           re-run every completed request on a standalone
 ///                        budgets-off faults-off control engine and
 ///                        byte-compare outputs (tenant isolation + chaos
@@ -170,6 +182,8 @@ static bool writeText(const std::string &Path, const std::string &Text,
 int main(int Argc, char **Argv) {
   unsigned Requests = 200, Tenants = 4, Engines = 0, Jobs = 1, Retries = 2;
   unsigned QueueCap = 0, DegradeAt = 0, TenantCap = 0;
+  unsigned Batches = 1, TenantBlocks = 0;
+  bool WarmStart = false;
   uint64_t ChaosSeed = 0;
   bool Chaos = false, Audit = false, ClassCache = false, WithErrors = false;
   bool Verify = false, Metrics = false, Quiet = false, Trace = false;
@@ -229,6 +243,12 @@ int main(int Argc, char **Argv) {
       TenantCap = static_cast<unsigned>(num(13));
     } else if (!std::strncmp(A, "--retries=", 10)) {
       Retries = static_cast<unsigned>(num(10));
+    } else if (!std::strcmp(A, "--warm-start")) {
+      WarmStart = true;
+    } else if (!std::strncmp(A, "--batches=", 10)) {
+      Batches = static_cast<unsigned>(num(10));
+    } else if (!std::strncmp(A, "--tenant-blocks=", 16)) {
+      TenantBlocks = static_cast<unsigned>(num(16));
     } else if (!std::strcmp(A, "--with-errors")) {
       WithErrors = true;
     } else if (!std::strcmp(A, "--verify")) {
@@ -248,6 +268,10 @@ int main(int Argc, char **Argv) {
   }
   if (Tenants == 0 || Requests == 0) {
     std::fprintf(stderr, "ccjsd: --tenants and --requests must be >= 1\n");
+    return 2;
+  }
+  if (Batches == 0) {
+    std::fprintf(stderr, "ccjsd: --batches must be >= 1\n");
     return 2;
   }
   if (CheckRemovalSet && ClassCache) {
@@ -292,18 +316,65 @@ int main(int Argc, char **Argv) {
   PC.Chaos = Chaos;
   PC.ChaosSeed = ChaosSeed;
 
-  // Round-robin tenant arrival; every 23rd request (when enabled) carries a
-  // runtime error so the retry/quarantine paths get real traffic.
+  // Round-robin tenant arrival (or block arrival with --tenant-blocks);
+  // every 23rd request (when enabled) carries a runtime error so the
+  // retry/quarantine paths get real traffic.
+  auto TenantOf = [&](unsigned I) {
+    return TenantBlocks ? (I / TenantBlocks) % Tenants : I % Tenants;
+  };
   std::vector<ServiceRequest> Reqs(Requests);
   for (unsigned I = 0; I < Requests; ++I) {
-    unsigned T = I % Tenants;
+    unsigned T = TenantOf(I);
     Reqs[I].Tenant = "tenant" + std::to_string(T);
     Reqs[I].Source =
         makeProgram(T, I, WithErrors && I % 23 == 22);
   }
 
+  if (WarmStart) {
+    // Pre-train a standalone engine on each tenant's first program in the
+    // mix and hand the pool the warmed profile as a shared snapshot.
+    // Faults and budgets are cleared on the trainer — neither is part of
+    // the snapshot config fingerprint, and training must not trip either.
+    EngineConfig TC = PC.Base;
+    TC.Faults = FaultConfig();
+    TC.Budget = BudgetConfig();
+    TC.ProfilePersistence = true;
+    Engine Trainer(TC);
+    for (unsigned T = 0; T < Tenants; ++T) {
+      unsigned First = Requests;
+      for (unsigned I = 0; I < Requests; ++I)
+        if (TenantOf(I) == T) {
+          First = I;
+          break;
+        }
+      if (First == Requests)
+        continue; // Tenant never appears in this mix.
+      if (!Trainer.load(makeProgram(T, First, false)) ||
+          !Trainer.runTopLevel()) {
+        std::fprintf(stderr, "ccjsd: warm-start training failed (t%u): %s\n",
+                     T, Trainer.lastError().c_str());
+        return 1;
+      }
+    }
+    PC.WarmStartSnapshot = std::make_shared<const std::vector<uint8_t>>(
+        Trainer.snapshotProfile());
+    std::fprintf(stderr, "ccjsd: warm-start snapshot: %zu bytes\n",
+                 PC.WarmStartSnapshot->size());
+  }
+
   EnginePool Pool(PC);
-  std::vector<ServiceResult> Results = Pool.serve(Reqs, Jobs);
+  std::vector<ServiceResult> Results;
+  Results.reserve(Requests);
+  unsigned PerBatch = (Requests + Batches - 1) / Batches;
+  for (unsigned B = 0; B < Batches; ++B) {
+    unsigned Lo = B * PerBatch;
+    unsigned Hi = Lo + PerBatch < Requests ? Lo + PerBatch : Requests;
+    if (Lo >= Hi)
+      break;
+    std::vector<ServiceRequest> Chunk(Reqs.begin() + Lo, Reqs.begin() + Hi);
+    std::vector<ServiceResult> Part = Pool.serve(Chunk, Jobs);
+    Results.insert(Results.end(), Part.begin(), Part.end());
+  }
 
   unsigned Ok = 0, Err = 0, Budgeted = 0, Shed = 0, Degraded = 0, Retried = 0;
   for (size_t I = 0; I < Results.size(); ++I) {
@@ -334,12 +405,24 @@ int main(int Argc, char **Argv) {
                    R.Error.empty() ? "" : (": " + R.Error).c_str());
   }
 
+  uint64_t WarmStarts = 0, WarmRejected = 0, Recycles = 0;
+  for (const auto &[Name, V] : Pool.metrics().counters()) {
+    if (Name == "host.pool.warm_starts")
+      WarmStarts = V;
+    else if (Name == "host.pool.warm_start_rejected")
+      WarmRejected = V;
+    else if (Name == "host.pool.recycles")
+      Recycles = V;
+  }
   std::fprintf(stderr,
                "ccjsd: %u requests: %u ok, %u error, %u budget-exceeded, "
                "%u shed; %u degraded, %u retried, %zu quarantines, "
-               "%u engines warmed\n",
+               "%u engines warmed, %llu warm starts (%llu rejected), "
+               "%llu recycles\n",
                Requests, Ok, Err, Budgeted, Shed, Degraded, Retried,
-               Pool.quarantineLog().size(), Pool.enginesWarmed());
+               Pool.quarantineLog().size(), Pool.enginesWarmed(),
+               (unsigned long long)WarmStarts, (unsigned long long)WarmRejected,
+               (unsigned long long)Recycles);
   for (const QuarantineRecord &Q : Pool.quarantineLog())
     std::fprintf(stderr, "ccjsd: quarantine slot=%u gen=%u %s req=%zu %s\n",
                  Q.Slot, Q.Generation, Q.Tenant.c_str(), Q.RequestIndex,
@@ -419,6 +502,12 @@ int main(int Argc, char **Argv) {
     J.set("retried", Retried);
     J.set("quarantines", (unsigned long long)Pool.quarantineLog().size());
     J.set("engines_warmed", Pool.enginesWarmed());
+    J.set("batches", Batches);
+    J.set("tenant_blocks", TenantBlocks);
+    J.set("warm_start", WarmStart);
+    J.set("warm_starts", (unsigned long long)WarmStarts);
+    J.set("warm_start_rejected", (unsigned long long)WarmRejected);
+    J.set("recycles", (unsigned long long)Recycles);
     json::Value QL = json::Value::array();
     for (const QuarantineRecord &Q : Pool.quarantineLog()) {
       json::Value E = json::Value::object();
